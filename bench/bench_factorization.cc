@@ -1,0 +1,215 @@
+// E3 — Example 1.3: factorization of delta queries.
+//
+//   Q = select sum(A*F) from R, S, T where B=C and D=E
+//
+// The delta w.r.t. ±S(c,d) factorizes into (ΔQ)1(c) * (ΔQ)2(d). The
+// factorized compiler maintains two *linear*-size views; maintaining the
+// unfactorized ΔQ(c,d) explicitly costs quadratic space and O(adom) work
+// per R/T update. This bench measures both, sweeping the active-domain
+// size: view entries (space) and per-update latency (time). The expected
+// shape: factorized stays flat/linear, unfactorized grows ~quadratically
+// in entries and ~linearly in per-update work.
+
+#include <chrono>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "agca/ast.h"
+#include "runtime/engine.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using ringdb::Numeric;
+using ringdb::Rng;
+using ringdb::Symbol;
+using ringdb::Value;
+using ringdb::agca::Expr;
+using ringdb::agca::ExprPtr;
+using ringdb::agca::Term;
+using ringdb::ring::Update;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+
+// Hand-rolled *unfactorized* maintenance: materializes the full second-
+// order delta table u[c,d] = (sum_a R(a,c)) * (sum_f T(d,f)*f) alongside
+// the two linear sub-aggregates used to refresh it.
+class UnfactorizedDelta {
+ public:
+  // +R(a, b): m1[b] += a; u[b, d] += a * m2[d] for ALL d.
+  void OnR(const Value& a, const Value& b, bool insert) {
+    Numeric delta = insert ? *a.ToNumeric() : -*a.ToNumeric();
+    m1_[b] += delta;
+    for (const auto& [d, v] : m2_) {
+      u_[{b, d}] += delta * v;
+      ++ops_;
+    }
+  }
+  // +T(d, f): m2[d] += f; u[c, d] += m1[c] * f for ALL c.
+  void OnT(const Value& d, const Value& f, bool insert) {
+    Numeric delta = insert ? *f.ToNumeric() : -*f.ToNumeric();
+    m2_[d] += delta;
+    for (const auto& [c, v] : m1_) {
+      u_[{c, d}] += v * delta;
+      ++ops_;
+    }
+  }
+  // ±S(c, d): Q ±= u[c, d] — the O(1) part.
+  void OnS(const Value& c, const Value& d, bool insert) {
+    auto it = u_.find({c, d});
+    Numeric delta = it == u_.end() ? ringdb::kZero : it->second;
+    q_ += insert ? delta : -delta;
+    ++ops_;
+  }
+
+  size_t DeltaTableEntries() const { return u_.size(); }
+  uint64_t ops() const { return ops_; }
+  Numeric q() const { return q_; }
+  Numeric UAt(const Value& c, const Value& d) const {
+    auto it = u_.find({c, d});
+    return it == u_.end() ? ringdb::kZero : it->second;
+  }
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<Value, Value>& p) const noexcept {
+      return ringdb::HashCombine(p.first.Hash(), p.second.Hash());
+    }
+  };
+  std::unordered_map<Value, Numeric> m1_, m2_;
+  std::unordered_map<std::pair<Value, Value>, Numeric, PairHash> u_;
+  Numeric q_ = ringdb::kZero;
+  uint64_t ops_ = 0;
+};
+
+struct Row {
+  int64_t adom;
+  double factored_us;
+  size_t factored_entries;
+  double unfactored_us;
+  size_t unfactored_entries;
+  bool deltas_agree;
+};
+
+Row RunOne(int64_t adom, int updates) {
+  ringdb::ring::Catalog catalog;
+  catalog.AddRelation(S("R"), {S("A"), S("B")});
+  catalog.AddRelation(S("Sx"), {S("C"), S("D")});
+  catalog.AddRelation(S("T"), {S("E"), S("F")});
+  Symbol a = S("a"), b = S("b"), d = S("d"), f = S("f");
+  ExprPtr body = Expr::Mul({Expr::Relation(S("R"), {Term(a), Term(b)}),
+                            Expr::Relation(S("Sx"), {Term(b), Term(d)}),
+                            Expr::Relation(S("T"), {Term(d), Term(f)}),
+                            Expr::Var(a), Expr::Var(f)});
+  auto engine = ringdb::runtime::Engine::Create(catalog, {}, body);
+  UnfactorizedDelta unfactored;
+
+  // Pre-generate one update stream used for both systems.
+  Rng rng(9000 + static_cast<uint64_t>(adom));
+  struct Ev {
+    int rel;  // 0=R, 1=S, 2=T
+    Value x, y;
+    bool insert;
+  };
+  std::vector<Ev> events;
+  events.reserve(static_cast<size_t>(updates));
+  for (int i = 0; i < updates; ++i) {
+    Ev e;
+    e.rel = static_cast<int>(rng.Below(3));
+    e.x = Value(rng.Range(0, adom - 1));
+    e.y = Value(rng.Range(0, adom - 1));
+    e.insert = true;
+    events.push_back(e);
+  }
+
+  Row row;
+  row.adom = adom;
+  {
+    auto start = std::chrono::steady_clock::now();
+    for (const Ev& e : events) {
+      Symbol rel = e.rel == 0 ? S("R") : (e.rel == 1 ? S("Sx") : S("T"));
+      (void)engine->Insert(rel, {e.x, e.y});
+    }
+    row.factored_us =
+        1e6 *
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count() /
+        updates;
+    size_t entries = 0;
+    for (size_t v = 0; v < engine->program().views.size(); ++v) {
+      entries += engine->executor().view(static_cast<int>(v)).size();
+    }
+    row.factored_entries = entries;
+  }
+  {
+    auto start = std::chrono::steady_clock::now();
+    for (const Ev& e : events) {
+      if (e.rel == 0) {
+        unfactored.OnR(e.x, e.y, e.insert);
+      } else if (e.rel == 1) {
+        unfactored.OnS(e.x, e.y, e.insert);
+      } else {
+        unfactored.OnT(e.x, e.y, e.insert);
+      }
+    }
+    row.unfactored_us =
+        1e6 *
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count() /
+        updates;
+    row.unfactored_entries = unfactored.DeltaTableEntries();
+  }
+
+  // Cross-check: the factorized lookup (dQ)1(c) * (dQ)2(d) must equal the
+  // materialized u[c, d] on random probes. The two unary degree-1 views
+  // are told apart by the relation they aggregate.
+  int m_r = -1, m_t = -1;
+  for (const auto& v : engine->program().views) {
+    if (v.degree != 1 || v.key_vars.size() != 1) continue;
+    auto rels = ringdb::agca::RelationsIn(*v.definition);
+    if (rels.contains(S("R"))) m_r = v.id;
+    if (rels.contains(S("T"))) m_t = v.id;
+  }
+  row.deltas_agree = (m_r >= 0 && m_t >= 0);
+  Rng probe_rng(1);
+  for (int i = 0; i < 64 && row.deltas_agree; ++i) {
+    Value c(probe_rng.Range(0, adom - 1)), d(probe_rng.Range(0, adom - 1));
+    Numeric factored = engine->executor().view(m_r).At({c}) *
+                       engine->executor().view(m_t).At({d});
+    row.deltas_agree = (factored == unfactored.UAt(c, d));
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Example 1.3 — factorized (two linear views) vs unfactorized "
+      "(materialized quadratic DeltaQ(c,d))\nper-update latency and view "
+      "entries; both maintain identical Q\n\n");
+  ringdb::TablePrinter table({"adom", "factored us/upd", "factored entries",
+                              "unfactored us/upd", "unfactored entries",
+                              "dQ_S agree?"});
+  char buf[64];
+  for (int64_t adom : {64, 128, 256, 512, 1024}) {
+    Row row = RunOne(adom, 6000);
+    std::snprintf(buf, sizeof(buf), "%.3f", row.factored_us);
+    std::string f_us = buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", row.unfactored_us);
+    std::string u_us = buf;
+    table.AddRow({std::to_string(row.adom), f_us,
+                  std::to_string(row.factored_entries), u_us,
+                  std::to_string(row.unfactored_entries),
+                  row.deltas_agree ? "yes" : "NO!"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nexpected shape: factored columns flat/linear in adom; "
+      "unfactored entries ~quadratic, latency growing with adom.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// E1 — regenerates Figure 1 of the paper: the seven memoized values for
+// f(x) = x² under U = {+1, -1}, for x = -2 .. 4, maintained by recursive
+// delta memoization (additions only after initialization).
+//
+// Expected output (paper, Figure 1):
+//   x    f(x)  Δf(x,-1) Δf(x,+1)  Δ²(-1,-1) Δ²(-1,+1) Δ²(+1,-1) Δ²(+1,+1)
+//   -2   4     5         -3        2         -2        -2        2
+//   ...
+//   4    16    -7        9         2         -2        -2        2
+
+#include <cstdio>
+
+#include "algebra/memoizer.h"
+#include "util/table_printer.h"
+
+int main() {
+  using Memo = ringdb::algebra::RecursiveMemoizer<int64_t, int64_t, int64_t>;
+  // Update index 0 is +1, index 1 is -1 (matching the paper's columns,
+  // which list -1 before +1).
+  Memo memo([](const int64_t& x) { return x * x; },
+            [](const int64_t& x, const int64_t& u) { return x + u; },
+            {+1, -1}, /*depth=*/3, /*initial=*/-2);
+
+  std::printf(
+      "Figure 1: recursive memoization of deltas for f(x) = x^2\n"
+      "(7 memoized values per row; rows advance by ApplyUpdate(+1), "
+      "never re-evaluating f)\n\n");
+  ringdb::TablePrinter table({"x", "f(x)", "df(x,-1)", "df(x,+1)",
+                              "d2f(x,-1,-1)", "d2f(x,-1,+1)",
+                              "d2f(x,+1,-1)", "d2f(x,+1,+1)"});
+  auto cell = [](int64_t v) { return std::to_string(v); };
+  for (int64_t x = -2; x <= 4; ++x) {
+    table.AddRow({cell(x), cell(memo.Current()), cell(memo.DeltaAt({1})),
+                  cell(memo.DeltaAt({0})), cell(memo.DeltaAt({1, 1})),
+                  cell(memo.DeltaAt({1, 0})), cell(memo.DeltaAt({0, 1})),
+                  cell(memo.DeltaAt({0, 0}))});
+    if (x < 4) memo.ApplyUpdate(0);
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nadditions performed for the 6 row advances: %zu "
+      "(3 per update: levels 0 and 1; level 2 is constant)\n",
+      memo.AdditionsPerformed());
+  return 0;
+}

@@ -1,0 +1,114 @@
+// E4 — the ring of databases: prints the Example 3.2 tables (S + T and
+// R * (S + T) over schema-polymorphic gmrs), then runs micro-benchmarks
+// of the ring operations (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ring/gmr.h"
+#include "ring/tuple.h"
+#include "util/random.h"
+
+namespace {
+
+using ringdb::Numeric;
+using ringdb::Rng;
+using ringdb::Symbol;
+using ringdb::Value;
+using ringdb::ring::Gmr;
+using ringdb::ring::Tuple;
+
+Symbol A() { return Symbol::Intern("A"); }
+Symbol B() { return Symbol::Intern("B"); }
+Symbol C() { return Symbol::Intern("C"); }
+
+void PrintExample32() {
+  // Symbolic multiplicities r1, r2, s, t1, t2 as distinct primes.
+  Gmr r, s, t;
+  r.Add(Tuple{{A(), Value("a1")}}, Numeric(2));
+  r.Add(Tuple{{A(), Value("a2")}, {B(), Value("b")}}, Numeric(3));
+  s.Add(Tuple{{C(), Value("c")}}, Numeric(5));
+  t.Add(Tuple{{B(), Value("c")}}, Numeric(7));
+  t.Add(Tuple{{B(), Value("b")}, {C(), Value("c")}}, Numeric(11));
+
+  std::printf("Example 3.2 (r1=2, r2=3, s=5, t1=7, t2=11):\n\n");
+  std::printf("R          = %s\n", r.ToString().c_str());
+  std::printf("S          = %s\n", s.ToString().c_str());
+  std::printf("T          = %s\n", t.ToString().c_str());
+  std::printf("S + T      = %s\n", (s + t).ToString().c_str());
+  std::printf("R * (S+T)  = %s\n", (r * (s + t)).ToString().c_str());
+  std::printf("R*S + R*T  = %s   (distributivity)\n\n",
+              (r * s + r * t).ToString().c_str());
+}
+
+Gmr RandomRelation(size_t n, uint64_t seed, Symbol col_a, Symbol col_b) {
+  Rng rng(seed);
+  Gmr g;
+  for (size_t i = 0; i < n; ++i) {
+    g.Add(Tuple{{col_a, Value(rng.Range(0, static_cast<int64_t>(n)))},
+                {col_b, Value(rng.Range(0, 64))}},
+          ringdb::kOne);
+  }
+  return g;
+}
+
+void BM_GmrAdd(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Gmr x = RandomRelation(n, 1, A(), B());
+  Gmr y = RandomRelation(n, 2, A(), B());
+  for (auto _ : state) {
+    Gmr z = x + y;
+    benchmark::DoNotOptimize(z);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_GmrAdd)->Range(64, 4096);
+
+void BM_GmrJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Gmr x = RandomRelation(n, 1, A(), B());
+  Gmr y = RandomRelation(n, 2, B(), C());
+  for (auto _ : state) {
+    Gmr z = x * y;
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_GmrJoin)->Range(64, 512);
+
+void BM_GmrNegate(benchmark::State& state) {
+  Gmr x = RandomRelation(static_cast<size_t>(state.range(0)), 1, A(), B());
+  for (auto _ : state) {
+    Gmr z = -x;
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_GmrNegate)->Range(64, 4096);
+
+void BM_TupleJoin(benchmark::State& state) {
+  Tuple x{{A(), Value(1)}, {B(), Value(2)}};
+  Tuple y{{B(), Value(2)}, {C(), Value(3)}};
+  for (auto _ : state) {
+    auto z = Tuple::Join(x, y);
+    benchmark::DoNotOptimize(z);
+  }
+}
+BENCHMARK(BM_TupleJoin);
+
+void BM_TupleHash(benchmark::State& state) {
+  Tuple x{{A(), Value(1)}, {B(), Value("key")}, {C(), Value(2.5)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.Hash());
+  }
+}
+BENCHMARK(BM_TupleHash);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintExample32();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Ablation (§1.2): the verbatim §1.1 delta tower (memoize Delta^j over
+// j-tuples of updates) versus the factorized view hierarchy, on the
+// Example 1.2 self-join count. Both are *recursive* IVM — the difference
+// is the representation of the deltas. The paper's motivation for the
+// compiler is precisely that the tower's memo "may become large ...
+// [which] defeats the practical purpose"; this bench quantifies it:
+// the tower stores Theta(|U|^(k-1)) values and performs Theta(|U|)
+// additions per update, while the factorized hierarchy stores O(adom)
+// values and performs O(1) operations.
+
+#include <chrono>
+#include <cstdio>
+
+#include "agca/ast.h"
+#include "baseline/delta_tower.h"
+#include "runtime/engine.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using ringdb::Numeric;
+using ringdb::Rng;
+using ringdb::Symbol;
+using ringdb::Value;
+using ringdb::agca::CmpOp;
+using ringdb::agca::Expr;
+using ringdb::agca::ExprPtr;
+using ringdb::agca::Term;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+
+struct Row {
+  int64_t adom;
+  double tower_us;
+  size_t tower_values;
+  double engine_us;
+  size_t engine_values;
+  bool agree;
+};
+
+Row RunOne(int64_t adom, int updates) {
+  ringdb::ring::Catalog catalog;
+  Symbol r = S("Rt");
+  catalog.AddRelation(r, {S("A")});
+  ExprPtr body = Expr::Mul({Expr::Relation(r, {Term(S("x"))}),
+                            Expr::Relation(r, {Term(S("y"))}),
+                            Expr::Cmp(CmpOp::kEq, Expr::Var(S("x")),
+                                      Expr::Var(S("y")))});
+
+  ringdb::baseline::DeltaTowerIvm tower(catalog, body);
+  auto engine = ringdb::runtime::Engine::Create(catalog, {}, body);
+
+  Rng rng(adom);
+  std::vector<ringdb::ring::Update> stream;
+  for (int i = 0; i < updates; ++i) {
+    stream.push_back(ringdb::ring::Update::Insert(
+        r, {Value(rng.Range(0, adom - 1))}));
+  }
+
+  Row row;
+  row.adom = adom;
+  {
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& u : stream) (void)tower.Apply(u);
+    row.tower_us = 1e6 *
+                   std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count() /
+                   updates;
+    row.tower_values = tower.MemoizedValues();
+  }
+  {
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& u : stream) (void)engine->Apply(u);
+    row.engine_us = 1e6 *
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count() /
+                    updates;
+    size_t n = 0;
+    for (size_t v = 0; v < engine->program().views.size(); ++v) {
+      n += engine->executor().view(static_cast<int>(v)).size();
+    }
+    row.engine_values = n;
+  }
+  row.agree = (tower.ResultScalar() == engine->ResultScalar());
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ablation — §1.1 delta tower (unfactorized Delta^j memo tables) vs\n"
+      "the factorized view hierarchy, Example 1.2 query, insert stream\n\n");
+  ringdb::TablePrinter table({"adom", "tower us/upd", "tower memo values",
+                              "hierarchy us/upd", "hierarchy entries",
+                              "Q agree?"});
+  for (int64_t adom : {8, 16, 32, 64, 128}) {
+    Row row = RunOne(adom, 2000);
+    char a[32], b[32];
+    std::snprintf(a, sizeof(a), "%.2f", row.tower_us);
+    std::snprintf(b, sizeof(b), "%.3f", row.engine_us);
+    table.AddRow({std::to_string(row.adom), a,
+                  std::to_string(row.tower_values), b,
+                  std::to_string(row.engine_values),
+                  row.agree ? "yes" : "NO!"});
+  }
+  std::printf("%s", table.Render().c_str());
+  std::printf(
+      "\nexpected shape: tower memo ~ (2*adom)^2 values and per-update "
+      "work ~ 2*adom additions;\nhierarchy entries ~ adom with constant "
+      "per-update work. Both compute identical Q.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: declare a schema, write a SQL aggregate query, stream
+// single-tuple updates, and read the incrementally maintained result.
+//
+//   $ ./examples/quickstart
+//
+// Under the hood the query is translated to AGCA (§4), compiled into a
+// hierarchy of materialized views by recursive delta processing (§1.1,
+// §7), and maintained with a constant number of arithmetic operations per
+// update — no joins and no aggregation are ever executed at update time.
+
+#include <cstdio>
+
+#include "ring/database.h"
+#include "runtime/engine.h"
+#include "sql/translate.h"
+
+using ringdb::Symbol;
+using ringdb::Value;
+
+int main() {
+  // 1. Schema: orders(okey, ckey), lineitem(okey, price, qty).
+  ringdb::ring::Catalog catalog;
+  Symbol orders = Symbol::Intern("orders");
+  Symbol lineitem = Symbol::Intern("lineitem");
+  catalog.AddRelation(orders, {Symbol::Intern("okey"),
+                               Symbol::Intern("ckey")});
+  catalog.AddRelation(lineitem,
+                      {Symbol::Intern("okey"), Symbol::Intern("price"),
+                       Symbol::Intern("qty")});
+
+  // 2. Query: revenue per customer, maintained incrementally.
+  auto query = ringdb::sql::TranslateSql(
+      catalog,
+      "SELECT o.ckey, SUM(l.price * l.qty) FROM orders o, lineitem l "
+      "WHERE o.okey = l.okey GROUP BY o.ckey");
+  if (!query.ok()) {
+    std::fprintf(stderr, "translate: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Compile to a trigger program over a view hierarchy.
+  auto engine = ringdb::runtime::Engine::Create(catalog, query->group_vars,
+                                                query->body);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "compile: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled view hierarchy:\n%s\n",
+              engine->program().ToString().c_str());
+
+  // 4. Stream updates; the result is always fresh.
+  (void)engine->Insert(orders, {Value(1001), Value(7)});
+  (void)engine->Insert(lineitem, {Value(1001), Value(10), Value(3)});
+  (void)engine->Insert(lineitem, {Value(1001), Value(4), Value(5)});
+  (void)engine->Insert(orders, {Value(1002), Value(9)});
+  (void)engine->Insert(lineitem, {Value(1002), Value(100), Value(1)});
+  std::printf("revenue[customer 7] = %s\n",
+              engine->ResultAt({Value(7)}).ToString().c_str());
+  std::printf("revenue[customer 9] = %s\n",
+              engine->ResultAt({Value(9)}).ToString().c_str());
+
+  // Deletions are just additive inverses in the ring of databases (§3).
+  (void)engine->Delete(lineitem, {Value(1001), Value(4), Value(5)});
+  std::printf("after retraction, revenue[customer 7] = %s\n",
+              engine->ResultAt({Value(7)}).ToString().c_str());
+
+  const auto& stats = engine->executor().stats();
+  std::printf(
+      "\n%llu updates, %llu view-entry increments, %llu arithmetic ops "
+      "(%.1f ops/update — constant, per Theorem 7.1)\n",
+      static_cast<unsigned long long>(stats.updates),
+      static_cast<unsigned long long>(stats.entries_touched),
+      static_cast<unsigned long long>(stats.arithmetic_ops),
+      static_cast<double>(stats.arithmetic_ops) /
+          static_cast<double>(stats.updates));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Sales analytics over a high-rate update stream — the Example 1.3
+// scenario at scale. Maintains SUM(A*F) over a three-way chain join under
+// a mixed insert/delete stream and reports throughput plus the factorized
+// view hierarchy that makes each update O(1).
+
+#include <chrono>
+#include <cstdio>
+
+#include "agca/ast.h"
+#include "ring/database.h"
+#include "runtime/engine.h"
+#include "util/random.h"
+#include "workload/stream.h"
+
+using ringdb::Symbol;
+using ringdb::Value;
+using ringdb::agca::Expr;
+using ringdb::agca::Term;
+
+int main() {
+  // R(A,B) |><| S(B=C, D) |><| T(D=E, F), aggregate SUM(A*F) — written
+  // directly in AGCA with shared variables for the join equalities.
+  ringdb::ring::Catalog catalog;
+  Symbol r = Symbol::Intern("R"), s = Symbol::Intern("S"),
+         t = Symbol::Intern("T");
+  catalog.AddRelation(r, {Symbol::Intern("A"), Symbol::Intern("B")});
+  catalog.AddRelation(s, {Symbol::Intern("C"), Symbol::Intern("D")});
+  catalog.AddRelation(t, {Symbol::Intern("E"), Symbol::Intern("F")});
+
+  Symbol a = Symbol::Intern("a"), b = Symbol::Intern("b"),
+         d = Symbol::Intern("d"), f = Symbol::Intern("f");
+  auto body = Expr::Mul({Expr::Relation(r, {Term(a), Term(b)}),
+                         Expr::Relation(s, {Term(b), Term(d)}),
+                         Expr::Relation(t, {Term(d), Term(f)}),
+                         Expr::Var(a), Expr::Var(f)});
+
+  auto engine = ringdb::runtime::Engine::Create(catalog, {}, body);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("factorized hierarchy (Example 1.3):\n%s\n",
+              engine->program().ToString().c_str());
+
+  ringdb::workload::StreamOptions options;
+  options.seed = 42;
+  options.domain_size = 512;
+  options.delete_fraction = 0.15;
+  options.zipf_s = 1.05;
+  std::vector<ringdb::workload::RelationStream> streams;
+  streams.emplace_back(catalog, r, options);
+  streams.emplace_back(catalog, s, options);
+  streams.emplace_back(catalog, t, options);
+  ringdb::workload::RoundRobinStream stream(std::move(streams));
+
+  constexpr int kUpdates = 200000;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kUpdates; ++i) {
+    auto status = engine->Apply(stream.Next());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  auto elapsed = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+
+  std::printf("maintained SUM(A*F) = %s after %d updates\n",
+              engine->ResultScalar().ToString().c_str(), kUpdates);
+  std::printf("throughput: %.0f updates/s (%.2f us/update)\n",
+              kUpdates / elapsed, 1e6 * elapsed / kUpdates);
+  const auto& st = engine->executor().stats();
+  std::printf("arithmetic ops per update: %.2f (constant in |DB|)\n",
+              static_cast<double>(st.arithmetic_ops) / st.updates);
+  return 0;
+}

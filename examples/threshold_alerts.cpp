@@ -1,0 +1,79 @@
+// Threshold analytics with inequality joins: for each alert rule
+// (a price threshold), maintain the total quantity of trades priced
+// strictly above it. Inequality joins are where naive delta
+// materialization explodes; the engine maintains them with lazily
+// initialized per-threshold slices (paper footnote 2).
+
+#include <cstdio>
+
+#include "agca/ast.h"
+#include "ring/database.h"
+#include "runtime/engine.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+using ringdb::Symbol;
+using ringdb::Value;
+using ringdb::agca::CmpOp;
+using ringdb::agca::Expr;
+using ringdb::agca::Term;
+
+int main() {
+  ringdb::ring::Catalog catalog;
+  Symbol trades = Symbol::Intern("trades");   // (price, qty)
+  Symbol rules = Symbol::Intern("rules");     // (rule_id, threshold)
+  catalog.AddRelation(trades,
+                      {Symbol::Intern("price"), Symbol::Intern("qty")});
+  catalog.AddRelation(rules,
+                      {Symbol::Intern("rule"), Symbol::Intern("limit")});
+
+  // Per rule: SUM(qty) over trades with price > limit.
+  Symbol rule = Symbol::Intern("r"), limit = Symbol::Intern("lim"),
+         price = Symbol::Intern("p"), qty = Symbol::Intern("q");
+  auto body = Expr::Mul({Expr::Relation(rules, {Term(rule), Term(limit)}),
+                         Expr::Relation(trades, {Term(price), Term(qty)}),
+                         Expr::Cmp(CmpOp::kGt, Expr::Var(price),
+                                   Expr::Var(limit)),
+                         Expr::Var(qty)});
+  auto engine = ringdb::runtime::Engine::Create(catalog, {rule}, body);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // Two alert rules, then a burst of trades, then a third rule added
+  // *after* the trades — its aggregate is initialized on first touch.
+  (void)engine->Insert(rules, {Value(1), Value(100)});
+  (void)engine->Insert(rules, {Value(2), Value(250)});
+  ringdb::Rng rng(7);
+  int64_t above_100 = 0, above_250 = 0, above_400 = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t p = rng.Range(1, 500), q = rng.Range(1, 10);
+    (void)engine->Insert(trades, {Value(p), Value(q)});
+    if (p > 100) above_100 += q;
+    if (p > 250) above_250 += q;
+    if (p > 400) above_400 += q;
+  }
+  (void)engine->Insert(rules, {Value(3), Value(400)});  // late rule
+
+  ringdb::TablePrinter table({"rule", "limit", "qty above limit",
+                              "expected"});
+  table.AddRow({"1", "100",
+                engine->ResultAt({Value(1)}).ToString(),
+                std::to_string(above_100)});
+  table.AddRow({"2", "250",
+                engine->ResultAt({Value(2)}).ToString(),
+                std::to_string(above_250)});
+  table.AddRow({"3", "400",
+                engine->ResultAt({Value(3)}).ToString(),
+                std::to_string(above_400)});
+  std::printf("%s", table.Render().c_str());
+
+  const auto& stats = engine->executor().stats();
+  std::printf(
+      "\n%llu updates; %llu slice initializations (one per distinct "
+      "threshold/price probe, not per update)\n",
+      static_cast<unsigned long long>(stats.updates),
+      static_cast<unsigned long long>(stats.init_evaluations));
+  return 0;
+}

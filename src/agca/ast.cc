@@ -1,0 +1,622 @@
+#include "agca/ast.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace ringdb {
+namespace agca {
+
+bool IsVar(const Term& t) { return std::holds_alternative<Symbol>(t); }
+
+Symbol TermVar(const Term& t) {
+  RINGDB_CHECK(IsVar(t));
+  return std::get<Symbol>(t);
+}
+
+const Value& TermValue(const Term& t) {
+  RINGDB_CHECK(!IsVar(t));
+  return std::get<Value>(t);
+}
+
+std::string TermToString(const Term& t) {
+  if (IsVar(t)) return std::get<Symbol>(t).str();
+  const Value& v = std::get<Value>(t);
+  if (v.is_string()) return "'" + v.ToString() + "'";
+  return v.ToString();
+}
+
+bool TermEquals(const Term& a, const Term& b) {
+  if (IsVar(a) != IsVar(b)) return false;
+  if (IsVar(a)) return std::get<Symbol>(a) == std::get<Symbol>(b);
+  return std::get<Value>(a) == std::get<Value>(b);
+}
+
+CmpOp Complement(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return CmpOp::kNe;
+    case CmpOp::kNe: return CmpOp::kEq;
+    case CmpOp::kLt: return CmpOp::kGe;
+    case CmpOp::kLe: return CmpOp::kGt;
+    case CmpOp::kGt: return CmpOp::kLe;
+    case CmpOp::kGe: return CmpOp::kLt;
+  }
+  RINGDB_CHECK(false);
+  return CmpOp::kEq;
+}
+
+std::string CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  RINGDB_CHECK(false);
+  return "?";
+}
+
+ExprPtr Expr::Const(Numeric c) {
+  auto e = New();
+  e->kind_ = Kind::kConst;
+  e->constant_ = c;
+  return e;
+}
+
+ExprPtr Expr::ValueConst(Value v) {
+  auto e = New();
+  e->kind_ = Kind::kValueConst;
+  e->value_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Var(Symbol x) {
+  auto e = New();
+  e->kind_ = Kind::kVar;
+  e->symbol_ = x;
+  return e;
+}
+
+ExprPtr Expr::Relation(Symbol name, std::vector<Term> args) {
+  auto e = New();
+  e->kind_ = Kind::kRelation;
+  e->symbol_ = name;
+  e->args_ = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::Add(std::vector<ExprPtr> children) {
+  std::vector<ExprPtr> flat;
+  Numeric const_sum = kZero;
+  for (auto& c : children) {
+    RINGDB_CHECK(c != nullptr);
+    if (c->kind() == Kind::kAdd) {
+      for (const auto& g : c->children()) {
+        if (g->kind() == Kind::kConst) {
+          const_sum += g->constant();
+        } else {
+          flat.push_back(g);
+        }
+      }
+    } else if (c->kind() == Kind::kConst) {
+      const_sum += c->constant();
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (!const_sum.IsZero()) flat.push_back(Const(const_sum));
+  if (flat.empty()) return Const(kZero);
+  if (flat.size() == 1) return flat[0];
+  auto e = New();
+  e->kind_ = Kind::kAdd;
+  e->children_ = std::move(flat);
+  return e;
+}
+
+ExprPtr Expr::Mul(std::vector<ExprPtr> children) {
+  std::vector<ExprPtr> flat;
+  Numeric const_prod = kOne;
+  for (auto& c : children) {
+    RINGDB_CHECK(c != nullptr);
+    if (c->kind() == Kind::kMul) {
+      for (const auto& g : c->children()) {
+        if (g->kind() == Kind::kConst) {
+          const_prod *= g->constant();
+        } else {
+          flat.push_back(g);
+        }
+      }
+    } else if (c->kind() == Kind::kConst) {
+      const_prod *= c->constant();
+    } else {
+      flat.push_back(std::move(c));
+    }
+  }
+  if (const_prod.IsZero()) return Const(kZero);
+  if (!const_prod.IsOne()) {
+    // Constants commute with everything (scalar action); keep them leading
+    // so printed monomials read like "3 * R(x) * S(y)".
+    flat.insert(flat.begin(), Const(const_prod));
+  }
+  if (flat.empty()) return Const(kOne);
+  if (flat.size() == 1) return flat[0];
+  auto e = New();
+  e->kind_ = Kind::kMul;
+  e->children_ = std::move(flat);
+  return e;
+}
+
+ExprPtr Expr::Neg(ExprPtr e) {
+  return Mul({Const(Numeric(int64_t{-1})), std::move(e)});
+}
+
+ExprPtr Expr::Sum(std::vector<Symbol> group_vars, ExprPtr child) {
+  RINGDB_CHECK(child != nullptr);
+  // Sum_[g](0) is the zero gmr.
+  if (child->IsZero()) return child;
+  auto e = New();
+  e->kind_ = Kind::kSum;
+  e->group_vars_ = std::move(group_vars);
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  RINGDB_CHECK(lhs != nullptr);
+  RINGDB_CHECK(rhs != nullptr);
+  auto e = New();
+  e->kind_ = Kind::kCmp;
+  e->cmp_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Assign(Symbol var, ExprPtr value) {
+  RINGDB_CHECK(value != nullptr);
+  auto e = New();
+  e->kind_ = Kind::kAssign;
+  e->symbol_ = var;
+  e->children_ = {std::move(value)};
+  return e;
+}
+
+Numeric Expr::constant() const {
+  RINGDB_CHECK(kind_ == Kind::kConst);
+  return constant_;
+}
+
+const Value& Expr::value_const() const {
+  RINGDB_CHECK(kind_ == Kind::kValueConst);
+  return value_;
+}
+
+Symbol Expr::var() const {
+  RINGDB_CHECK(kind_ == Kind::kVar || kind_ == Kind::kAssign);
+  return symbol_;
+}
+
+Symbol Expr::relation() const {
+  RINGDB_CHECK(kind_ == Kind::kRelation);
+  return symbol_;
+}
+
+const std::vector<Term>& Expr::args() const {
+  RINGDB_CHECK(kind_ == Kind::kRelation);
+  return args_;
+}
+
+const std::vector<ExprPtr>& Expr::children() const {
+  RINGDB_CHECK(kind_ == Kind::kAdd || kind_ == Kind::kMul);
+  return children_;
+}
+
+const ExprPtr& Expr::child() const {
+  RINGDB_CHECK(kind_ == Kind::kSum || kind_ == Kind::kAssign);
+  return children_[0];
+}
+
+const std::vector<Symbol>& Expr::group_vars() const {
+  RINGDB_CHECK(kind_ == Kind::kSum);
+  return group_vars_;
+}
+
+CmpOp Expr::cmp_op() const {
+  RINGDB_CHECK(kind_ == Kind::kCmp);
+  return cmp_op_;
+}
+
+const ExprPtr& Expr::lhs() const {
+  RINGDB_CHECK(kind_ == Kind::kCmp);
+  return children_[0];
+}
+
+const ExprPtr& Expr::rhs() const {
+  RINGDB_CHECK(kind_ == Kind::kCmp);
+  return children_[1];
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case Kind::kConst:
+      out << constant_.ToString();
+      break;
+    case Kind::kValueConst:
+      out << (value_.is_string() ? "'" + value_.ToString() + "'"
+                                 : value_.ToString());
+      break;
+    case Kind::kVar:
+      out << symbol_.str();
+      break;
+    case Kind::kRelation: {
+      out << symbol_.str() << '(';
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i) out << ", ";
+        out << TermToString(args_[i]);
+      }
+      out << ')';
+      break;
+    }
+    case Kind::kAdd: {
+      out << '(';
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) out << " + ";
+        out << children_[i]->ToString();
+      }
+      out << ')';
+      break;
+    }
+    case Kind::kMul: {
+      out << '(';
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) out << " * ";
+        out << children_[i]->ToString();
+      }
+      out << ')';
+      break;
+    }
+    case Kind::kSum: {
+      out << "Sum";
+      if (!group_vars_.empty()) {
+        out << "_[";
+        for (size_t i = 0; i < group_vars_.size(); ++i) {
+          if (i) out << ", ";
+          out << group_vars_[i].str();
+        }
+        out << ']';
+      }
+      out << '(' << children_[0]->ToString() << ')';
+      break;
+    }
+    case Kind::kCmp:
+      out << '(' << children_[0]->ToString() << ' '
+          << CmpOpToString(cmp_op_) << ' ' << children_[1]->ToString() << ')';
+      break;
+    case Kind::kAssign:
+      out << '(' << symbol_.str() << " := " << children_[0]->ToString()
+          << ')';
+      break;
+  }
+  return out.str();
+}
+
+// ---- Variable analyses ----
+
+namespace {
+
+void CollectOutputVars(const Expr& e, std::set<Symbol>* out) {
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kValueConst:
+    case Expr::Kind::kVar:
+    case Expr::Kind::kCmp:
+      break;
+    case Expr::Kind::kAssign:
+      out->insert(e.var());
+      break;
+    case Expr::Kind::kRelation:
+      for (const Term& t : e.args()) {
+        if (IsVar(t)) out->insert(TermVar(t));
+      }
+      break;
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kMul:
+      for (const auto& c : e.children()) CollectOutputVars(*c, out);
+      break;
+    case Expr::Kind::kSum:
+      for (Symbol v : e.group_vars()) out->insert(v);
+      break;
+  }
+}
+
+void CollectRequiredVars(const Expr& e, const std::set<Symbol>& bound,
+                         std::set<Symbol>* req) {
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kValueConst:
+    case Expr::Kind::kRelation:
+      // Relation argument variables that are unbound act as outputs, bound
+      // ones as selections; neither requires an external binding.
+      break;
+    case Expr::Kind::kVar:
+      if (!bound.contains(e.var())) req->insert(e.var());
+      break;
+    case Expr::Kind::kCmp:
+      CollectRequiredVars(*e.lhs(), bound, req);
+      CollectRequiredVars(*e.rhs(), bound, req);
+      break;
+    case Expr::Kind::kAssign:
+      CollectRequiredVars(*e.child(), bound, req);
+      break;
+    case Expr::Kind::kAdd:
+      for (const auto& c : e.children()) CollectRequiredVars(*c, bound, req);
+      break;
+    case Expr::Kind::kMul: {
+      std::set<Symbol> avail = bound;
+      for (const auto& c : e.children()) {
+        CollectRequiredVars(*c, avail, req);
+        std::set<Symbol> outs = OutputVars(*c);
+        avail.insert(outs.begin(), outs.end());
+      }
+      break;
+    }
+    case Expr::Kind::kSum:
+      CollectRequiredVars(*e.child(), bound, req);
+      break;
+  }
+}
+
+void CollectAllVars(const Expr& e, std::set<Symbol>* out) {
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kValueConst:
+      break;
+    case Expr::Kind::kVar:
+      out->insert(e.var());
+      break;
+    case Expr::Kind::kRelation:
+      for (const Term& t : e.args()) {
+        if (IsVar(t)) out->insert(TermVar(t));
+      }
+      break;
+    case Expr::Kind::kCmp:
+      CollectAllVars(*e.lhs(), out);
+      CollectAllVars(*e.rhs(), out);
+      break;
+    case Expr::Kind::kAssign:
+      out->insert(e.var());
+      CollectAllVars(*e.child(), out);
+      break;
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kMul:
+      for (const auto& c : e.children()) CollectAllVars(*c, out);
+      break;
+    case Expr::Kind::kSum:
+      for (Symbol v : e.group_vars()) out->insert(v);
+      CollectAllVars(*e.child(), out);
+      break;
+  }
+}
+
+void CollectRelations(const Expr& e, std::set<Symbol>* out) {
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kValueConst:
+    case Expr::Kind::kVar:
+      break;
+    case Expr::Kind::kRelation:
+      out->insert(e.relation());
+      break;
+    case Expr::Kind::kCmp:
+      CollectRelations(*e.lhs(), out);
+      CollectRelations(*e.rhs(), out);
+      break;
+    case Expr::Kind::kAssign:
+    case Expr::Kind::kSum:
+      CollectRelations(*e.child(), out);
+      break;
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kMul:
+      for (const auto& c : e.children()) CollectRelations(*c, out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::set<Symbol> OutputVars(const Expr& e) {
+  std::set<Symbol> out;
+  CollectOutputVars(e, &out);
+  return out;
+}
+
+std::set<Symbol> RequiredVars(const Expr& e) {
+  std::set<Symbol> req;
+  CollectRequiredVars(e, {}, &req);
+  return req;
+}
+
+std::set<Symbol> AllVars(const Expr& e) {
+  std::set<Symbol> out;
+  CollectAllVars(e, &out);
+  return out;
+}
+
+std::set<Symbol> RelationsIn(const Expr& e) {
+  std::set<Symbol> out;
+  CollectRelations(e, &out);
+  return out;
+}
+
+bool DatabaseFree(const Expr& e) { return RelationsIn(e).empty(); }
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Expr::Kind::kConst:
+      return a.constant() == b.constant() &&
+             a.constant().is_integer() == b.constant().is_integer();
+    case Expr::Kind::kValueConst:
+      return a.value_const() == b.value_const();
+    case Expr::Kind::kVar:
+      return a.var() == b.var();
+    case Expr::Kind::kRelation: {
+      if (a.relation() != b.relation()) return false;
+      if (a.args().size() != b.args().size()) return false;
+      for (size_t i = 0; i < a.args().size(); ++i) {
+        if (!TermEquals(a.args()[i], b.args()[i])) return false;
+      }
+      return true;
+    }
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kMul: {
+      if (a.children().size() != b.children().size()) return false;
+      for (size_t i = 0; i < a.children().size(); ++i) {
+        if (!ExprEquals(*a.children()[i], *b.children()[i])) return false;
+      }
+      return true;
+    }
+    case Expr::Kind::kSum:
+      return a.group_vars() == b.group_vars() &&
+             ExprEquals(*a.child(), *b.child());
+    case Expr::Kind::kCmp:
+      return a.cmp_op() == b.cmp_op() && ExprEquals(*a.lhs(), *b.lhs()) &&
+             ExprEquals(*a.rhs(), *b.rhs());
+    case Expr::Kind::kAssign:
+      return a.var() == b.var() && ExprEquals(*a.child(), *b.child());
+  }
+  return false;
+}
+
+size_t ExprHash(const Expr& e) {
+  size_t h = HashCombine(0x51ed270b, static_cast<size_t>(e.kind()));
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+      h = HashCombine(h, e.constant().Hash());
+      break;
+    case Expr::Kind::kValueConst:
+      h = HashCombine(h, e.value_const().Hash());
+      break;
+    case Expr::Kind::kVar:
+      h = HashCombine(h, std::hash<Symbol>()(e.var()));
+      break;
+    case Expr::Kind::kRelation:
+      h = HashCombine(h, std::hash<Symbol>()(e.relation()));
+      for (const Term& t : e.args()) {
+        h = HashCombine(h, IsVar(t) ? std::hash<Symbol>()(TermVar(t))
+                                    : TermValue(t).Hash());
+      }
+      break;
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kMul:
+      for (const auto& c : e.children()) h = HashCombine(h, ExprHash(*c));
+      break;
+    case Expr::Kind::kSum:
+      for (Symbol v : e.group_vars()) {
+        h = HashCombine(h, std::hash<Symbol>()(v));
+      }
+      h = HashCombine(h, ExprHash(*e.child()));
+      break;
+    case Expr::Kind::kCmp:
+      h = HashCombine(h, static_cast<size_t>(e.cmp_op()));
+      h = HashCombine(h, ExprHash(*e.lhs()));
+      h = HashCombine(h, ExprHash(*e.rhs()));
+      break;
+    case Expr::Kind::kAssign:
+      h = HashCombine(h, std::hash<Symbol>()(e.var()));
+      h = HashCombine(h, ExprHash(*e.child()));
+      break;
+  }
+  return h;
+}
+
+ExprPtr Substitute(const ExprPtr& e,
+                   const std::unordered_map<Symbol, Atom>& subst) {
+  switch (e->kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kValueConst:
+      return e;
+    case Expr::Kind::kVar: {
+      auto it = subst.find(e->var());
+      if (it == subst.end()) return e;
+      if (std::holds_alternative<Symbol>(it->second)) {
+        return Expr::Var(std::get<Symbol>(it->second));
+      }
+      const Value& v = std::get<Value>(it->second);
+      auto num = v.ToNumeric();
+      RINGDB_CHECK(num.ok());  // string constants cannot be scalar terms
+      return Expr::Const(*num);
+    }
+    case Expr::Kind::kRelation: {
+      std::vector<Term> args;
+      args.reserve(e->args().size());
+      for (const Term& t : e->args()) {
+        if (IsVar(t)) {
+          auto it = subst.find(TermVar(t));
+          if (it != subst.end()) {
+            if (std::holds_alternative<Symbol>(it->second)) {
+              args.emplace_back(std::get<Symbol>(it->second));
+            } else {
+              args.emplace_back(std::get<Value>(it->second));
+            }
+            continue;
+          }
+        }
+        args.push_back(t);
+      }
+      return Expr::Relation(e->relation(), std::move(args));
+    }
+    case Expr::Kind::kAdd: {
+      std::vector<ExprPtr> children;
+      for (const auto& c : e->children()) {
+        children.push_back(Substitute(c, subst));
+      }
+      return Expr::Add(std::move(children));
+    }
+    case Expr::Kind::kMul: {
+      std::vector<ExprPtr> children;
+      for (const auto& c : e->children()) {
+        children.push_back(Substitute(c, subst));
+      }
+      return Expr::Mul(std::move(children));
+    }
+    case Expr::Kind::kSum: {
+      std::vector<Symbol> gv;
+      for (Symbol v : e->group_vars()) {
+        auto it = subst.find(v);
+        if (it == subst.end()) {
+          gv.push_back(v);
+        } else {
+          RINGDB_CHECK(std::holds_alternative<Symbol>(it->second));
+          gv.push_back(std::get<Symbol>(it->second));
+        }
+      }
+      return Expr::Sum(std::move(gv), Substitute(e->child(), subst));
+    }
+    case Expr::Kind::kCmp:
+      return Expr::Cmp(e->cmp_op(), Substitute(e->lhs(), subst),
+                       Substitute(e->rhs(), subst));
+    case Expr::Kind::kAssign: {
+      auto it = subst.find(e->var());
+      if (it != subst.end()) {
+        // The target is bound elsewhere: x := t degenerates to the
+        // equality condition x = t (the paper treats the two alike).
+        ExprPtr bound = std::holds_alternative<Symbol>(it->second)
+                            ? Expr::Var(std::get<Symbol>(it->second))
+                            : Expr::ValueConst(std::get<Value>(it->second));
+        return Expr::Cmp(CmpOp::kEq, std::move(bound),
+                         Substitute(e->child(), subst));
+      }
+      return Expr::Assign(e->var(), Substitute(e->child(), subst));
+    }
+  }
+  RINGDB_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace agca
+}  // namespace ringdb

@@ -1,0 +1,175 @@
+// AGCA (AGgregation CAlculus) abstract syntax (§4).
+//
+// Grammar (paper, EBNF):
+//   q ::= q * q | q + q | -q | Sum(q) | c | x | R(~x) | q theta 0 | x := q
+//
+// Representation choices:
+//  * -q is represented as (-1) * q: the ring structure makes negation a
+//    scalar action, so a dedicated node would only complicate rewriting.
+//  * q theta 0 is generalized to the binary sugar l theta r the paper also
+//    uses ("we will also write q theta q' for (q - q') theta 0").
+//  * Sum carries an explicit list of group variables. The paper's Sum(q)
+//    maps each sub-record ~x of the result to the aggregate over its
+//    extensions; in every use the sub-records of interest are the bound
+//    (group-by) variables, so Sum_[vars](q) denotes exactly that slice:
+//    Sum with an empty list is the paper's full aggregate to <>.
+//  * Relation arguments are Terms: either variables or constant values,
+//    so selections can be folded into atoms (needed by the compiler's
+//    parameter substitution).
+//
+// Expr nodes are immutable and shared (ExprPtr = shared_ptr<const Expr>);
+// all rewriting is functional.
+
+#ifndef RINGDB_AGCA_AST_H_
+#define RINGDB_AGCA_AST_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "util/numeric.h"
+#include "util/symbol.h"
+#include "util/value.h"
+
+namespace ringdb {
+namespace agca {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+// A relation-atom argument: a query variable or a constant.
+using Term = std::variant<Symbol, Value>;
+
+bool IsVar(const Term& t);
+Symbol TermVar(const Term& t);
+const Value& TermValue(const Term& t);
+std::string TermToString(const Term& t);
+bool TermEquals(const Term& a, const Term& b);
+
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+// The complement theta-bar of a comparison (used by the general condition
+// delta rule of §6).
+CmpOp Complement(CmpOp op);
+std::string CmpOpToString(CmpOp op);
+
+class Expr {
+ public:
+  enum class Kind {
+    kConst,     // c in A
+    kVar,       // x (value of a bound variable, as a scalar)
+    kRelation,  // R(t1, ..., tk)
+    kAdd,       // q1 + ... + qn        (n >= 2)
+    kMul,       // q1 * ... * qn        (n >= 2, sideways binding l-to-r)
+    kSum,       // Sum_[group_vars](q)
+    kCmp,       // l theta r
+    kAssign,    // x := t
+    kValueConst,  // a raw Value (incl. strings); Cmp/Assign operand only
+  };
+
+  // ---- Factories (lightly normalizing; see notes per function). ----
+
+  static ExprPtr Const(Numeric c);
+  // A raw value leaf, for comparisons against (possibly string) constants,
+  // e.g. the guards produced by deltas of atoms like R(x, 'US'). Not a
+  // valid standalone query (its "multiplicity" is undefined for strings).
+  static ExprPtr ValueConst(Value v);
+  static ExprPtr Var(Symbol x);
+  static ExprPtr Relation(Symbol name, std::vector<Term> args);
+  // Flattens nested sums, folds constants, drops zero terms.
+  static ExprPtr Add(std::vector<ExprPtr> children);
+  // Flattens nested products, folds constants left, annihilates on 0.
+  static ExprPtr Mul(std::vector<ExprPtr> children);
+  // (-1) * e.
+  static ExprPtr Neg(ExprPtr e);
+  static ExprPtr Sum(std::vector<Symbol> group_vars, ExprPtr child);
+  static ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Assign(Symbol var, ExprPtr value);
+
+  Kind kind() const { return kind_; }
+
+  // Payload accessors; calling a mismatched accessor is a checked failure.
+  Numeric constant() const;
+  const Value& value_const() const;          // kValueConst
+  Symbol var() const;                        // kVar, kAssign target
+  Symbol relation() const;                   // kRelation
+  const std::vector<Term>& args() const;     // kRelation
+  const std::vector<ExprPtr>& children() const;  // kAdd, kMul
+  const ExprPtr& child() const;              // kSum, kAssign value
+  const std::vector<Symbol>& group_vars() const;  // kSum
+  CmpOp cmp_op() const;                      // kCmp
+  const ExprPtr& lhs() const;                // kCmp
+  const ExprPtr& rhs() const;                // kCmp
+
+  bool IsConst(Numeric c) const {
+    return kind_ == Kind::kConst && constant_ == c;
+  }
+  bool IsZero() const { return IsConst(kZero); }
+  bool IsOne() const { return IsConst(kOne); }
+
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  // All factories allocate through New and then fill payload fields.
+  static std::shared_ptr<Expr> New() {
+    return std::shared_ptr<Expr>(new Expr());
+  }
+
+  Kind kind_ = Kind::kConst;
+  Numeric constant_ = kZero;
+  Value value_;                    // kValueConst
+  Symbol symbol_;                  // var / relation name / assign target
+  std::vector<Term> args_;
+  std::vector<ExprPtr> children_;  // kAdd/kMul: n-ary; kSum/kAssign: [child];
+                                   // kCmp: [lhs, rhs]
+  std::vector<Symbol> group_vars_;
+  CmpOp cmp_op_ = CmpOp::kEq;
+};
+
+// ---- Variable analyses (§4 range restriction, §5). ----
+
+// Variables the expression *produces* (schema of its result tuples):
+// relation atoms produce their variable arguments, assignments produce
+// their target, Sum produces its group variables.
+std::set<Symbol> OutputVars(const Expr& e);
+
+// Variables that must be bound by the environment before evaluation,
+// accounting for sideways binding passing inside products (a variable
+// produced by an earlier factor is available to later factors).
+std::set<Symbol> RequiredVars(const Expr& e);
+
+// All variables appearing anywhere in the expression.
+std::set<Symbol> AllVars(const Expr& e);
+
+// Names of all relations referenced.
+std::set<Symbol> RelationsIn(const Expr& e);
+
+// True iff no relation atom occurs in e; such e has delta 0 (its value
+// depends on bindings only, not on the database). This is the paper's
+// "simple condition" test when applied to comparison operands.
+bool DatabaseFree(const Expr& e);
+
+// Structural equality / hashing (exact, not modulo renaming; for
+// renaming-insensitive comparison see canonical.h).
+bool ExprEquals(const Expr& a, const Expr& b);
+size_t ExprHash(const Expr& e);
+
+// Substitution target: a variable or a constant value.
+using Atom = std::variant<Symbol, Value>;
+
+// Capture-avoiding-enough substitution for the compiler's use: replaces
+// free occurrences of the mapped variables by the given atoms, in Var
+// nodes, relation arguments, assignment targets are NOT remapped (CHECK),
+// and Sum group variables are remapped only var-to-var.
+ExprPtr Substitute(const ExprPtr& e,
+                   const std::unordered_map<Symbol, Atom>& subst);
+
+}  // namespace agca
+}  // namespace ringdb
+
+#endif  // RINGDB_AGCA_AST_H_

@@ -1,0 +1,125 @@
+#include "agca/canonical.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace agca {
+
+namespace {
+
+class Renderer {
+ public:
+  std::string NameOf(Symbol v) {
+    auto [it, inserted] = ids_.emplace(v, ids_.size());
+    (void)inserted;
+    return "$" + std::to_string(it->second);
+  }
+
+  bool Seen(Symbol v) const { return ids_.contains(v); }
+
+  std::string RenderValue(const Value& v) {
+    // Kind-tagged so int 3, double 3.0 and string "3" stay distinct.
+    switch (v.kind()) {
+      case Value::Kind::kInt: return "i" + v.ToString();
+      case Value::Kind::kDouble: return "d" + v.ToString();
+      case Value::Kind::kString: return "s'" + v.ToString() + "'";
+    }
+    return "?";
+  }
+
+  std::string Render(const Expr& e) {
+    std::ostringstream out;
+    switch (e.kind()) {
+      case Expr::Kind::kConst:
+        out << (e.constant().is_integer() ? "i" : "d")
+            << e.constant().ToString();
+        break;
+      case Expr::Kind::kValueConst:
+        out << RenderValue(e.value_const());
+        break;
+      case Expr::Kind::kVar:
+        out << NameOf(e.var());
+        break;
+      case Expr::Kind::kRelation: {
+        out << e.relation().str() << '(';
+        for (size_t i = 0; i < e.args().size(); ++i) {
+          if (i) out << ',';
+          const Term& t = e.args()[i];
+          out << (IsVar(t) ? NameOf(TermVar(t)) : RenderValue(TermValue(t)));
+        }
+        out << ')';
+        break;
+      }
+      case Expr::Kind::kAdd:
+      case Expr::Kind::kMul: {
+        out << (e.kind() == Expr::Kind::kAdd ? "(+ " : "(* ");
+        for (const auto& c : e.children()) out << Render(*c) << ' ';
+        out << ')';
+        break;
+      }
+      case Expr::Kind::kSum: {
+        out << "(Sum [";
+        for (Symbol v : e.group_vars()) out << NameOf(v) << ' ';
+        out << "] " << Render(*e.child()) << ')';
+        break;
+      }
+      case Expr::Kind::kCmp:
+        out << '(' << CmpOpToString(e.cmp_op()) << ' ' << Render(*e.lhs())
+            << ' ' << Render(*e.rhs()) << ')';
+        break;
+      case Expr::Kind::kAssign:
+        out << "(:= " << NameOf(e.var()) << ' ' << Render(*e.child())
+            << ')';
+        break;
+    }
+    return out.str();
+  }
+
+  int IdOf(Symbol v) const {
+    auto it = ids_.find(v);
+    RINGDB_CHECK(it != ids_.end());
+    return it->second;
+  }
+
+ private:
+  std::map<Symbol, int> ids_;
+};
+
+}  // namespace
+
+CanonicalView CanonicalizeView(const std::vector<Symbol>& key_vars,
+                               const ExprPtr& body) {
+  Renderer r;
+  // Ids are assigned by first appearance in the body so that two views
+  // differing only in declared key order canonicalize identically.
+  std::string rendered_body = r.Render(*body);
+  for (Symbol k : key_vars) r.NameOf(k);  // keys absent from the body
+
+  std::vector<size_t> by_canonical(key_vars.size());
+  std::iota(by_canonical.begin(), by_canonical.end(), size_t{0});
+  std::sort(by_canonical.begin(), by_canonical.end(),
+            [&](size_t a, size_t b) {
+              return r.IdOf(key_vars[a]) < r.IdOf(key_vars[b]);
+            });
+
+  CanonicalView out;
+  out.key_order.resize(key_vars.size());
+  std::ostringstream fp;
+  fp << "view[";
+  for (size_t pos = 0; pos < by_canonical.size(); ++pos) {
+    size_t original_index = by_canonical[pos];
+    out.key_order[original_index] = pos;
+    fp << '$' << r.IdOf(key_vars[original_index]) << ' ';
+  }
+  fp << "]: " << rendered_body;
+  out.fingerprint = fp.str();
+  return out;
+}
+
+}  // namespace agca
+}  // namespace ringdb

@@ -1,0 +1,38 @@
+// Renaming-insensitive canonical form, used by the compiler to unify
+// structurally identical auxiliary views (common subexpression
+// elimination across the view hierarchy).
+//
+// CanonicalizeView renders Sum_[keys](body) with every variable replaced
+// by $i in order of first appearance during a deterministic traversal that
+// visits the key list first. Two view definitions that differ only in
+// variable names (including key names and order-of-key declaration, as
+// long as the *canonical* traversal agrees) produce the same string.
+
+#ifndef RINGDB_AGCA_CANONICAL_H_
+#define RINGDB_AGCA_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "agca/ast.h"
+
+namespace ringdb {
+namespace agca {
+
+struct CanonicalView {
+  // The canonical rendering of Sum_[$k...](body).
+  std::string fingerprint;
+  // key_order[i] = position of the i-th given key variable in the
+  // canonical key ordering (keys sorted by canonical id). A caller reusing
+  // an existing view with different key names permutes its key references
+  // by this mapping to match the stored view's layout.
+  std::vector<size_t> key_order;
+};
+
+CanonicalView CanonicalizeView(const std::vector<Symbol>& key_vars,
+                               const ExprPtr& body);
+
+}  // namespace agca
+}  // namespace ringdb
+
+#endif  // RINGDB_AGCA_CANONICAL_H_

@@ -1,0 +1,74 @@
+#include "agca/degree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace agca {
+
+int Degree(const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kValueConst:
+    case Expr::Kind::kVar:
+      return 0;
+    case Expr::Kind::kRelation:
+      return 1;
+    case Expr::Kind::kAdd: {
+      int d = 0;
+      for (const auto& c : e.children()) d = std::max(d, Degree(*c));
+      return d;
+    }
+    case Expr::Kind::kMul: {
+      int d = 0;
+      for (const auto& c : e.children()) d += Degree(*c);
+      return d;
+    }
+    case Expr::Kind::kSum:
+      return Degree(*e.child());
+    case Expr::Kind::kCmp:
+      // deg(alpha theta 0) := deg(alpha); for the binary sugar l theta r
+      // this is the degree of (l - r).
+      return std::max(Degree(*e.lhs()), Degree(*e.rhs()));
+    case Expr::Kind::kAssign:
+      // x := t is treated like the condition x = t.
+      return Degree(*e.child());
+  }
+  RINGDB_CHECK(false);
+  return 0;
+}
+
+namespace {
+
+bool CheckConditions(const Expr& e) {
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kValueConst:
+    case Expr::Kind::kVar:
+    case Expr::Kind::kRelation:
+      return true;
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kMul: {
+      for (const auto& c : e.children()) {
+        if (!CheckConditions(*c)) return false;
+      }
+      return true;
+    }
+    case Expr::Kind::kSum:
+      return CheckConditions(*e.child());
+    case Expr::Kind::kCmp:
+      return DatabaseFree(*e.lhs()) && DatabaseFree(*e.rhs());
+    case Expr::Kind::kAssign:
+      return DatabaseFree(*e.child());
+  }
+  RINGDB_CHECK(false);
+  return false;
+}
+
+}  // namespace
+
+bool HasSimpleConditionsOnly(const Expr& e) { return CheckConditions(e); }
+
+}  // namespace agca
+}  // namespace ringdb

@@ -1,0 +1,26 @@
+// Polynomial degree of AGCA expressions (Definition 6.3).
+//
+// deg(a * b) = deg a + deg b, deg(a + b) = max, deg(R(~x)) = 1, constants,
+// variables, assignments have degree 0; Sum and comparisons are transparent.
+// Theorem 6.4: for expressions with simple conditions only,
+// deg(Delta q) = max(0, deg q - 1) — verified by property tests.
+
+#ifndef RINGDB_AGCA_DEGREE_H_
+#define RINGDB_AGCA_DEGREE_H_
+
+#include "agca/ast.h"
+
+namespace ringdb {
+namespace agca {
+
+int Degree(const Expr& e);
+
+// True iff every comparison (and assignment source) in e is "simple": its
+// operands contain no relational atoms, so its delta is 0 for every update
+// event. This is the precondition of Theorem 6.4.
+bool HasSimpleConditionsOnly(const Expr& e);
+
+}  // namespace agca
+}  // namespace ringdb
+
+#endif  // RINGDB_AGCA_DEGREE_H_

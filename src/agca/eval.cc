@@ -1,0 +1,245 @@
+#include "agca/eval.h"
+
+#include <optional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace agca {
+
+using ring::Database;
+using ring::Gmr;
+using ring::Tuple;
+
+namespace {
+
+// Evaluates a scalar-valued subexpression to a raw Value: variables yield
+// the bound value as-is (strings allowed, for equality tests), constants
+// their payload, and anything else is evaluated as a query whose result
+// must be scalar.
+StatusOr<Value> EvalValue(const ExprPtr& q, const Database& db,
+                          const Tuple& env);
+
+StatusOr<Gmr> EvalRelation(const Expr& e, const Database& db,
+                           const Tuple& env) {
+  if (!db.catalog().Has(e.relation())) {
+    return Status::NotFound("unknown relation " + e.relation().str());
+  }
+  const std::vector<Symbol>& cols = db.catalog().Columns(e.relation());
+  if (cols.size() != e.args().size()) {
+    return Status::InvalidArgument(
+        "arity mismatch for " + e.relation().str() + ": got " +
+        std::to_string(e.args().size()) + ", schema has " +
+        std::to_string(cols.size()));
+  }
+  Gmr out;
+  for (const auto& [t, m] : db.Relation(e.relation()).support()) {
+    // Rename columns positionally to the atom's terms; reject tuples that
+    // conflict with constants, repeated variables, or the environment.
+    std::vector<Tuple::Field> fields;
+    bool ok = true;
+    for (size_t i = 0; i < cols.size() && ok; ++i) {
+      const Value* v = t.Get(cols[i]);
+      RINGDB_CHECK(v != nullptr);  // base tuples match their schema
+      const Term& term = e.args()[i];
+      if (IsVar(term)) {
+        Symbol var = TermVar(term);
+        const Value* bound = env.Get(var);
+        if (bound != nullptr && *bound != *v) {
+          ok = false;
+          break;
+        }
+        for (const auto& f : fields) {  // repeated variable, e.g. R(x, x)
+          if (f.first == var && f.second != *v) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) fields.emplace_back(var, *v);
+      } else if (TermValue(term) != *v) {
+        ok = false;
+      }
+    }
+    if (!ok) continue;
+    out.Add(Tuple::FromFields(std::move(fields)), m);
+  }
+  return out;
+}
+
+StatusOr<Value> EvalValue(const ExprPtr& q, const Database& db,
+                          const Tuple& env) {
+  switch (q->kind()) {
+    case Expr::Kind::kConst:
+      return Value(q->constant());
+    case Expr::Kind::kValueConst:
+      return q->value_const();
+    case Expr::Kind::kVar: {
+      const Value* v = env.Get(q->var());
+      if (v == nullptr) {
+        return Status::FailedPrecondition("unbound variable " +
+                                          q->var().str());
+      }
+      return *v;
+    }
+    default: {
+      RINGDB_ASSIGN_OR_RETURN(Numeric n, EvaluateScalar(q, db, env));
+      return Value(n);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<Gmr> Evaluate(const ExprPtr& q, const Database& db,
+                       const Tuple& env) {
+  switch (q->kind()) {
+    case Expr::Kind::kConst:
+      return Gmr::Singleton(Tuple(), q->constant());
+
+    case Expr::Kind::kValueConst: {
+      RINGDB_ASSIGN_OR_RETURN(Numeric n, q->value_const().ToNumeric());
+      return Gmr::Singleton(Tuple(), n);
+    }
+
+    case Expr::Kind::kVar: {
+      const Value* v = env.Get(q->var());
+      if (v == nullptr) {
+        return Status::FailedPrecondition(
+            "unbound variable " + q->var().str() +
+            " (query fails range restriction)");
+      }
+      RINGDB_ASSIGN_OR_RETURN(Numeric n, v->ToNumeric());
+      return Gmr::Singleton(Tuple(), n);
+    }
+
+    case Expr::Kind::kRelation:
+      return EvalRelation(*q, db, env);
+
+    case Expr::Kind::kAdd: {
+      Gmr out;
+      for (const auto& c : q->children()) {
+        RINGDB_ASSIGN_OR_RETURN(Gmr g, Evaluate(c, db, env));
+        out += g;
+      }
+      return out;
+    }
+
+    case Expr::Kind::kMul: {
+      // Left-to-right sideways binding passing: evaluate factor i+1 under
+      // env extended with each accumulated result tuple.
+      Gmr acc = Gmr::One();
+      for (const auto& c : q->children()) {
+        Gmr next;
+        for (const auto& [t, m] : acc.support()) {
+          std::optional<Tuple> extended = Tuple::Join(env, t);
+          RINGDB_CHECK(extended.has_value());  // invariant: consistent
+          RINGDB_ASSIGN_OR_RETURN(Gmr g, Evaluate(c, db, *extended));
+          for (const auto& [t2, m2] : g.support()) {
+            std::optional<Tuple> joined = Tuple::Join(t, t2);
+            if (!joined.has_value()) continue;
+            next.Add(*joined, m * m2);
+          }
+        }
+        acc = std::move(next);
+        if (acc.IsZero()) break;
+      }
+      return acc;
+    }
+
+    case Expr::Kind::kSum: {
+      RINGDB_ASSIGN_OR_RETURN(Gmr g, Evaluate(q->child(), db, env));
+      Gmr out;
+      // Group-variable values come from the result tuple when the body
+      // produces them, and from the binding ~b otherwise ([[Sum q]](~b)
+      // maps the sub-record ~x to the aggregate over its extensions; a
+      // group variable bound in ~b constrains the body without appearing
+      // in its output schema).
+      Tuple env_groups = env.Restrict(q->group_vars());
+      for (const auto& [t, m] : g.support()) {
+        std::optional<Tuple> key =
+            Tuple::Join(t.Restrict(q->group_vars()), env_groups);
+        RINGDB_CHECK(key.has_value());  // results are env-consistent
+        out.Add(*key, m);
+      }
+      return out;
+    }
+
+    case Expr::Kind::kCmp: {
+      // Example 4.2 semantics: an equality one side of which is an
+      // unbound variable extends the binding (both variables are "safe"
+      // in phi ∧ x = y when one of them is); any other comparison over an
+      // unbound variable selects nothing.
+      const bool l_unbound = q->lhs()->kind() == Expr::Kind::kVar &&
+                             !env.Has(q->lhs()->var());
+      const bool r_unbound = q->rhs()->kind() == Expr::Kind::kVar &&
+                             !env.Has(q->rhs()->var());
+      if (q->cmp_op() == CmpOp::kEq) {
+        if (l_unbound && r_unbound) return Gmr::Zero();
+        if (l_unbound) {
+          RINGDB_ASSIGN_OR_RETURN(Value v, EvalValue(q->rhs(), db, env));
+          return Gmr::Singleton(Tuple({{q->lhs()->var(), v}}), kOne);
+        }
+        if (r_unbound) {
+          RINGDB_ASSIGN_OR_RETURN(Value v, EvalValue(q->lhs(), db, env));
+          return Gmr::Singleton(Tuple({{q->rhs()->var(), v}}), kOne);
+        }
+      } else if (l_unbound || r_unbound) {
+        return Gmr::Zero();
+      }
+      RINGDB_ASSIGN_OR_RETURN(Value l, EvalValue(q->lhs(), db, env));
+      RINGDB_ASSIGN_OR_RETURN(Value r, EvalValue(q->rhs(), db, env));
+      bool holds = false;
+      switch (q->cmp_op()) {
+        case CmpOp::kEq:
+          holds = (l == r);
+          break;
+        case CmpOp::kNe:
+          holds = (l != r);
+          break;
+        default: {
+          RINGDB_ASSIGN_OR_RETURN(Numeric ln, l.ToNumeric());
+          RINGDB_ASSIGN_OR_RETURN(Numeric rn, r.ToNumeric());
+          switch (q->cmp_op()) {
+            case CmpOp::kLt: holds = ln < rn; break;
+            case CmpOp::kLe: holds = ln <= rn; break;
+            case CmpOp::kGt: holds = ln > rn; break;
+            case CmpOp::kGe: holds = ln >= rn; break;
+            default: RINGDB_CHECK(false);
+          }
+        }
+      }
+      return holds ? Gmr::One() : Gmr::Zero();
+    }
+
+    case Expr::Kind::kAssign: {
+      RINGDB_ASSIGN_OR_RETURN(Value v, EvalValue(q->child(), db, env));
+      const Value* bound = env.Get(q->var());
+      if (bound != nullptr) {
+        // x already bound: behaves as the condition x = t.
+        return (*bound == v) ? Gmr::One() : Gmr::Zero();
+      }
+      return Gmr::Singleton(Tuple({{q->var(), v}}), kOne);
+    }
+  }
+  RINGDB_CHECK(false);
+  return Status::Internal("unreachable");
+}
+
+StatusOr<Numeric> EvaluateScalar(const ExprPtr& q, const Database& db,
+                                 const Tuple& env) {
+  RINGDB_ASSIGN_OR_RETURN(Gmr g, Evaluate(q, db, env));
+  Numeric total = kZero;
+  for (const auto& [t, m] : g.support()) {
+    if (!t.empty()) {
+      return Status::InvalidArgument(
+          "expected scalar result, got tuple " + t.ToString() + " in " +
+          q->ToString());
+    }
+    total += m;
+  }
+  return total;
+}
+
+}  // namespace agca
+}  // namespace ringdb

@@ -1,0 +1,38 @@
+// The AGCA evaluation function [[.]] (§4).
+//
+// Evaluate(q, db, env) realizes [[q]](A)(~b): `env` is the binding record
+// ~b (variables as column names), and the result is the gmr [[q]](A)(~b),
+// i.e. the slice of the avalanche-ring element at binding ~b. Sideways
+// binding passing inside products is implemented directly: factor i+1 is
+// evaluated once per result tuple of factors 1..i under the extended
+// binding, exactly the sum defining * in =>A[T] (§3.2).
+//
+// Errors (Status) arise from: unbound variables used as scalars (the
+// paper's "illegal" queries that fail range restriction), strings used in
+// arithmetic or ordered comparisons, and non-scalar comparison operands.
+
+#ifndef RINGDB_AGCA_EVAL_H_
+#define RINGDB_AGCA_EVAL_H_
+
+#include "agca/ast.h"
+#include "ring/database.h"
+#include "ring/gmr.h"
+#include "ring/tuple.h"
+#include "util/status.h"
+
+namespace ringdb {
+namespace agca {
+
+// [[q]](db)(env).
+StatusOr<ring::Gmr> Evaluate(const ExprPtr& q, const ring::Database& db,
+                             const ring::Tuple& env);
+
+// Evaluates a query expected to produce a scalar (support subset of {<>})
+// and returns the multiplicity at <>.
+StatusOr<Numeric> EvaluateScalar(const ExprPtr& q, const ring::Database& db,
+                                 const ring::Tuple& env);
+
+}  // namespace agca
+}  // namespace ringdb
+
+#endif  // RINGDB_AGCA_EVAL_H_

@@ -1,0 +1,119 @@
+#include "agca/polynomial.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace agca {
+
+ExprPtr Monomial::ToExpr() const {
+  std::vector<ExprPtr> fs;
+  fs.reserve(factors.size() + 1);
+  if (!coefficient.IsOne()) fs.push_back(Expr::Const(coefficient));
+  fs.insert(fs.end(), factors.begin(), factors.end());
+  return Expr::Mul(std::move(fs));
+}
+
+std::string Monomial::ToString() const { return ToExpr()->ToString(); }
+
+namespace {
+
+// True if the two monomials have identical factor sequences.
+bool SameFactors(const Monomial& a, const Monomial& b) {
+  if (a.factors.size() != b.factors.size()) return false;
+  for (size_t i = 0; i < a.factors.size(); ++i) {
+    if (!ExprEquals(*a.factors[i], *b.factors[i])) return false;
+  }
+  return true;
+}
+
+void Combine(std::vector<Monomial>* out, Monomial m) {
+  if (m.coefficient.IsZero()) return;
+  for (Monomial& existing : *out) {
+    if (SameFactors(existing, m)) {
+      existing.coefficient += m.coefficient;
+      if (existing.coefficient.IsZero()) {
+        existing = std::move(out->back());
+        out->pop_back();
+      }
+      return;
+    }
+  }
+  out->push_back(std::move(m));
+}
+
+std::vector<Monomial> ExpandImpl(const ExprPtr& e) {
+  switch (e->kind()) {
+    case Expr::Kind::kConst: {
+      if (e->constant().IsZero()) return {};
+      Monomial m;
+      m.coefficient = e->constant();
+      return {m};
+    }
+    case Expr::Kind::kValueConst:
+    case Expr::Kind::kVar:
+    case Expr::Kind::kRelation:
+    case Expr::Kind::kCmp:
+    case Expr::Kind::kAssign: {
+      Monomial m;
+      m.factors = {e};
+      return {m};
+    }
+    case Expr::Kind::kSum: {
+      // Sum is linear: Sum(sum_i c_i * m_i) = sum_i c_i * Sum(m_i).
+      std::vector<Monomial> out;
+      for (Monomial& inner : ExpandImpl(e->child())) {
+        Monomial m;
+        m.coefficient = inner.coefficient;
+        inner.coefficient = kOne;
+        m.factors = {Expr::Sum(e->group_vars(), inner.ToExpr())};
+        Combine(&out, std::move(m));
+      }
+      return out;
+    }
+    case Expr::Kind::kAdd: {
+      std::vector<Monomial> out;
+      for (const auto& c : e->children()) {
+        for (Monomial& m : ExpandImpl(c)) Combine(&out, std::move(m));
+      }
+      return out;
+    }
+    case Expr::Kind::kMul: {
+      std::vector<Monomial> acc;
+      acc.push_back(Monomial{});  // the unit monomial
+      for (const auto& c : e->children()) {
+        std::vector<Monomial> rhs = ExpandImpl(c);
+        std::vector<Monomial> next;
+        for (const Monomial& a : acc) {
+          for (const Monomial& b : rhs) {
+            Monomial m;
+            m.coefficient = a.coefficient * b.coefficient;
+            m.factors = a.factors;
+            m.factors.insert(m.factors.end(), b.factors.begin(),
+                             b.factors.end());
+            Combine(&next, std::move(m));
+          }
+        }
+        acc = std::move(next);
+      }
+      return acc;
+    }
+  }
+  RINGDB_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+std::vector<Monomial> Expand(const ExprPtr& e) { return ExpandImpl(e); }
+
+ExprPtr PolynomialToExpr(const std::vector<Monomial>& monomials) {
+  std::vector<ExprPtr> terms;
+  terms.reserve(monomials.size());
+  for (const Monomial& m : monomials) terms.push_back(m.ToExpr());
+  return Expr::Add(std::move(terms));
+}
+
+}  // namespace agca
+}  // namespace ringdb

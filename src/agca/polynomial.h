@@ -1,0 +1,45 @@
+// Polynomial normal form (§5): every AGCA expression expands, by
+// distributivity of the ring, into a sum of monomials c * f1 * ... * fn
+// where each factor is an atom (relation, comparison, assignment, variable,
+// or aggregate). Signs and constants are folded into the coefficient; the
+// scalar action commutes with everything, so this is sound.
+//
+// Factor order within a monomial is preserved from the source expression:
+// although * is commutative in value, left-to-right order witnesses range
+// restriction (a factor's required variables are produced by earlier
+// factors), which the compiler relies on.
+
+#ifndef RINGDB_AGCA_POLYNOMIAL_H_
+#define RINGDB_AGCA_POLYNOMIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "agca/ast.h"
+
+namespace ringdb {
+namespace agca {
+
+struct Monomial {
+  Numeric coefficient = kOne;
+  std::vector<ExprPtr> factors;  // atoms only, in source order
+
+  // Reassembles coefficient * f1 * ... * fn.
+  ExprPtr ToExpr() const;
+  std::string ToString() const;
+};
+
+// Distributes products over sums, flattens, folds constants/signs into
+// coefficients, and combines structurally identical monomials. Nested
+// aggregates (Sum) are kept as atomic factors with their bodies expanded
+// recursively. Monomials with coefficient 0 are dropped, so the zero
+// polynomial is the empty vector.
+std::vector<Monomial> Expand(const ExprPtr& e);
+
+// Sum of the monomials (the normal-form expression).
+ExprPtr PolynomialToExpr(const std::vector<Monomial>& monomials);
+
+}  // namespace agca
+}  // namespace ringdb
+
+#endif  // RINGDB_AGCA_POLYNOMIAL_H_

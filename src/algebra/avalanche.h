@@ -1,0 +1,113 @@
+// Avalanche (semi)rings  =>A[G]  (Definition 2.5, Theorem 2.6).
+//
+// An avalanche element is a function f : G -> A[G]. Multiplication performs
+// sideways binding passing: the right factor is evaluated at b *G y, the
+// composition of the incoming binding b with the group element y produced
+// by the left factor:
+//
+//     (f * g)(b)(x) = sum_{x = y *G z} f(b)(y) *A g(b *G y)(z).
+//
+// This is the algebraic mechanism by which AGCA passes variable bindings
+// from left to right through a product (range restriction without a
+// selection operator). The AGCA evaluator (src/agca/eval.cc) is a
+// specialized, efficient realization of this structure; the generic form
+// here exists so the ring axioms of Theorem 2.6 can be verified directly
+// in tests over small finite monoids, including mutilated ones (§2.4) and
+// the embedding of A[G] as the subring of binding-ignoring functions
+// (Proposition 2.8).
+
+#ifndef RINGDB_ALGEBRA_AVALANCHE_H_
+#define RINGDB_ALGEBRA_AVALANCHE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "algebra/monoid_ring.h"
+#include "algebra/ring_traits.h"
+
+namespace ringdb {
+namespace algebra {
+
+template <PartialMonoid G, RingScalar A>
+class AvalancheElem {
+ public:
+  using Ring = MonoidRingElem<G, A>;
+  using Fn = std::function<Ring(const G&)>;
+
+  AvalancheElem() : fn_([](const G&) { return Ring::Zero(); }) {}
+  explicit AvalancheElem(Fn fn) : fn_(std::move(fn)) {}
+
+  // 0 and 1 ignore their binding (they lie in the subring =>A[G]_0).
+  static AvalancheElem Zero() { return AvalancheElem(); }
+  static AvalancheElem One() {
+    return AvalancheElem([](const G&) { return Ring::One(); });
+  }
+
+  // Lifts alpha in A[G] to the binding-ignoring function (. -> alpha);
+  // this is the isomorphic embedding of Proposition 2.8.
+  static AvalancheElem Lift(Ring alpha) {
+    return AvalancheElem(
+        [alpha = std::move(alpha)](const G&) { return alpha; });
+  }
+
+  Ring Eval(const G& binding) const { return fn_(binding); }
+
+  friend AvalancheElem operator+(const AvalancheElem& f,
+                                 const AvalancheElem& g) {
+    return AvalancheElem(
+        [f, g](const G& b) { return f.Eval(b) + g.Eval(b); });
+  }
+
+  AvalancheElem operator-() const {
+    AvalancheElem self = *this;
+    return AvalancheElem([self](const G& b) { return -self.Eval(b); });
+  }
+
+  friend AvalancheElem operator-(const AvalancheElem& f,
+                                 const AvalancheElem& g) {
+    return f + (-g);
+  }
+
+  // Sideways-binding-passing product. Terms where b *G y leaves the
+  // mutilated monoid contribute nothing (the extended-type convention at
+  // the end of §2.4: f(b)(x) = 0 whenever b *G x is excluded).
+  friend AvalancheElem operator*(const AvalancheElem& f,
+                                 const AvalancheElem& g) {
+    return AvalancheElem([f, g](const G& b) {
+      Ring out;
+      Ring left = f.Eval(b);
+      for (const auto& [y, coeff_y] : left.support()) {
+        std::optional<G> by = G::Compose(b, y);
+        if (!by.has_value()) continue;
+        Ring right = g.Eval(*by);
+        for (const auto& [z, coeff_z] : right.support()) {
+          std::optional<G> yz = G::Compose(y, z);
+          if (!yz.has_value()) continue;
+          out.Add(*yz, coeff_y * coeff_z);
+        }
+      }
+      return out;
+    });
+  }
+
+  // Pointwise equality over an explicit finite test universe. Avalanche
+  // elements are functions on all of G, so equality is only decidable for
+  // finite (enumerated) monoids; tests supply the enumeration.
+  bool EqualsOn(const AvalancheElem& other,
+                const std::vector<G>& universe) const {
+    for (const G& b : universe) {
+      if (Eval(b) != other.Eval(b)) return false;
+    }
+    return true;
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace algebra
+}  // namespace ringdb
+
+#endif  // RINGDB_ALGEBRA_AVALANCHE_H_

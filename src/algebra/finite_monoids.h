@@ -1,0 +1,81 @@
+// Small finite monoids used to instantiate and test the generic algebra of
+// §2. These are deliberately tiny so that property tests can enumerate the
+// whole structure and verify ring axioms exhaustively.
+
+#ifndef RINGDB_ALGEBRA_FINITE_MONOIDS_H_
+#define RINGDB_ALGEBRA_FINITE_MONOIDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace ringdb {
+namespace algebra {
+
+// (Z_N, +, 0): a commutative group, hence a plain (unmutilated) monoid.
+template <uint32_t N>
+struct CyclicAddMonoid {
+  uint32_t v = 0;
+
+  static CyclicAddMonoid One() { return {0}; }
+  static std::optional<CyclicAddMonoid> Compose(CyclicAddMonoid a,
+                                                CyclicAddMonoid b) {
+    return CyclicAddMonoid{(a.v + b.v) % N};
+  }
+  friend bool operator==(CyclicAddMonoid a, CyclicAddMonoid b) {
+    return a.v == b.v;
+  }
+
+  static std::vector<CyclicAddMonoid> Universe() {
+    std::vector<CyclicAddMonoid> u;
+    for (uint32_t i = 0; i < N; ++i) u.push_back({i});
+    return u;
+  }
+};
+
+// (Z_N \ {0}, *, 1): the multiplicative monoid of Z_N with its zero
+// mutilated away (§2.4). Z_N \ {0} is downward-closed in (Z_N, *) because
+// a*b != 0 implies a != 0 and b != 0. For composite N the composition is
+// genuinely partial (e.g. 2 * 3 = 0 mod 6 falls outside), which makes this
+// the minimal interesting test of the quotient construction.
+template <uint32_t N>
+struct ModMulMonoid {
+  uint32_t v = 1;  // invariant: v != 0
+
+  static ModMulMonoid One() { return {1}; }
+  static std::optional<ModMulMonoid> Compose(ModMulMonoid a, ModMulMonoid b) {
+    uint32_t p = static_cast<uint32_t>(
+        (static_cast<uint64_t>(a.v) * b.v) % N);
+    if (p == 0) return std::nullopt;
+    return ModMulMonoid{p};
+  }
+  friend bool operator==(ModMulMonoid a, ModMulMonoid b) {
+    return a.v == b.v;
+  }
+
+  static std::vector<ModMulMonoid> Universe() {
+    std::vector<ModMulMonoid> u;
+    for (uint32_t i = 1; i < N; ++i) u.push_back({i});
+    return u;
+  }
+};
+
+}  // namespace algebra
+}  // namespace ringdb
+
+template <uint32_t N>
+struct std::hash<ringdb::algebra::CyclicAddMonoid<N>> {
+  size_t operator()(ringdb::algebra::CyclicAddMonoid<N> m) const noexcept {
+    return m.v * 0x9e3779b97f4a7c15ULL >> 17;
+  }
+};
+
+template <uint32_t N>
+struct std::hash<ringdb::algebra::ModMulMonoid<N>> {
+  size_t operator()(ringdb::algebra::ModMulMonoid<N> m) const noexcept {
+    return m.v * 0xbf58476d1ce4e5b9ULL >> 17;
+  }
+};
+
+#endif  // RINGDB_ALGEBRA_FINITE_MONOIDS_H_

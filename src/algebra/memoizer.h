@@ -1,0 +1,130 @@
+// The recursive delta memoization scheme of §1.1, in its abstract form.
+//
+// Given f : X -> V with V an additive group, a finite update set U acting
+// on X, and a depth k such that the k-th delta of f vanishes identically,
+// RecursiveMemoizer materializes the values
+//
+//     Delta^j f(x, u_1, ..., u_j)    for all 0 <= j < k, u_i in U,
+//
+// for the current x. ApplyUpdate(u) then refreshes every memoized value
+// with a single addition (Equation (1)):
+//
+//     Delta^j f(x_new, theta) := Delta^j f(x, theta)
+//                                + Delta^{j+1} f(x, theta, u),
+//
+// processed in order of increasing j so the update is in-place. After
+// initialization, f itself is never re-evaluated: Current() is a memo
+// lookup. This is the engine behind Figure 1 (f(x) = x^2 over Z,
+// U = {+1, -1}) and the conceptual template for the query compiler.
+
+#ifndef RINGDB_ALGEBRA_MEMOIZER_H_
+#define RINGDB_ALGEBRA_MEMOIZER_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace algebra {
+
+template <typename X, typename U, typename V>
+class RecursiveMemoizer {
+ public:
+  using Fn = std::function<V(const X&)>;
+  using Apply = std::function<X(const X&, const U&)>;
+
+  // `f`: the expensive function; `apply`: the update action x + u;
+  // `updates`: the finite update set U; `depth`: the k with
+  // Delta^k f == 0 (statically known from f's definition, e.g. polynomial
+  // degree + 1).
+  RecursiveMemoizer(Fn f, Apply apply, std::vector<U> updates, size_t depth,
+                    X initial)
+      : f_(std::move(f)),
+        apply_(std::move(apply)),
+        updates_(std::move(updates)),
+        depth_(depth),
+        x_(std::move(initial)) {
+    RINGDB_CHECK_GE(depth_, 1u);
+    Initialize();
+  }
+
+  // The memoized f(x) for the current x. O(1); no evaluation of f.
+  const V& Current() const { return memo_.at({}); }
+
+  // Memoized Delta^j f(x, theta) where theta indexes into the update set.
+  const V& DeltaAt(const std::vector<size_t>& theta) const {
+    return memo_.at(theta);
+  }
+
+  size_t depth() const { return depth_; }
+  size_t MemoizedCount() const { return memo_.size(); }
+  size_t AdditionsPerformed() const { return additions_; }
+
+  // Applies update u (an index into the update set): x := x + U[u].
+  // Performs exactly one addition per memoized value of level < depth-1.
+  void ApplyUpdate(size_t u) {
+    RINGDB_CHECK_LT(u, updates_.size());
+    // Ascending level order: each level-j cell reads the level-(j+1) cell's
+    // pre-update value, which is untouched because levels are disjoint.
+    for (size_t j = 0; j + 1 < depth_; ++j) {
+      for (auto& [theta, value] : memo_) {
+        if (theta.size() != j) continue;
+        std::vector<size_t> next = theta;
+        next.push_back(u);
+        value = value + memo_.at(next);
+        ++additions_;
+      }
+    }
+    x_ = apply_(x_, updates_[u]);
+  }
+
+  // Recomputes Delta^j f(x, theta) from the definition of f by
+  // inclusion-exclusion; used only for initialization and by tests as an
+  // oracle. Cost grows as 2^|theta| evaluations of f.
+  V EvalDeltaFromDefinition(const std::vector<size_t>& theta) const {
+    return EvalDelta(x_, theta);
+  }
+
+ private:
+  void Initialize() {
+    memo_.clear();
+    std::vector<size_t> theta;
+    InitLevel(&theta);
+  }
+
+  void InitLevel(std::vector<size_t>* theta) {
+    memo_[*theta] = EvalDelta(x_, *theta);
+    if (theta->size() + 1 >= depth_) return;
+    for (size_t u = 0; u < updates_.size(); ++u) {
+      theta->push_back(u);
+      InitLevel(theta);
+      theta->pop_back();
+    }
+  }
+
+  // Delta^j f(x, u_1..u_j) = Delta^{j-1} f(x + u_j, u_1..u_{j-1})
+  //                          - Delta^{j-1} f(x, u_1..u_{j-1}).
+  V EvalDelta(const X& x, const std::vector<size_t>& theta) const {
+    if (theta.empty()) return f_(x);
+    std::vector<size_t> prefix(theta.begin(), theta.end() - 1);
+    const U& last = updates_[theta.back()];
+    return EvalDelta(apply_(x, last), prefix) + (-EvalDelta(x, prefix));
+  }
+
+  Fn f_;
+  Apply apply_;
+  std::vector<U> updates_;
+  size_t depth_;
+  X x_;
+  size_t additions_ = 0;
+  // map (not unordered) so iteration order is deterministic across runs.
+  std::map<std::vector<size_t>, V> memo_;
+};
+
+}  // namespace algebra
+}  // namespace ringdb
+
+#endif  // RINGDB_ALGEBRA_MEMOIZER_H_

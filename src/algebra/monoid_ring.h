@@ -1,0 +1,144 @@
+// Monoid (semi)rings A[G] (Definition 2.3) and their mutilations (§2.4).
+//
+// An element of A[G] is a finite-support function alpha : G -> A. Addition
+// is pointwise; multiplication is the convolution product
+//
+//     (alpha * beta)(x) = sum_{x = y *G z} alpha(y) *A beta(z).
+//
+// This generic construction is the reference implementation against which
+// the specialized database ring ring::Gmr (§3) is tested: Gmr is exactly
+// Z[Sng] for the mutilated singleton-relation monoid, and the test suite
+// checks the two agree. Proposition 2.4 (ring axioms) and Proposition 2.16
+// (uniqueness of the convolution product) are exercised as property tests
+// over random elements of small instances.
+
+#ifndef RINGDB_ALGEBRA_MONOID_RING_H_
+#define RINGDB_ALGEBRA_MONOID_RING_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "algebra/ring_traits.h"
+#include "util/check.h"
+
+namespace ringdb {
+namespace algebra {
+
+template <PartialMonoid G, RingScalar A>
+class MonoidRingElem {
+ public:
+  using Support = std::unordered_map<G, A>;
+
+  MonoidRingElem() = default;
+
+  // The additive identity 0: all of G maps to 0A.
+  static MonoidRingElem Zero() { return MonoidRingElem(); }
+
+  // The multiplicative identity 1: 1G -> 1A, all else 0A.
+  static MonoidRingElem One() {
+    MonoidRingElem e;
+    e.Set(G::One(), RingTraits<A>::One());
+    return e;
+  }
+
+  // A basis element chi_g scaled by a (Proposition 2.15 notation: a*chi_g).
+  static MonoidRingElem Singleton(G g, A a) {
+    MonoidRingElem e;
+    e.Set(std::move(g), std::move(a));
+    return e;
+  }
+
+  // Coefficient of g; 0A for g outside the support.
+  A At(const G& g) const {
+    auto found = support_.find(g);
+    if (found == support_.end()) return RingTraits<A>::Zero();
+    return found->second;
+  }
+
+  void Set(G g, A a) {
+    if (a == RingTraits<A>::Zero()) {
+      support_.erase(g);
+    } else {
+      support_[std::move(g)] = std::move(a);
+    }
+  }
+
+  // Adds a to the coefficient of g, dropping the entry if it cancels.
+  void Add(const G& g, const A& a) {
+    auto it = support_.find(g);
+    if (it == support_.end()) {
+      if (!(a == RingTraits<A>::Zero())) support_.emplace(g, a);
+      return;
+    }
+    it->second = it->second + a;
+    if (it->second == RingTraits<A>::Zero()) support_.erase(it);
+  }
+
+  const Support& support() const { return support_; }
+  size_t SupportSize() const { return support_.size(); }
+  bool IsZero() const { return support_.empty(); }
+
+  friend MonoidRingElem operator+(const MonoidRingElem& x,
+                                  const MonoidRingElem& y) {
+    MonoidRingElem r = x;
+    for (const auto& [g, a] : y.support_) r.Add(g, a);
+    return r;
+  }
+
+  MonoidRingElem operator-() const {
+    MonoidRingElem r;
+    for (const auto& [g, a] : support_) r.Set(g, -a);
+    return r;
+  }
+
+  friend MonoidRingElem operator-(const MonoidRingElem& x,
+                                  const MonoidRingElem& y) {
+    return x + (-y);
+  }
+
+  // Convolution product. Products y *G z that fall outside the mutilated
+  // monoid (Compose == nullopt) contribute nothing — this is precisely the
+  // natural projection onto the quotient ring A[G0] of Lemma 2.9.
+  friend MonoidRingElem operator*(const MonoidRingElem& x,
+                                  const MonoidRingElem& y) {
+    MonoidRingElem r;
+    for (const auto& [g, a] : x.support_) {
+      for (const auto& [h, b] : y.support_) {
+        std::optional<G> prod = G::Compose(g, h);
+        if (!prod.has_value()) continue;
+        r.Add(*prod, a * b);
+      }
+    }
+    return r;
+  }
+
+  // Scalar action making A[G] an A-module (Proposition 2.15).
+  friend MonoidRingElem operator*(const A& a, const MonoidRingElem& x) {
+    MonoidRingElem r;
+    for (const auto& [g, b] : x.support_) r.Add(g, a * b);
+    return r;
+  }
+
+  friend bool operator==(const MonoidRingElem& x, const MonoidRingElem& y) {
+    if (x.support_.size() != y.support_.size()) return false;
+    for (const auto& [g, a] : x.support_) {
+      auto it = y.support_.find(g);
+      if (it == y.support_.end() || !(it->second == a)) return false;
+    }
+    return true;
+  }
+  friend bool operator!=(const MonoidRingElem& x, const MonoidRingElem& y) {
+    return !(x == y);
+  }
+
+ private:
+  Support support_;
+};
+
+}  // namespace algebra
+}  // namespace ringdb
+
+#endif  // RINGDB_ALGEBRA_MONOID_RING_H_

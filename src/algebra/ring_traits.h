@@ -1,0 +1,51 @@
+// Scalar (semi)ring traits for the generic algebraic constructions of §2.
+//
+// A scalar type A models a commutative ring with identity through
+// RingTraits<A>: Zero/One constants plus the type's own +, *, unary -.
+// The default works for built-in integers, doubles, and util::Numeric.
+
+#ifndef RINGDB_ALGEBRA_RING_TRAITS_H_
+#define RINGDB_ALGEBRA_RING_TRAITS_H_
+
+#include <concepts>
+
+namespace ringdb {
+namespace algebra {
+
+template <typename A>
+struct RingTraits {
+  static A Zero() { return A(0); }
+  static A One() { return A(1); }
+};
+
+// Requirements on a scalar ring element type.
+template <typename A>
+concept RingScalar = requires(A a, A b) {
+  { a + b } -> std::convertible_to<A>;
+  { a * b } -> std::convertible_to<A>;
+  { -a } -> std::convertible_to<A>;
+  { a == b } -> std::convertible_to<bool>;
+  { RingTraits<A>::Zero() } -> std::convertible_to<A>;
+  { RingTraits<A>::One() } -> std::convertible_to<A>;
+};
+
+// Requirements on a (possibly mutilated) monoid element type G.
+//
+// Compose is the monoid operation *G, made partial to realize the
+// quotient-by-downward-closed-subset ("mutilation") construction of §2.4:
+// Compose returns nullopt exactly when the product falls outside the
+// retained subset G0 (e.g. the removed zero of Sng∅). For an ordinary
+// monoid, Compose always returns a value. Downward-closure of G0 is what
+// makes the quotient well defined; the unit tests verify the ring axioms
+// still hold for mutilated instances.
+template <typename G>
+concept PartialMonoid = requires(const G& g, const G& h) {
+  { G::One() } -> std::convertible_to<G>;
+  { G::Compose(g, h) };  // -> std::optional<G>
+  { g == h } -> std::convertible_to<bool>;
+};
+
+}  // namespace algebra
+}  // namespace ringdb
+
+#endif  // RINGDB_ALGEBRA_RING_TRAITS_H_

@@ -1,0 +1,104 @@
+#include "baseline/baselines.h"
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace baseline {
+
+namespace {
+
+uint64_t DeltaKey(Symbol relation, ring::Update::Sign sign) {
+  return (static_cast<uint64_t>(relation.id()) << 1) |
+         (sign == ring::Update::Sign::kInsert ? 0u : 1u);
+}
+
+ring::Tuple GroupTuple(const std::vector<Symbol>& group_vars,
+                       const std::vector<Value>& group_values) {
+  RINGDB_CHECK_EQ(group_vars.size(), group_values.size());
+  std::vector<ring::Tuple::Field> fields;
+  fields.reserve(group_vars.size());
+  for (size_t i = 0; i < group_vars.size(); ++i) {
+    fields.emplace_back(group_vars[i], group_values[i]);
+  }
+  return ring::Tuple::FromFields(std::move(fields));
+}
+
+}  // namespace
+
+NaiveReevaluator::NaiveReevaluator(ring::Catalog catalog,
+                                   std::vector<Symbol> group_vars,
+                                   agca::ExprPtr body)
+    : db_(std::move(catalog)),
+      group_vars_(std::move(group_vars)),
+      query_(agca::Expr::Sum(group_vars_, std::move(body))) {}
+
+Status NaiveReevaluator::Apply(const ring::Update& update) {
+  db_.Apply(update);
+  return Reevaluate();
+}
+
+Status NaiveReevaluator::Reevaluate() {
+  RINGDB_ASSIGN_OR_RETURN(ring::Gmr g,
+                          agca::Evaluate(query_, db_, ring::Tuple()));
+  result_ = std::move(g);
+  return Status::Ok();
+}
+
+Numeric NaiveReevaluator::ResultScalar() const {
+  RINGDB_CHECK(group_vars_.empty());
+  return result_.At(ring::Tuple());
+}
+
+Numeric NaiveReevaluator::ResultAt(
+    const std::vector<Value>& group_values) const {
+  return result_.At(GroupTuple(group_vars_, group_values));
+}
+
+ClassicalIvm::ClassicalIvm(ring::Catalog catalog,
+                           std::vector<Symbol> group_vars,
+                           agca::ExprPtr body)
+    : db_(std::move(catalog)), group_vars_(std::move(group_vars)) {
+  for (Symbol rel : agca::RelationsIn(*body)) {
+    for (auto sign :
+         {ring::Update::Sign::kInsert, ring::Update::Sign::kDelete}) {
+      DeltaQuery dq;
+      dq.event = delta::MakeEvent(db_.catalog(), rel, sign);
+      dq.expr =
+          agca::Expr::Sum(group_vars_, delta::Delta(body, dq.event));
+      deltas_.emplace(DeltaKey(rel, sign), std::move(dq));
+    }
+  }
+}
+
+Status ClassicalIvm::Apply(const ring::Update& update) {
+  auto it = deltas_.find(DeltaKey(update.relation, update.sign));
+  if (it != deltas_.end()) {
+    const DeltaQuery& dq = it->second;
+    ring::Tuple env = delta::BindParams(dq.event, update);
+    // Delta evaluated on the PRE-update database: Q(D+u) = Q(D) + dQ(D,u).
+    RINGDB_ASSIGN_OR_RETURN(ring::Gmr d, agca::Evaluate(dq.expr, db_, env));
+    // The delta result still carries the bound parameters of the event in
+    // its tuples only if they leak through Sum group vars; restrict to the
+    // group variables to be safe.
+    ring::Gmr projected;
+    for (const auto& [t, m] : d.support()) {
+      projected.Add(t.Restrict(group_vars_), m);
+    }
+    view_ += projected;
+  }
+  db_.Apply(update);
+  return Status::Ok();
+}
+
+Numeric ClassicalIvm::ResultScalar() const {
+  RINGDB_CHECK(group_vars_.empty());
+  return view_.At(ring::Tuple());
+}
+
+Numeric ClassicalIvm::ResultAt(
+    const std::vector<Value>& group_values) const {
+  return view_.At(GroupTuple(group_vars_, group_values));
+}
+
+}  // namespace baseline
+}  // namespace ringdb

@@ -1,0 +1,141 @@
+#include "baseline/delta_tower.h"
+
+#include "agca/degree.h"
+#include "agca/eval.h"
+#include "util/check.h"
+
+namespace ringdb {
+namespace baseline {
+
+using agca::Expr;
+using agca::ExprPtr;
+
+DeltaTowerIvm::DeltaTowerIvm(ring::Catalog catalog, agca::ExprPtr body)
+    : db_(std::move(catalog)), query_(Expr::Sum({}, std::move(body))) {
+  std::set<Symbol> rels = agca::RelationsIn(*query_);
+  RINGDB_CHECK_EQ(rels.size(), 1u);  // single-relation queries only
+  Symbol rel = *rels.begin();
+  ukey_width_ = 1 + db_.catalog().Arity(rel);  // sign + columns
+
+  // Delta tower: deltas_[j] = Delta^{j+1} Q with level-tagged symbolic-
+  // sign events; deltas_.back() has degree 0 and its own delta is zero,
+  // so the tower stops there (k = deg Q levels of deltas).
+  int degree = agca::Degree(*query_);
+  ExprPtr current = query_;
+  for (int level = 1; level <= degree; ++level) {
+    delta::Event event = delta::MakeSymbolicSignEvent(
+        db_.catalog(), rel, "#" + std::to_string(level));
+    events_.push_back(event);
+    current = delta::Delta(current, event);
+    deltas_.push_back(current);
+  }
+  RINGDB_CHECK(deltas_.empty() ||
+               agca::Degree(*deltas_.back()) == 0);
+
+  // Tables for levels 0..degree; level 0 starts memoized on the empty db.
+  tables_.resize(static_cast<size_t>(degree) + 1);
+  tables_[0].emplace(Theta{}, kZero);
+}
+
+DeltaTowerIvm::UKey DeltaTowerIvm::Encode(const ring::Update& u) const {
+  UKey key;
+  key.reserve(ukey_width_);
+  key.emplace_back(u.SignedUnit());
+  for (const Value& v : u.values) key.push_back(v);
+  return key;
+}
+
+ring::Tuple DeltaTowerIvm::BindTheta(const Theta& theta,
+                                     size_t levels) const {
+  std::vector<ring::Tuple::Field> fields;
+  for (size_t level = 0; level < levels; ++level) {
+    const delta::Event& ev = events_[level];
+    const Value* slot = &theta[level * ukey_width_];
+    fields.emplace_back(ev.sign_param, slot[0]);
+    for (size_t i = 0; i < ev.params.size(); ++i) {
+      fields.emplace_back(ev.params[i], slot[1 + i]);
+    }
+  }
+  return ring::Tuple::FromFields(std::move(fields));
+}
+
+Status DeltaTowerIvm::EnumerateAndInit(size_t level, size_t index,
+                                       bool has_fresh, const UKey& fresh,
+                                       Theta* theta) {
+  if (index == level) {
+    if (!has_fresh) return Status::Ok();  // already memoized
+    RINGDB_ASSIGN_OR_RETURN(
+        Numeric v, agca::EvaluateScalar(deltas_[level - 1], db_,
+                                        BindTheta(*theta, level)));
+    tables_[level][*theta] = v;
+    ++init_evaluations_;
+    return Status::Ok();
+  }
+  for (const UKey& u : universe_) {
+    size_t before = theta->size();
+    theta->insert(theta->end(), u.begin(), u.end());
+    RINGDB_RETURN_IF_ERROR(EnumerateAndInit(
+        level, index + 1, has_fresh || (u == fresh), fresh, theta));
+    theta->resize(before);
+  }
+  return Status::Ok();
+}
+
+Status DeltaTowerIvm::InitializeEntriesInvolving(const UKey& fresh) {
+  for (size_t level = 1; level < tables_.size(); ++level) {
+    Theta theta;
+    RINGDB_RETURN_IF_ERROR(
+        EnumerateAndInit(level, 0, /*has_fresh=*/false, fresh, &theta));
+  }
+  return Status::Ok();
+}
+
+Status DeltaTowerIvm::Apply(const ring::Update& update) {
+  std::set<Symbol> rels = agca::RelationsIn(*query_);
+  if (update.relation != *rels.begin()) {
+    db_.Apply(update);
+    return Status::Ok();
+  }
+  // Footnote 2: grow U when a never-seen tuple arrives, initializing all
+  // memo entries that involve the new updates from the current database.
+  if (!seen_rows_.contains(update.values)) {
+    for (auto sign :
+         {ring::Update::Sign::kInsert, ring::Update::Sign::kDelete}) {
+      ring::Update u = update;
+      u.sign = sign;
+      UKey fresh = Encode(u);
+      universe_.push_back(fresh);
+      RINGDB_RETURN_IF_ERROR(InitializeEntriesInvolving(fresh));
+    }
+    seen_rows_.insert(update.values);
+  }
+
+  // Equation (1), ascending level order so updates are in place: every
+  // memoized value of level j < k gets exactly one addition.
+  UKey ukey = Encode(update);
+  for (size_t level = 0; level + 1 < tables_.size(); ++level) {
+    for (auto& [theta, value] : tables_[level]) {
+      Theta next = theta;
+      next.insert(next.end(), ukey.begin(), ukey.end());
+      auto it = tables_[level + 1].find(next);
+      RINGDB_CHECK(it != tables_[level + 1].end());
+      value += it->second;
+      ++additions_;
+    }
+  }
+  db_.Apply(update);
+  return Status::Ok();
+}
+
+Numeric DeltaTowerIvm::ResultScalar() const {
+  return tables_[0].at(Theta{});
+}
+
+size_t DeltaTowerIvm::MemoizedValues() const {
+  size_t n = 0;
+  for (const auto& table : tables_) n += table.size();
+  return n;
+}
+
+}  // namespace baseline
+}  // namespace ringdb

@@ -1,0 +1,27 @@
+// Emits a compiled TriggerProgram as NC0C source — "essentially a small
+// fragment of the programming language C" (§7). The emitted translation
+// unit declares one hash map per materialized view and one trigger
+// function per event kind, each a straight-line (or singly-nested-loop)
+// sequence of += statements over map entries: no joins, no aggregation,
+// a constant number of arithmetic operations per maintained value.
+//
+// The output is illustrative and self-describing (maps are modeled with a
+// tiny open-addressing helper emitted into the preamble); tests check the
+// structural properties rather than compiling the output.
+
+#ifndef RINGDB_COMPILER_CODEGEN_C_H_
+#define RINGDB_COMPILER_CODEGEN_C_H_
+
+#include <string>
+
+#include "compiler/ir.h"
+
+namespace ringdb {
+namespace compiler {
+
+std::string GenerateC(const TriggerProgram& program);
+
+}  // namespace compiler
+}  // namespace ringdb
+
+#endif  // RINGDB_COMPILER_CODEGEN_C_H_

@@ -1,0 +1,618 @@
+#include "compiler/compile.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "agca/canonical.h"
+#include "agca/degree.h"
+#include "agca/polynomial.h"
+#include "delta/delta.h"
+#include "util/check.h"
+
+namespace ringdb {
+namespace compiler {
+
+using agca::Atom;
+using agca::CanonicalizeView;
+using agca::CmpOp;
+using agca::Expr;
+using agca::ExprPtr;
+using agca::Monomial;
+
+namespace {
+
+// True if e is, after substitution, a trigger-time atom: an update
+// parameter or a constant.
+bool IsClosedAtom(const ExprPtr& e,
+                  const std::unordered_set<Symbol>& params) {
+  switch (e->kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kValueConst:
+      return true;
+    case Expr::Kind::kVar:
+      return params.contains(e->var());
+    default:
+      return false;
+  }
+}
+
+Atom AtomOf(const ExprPtr& e) {
+  switch (e->kind()) {
+    case Expr::Kind::kConst:
+      return Value(e->constant());
+    case Expr::Kind::kValueConst:
+      return e->value_const();
+    case Expr::Kind::kVar:
+      return e->var();
+    default:
+      RINGDB_CHECK(false);
+      return Value();
+  }
+}
+
+ExprPtr AtomToExpr(const Atom& a) {
+  if (std::holds_alternative<Symbol>(a)) {
+    return Expr::Var(std::get<Symbol>(a));
+  }
+  return Expr::ValueConst(std::get<Value>(a));
+}
+
+// Whether `x` occurs as a Sum group variable anywhere in `e`; binding such
+// a variable to a constant cannot be expressed by Substitute, so the
+// compiler declines to consume it.
+bool UsedAsGroupVar(const Expr& e, Symbol x) {
+  switch (e.kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kValueConst:
+    case Expr::Kind::kVar:
+    case Expr::Kind::kRelation:
+      return false;
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kMul:
+      for (const auto& c : e.children()) {
+        if (UsedAsGroupVar(*c, x)) return true;
+      }
+      return false;
+    case Expr::Kind::kSum:
+      for (Symbol g : e.group_vars()) {
+        if (g == x) return true;
+      }
+      return UsedAsGroupVar(*e.child(), x);
+    case Expr::Kind::kCmp:
+      return UsedAsGroupVar(*e.lhs(), x) || UsedAsGroupVar(*e.rhs(), x);
+    case Expr::Kind::kAssign:
+      return UsedAsGroupVar(*e.child(), x);
+  }
+  return false;
+}
+
+class CompilerImpl {
+ public:
+  explicit CompilerImpl(const ring::Catalog& catalog) {
+    program_.catalog = catalog;
+  }
+
+  StatusOr<CompiledQuery> Run(std::vector<Symbol> group_vars,
+                              const ExprPtr& body) {
+    for (Symbol v : agca::AllVars(*body)) {
+      const std::string& n = v.str();
+      if (!n.empty() && (n[0] == '@' || n[0] == '$')) {
+        return Status::InvalidArgument(
+            "query variable names may not start with '@' or '$': " + n);
+      }
+    }
+    if (!agca::HasSimpleConditionsOnly(*body)) {
+      // Theorem 6.4 requires simple conditions; without it deltas do not
+      // reduce degree and the view hierarchy would not terminate.
+      return Status::Unimplemented(
+          "nested aggregates inside comparisons are not NC0C-compilable; "
+          "use the classical IVM baseline for this query");
+    }
+    ViewRef root = GetOrCreateView(group_vars, body);
+    while (!worklist_.empty()) {
+      int id = worklist_.front();
+      worklist_.pop_front();
+      RINGDB_RETURN_IF_ERROR(CompileView(id));
+    }
+    FinalizeTriggers();
+    CompiledQuery out;
+    program_.root_view = root.id;
+    out.program = std::move(program_);
+    out.root_key_order = std::move(root.key_order);
+    return out;
+  }
+
+ private:
+  struct ViewRef {
+    int id = -1;
+    std::vector<size_t> key_order;  // given-key index -> canonical slot
+  };
+
+  // Looks up or creates the view Sum_[keys](body); all variables of a
+  // newly created view are renamed to canonical "$<i>" symbols so later
+  // delta parameters ("@R.col") can never collide with view variables.
+  ViewRef GetOrCreateView(const std::vector<Symbol>& keys,
+                          const ExprPtr& body) {
+    agca::CanonicalView canonical = CanonicalizeView(keys, body);
+    ViewRef ref;
+    ref.key_order = canonical.key_order;
+    auto it = by_fingerprint_.find(canonical.fingerprint);
+    if (it != by_fingerprint_.end()) {
+      ref.id = it->second;
+      return ref;
+    }
+
+    // Rename every variable to its canonical name.
+    std::unordered_map<Symbol, Atom> rename;
+    {
+      // Recover canonical ids by re-running canonicalization against a
+      // renaming recorder: CanonicalizeView assigns ids by traversal
+      // order, which we reproduce by renaming through a fresh counter.
+      // Simpler: rename variables in order of first appearance in the
+      // same traversal (AllVars is sorted, not traversal-ordered), so we
+      // reuse the canonical machinery by renaming then re-canonicalizing;
+      // identity of fingerprints is checked below.
+      std::vector<Symbol> order = TraversalOrder(keys, body);
+      for (size_t i = 0; i < order.size(); ++i) {
+        rename.emplace(order[i], Symbol::Intern("$" + std::to_string(i)));
+      }
+    }
+    ExprPtr renamed_body = Substitute(body, rename);
+    std::vector<Symbol> canonical_keys(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto r = rename.find(keys[i]);
+      RINGDB_CHECK(r != rename.end());
+      canonical_keys[canonical.key_order[i]] = std::get<Symbol>(r->second);
+    }
+    // The canonical rename must preserve the fingerprint.
+    RINGDB_CHECK(CanonicalizeView(canonical_keys, renamed_body).fingerprint ==
+                 canonical.fingerprint);
+
+    ViewDef def;
+    def.id = static_cast<int>(program_.views.size());
+    def.name = "m" + std::to_string(def.id);
+    def.key_vars = canonical_keys;
+    def.definition = Expr::Sum(canonical_keys, renamed_body);
+    def.degree = agca::Degree(*renamed_body);
+    program_.views.push_back(def);
+    view_bodies_.push_back(renamed_body);
+    by_fingerprint_.emplace(canonical.fingerprint, def.id);
+    worklist_.push_back(def.id);
+    ref.id = def.id;
+    return ref;
+  }
+
+  // Variables in first-appearance order of the canonical traversal (body
+  // first, then keys), matching agca::CanonicalizeView.
+  static std::vector<Symbol> TraversalOrder(const std::vector<Symbol>& keys,
+                                            const ExprPtr& body) {
+    std::vector<Symbol> order;
+    std::unordered_set<Symbol> seen;
+    auto visit = [&](Symbol v) {
+      if (seen.insert(v).second) order.push_back(v);
+    };
+    VisitVarsInTraversalOrder(*body, visit);
+    for (Symbol k : keys) visit(k);
+    return order;
+  }
+
+  template <typename F>
+  static void VisitVarsInTraversalOrder(const Expr& e, F& visit) {
+    switch (e.kind()) {
+      case Expr::Kind::kConst:
+      case Expr::Kind::kValueConst:
+        break;
+      case Expr::Kind::kVar:
+        visit(e.var());
+        break;
+      case Expr::Kind::kRelation:
+        for (const agca::Term& t : e.args()) {
+          if (agca::IsVar(t)) visit(agca::TermVar(t));
+        }
+        break;
+      case Expr::Kind::kAdd:
+      case Expr::Kind::kMul:
+        for (const auto& c : e.children()) {
+          VisitVarsInTraversalOrder(*c, visit);
+        }
+        break;
+      case Expr::Kind::kSum:
+        for (Symbol v : e.group_vars()) visit(v);
+        VisitVarsInTraversalOrder(*e.child(), visit);
+        break;
+      case Expr::Kind::kCmp:
+        VisitVarsInTraversalOrder(*e.lhs(), visit);
+        VisitVarsInTraversalOrder(*e.rhs(), visit);
+        break;
+      case Expr::Kind::kAssign:
+        visit(e.var());
+        VisitVarsInTraversalOrder(*e.child(), visit);
+        break;
+    }
+  }
+
+  Status CompileView(int view_id) {
+    const ExprPtr body = view_bodies_[static_cast<size_t>(view_id)];
+    std::set<Symbol> relations = agca::RelationsIn(*body);
+    // Deterministic relation order (sets of Symbols sort by intern id).
+    for (Symbol rel : relations) {
+      for (auto sign :
+           {ring::Update::Sign::kInsert, ring::Update::Sign::kDelete}) {
+        delta::Event event = delta::MakeEvent(program_.catalog, rel, sign);
+        ExprPtr dbody = delta::Delta(body, event);
+        std::vector<Monomial> poly = agca::Expand(dbody);
+        Trigger& trigger = TriggerFor(rel, sign);
+        for (const Monomial& m : poly) {
+          RINGDB_ASSIGN_OR_RETURN(
+              Statement stmt, BuildStatement(view_id, event, m));
+          trigger.statements.push_back(std::move(stmt));
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Trigger& TriggerFor(Symbol rel, ring::Update::Sign sign) {
+    for (Trigger& t : program_.triggers) {
+      if (t.relation == rel && t.sign == sign) return t;
+    }
+    Trigger t;
+    t.relation = rel;
+    t.sign = sign;
+    program_.triggers.push_back(std::move(t));
+    return program_.triggers.back();
+  }
+
+  // Turns one monomial of Delta(view definition) into an NC0C statement.
+  StatusOr<Statement> BuildStatement(int view_id, const delta::Event& event,
+                                     const Monomial& monomial) {
+    // Copied, not referenced: creating component views below grows
+    // program_.views and would invalidate a reference.
+    const std::vector<Symbol> target_key_vars =
+        program_.views[static_cast<size_t>(view_id)].key_vars;
+    std::unordered_set<Symbol> params(event.params.begin(),
+                                      event.params.end());
+    std::unordered_map<Symbol, size_t> param_index;
+    for (size_t i = 0; i < event.params.size(); ++i) {
+      param_index.emplace(event.params[i], i);
+    }
+    std::set<Symbol> target_keys(target_key_vars.begin(),
+                                 target_key_vars.end());
+
+    // ---- Binding consumption (fixpoint) ----
+    std::unordered_map<Symbol, Atom> subst;
+    std::vector<ExprPtr> factors = monomial.factors;
+    std::vector<bool> consumed(factors.size(), false);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 0; i < factors.size(); ++i) {
+        if (consumed[i]) continue;
+        const ExprPtr& f = factors[i];
+        Symbol x;
+        ExprPtr source;
+        if (f->kind() == Expr::Kind::kAssign &&
+            !subst.contains(f->var())) {
+          x = f->var();
+          source = Substitute(f->child(), subst);
+        } else if (f->kind() == Expr::Kind::kCmp &&
+                   f->cmp_op() == CmpOp::kEq) {
+          ExprPtr l = Substitute(f->lhs(), subst);
+          ExprPtr r = Substitute(f->rhs(), subst);
+          if (l->kind() == Expr::Kind::kVar && !params.contains(l->var()) &&
+              !subst.contains(l->var()) && IsClosedAtom(r, params)) {
+            x = l->var();
+            source = r;
+          } else if (r->kind() == Expr::Kind::kVar &&
+                     !params.contains(r->var()) &&
+                     !subst.contains(r->var()) && IsClosedAtom(l, params)) {
+            x = r->var();
+            source = l;
+          } else {
+            continue;
+          }
+        } else {
+          continue;
+        }
+        if (source == nullptr || !IsClosedAtom(source, params)) continue;
+        Atom atom = AtomOf(source);
+        // Value bindings cannot flow into Sum group-variable positions.
+        if (std::holds_alternative<Value>(atom)) {
+          bool blocked = false;
+          for (size_t j = 0; j < factors.size() && !blocked; ++j) {
+            if (!consumed[j] && j != i) {
+              blocked = UsedAsGroupVar(*factors[j], x);
+            }
+          }
+          if (blocked) continue;
+        }
+        subst.emplace(x, std::move(atom));
+        consumed[i] = true;
+        changed = true;
+      }
+    }
+
+    // ---- Final substitution & classification ----
+    struct Member {
+      ExprPtr expr;
+      std::set<Symbol> link_vars;  // vars connecting components
+      std::set<Symbol> key_vars;   // params/target keys it mentions
+    };
+    std::vector<Member> members;
+    std::vector<ExprPtr> guards;  // database-free, translated to TExpr
+
+    for (size_t i = 0; i < factors.size(); ++i) {
+      if (consumed[i]) continue;
+      ExprPtr f = factors[i];
+      if (f->kind() == Expr::Kind::kAssign && subst.contains(f->var())) {
+        // Duplicate binding, e.g. Delta of R(x, x): becomes an equality
+        // guard between the two parameters.
+        f = Expr::Cmp(CmpOp::kEq, AtomToExpr(subst.at(f->var())),
+                      Substitute(f->child(), subst));
+      } else {
+        f = Substitute(f, subst);
+      }
+      std::set<Symbol> vars = agca::AllVars(*f);
+      std::set<Symbol> link, keyish;
+      for (Symbol v : vars) {
+        if (params.contains(v) || target_keys.contains(v)) {
+          keyish.insert(v);
+        } else {
+          link.insert(v);
+        }
+      }
+      bool database_free = agca::DatabaseFree(*f);
+      if (database_free && link.empty() &&
+          f->kind() != Expr::Kind::kAssign &&
+          f->kind() != Expr::Kind::kSum) {
+        guards.push_back(f);
+        continue;
+      }
+      if (f->kind() == Expr::Kind::kAssign && database_free) {
+        return Status::Unimplemented(
+            "assignment not reducible to a parameter or constant at "
+            "trigger time: " +
+            f->ToString());
+      }
+      members.push_back(Member{f, std::move(link), std::move(keyish)});
+    }
+
+    // ---- Connected components over shared aggregated variables ----
+    std::vector<int> comp(members.size());
+    for (size_t i = 0; i < members.size(); ++i) comp[i] = static_cast<int>(i);
+    bool merged = true;
+    while (merged) {
+      merged = false;
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          if (comp[i] == comp[j]) continue;
+          bool shares = false;
+          for (Symbol v : members[i].link_vars) {
+            if (members[j].link_vars.contains(v)) {
+              shares = true;
+              break;
+            }
+          }
+          if (shares) {
+            int from = std::max(comp[i], comp[j]);
+            int to = std::min(comp[i], comp[j]);
+            for (int& c : comp) {
+              if (c == from) c = to;
+            }
+            merged = true;
+          }
+        }
+      }
+    }
+
+    // ---- Build a view per component, in first-factor order ----
+    std::vector<TExprPtr> rhs_factors;
+    if (!monomial.coefficient.IsOne()) {
+      rhs_factors.push_back(TExpr::Const(Value(monomial.coefficient)));
+    }
+    std::set<Symbol> loop_vars_available;  // free target keys some view binds
+    struct Lookup {
+      int view_id;
+      std::vector<KeyRef> slots;
+      std::set<Symbol> binds;  // loop vars among the slots
+    };
+    std::vector<Lookup> lookups;
+
+    std::vector<int> component_order;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (std::find(component_order.begin(), component_order.end(),
+                    comp[i]) == component_order.end()) {
+        component_order.push_back(comp[i]);
+      }
+    }
+    for (int c : component_order) {
+      std::vector<ExprPtr> body_factors;
+      std::vector<Symbol> keys;  // first-occurrence order
+      std::set<Symbol> seen_keys;
+      bool has_relation = false;
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (comp[i] != c) continue;
+        body_factors.push_back(members[i].expr);
+        if (!agca::DatabaseFree(*members[i].expr)) has_relation = true;
+        for (Symbol v : members[i].key_vars) {
+          if (seen_keys.insert(v).second) keys.push_back(v);
+        }
+      }
+      if (!has_relation) {
+        return Status::Unimplemented(
+            "database-free component requires trigger-time evaluation "
+            "(non-simple condition?): " +
+            Expr::Mul(body_factors)->ToString());
+      }
+      ViewRef ref = GetOrCreateView(keys, Expr::Mul(body_factors));
+      Lookup lk;
+      lk.view_id = ref.id;
+      lk.slots.resize(keys.size(), KeyRef::Const(Value()));
+      for (size_t i = 0; i < keys.size(); ++i) {
+        KeyRef kr = params.contains(keys[i])
+                        ? KeyRef::Param(param_index.at(keys[i]))
+                        : KeyRef::LoopVar(keys[i]);
+        if (kr.kind() == KeyRef::Kind::kLoopVar) lk.binds.insert(keys[i]);
+        lk.slots[ref.key_order[i]] = kr;
+      }
+      lookups.push_back(std::move(lk));
+    }
+
+    // ---- Guards and value multipliers ----
+    for (const ExprPtr& g : guards) {
+      RINGDB_ASSIGN_OR_RETURN(
+          TExprPtr t, TranslateGuard(g, param_index));
+      rhs_factors.push_back(t);
+    }
+    for (const Lookup& lk : lookups) {
+      rhs_factors.push_back(TExpr::ViewLookup(lk.view_id, lk.slots));
+    }
+    if (rhs_factors.empty()) {
+      rhs_factors.push_back(TExpr::Const(Value(monomial.coefficient)));
+    }
+
+    // ---- Target key references & loops ----
+    Statement stmt;
+    stmt.target_view = view_id;
+    std::set<Symbol> uncovered;
+    for (Symbol k : target_key_vars) {
+      auto it = subst.find(k);
+      if (it != subst.end()) {
+        if (std::holds_alternative<Symbol>(it->second)) {
+          Symbol p = std::get<Symbol>(it->second);
+          RINGDB_CHECK(params.contains(p));
+          stmt.target_key.push_back(KeyRef::Param(param_index.at(p)));
+        } else {
+          stmt.target_key.push_back(
+              KeyRef::Const(std::get<Value>(it->second)));
+        }
+      } else {
+        stmt.target_key.push_back(KeyRef::LoopVar(k));
+        uncovered.insert(k);
+      }
+    }
+    for (const Lookup& lk : lookups) {
+      bool useful = false;
+      for (Symbol v : lk.binds) {
+        if (uncovered.contains(v)) {
+          useful = true;
+          uncovered.erase(v);
+        }
+      }
+      if (useful) {
+        LoopSpec loop;
+        loop.view_id = lk.view_id;
+        loop.pattern = lk.slots;
+        stmt.loops.push_back(std::move(loop));
+      }
+    }
+    if (!uncovered.empty()) {
+      // Domain maintenance: the update changes this view at keys it does
+      // not bind (e.g. every threshold k with k < q for an inequality
+      // view). The unbound key positions become the view's slice ("input
+      // variable") positions; the statement loops over the initialized
+      // slice subkeys (runtime case B), appended last so any component
+      // loops have bound the remaining variables first.
+      std::vector<size_t> slice_positions;
+      for (size_t pos = 0; pos < stmt.target_key.size(); ++pos) {
+        const KeyRef& ref = stmt.target_key[pos];
+        if (ref.kind() == KeyRef::Kind::kLoopVar &&
+            uncovered.contains(ref.loop_var())) {
+          slice_positions.push_back(pos);
+        }
+      }
+      ViewDef& target_def = program_.views[static_cast<size_t>(view_id)];
+      if (target_def.lazy_init &&
+          target_def.slice_positions != slice_positions) {
+        return Status::Unimplemented(
+            "conflicting slice (input-variable) positions for view " +
+            target_def.name);
+      }
+      target_def.lazy_init = true;
+      target_def.slice_positions = std::move(slice_positions);
+      LoopSpec self_loop;
+      self_loop.view_id = view_id;
+      self_loop.pattern = stmt.target_key;
+      stmt.loops.push_back(std::move(self_loop));
+    }
+    stmt.rhs = TExpr::Mul(std::move(rhs_factors));
+    return stmt;
+  }
+
+  // Database-free guard/multiplier -> TExpr over params and loop vars.
+  StatusOr<TExprPtr> TranslateGuard(
+      const ExprPtr& e,
+      const std::unordered_map<Symbol, size_t>& param_index) {
+    switch (e->kind()) {
+      case Expr::Kind::kConst:
+        return TExpr::Const(Value(e->constant()));
+      case Expr::Kind::kValueConst:
+        return TExpr::Const(e->value_const());
+      case Expr::Kind::kVar: {
+        auto it = param_index.find(e->var());
+        if (it != param_index.end()) return TExpr::Param(it->second);
+        return TExpr::LoopVar(e->var());
+      }
+      case Expr::Kind::kAdd:
+      case Expr::Kind::kMul: {
+        std::vector<TExprPtr> children;
+        for (const auto& c : e->children()) {
+          RINGDB_ASSIGN_OR_RETURN(TExprPtr t, TranslateGuard(c, param_index));
+          children.push_back(t);
+        }
+        return e->kind() == Expr::Kind::kAdd ? TExpr::Add(children)
+                                             : TExpr::Mul(children);
+      }
+      case Expr::Kind::kCmp: {
+        RINGDB_ASSIGN_OR_RETURN(TExprPtr l,
+                                TranslateGuard(e->lhs(), param_index));
+        RINGDB_ASSIGN_OR_RETURN(TExprPtr r,
+                                TranslateGuard(e->rhs(), param_index));
+        return TExpr::Cmp(e->cmp_op(), l, r);
+      }
+      default:
+        return Status::Unimplemented("guard kind not NC0C-translatable: " +
+                                     e->ToString());
+    }
+  }
+
+  // Sorts every trigger's statements by descending target-view degree so
+  // each view reads pre-update values of the strictly deeper views.
+  void FinalizeTriggers() {
+    for (Trigger& t : program_.triggers) {
+      std::stable_sort(
+          t.statements.begin(), t.statements.end(),
+          [&](const Statement& a, const Statement& b) {
+            return program_.views[static_cast<size_t>(a.target_view)].degree >
+                   program_.views[static_cast<size_t>(b.target_view)].degree;
+          });
+    }
+    // Deterministic trigger order: by relation id, insert before delete.
+    std::sort(program_.triggers.begin(), program_.triggers.end(),
+              [](const Trigger& a, const Trigger& b) {
+                if (a.relation != b.relation) return a.relation < b.relation;
+                return a.sign < b.sign;
+              });
+  }
+
+  TriggerProgram program_;
+  std::vector<ExprPtr> view_bodies_;
+  std::unordered_map<std::string, int> by_fingerprint_;
+  std::deque<int> worklist_;
+};
+
+}  // namespace
+
+StatusOr<CompiledQuery> Compile(const ring::Catalog& catalog,
+                                std::vector<Symbol> group_vars,
+                                const agca::ExprPtr& body) {
+  CompilerImpl impl(catalog);
+  return impl.Run(std::move(group_vars), body);
+}
+
+}  // namespace compiler
+}  // namespace ringdb

@@ -1,0 +1,56 @@
+// The recursive incremental-view-maintenance compiler (§1.1, §7, Ex. 1.3).
+//
+// Compile() turns the query Sum_[group_vars](body) into a TriggerProgram:
+//
+//  1. The query becomes the root materialized view m0[group_vars].
+//  2. For every event ±R, the delta of each view's definition is expanded
+//     into polynomial normal form (§5).
+//  3. Per monomial, assignments and equalities against update parameters
+//     are *consumed* as bindings (substituted through the monomial), so
+//     parameters flow into relation atoms and view keys.
+//  4. The remaining database-dependent factors are factorized into
+//     connected components (linked by shared aggregated variables); each
+//     component becomes an auxiliary view keyed by the parameters and
+//     group variables it mentions (Ex. 1.3's (ΔQ)1/(ΔQ)2 decomposition),
+//     unified across the hierarchy by canonical fingerprint (CSE).
+//  5. Auxiliary views are compiled recursively; Theorem 6.4 guarantees
+//     strictly decreasing degree, so recursion terminates at views whose
+//     deltas are database-free (pure functions of the update).
+//
+// The engine starts from the empty database, so every view entry starts
+// at 0 and is maintained purely incrementally (footnote 2 of the paper).
+//
+// Unsupported (returns kUnimplemented): assignments whose source is not
+// reducible to a parameter/constant at trigger time, and non-simple
+// conditions (nested aggregates in comparisons) — the delta rewriter
+// handles them, but they would require re-evaluation at trigger time,
+// which NC0C forbids; route such queries to the classical baseline.
+
+#ifndef RINGDB_COMPILER_COMPILE_H_
+#define RINGDB_COMPILER_COMPILE_H_
+
+#include <vector>
+
+#include "agca/ast.h"
+#include "compiler/ir.h"
+#include "ring/database.h"
+#include "util/status.h"
+
+namespace ringdb {
+namespace compiler {
+
+struct CompiledQuery {
+  TriggerProgram program;
+  // root_key_order[i] = key column of the root view holding the i-th
+  // requested group variable (view keys are stored in canonical order).
+  std::vector<size_t> root_key_order;
+};
+
+StatusOr<CompiledQuery> Compile(const ring::Catalog& catalog,
+                                std::vector<Symbol> group_vars,
+                                const agca::ExprPtr& body);
+
+}  // namespace compiler
+}  // namespace ringdb
+
+#endif  // RINGDB_COMPILER_COMPILE_H_

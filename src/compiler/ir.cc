@@ -1,0 +1,189 @@
+#include "compiler/ir.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace compiler {
+
+std::string KeyRef::ToString() const {
+  switch (kind_) {
+    case Kind::kParam: return "@p" + std::to_string(param_index_);
+    case Kind::kLoopVar: return loop_var_.str();
+    case Kind::kConst:
+      return const_.is_string() ? "'" + const_.ToString() + "'"
+                                : const_.ToString();
+  }
+  return "?";
+}
+
+TExprPtr TExpr::Const(Value v) {
+  auto e = New();
+  e->kind_ = Kind::kConst;
+  e->const_ = std::move(v);
+  return e;
+}
+
+TExprPtr TExpr::Param(size_t index) {
+  auto e = New();
+  e->kind_ = Kind::kParam;
+  e->param_index_ = index;
+  return e;
+}
+
+TExprPtr TExpr::LoopVar(Symbol v) {
+  auto e = New();
+  e->kind_ = Kind::kLoopVar;
+  e->loop_var_ = v;
+  return e;
+}
+
+TExprPtr TExpr::ViewLookup(int view_id, std::vector<KeyRef> keys) {
+  auto e = New();
+  e->kind_ = Kind::kViewLookup;
+  e->view_id_ = view_id;
+  e->keys_ = std::move(keys);
+  return e;
+}
+
+TExprPtr TExpr::Add(std::vector<TExprPtr> children) {
+  RINGDB_CHECK(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto e = New();
+  e->kind_ = Kind::kAdd;
+  e->children_ = std::move(children);
+  return e;
+}
+
+TExprPtr TExpr::Mul(std::vector<TExprPtr> children) {
+  RINGDB_CHECK(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto e = New();
+  e->kind_ = Kind::kMul;
+  e->children_ = std::move(children);
+  return e;
+}
+
+TExprPtr TExpr::Cmp(agca::CmpOp op, TExprPtr l, TExprPtr r) {
+  auto e = New();
+  e->kind_ = Kind::kCmp;
+  e->cmp_op_ = op;
+  e->children_ = {std::move(l), std::move(r)};
+  return e;
+}
+
+size_t TExpr::OpCount() const {
+  switch (kind_) {
+    case Kind::kConst:
+    case Kind::kParam:
+    case Kind::kLoopVar:
+    case Kind::kViewLookup:
+      return 0;
+    case Kind::kAdd:
+    case Kind::kMul: {
+      size_t n = children_.size() - 1;
+      for (const auto& c : children_) n += c->OpCount();
+      return n;
+    }
+    case Kind::kCmp:
+      return 1 + children_[0]->OpCount() + children_[1]->OpCount();
+  }
+  return 0;
+}
+
+std::string TExpr::ToString() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case Kind::kConst:
+      out << (const_.is_string() ? "'" + const_.ToString() + "'"
+                                 : const_.ToString());
+      break;
+    case Kind::kParam:
+      out << "@p" << param_index_;
+      break;
+    case Kind::kLoopVar:
+      out << loop_var_.str();
+      break;
+    case Kind::kViewLookup: {
+      out << 'm' << view_id_ << '[';
+      for (size_t i = 0; i < keys_.size(); ++i) {
+        if (i) out << ", ";
+        out << keys_[i].ToString();
+      }
+      out << ']';
+      break;
+    }
+    case Kind::kAdd:
+    case Kind::kMul: {
+      out << '(';
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i) out << (kind_ == Kind::kAdd ? " + " : " * ");
+        out << children_[i]->ToString();
+      }
+      out << ')';
+      break;
+    }
+    case Kind::kCmp:
+      out << '(' << children_[0]->ToString() << ' '
+          << agca::CmpOpToString(cmp_op_) << ' '
+          << children_[1]->ToString() << ')';
+      break;
+  }
+  return out.str();
+}
+
+std::string LoopSpec::ToString() const {
+  std::ostringstream out;
+  out << "for m" << view_id << '[';
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (i) out << ", ";
+    out << pattern[i].ToString();
+  }
+  out << ']';
+  return out.str();
+}
+
+std::string Statement::ToString() const {
+  std::ostringstream out;
+  for (const LoopSpec& loop : loops) out << loop.ToString() << ": ";
+  out << 'm' << target_view << '[';
+  for (size_t i = 0; i < target_key.size(); ++i) {
+    if (i) out << ", ";
+    out << target_key[i].ToString();
+  }
+  out << "] += " << rhs->ToString();
+  return out.str();
+}
+
+std::string Trigger::ToString() const {
+  std::ostringstream out;
+  out << "on " << (sign == ring::Update::Sign::kInsert ? '+' : '-')
+      << relation.str() << ":\n";
+  for (const Statement& s : statements) out << "  " << s.ToString() << '\n';
+  return out.str();
+}
+
+std::string ViewDef::ToString() const {
+  std::ostringstream out;
+  out << name << '[';
+  for (size_t i = 0; i < key_vars.size(); ++i) {
+    if (i) out << ", ";
+    out << key_vars[i].str();
+  }
+  out << "] (deg " << degree << (lazy_init ? ", lazy" : "") << ") := "
+      << definition->ToString();
+  return out.str();
+}
+
+std::string TriggerProgram::ToString() const {
+  std::ostringstream out;
+  out << "views:\n";
+  for (const ViewDef& v : views) out << "  " << v.ToString() << '\n';
+  out << "triggers:\n";
+  for (const Trigger& t : triggers) out << t.ToString();
+  return out.str();
+}
+
+}  // namespace compiler
+}  // namespace ringdb

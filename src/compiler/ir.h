@@ -1,0 +1,192 @@
+// NC0C: the low-level trigger language targeted by the compiler (§7).
+//
+// A TriggerProgram is a set of materialized-view declarations plus, for
+// every update event ±R, a list of statements of the form
+//
+//     for <loop bindings>:  V[k1, ..., kn] += rhs
+//
+// where each key k_i is an update parameter, a constant, or a loop
+// variable; loops enumerate the entries of an existing view matching the
+// already-bound key positions; and rhs is built from constants, update
+// parameters, loop variables, O(1) view lookups, +, *, and comparisons —
+// no joins and no aggregation. When every key is bound by the update the
+// statement touches exactly one view entry with a constant number of
+// arithmetic operations; this is the paper's NC0 property, and the
+// op-counting interpreter (runtime/interpreter.h) measures it.
+//
+// Statements are executed in descending order of target-view degree, so
+// each level is refreshed from the *pre-update* values of the strictly
+// deeper (lower-degree) views it reads — Equation (1) of §1.1 applied
+// in increasing delta order.
+
+#ifndef RINGDB_COMPILER_IR_H_
+#define RINGDB_COMPILER_IR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agca/ast.h"
+#include "ring/database.h"
+#include "util/symbol.h"
+#include "util/value.h"
+
+namespace ringdb {
+namespace compiler {
+
+// A key-slot reference resolvable at trigger-execution time.
+class KeyRef {
+ public:
+  enum class Kind { kParam, kLoopVar, kConst };
+
+  static KeyRef Param(size_t index) {
+    KeyRef k;
+    k.kind_ = Kind::kParam;
+    k.param_index_ = index;
+    return k;
+  }
+  static KeyRef LoopVar(Symbol v) {
+    KeyRef k;
+    k.kind_ = Kind::kLoopVar;
+    k.loop_var_ = v;
+    return k;
+  }
+  static KeyRef Const(Value v) {
+    KeyRef k;
+    k.kind_ = Kind::kConst;
+    k.const_ = std::move(v);
+    return k;
+  }
+
+  Kind kind() const { return kind_; }
+  size_t param_index() const { return param_index_; }
+  Symbol loop_var() const { return loop_var_; }
+  const Value& constant() const { return const_; }
+
+  bool IsBoundBeforeLoops() const { return kind_ != Kind::kLoopVar; }
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kConst;
+  size_t param_index_ = 0;
+  Symbol loop_var_;
+  Value const_;
+};
+
+// Scalar right-hand-side expressions of NC0C statements.
+class TExpr;
+using TExprPtr = std::shared_ptr<const TExpr>;
+
+class TExpr {
+ public:
+  enum class Kind { kConst, kParam, kLoopVar, kViewLookup, kAdd, kMul, kCmp };
+
+  static TExprPtr Const(Value v);
+  static TExprPtr Param(size_t index);
+  static TExprPtr LoopVar(Symbol v);
+  static TExprPtr ViewLookup(int view_id, std::vector<KeyRef> keys);
+  static TExprPtr Add(std::vector<TExprPtr> children);
+  static TExprPtr Mul(std::vector<TExprPtr> children);
+  // 1 if l op r else 0 (value equality for kEq/kNe, numeric otherwise).
+  static TExprPtr Cmp(agca::CmpOp op, TExprPtr l, TExprPtr r);
+
+  Kind kind() const { return kind_; }
+  const Value& constant() const { return const_; }
+  size_t param_index() const { return param_index_; }
+  Symbol loop_var() const { return loop_var_; }
+  int view_id() const { return view_id_; }
+  const std::vector<KeyRef>& keys() const { return keys_; }
+  const std::vector<TExprPtr>& children() const { return children_; }
+  agca::CmpOp cmp_op() const { return cmp_op_; }
+
+  // Total number of +/* operations an evaluation performs (the constant
+  // of the NC0 claim; comparisons count as one op).
+  size_t OpCount() const;
+
+  std::string ToString() const;
+
+ private:
+  TExpr() = default;
+  static std::shared_ptr<TExpr> New() {
+    return std::shared_ptr<TExpr>(new TExpr());
+  }
+
+  Kind kind_ = Kind::kConst;
+  Value const_;
+  size_t param_index_ = 0;
+  Symbol loop_var_;
+  int view_id_ = -1;
+  std::vector<KeyRef> keys_;
+  std::vector<TExprPtr> children_;
+  agca::CmpOp cmp_op_ = agca::CmpOp::kEq;
+};
+
+// Enumerates entries of `view_id` whose keys match the bound positions of
+// `pattern`; each enumerated entry binds the loop variables appearing in
+// the kLoopVar positions (variables bound by an earlier loop act as
+// additional filters).
+struct LoopSpec {
+  int view_id = -1;
+  std::vector<KeyRef> pattern;  // one per key column of the view
+
+  std::string ToString() const;
+};
+
+// for loops: target[target_key] += rhs.
+struct Statement {
+  int target_view = -1;
+  std::vector<KeyRef> target_key;
+  std::vector<LoopSpec> loops;
+  TExprPtr rhs;
+
+  std::string ToString() const;
+};
+
+// All statements fired by one kind of event (±R).
+struct Trigger {
+  Symbol relation;
+  ring::Update::Sign sign = ring::Update::Sign::kInsert;
+  std::vector<Statement> statements;  // descending target-view degree
+
+  std::string ToString() const;
+};
+
+// A materialized view of the hierarchy.
+struct ViewDef {
+  int id = -1;
+  std::string name;                   // "m0", "m1", ...
+  std::vector<Symbol> key_vars;       // canonical key order
+  agca::ExprPtr definition;           // Sum_[key_vars](body); documentation
+                                      // and oracle for tests
+  int degree = 0;                     // Degree(definition)
+  // Domain maintenance (paper footnote 2): true when some event changes
+  // this view at keys *not* bound by the update (e.g. inequality
+  // thresholds). Such a view is maintained per *slice*: slice_positions
+  // are the "input" key columns (the DBToaster notion of input
+  // variables); the first use of a slice evaluates the view definition
+  // with the slice key bound against the base database, materializing
+  // every entry of the slice, after which self-loop statements keep all
+  // initialized slices fresh.
+  bool lazy_init = false;
+  std::vector<size_t> slice_positions;
+
+  std::string ToString() const;
+};
+
+struct TriggerProgram {
+  ring::Catalog catalog;
+  std::vector<ViewDef> views;  // views[root_view] is the query result
+  int root_view = 0;
+  std::vector<Trigger> triggers;  // one per (relation, sign)
+
+  const ViewDef& view(int id) const { return views[static_cast<size_t>(id)]; }
+
+  // Human-readable listing of the whole program (views + triggers).
+  std::string ToString() const;
+};
+
+}  // namespace compiler
+}  // namespace ringdb
+
+#endif  // RINGDB_COMPILER_IR_H_

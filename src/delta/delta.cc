@@ -1,0 +1,164 @@
+#include "delta/delta.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace delta {
+
+using agca::CmpOp;
+using agca::Expr;
+using agca::ExprPtr;
+using agca::IsVar;
+using agca::Term;
+using agca::TermValue;
+using agca::TermVar;
+
+std::string Event::ToString() const {
+  std::ostringstream out;
+  out << (IsInsert() ? '+' : '-') << relation.str() << '(';
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i) out << ", ";
+    out << params[i].str();
+  }
+  out << ')';
+  return out.str();
+}
+
+Event MakeEvent(const ring::Catalog& catalog, Symbol relation,
+                ring::Update::Sign sign, const std::string& tag) {
+  Event ev;
+  ev.sign = sign;
+  ev.relation = relation;
+  for (Symbol col : catalog.Columns(relation)) {
+    ev.params.push_back(
+        Symbol::Intern("@" + relation.str() + "." + col.str() + tag));
+  }
+  return ev;
+}
+
+Event MakeSymbolicSignEvent(const ring::Catalog& catalog, Symbol relation,
+                            const std::string& tag) {
+  Event ev = MakeEvent(catalog, relation, ring::Update::Sign::kInsert, tag);
+  ev.sign_param = Symbol::Intern("@" + relation.str() + "!sign" + tag);
+  return ev;
+}
+
+namespace {
+
+// Delta of a relational atom: ±R(t) applied to R(a1, ..., ak) yields
+// ±prod_i (a_i := p_i) for variable arguments; constant arguments become
+// equality guards on the parameter (the update only matches if its value
+// equals the constant).
+ExprPtr DeltaRelation(const Expr& q, const Event& ev) {
+  if (q.relation() != ev.relation) return Expr::Const(kZero);
+  RINGDB_CHECK_EQ(q.args().size(), ev.params.size());
+  std::vector<ExprPtr> factors;
+  factors.reserve(q.args().size());
+  for (size_t i = 0; i < q.args().size(); ++i) {
+    const Term& t = q.args()[i];
+    if (IsVar(t)) {
+      factors.push_back(
+          Expr::Assign(TermVar(t), Expr::Var(ev.params[i])));
+    } else {
+      factors.push_back(Expr::Cmp(CmpOp::kEq, Expr::Var(ev.params[i]),
+                                  Expr::ValueConst(TermValue(t))));
+    }
+  }
+  if (ev.HasSymbolicSign()) {
+    factors.insert(factors.begin(), Expr::Var(ev.sign_param));
+    return Expr::Mul(std::move(factors));
+  }
+  ExprPtr d = Expr::Mul(std::move(factors));
+  return ev.IsInsert() ? d : Expr::Neg(std::move(d));
+}
+
+// Delta of a product, folded right-to-left over the factor list:
+//   Delta(a * b) = Delta(a)*b + a*Delta(b) + Delta(a)*Delta(b).
+ExprPtr DeltaProduct(const std::vector<ExprPtr>& factors, size_t index,
+                     const Event& ev) {
+  if (index + 1 == factors.size()) return Delta(factors[index], ev);
+  ExprPtr a = factors[index];
+  std::vector<ExprPtr> rest(factors.begin() + index + 1, factors.end());
+  ExprPtr b = Expr::Mul(rest);
+  ExprPtr da = Delta(a, ev);
+  ExprPtr db = DeltaProduct(factors, index + 1, ev);
+  return Expr::Add({Expr::Mul({da, b}), Expr::Mul({a, db}),
+                    Expr::Mul({da, db})});
+}
+
+// The general condition rule of §6 for t θ 0 with Δt possibly nonzero.
+ExprPtr DeltaCondition(CmpOp op, const ExprPtr& t, const Event& ev) {
+  ExprPtr dt = Delta(t, ev);
+  if (dt->IsZero()) return Expr::Const(kZero);  // simple condition
+  ExprPtr zero = Expr::Const(kZero);
+  ExprPtr t_new = Expr::Add({t, dt});
+  CmpOp bar = agca::Complement(op);
+  ExprPtr became_true = Expr::Mul(
+      {Expr::Cmp(op, t_new, zero), Expr::Cmp(bar, t, zero)});
+  ExprPtr became_false = Expr::Mul(
+      {Expr::Cmp(bar, t_new, zero), Expr::Cmp(op, t, zero)});
+  return Expr::Add({became_true, Expr::Neg(became_false)});
+}
+
+}  // namespace
+
+ExprPtr Delta(const ExprPtr& q, const Event& ev) {
+  switch (q->kind()) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kValueConst:
+    case Expr::Kind::kVar:
+      // Constants and (bound) variables do not depend on the database.
+      return Expr::Const(kZero);
+
+    case Expr::Kind::kRelation:
+      return DeltaRelation(*q, ev);
+
+    case Expr::Kind::kAdd: {
+      std::vector<ExprPtr> deltas;
+      deltas.reserve(q->children().size());
+      for (const auto& c : q->children()) deltas.push_back(Delta(c, ev));
+      return Expr::Add(std::move(deltas));
+    }
+
+    case Expr::Kind::kMul:
+      return DeltaProduct(q->children(), 0, ev);
+
+    case Expr::Kind::kSum:
+      return Expr::Sum(q->group_vars(), Delta(q->child(), ev));
+
+    case Expr::Kind::kCmp: {
+      if (agca::DatabaseFree(*q->lhs()) && agca::DatabaseFree(*q->rhs())) {
+        return Expr::Const(kZero);
+      }
+      // l θ r is (l - r) θ 0.
+      ExprPtr t = Expr::Add({q->lhs(), Expr::Neg(q->rhs())});
+      return DeltaCondition(q->cmp_op(), t, ev);
+    }
+
+    case Expr::Kind::kAssign: {
+      // x := t is treated like the condition x = t (§6).
+      if (agca::DatabaseFree(*q->child())) return Expr::Const(kZero);
+      ExprPtr t = Expr::Add({Expr::Var(q->var()), Expr::Neg(q->child())});
+      return DeltaCondition(CmpOp::kEq, t, ev);
+    }
+  }
+  RINGDB_CHECK(false);
+  return nullptr;
+}
+
+ring::Tuple BindParams(const Event& event, const ring::Update& update) {
+  RINGDB_CHECK(event.relation == update.relation);
+  RINGDB_CHECK(event.sign == update.sign);
+  RINGDB_CHECK_EQ(event.params.size(), update.values.size());
+  std::vector<ring::Tuple::Field> fields;
+  fields.reserve(event.params.size());
+  for (size_t i = 0; i < event.params.size(); ++i) {
+    fields.emplace_back(event.params[i], update.values[i]);
+  }
+  return ring::Tuple::FromFields(std::move(fields));
+}
+
+}  // namespace delta
+}  // namespace ringdb

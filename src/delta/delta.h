@@ -1,0 +1,62 @@
+// Delta queries (§6): the rewrite Delta_u(q) such that
+// [[q]](A + u) = [[q]](A) + [[Delta_u q]](A) (Proposition 6.1).
+//
+// Updates are symbolic events ±R(p1, ..., pk) whose parameters p_i are
+// fresh query variables; a concrete update instantiates them with the
+// inserted/deleted tuple's values. AGCA is closed under Delta, so deltas
+// can be taken repeatedly ("infinitely differentiable" queries) — each
+// application strictly reduces the degree for queries with simple
+// conditions (Theorem 6.4), bottoming out at database-free expressions.
+
+#ifndef RINGDB_DELTA_DELTA_H_
+#define RINGDB_DELTA_DELTA_H_
+
+#include <string>
+#include <vector>
+
+#include "agca/ast.h"
+#include "ring/database.h"
+
+namespace ringdb {
+namespace delta {
+
+// A symbolic single-tuple update event. When `sign_param` is a non-empty
+// symbol the event's sign is symbolic too: the delta of a matching atom
+// is sign_param * (x1 := p1) * ... — i.e. the update multiplicity (+1 or
+// -1) becomes a bound variable, letting one delta expression cover both
+// insertion and deletion (used by the §1.1 delta-tower baseline, where
+// U contains both signs of every tuple).
+struct Event {
+  ring::Update::Sign sign = ring::Update::Sign::kInsert;
+  Symbol relation;
+  std::vector<Symbol> params;  // one fresh variable per column
+  Symbol sign_param;           // empty (id 0): concrete sign
+
+  bool IsInsert() const { return sign == ring::Update::Sign::kInsert; }
+  bool HasSymbolicSign() const { return sign_param != Symbol(); }
+  std::string ToString() const;
+};
+
+// Builds the event ±R(p...) with canonical parameter names "@R.col<tag>"
+// (tag distinguishes nesting levels when taking repeated deltas).
+Event MakeEvent(const ring::Catalog& catalog, Symbol relation,
+                ring::Update::Sign sign, const std::string& tag = "");
+
+// An event with a symbolic sign variable "@R!sign<tag>".
+Event MakeSymbolicSignEvent(const ring::Catalog& catalog, Symbol relation,
+                            const std::string& tag = "");
+
+// The delta rewrite. Implements every rule of §6, including the general
+// (non-simple) condition rule
+//   Delta(t θ 0) = ((t + Δt) θ 0)*(t θ̄ 0) − ((t + Δt) θ̄ 0)*(t θ 0);
+// simple conditions short-circuit to delta 0.
+agca::ExprPtr Delta(const agca::ExprPtr& q, const Event& event);
+
+// Binds the event's parameters to a concrete update's values, for
+// evaluating a delta expression directly (classical IVM baseline, tests).
+ring::Tuple BindParams(const Event& event, const ring::Update& update);
+
+}  // namespace delta
+}  // namespace ringdb
+
+#endif  // RINGDB_DELTA_DELTA_H_

@@ -1,0 +1,73 @@
+#include "ring/database.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace ring {
+
+void Catalog::AddRelation(Symbol name, std::vector<Symbol> columns) {
+  auto it = schemas_.find(name);
+  if (it != schemas_.end()) {
+    RINGDB_CHECK(it->second == columns);
+    return;
+  }
+  schemas_.emplace(name, std::move(columns));
+}
+
+const std::vector<Symbol>& Catalog::Columns(Symbol name) const {
+  auto it = schemas_.find(name);
+  RINGDB_CHECK(it != schemas_.end());
+  return it->second;
+}
+
+std::vector<Symbol> Catalog::RelationNames() const {
+  std::vector<Symbol> names;
+  names.reserve(schemas_.size());
+  for (const auto& [name, cols] : schemas_) names.push_back(name);
+  return names;
+}
+
+std::string Update::ToString() const {
+  std::ostringstream out;
+  out << (sign == Sign::kInsert ? '+' : '-') << relation.str() << '(';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out << ", ";
+    out << values[i].ToString();
+  }
+  out << ')';
+  return out.str();
+}
+
+const Gmr Database::kEmpty;
+
+Database::Database(Catalog catalog) : catalog_(std::move(catalog)) {}
+
+const Gmr& Database::Relation(Symbol name) const {
+  RINGDB_CHECK(catalog_.Has(name));
+  auto it = relations_.find(name);
+  if (it == relations_.end()) return kEmpty;
+  return it->second;
+}
+
+void Database::Apply(const Update& u) {
+  RINGDB_CHECK(catalog_.Has(u.relation));
+  const std::vector<Symbol>& cols = catalog_.Columns(u.relation);
+  RINGDB_CHECK_EQ(cols.size(), u.values.size());
+  relations_[u.relation].Add(Tuple::FromRow(cols, u.values), u.SignedUnit());
+}
+
+int64_t Database::TotalTuples() const {
+  int64_t n = 0;
+  for (const auto& [name, gmr] : relations_) {
+    for (const auto& [t, m] : gmr.support()) {
+      n += m.is_integer() ? std::llabs(m.AsInt()) : 1;
+    }
+  }
+  return n;
+}
+
+}  // namespace ring
+}  // namespace ringdb

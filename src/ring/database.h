@@ -1,0 +1,94 @@
+// Catalog (relation schemas), update events ±R(t), and the database: one
+// gmr per base relation, updated by single-tuple insertions/deletions.
+//
+// D + u is literally ring addition of the signed singleton gmr: insertion
+// adds {t -> +1}, deletion adds {t -> -1}. A deletion of an absent tuple
+// produces a negative multiplicity rather than failing (Remark 5.1);
+// callers that want multiset integrity can check beforehand.
+
+#ifndef RINGDB_RING_DATABASE_H_
+#define RINGDB_RING_DATABASE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ring/gmr.h"
+#include "ring/tuple.h"
+#include "util/status.h"
+#include "util/symbol.h"
+
+namespace ringdb {
+namespace ring {
+
+class Catalog {
+ public:
+  // Declares relation `name` with the given column names. Redeclaration
+  // with a different arity is a checked failure.
+  void AddRelation(Symbol name, std::vector<Symbol> columns);
+
+  bool Has(Symbol name) const { return schemas_.contains(name); }
+  const std::vector<Symbol>& Columns(Symbol name) const;
+  size_t Arity(Symbol name) const { return Columns(name).size(); }
+  std::vector<Symbol> RelationNames() const;
+
+ private:
+  std::unordered_map<Symbol, std::vector<Symbol>> schemas_;
+};
+
+// A single-tuple update event ±R(t1, ..., tk).
+struct Update {
+  enum class Sign { kInsert, kDelete };
+
+  Sign sign = Sign::kInsert;
+  Symbol relation;
+  std::vector<Value> values;  // positional, per the catalog's column order
+
+  static Update Insert(Symbol relation, std::vector<Value> values) {
+    return {Sign::kInsert, relation, std::move(values)};
+  }
+  static Update Delete(Symbol relation, std::vector<Value> values) {
+    return {Sign::kDelete, relation, std::move(values)};
+  }
+
+  // +1 for insertion, -1 for deletion.
+  Numeric SignedUnit() const {
+    return sign == Sign::kInsert ? kOne : Numeric(int64_t{-1});
+  }
+
+  std::string ToString() const;
+};
+
+class Database {
+ public:
+  explicit Database(Catalog catalog);
+
+  const Catalog& catalog() const { return catalog_; }
+
+  // The current gmr of relation `name` (empty gmr if never touched).
+  const Gmr& Relation(Symbol name) const;
+
+  // D := D + u.
+  void Apply(const Update& u);
+
+  void Insert(Symbol relation, std::vector<Value> values) {
+    Apply(Update::Insert(relation, std::move(values)));
+  }
+  void Delete(Symbol relation, std::vector<Value> values) {
+    Apply(Update::Delete(relation, std::move(values)));
+  }
+
+  // Total number of tuples (by absolute multiplicity) across relations;
+  // used by benchmarks to report database size.
+  int64_t TotalTuples() const;
+
+ private:
+  Catalog catalog_;
+  std::unordered_map<Symbol, Gmr> relations_;
+  static const Gmr kEmpty;
+};
+
+}  // namespace ring
+}  // namespace ringdb
+
+#endif  // RINGDB_RING_DATABASE_H_

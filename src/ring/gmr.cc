@@ -1,0 +1,126 @@
+#include "ring/gmr.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace ring {
+
+Gmr Gmr::Singleton(Tuple t, Numeric multiplicity) {
+  Gmr r;
+  r.Add(t, multiplicity);
+  return r;
+}
+
+Gmr Gmr::FromRows(const std::vector<Symbol>& columns,
+                  const std::vector<std::vector<Value>>& rows) {
+  Gmr r;
+  for (const auto& row : rows) {
+    r.Add(Tuple::FromRow(columns, row), kOne);
+  }
+  return r;
+}
+
+Numeric Gmr::At(const Tuple& t) const {
+  auto it = support_.find(t);
+  if (it == support_.end()) return kZero;
+  return it->second;
+}
+
+void Gmr::Add(const Tuple& t, Numeric m) {
+  if (m.IsZero()) return;
+  auto [it, inserted] = support_.try_emplace(t, m);
+  if (!inserted) {
+    it->second += m;
+    if (it->second.IsZero()) support_.erase(it);
+  }
+}
+
+Numeric Gmr::TotalMultiplicity() const {
+  Numeric total = kZero;
+  for (const auto& [t, m] : support_) total += m;
+  return total;
+}
+
+bool Gmr::IsMultisetRelation() const {
+  const std::vector<Symbol>* schema = nullptr;
+  std::vector<Symbol> first;
+  for (const auto& [t, m] : support_) {
+    if (!m.is_integer() || m.AsInt() < 0) return false;
+    if (schema == nullptr) {
+      first = t.Schema();
+      schema = &first;
+    } else if (t.Schema() != *schema) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Gmr& Gmr::operator+=(const Gmr& o) {
+  for (const auto& [t, m] : o.support_) Add(t, m);
+  return *this;
+}
+
+Gmr operator+(const Gmr& a, const Gmr& b) {
+  Gmr r = a;
+  r += b;
+  return r;
+}
+
+Gmr Gmr::operator-() const {
+  Gmr r;
+  for (const auto& [t, m] : support_) r.support_.emplace(t, -m);
+  return r;
+}
+
+Gmr operator-(const Gmr& a, const Gmr& b) { return a + (-b); }
+
+Gmr operator*(const Gmr& a, const Gmr& b) {
+  Gmr r;
+  for (const auto& [t1, m1] : a.support_) {
+    for (const auto& [t2, m2] : b.support_) {
+      std::optional<Tuple> joined = Tuple::Join(t1, t2);
+      if (!joined.has_value()) continue;
+      r.Add(*joined, m1 * m2);
+    }
+  }
+  return r;
+}
+
+Gmr operator*(Numeric a, const Gmr& r) {
+  Gmr out;
+  if (a.IsZero()) return out;
+  for (const auto& [t, m] : r.support_) out.Add(t, a * m);
+  return out;
+}
+
+bool operator==(const Gmr& a, const Gmr& b) {
+  if (a.support_.size() != b.support_.size()) return false;
+  for (const auto& [t, m] : a.support_) {
+    auto it = b.support_.find(t);
+    if (it == b.support_.end() || it->second != m) return false;
+  }
+  return true;
+}
+
+std::string Gmr::ToString() const {
+  // std::map gives deterministic tuple order for printing.
+  std::map<Tuple, Numeric> ordered(support_.begin(), support_.end());
+  std::ostringstream out;
+  out << "{|";
+  bool first = true;
+  for (const auto& [t, m] : ordered) {
+    if (!first) out << ", ";
+    first = false;
+    out << t.ToString() << " -> " << m.ToString();
+  }
+  out << "|}";
+  return out.str();
+}
+
+}  // namespace ring
+}  // namespace ringdb

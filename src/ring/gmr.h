@@ -1,0 +1,93 @@
+// Generalized multiset relations: the ring of databases A[T] (§3,
+// Definition 3.1).
+//
+// A Gmr is a finite-support function Tuple -> Numeric. Addition generalizes
+// multiset union, multiplication generalizes the natural join (it is the
+// convolution product of the monoid ring Z[Sng]), and every element has an
+// additive inverse -R, which models deletions (Remark 5.1: deleting "too
+// much" yields tuples with negative multiplicity, not an error).
+//
+// On classical multiset relations (uniform schema, multiplicities >= 0),
+// + and * coincide with multiset union and multiset natural join; the unit
+// tests check this against a naive reference join.
+
+#ifndef RINGDB_RING_GMR_H_
+#define RINGDB_RING_GMR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ring/tuple.h"
+#include "util/numeric.h"
+
+namespace ringdb {
+namespace ring {
+
+class Gmr {
+ public:
+  using Support = std::unordered_map<Tuple, Numeric>;
+
+  Gmr() = default;
+
+  // 0: the empty gmr (additive identity).
+  static Gmr Zero() { return Gmr(); }
+
+  // 1: the nullary singleton {<> -> 1} (multiplicative identity).
+  static Gmr One() { return Singleton(Tuple(), kOne); }
+
+  // The scaled basis element m * chi_{t}.
+  static Gmr Singleton(Tuple t, Numeric multiplicity);
+
+  // Builds a classical multiset relation over `columns` from rows, each
+  // with multiplicity 1 (duplicate rows accumulate).
+  static Gmr FromRows(const std::vector<Symbol>& columns,
+                      const std::vector<std::vector<Value>>& rows);
+
+  // Multiplicity of t (0 outside the support).
+  Numeric At(const Tuple& t) const;
+
+  // Adds m to the multiplicity of t; entries cancelling to 0 are erased so
+  // that support() is exactly the nonzero part (canonical representation).
+  void Add(const Tuple& t, Numeric m);
+
+  const Support& support() const { return support_; }
+  size_t SupportSize() const { return support_.size(); }
+  bool IsZero() const { return support_.empty(); }
+
+  // Sum of all multiplicities: the Sum(.) aggregate of AGCA applied to
+  // this gmr, i.e. the image under the ring homomorphism A[T] -> A that
+  // collapses every tuple to <>.
+  Numeric TotalMultiplicity() const;
+
+  // True iff this is a classical multiset relation (§5): all tuples share
+  // one schema and all multiplicities are positive integers.
+  bool IsMultisetRelation() const;
+
+  Gmr& operator+=(const Gmr& o);
+  friend Gmr operator+(const Gmr& a, const Gmr& b);
+  Gmr operator-() const;
+  friend Gmr operator-(const Gmr& a, const Gmr& b);
+
+  // Convolution product: sum over all pairs of tuples whose natural join
+  // is consistent. Inconsistent pairs contribute nothing (mutilated zero).
+  friend Gmr operator*(const Gmr& a, const Gmr& b);
+
+  // Scalar action of A on A[T] (the A-module structure, §2.5).
+  friend Gmr operator*(Numeric a, const Gmr& r);
+
+  friend bool operator==(const Gmr& a, const Gmr& b);
+  friend bool operator!=(const Gmr& a, const Gmr& b) { return !(a == b); }
+
+  // Deterministically ordered multi-line rendering (used to regenerate the
+  // paper's example tables).
+  std::string ToString() const;
+
+ private:
+  Support support_;
+};
+
+}  // namespace ring
+}  // namespace ringdb
+
+#endif  // RINGDB_RING_GMR_H_

@@ -1,0 +1,154 @@
+#include "ring/tuple.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace ring {
+
+namespace {
+bool FieldLess(const Tuple::Field& a, const Tuple::Field& b) {
+  return a.first < b.first;
+}
+}  // namespace
+
+Tuple::Tuple(std::initializer_list<Field> fields)
+    : Tuple(FromFields(std::vector<Field>(fields))) {}
+
+Tuple Tuple::FromFields(std::vector<Field> fields) {
+  std::sort(fields.begin(), fields.end(), FieldLess);
+  for (size_t i = 1; i < fields.size(); ++i) {
+    if (fields[i - 1].first == fields[i].first) {
+      RINGDB_CHECK(fields[i - 1].second == fields[i].second);
+    }
+  }
+  fields.erase(std::unique(fields.begin(), fields.end(),
+                           [](const Field& a, const Field& b) {
+                             return a.first == b.first;
+                           }),
+               fields.end());
+  Tuple t;
+  t.fields_ = std::move(fields);
+  return t;
+}
+
+Tuple Tuple::FromRow(const std::vector<Symbol>& columns,
+                     const std::vector<Value>& values) {
+  RINGDB_CHECK_EQ(columns.size(), values.size());
+  std::vector<Field> fields;
+  fields.reserve(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    fields.emplace_back(columns[i], values[i]);
+  }
+  return FromFields(std::move(fields));
+}
+
+const Value* Tuple::Get(Symbol column) const {
+  auto it = std::lower_bound(fields_.begin(), fields_.end(),
+                             Field(column, Value()), FieldLess);
+  if (it == fields_.end() || it->first != column) return nullptr;
+  return &it->second;
+}
+
+std::vector<Symbol> Tuple::Schema() const {
+  std::vector<Symbol> cols;
+  cols.reserve(fields_.size());
+  for (const Field& f : fields_) cols.push_back(f.first);
+  return cols;
+}
+
+std::optional<Tuple> Tuple::Join(const Tuple& a, const Tuple& b) {
+  Tuple out;
+  out.fields_.reserve(a.fields_.size() + b.fields_.size());
+  size_t i = 0, j = 0;
+  while (i < a.fields_.size() && j < b.fields_.size()) {
+    if (a.fields_[i].first < b.fields_[j].first) {
+      out.fields_.push_back(a.fields_[i++]);
+    } else if (b.fields_[j].first < a.fields_[i].first) {
+      out.fields_.push_back(b.fields_[j++]);
+    } else {
+      if (a.fields_[i].second != b.fields_[j].second) return std::nullopt;
+      out.fields_.push_back(a.fields_[i]);
+      ++i;
+      ++j;
+    }
+  }
+  out.fields_.insert(out.fields_.end(), a.fields_.begin() + i,
+                     a.fields_.end());
+  out.fields_.insert(out.fields_.end(), b.fields_.begin() + j,
+                     b.fields_.end());
+  return out;
+}
+
+bool Tuple::Consistent(const Tuple& a, const Tuple& b) {
+  size_t i = 0, j = 0;
+  while (i < a.fields_.size() && j < b.fields_.size()) {
+    if (a.fields_[i].first < b.fields_[j].first) {
+      ++i;
+    } else if (b.fields_[j].first < a.fields_[i].first) {
+      ++j;
+    } else {
+      if (a.fields_[i].second != b.fields_[j].second) return false;
+      ++i;
+      ++j;
+    }
+  }
+  return true;
+}
+
+Tuple Tuple::Restrict(const std::vector<Symbol>& columns) const {
+  std::vector<Field> kept;
+  for (const Field& f : fields_) {
+    if (std::find(columns.begin(), columns.end(), f.first) != columns.end()) {
+      kept.push_back(f);
+    }
+  }
+  Tuple t;
+  t.fields_ = std::move(kept);  // restriction preserves sortedness
+  return t;
+}
+
+Tuple Tuple::Extend(Symbol column, Value value) const {
+  RINGDB_CHECK(!Has(column));
+  Tuple t = *this;
+  auto it = std::lower_bound(t.fields_.begin(), t.fields_.end(),
+                             Field(column, Value()), FieldLess);
+  t.fields_.insert(it, Field(column, std::move(value)));
+  return t;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x2545f4914f6cdd1dULL;
+  for (const Field& f : fields_) {
+    h = HashCombine(h, std::hash<Symbol>()(f.first));
+    h = HashCombine(h, f.second.Hash());
+  }
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream out;
+  out << '{';
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out << "; ";
+    out << fields_[i].first.str() << "->" << fields_[i].second.ToString();
+  }
+  out << '}';
+  return out.str();
+}
+
+bool operator<(const Tuple& a, const Tuple& b) {
+  const auto& x = a.fields_;
+  const auto& y = b.fields_;
+  size_t n = std::min(x.size(), y.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (x[i].first != y[i].first) return x[i].first < y[i].first;
+    if (x[i].second != y[i].second) return x[i].second < y[i].second;
+  }
+  return x.size() < y.size();
+}
+
+}  // namespace ring
+}  // namespace ringdb

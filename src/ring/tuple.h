@@ -1,0 +1,104 @@
+// Records: schema-polymorphic tuples (§3.1).
+//
+// A record is a partial function Sigma -> Adom from column names to values.
+// Records of *different* schemas coexist inside one gmr; this schema
+// polymorphism is what makes the ring operations + and * total. Storage is
+// a vector of (column, value) pairs sorted by interned column id, giving a
+// canonical form with O(n) merge-based natural join.
+//
+// The singletons {t} with natural join form the commutative monoid Sng∅
+// with zero ∅; Join returning nullopt realizes the mutilation of that zero
+// (§2.4), so Tuple is a PartialMonoid and Gmr ≅ A[Sng] (Proposition 3.3).
+
+#ifndef RINGDB_RING_TUPLE_H_
+#define RINGDB_RING_TUPLE_H_
+
+#include <functional>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/symbol.h"
+#include "util/value.h"
+
+namespace ringdb {
+namespace ring {
+
+class Tuple {
+ public:
+  using Field = std::pair<Symbol, Value>;
+
+  // The empty record <> (the monoid identity 1_Sng).
+  Tuple() = default;
+
+  Tuple(std::initializer_list<Field> fields);
+
+  // Builds from an unsorted field list; later duplicates must agree.
+  static Tuple FromFields(std::vector<Field> fields);
+
+  // The record {col_i -> val_i} for parallel column/value vectors.
+  static Tuple FromRow(const std::vector<Symbol>& columns,
+                       const std::vector<Value>& values);
+
+  bool empty() const { return fields_.empty(); }
+  size_t size() const { return fields_.size(); }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  // The value bound to `column`, or nullptr if outside the domain.
+  const Value* Get(Symbol column) const;
+  bool Has(Symbol column) const { return Get(column) != nullptr; }
+
+  // dom(t): the record's own schema.
+  std::vector<Symbol> Schema() const;
+
+  // Natural join {a} ./ {b}: the merged record when a and b agree on every
+  // shared column, nullopt (the mutilated zero) otherwise.
+  static std::optional<Tuple> Join(const Tuple& a, const Tuple& b);
+
+  // True when Join(a, b) would succeed (no value conflict).
+  static bool Consistent(const Tuple& a, const Tuple& b);
+
+  // The restriction t|cols of the domain to the given columns.
+  Tuple Restrict(const std::vector<Symbol>& columns) const;
+
+  // Record extended with column -> value; the column must be fresh.
+  Tuple Extend(Symbol column, Value value) const;
+
+  // PartialMonoid interface (algebra/ring_traits.h), so the generic
+  // MonoidRingElem<Tuple, A> is literally the A[Sng] of the paper.
+  static Tuple One() { return Tuple(); }
+  static std::optional<Tuple> Compose(const Tuple& a, const Tuple& b) {
+    return Join(a, b);
+  }
+
+  size_t Hash() const;
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.fields_ == b.fields_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) {
+    return !(a == b);
+  }
+  // Lexicographic on the canonical field sequence (deterministic output
+  // ordering for printing; not semantically meaningful).
+  friend bool operator<(const Tuple& a, const Tuple& b);
+
+ private:
+  std::vector<Field> fields_;  // sorted by Symbol id, unique columns
+};
+
+}  // namespace ring
+}  // namespace ringdb
+
+template <>
+struct std::hash<ringdb::ring::Tuple> {
+  size_t operator()(const ringdb::ring::Tuple& t) const noexcept {
+    return t.Hash();
+  }
+};
+
+#endif  // RINGDB_RING_TUPLE_H_

@@ -1,0 +1,51 @@
+#include "runtime/engine.h"
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace runtime {
+
+StatusOr<Engine> Engine::Create(const ring::Catalog& catalog,
+                                std::vector<Symbol> group_vars,
+                                agca::ExprPtr body) {
+  RINGDB_ASSIGN_OR_RETURN(
+      compiler::CompiledQuery compiled,
+      compiler::Compile(catalog, group_vars, std::move(body)));
+  return Engine(std::move(compiled), std::move(group_vars));
+}
+
+Engine::Engine(compiler::CompiledQuery compiled,
+               std::vector<Symbol> group_vars)
+    : group_vars_(std::move(group_vars)),
+      root_key_order_(std::move(compiled.root_key_order)),
+      executor_(std::make_unique<Executor>(std::move(compiled.program))) {}
+
+Numeric Engine::ResultScalar() const {
+  RINGDB_CHECK(group_vars_.empty());
+  return executor_->root().At({});
+}
+
+Numeric Engine::ResultAt(const std::vector<Value>& group_values) const {
+  RINGDB_CHECK_EQ(group_values.size(), group_vars_.size());
+  Key key(group_values.size());
+  for (size_t i = 0; i < group_values.size(); ++i) {
+    key[root_key_order_[i]] = group_values[i];
+  }
+  return executor_->root().At(key);
+}
+
+ring::Gmr Engine::ResultGmr() const {
+  ring::Gmr out;
+  executor_->root().ForEach([&](const Key& key, Numeric m) {
+    std::vector<ring::Tuple::Field> fields;
+    fields.reserve(group_vars_.size());
+    for (size_t i = 0; i < group_vars_.size(); ++i) {
+      fields.emplace_back(group_vars_[i], key[root_key_order_[i]]);
+    }
+    out.Add(ring::Tuple::FromFields(std::move(fields)), m);
+  });
+  return out;
+}
+
+}  // namespace runtime
+}  // namespace ringdb

@@ -1,0 +1,74 @@
+// Public facade: register a schema and an AGCA query, then stream
+// single-tuple updates; the query result (scalar or grouped) is always
+// available in O(1) per value, maintained by the compiled view hierarchy.
+//
+//   ring::Catalog catalog;
+//   catalog.AddRelation(R, {A});
+//   auto engine = runtime::Engine::Create(
+//       catalog, /*group_vars=*/{}, body);
+//   engine->Apply(ring::Update::Insert(R, {Value(42)}));
+//   Numeric count = engine->ResultScalar();
+
+#ifndef RINGDB_RUNTIME_ENGINE_H_
+#define RINGDB_RUNTIME_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "agca/ast.h"
+#include "compiler/compile.h"
+#include "ring/database.h"
+#include "ring/gmr.h"
+#include "runtime/interpreter.h"
+#include "util/status.h"
+
+namespace ringdb {
+namespace runtime {
+
+class Engine {
+ public:
+  // Compiles Sum_[group_vars](body) over the catalog. The engine starts
+  // on the empty database.
+  static StatusOr<Engine> Create(const ring::Catalog& catalog,
+                                 std::vector<Symbol> group_vars,
+                                 agca::ExprPtr body);
+
+  Status Apply(const ring::Update& update) { return executor_->Apply(update); }
+
+  Status Insert(Symbol relation, std::vector<Value> values) {
+    return Apply(ring::Update::Insert(relation, std::move(values)));
+  }
+  Status Delete(Symbol relation, std::vector<Value> values) {
+    return Apply(ring::Update::Delete(relation, std::move(values)));
+  }
+
+  // Result for a scalar query (empty group_vars).
+  Numeric ResultScalar() const;
+
+  // Result value for one group, values given in group_vars order.
+  Numeric ResultAt(const std::vector<Value>& group_values) const;
+
+  // The full grouped result as a gmr over the group variables (tuples
+  // {group_var -> value} with the aggregate as multiplicity).
+  ring::Gmr ResultGmr() const;
+
+  const compiler::TriggerProgram& program() const {
+    return executor_->program();
+  }
+  Executor& executor() { return *executor_; }
+  const Executor& executor() const { return *executor_; }
+  const std::vector<Symbol>& group_vars() const { return group_vars_; }
+
+ private:
+  Engine(compiler::CompiledQuery compiled, std::vector<Symbol> group_vars);
+
+  std::vector<Symbol> group_vars_;
+  std::vector<size_t> root_key_order_;
+  // unique_ptr so Engine stays movable despite the Executor's internals.
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace runtime
+}  // namespace ringdb
+
+#endif  // RINGDB_RUNTIME_ENGINE_H_

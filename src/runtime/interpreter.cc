@@ -1,0 +1,380 @@
+#include "runtime/interpreter.h"
+
+#include <algorithm>
+
+#include "agca/eval.h"
+#include "util/check.h"
+
+namespace ringdb {
+namespace runtime {
+
+using compiler::KeyRef;
+using compiler::LoopSpec;
+using compiler::Statement;
+using compiler::TExpr;
+
+namespace {
+
+uint64_t TriggerKey(Symbol relation, ring::Update::Sign sign) {
+  return (static_cast<uint64_t>(relation.id()) << 1) |
+         (sign == ring::Update::Sign::kInsert ? 0u : 1u);
+}
+
+}  // namespace
+
+Executor::Executor(compiler::TriggerProgram program)
+    : program_(std::move(program)), base_db_(program_.catalog) {
+  views_.reserve(program_.views.size());
+  slices_.resize(program_.views.size());
+  for (const compiler::ViewDef& v : program_.views) {
+    views_.emplace_back(v.key_vars.size());
+    if (v.lazy_init) has_lazy_views_ = true;
+  }
+  plans_.resize(program_.triggers.size());
+  for (size_t t = 0; t < program_.triggers.size(); ++t) {
+    const compiler::Trigger& trigger = program_.triggers[t];
+    trigger_index_.emplace(TriggerKey(trigger.relation, trigger.sign), t);
+    plans_[t].resize(trigger.statements.size());
+    for (size_t s = 0; s < trigger.statements.size(); ++s) {
+      const Statement& stmt = trigger.statements[s];
+      StatementPlan& plan = plans_[t][s];
+      std::unordered_map<Symbol, bool> bound;  // loop vars bound so far
+      for (const LoopSpec& loop : stmt.loops) {
+        LoopPlan lp;
+        for (size_t pos = 0; pos < loop.pattern.size(); ++pos) {
+          const KeyRef& ref = loop.pattern[pos];
+          if (ref.kind() == KeyRef::Kind::kLoopVar &&
+              !bound.contains(ref.loop_var())) {
+            lp.binding_positions.push_back(pos);
+            lp.binding_vars.push_back(ref.loop_var());
+          } else {
+            lp.bound_positions.push_back(pos);
+          }
+        }
+        for (Symbol v : lp.binding_vars) bound.emplace(v, true);
+        const compiler::ViewDef& driver_def = program_.view(loop.view_id);
+        if (driver_def.lazy_init) {
+          lp.lazy_driver = true;
+          // Case B (slice-domain loop): the loop binds exactly the slice
+          // positions — enumerate initialized slices. Case A: all slice
+          // positions are bound — ensure the probed slice, then use the
+          // regular index path.
+          if (lp.binding_positions == driver_def.slice_positions) {
+            lp.slice_domain = true;
+          } else {
+            for (size_t p : driver_def.slice_positions) {
+              RINGDB_CHECK(std::find(lp.bound_positions.begin(),
+                                     lp.bound_positions.end(),
+                                     p) != lp.bound_positions.end());
+            }
+          }
+        }
+        if (!lp.slice_domain && !lp.bound_positions.empty()) {
+          lp.index_id = views_[static_cast<size_t>(loop.view_id)].EnsureIndex(
+              lp.bound_positions);
+        }
+        plan.loops.push_back(std::move(lp));
+      }
+    }
+  }
+}
+
+Status Executor::Apply(const ring::Update& update) {
+  ++stats_.updates;
+  if (!program_.catalog.Has(update.relation)) {
+    return Status::NotFound("unknown relation " + update.relation.str());
+  }
+  if (program_.catalog.Arity(update.relation) != update.values.size()) {
+    return Status::InvalidArgument("arity mismatch in update " +
+                                   update.ToString());
+  }
+  auto it = trigger_index_.find(TriggerKey(update.relation, update.sign));
+  auto run_trigger = [&] {
+    if (it == trigger_index_.end()) return;  // query-irrelevant relation
+    const compiler::Trigger& trigger = program_.triggers[it->second];
+    const std::vector<StatementPlan>& plans = plans_[it->second];
+    for (size_t s = 0; s < trigger.statements.size(); ++s) {
+      ++stats_.statements_run;
+      RunStatement(trigger.statements[s], plans[s], update.values);
+    }
+  };
+  run_trigger();
+  // The base database transitions to D + u only after the trigger ran:
+  // deltas and lazy initializations both read the pre-update state.
+  if (has_lazy_views_) base_db_.Apply(update);
+  return Status::Ok();
+}
+
+void Executor::RunStatement(const Statement& stmt, const StatementPlan& plan,
+                            const std::vector<Value>& params) {
+  Bindings bindings;
+  // Emissions are buffered and applied after all loops finish: a
+  // statement may loop over its own target view (domain maintenance), and
+  // mutating a map during enumeration is undefined.
+  std::vector<Emission> emissions;
+  RunLoops(stmt, plan, 0, params, &bindings, &emissions);
+  for (Emission& e : emissions) {
+    AddToView(stmt.target_view, e.first, e.second);
+    ++stats_.entries_touched;
+    ++stats_.arithmetic_ops;  // the += itself
+  }
+}
+
+void Executor::RunLoops(const Statement& stmt, const StatementPlan& plan,
+                        size_t loop_index, const std::vector<Value>& params,
+                        Bindings* bindings, std::vector<Emission>* emissions) {
+  if (loop_index == stmt.loops.size()) {
+    Emit(stmt, params, *bindings, emissions);
+    return;
+  }
+  const LoopSpec& loop = stmt.loops[loop_index];
+  const LoopPlan& lp = plan.loops[loop_index];
+  const ViewMap& driver = views_[static_cast<size_t>(loop.view_id)];
+
+  auto body = [&](const Key& key, Numeric) {
+    // Bind this loop's variables from the enumerated key; positions that
+    // repeat a variable within the same loop must agree.
+    std::vector<Symbol> inserted_here;
+    bool ok = true;
+    for (size_t i = 0; i < lp.binding_positions.size() && ok; ++i) {
+      Symbol var = lp.binding_vars[i];
+      const Value& v = key[lp.binding_positions[i]];
+      auto [it, inserted] = bindings->emplace(var, v);
+      if (inserted) {
+        inserted_here.push_back(var);
+      } else if (it->second != v) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      RunLoops(stmt, plan, loop_index + 1, params, bindings, emissions);
+    }
+    for (Symbol var : inserted_here) bindings->erase(var);
+  };
+
+  if (lp.slice_domain) {
+    // Enumerate the initialized slice subkeys; each binds the slice-
+    // position loop variables (bound positions are outside the subkey).
+    const auto& slices = slices_[static_cast<size_t>(loop.view_id)];
+    const auto& positions =
+        program_.view(loop.view_id).slice_positions;
+    for (const Key& slice : slices) {
+      Key synthetic(loop.pattern.size());
+      for (size_t i = 0; i < positions.size(); ++i) {
+        synthetic[positions[i]] = slice[i];
+      }
+      body(synthetic, kZero);
+    }
+    return;
+  }
+  if (lp.lazy_driver) {
+    // Case A: the bound positions cover the slice; materialize it before
+    // enumerating so the index sees every entry.
+    Key full(loop.pattern.size());
+    for (size_t pos : lp.bound_positions) {
+      full[pos] = ResolveKey(loop.pattern[pos], params, *bindings);
+    }
+    EnsureSliceFor(loop.view_id, full);
+  }
+  if (lp.index_id >= 0) {
+    Key subkey;
+    subkey.reserve(lp.bound_positions.size());
+    for (size_t pos : lp.bound_positions) {
+      subkey.push_back(ResolveKey(loop.pattern[pos], params, *bindings));
+    }
+    driver.ForEachMatching(lp.index_id, subkey, body);
+  } else {
+    driver.ForEach(body);
+  }
+}
+
+void Executor::Emit(const Statement& stmt, const std::vector<Value>& params,
+                    const Bindings& bindings,
+                    std::vector<Emission>* emissions) {
+  Numeric value = EvalNumeric(*stmt.rhs, params, bindings);
+  if (value.IsZero()) return;
+  Key key;
+  key.reserve(stmt.target_key.size());
+  for (const KeyRef& ref : stmt.target_key) {
+    key.push_back(ResolveKey(ref, params, bindings));
+  }
+  emissions->emplace_back(std::move(key), value);
+}
+
+void Executor::InitializeLazySlice(int view_id, const Key& slice_key) {
+  const compiler::ViewDef& def = program_.view(view_id);
+  std::vector<ring::Tuple::Field> fields;
+  fields.reserve(slice_key.size());
+  for (size_t i = 0; i < def.slice_positions.size(); ++i) {
+    fields.emplace_back(def.key_vars[def.slice_positions[i]],
+                        slice_key[i]);
+  }
+  ring::Tuple env = ring::Tuple::FromFields(std::move(fields));
+  auto result = agca::Evaluate(def.definition, base_db_, env);
+  // Compiled view definitions are range-restricted queries; evaluation
+  // cannot fail on a well-formed program.
+  RINGDB_CHECK(result.ok());
+  ViewMap& view = views_[static_cast<size_t>(view_id)];
+  for (const auto& [tuple, m] : result->support()) {
+    Key key(def.key_vars.size());
+    for (size_t j = 0; j < def.key_vars.size(); ++j) {
+      const Value* v = tuple.Get(def.key_vars[j]);
+      RINGDB_CHECK(v != nullptr);
+      key[j] = *v;
+    }
+    view.Add(key, m);
+  }
+  slices_[static_cast<size_t>(view_id)].insert(slice_key);
+  ++stats_.init_evaluations;
+}
+
+void Executor::EnsureSliceFor(int view_id, const Key& full_key) {
+  const compiler::ViewDef& def = program_.view(view_id);
+  if (!def.lazy_init) return;
+  Key slice;
+  slice.reserve(def.slice_positions.size());
+  for (size_t p : def.slice_positions) slice.push_back(full_key[p]);
+  if (!slices_[static_cast<size_t>(view_id)].contains(slice)) {
+    InitializeLazySlice(view_id, slice);
+  }
+}
+
+Numeric Executor::ProbeView(int view_id, const Key& key) {
+  EnsureSliceFor(view_id, key);
+  return views_[static_cast<size_t>(view_id)].At(key);
+}
+
+void Executor::AddToView(int view_id, const Key& key, Numeric delta) {
+  EnsureSliceFor(view_id, key);
+  views_[static_cast<size_t>(view_id)].Add(key, delta);
+}
+
+Value Executor::ResolveKey(const KeyRef& ref, const std::vector<Value>& params,
+                           const Bindings& bindings) const {
+  switch (ref.kind()) {
+    case KeyRef::Kind::kParam:
+      return params[ref.param_index()];
+    case KeyRef::Kind::kConst:
+      return ref.constant();
+    case KeyRef::Kind::kLoopVar: {
+      auto it = bindings.find(ref.loop_var());
+      RINGDB_CHECK(it != bindings.end());
+      return it->second;
+    }
+  }
+  RINGDB_CHECK(false);
+  return Value();
+}
+
+Numeric Executor::EvalNumeric(const TExpr& e, const std::vector<Value>& params,
+                              const Bindings& bindings) {
+  switch (e.kind()) {
+    case TExpr::Kind::kConst: {
+      auto n = e.constant().ToNumeric();
+      RINGDB_CHECK(n.ok());
+      return *n;
+    }
+    case TExpr::Kind::kParam: {
+      auto n = params[e.param_index()].ToNumeric();
+      RINGDB_CHECK(n.ok());
+      return *n;
+    }
+    case TExpr::Kind::kLoopVar: {
+      auto it = bindings.find(e.loop_var());
+      RINGDB_CHECK(it != bindings.end());
+      auto n = it->second.ToNumeric();
+      RINGDB_CHECK(n.ok());
+      return *n;
+    }
+    case TExpr::Kind::kViewLookup: {
+      Key key;
+      key.reserve(e.keys().size());
+      for (const KeyRef& ref : e.keys()) {
+        key.push_back(ResolveKey(ref, params, bindings));
+      }
+      return ProbeView(e.view_id(), key);
+    }
+    case TExpr::Kind::kAdd: {
+      Numeric total = kZero;
+      bool first = true;
+      for (const auto& c : e.children()) {
+        Numeric v = EvalNumeric(*c, params, bindings);
+        if (first) {
+          total = v;
+          first = false;
+        } else {
+          total += v;
+          ++stats_.arithmetic_ops;
+        }
+      }
+      return total;
+    }
+    case TExpr::Kind::kMul: {
+      Numeric total = kOne;
+      bool first = true;
+      for (const auto& c : e.children()) {
+        Numeric v = EvalNumeric(*c, params, bindings);
+        if (first) {
+          total = v;
+          first = false;
+        } else {
+          total *= v;
+          ++stats_.arithmetic_ops;
+        }
+      }
+      return total;
+    }
+    case TExpr::Kind::kCmp: {
+      Value l = EvalValue(*e.children()[0], params, bindings);
+      Value r = EvalValue(*e.children()[1], params, bindings);
+      ++stats_.arithmetic_ops;
+      bool holds = false;
+      switch (e.cmp_op()) {
+        case agca::CmpOp::kEq: holds = (l == r); break;
+        case agca::CmpOp::kNe: holds = (l != r); break;
+        default: {
+          auto ln = l.ToNumeric();
+          auto rn = r.ToNumeric();
+          RINGDB_CHECK(ln.ok());
+          RINGDB_CHECK(rn.ok());
+          switch (e.cmp_op()) {
+            case agca::CmpOp::kLt: holds = *ln < *rn; break;
+            case agca::CmpOp::kLe: holds = *ln <= *rn; break;
+            case agca::CmpOp::kGt: holds = *ln > *rn; break;
+            case agca::CmpOp::kGe: holds = *ln >= *rn; break;
+            default: RINGDB_CHECK(false);
+          }
+        }
+      }
+      return holds ? kOne : kZero;
+    }
+  }
+  RINGDB_CHECK(false);
+  return kZero;
+}
+
+Value Executor::EvalValue(const TExpr& e, const std::vector<Value>& params,
+                          const Bindings& bindings) {
+  switch (e.kind()) {
+    case TExpr::Kind::kConst:
+      return e.constant();
+    case TExpr::Kind::kParam:
+      return params[e.param_index()];
+    case TExpr::Kind::kLoopVar: {
+      auto it = bindings.find(e.loop_var());
+      RINGDB_CHECK(it != bindings.end());
+      return it->second;
+    }
+    default:
+      return Value(EvalNumeric(e, params, bindings));
+  }
+}
+
+size_t Executor::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const ViewMap& v : views_) bytes += v.ApproxBytes();
+  return bytes;
+}
+
+}  // namespace runtime
+}  // namespace ringdb

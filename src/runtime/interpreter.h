@@ -1,0 +1,122 @@
+// The NC0C trigger interpreter: executes a compiled TriggerProgram against
+// materialized ViewMaps. Apply(update) runs the matching trigger's
+// statements (ordered by descending target-view degree, so each level
+// reads pre-update values of the deeper levels — Equation (1) of §1.1).
+//
+// The interpreter counts arithmetic operations and touched entries so the
+// benchmarks can verify the constant-work-per-maintained-value claim
+// (Theorem 7.1 / the NC0 property) empirically.
+
+#ifndef RINGDB_RUNTIME_INTERPRETER_H_
+#define RINGDB_RUNTIME_INTERPRETER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "compiler/ir.h"
+#include "ring/database.h"
+#include "runtime/viewmap.h"
+#include "util/status.h"
+#include "util/symbol.h"
+
+namespace ringdb {
+namespace runtime {
+
+class Executor {
+ public:
+  struct Stats {
+    uint64_t updates = 0;
+    uint64_t statements_run = 0;
+    uint64_t entries_touched = 0;   // view entries incremented
+    uint64_t arithmetic_ops = 0;    // +, *, comparisons in rhs evaluation
+    uint64_t init_evaluations = 0;  // lazy first-touch initializations
+  };
+
+  explicit Executor(compiler::TriggerProgram program);
+
+  // Fires the trigger for the update; relations without triggers are
+  // no-ops (the query does not depend on them).
+  Status Apply(const ring::Update& update);
+
+  const compiler::TriggerProgram& program() const { return program_; }
+  const ViewMap& view(int id) const {
+    return views_[static_cast<size_t>(id)];
+  }
+  const ViewMap& root() const {
+    return views_[static_cast<size_t>(program_.root_view)];
+  }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+  // Total heap footprint of all views (experiment E3).
+  size_t ApproxBytes() const;
+
+ private:
+  struct LoopPlan {
+    int index_id = -1;                  // -1: full scan
+    std::vector<size_t> bound_positions;  // positions probed via the index
+    std::vector<size_t> binding_positions;  // positions that bind vars
+    std::vector<Symbol> binding_vars;
+    // Lazy-driver classification: slice_domain loops (self maintenance)
+    // enumerate the view's initialized slice subkeys; non-slice loops
+    // over lazy views first ensure the probed slice is initialized.
+    bool slice_domain = false;
+    bool lazy_driver = false;
+  };
+  struct StatementPlan {
+    std::vector<LoopPlan> loops;
+  };
+
+  using Bindings = std::unordered_map<Symbol, Value>;
+  using Emission = std::pair<Key, Numeric>;
+
+  void RunStatement(const compiler::Statement& stmt,
+                    const StatementPlan& plan,
+                    const std::vector<Value>& params);
+  void RunLoops(const compiler::Statement& stmt, const StatementPlan& plan,
+                size_t loop_index, const std::vector<Value>& params,
+                Bindings* bindings, std::vector<Emission>* emissions);
+  void Emit(const compiler::Statement& stmt,
+            const std::vector<Value>& params, const Bindings& bindings,
+            std::vector<Emission>* emissions);
+
+  // Lazy domain maintenance (paper footnote 2): the first use of a slice
+  // of a lazy_init view evaluates the view definition with the slice key
+  // bound against the base database, materializing the whole slice.
+  void InitializeLazySlice(int view_id, const Key& slice_key);
+  // Projects a full key onto the view's slice positions and initializes
+  // the slice if needed.
+  void EnsureSliceFor(int view_id, const Key& full_key);
+  Numeric ProbeView(int view_id, const Key& key);
+  void AddToView(int view_id, const Key& key, Numeric delta);
+
+  Value ResolveKey(const compiler::KeyRef& ref,
+                   const std::vector<Value>& params,
+                   const Bindings& bindings) const;
+  Numeric EvalNumeric(const compiler::TExpr& e,
+                      const std::vector<Value>& params,
+                      const Bindings& bindings);
+  Value EvalValue(const compiler::TExpr& e, const std::vector<Value>& params,
+                  const Bindings& bindings);
+
+  compiler::TriggerProgram program_;
+  // Base database, maintained only when some view needs lazy
+  // initialization (the pure view hierarchy never reads it otherwise).
+  bool has_lazy_views_ = false;
+  ring::Database base_db_;
+  std::vector<ViewMap> views_;
+  // Initialized slice subkeys per lazy view (empty sets for non-lazy).
+  std::vector<std::unordered_set<Key, KeyHash>> slices_;
+  // trigger index per (relation, sign): parallel to program_.triggers.
+  std::unordered_map<uint64_t, size_t> trigger_index_;
+  std::vector<std::vector<StatementPlan>> plans_;  // per trigger
+  Stats stats_;
+};
+
+}  // namespace runtime
+}  // namespace ringdb
+
+#endif  // RINGDB_RUNTIME_INTERPRETER_H_

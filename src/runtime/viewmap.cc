@@ -1,0 +1,109 @@
+#include "runtime/viewmap.h"
+
+#include <sstream>
+
+namespace ringdb {
+namespace runtime {
+
+void ViewMap::Add(const Key& key, Numeric delta) {
+  RINGDB_CHECK_EQ(key.size(), arity_);
+  if (delta.IsZero()) return;
+  auto [it, inserted] = entries_.try_emplace(key, delta);
+  if (!inserted) {
+    it->second += delta;
+    if (it->second.IsZero() && !keep_zeros_) {
+      entries_.erase(it);
+      for (Index& index : indexes_) {
+        auto row = index.rows.find(SubKey(index, key));
+        if (row != index.rows.end()) {
+          row->second.erase(key);
+          if (row->second.empty()) index.rows.erase(row);
+        }
+      }
+    }
+    return;
+  }
+  for (Index& index : indexes_) {
+    index.rows[SubKey(index, key)].insert(key);
+  }
+}
+
+void ViewMap::EnsureEntry(const Key& key, Numeric value) {
+  RINGDB_CHECK_EQ(key.size(), arity_);
+  auto [it, inserted] = entries_.try_emplace(key, value);
+  if (!inserted) return;
+  for (Index& index : indexes_) {
+    index.rows[SubKey(index, key)].insert(key);
+  }
+}
+
+int ViewMap::EnsureIndex(std::vector<size_t> positions) {
+  for (size_t i = 1; i < positions.size(); ++i) {
+    RINGDB_CHECK_LT(positions[i - 1], positions[i]);
+  }
+  for (size_t p : positions) RINGDB_CHECK_LT(p, arity_);
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].positions == positions) return static_cast<int>(i);
+  }
+  Index index;
+  index.positions = std::move(positions);
+  for (const auto& [key, m] : entries_) {
+    index.rows[SubKey(index, key)].insert(key);
+  }
+  indexes_.push_back(std::move(index));
+  return static_cast<int>(indexes_.size() - 1);
+}
+
+void ViewMap::ForEachMatching(
+    int index_id, const Key& subkey,
+    const std::function<void(const Key&, Numeric)>& fn) const {
+  const Index& index = indexes_[static_cast<size_t>(index_id)];
+  RINGDB_CHECK_EQ(subkey.size(), index.positions.size());
+  auto row = index.rows.find(subkey);
+  if (row == index.rows.end()) return;
+  for (const Key& key : row->second) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) fn(key, it->second);
+  }
+}
+
+void ViewMap::ForEach(
+    const std::function<void(const Key&, Numeric)>& fn) const {
+  for (const auto& [key, m] : entries_) fn(key, m);
+}
+
+size_t ViewMap::ApproxBytes() const {
+  size_t per_entry = sizeof(Key) + arity_ * sizeof(Value) + sizeof(Numeric) +
+                     2 * sizeof(void*);
+  size_t bytes = entries_.size() * per_entry;
+  for (const Index& index : indexes_) {
+    bytes += index.rows.size() *
+             (sizeof(Key) + index.positions.size() * sizeof(Value) +
+              2 * sizeof(void*));
+    for (const auto& [sub, rows] : index.rows) {
+      bytes += rows.size() * (sizeof(Key) + arity_ * sizeof(Value));
+    }
+  }
+  return bytes;
+}
+
+std::string ViewMap::ToString() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& [key, m] : entries_) {
+    if (!first) out << ", ";
+    first = false;
+    out << '[';
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (i) out << ", ";
+      out << key[i].ToString();
+    }
+    out << "] -> " << m.ToString();
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace runtime
+}  // namespace ringdb

@@ -1,0 +1,153 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace ringdb {
+namespace sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM", "WHERE", "GROUP", "BY",
+      "AS",     "AND",  "SUM",   "COUNT"};
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(
+      static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind kind, size_t at) {
+    Token t;
+    t.kind = kind;
+    t.offset = at;
+    tokens.push_back(t);
+    return &tokens.back();
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    size_t at = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      size_t j = i;
+      while (j < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[j])) != 0 ||
+              input[j] == '_')) {
+        ++j;
+      }
+      std::string word = input.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      Token* t = push(Keywords().contains(upper) ? TokenKind::kKeyword
+                                                 : TokenKind::kIdent,
+                      at);
+      t->text = Keywords().contains(upper) ? upper : word;
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[j])) != 0 ||
+              input[j] == '.')) {
+        if (input[j] == '.') {
+          // "1." followed by an identifier would be ambiguous with the
+          // qualified-name dot, but column names cannot start with a
+          // digit, so a dot after digits is always a decimal point.
+          is_double = true;
+        }
+        ++j;
+      }
+      std::string num = input.substr(i, j - i);
+      Token* t = push(is_double ? TokenKind::kDouble : TokenKind::kInt, at);
+      if (is_double) {
+        t->double_value = std::stod(num);
+      } else {
+        t->int_value = std::stoll(num);
+      }
+      t->text = num;
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      std::string payload;
+      bool closed = false;
+      while (j < input.size()) {
+        if (input[j] == '\'') {
+          if (j + 1 < input.size() && input[j + 1] == '\'') {
+            payload.push_back('\'');  // escaped quote
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        payload.push_back(input[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(at));
+      }
+      Token* t = push(TokenKind::kString, at);
+      t->text = std::move(payload);
+      i = j;
+      continue;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < input.size() && input[i + 1] == b;
+    };
+    if (two('<', '>') || two('!', '=')) {
+      push(TokenKind::kNe, at);
+      i += 2;
+      continue;
+    }
+    if (two('<', '=')) {
+      push(TokenKind::kLe, at);
+      i += 2;
+      continue;
+    }
+    if (two('>', '=')) {
+      push(TokenKind::kGe, at);
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case ',': push(TokenKind::kComma, at); break;
+      case '.': push(TokenKind::kDot, at); break;
+      case '(': push(TokenKind::kLParen, at); break;
+      case ')': push(TokenKind::kRParen, at); break;
+      case '*': push(TokenKind::kStar, at); break;
+      case '+': push(TokenKind::kPlus, at); break;
+      case '-': push(TokenKind::kMinus, at); break;
+      case '=': push(TokenKind::kEq, at); break;
+      case '<': push(TokenKind::kLt, at); break;
+      case '>': push(TokenKind::kGt, at); break;
+      case ';': push(TokenKind::kSemicolon, at); break;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(at));
+    }
+    ++i;
+  }
+  push(TokenKind::kEnd, input.size());
+  return tokens;
+}
+
+}  // namespace sql
+}  // namespace ringdb

@@ -1,0 +1,54 @@
+// Lexer for the SQL subset of §5 (aggregate select-project-join queries).
+
+#ifndef RINGDB_SQL_LEXER_H_
+#define RINGDB_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ringdb {
+namespace sql {
+
+enum class TokenKind {
+  kIdent,      // table / column / alias names
+  kKeyword,    // SELECT FROM WHERE GROUP BY AS AND SUM COUNT
+  kInt,
+  kDouble,
+  kString,     // 'quoted'
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kEq,         // =
+  kNe,         // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier (original case) / keyword (upper) /
+                         // string payload
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;     // byte offset in the input, for error messages
+};
+
+// Tokenizes the whole input. Keywords are case-insensitive and
+// canonicalized to upper case in Token::text.
+StatusOr<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace sql
+}  // namespace ringdb
+
+#endif  // RINGDB_SQL_LEXER_H_

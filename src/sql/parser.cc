@@ -1,0 +1,239 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+namespace ringdb {
+namespace sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<SelectQuery> ParseQuery() {
+    RINGDB_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SelectQuery q;
+    RINGDB_RETURN_IF_ERROR(ParseSelectList(&q));
+    RINGDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    RINGDB_RETURN_IF_ERROR(ParseFromList(&q));
+    if (AcceptKeyword("WHERE")) {
+      RINGDB_RETURN_IF_ERROR(ParseConjunction(&q));
+    }
+    if (AcceptKeyword("GROUP")) {
+      RINGDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      RINGDB_RETURN_IF_ERROR(ParseGroupBy(&q));
+    }
+    Accept(TokenKind::kSemicolon);
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after query");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Accept(TokenKind kind) {
+    if (Peek().kind != kind) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind != TokenKind::kKeyword || Peek().text != kw) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) return Error("expected " + kw);
+    return Status::Ok();
+  }
+
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (!Accept(kind)) return Error("expected " + what);
+    return Status::Ok();
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        message + " at offset " + std::to_string(Peek().offset) +
+        (Peek().text.empty() ? "" : " (near '" + Peek().text + "')"));
+  }
+
+  StatusOr<ColumnRef> ParseColumnRef() {
+    if (Peek().kind != TokenKind::kIdent) return Error("expected column");
+    ColumnRef ref;
+    ref.column = Advance().text;
+    if (Accept(TokenKind::kDot)) {
+      if (Peek().kind != TokenKind::kIdent) {
+        return Error("expected column after '.'");
+      }
+      ref.qualifier = std::move(ref.column);
+      ref.column = Advance().text;
+    }
+    return ref;
+  }
+
+  Status ParseSelectList(SelectQuery* q) {
+    while (true) {
+      if (Peek().kind == TokenKind::kKeyword &&
+          (Peek().text == "SUM" || Peek().text == "COUNT")) {
+        bool is_count = Advance().text == "COUNT";
+        RINGDB_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+        if (is_count) {
+          RINGDB_RETURN_IF_ERROR(Expect(TokenKind::kStar, "'*'"));
+          q->is_count_star = true;
+        } else {
+          RINGDB_ASSIGN_OR_RETURN(q->sum_expr, ParseArith());
+        }
+        RINGDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        if (Accept(TokenKind::kComma)) {
+          return Error("the aggregate must be the last select item");
+        }
+        return Status::Ok();
+      }
+      RINGDB_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      q->select_columns.push_back(std::move(ref));
+      if (!Accept(TokenKind::kComma)) {
+        return Error("expected ', SUM(...)' or ', COUNT(*)' — the query "
+                     "must end in exactly one aggregate");
+      }
+    }
+  }
+
+  Status ParseFromList(SelectQuery* q) {
+    while (true) {
+      if (Peek().kind != TokenKind::kIdent) return Error("expected table");
+      FromItem item;
+      item.table = Advance().text;
+      AcceptKeyword("AS");
+      if (Peek().kind == TokenKind::kIdent) {
+        item.alias = Advance().text;
+      } else {
+        item.alias = item.table;
+      }
+      q->from.push_back(std::move(item));
+      if (!Accept(TokenKind::kComma)) return Status::Ok();
+    }
+  }
+
+  Status ParseConjunction(SelectQuery* q) {
+    while (true) {
+      Predicate pred;
+      RINGDB_ASSIGN_OR_RETURN(pred.lhs, ParseArith());
+      switch (Peek().kind) {
+        case TokenKind::kEq: pred.op = SqlCmp::kEq; break;
+        case TokenKind::kNe: pred.op = SqlCmp::kNe; break;
+        case TokenKind::kLt: pred.op = SqlCmp::kLt; break;
+        case TokenKind::kLe: pred.op = SqlCmp::kLe; break;
+        case TokenKind::kGt: pred.op = SqlCmp::kGt; break;
+        case TokenKind::kGe: pred.op = SqlCmp::kGe; break;
+        default:
+          return Error("expected comparison operator");
+      }
+      Advance();
+      RINGDB_ASSIGN_OR_RETURN(pred.rhs, ParseArith());
+      q->where.push_back(std::move(pred));
+      if (!AcceptKeyword("AND")) return Status::Ok();
+    }
+  }
+
+  Status ParseGroupBy(SelectQuery* q) {
+    while (true) {
+      RINGDB_ASSIGN_OR_RETURN(ColumnRef ref, ParseColumnRef());
+      q->group_by.push_back(std::move(ref));
+      if (!Accept(TokenKind::kComma)) return Status::Ok();
+    }
+  }
+
+  // arith := term (('+'|'-') term)*
+  StatusOr<ArithPtr> ParseArith() {
+    RINGDB_ASSIGN_OR_RETURN(ArithPtr lhs, ParseTerm());
+    while (Peek().kind == TokenKind::kPlus ||
+           Peek().kind == TokenKind::kMinus) {
+      bool plus = Advance().kind == TokenKind::kPlus;
+      RINGDB_ASSIGN_OR_RETURN(ArithPtr rhs, ParseTerm());
+      auto node = std::make_unique<Arith>();
+      node->kind = plus ? Arith::Kind::kAdd : Arith::Kind::kSub;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  // term := factor ('*' factor)*
+  StatusOr<ArithPtr> ParseTerm() {
+    RINGDB_ASSIGN_OR_RETURN(ArithPtr lhs, ParseFactor());
+    while (Peek().kind == TokenKind::kStar) {
+      Advance();
+      RINGDB_ASSIGN_OR_RETURN(ArithPtr rhs, ParseFactor());
+      auto node = std::make_unique<Arith>();
+      node->kind = Arith::Kind::kMul;
+      node->children.push_back(std::move(lhs));
+      node->children.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  StatusOr<ArithPtr> ParseFactor() {
+    auto node = std::make_unique<Arith>();
+    switch (Peek().kind) {
+      case TokenKind::kInt:
+        node->kind = Arith::Kind::kLiteral;
+        node->literal = Value(Advance().int_value);
+        return node;
+      case TokenKind::kDouble:
+        node->kind = Arith::Kind::kLiteral;
+        node->literal = Value(Advance().double_value);
+        return node;
+      case TokenKind::kString:
+        node->kind = Arith::Kind::kLiteral;
+        node->literal = Value(Advance().text);
+        return node;
+      case TokenKind::kMinus: {
+        Advance();
+        RINGDB_ASSIGN_OR_RETURN(ArithPtr inner, ParseFactor());
+        node->kind = Arith::Kind::kNeg;
+        node->children.push_back(std::move(inner));
+        return node;
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        RINGDB_ASSIGN_OR_RETURN(ArithPtr inner, ParseArith());
+        RINGDB_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return inner;
+      }
+      case TokenKind::kIdent: {
+        RINGDB_ASSIGN_OR_RETURN(node->column, ParseColumnRef());
+        node->kind = Arith::Kind::kColumn;
+        return node;
+      }
+      default:
+        return Error("expected literal, column, or '('");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<SelectQuery> Parse(const std::string& sql) {
+  RINGDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace sql
+}  // namespace ringdb

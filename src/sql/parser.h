@@ -1,0 +1,77 @@
+// Parser for the SQL aggregate-query subset of §5:
+//
+//   SELECT [col {, col}] , (SUM(arith) | COUNT(*))
+//   FROM table [alias] {, table [alias]}
+//   [WHERE pred {AND pred}]
+//   [GROUP BY col {, col}] [;]
+//
+// Predicates compare arithmetic expressions over column references and
+// literals with =, <>, <, <=, >, >=. This is exactly the query class the
+// paper translates to AGCA (§5, "From SQL to the calculus").
+
+#ifndef RINGDB_SQL_PARSER_H_
+#define RINGDB_SQL_PARSER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/lexer.h"
+#include "util/status.h"
+#include "util/value.h"
+
+namespace ringdb {
+namespace sql {
+
+// alias.column or bare column (qualifier empty).
+struct ColumnRef {
+  std::string qualifier;
+  std::string column;
+
+  std::string ToString() const {
+    return qualifier.empty() ? column : qualifier + "." + column;
+  }
+  friend bool operator==(const ColumnRef& a, const ColumnRef& b) {
+    return a.qualifier == b.qualifier && a.column == b.column;
+  }
+};
+
+// Arithmetic expression tree over columns and literals.
+struct Arith {
+  enum class Kind { kColumn, kLiteral, kAdd, kSub, kMul, kNeg };
+  Kind kind = Kind::kLiteral;
+  ColumnRef column;                 // kColumn
+  Value literal;                    // kLiteral
+  std::vector<std::unique_ptr<Arith>> children;
+};
+using ArithPtr = std::unique_ptr<Arith>;
+
+enum class SqlCmp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Predicate {
+  ArithPtr lhs;
+  SqlCmp op = SqlCmp::kEq;
+  ArithPtr rhs;
+};
+
+struct FromItem {
+  std::string table;
+  std::string alias;  // defaults to the table name
+};
+
+struct SelectQuery {
+  std::vector<ColumnRef> select_columns;  // non-aggregate output columns
+  bool is_count_star = false;             // COUNT(*) vs SUM(expr)
+  ArithPtr sum_expr;                      // set when !is_count_star
+  std::vector<FromItem> from;
+  std::vector<Predicate> where;           // conjunction
+  std::vector<ColumnRef> group_by;
+};
+
+StatusOr<SelectQuery> Parse(const std::string& sql);
+
+}  // namespace sql
+}  // namespace ringdb
+
+#endif  // RINGDB_SQL_PARSER_H_

@@ -1,0 +1,289 @@
+#include "sql/translate.h"
+
+#include <numeric>
+#include <optional>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace sql {
+
+namespace {
+
+using agca::CmpOp;
+using agca::Expr;
+using agca::ExprPtr;
+
+CmpOp ToCmpOp(SqlCmp op) {
+  switch (op) {
+    case SqlCmp::kEq: return CmpOp::kEq;
+    case SqlCmp::kNe: return CmpOp::kNe;
+    case SqlCmp::kLt: return CmpOp::kLt;
+    case SqlCmp::kLe: return CmpOp::kLe;
+    case SqlCmp::kGt: return CmpOp::kGt;
+    case SqlCmp::kGe: return CmpOp::kGe;
+  }
+  RINGDB_CHECK(false);
+  return CmpOp::kEq;
+}
+
+// One column slot per (from item, column position); equalities between
+// columns merge slots into classes sharing one query variable.
+class Unifier {
+ public:
+  Unifier(const ring::Catalog& catalog, const SelectQuery& q)
+      : catalog_(catalog), query_(q) {
+    size_t total = 0;
+    for (const FromItem& item : q.from) {
+      offsets_.push_back(total);
+      total += catalog.Columns(Symbol::Intern(item.table)).size();
+    }
+    parent_.resize(total);
+    std::iota(parent_.begin(), parent_.end(), size_t{0});
+    literals_.resize(total);
+  }
+
+  StatusOr<size_t> Resolve(const ColumnRef& ref) const {
+    std::optional<size_t> found;
+    for (size_t f = 0; f < query_.from.size(); ++f) {
+      const FromItem& item = query_.from[f];
+      if (!ref.qualifier.empty() && ref.qualifier != item.alias) continue;
+      const auto& cols = catalog_.Columns(Symbol::Intern(item.table));
+      for (size_t c = 0; c < cols.size(); ++c) {
+        if (cols[c].str() != ref.column) continue;
+        if (found.has_value()) {
+          return Status::InvalidArgument("ambiguous column " +
+                                         ref.ToString());
+        }
+        found = offsets_[f] + c;
+      }
+    }
+    if (!found.has_value()) {
+      return Status::InvalidArgument("unknown column " + ref.ToString());
+    }
+    return *found;
+  }
+
+  size_t Find(size_t slot) const {
+    while (parent_[slot] != slot) slot = parent_[slot];
+    return slot;
+  }
+
+  void Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (b < a) std::swap(a, b);
+    parent_[b] = a;
+    if (!literals_[a].has_value()) literals_[a] = literals_[b];
+  }
+
+  // Records col = literal; a second, different literal empties the query.
+  // Returns false when the class is now over-constrained.
+  bool Constrain(size_t slot, const Value& literal) {
+    size_t root = Find(slot);
+    if (literals_[root].has_value()) return *literals_[root] == literal;
+    literals_[root] = literal;
+    return true;
+  }
+
+  const std::optional<Value>& LiteralOf(size_t slot) const {
+    return literals_[Find(slot)];
+  }
+
+  size_t SlotOf(size_t from_index, size_t column_index) const {
+    return offsets_[from_index] + column_index;
+  }
+
+  // The class variable, named after the root slot's alias.column.
+  Symbol VarOf(size_t slot) const {
+    size_t root = Find(slot);
+    size_t f = 0;
+    while (f + 1 < offsets_.size() && offsets_[f + 1] <= root) ++f;
+    const FromItem& item = query_.from[f];
+    const auto& cols = catalog_.Columns(Symbol::Intern(item.table));
+    return Symbol::Intern(item.alias + "." +
+                          cols[root - offsets_[f]].str());
+  }
+
+ private:
+  const ring::Catalog& catalog_;
+  const SelectQuery& query_;
+  std::vector<size_t> offsets_;
+  std::vector<size_t> parent_;
+  std::vector<std::optional<Value>> literals_;
+};
+
+bool IsSimpleColumn(const Arith& a) { return a.kind == Arith::Kind::kColumn; }
+bool IsLiteral(const Arith& a) { return a.kind == Arith::Kind::kLiteral; }
+
+}  // namespace
+
+StatusOr<TranslatedQuery> Translate(const ring::Catalog& catalog,
+                                    const SelectQuery& query) {
+  if (query.from.empty()) {
+    return Status::InvalidArgument("FROM list must not be empty");
+  }
+  for (const FromItem& item : query.from) {
+    if (!catalog.Has(Symbol::Intern(item.table))) {
+      return Status::InvalidArgument("unknown table " + item.table);
+    }
+  }
+  for (size_t i = 0; i < query.from.size(); ++i) {
+    for (size_t j = i + 1; j < query.from.size(); ++j) {
+      if (query.from[i].alias == query.from[j].alias) {
+        return Status::InvalidArgument("duplicate alias " +
+                                       query.from[i].alias);
+      }
+    }
+  }
+
+  Unifier unifier(catalog, query);
+  bool always_empty = false;
+
+  // Pass 1: consume unification-friendly equalities.
+  std::vector<const Predicate*> residual;
+  for (const Predicate& pred : query.where) {
+    if (pred.op == SqlCmp::kEq && IsSimpleColumn(*pred.lhs) &&
+        IsSimpleColumn(*pred.rhs)) {
+      RINGDB_ASSIGN_OR_RETURN(size_t a, unifier.Resolve(pred.lhs->column));
+      RINGDB_ASSIGN_OR_RETURN(size_t b, unifier.Resolve(pred.rhs->column));
+      unifier.Union(a, b);
+      continue;
+    }
+    if (pred.op == SqlCmp::kEq && IsSimpleColumn(*pred.lhs) &&
+        IsLiteral(*pred.rhs)) {
+      RINGDB_ASSIGN_OR_RETURN(size_t a, unifier.Resolve(pred.lhs->column));
+      if (!unifier.Constrain(a, pred.rhs->literal)) always_empty = true;
+      continue;
+    }
+    if (pred.op == SqlCmp::kEq && IsLiteral(*pred.lhs) &&
+        IsSimpleColumn(*pred.rhs)) {
+      RINGDB_ASSIGN_OR_RETURN(size_t a, unifier.Resolve(pred.rhs->column));
+      if (!unifier.Constrain(a, pred.lhs->literal)) always_empty = true;
+      continue;
+    }
+    residual.push_back(&pred);
+  }
+
+  // Group-by classes keep their variable even when literal-constrained
+  // (the constraint becomes a guard) so the group key remains produced.
+  TranslatedQuery out;
+  std::vector<size_t> group_slots;
+  for (const ColumnRef& ref : query.group_by) {
+    RINGDB_ASSIGN_OR_RETURN(size_t slot, unifier.Resolve(ref));
+    group_slots.push_back(slot);
+    out.group_vars.push_back(unifier.VarOf(slot));
+    out.group_names.push_back(ref.ToString());
+  }
+  auto is_group_class = [&](size_t slot) {
+    for (size_t g : group_slots) {
+      if (unifier.Find(g) == unifier.Find(slot)) return true;
+    }
+    return false;
+  };
+
+  // SELECT columns must be grouped.
+  for (const ColumnRef& ref : query.select_columns) {
+    RINGDB_ASSIGN_OR_RETURN(size_t slot, unifier.Resolve(ref));
+    if (!is_group_class(slot)) {
+      return Status::InvalidArgument("select column " + ref.ToString() +
+                                     " is not in GROUP BY");
+    }
+  }
+
+  if (always_empty) {
+    out.body = Expr::Const(kZero);
+    return out;
+  }
+
+  // Arithmetic translation.
+  auto translate_arith = [&](const Arith& a,
+                             auto&& self) -> StatusOr<ExprPtr> {
+    switch (a.kind) {
+      case Arith::Kind::kColumn: {
+        RINGDB_ASSIGN_OR_RETURN(size_t slot, unifier.Resolve(a.column));
+        const std::optional<Value>& lit = unifier.LiteralOf(slot);
+        if (lit.has_value() && !is_group_class(slot)) {
+          return lit->is_string() ? Expr::ValueConst(*lit)
+                                  : Expr::Const(*lit->ToNumeric());
+        }
+        return Expr::Var(unifier.VarOf(slot));
+      }
+      case Arith::Kind::kLiteral:
+        return a.literal.is_string() ? Expr::ValueConst(a.literal)
+                                     : Expr::Const(*a.literal.ToNumeric());
+      case Arith::Kind::kNeg: {
+        RINGDB_ASSIGN_OR_RETURN(ExprPtr inner, self(*a.children[0], self));
+        return Expr::Neg(std::move(inner));
+      }
+      case Arith::Kind::kAdd:
+      case Arith::Kind::kSub:
+      case Arith::Kind::kMul: {
+        RINGDB_ASSIGN_OR_RETURN(ExprPtr l, self(*a.children[0], self));
+        RINGDB_ASSIGN_OR_RETURN(ExprPtr r, self(*a.children[1], self));
+        if (a.kind == Arith::Kind::kMul) return Expr::Mul({l, r});
+        if (a.kind == Arith::Kind::kSub) r = Expr::Neg(std::move(r));
+        return Expr::Add({l, r});
+      }
+    }
+    return Status::Internal("corrupt arithmetic node");
+  };
+
+  // Relation atoms, in FROM order.
+  std::vector<ExprPtr> factors;
+  for (size_t f = 0; f < query.from.size(); ++f) {
+    Symbol table = Symbol::Intern(query.from[f].table);
+    const auto& cols = catalog.Columns(table);
+    std::vector<agca::Term> args;
+    args.reserve(cols.size());
+    for (size_t c = 0; c < cols.size(); ++c) {
+      size_t slot = unifier.SlotOf(f, c);
+      const std::optional<Value>& lit = unifier.LiteralOf(slot);
+      if (lit.has_value() && !is_group_class(slot)) {
+        args.emplace_back(*lit);
+      } else {
+        args.emplace_back(unifier.VarOf(slot));
+      }
+    }
+    factors.push_back(Expr::Relation(table, std::move(args)));
+  }
+
+  // Guards for literal-constrained group-by classes.
+  for (size_t g : group_slots) {
+    const std::optional<Value>& lit = unifier.LiteralOf(g);
+    if (lit.has_value()) {
+      factors.push_back(Expr::Cmp(CmpOp::kEq, Expr::Var(unifier.VarOf(g)),
+                                  Expr::ValueConst(*lit)));
+    }
+  }
+
+  // Residual comparisons.
+  for (const Predicate* pred : residual) {
+    RINGDB_ASSIGN_OR_RETURN(ExprPtr l,
+                            translate_arith(*pred->lhs, translate_arith));
+    RINGDB_ASSIGN_OR_RETURN(ExprPtr r,
+                            translate_arith(*pred->rhs, translate_arith));
+    factors.push_back(Expr::Cmp(ToCmpOp(pred->op), l, r));
+  }
+
+  // The aggregated term: SUM(t) multiplies by t; COUNT(*) by 1.
+  if (!query.is_count_star) {
+    RINGDB_ASSIGN_OR_RETURN(
+        ExprPtr t, translate_arith(*query.sum_expr, translate_arith));
+    factors.push_back(std::move(t));
+  }
+
+  out.body = Expr::Mul(std::move(factors));
+  return out;
+}
+
+StatusOr<TranslatedQuery> TranslateSql(const ring::Catalog& catalog,
+                                       const std::string& sql) {
+  RINGDB_ASSIGN_OR_RETURN(SelectQuery parsed, Parse(sql));
+  return Translate(catalog, parsed);
+}
+
+}  // namespace sql
+}  // namespace ringdb

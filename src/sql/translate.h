@@ -1,0 +1,44 @@
+// SQL -> AGCA translation (§5, "From SQL to the calculus"):
+//
+//   SELECT ~b, SUM(t) FROM R1 r11, ... WHERE phi GROUP BY ~b
+//     ~>  Sum_[~b](R1(~x11) * ... * phi * t)
+//
+// Equality predicates between columns are realized by *variable
+// unification* (shared variables across atoms — the natural-join encoding
+// of the ring), equalities against literals become constant atom
+// arguments (or guards on group-by columns), and remaining comparisons
+// become AGCA condition factors.
+
+#ifndef RINGDB_SQL_TRANSLATE_H_
+#define RINGDB_SQL_TRANSLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "agca/ast.h"
+#include "ring/database.h"
+#include "sql/parser.h"
+#include "util/status.h"
+
+namespace ringdb {
+namespace sql {
+
+struct TranslatedQuery {
+  // The AGCA query is Sum_[group_vars](body).
+  std::vector<Symbol> group_vars;  // in GROUP BY order
+  agca::ExprPtr body;
+  // Display names for the grouped output columns, parallel to group_vars.
+  std::vector<std::string> group_names;
+};
+
+StatusOr<TranslatedQuery> Translate(const ring::Catalog& catalog,
+                                    const SelectQuery& query);
+
+// Parse + Translate in one step.
+StatusOr<TranslatedQuery> TranslateSql(const ring::Catalog& catalog,
+                                       const std::string& sql);
+
+}  // namespace sql
+}  // namespace ringdb
+
+#endif  // RINGDB_SQL_TRANSLATE_H_

@@ -1,0 +1,39 @@
+// Lightweight CHECK macros for invariant enforcement.
+//
+// These are always-on (also in release builds): the library's correctness
+// argument rests on algebraic invariants, and silently continuing after a
+// violated invariant would corrupt maintained views.
+
+#ifndef RINGDB_UTIL_CHECK_H_
+#define RINGDB_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ringdb {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace ringdb
+
+#define RINGDB_CHECK(expr)                                             \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::ringdb::internal_check::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                                  \
+  } while (0)
+
+#define RINGDB_CHECK_EQ(a, b) RINGDB_CHECK((a) == (b))
+#define RINGDB_CHECK_NE(a, b) RINGDB_CHECK((a) != (b))
+#define RINGDB_CHECK_LT(a, b) RINGDB_CHECK((a) < (b))
+#define RINGDB_CHECK_LE(a, b) RINGDB_CHECK((a) <= (b))
+#define RINGDB_CHECK_GT(a, b) RINGDB_CHECK((a) > (b))
+#define RINGDB_CHECK_GE(a, b) RINGDB_CHECK((a) >= (b))
+
+#endif  // RINGDB_UTIL_CHECK_H_

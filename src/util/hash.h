@@ -1,0 +1,40 @@
+// Hash combinators shared across the library.
+
+#ifndef RINGDB_UTIL_HASH_H_
+#define RINGDB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace ringdb {
+
+// 64-bit mix (splitmix64 finalizer); good avalanche for integer keys.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combination of two hash values.
+inline size_t HashCombine(size_t seed, size_t v) {
+  return static_cast<size_t>(
+      Mix64(static_cast<uint64_t>(seed) * 0x100000001b3ULL ^
+            static_cast<uint64_t>(v)));
+}
+
+inline size_t HashString(std::string_view s) {
+  // FNV-1a.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(Mix64(h));
+}
+
+}  // namespace ringdb
+
+#endif  // RINGDB_UTIL_HASH_H_

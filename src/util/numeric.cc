@@ -1,0 +1,19 @@
+#include "util/numeric.h"
+
+#include <cstdio>
+
+namespace ringdb {
+
+std::string Numeric::ToString() const {
+  char buf[64];
+  if (is_int_) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(i_));
+    return buf;
+  }
+  // Shortest representation that round-trips is overkill here; %g keeps
+  // printed tables readable.
+  std::snprintf(buf, sizeof(buf), "%g", d_);
+  return buf;
+}
+
+}  // namespace ringdb

@@ -1,0 +1,113 @@
+// Numeric: the ring of scalars A used for gmr multiplicities and aggregate
+// values.
+//
+// The paper instantiates its constructions over a commutative ring with
+// identity A, usually Z (integers) and occasionally R (reals). Numeric is a
+// tagged int64/double union with exact integer arithmetic whenever both
+// operands are integers, promoting to double otherwise. It forms a
+// commutative ring with identity under (+, *, 0, 1) with additive inverse.
+
+#ifndef RINGDB_UTIL_NUMERIC_H_
+#define RINGDB_UTIL_NUMERIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/hash.h"
+
+namespace ringdb {
+
+class Numeric {
+ public:
+  constexpr Numeric() : is_int_(true), i_(0) {}
+  constexpr Numeric(int64_t v) : is_int_(true), i_(v) {}      // NOLINT
+  constexpr Numeric(int v) : is_int_(true), i_(v) {}          // NOLINT
+  constexpr Numeric(double v) : is_int_(false), d_(v) {}      // NOLINT
+
+  bool is_integer() const { return is_int_; }
+
+  // Exact integer payload; caller must know is_integer().
+  int64_t AsInt() const { return i_; }
+
+  // Numeric value as double (exact payload if double, converted if int).
+  double AsDouble() const { return is_int_ ? static_cast<double>(i_) : d_; }
+
+  bool IsZero() const { return is_int_ ? i_ == 0 : d_ == 0.0; }
+  bool IsOne() const { return is_int_ ? i_ == 1 : d_ == 1.0; }
+
+  friend Numeric operator+(Numeric a, Numeric b) {
+    if (a.is_int_ && b.is_int_) return Numeric(a.i_ + b.i_);
+    return Numeric(a.AsDouble() + b.AsDouble());
+  }
+  friend Numeric operator-(Numeric a, Numeric b) {
+    if (a.is_int_ && b.is_int_) return Numeric(a.i_ - b.i_);
+    return Numeric(a.AsDouble() - b.AsDouble());
+  }
+  friend Numeric operator*(Numeric a, Numeric b) {
+    if (a.is_int_ && b.is_int_) return Numeric(a.i_ * b.i_);
+    return Numeric(a.AsDouble() * b.AsDouble());
+  }
+  Numeric operator-() const {
+    return is_int_ ? Numeric(-i_) : Numeric(-d_);
+  }
+  Numeric& operator+=(Numeric o) { return *this = *this + o; }
+  Numeric& operator-=(Numeric o) { return *this = *this - o; }
+  Numeric& operator*=(Numeric o) { return *this = *this * o; }
+
+  // Numeric equality/ordering: 3 == 3.0. (Contrast with Value, where
+  // equality is kind-sensitive; Numeric models ring elements, for which the
+  // embedding Z -> R is the identity of interest.)
+  friend bool operator==(Numeric a, Numeric b) {
+    if (a.is_int_ && b.is_int_) return a.i_ == b.i_;
+    return a.AsDouble() == b.AsDouble();
+  }
+  friend bool operator!=(Numeric a, Numeric b) { return !(a == b); }
+  friend bool operator<(Numeric a, Numeric b) {
+    if (a.is_int_ && b.is_int_) return a.i_ < b.i_;
+    return a.AsDouble() < b.AsDouble();
+  }
+  friend bool operator>(Numeric a, Numeric b) { return b < a; }
+  friend bool operator<=(Numeric a, Numeric b) { return !(b < a); }
+  friend bool operator>=(Numeric a, Numeric b) { return !(a < b); }
+
+  size_t Hash() const {
+    // Integral doubles hash like the corresponding int so that Numeric
+    // hashing is consistent with numeric equality.
+    if (!is_int_) {
+      double d = d_;
+      int64_t asint = static_cast<int64_t>(d);
+      if (static_cast<double>(asint) == d) {
+        return Mix64(static_cast<uint64_t>(asint));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits ^ 0x5851f42d4c957f2dULL);
+    }
+    return Mix64(static_cast<uint64_t>(i_));
+  }
+
+  std::string ToString() const;
+
+ private:
+  bool is_int_;
+  union {
+    int64_t i_;
+    double d_;
+  };
+};
+
+inline constexpr Numeric kZero = Numeric(static_cast<int64_t>(0));
+inline constexpr Numeric kOne = Numeric(static_cast<int64_t>(1));
+
+}  // namespace ringdb
+
+template <>
+struct std::hash<ringdb::Numeric> {
+  size_t operator()(const ringdb::Numeric& n) const noexcept {
+    return n.Hash();
+  }
+};
+
+#endif  // RINGDB_UTIL_NUMERIC_H_

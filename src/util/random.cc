@@ -1,0 +1,41 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace ringdb {
+
+Zipf::Zipf(uint64_t n, double s) : n_(n), s_(s) {
+  RINGDB_CHECK_GT(n, 0u);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - HInv(H(2.5) - std::pow(2.0, -s_));
+}
+
+double Zipf::H(double x) const {
+  // Integral of x^(-s); handles s == 1 via the log branch.
+  if (s_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double Zipf::HInv(double x) const {
+  if (s_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+uint64_t Zipf::Sample(Rng& rng) {
+  if (n_ == 1) return 0;
+  while (true) {
+    double u = h_n_ + rng.Uniform01() * (h_x1_ - h_n_);
+    double x = HInv(u);
+    uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    double dk = static_cast<double>(k);
+    if (dk - x <= threshold_ ||
+        u >= H(dk + 0.5) - std::pow(dk, -s_)) {
+      return k - 1;
+    }
+  }
+}
+
+}  // namespace ringdb

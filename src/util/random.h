@@ -1,0 +1,96 @@
+// Deterministic PRNG utilities (xoshiro256++) for workload generation and
+// property tests. std::mt19937 is avoided for speed and cross-platform
+// reproducibility of streams.
+
+#ifndef RINGDB_UTIL_RANDOM_H_
+#define RINGDB_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace ringdb {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x243f6a8885a308d3ULL) {
+    // SplitMix64 seeding per xoshiro authors' recommendation.
+    uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      word = Mix64(x);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n).
+  uint64_t Below(uint64_t n) {
+    RINGDB_CHECK_GT(n, 0u);
+    // Lemire's nearly-divisionless bounded sampling (unbiased rejection).
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    RINGDB_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  double Uniform01() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Bernoulli(double p) { return Uniform01() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+// Approximate Zipf(s) sampler over {0, ..., n-1} using the rejection-
+// inversion method of Hörmann & Derflinger; adequate for skewing workloads.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double s);
+  uint64_t Sample(Rng& rng);
+
+ private:
+  double H(double x) const;
+  double HInv(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+}  // namespace ringdb
+
+#endif  // RINGDB_UTIL_RANDOM_H_

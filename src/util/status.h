@@ -1,0 +1,135 @@
+// Status / StatusOr error propagation (exception-free public API).
+//
+// A trimmed-down analogue of absl::Status sufficient for this library:
+// parse errors, unbound-variable errors, and type errors are reported as
+// Status values; programming errors are RINGDB_CHECK failures.
+
+#ifndef RINGDB_UTIL_STATUS_H_
+#define RINGDB_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ringdb {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+// Value-type error carrier. Ok statuses are cheap to copy.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+      case StatusCode::kInternal: return "INTERNAL";
+    }
+    return "UNKNOWN";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a T or an error Status. Accessing the value of a non-ok
+// StatusOr is a checked failure.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    RINGDB_CHECK(!status_.ok());
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RINGDB_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    RINGDB_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    RINGDB_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ringdb
+
+// Propagates a non-ok Status from an expression.
+#define RINGDB_RETURN_IF_ERROR(expr)            \
+  do {                                          \
+    ::ringdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define RINGDB_INTERNAL_CONCAT_(a, b) a##b
+#define RINGDB_INTERNAL_CONCAT(a, b) RINGDB_INTERNAL_CONCAT_(a, b)
+
+// Assigns the value of a StatusOr expression or propagates its error.
+#define RINGDB_ASSIGN_OR_RETURN(lhs, expr)                          \
+  RINGDB_INTERNAL_ASSIGN_OR_RETURN_IMPL(                            \
+      RINGDB_INTERNAL_CONCAT(_status_or_, __LINE__), lhs, expr)
+
+#define RINGDB_INTERNAL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                          \
+  if (!tmp.ok()) return tmp.status();                         \
+  lhs = std::move(tmp).value()
+
+#endif  // RINGDB_UTIL_STATUS_H_

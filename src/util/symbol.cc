@@ -1,0 +1,51 @@
+#include "util/symbol.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace {
+
+struct InternTable {
+  std::mutex mu;
+  std::unordered_map<std::string, uint32_t> ids;
+  std::vector<const std::string*> names;
+};
+
+// Never destroyed: symbols are process-lifetime handles.
+InternTable& Table() {
+  static InternTable* table = [] {
+    auto* t = new InternTable();
+    auto [it, inserted] = t->ids.emplace("", 0);
+    RINGDB_CHECK(inserted);
+    t->names.push_back(&it->first);
+    return t;
+  }();
+  return *table;
+}
+
+}  // namespace
+
+Symbol Symbol::Intern(std::string_view name) {
+  InternTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.ids.find(std::string(name));
+  if (it != t.ids.end()) return Symbol(it->second);
+  uint32_t id = static_cast<uint32_t>(t.names.size());
+  auto [ins, inserted] = t.ids.emplace(std::string(name), id);
+  RINGDB_CHECK(inserted);
+  t.names.push_back(&ins->first);
+  return Symbol(id);
+}
+
+const std::string& Symbol::str() const {
+  InternTable& t = Table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  RINGDB_CHECK_LT(id_, t.names.size());
+  return *t.names[id_];
+}
+
+}  // namespace ringdb

@@ -1,0 +1,51 @@
+// Interned identifiers (column names, relation names, query variables).
+//
+// A Symbol is a 32-bit handle into a process-wide interning table. Equality
+// and ordering are O(1) integer operations; ordering follows interning
+// order, which gives a stable canonical order for records within one
+// process (sufficient for the ring's canonical tuple representation).
+
+#ifndef RINGDB_UTIL_SYMBOL_H_
+#define RINGDB_UTIL_SYMBOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ringdb {
+
+class Symbol {
+ public:
+  // The default symbol is the interned empty string.
+  Symbol() : id_(0) {}
+
+  // Interns `name` (idempotent) and returns its handle.
+  static Symbol Intern(std::string_view name);
+
+  // The interned spelling. The returned reference lives for the process.
+  const std::string& str() const;
+
+  uint32_t id() const { return id_; }
+
+  friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+  friend bool operator>(Symbol a, Symbol b) { return a.id_ > b.id_; }
+  friend bool operator<=(Symbol a, Symbol b) { return a.id_ <= b.id_; }
+  friend bool operator>=(Symbol a, Symbol b) { return a.id_ >= b.id_; }
+
+ private:
+  explicit Symbol(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+}  // namespace ringdb
+
+template <>
+struct std::hash<ringdb::Symbol> {
+  size_t operator()(ringdb::Symbol s) const noexcept {
+    return static_cast<size_t>(s.id()) * 0x9e3779b97f4a7c15ULL >> 16;
+  }
+};
+
+#endif  // RINGDB_UTIL_SYMBOL_H_

@@ -1,0 +1,31 @@
+// Plain-text table rendering used by the benchmark/report binaries to
+// regenerate the paper's figures and example tables.
+
+#ifndef RINGDB_UTIL_TABLE_PRINTER_H_
+#define RINGDB_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace ringdb {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with column-aligned cells and a header rule.
+  std::string Render() const;
+
+  // Renders as CSV (for EXPERIMENTS.md ingestion / plotting).
+  std::string RenderCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ringdb
+
+#endif  // RINGDB_UTIL_TABLE_PRINTER_H_

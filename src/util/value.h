@@ -1,0 +1,128 @@
+// Value: elements of the active domain Adom (tuple field values).
+//
+// Values appear as record fields (join keys, group-by keys) and as operands
+// of comparisons. Numeric values additionally embed into the scalar ring
+// (util/numeric.h) so they can participate in arithmetic, mirroring how the
+// paper's AGCA uses active-domain values as ring elements in terms.
+
+#ifndef RINGDB_UTIL_VALUE_H_
+#define RINGDB_UTIL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+#include "util/check.h"
+#include "util/hash.h"
+#include "util/numeric.h"
+#include "util/status.h"
+
+namespace ringdb {
+
+class Value {
+ public:
+  enum class Kind { kInt = 0, kDouble = 1, kString = 2 };
+
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}                      // NOLINT
+  Value(int v) : v_(static_cast<int64_t>(v)) {}    // NOLINT
+  Value(double v) : v_(v) {}                       // NOLINT
+  Value(std::string v) : v_(std::move(v)) {}       // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}     // NOLINT
+  Value(Numeric n)                                 // NOLINT
+      : v_(int64_t{0}) {
+    if (n.is_integer()) {
+      v_ = n.AsInt();
+    } else {
+      v_ = n.AsDouble();
+    }
+  }
+
+  Kind kind() const { return static_cast<Kind>(v_.index()); }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_double() const { return kind() == Kind::kDouble; }
+  bool is_string() const { return kind() == Kind::kString; }
+  bool is_numeric() const { return !is_string(); }
+
+  int64_t AsInt() const {
+    RINGDB_CHECK(is_int());
+    return std::get<int64_t>(v_);
+  }
+  double AsDouble() const {
+    RINGDB_CHECK(is_double());
+    return std::get<double>(v_);
+  }
+  const std::string& AsString() const {
+    RINGDB_CHECK(is_string());
+    return std::get<std::string>(v_);
+  }
+
+  // Embeds numeric values into the scalar ring; error for strings.
+  StatusOr<Numeric> ToNumeric() const {
+    switch (kind()) {
+      case Kind::kInt: return Numeric(std::get<int64_t>(v_));
+      case Kind::kDouble: return Numeric(std::get<double>(v_));
+      case Kind::kString:
+        return Status::InvalidArgument("string value used in arithmetic: '" +
+                                       AsString() + "'");
+    }
+    return Status::Internal("corrupt Value");
+  }
+
+  // Kind-sensitive equality: int64(3) != double(3.0) != string("3").
+  // Records are untyped partial functions in the paper; in practice schemas
+  // are typed consistently, and kind-sensitive equality keeps hashing exact.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+  // Total order: by kind, then payload (used for canonical sorting only).
+  friend bool operator<(const Value& a, const Value& b) {
+    if (a.v_.index() != b.v_.index()) return a.v_.index() < b.v_.index();
+    return a.v_ < b.v_;
+  }
+
+  size_t Hash() const {
+    switch (kind()) {
+      case Kind::kInt:
+        return Mix64(static_cast<uint64_t>(std::get<int64_t>(v_)));
+      case Kind::kDouble: {
+        double d = std::get<double>(v_);
+        uint64_t bits;
+        __builtin_memcpy(&bits, &d, sizeof(bits));
+        return Mix64(bits ^ 0xd6e8feb86659fd93ULL);
+      }
+      case Kind::kString:
+        return HashString(std::get<std::string>(v_));
+    }
+    return 0;
+  }
+
+  std::string ToString() const {
+    switch (kind()) {
+      case Kind::kInt: return std::to_string(std::get<int64_t>(v_));
+      case Kind::kDouble: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v_));
+        return buf;
+      }
+      case Kind::kString: return std::get<std::string>(v_);
+    }
+    return "?";
+  }
+
+ private:
+  std::variant<int64_t, double, std::string> v_;
+};
+
+}  // namespace ringdb
+
+template <>
+struct std::hash<ringdb::Value> {
+  size_t operator()(const ringdb::Value& v) const noexcept { return v.Hash(); }
+};
+
+#endif  // RINGDB_UTIL_VALUE_H_

@@ -1,0 +1,57 @@
+#include "workload/stream.h"
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace workload {
+
+RelationStream::RelationStream(const ring::Catalog& catalog, Symbol relation,
+                               StreamOptions options)
+    : relation_(relation),
+      arity_(catalog.Arity(relation)),
+      options_(options),
+      rng_(options.seed ^ (static_cast<uint64_t>(relation.id()) << 32)) {
+  RINGDB_CHECK_GT(options_.domain_size, 0);
+  if (options_.zipf_s > 0) {
+    zipf_ = std::make_unique<Zipf>(
+        static_cast<uint64_t>(options_.domain_size), options_.zipf_s);
+  }
+}
+
+std::vector<Value> RelationStream::RandomRow() {
+  std::vector<Value> row;
+  row.reserve(arity_);
+  for (size_t i = 0; i < arity_; ++i) {
+    int64_t v = (zipf_ != nullptr)
+                    ? static_cast<int64_t>(zipf_->Sample(rng_))
+                    : rng_.Range(0, options_.domain_size - 1);
+    row.emplace_back(v);
+  }
+  return row;
+}
+
+ring::Update RelationStream::Next() {
+  if (!live_.empty() && rng_.Bernoulli(options_.delete_fraction)) {
+    size_t pick = rng_.Below(live_.size());
+    std::vector<Value> row = live_[pick];
+    live_[pick] = live_.back();
+    live_.pop_back();
+    return ring::Update::Delete(relation_, std::move(row));
+  }
+  std::vector<Value> row = RandomRow();
+  live_.push_back(row);
+  return ring::Update::Insert(relation_, std::move(row));
+}
+
+ring::Catalog OrdersSchema() {
+  ring::Catalog catalog;
+  catalog.AddRelation(Symbol::Intern("orders"),
+                      {Symbol::Intern("okey"), Symbol::Intern("ckey")});
+  catalog.AddRelation(Symbol::Intern("lineitem"),
+                      {Symbol::Intern("okey"), Symbol::Intern("price"),
+                       Symbol::Intern("qty")});
+  return catalog;
+}
+
+}  // namespace workload
+}  // namespace ringdb

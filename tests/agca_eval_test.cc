@@ -1,0 +1,249 @@
+// AGCA evaluation semantics (§4): Examples 4.1–4.4 and 5.2 reproduced
+// verbatim, plus range-restriction and error behavior.
+
+#include <gtest/gtest.h>
+
+#include "agca/ast.h"
+#include "agca/eval.h"
+#include "ring/database.h"
+
+namespace ringdb {
+namespace agca {
+namespace {
+
+using ring::Catalog;
+using ring::Database;
+using ring::Gmr;
+using ring::Tuple;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+
+ExprPtr V(const char* name) { return Expr::Var(S(name)); }
+ExprPtr C(int64_t c) { return Expr::Const(Numeric(c)); }
+
+TEST(AgcaEvalTest, Example41ColumnRenamingAndSelection) {
+  Catalog catalog;
+  catalog.AddRelation(S("R41"), {S("a"), S("b")});
+  Database db(catalog);
+  // R = {(a1,b1) -> r1, (a2,b2) -> r2}; use strings for domain values.
+  db.Insert(S("R41"), {Value("a1"), Value("b1")});
+  db.Insert(S("R41"), {Value("a2"), Value("b2")});
+
+  ExprPtr q = Expr::Relation(S("R41"), {Term(S("x")), Term(S("y"))});
+  Tuple env{{S("y"), Value("b1")}};
+  auto result = Evaluate(q, db, env);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SupportSize(), 1u);
+  EXPECT_EQ(result->At(Tuple{{S("x"), Value("a1")}, {S("y"), Value("b1")}}),
+            kOne);
+}
+
+TEST(AgcaEvalTest, Example42HeterogeneousTuplesAndConditions) {
+  // The example's gmr is built from scratch with AGCA (Example 4.4
+  // technique): tuples {x->1} (a1), {y->1} (a2), {x->1,y->1} (a3),
+  // {x->1,y->2} (a4).
+  const int64_t a1 = 2, a2 = 3, a3 = 5, a4 = 7;
+  ExprPtr base = Expr::Add(
+      {Expr::Mul({C(a1), Expr::Assign(S("x"), C(1))}),
+       Expr::Mul({C(a2), Expr::Assign(S("y"), C(1))}),
+       Expr::Mul({C(a3), Expr::Assign(S("x"), C(1)),
+                  Expr::Assign(S("y"), C(1))}),
+       Expr::Mul({C(a4), Expr::Assign(S("x"), C(1)),
+                  Expr::Assign(S("y"), C(2))})});
+  Catalog catalog;
+  Database db(catalog);
+
+  {
+    ExprPtr q = Expr::Mul({base, Expr::Cmp(CmpOp::kLt, V("x"), V("y"))});
+    auto r = Evaluate(q, db, Tuple());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->SupportSize(), 1u);
+    EXPECT_EQ(r->At(Tuple{{S("x"), Value(1)}, {S("y"), Value(2)}}),
+              Numeric(a4));
+  }
+  {
+    ExprPtr q = Expr::Mul({base, Expr::Cmp(CmpOp::kEq, V("x"), V("y"))});
+    auto r = Evaluate(q, db, Tuple());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->SupportSize(), 1u);
+    // a1 + a2 + a3: the partial tuples are unified to {x->1,y->1}.
+    EXPECT_EQ(r->At(Tuple{{S("x"), Value(1)}, {S("y"), Value(1)}}),
+              Numeric(a1 + a2 + a3));
+  }
+}
+
+TEST(AgcaEvalTest, Example43SumWithArithmetic) {
+  Catalog catalog;
+  catalog.AddRelation(S("R43"), {S("a"), S("b")});
+  Database db(catalog);
+  const int64_t r1 = 2, r2 = 3, v1 = 11, v2 = 13;
+  for (int i = 0; i < r1; ++i) db.Insert(S("R43"), {Value(v1), Value(100)});
+  for (int i = 0; i < r2; ++i) db.Insert(S("R43"), {Value(v2), Value(200)});
+
+  // Sum(R(x,y) * 3 * x) = r1*3*v1 + r2*3*v2.
+  ExprPtr q = Expr::Sum(
+      {}, Expr::Mul({Expr::Relation(S("R43"), {Term(S("x")), Term(S("y"))}),
+                     C(3), V("x")}));
+  auto r = EvaluateScalar(q, db, Tuple());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Numeric(r1 * 3 * v1 + r2 * 3 * v2));
+}
+
+TEST(AgcaEvalTest, Example44GmrFromScratch) {
+  Catalog catalog;
+  Database db(catalog);
+  // [[(x := x1)*(y := y1)*z + (x := x2)*(-3)]] under
+  // {x1->a1, y1->b1, x2->a2, z->2}.
+  ExprPtr q = Expr::Add(
+      {Expr::Mul({Expr::Assign(S("x"), V("x1")),
+                  Expr::Assign(S("y"), V("y1")), V("z")}),
+       Expr::Mul({Expr::Assign(S("x"), V("x2")), C(-3)})});
+  Tuple env{{S("x1"), Value("a1")},
+            {S("y1"), Value("b1")},
+            {S("x2"), Value("a2")},
+            {S("z"), Value(2)}};
+  auto r = Evaluate(q, db, env);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->SupportSize(), 2u);
+  EXPECT_EQ(r->At(Tuple{{S("x"), Value("a1")}, {S("y"), Value("b1")}}),
+            Numeric(2));
+  EXPECT_EQ(r->At(Tuple{{S("x"), Value("a2")}}), Numeric(-3));
+}
+
+TEST(AgcaEvalTest, Example52GroupedSelfJoinCount) {
+  // C(cid, nation); for each cid, the number of customers of the same
+  // nation (including itself).
+  Catalog catalog;
+  catalog.AddRelation(S("C52"), {S("cid"), S("nation")});
+  Database db(catalog);
+  db.Insert(S("C52"), {Value(1), Value("CH")});
+  db.Insert(S("C52"), {Value(2), Value("CH")});
+  db.Insert(S("C52"), {Value(3), Value("AT")});
+
+  ExprPtr q = Expr::Sum(
+      {S("c")},
+      Expr::Mul({Expr::Relation(S("C52"), {Term(S("c")), Term(S("n"))}),
+                 Expr::Relation(S("C52"), {Term(S("c2")), Term(S("n2"))}),
+                 Expr::Cmp(CmpOp::kEq, V("n"), V("n2")), C(1)}));
+  auto r = Evaluate(q, db, Tuple());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->At(Tuple{{S("c"), Value(1)}}), Numeric(2));
+  EXPECT_EQ(r->At(Tuple{{S("c"), Value(2)}}), Numeric(2));
+  EXPECT_EQ(r->At(Tuple{{S("c"), Value(3)}}), Numeric(1));
+
+  // Slicing one group by binding c (the paper's bound-variable reading).
+  auto sliced = Evaluate(q, db, Tuple{{S("c"), Value(1)}});
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->At(Tuple{{S("c"), Value(1)}}), Numeric(2));
+  EXPECT_EQ(sliced->SupportSize(), 1u);
+}
+
+TEST(AgcaEvalTest, SidewaysBindingPassesLeftToRight) {
+  Catalog catalog;
+  catalog.AddRelation(S("Re"), {S("a")});
+  catalog.AddRelation(S("Se"), {S("a"), S("b")});
+  Database db(catalog);
+  db.Insert(S("Re"), {Value(1)});
+  db.Insert(S("Se"), {Value(1), Value(10)});
+  db.Insert(S("Se"), {Value(2), Value(20)});
+
+  // R(x) * S(x, y): the second atom is filtered by the binding of x.
+  ExprPtr q =
+      Expr::Mul({Expr::Relation(S("Re"), {Term(S("x"))}),
+                 Expr::Relation(S("Se"), {Term(S("x")), Term(S("y"))})});
+  auto r = Evaluate(q, db, Tuple());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->SupportSize(), 1u);
+  EXPECT_EQ(r->At(Tuple{{S("x"), Value(1)}, {S("y"), Value(10)}}), kOne);
+}
+
+TEST(AgcaEvalTest, RepeatedVariableInAtomActsAsSelfJoinFilter) {
+  Catalog catalog;
+  catalog.AddRelation(S("Rr"), {S("a"), S("b")});
+  Database db(catalog);
+  db.Insert(S("Rr"), {Value(1), Value(1)});
+  db.Insert(S("Rr"), {Value(1), Value(2)});
+  ExprPtr q = Expr::Relation(S("Rr"), {Term(S("x")), Term(S("x"))});
+  auto r = Evaluate(q, db, Tuple());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->SupportSize(), 1u);
+  EXPECT_EQ(r->At(Tuple{{S("x"), Value(1)}}), kOne);
+}
+
+TEST(AgcaEvalTest, ConstantArgumentSelects) {
+  Catalog catalog;
+  catalog.AddRelation(S("Rc"), {S("a"), S("b")});
+  Database db(catalog);
+  db.Insert(S("Rc"), {Value("us"), Value(1)});
+  db.Insert(S("Rc"), {Value("ch"), Value(2)});
+  ExprPtr q = Expr::Relation(S("Rc"), {Term(Value("ch")), Term(S("y"))});
+  auto r = Evaluate(q, db, Tuple());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->SupportSize(), 1u);
+  EXPECT_EQ(r->At(Tuple{{S("y"), Value(2)}}), kOne);
+}
+
+TEST(AgcaEvalTest, UnboundScalarVariableIsAnError) {
+  Catalog catalog;
+  Database db(catalog);
+  auto r = Evaluate(V("nowhere"), db, Tuple());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AgcaEvalTest, ArityMismatchIsAnError) {
+  Catalog catalog;
+  catalog.AddRelation(S("Ra"), {S("a"), S("b")});
+  Database db(catalog);
+  auto r = Evaluate(Expr::Relation(S("Ra"), {Term(S("x"))}), db, Tuple());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AgcaEvalTest, UnknownRelationIsAnError) {
+  Catalog catalog;
+  Database db(catalog);
+  auto r = Evaluate(Expr::Relation(S("Missing"), {Term(S("x"))}), db,
+                    Tuple());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AgcaEvalTest, StringsInArithmeticAreErrors) {
+  Catalog catalog;
+  Database db(catalog);
+  Tuple env{{S("sv"), Value("str")}};
+  // A string-bound variable used as a scalar multiplicity.
+  auto r = Evaluate(Expr::Mul({C(2), V("sv")}), db, env);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(AgcaEvalTest, NegationAndAdditiveInverse) {
+  Catalog catalog;
+  catalog.AddRelation(S("Rn"), {S("a")});
+  Database db(catalog);
+  db.Insert(S("Rn"), {Value(1)});
+  ExprPtr atom = Expr::Relation(S("Rn"), {Term(S("x"))});
+  ExprPtr q = Expr::Add({atom, Expr::Neg(atom)});
+  auto r = Evaluate(q, db, Tuple());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->IsZero());
+}
+
+TEST(AgcaEvalTest, NestedAggregateAsScalar) {
+  Catalog catalog;
+  catalog.AddRelation(S("Rg"), {S("a")});
+  Database db(catalog);
+  db.Insert(S("Rg"), {Value(5)});
+  db.Insert(S("Rg"), {Value(6)});
+  // Sum(R(x)) = 2 (count); compare 2 > 1.
+  ExprPtr count = Expr::Sum({}, Expr::Relation(S("Rg"), {Term(S("x"))}));
+  ExprPtr q = Expr::Cmp(CmpOp::kGt, count, C(1));
+  auto r = EvaluateScalar(q, db, Tuple());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, kOne);
+}
+
+}  // namespace
+}  // namespace agca
+}  // namespace ringdb

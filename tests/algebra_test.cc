@@ -1,0 +1,201 @@
+// Exhaustive/randomized verification of the §2 constructions:
+// Proposition 2.4 (monoid rings are rings), Lemma 2.9 (mutilation yields
+// quotient rings), Theorem 2.6 (avalanche rings are rings), and
+// Proposition 2.8 (A[G] embeds as the binding-ignoring subring).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algebra/avalanche.h"
+#include "algebra/finite_monoids.h"
+#include "algebra/monoid_ring.h"
+#include "util/random.h"
+
+namespace ringdb {
+namespace algebra {
+namespace {
+
+template <typename G>
+MonoidRingElem<G, int64_t> RandomElem(Rng& rng,
+                                      const std::vector<G>& universe) {
+  MonoidRingElem<G, int64_t> e;
+  for (const G& g : universe) {
+    if (rng.Bernoulli(0.5)) e.Set(g, rng.Range(-3, 3));
+  }
+  return e;
+}
+
+template <typename G>
+void CheckRingAxioms(uint64_t seed) {
+  using R = MonoidRingElem<G, int64_t>;
+  Rng rng(seed);
+  std::vector<G> universe = G::Universe();
+  for (int trial = 0; trial < 200; ++trial) {
+    R x = RandomElem<G>(rng, universe);
+    R y = RandomElem<G>(rng, universe);
+    R z = RandomElem<G>(rng, universe);
+    EXPECT_EQ(x + y, y + x);
+    EXPECT_EQ((x + y) + z, x + (y + z));
+    EXPECT_EQ(x + R::Zero(), x);
+    EXPECT_EQ(x + (-x), R::Zero());
+    EXPECT_EQ((x * y) * z, x * (y * z));
+    EXPECT_EQ(x * R::One(), x);
+    EXPECT_EQ(R::One() * x, x);
+    EXPECT_EQ(x * (y + z), x * y + x * z);
+    EXPECT_EQ((x + y) * z, x * z + y * z);
+  }
+}
+
+TEST(MonoidRingTest, GroupRingOverZ6IsARing) {
+  CheckRingAxioms<CyclicAddMonoid<6>>(1);
+}
+
+TEST(MonoidRingTest, MutilatedModMulRingIsARing) {
+  // Z_6 \ {0} under multiplication: Compose is genuinely partial
+  // (2*3 = 0 is excluded), exercising Lemma 2.9 / quotient behavior.
+  CheckRingAxioms<ModMulMonoid<6>>(2);
+}
+
+TEST(MonoidRingTest, MutilationDropsExcludedProducts) {
+  using G = ModMulMonoid<6>;
+  using R = MonoidRingElem<G, int64_t>;
+  R two = R::Singleton(G{2}, 1);
+  R three = R::Singleton(G{3}, 1);
+  // 2 * 3 = 0 mod 6 is excluded: the product is the zero of the quotient.
+  EXPECT_EQ(two * three, R::Zero());
+  // 2 * 2 = 4 stays inside.
+  EXPECT_EQ(two * two, R::Singleton(G{4}, 1));
+}
+
+TEST(MonoidRingTest, ConvolutionMatchesPolynomialMultiplication) {
+  // Z[x]/(x^8 - ... ) ~ the cyclic monoid ring: (1 + x)^2 = 1 + 2x + x^2.
+  using G = CyclicAddMonoid<8>;
+  using R = MonoidRingElem<G, int64_t>;
+  R one_plus_x = R::Singleton(G{0}, 1) + R::Singleton(G{1}, 1);
+  R sq = one_plus_x * one_plus_x;
+  EXPECT_EQ(sq.At(G{0}), 1);
+  EXPECT_EQ(sq.At(G{1}), 2);
+  EXPECT_EQ(sq.At(G{2}), 1);
+  EXPECT_EQ(sq.At(G{3}), 0);
+}
+
+TEST(MonoidRingTest, ScalarActionAndBilinearity) {
+  using G = CyclicAddMonoid<5>;
+  using R = MonoidRingElem<G, int64_t>;
+  Rng rng(3);
+  std::vector<G> universe = G::Universe();
+  for (int trial = 0; trial < 100; ++trial) {
+    R x = RandomElem<G>(rng, universe);
+    R y = RandomElem<G>(rng, universe);
+    int64_t a = rng.Range(-4, 4);
+    EXPECT_EQ(a * (x * y), (a * x) * y);
+    EXPECT_EQ(a * (x * y), x * (a * y));
+    EXPECT_EQ(a * (x + y), a * x + a * y);
+  }
+}
+
+// ---- Avalanche rings (Theorem 2.6) ----
+
+template <typename G>
+AvalancheElem<G, int64_t> RandomAvalanche(Rng& rng,
+                                          const std::vector<G>& universe) {
+  using R = MonoidRingElem<G, int64_t>;
+  // A random function G -> A[G], materialized as a table. Elements of the
+  // mutilated avalanche ring =>A[G0] must satisfy the §2.4 convention
+  // f(b)(x) = 0 whenever b * x falls outside G0 (they live in the quotient
+  // by the ideal I of Lemma 2.9), so excluded entries are zeroed.
+  std::vector<R> table;
+  table.reserve(universe.size());
+  for (const G& b : universe) {
+    R raw = RandomElem<G>(rng, universe);
+    R constrained;
+    for (const auto& [g, coeff] : raw.support()) {
+      if (G::Compose(b, g).has_value()) constrained.Set(g, coeff);
+    }
+    table.push_back(std::move(constrained));
+  }
+  auto universe_copy = universe;
+  return AvalancheElem<G, int64_t>(
+      [table, universe_copy](const G& b) -> R {
+        for (size_t i = 0; i < universe_copy.size(); ++i) {
+          if (universe_copy[i] == b) return table[i];
+        }
+        return R::Zero();
+      });
+}
+
+template <typename G>
+void CheckAvalancheAxioms(uint64_t seed) {
+  using AV = AvalancheElem<G, int64_t>;
+  Rng rng(seed);
+  std::vector<G> universe = G::Universe();
+  for (int trial = 0; trial < 30; ++trial) {
+    AV f = RandomAvalanche<G>(rng, universe);
+    AV g = RandomAvalanche<G>(rng, universe);
+    AV h = RandomAvalanche<G>(rng, universe);
+    EXPECT_TRUE((f + g).EqualsOn(g + f, universe));
+    EXPECT_TRUE(((f + g) + h).EqualsOn(f + (g + h), universe));
+    EXPECT_TRUE((f + AV::Zero()).EqualsOn(f, universe));
+    EXPECT_TRUE((f - f).EqualsOn(AV::Zero(), universe));
+    // Associativity of the sideways-binding product (the heart of the
+    // Theorem 2.6 proof).
+    EXPECT_TRUE(((f * g) * h).EqualsOn(f * (g * h), universe));
+    EXPECT_TRUE((f * AV::One()).EqualsOn(f, universe));
+    EXPECT_TRUE((AV::One() * f).EqualsOn(f, universe));
+    // Distributivity.
+    EXPECT_TRUE((f * (g + h)).EqualsOn(f * g + f * h, universe));
+    EXPECT_TRUE(((f + g) * h).EqualsOn(f * h + g * h, universe));
+  }
+}
+
+TEST(AvalancheTest, RingAxiomsOverGroupMonoid) {
+  CheckAvalancheAxioms<CyclicAddMonoid<4>>(11);
+}
+
+TEST(AvalancheTest, RingAxiomsOverMutilatedMonoid) {
+  CheckAvalancheAxioms<ModMulMonoid<6>>(12);
+}
+
+TEST(AvalancheTest, LiftedSubringIsIsomorphicToMonoidRing) {
+  // Proposition 2.8: (. -> alpha) op (. -> beta) == (. -> alpha op beta).
+  using G = CyclicAddMonoid<4>;
+  using R = MonoidRingElem<G, int64_t>;
+  using AV = AvalancheElem<G, int64_t>;
+  Rng rng(13);
+  std::vector<G> universe = G::Universe();
+  for (int trial = 0; trial < 100; ++trial) {
+    R a = RandomElem<G>(rng, universe);
+    R b = RandomElem<G>(rng, universe);
+    EXPECT_TRUE((AV::Lift(a) + AV::Lift(b)).EqualsOn(AV::Lift(a + b),
+                                                     universe));
+    EXPECT_TRUE((AV::Lift(a) * AV::Lift(b)).EqualsOn(AV::Lift(a * b),
+                                                     universe));
+    EXPECT_TRUE((-AV::Lift(a)).EqualsOn(AV::Lift(-a), universe));
+  }
+}
+
+TEST(AvalancheTest, SidewaysBindingSelectsLikeExample35) {
+  // A miniature of Example 3.5: the right factor "sees" the binding
+  // produced by the left factor. Over (Z_4, +): f emits chi_g for every
+  // g; g(b) = 1 iff b is even, else 0. Then (f * g)(0) keeps exactly the
+  // tuples g of f with g even — selection without a selection operator.
+  using G = CyclicAddMonoid<4>;
+  using R = MonoidRingElem<G, int64_t>;
+  using AV = AvalancheElem<G, int64_t>;
+  R all;
+  for (const G& g : G::Universe()) all.Set(g, 1);
+  AV f = AV::Lift(all);
+  AV is_even([](const G& b) {
+    return (b.v % 2 == 0) ? R::One() : R::Zero();
+  });
+  R selected = (f * is_even).Eval(G{0});
+  EXPECT_EQ(selected.At(G{0}), 1);
+  EXPECT_EQ(selected.At(G{1}), 0);
+  EXPECT_EQ(selected.At(G{2}), 1);
+  EXPECT_EQ(selected.At(G{3}), 0);
+}
+
+}  // namespace
+}  // namespace algebra
+}  // namespace ringdb

@@ -1,0 +1,166 @@
+// AGCA AST: factory normalizations, variable analyses, substitution, and
+// printing. These lock down invariants the compiler relies on.
+
+#include <gtest/gtest.h>
+
+#include "agca/ast.h"
+
+namespace ringdb {
+namespace agca {
+namespace {
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+ExprPtr V(const char* n) { return Expr::Var(S(n)); }
+ExprPtr C(int64_t c) { return Expr::Const(Numeric(c)); }
+ExprPtr Rel(const char* r, std::vector<const char*> vars) {
+  std::vector<Term> args;
+  for (const char* v : vars) args.emplace_back(S(v));
+  return Expr::Relation(S(r), std::move(args));
+}
+
+TEST(AstFactoryTest, AddFlattensAndFoldsConstants) {
+  ExprPtr e = Expr::Add({C(1), Expr::Add({C(2), V("x")}), C(3)});
+  ASSERT_EQ(e->kind(), Expr::Kind::kAdd);
+  // x + 6.
+  EXPECT_EQ(e->children().size(), 2u);
+  Numeric total = kZero;
+  for (const auto& c : e->children()) {
+    if (c->kind() == Expr::Kind::kConst) total += c->constant();
+  }
+  EXPECT_EQ(total, Numeric(6));
+}
+
+TEST(AstFactoryTest, AddOfNothingIsZero) {
+  EXPECT_TRUE(Expr::Add({})->IsZero());
+  EXPECT_TRUE(Expr::Add({C(2), C(-2)})->IsZero());
+}
+
+TEST(AstFactoryTest, MulAnnihilatesOnZero) {
+  EXPECT_TRUE(Expr::Mul({V("x"), C(0), Rel("Ra", {"y"})})->IsZero());
+}
+
+TEST(AstFactoryTest, MulDropsOne) {
+  ExprPtr e = Expr::Mul({C(1), V("x")});
+  EXPECT_EQ(e->kind(), Expr::Kind::kVar);
+}
+
+TEST(AstFactoryTest, MulFlattensNested) {
+  ExprPtr e = Expr::Mul({V("x"), Expr::Mul({V("y"), V("z")})});
+  ASSERT_EQ(e->kind(), Expr::Kind::kMul);
+  EXPECT_EQ(e->children().size(), 3u);
+}
+
+TEST(AstFactoryTest, NegIsScalarAction) {
+  ExprPtr e = Expr::Neg(V("x"));
+  ASSERT_EQ(e->kind(), Expr::Kind::kMul);
+  EXPECT_EQ(e->children()[0]->constant(), Numeric(-1));
+  // Double negation cancels through constant folding.
+  EXPECT_EQ(Expr::Neg(Expr::Neg(V("x")))->kind(), Expr::Kind::kVar);
+  EXPECT_EQ(Expr::Neg(C(5))->constant(), Numeric(-5));
+}
+
+TEST(AstFactoryTest, SumOfZeroIsZero) {
+  EXPECT_TRUE(Expr::Sum({S("g")}, C(0))->IsZero());
+}
+
+TEST(AstAnalysisTest, OutputVars) {
+  ExprPtr e = Expr::Mul({Rel("Ra", {"x", "y"}),
+                         Expr::Assign(S("z"), C(1)),
+                         Expr::Cmp(CmpOp::kLt, V("x"), V("w"))});
+  std::set<Symbol> out = OutputVars(*e);
+  EXPECT_TRUE(out.contains(S("x")));
+  EXPECT_TRUE(out.contains(S("y")));
+  EXPECT_TRUE(out.contains(S("z")));
+  EXPECT_FALSE(out.contains(S("w")));  // Cmp produces nothing
+}
+
+TEST(AstAnalysisTest, RequiredVarsRespectSidewaysBinding) {
+  // In R(x) * (x < c): x is produced by the atom, c must come from outside.
+  ExprPtr e = Expr::Mul({Rel("Ra", {"x"}),
+                         Expr::Cmp(CmpOp::kLt, V("x"), V("c"))});
+  std::set<Symbol> req = RequiredVars(*e);
+  EXPECT_FALSE(req.contains(S("x")));
+  EXPECT_TRUE(req.contains(S("c")));
+  // Reversed order: the condition precedes its producer, so x is required.
+  ExprPtr bad = Expr::Mul({Expr::Cmp(CmpOp::kLt, V("x"), V("c")),
+                           Rel("Ra", {"x"})});
+  EXPECT_TRUE(RequiredVars(*bad).contains(S("x")));
+}
+
+TEST(AstAnalysisTest, RelationsInAndDatabaseFree) {
+  ExprPtr e = Expr::Add({Rel("Ra", {"x"}),
+                         Expr::Sum({}, Rel("Sb", {"y"}))});
+  std::set<Symbol> rels = RelationsIn(*e);
+  EXPECT_EQ(rels.size(), 2u);
+  EXPECT_FALSE(DatabaseFree(*e));
+  EXPECT_TRUE(DatabaseFree(*Expr::Mul({V("x"), C(3)})));
+}
+
+TEST(AstEqualityTest, StructuralEqualityAndHash) {
+  ExprPtr a = Expr::Mul({Rel("Ra", {"x"}), V("x")});
+  ExprPtr b = Expr::Mul({Rel("Ra", {"x"}), V("x")});
+  ExprPtr c = Expr::Mul({Rel("Ra", {"y"}), V("y")});
+  EXPECT_TRUE(ExprEquals(*a, *b));
+  EXPECT_EQ(ExprHash(*a), ExprHash(*b));
+  EXPECT_FALSE(ExprEquals(*a, *c));  // exact, not modulo renaming
+}
+
+TEST(AstEqualityTest, ConstKindSensitivity) {
+  EXPECT_FALSE(ExprEquals(*C(3), *Expr::Const(Numeric(3.0))));
+  EXPECT_TRUE(ExprEquals(*Expr::ValueConst(Value("v")),
+                         *Expr::ValueConst(Value("v"))));
+  EXPECT_FALSE(ExprEquals(*Expr::ValueConst(Value("v")),
+                          *Expr::ValueConst(Value(3))));
+}
+
+TEST(SubstituteTest, VarToVarAndVarToConst) {
+  ExprPtr e = Expr::Mul({Rel("Ra", {"x", "y"}), V("x")});
+  ExprPtr renamed = Substitute(e, {{S("x"), Atom(S("u"))}});
+  EXPECT_EQ(renamed->ToString(), "(Ra(u, y) * u)");
+  // The Mul factory hoists the substituted constant to the front.
+  ExprPtr grounded = Substitute(e, {{S("x"), Atom(Value(7))}});
+  EXPECT_EQ(grounded->ToString(), "(7 * Ra(7, y))");
+}
+
+TEST(SubstituteTest, StringConstIntoRelationArg) {
+  ExprPtr e = Rel("Ra", {"x"});
+  ExprPtr s = Substitute(e, {{S("x"), Atom(Value("ch"))}});
+  EXPECT_EQ(s->ToString(), "Ra('ch')");
+}
+
+TEST(SubstituteTest, BoundAssignTargetDegeneratesToEquality) {
+  // Substituting x (an assignment target) rewrites x := t into x' = t.
+  ExprPtr e = Expr::Assign(S("x"), V("t"));
+  ExprPtr s = Substitute(e, {{S("x"), Atom(S("p"))}});
+  ASSERT_EQ(s->kind(), Expr::Kind::kCmp);
+  EXPECT_EQ(s->cmp_op(), CmpOp::kEq);
+  EXPECT_EQ(s->lhs()->var(), S("p"));
+}
+
+TEST(SubstituteTest, SumGroupVarsRenameVarToVar) {
+  ExprPtr e = Expr::Sum({S("g")}, Rel("Ra", {"g", "x"}));
+  ExprPtr s = Substitute(e, {{S("g"), Atom(S("h"))}});
+  ASSERT_EQ(s->kind(), Expr::Kind::kSum);
+  EXPECT_EQ(s->group_vars()[0], S("h"));
+}
+
+TEST(PrintingTest, ReadableForms) {
+  EXPECT_EQ(Rel("Ra", {"x"})->ToString(), "Ra(x)");
+  EXPECT_EQ(Expr::Sum({S("g")}, V("g"))->ToString(), "Sum_[g](g)");
+  EXPECT_EQ(Expr::Cmp(CmpOp::kNe, V("a"), C(0))->ToString(), "(a != 0)");
+  EXPECT_EQ(Expr::Assign(S("x"), C(2))->ToString(), "(x := 2)");
+  EXPECT_EQ(Expr::Relation(S("Ra"), {Term(Value("us"))})->ToString(),
+            "Ra('us')");
+}
+
+TEST(CmpOpTest, ComplementsAreInvolutive) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe,
+                   CmpOp::kGt, CmpOp::kGe}) {
+    EXPECT_EQ(Complement(Complement(op)), op);
+    EXPECT_NE(Complement(op), op);
+  }
+}
+
+}  // namespace
+}  // namespace agca
+}  // namespace ringdb

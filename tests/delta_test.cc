@@ -1,0 +1,256 @@
+// Delta queries (§6): Proposition 6.1 ([[q]](A+u) = [[q]](A) +
+// [[Delta_u q]](A)) as a randomized property over a query pool, the
+// degree-reduction Theorem 6.4, and the worked Examples 6.2 / 6.5.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "agca/ast.h"
+#include "agca/degree.h"
+#include "agca/eval.h"
+#include "delta/delta.h"
+#include "ring/database.h"
+#include "util/random.h"
+
+namespace ringdb {
+namespace delta {
+namespace {
+
+using agca::CmpOp;
+using agca::Degree;
+using agca::Expr;
+using agca::ExprPtr;
+using agca::Term;
+using ring::Catalog;
+using ring::Database;
+using ring::Gmr;
+using ring::Tuple;
+using ring::Update;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+ExprPtr V(const char* name) { return Expr::Var(S(name)); }
+ExprPtr C(int64_t c) { return Expr::Const(Numeric(c)); }
+
+Catalog TestCatalog() {
+  Catalog catalog;
+  catalog.AddRelation(S("Rd"), {S("ra")});
+  catalog.AddRelation(S("Sd"), {S("sa"), S("sb")});
+  catalog.AddRelation(S("Td"), {S("ta"), S("tb")});
+  return catalog;
+}
+
+// A pool of queries with simple conditions covering all operators.
+std::vector<ExprPtr> QueryPool() {
+  ExprPtr r = Expr::Relation(S("Rd"), {Term(S("x"))});
+  ExprPtr s = Expr::Relation(S("Sd"), {Term(S("x")), Term(S("y"))});
+  ExprPtr t = Expr::Relation(S("Td"), {Term(S("y")), Term(S("z"))});
+  ExprPtr r2 = Expr::Relation(S("Rd"), {Term(S("y"))});
+  return {
+      r,
+      Expr::Add({r, Expr::Neg(s)}),
+      Expr::Mul({r, s}),
+      Expr::Mul({r, s, t}),
+      Expr::Sum({}, Expr::Mul({r, r2})),
+      Expr::Sum({}, Expr::Mul({s, Expr::Cmp(CmpOp::kLt, V("x"), V("y"))})),
+      Expr::Sum({}, Expr::Mul({s, V("x"), V("y")})),
+      Expr::Sum({S("x")}, Expr::Mul({s, t})),
+      Expr::Sum({}, Expr::Mul({r, Expr::Cmp(CmpOp::kNe, V("x"), C(2))})),
+      Expr::Sum({}, Expr::Mul({Expr::Add({r, Expr::Neg(r2)}), s})),
+      // Constant relation argument (string selection).
+      Expr::Sum({}, Expr::Relation(S("Sd"), {Term(S("x")),
+                                             Term(Value(1))})),
+  };
+}
+
+Update RandomUpdate(Rng& rng, const Catalog& catalog) {
+  std::vector<Symbol> rels = catalog.RelationNames();
+  std::sort(rels.begin(), rels.end());
+  Symbol rel = rels[rng.Below(rels.size())];
+  std::vector<Value> values;
+  for (size_t i = 0; i < catalog.Arity(rel); ++i) {
+    values.emplace_back(rng.Range(0, 3));
+  }
+  return rng.Bernoulli(0.7) ? Update::Insert(rel, std::move(values))
+                            : Update::Delete(rel, std::move(values));
+}
+
+TEST(DeltaTest, Proposition61RandomizedOverQueryPool) {
+  Catalog catalog = TestCatalog();
+  Rng rng(20100607);
+  for (const ExprPtr& q : QueryPool()) {
+    Database db(catalog);
+    // Grow the database through a random update stream, checking the
+    // delta identity at every step.
+    for (int step = 0; step < 60; ++step) {
+      Update u = RandomUpdate(rng, catalog);
+      Event ev = MakeEvent(catalog, u.relation, u.sign);
+      ExprPtr dq = Delta(q, ev);
+
+      auto before = agca::Evaluate(q, db, Tuple());
+      ASSERT_TRUE(before.ok()) << q->ToString();
+      auto delta_val = agca::Evaluate(dq, db, BindParams(ev, u));
+      ASSERT_TRUE(delta_val.ok())
+          << "delta of " << q->ToString() << ": " << dq->ToString();
+      db.Apply(u);
+      auto after = agca::Evaluate(q, db, Tuple());
+      ASSERT_TRUE(after.ok());
+
+      // Project the delta onto the query's output schema: parameter
+      // bindings may surface in assigned columns.
+      Gmr projected;
+      std::vector<Symbol> out_vars;
+      for (Symbol v : agca::OutputVars(*q)) out_vars.push_back(v);
+      for (const auto& [tup, m] : delta_val->support()) {
+        projected.Add(tup.Restrict(out_vars), m);
+      }
+      EXPECT_EQ(*after, *before + projected)
+          << "q = " << q->ToString() << "\nu = " << u.ToString()
+          << "\ndq = " << dq->ToString();
+    }
+  }
+}
+
+TEST(DeltaTest, Theorem64DegreeReduction) {
+  Catalog catalog = TestCatalog();
+  for (const ExprPtr& q : QueryPool()) {
+    if (!agca::HasSimpleConditionsOnly(*q)) continue;
+    int d = Degree(*q);
+    for (Symbol rel : {S("Rd"), S("Sd"), S("Td")}) {
+      for (auto sign : {Update::Sign::kInsert, Update::Sign::kDelete}) {
+        Event ev = MakeEvent(catalog, rel, sign);
+        ExprPtr dq = Delta(q, ev);
+        EXPECT_LE(Degree(*dq), std::max(0, d - 1))
+            << "q = " << q->ToString() << " dq = " << dq->ToString();
+      }
+    }
+  }
+}
+
+TEST(DeltaTest, KthDeltaVanishes) {
+  // Repeated deltas of a degree-k query become the zero polynomial after
+  // k+1 applications ("infinitely differentiable", §6).
+  Catalog catalog = TestCatalog();
+  ExprPtr q = Expr::Sum(
+      {}, Expr::Mul({Expr::Relation(S("Rd"), {Term(S("x"))}),
+                     Expr::Relation(S("Sd"), {Term(S("x")), Term(S("y"))}),
+                     Expr::Relation(S("Td"), {Term(S("y")), Term(S("z"))})}));
+  EXPECT_EQ(Degree(*q), 3);
+  ExprPtr d1 = Delta(q, MakeEvent(catalog, S("Rd"),
+                                  Update::Sign::kInsert, "#1"));
+  ExprPtr d2 = Delta(d1, MakeEvent(catalog, S("Sd"),
+                                   Update::Sign::kInsert, "#2"));
+  ExprPtr d3 = Delta(d2, MakeEvent(catalog, S("Td"),
+                                   Update::Sign::kInsert, "#3"));
+  ExprPtr d4 = Delta(d3, MakeEvent(catalog, S("Rd"),
+                                   Update::Sign::kDelete, "#4"));
+  EXPECT_EQ(Degree(*d1), 2);
+  EXPECT_EQ(Degree(*d2), 1);
+  EXPECT_EQ(Degree(*d3), 0);
+  // The fourth delta is identically zero (normalization folds it away).
+  EXPECT_TRUE(d4->IsZero()) << d4->ToString();
+}
+
+TEST(DeltaTest, Example62DeltaOfGroupedSelfJoin) {
+  // q = Sum_[c](C(c,n) * C(c2,n)) — the delta w.r.t. ±C(c1,n1) has
+  // degree 1 and the second delta degree 0 (Example 6.5).
+  Catalog catalog;
+  catalog.AddRelation(S("C62"), {S("cid"), S("nation")});
+  ExprPtr q = Expr::Sum(
+      {S("c")},
+      Expr::Mul({Expr::Relation(S("C62"), {Term(S("c")), Term(S("n"))}),
+                 Expr::Relation(S("C62"), {Term(S("c2")), Term(S("n"))})}));
+  EXPECT_EQ(Degree(*q), 2);
+  Event e1 = MakeEvent(catalog, S("C62"), Update::Sign::kInsert, "#1");
+  ExprPtr d1 = Delta(q, e1);
+  EXPECT_EQ(Degree(*d1), 1);
+  Event e2 = MakeEvent(catalog, S("C62"), Update::Sign::kInsert, "#2");
+  ExprPtr d2 = Delta(d1, e2);
+  EXPECT_EQ(Degree(*d2), 0);
+  ExprPtr d3 = Delta(d2, MakeEvent(catalog, S("C62"),
+                                   Update::Sign::kInsert, "#3"));
+  EXPECT_TRUE(d3->IsZero());
+}
+
+TEST(DeltaTest, InsertionAndDeletionDeltasAreAdditiveInverses) {
+  Catalog catalog = TestCatalog();
+  Database db(catalog);
+  db.Insert(S("Rd"), {Value(1)});
+  db.Insert(S("Sd"), {Value(1), Value(2)});
+
+  ExprPtr q = Expr::Sum(
+      {}, Expr::Mul({Expr::Relation(S("Rd"), {Term(S("x"))}),
+                     Expr::Relation(S("Sd"), {Term(S("x")), Term(S("y"))})}));
+  Event ins = MakeEvent(catalog, S("Rd"), Update::Sign::kInsert);
+  Event del = MakeEvent(catalog, S("Rd"), Update::Sign::kDelete);
+  Update u_ins = Update::Insert(S("Rd"), {Value(1)});
+  Update u_del = Update::Delete(S("Rd"), {Value(1)});
+
+  auto di = agca::EvaluateScalar(Delta(q, ins), db, BindParams(ins, u_ins));
+  auto dd = agca::EvaluateScalar(Delta(q, del), db, BindParams(del, u_del));
+  ASSERT_TRUE(di.ok());
+  ASSERT_TRUE(dd.ok());
+  EXPECT_EQ(*di, -(*dd));
+}
+
+TEST(DeltaTest, NonSimpleConditionUsesGeneralRule) {
+  // Condition with a nested aggregate: Delta is NOT zero and must satisfy
+  // Proposition 6.1 via the general truth-table rule.
+  Catalog catalog = TestCatalog();
+  // q = Sum( R(x) * (Sum(R(y)) < 2) ): counts R-tuples while |R| < 2.
+  ExprPtr inner_count =
+      Expr::Sum({}, Expr::Relation(S("Rd"), {Term(S("y"))}));
+  ExprPtr q = Expr::Sum(
+      {}, Expr::Mul({Expr::Relation(S("Rd"), {Term(S("x"))}),
+                     Expr::Cmp(CmpOp::kLt, inner_count, C(2))}));
+  EXPECT_FALSE(agca::HasSimpleConditionsOnly(*q));
+
+  Database db(catalog);
+  Rng rng(77);
+  for (int step = 0; step < 40; ++step) {
+    Update u = Update::Insert(S("Rd"), {Value(rng.Range(0, 2))});
+    if (rng.Bernoulli(0.3)) u.sign = Update::Sign::kDelete;
+    Event ev = MakeEvent(catalog, u.relation, u.sign);
+    ExprPtr dq = Delta(q, ev);
+    auto before = agca::EvaluateScalar(q, db, Tuple());
+    auto dval = agca::EvaluateScalar(dq, db, BindParams(ev, u));
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(dval.ok());
+    db.Apply(u);
+    auto after = agca::EvaluateScalar(q, db, Tuple());
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(*after, *before + *dval) << "step " << step;
+  }
+}
+
+TEST(DeltaTest, DeltaOfUnrelatedRelationIsZero) {
+  Catalog catalog = TestCatalog();
+  ExprPtr q = Expr::Sum({}, Expr::Relation(S("Rd"), {Term(S("x"))}));
+  Event ev = MakeEvent(catalog, S("Sd"), Update::Sign::kInsert);
+  EXPECT_TRUE(Delta(q, ev)->IsZero());
+}
+
+TEST(DeltaTest, ConstantRelationArgumentBecomesParameterGuard) {
+  Catalog catalog = TestCatalog();
+  // q = Sum(S(x, 1)): the delta must check the second parameter equals 1.
+  ExprPtr q = Expr::Sum(
+      {}, Expr::Relation(S("Sd"), {Term(S("x")), Term(Value(1))}));
+  Event ev = MakeEvent(catalog, S("Sd"), Update::Sign::kInsert);
+  ExprPtr dq = Delta(q, ev);
+
+  Database db(catalog);
+  // Matching insert: delta 1; non-matching: delta 0.
+  Update match = Update::Insert(S("Sd"), {Value(5), Value(1)});
+  Update miss = Update::Insert(S("Sd"), {Value(5), Value(2)});
+  auto dm = agca::EvaluateScalar(dq, db, BindParams(ev, match));
+  auto dn = agca::EvaluateScalar(dq, db, BindParams(ev, miss));
+  ASSERT_TRUE(dm.ok());
+  ASSERT_TRUE(dn.ok());
+  EXPECT_EQ(*dm, kOne);
+  EXPECT_EQ(*dn, kZero);
+}
+
+}  // namespace
+}  // namespace delta
+}  // namespace ringdb

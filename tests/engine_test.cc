@@ -1,0 +1,148 @@
+// Engine facade: result access in group-var order, error paths, stats,
+// multiple engines in one process, and long mixed streams.
+
+#include <gtest/gtest.h>
+
+#include "agca/ast.h"
+#include "runtime/engine.h"
+#include "util/random.h"
+
+namespace ringdb {
+namespace runtime {
+namespace {
+
+using agca::CmpOp;
+using agca::Expr;
+using agca::ExprPtr;
+using agca::Term;
+using ring::Catalog;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+
+TEST(EngineTest, ResultAtUsesCallerGroupOrder) {
+  Catalog catalog;
+  catalog.AddRelation(S("Re1"), {S("A"), S("B"), S("C")});
+  // Group by (c, a) — deliberately not the canonical traversal order.
+  ExprPtr body = Expr::Relation(
+      S("Re1"), {Term(S("a")), Term(S("b")), Term(S("c"))});
+  auto engine = Engine::Create(catalog, {S("c"), S("a")}, body);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE(
+      engine->Insert(S("Re1"), {Value(1), Value(2), Value(3)}).ok());
+  // ResultAt takes (c, a) in the declared order.
+  EXPECT_EQ(engine->ResultAt({Value(3), Value(1)}), kOne);
+  EXPECT_EQ(engine->ResultAt({Value(1), Value(3)}), kZero);
+
+  ring::Gmr gmr = engine->ResultGmr();
+  ring::Tuple expected{{S("a"), Value(1)}, {S("c"), Value(3)}};
+  EXPECT_EQ(gmr.At(expected), kOne);
+}
+
+TEST(EngineTest, UnknownRelationUpdateIsError) {
+  Catalog catalog;
+  catalog.AddRelation(S("Re2"), {S("A")});
+  auto engine = Engine::Create(catalog, {},
+                               Expr::Relation(S("Re2"), {Term(S("x"))}));
+  ASSERT_TRUE(engine.ok());
+  Status s = engine->Insert(S("NotThere"), {Value(1)});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, ArityMismatchUpdateIsError) {
+  Catalog catalog;
+  catalog.AddRelation(S("Re3"), {S("A"), S("B")});
+  auto engine = Engine::Create(
+      catalog, {},
+      Expr::Relation(S("Re3"), {Term(S("x")), Term(S("y"))}));
+  ASSERT_TRUE(engine.ok());
+  Status s = engine->Insert(S("Re3"), {Value(1)});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, UpdatesToIrrelevantRelationsAreCheapNoops) {
+  Catalog catalog;
+  catalog.AddRelation(S("Re4"), {S("A")});
+  catalog.AddRelation(S("Other4"), {S("A")});
+  auto engine = Engine::Create(catalog, {},
+                               Expr::Relation(S("Re4"), {Term(S("x"))}));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Insert(S("Other4"), {Value(1)}).ok());
+  EXPECT_EQ(engine->ResultScalar(), kZero);
+  EXPECT_EQ(engine->executor().stats().entries_touched, 0u);
+}
+
+TEST(EngineTest, StatsAccumulateAndReset) {
+  Catalog catalog;
+  catalog.AddRelation(S("Re5"), {S("A")});
+  auto engine = Engine::Create(catalog, {},
+                               Expr::Relation(S("Re5"), {Term(S("x"))}));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Insert(S("Re5"), {Value(1)}).ok());
+  EXPECT_EQ(engine->executor().stats().updates, 1u);
+  EXPECT_GT(engine->executor().stats().arithmetic_ops, 0u);
+  engine->executor().ResetStats();
+  EXPECT_EQ(engine->executor().stats().updates, 0u);
+}
+
+TEST(EngineTest, TwoEnginesShareNothing) {
+  Catalog catalog;
+  catalog.AddRelation(S("Re6"), {S("A")});
+  ExprPtr body = Expr::Relation(S("Re6"), {Term(S("x"))});
+  auto e1 = Engine::Create(catalog, {}, body);
+  auto e2 = Engine::Create(catalog, {}, body);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  ASSERT_TRUE(e1->Insert(S("Re6"), {Value(1)}).ok());
+  EXPECT_EQ(e1->ResultScalar(), kOne);
+  EXPECT_EQ(e2->ResultScalar(), kZero);
+}
+
+TEST(EngineTest, NegativeMultiplicitiesRoundTrip) {
+  // Deleting below zero and re-inserting must cancel exactly.
+  Catalog catalog;
+  catalog.AddRelation(S("Re7"), {S("A")});
+  ExprPtr body = Expr::Mul({Expr::Relation(S("Re7"), {Term(S("x"))}),
+                            Expr::Relation(S("Re7"), {Term(S("y"))}),
+                            Expr::Cmp(CmpOp::kEq, Expr::Var(S("x")),
+                                      Expr::Var(S("y")))});
+  auto engine = Engine::Create(catalog, {}, body);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine->Delete(S("Re7"), {Value(9)}).ok());  // -1 copies
+  EXPECT_EQ(engine->ResultScalar(), kOne);  // (-1)^2 = 1 pair
+  ASSERT_TRUE(engine->Insert(S("Re7"), {Value(9)}).ok());  // back to 0
+  EXPECT_EQ(engine->ResultScalar(), kZero);
+  // The root view holds no residue.
+  EXPECT_EQ(engine->executor().root().size(), 0u);
+}
+
+TEST(EngineTest, LongMixedStreamStaysExact) {
+  Catalog catalog;
+  catalog.AddRelation(S("Re8"), {S("k"), S("v")});
+  ExprPtr body = Expr::Mul(
+      {Expr::Relation(S("Re8"), {Term(S("k")), Term(S("v"))}),
+       Expr::Var(S("v"))});
+  auto engine = Engine::Create(catalog, {S("k")}, body);
+  ASSERT_TRUE(engine.ok());
+  Rng rng(123);
+  // Shadow the expected sums exactly.
+  std::map<int64_t, int64_t> expected;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t k = rng.Range(0, 9), v = rng.Range(-5, 5);
+    if (rng.Bernoulli(0.3)) {
+      ASSERT_TRUE(engine->Delete(S("Re8"), {Value(k), Value(v)}).ok());
+      expected[k] -= v;
+    } else {
+      ASSERT_TRUE(engine->Insert(S("Re8"), {Value(k), Value(v)}).ok());
+      expected[k] += v;
+    }
+  }
+  for (const auto& [k, sum] : expected) {
+    EXPECT_EQ(engine->ResultAt({Value(k)}), Numeric(sum)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace ringdb

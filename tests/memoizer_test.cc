@@ -1,0 +1,146 @@
+// The §1.1 recursive memoization scheme, including an exact reproduction
+// of Figure 1 (f(x) = x^2 over Z with U = {+1, -1}).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "algebra/memoizer.h"
+#include "util/random.h"
+
+namespace ringdb {
+namespace algebra {
+namespace {
+
+using Memo = RecursiveMemoizer<int64_t, int64_t, int64_t>;
+
+Memo MakeSquareMemo(int64_t x0) {
+  return Memo([](const int64_t& x) { return x * x; },
+              [](const int64_t& x, const int64_t& u) { return x + u; },
+              /*updates=*/{+1, -1}, /*depth=*/3, x0);
+}
+
+TEST(MemoizerTest, Figure1RowForXZero) {
+  // Figure 1 row x = 0: f=0, Δf(·,-1)=1, Δf(·,+1)=1,
+  // Δ²f ∈ {2, -2, -2, 2} for (−1,−1), (−1,+1), (+1,−1), (+1,+1).
+  Memo m = MakeSquareMemo(0);
+  EXPECT_EQ(m.Current(), 0);
+  EXPECT_EQ(m.DeltaAt({1}), 1);      // u = -1 (index 1)
+  EXPECT_EQ(m.DeltaAt({0}), 1);      // u = +1 (index 0)
+  EXPECT_EQ(m.DeltaAt({1, 1}), 2);   // Δ²f(x,-1,-1)
+  EXPECT_EQ(m.DeltaAt({1, 0}), -2);  // Δ²f(x,-1,+1)
+  EXPECT_EQ(m.DeltaAt({0, 1}), -2);  // Δ²f(x,+1,-1)
+  EXPECT_EQ(m.DeltaAt({0, 0}), 2);   // Δ²f(x,+1,+1)
+}
+
+TEST(MemoizerTest, SevenValuesMemoized) {
+  // |U|^0 + |U|^1 + |U|^2 = 7 values (the paper's count).
+  Memo m = MakeSquareMemo(0);
+  EXPECT_EQ(m.MemoizedCount(), 7u);
+}
+
+TEST(MemoizerTest, Figure1FullTable) {
+  // All rows x = -2..4 of Figure 1, driven purely by additions after
+  // initialization at x = -2. Expected values follow the closed forms
+  // from Example 1.1: f(x) = x², Δf(x,u) = 2ux + u², Δ²f = 2·u1·u2.
+  Memo m = MakeSquareMemo(-2);
+  for (int64_t x = -2; x <= 4; ++x) {
+    EXPECT_EQ(m.Current(), x * x) << "x=" << x;
+    EXPECT_EQ(m.DeltaAt({1}), -2 * x + 1) << "x=" << x;  // u=-1
+    EXPECT_EQ(m.DeltaAt({0}), 2 * x + 1) << "x=" << x;   // u=+1
+    EXPECT_EQ(m.DeltaAt({1, 1}), 2);
+    EXPECT_EQ(m.DeltaAt({1, 0}), -2);
+    EXPECT_EQ(m.DeltaAt({0, 1}), -2);
+    EXPECT_EQ(m.DeltaAt({0, 0}), 2);
+    if (x < 4) m.ApplyUpdate(0);  // x += 1
+  }
+}
+
+TEST(MemoizerTest, PaperWalkthroughFromXThree) {
+  // §1.1: "let x = 3 and we increment x by 1. Then f += 7 = 16,
+  // Δf(·,+1) += 2 = 9, Δf(·,-1) += -2 = -7, Δ²f += 0."
+  Memo m = MakeSquareMemo(3);
+  EXPECT_EQ(m.Current(), 9);
+  EXPECT_EQ(m.DeltaAt({0}), 7);
+  EXPECT_EQ(m.DeltaAt({1}), -5);
+  m.ApplyUpdate(0);
+  EXPECT_EQ(m.Current(), 16);
+  EXPECT_EQ(m.DeltaAt({0}), 9);
+  EXPECT_EQ(m.DeltaAt({1}), -7);
+}
+
+TEST(MemoizerTest, UpdateCostIsConstantPerMemoizedValue) {
+  Memo m = MakeSquareMemo(0);
+  size_t before = m.AdditionsPerformed();
+  m.ApplyUpdate(0);
+  // Levels 0 and 1 are refreshed: 1 + 2 = 3 additions; level 2 is the
+  // terminal (constant) layer.
+  EXPECT_EQ(m.AdditionsPerformed() - before, 3u);
+  m.ApplyUpdate(1);
+  EXPECT_EQ(m.AdditionsPerformed() - before, 6u);
+}
+
+TEST(MemoizerTest, RandomWalkNeverDiverges) {
+  Memo m = MakeSquareMemo(0);
+  Rng rng(42);
+  int64_t x = 0;
+  for (int i = 0; i < 1000; ++i) {
+    size_t u = rng.Below(2);
+    m.ApplyUpdate(u);
+    x += (u == 0) ? 1 : -1;
+    ASSERT_EQ(m.Current(), x * x) << "step " << i;
+  }
+}
+
+TEST(MemoizerTest, CubicNeedsDepthFour) {
+  // deg f = 3 => Δ³f is the first constant layer, Δ⁴f = 0.
+  using M = RecursiveMemoizer<int64_t, int64_t, int64_t>;
+  M m([](const int64_t& x) { return x * x * x; },
+      [](const int64_t& x, const int64_t& u) { return x + u; },
+      {+1, -1}, /*depth=*/4, 0);
+  EXPECT_EQ(m.MemoizedCount(), 1u + 2u + 4u + 8u);
+  int64_t x = 0;
+  Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    size_t u = rng.Below(2);
+    m.ApplyUpdate(u);
+    x += (u == 0) ? 1 : -1;
+    ASSERT_EQ(m.Current(), x * x * x);
+  }
+}
+
+TEST(MemoizerTest, DeltaOracleMatchesDefinition) {
+  Memo m = MakeSquareMemo(5);
+  // Δf(5, +1) = (5+1)² - 5² = 11; Δ²f(5,+1,-1) = Δf(4,+1) - Δf(5,+1)
+  //           = (2*4+1) - (2*5+1) = -2.
+  EXPECT_EQ(m.EvalDeltaFromDefinition({0}), 11);
+  EXPECT_EQ(m.EvalDeltaFromDefinition({0, 1}), -2);
+}
+
+TEST(MemoizerTest, VectorValuedFunction) {
+  // The scheme is generic in the value group: maintain (x², x³) jointly.
+  struct Pair {
+    int64_t a = 0, b = 0;
+    Pair operator+(const Pair& o) const { return {a + o.a, b + o.b}; }
+    Pair operator-() const { return {-a, -b}; }
+    bool operator==(const Pair& o) const = default;
+  };
+  RecursiveMemoizer<int64_t, int64_t, Pair> m(
+      [](const int64_t& x) {
+        return Pair{x * x, x * x * x};
+      },
+      [](const int64_t& x, const int64_t& u) { return x + u; }, {+1, -1},
+      /*depth=*/4, 0);
+  int64_t x = 0;
+  for (int i = 0; i < 50; ++i) {
+    m.ApplyUpdate(i % 2);
+    x += (i % 2 == 0) ? 1 : -1;
+    ASSERT_EQ(m.Current().a, x * x);
+    ASSERT_EQ(m.Current().b, x * x * x);
+  }
+}
+
+}  // namespace
+}  // namespace algebra
+}  // namespace ringdb

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "util/numeric.h"
+#include "util/value.h"
+
+namespace ringdb {
+namespace {
+
+TEST(NumericTest, IntegerArithmeticIsExact) {
+  Numeric a(int64_t{1} << 40), b(int64_t{3});
+  EXPECT_TRUE((a * b).is_integer());
+  EXPECT_EQ((a * b).AsInt(), (int64_t{1} << 40) * 3);
+  EXPECT_EQ((a + b).AsInt(), (int64_t{1} << 40) + 3);
+  EXPECT_EQ((a - a).AsInt(), 0);
+}
+
+TEST(NumericTest, MixedArithmeticPromotesToDouble) {
+  Numeric a(int64_t{2}), b(0.5);
+  Numeric p = a * b;
+  EXPECT_FALSE(p.is_integer());
+  EXPECT_DOUBLE_EQ(p.AsDouble(), 1.0);
+  EXPECT_TRUE(p.IsOne());
+}
+
+TEST(NumericTest, RingAxiomsSpotChecks) {
+  Numeric a(7), b(-3), c(11);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a + (-a), kZero);
+  EXPECT_EQ(a * kOne, a);
+  EXPECT_EQ(a * kZero, kZero);
+}
+
+TEST(NumericTest, CrossKindEqualityAndHash) {
+  EXPECT_EQ(Numeric(3), Numeric(3.0));
+  EXPECT_EQ(Numeric(3).Hash(), Numeric(3.0).Hash());
+  EXPECT_NE(Numeric(3), Numeric(3.5));
+}
+
+TEST(NumericTest, Ordering) {
+  EXPECT_LT(Numeric(-2), Numeric(1));
+  EXPECT_LT(Numeric(0.5), Numeric(1));
+  EXPECT_LE(Numeric(1), Numeric(1.0));
+  EXPECT_GT(Numeric(2.5), Numeric(2));
+}
+
+TEST(NumericTest, ToString) {
+  EXPECT_EQ(Numeric(-42).ToString(), "-42");
+  EXPECT_EQ(Numeric(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, KindSensitiveEquality) {
+  EXPECT_EQ(Value(3), Value(int64_t{3}));
+  EXPECT_NE(Value(3), Value(3.0));
+  EXPECT_NE(Value(3), Value("3"));
+  EXPECT_EQ(Value("abc"), Value(std::string("abc")));
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_TRUE(Value(3).ToNumeric().ok());
+  EXPECT_EQ(*Value(3).ToNumeric(), Numeric(3));
+  EXPECT_EQ(*Value(2.5).ToNumeric(), Numeric(2.5));
+  EXPECT_FALSE(Value("x").ToNumeric().ok());
+}
+
+TEST(ValueTest, NumericRoundTrip) {
+  Value v(Numeric(7));
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 7);
+  Value d(Numeric(7.5));
+  EXPECT_TRUE(d.is_double());
+  EXPECT_DOUBLE_EQ(d.AsDouble(), 7.5);
+}
+
+TEST(ValueTest, OrderingIsTotalAcrossKinds) {
+  Value a(1), b(2.0), c("s");
+  EXPECT_TRUE(a < b);  // int kind sorts before double kind
+  EXPECT_TRUE(b < c);
+  EXPECT_FALSE(c < a);
+}
+
+}  // namespace
+}  // namespace ringdb

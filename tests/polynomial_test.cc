@@ -1,0 +1,174 @@
+// Polynomial normal form (§5) and canonicalization: expansion preserves
+// semantics, signs/constants fold into coefficients, and structurally
+// identical views unify modulo renaming.
+
+#include <gtest/gtest.h>
+
+#include "agca/ast.h"
+#include "agca/canonical.h"
+#include "agca/degree.h"
+#include "agca/eval.h"
+#include "agca/polynomial.h"
+#include "ring/database.h"
+
+namespace ringdb {
+namespace agca {
+namespace {
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+ExprPtr V(const char* name) { return Expr::Var(S(name)); }
+ExprPtr C(int64_t c) { return Expr::Const(Numeric(c)); }
+ExprPtr Rel(const char* r, std::vector<const char*> vars) {
+  std::vector<Term> args;
+  for (const char* v : vars) args.emplace_back(S(v));
+  return Expr::Relation(S(r), std::move(args));
+}
+
+TEST(PolynomialTest, DistributesProductOverSum) {
+  // (R + S) * (T + U) -> 4 monomials.
+  ExprPtr q = Expr::Mul({Expr::Add({Rel("Rp", {"x"}), Rel("Sp", {"x"})}),
+                         Expr::Add({Rel("Tp", {"y"}), Rel("Up", {"y"})})});
+  auto poly = Expand(q);
+  EXPECT_EQ(poly.size(), 4u);
+  for (const Monomial& m : poly) {
+    EXPECT_EQ(m.coefficient, kOne);
+    EXPECT_EQ(m.factors.size(), 2u);
+  }
+}
+
+TEST(PolynomialTest, SignsFoldIntoCoefficients) {
+  ExprPtr q = Expr::Neg(Expr::Mul({C(3), Rel("Rp", {"x"})}));
+  auto poly = Expand(q);
+  ASSERT_EQ(poly.size(), 1u);
+  EXPECT_EQ(poly[0].coefficient, Numeric(-3));
+  EXPECT_EQ(poly[0].factors.size(), 1u);
+}
+
+TEST(PolynomialTest, CancellationDropsMonomials) {
+  ExprPtr r = Rel("Rp", {"x"});
+  ExprPtr q = Expr::Add({r, Expr::Neg(r)});
+  EXPECT_TRUE(Expand(q).empty());
+}
+
+TEST(PolynomialTest, LikeTermsCombine) {
+  ExprPtr r = Rel("Rp", {"x"});
+  ExprPtr q = Expr::Add({Expr::Mul({C(2), r}), Expr::Mul({C(5), r})});
+  auto poly = Expand(q);
+  ASSERT_EQ(poly.size(), 1u);
+  EXPECT_EQ(poly[0].coefficient, Numeric(7));
+}
+
+TEST(PolynomialTest, SumIsLinear) {
+  // Sum(2*R + 3*S) -> 2*Sum(R) + 3*Sum(S).
+  ExprPtr q =
+      Expr::Sum({}, Expr::Add({Expr::Mul({C(2), Rel("Rp", {"x"})}),
+                               Expr::Mul({C(3), Rel("Sp", {"x"})})}));
+  auto poly = Expand(q);
+  ASSERT_EQ(poly.size(), 2u);
+  for (const Monomial& m : poly) {
+    ASSERT_EQ(m.factors.size(), 1u);
+    EXPECT_EQ(m.factors[0]->kind(), Expr::Kind::kSum);
+    EXPECT_TRUE(m.coefficient == Numeric(2) || m.coefficient == Numeric(3));
+  }
+}
+
+TEST(PolynomialTest, ExpansionPreservesSemantics) {
+  ring::Catalog catalog;
+  catalog.AddRelation(S("Rq"), {S("a")});
+  catalog.AddRelation(S("Sq"), {S("a")});
+  ring::Database db(catalog);
+  db.Insert(S("Rq"), {Value(1)});
+  db.Insert(S("Rq"), {Value(2)});
+  db.Insert(S("Sq"), {Value(2)});
+  db.Insert(S("Sq"), {Value(3)});
+
+  ExprPtr q = Expr::Mul(
+      {Expr::Add({Rel("Rq", {"x"}), Expr::Neg(Rel("Sq", {"x"}))}),
+       Expr::Add({Rel("Rq", {"y"}), Rel("Sq", {"y"})})});
+  ExprPtr normal = PolynomialToExpr(Expand(q));
+  auto a = Evaluate(q, db, ring::Tuple());
+  auto b = Evaluate(normal, db, ring::Tuple());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(PolynomialTest, DegreeOfNormalFormMatches) {
+  ExprPtr q = Expr::Mul({Rel("Rp", {"x"}), Rel("Sp", {"y"}),
+                         Expr::Add({C(1), Rel("Tp", {"z"})})});
+  EXPECT_EQ(Degree(*q), 3);
+  auto poly = Expand(q);
+  ASSERT_EQ(poly.size(), 2u);
+  int max_deg = 0;
+  for (const Monomial& m : poly) {
+    max_deg = std::max(max_deg, Degree(*m.ToExpr()));
+  }
+  EXPECT_EQ(max_deg, 3);
+}
+
+// ---- Canonicalization / CSE fingerprints ----
+
+TEST(CanonicalTest, RenamingInsensitive) {
+  ExprPtr a = Expr::Sum({S("k")}, Rel("Rp", {"u", "k"}));
+  ExprPtr b = Expr::Sum({S("w")}, Rel("Rp", {"z", "w"}));
+  auto ca = CanonicalizeView({S("k")}, a);
+  auto cb = CanonicalizeView({S("w")}, b);
+  EXPECT_EQ(ca.fingerprint, cb.fingerprint);
+}
+
+TEST(CanonicalTest, KeyOrderInsensitive) {
+  // Same body, keys declared in different orders: fingerprints agree and
+  // key_order maps each caller key to the same canonical slot.
+  ExprPtr body = Rel("Rp", {"x", "y"});
+  auto c1 = CanonicalizeView({S("x"), S("y")}, body);
+  auto c2 = CanonicalizeView({S("y"), S("x")}, body);
+  EXPECT_EQ(c1.fingerprint, c2.fingerprint);
+  // c1: x at slot key_order[0], y at key_order[1]; c2 reversed.
+  EXPECT_EQ(c1.key_order[0], c2.key_order[1]);
+  EXPECT_EQ(c1.key_order[1], c2.key_order[0]);
+}
+
+TEST(CanonicalTest, DistinguishesStructure) {
+  ExprPtr a = Rel("Rp", {"x", "x"});
+  ExprPtr b = Rel("Rp", {"x", "y"});
+  EXPECT_NE(CanonicalizeView({S("x")}, a).fingerprint,
+            CanonicalizeView({S("x")}, b).fingerprint);
+}
+
+TEST(CanonicalTest, DistinguishesConstantKinds) {
+  ExprPtr a = Expr::Relation(S("Rp"), {Term(Value(3))});
+  ExprPtr b = Expr::Relation(S("Rp"), {Term(Value(3.0))});
+  ExprPtr c = Expr::Relation(S("Rp"), {Term(Value("3"))});
+  EXPECT_NE(CanonicalizeView({}, a).fingerprint,
+            CanonicalizeView({}, b).fingerprint);
+  EXPECT_NE(CanonicalizeView({}, a).fingerprint,
+            CanonicalizeView({}, c).fingerprint);
+}
+
+TEST(DegreeTest, Definition63Cases) {
+  ExprPtr r = Rel("Rp", {"x"});
+  ExprPtr s = Rel("Sp", {"y"});
+  EXPECT_EQ(Degree(*C(5)), 0);
+  EXPECT_EQ(Degree(*V("x")), 0);
+  EXPECT_EQ(Degree(*r), 1);
+  EXPECT_EQ(Degree(*Expr::Mul({r, s})), 2);
+  EXPECT_EQ(Degree(*Expr::Add({r, Expr::Mul({r, s})})), 2);
+  EXPECT_EQ(Degree(*Expr::Neg(r)), 1);
+  EXPECT_EQ(Degree(*Expr::Sum({}, Expr::Mul({r, s}))), 2);
+  EXPECT_EQ(Degree(*Expr::Cmp(CmpOp::kGt, Expr::Sum({}, r), C(0))), 1);
+  EXPECT_EQ(Degree(*Expr::Assign(S("z"), C(1))), 0);
+}
+
+TEST(DegreeTest, SimpleConditionDetection) {
+  ExprPtr simple = Expr::Cmp(CmpOp::kLt, V("x"), C(5));
+  ExprPtr nested =
+      Expr::Cmp(CmpOp::kLt, Expr::Sum({}, Rel("Rp", {"x"})), C(5));
+  EXPECT_TRUE(HasSimpleConditionsOnly(*Expr::Mul({Rel("Rp", {"x"}),
+                                                  simple})));
+  EXPECT_FALSE(HasSimpleConditionsOnly(*Expr::Mul({Rel("Rp", {"x"}),
+                                                   nested})));
+}
+
+}  // namespace
+}  // namespace agca
+}  // namespace ringdb

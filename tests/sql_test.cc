@@ -1,0 +1,241 @@
+// SQL frontend: lexing, parsing, translation per §5, and end-to-end
+// incremental maintenance of SQL queries (including the paper's
+// Example 5.2 query verbatim).
+
+#include <gtest/gtest.h>
+
+#include "agca/degree.h"
+#include "agca/eval.h"
+#include "ring/database.h"
+#include "runtime/engine.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/translate.h"
+
+namespace ringdb {
+namespace sql {
+namespace {
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+
+// ---- Lexer ----
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Lex("SELECT a1.b, SUM(x * 2.5) FROM t WHERE a <= 'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds[0], TokenKind::kKeyword);  // SELECT
+  EXPECT_EQ(kinds[1], TokenKind::kIdent);    // a1
+  EXPECT_EQ(kinds[2], TokenKind::kDot);
+  EXPECT_EQ(kinds[3], TokenKind::kIdent);    // b
+  EXPECT_EQ(kinds[4], TokenKind::kComma);
+  EXPECT_EQ(kinds[5], TokenKind::kKeyword);  // SUM
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ((*tokens)[9].double_value, 2.5);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = Lex("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Lex("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Lex("= <> != < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> expected = {
+      TokenKind::kEq, TokenKind::kNe, TokenKind::kNe, TokenKind::kLt,
+      TokenKind::kLe, TokenKind::kGt, TokenKind::kGe, TokenKind::kEnd};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ((*tokens)[i].kind, expected[i]) << i;
+  }
+}
+
+// ---- Parser ----
+
+TEST(ParserTest, FullQueryShape) {
+  auto q = Parse(
+      "SELECT o.ckey, SUM(l.price * l.qty) FROM orders o, lineitem l "
+      "WHERE o.okey = l.okey AND l.qty > 2 GROUP BY o.ckey;");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select_columns.size(), 1u);
+  EXPECT_EQ(q->select_columns[0].ToString(), "o.ckey");
+  EXPECT_FALSE(q->is_count_star);
+  ASSERT_NE(q->sum_expr, nullptr);
+  EXPECT_EQ(q->sum_expr->kind, Arith::Kind::kMul);
+  ASSERT_EQ(q->from.size(), 2u);
+  EXPECT_EQ(q->from[0].table, "orders");
+  EXPECT_EQ(q->from[0].alias, "o");
+  EXPECT_EQ(q->where.size(), 2u);
+  ASSERT_EQ(q->group_by.size(), 1u);
+  EXPECT_EQ(q->group_by[0].ToString(), "o.ckey");
+}
+
+TEST(ParserTest, CountStar) {
+  auto q = Parse("SELECT COUNT(*) FROM R");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->is_count_star);
+  EXPECT_EQ(q->from[0].alias, "R");  // defaults to table name
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto q = Parse("SELECT SUM(a + b * c) FROM R");
+  ASSERT_TRUE(q.ok());
+  // a + (b*c): the root is kAdd whose right child is kMul.
+  ASSERT_EQ(q->sum_expr->kind, Arith::Kind::kAdd);
+  EXPECT_EQ(q->sum_expr->children[1]->kind, Arith::Kind::kMul);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("SELECT FROM R").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) WHERE x = 1").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) FROM R extra garbage ;;").ok());
+  EXPECT_FALSE(Parse("SELECT a FROM R").ok());  // aggregate required
+  EXPECT_FALSE(Parse("SELECT SUM(x), a FROM R").ok());  // agg must be last
+}
+
+// ---- Translation ----
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  ring::Catalog catalog_;
+
+  void SetUp() override {
+    catalog_.AddRelation(S("customer"), {S("cid"), S("nation")});
+    catalog_.AddRelation(S("orders"), {S("okey"), S("ckey")});
+    catalog_.AddRelation(S("lineitem"),
+                         {S("okey"), S("price"), S("qty")});
+  }
+};
+
+TEST_F(TranslateTest, EqualityBecomesSharedVariable) {
+  auto t = TranslateSql(catalog_,
+                        "SELECT COUNT(*) FROM orders o, lineitem l "
+                        "WHERE o.okey = l.okey");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // The shared variable makes this a natural join: both atoms use one
+  // okey variable, so the expression has no equality condition factor.
+  std::string s = t->body->ToString();
+  EXPECT_EQ(s.find('='), std::string::npos) << s;
+  EXPECT_EQ(agca::Degree(*t->body), 2);
+}
+
+TEST_F(TranslateTest, LiteralSelectionFoldsIntoAtom) {
+  auto t = TranslateSql(
+      catalog_, "SELECT COUNT(*) FROM customer WHERE nation = 'CH'");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_NE(t->body->ToString().find("'CH'"), std::string::npos);
+}
+
+TEST_F(TranslateTest, ContradictoryLiteralsYieldZero) {
+  auto t = TranslateSql(catalog_,
+                        "SELECT COUNT(*) FROM customer "
+                        "WHERE nation = 'CH' AND nation = 'AT'");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->body->IsZero());
+}
+
+TEST_F(TranslateTest, GroupByProducesGroupVars) {
+  auto t = TranslateSql(catalog_,
+                        "SELECT o.ckey, SUM(l.price) "
+                        "FROM orders o, lineitem l "
+                        "WHERE o.okey = l.okey GROUP BY o.ckey");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->group_vars.size(), 1u);
+  EXPECT_EQ(t->group_names[0], "o.ckey");
+}
+
+TEST_F(TranslateTest, SelectColumnNotGroupedIsError) {
+  auto t = TranslateSql(catalog_,
+                        "SELECT okey, COUNT(*) FROM orders");
+  EXPECT_FALSE(t.ok());
+}
+
+TEST_F(TranslateTest, UnknownTableAndColumnErrors) {
+  EXPECT_FALSE(TranslateSql(catalog_, "SELECT COUNT(*) FROM missing").ok());
+  EXPECT_FALSE(
+      TranslateSql(catalog_, "SELECT COUNT(*) FROM orders WHERE zzz = 1")
+          .ok());
+}
+
+TEST_F(TranslateTest, AmbiguousColumnIsError) {
+  EXPECT_FALSE(TranslateSql(catalog_,
+                            "SELECT COUNT(*) FROM orders o, lineitem l "
+                            "WHERE okey = 1")
+                   .ok());
+}
+
+// ---- End to end: SQL -> compiled engine ----
+
+TEST_F(TranslateTest, Example52EndToEnd) {
+  // The exact SQL of Example 5.2.
+  auto t = TranslateSql(catalog_,
+                        "SELECT C1.cid, SUM(1) FROM customer C1, customer C2 "
+                        "WHERE C1.nation = C2.nation GROUP BY C1.cid;");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  auto engine = runtime::Engine::Create(catalog_, t->group_vars, t->body);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  ASSERT_TRUE(engine->Insert(S("customer"), {Value(1), Value("CH")}).ok());
+  ASSERT_TRUE(engine->Insert(S("customer"), {Value(2), Value("CH")}).ok());
+  ASSERT_TRUE(engine->Insert(S("customer"), {Value(3), Value("AT")}).ok());
+  EXPECT_EQ(engine->ResultAt({Value(1)}), Numeric(2));
+  EXPECT_EQ(engine->ResultAt({Value(2)}), Numeric(2));
+  EXPECT_EQ(engine->ResultAt({Value(3)}), Numeric(1));
+}
+
+TEST_F(TranslateTest, RevenuePerCustomerEndToEnd) {
+  auto t = TranslateSql(catalog_,
+                        "SELECT o.ckey, SUM(l.price * l.qty) "
+                        "FROM orders o, lineitem l "
+                        "WHERE o.okey = l.okey GROUP BY o.ckey");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  auto engine = runtime::Engine::Create(catalog_, t->group_vars, t->body);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  ASSERT_TRUE(engine->Insert(S("orders"), {Value(100), Value(7)}).ok());
+  ASSERT_TRUE(
+      engine->Insert(S("lineitem"), {Value(100), Value(10), Value(3)}).ok());
+  ASSERT_TRUE(
+      engine->Insert(S("lineitem"), {Value(100), Value(5), Value(2)}).ok());
+  EXPECT_EQ(engine->ResultAt({Value(7)}), Numeric(10 * 3 + 5 * 2));
+  // Retract a line item.
+  ASSERT_TRUE(
+      engine->Delete(S("lineitem"), {Value(100), Value(5), Value(2)}).ok());
+  EXPECT_EQ(engine->ResultAt({Value(7)}), Numeric(30));
+}
+
+TEST_F(TranslateTest, TranslationAgreesWithDirectEvaluation) {
+  // Evaluate the translated expression with the reference evaluator
+  // against a hand-built database.
+  auto t = TranslateSql(catalog_,
+                        "SELECT SUM(l.price - 1) FROM lineitem l "
+                        "WHERE l.qty >= 2");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ring::Database db(catalog_);
+  db.Insert(S("lineitem"), {Value(1), Value(10), Value(2)});
+  db.Insert(S("lineitem"), {Value(2), Value(20), Value(1)});  // qty < 2
+  db.Insert(S("lineitem"), {Value(3), Value(30), Value(5)});
+  auto result = agca::EvaluateScalar(
+      agca::Expr::Sum(t->group_vars, t->body), db, ring::Tuple());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result, Numeric((10 - 1) + (30 - 1)));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace ringdb

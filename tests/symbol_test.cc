@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/symbol.h"
+
+namespace ringdb {
+namespace {
+
+TEST(SymbolTest, InterningIsIdempotent) {
+  Symbol a = Symbol::Intern("col_a");
+  Symbol b = Symbol::Intern("col_a");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.str(), "col_a");
+}
+
+TEST(SymbolTest, DistinctNamesDistinctIds) {
+  Symbol a = Symbol::Intern("x1");
+  Symbol b = Symbol::Intern("x2");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST(SymbolTest, DefaultIsEmptyString) {
+  Symbol s;
+  EXPECT_EQ(s.str(), "");
+  EXPECT_EQ(s, Symbol::Intern(""));
+}
+
+TEST(SymbolTest, OrderingFollowsInterning) {
+  Symbol a = Symbol::Intern("order_first_xyz");
+  Symbol b = Symbol::Intern("order_second_xyz");
+  EXPECT_LT(a, b);
+}
+
+TEST(SymbolTest, ConcurrentInterningIsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kNames = 200;
+  std::vector<std::vector<Symbol>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&results, t] {
+      for (int i = 0; i < kNames; ++i) {
+        results[t].push_back(
+            Symbol::Intern("concurrent_" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[0], results[t]);
+  }
+}
+
+}  // namespace
+}  // namespace ringdb

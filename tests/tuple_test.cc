@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "ring/tuple.h"
+#include "util/symbol.h"
+
+namespace ringdb {
+namespace ring {
+namespace {
+
+Symbol A() { return Symbol::Intern("A"); }
+Symbol B() { return Symbol::Intern("B"); }
+Symbol C() { return Symbol::Intern("C"); }
+
+TEST(TupleTest, EmptyTupleIsMonoidIdentity) {
+  Tuple t{{A(), Value(1)}};
+  EXPECT_EQ(*Tuple::Join(t, Tuple()), t);
+  EXPECT_EQ(*Tuple::Join(Tuple(), t), t);
+  EXPECT_TRUE(Tuple().empty());
+}
+
+TEST(TupleTest, JoinMergesDisjointSchemas) {
+  Tuple r{{A(), Value(1)}};
+  Tuple s{{B(), Value(2)}};
+  auto j = Tuple::Join(r, s);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->size(), 2u);
+  EXPECT_EQ(*j->Get(A()), Value(1));
+  EXPECT_EQ(*j->Get(B()), Value(2));
+}
+
+TEST(TupleTest, JoinOnAgreeingSharedColumn) {
+  Tuple r{{A(), Value(1)}, {B(), Value(2)}};
+  Tuple s{{B(), Value(2)}, {C(), Value(3)}};
+  auto j = Tuple::Join(r, s);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->size(), 3u);
+}
+
+TEST(TupleTest, JoinFailsOnConflict) {
+  Tuple r{{A(), Value(1)}};
+  Tuple s{{A(), Value(2)}};
+  EXPECT_FALSE(Tuple::Join(r, s).has_value());
+  EXPECT_FALSE(Tuple::Consistent(r, s));
+}
+
+TEST(TupleTest, JoinIsAssociativeAndCommutative) {
+  Tuple r{{A(), Value(1)}};
+  Tuple s{{B(), Value("x")}};
+  Tuple t{{C(), Value(2.5)}};
+  auto rs = Tuple::Join(r, s);
+  auto st = Tuple::Join(s, t);
+  ASSERT_TRUE(rs.has_value());
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(*Tuple::Join(*rs, t), *Tuple::Join(r, *st));
+  EXPECT_EQ(*Tuple::Join(r, s), *Tuple::Join(s, r));
+}
+
+TEST(TupleTest, CanonicalOrderIndependentOfConstruction) {
+  Tuple t1 = Tuple::FromFields({{B(), Value(2)}, {A(), Value(1)}});
+  Tuple t2 = Tuple::FromFields({{A(), Value(1)}, {B(), Value(2)}});
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(t1.Hash(), t2.Hash());
+}
+
+TEST(TupleTest, KindSensitiveValues) {
+  Tuple t1{{A(), Value(1)}};
+  Tuple t2{{A(), Value(1.0)}};
+  EXPECT_NE(t1, t2);
+  EXPECT_FALSE(Tuple::Join(t1, t2).has_value());
+}
+
+TEST(TupleTest, Restrict) {
+  Tuple t{{A(), Value(1)}, {B(), Value(2)}, {C(), Value(3)}};
+  Tuple r = t.Restrict({A(), C()});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(*r.Get(A()), Value(1));
+  EXPECT_EQ(r.Get(B()), nullptr);
+  EXPECT_TRUE(t.Restrict({}).empty());
+}
+
+TEST(TupleTest, Extend) {
+  Tuple t{{B(), Value(2)}};
+  Tuple e = t.Extend(A(), Value(1));
+  EXPECT_EQ(e.size(), 2u);
+  EXPECT_EQ(*e.Get(A()), Value(1));
+  // Original unchanged (immutability).
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TupleTest, FromRow) {
+  Tuple t = Tuple::FromRow({A(), B()}, {Value(1), Value("v")});
+  EXPECT_EQ(*t.Get(A()), Value(1));
+  EXPECT_EQ(*t.Get(B()), Value("v"));
+}
+
+TEST(TupleTest, SchemaIsSorted) {
+  Tuple t = Tuple::FromFields({{C(), Value(3)}, {A(), Value(1)}});
+  auto schema = t.Schema();
+  ASSERT_EQ(schema.size(), 2u);
+  EXPECT_LT(schema[0], schema[1]);
+}
+
+TEST(TupleTest, LexicographicOrderIsTotal) {
+  Tuple a{{A(), Value(1)}};
+  Tuple b{{A(), Value(2)}};
+  Tuple c{{A(), Value(1)}, {B(), Value(0)}};
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < c);     // prefix is smaller
+  EXPECT_FALSE(b < a);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace ring
+}  // namespace ringdb

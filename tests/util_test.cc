@@ -1,0 +1,123 @@
+// Utilities: Status/StatusOr, PRNG distributions, table printing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/table_printer.h"
+
+namespace ringdb {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  Status e = Status::InvalidArgument("bad");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(e.message(), "bad");
+  EXPECT_EQ(e.ToString(), "INVALID_ARGUMENT: bad");
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  StatusOr<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  RINGDB_ASSIGN_OR_RETURN(int h, Half(x));
+  RINGDB_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 3 is odd at the second step
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(3);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t v = rng.Below(6);
+    ASSERT_LT(v, 6u);
+    ++counts[v];
+  }
+  for (const auto& [v, n] : counts) {
+    EXPECT_NEAR(n, kDraws / 6, kDraws / 60) << v;
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, Uniform01Bounds) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(ZipfTest, Rank1DominatesAndDistributionIsValid) {
+  Rng rng(6);
+  Zipf zipf(100, 1.0);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t v = zipf.Sample(rng);
+    ASSERT_LT(v, 100u);
+    ++counts[v];
+  }
+  EXPECT_GT(counts[0], counts[9] * 3);  // ~10x expected at s=1
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long header"});
+  t.AddRow({"xxxxxx", "1"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| a      | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxxxx | 1           |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, Csv) {
+  TablePrinter t({"x", "y"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.RenderCsv(), "x,y\n1,2\n");
+}
+
+}  // namespace
+}  // namespace ringdb

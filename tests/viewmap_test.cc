@@ -1,0 +1,147 @@
+// ViewMap: default-zero lookups, cancellation erasure, keep-zeros mode
+// (lazy domains), and incrementally maintained partial-key indexes.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runtime/viewmap.h"
+#include "util/random.h"
+
+namespace ringdb {
+namespace runtime {
+namespace {
+
+TEST(ViewMapTest, DefaultZeroAndAdd) {
+  ViewMap v(2);
+  Key k{Value(1), Value("a")};
+  EXPECT_EQ(v.At(k), kZero);
+  v.Add(k, Numeric(5));
+  EXPECT_EQ(v.At(k), Numeric(5));
+  v.Add(k, Numeric(-2));
+  EXPECT_EQ(v.At(k), Numeric(3));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(ViewMapTest, CancellationErasesEntry) {
+  ViewMap v(1);
+  v.Add({Value(7)}, Numeric(4));
+  v.Add({Value(7)}, Numeric(-4));
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.At({Value(7)}), kZero);
+}
+
+TEST(ViewMapTest, KeepZerosRetainsInitializedDomain) {
+  ViewMap v(1);
+  v.SetKeepZeros();
+  v.EnsureEntry({Value(1)}, kZero);
+  v.Add({Value(2)}, Numeric(3));
+  v.Add({Value(2)}, Numeric(-3));
+  EXPECT_EQ(v.size(), 2u);  // both survive as (possibly zero) entries
+  EXPECT_TRUE(v.Contains({Value(1)}));
+  EXPECT_TRUE(v.Contains({Value(2)}));
+  EXPECT_EQ(v.At({Value(2)}), kZero);
+}
+
+TEST(ViewMapTest, EnsureEntryIsIdempotent) {
+  ViewMap v(1);
+  v.Add({Value(1)}, Numeric(9));
+  v.EnsureEntry({Value(1)}, Numeric(555));  // no-op: entry exists
+  EXPECT_EQ(v.At({Value(1)}), Numeric(9));
+}
+
+TEST(ViewMapTest, ZeroDeltaIsNoop) {
+  ViewMap v(1);
+  v.Add({Value(1)}, kZero);
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(ViewMapTest, IndexFindsMatchingEntries) {
+  ViewMap v(2);
+  int idx = v.EnsureIndex({1});
+  v.Add({Value(1), Value(10)}, kOne);
+  v.Add({Value(2), Value(10)}, kOne);
+  v.Add({Value(3), Value(20)}, kOne);
+  std::set<int64_t> firsts;
+  v.ForEachMatching(idx, {Value(10)}, [&](const Key& k, Numeric) {
+    firsts.insert(k[0].AsInt());
+  });
+  EXPECT_EQ(firsts, (std::set<int64_t>{1, 2}));
+}
+
+TEST(ViewMapTest, IndexBuiltOverExistingEntries) {
+  ViewMap v(2);
+  v.Add({Value(1), Value(10)}, kOne);
+  v.Add({Value(2), Value(20)}, kOne);
+  int idx = v.EnsureIndex({1});  // built after the fact
+  int count = 0;
+  v.ForEachMatching(idx, {Value(20)},
+                    [&](const Key&, Numeric) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ViewMapTest, IndexMaintainedAcrossErasure) {
+  ViewMap v(2);
+  int idx = v.EnsureIndex({0});
+  v.Add({Value(1), Value(10)}, Numeric(2));
+  v.Add({Value(1), Value(10)}, Numeric(-2));  // cancels, erased
+  int count = 0;
+  v.ForEachMatching(idx, {Value(1)}, [&](const Key&, Numeric) { ++count; });
+  EXPECT_EQ(count, 0);
+  // Re-adding resurrects the index row.
+  v.Add({Value(1), Value(10)}, kOne);
+  v.ForEachMatching(idx, {Value(1)}, [&](const Key&, Numeric) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ViewMapTest, EnsureIndexDeduplicates) {
+  ViewMap v(3);
+  EXPECT_EQ(v.EnsureIndex({0, 2}), v.EnsureIndex({0, 2}));
+  EXPECT_NE(v.EnsureIndex({0, 2}), v.EnsureIndex({1}));
+}
+
+TEST(ViewMapTest, MultiPositionIndex) {
+  ViewMap v(3);
+  int idx = v.EnsureIndex({0, 2});
+  v.Add({Value(1), Value("x"), Value(3)}, kOne);
+  v.Add({Value(1), Value("y"), Value(3)}, kOne);
+  v.Add({Value(1), Value("z"), Value(4)}, kOne);
+  int count = 0;
+  v.ForEachMatching(idx, {Value(1), Value(3)},
+                    [&](const Key&, Numeric) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(ViewMapTest, RandomizedIndexConsistency) {
+  // Index probes must always agree with a full scan.
+  ViewMap v(2);
+  int idx = v.EnsureIndex({1});
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    Key k{Value(rng.Range(0, 50)), Value(rng.Range(0, 10))};
+    v.Add(k, Numeric(rng.Range(-2, 2)));
+  }
+  for (int64_t probe = 0; probe <= 10; ++probe) {
+    std::set<std::pair<int64_t, int64_t>> via_index, via_scan;
+    v.ForEachMatching(idx, {Value(probe)}, [&](const Key& k, Numeric) {
+      via_index.insert({k[0].AsInt(), k[1].AsInt()});
+    });
+    v.ForEach([&](const Key& k, Numeric) {
+      if (k[1] == Value(probe)) {
+        via_scan.insert({k[0].AsInt(), k[1].AsInt()});
+      }
+    });
+    EXPECT_EQ(via_index, via_scan) << probe;
+  }
+}
+
+TEST(ViewMapTest, ApproxBytesGrowsWithEntries) {
+  ViewMap small(1), large(1);
+  for (int i = 0; i < 10; ++i) small.Add({Value(i)}, kOne);
+  for (int i = 0; i < 1000; ++i) large.Add({Value(i)}, kOne);
+  EXPECT_GT(large.ApproxBytes(), small.ApproxBytes());
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace ringdb

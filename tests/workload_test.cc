@@ -1,0 +1,128 @@
+// Workload generators: determinism, delete semantics (sliding window
+// never deletes a tuple that is not live), skew, and end-to-end use with
+// the engine.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "agca/ast.h"
+#include "agca/eval.h"
+#include "ring/database.h"
+#include "runtime/engine.h"
+#include "sql/translate.h"
+#include "workload/stream.h"
+
+namespace ringdb {
+namespace workload {
+namespace {
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+
+TEST(RelationStreamTest, DeterministicForFixedSeed) {
+  ring::Catalog catalog = OrdersSchema();
+  StreamOptions options;
+  options.seed = 7;
+  options.delete_fraction = 0.2;
+  RelationStream a(catalog, S("orders"), options);
+  RelationStream b(catalog, S("orders"), options);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.Next().ToString(), b.Next().ToString()) << i;
+  }
+}
+
+TEST(RelationStreamTest, DeletesOnlyLiveTuples) {
+  ring::Catalog catalog = OrdersSchema();
+  StreamOptions options;
+  options.seed = 13;
+  options.delete_fraction = 0.4;
+  options.domain_size = 8;  // force collisions
+  RelationStream stream(catalog, S("orders"), options);
+  ring::Database db(catalog);
+  for (int i = 0; i < 2000; ++i) {
+    db.Apply(stream.Next());
+  }
+  // Multiset invariant: no negative multiplicities ever.
+  EXPECT_TRUE(db.Relation(S("orders")).IsMultisetRelation());
+}
+
+TEST(RelationStreamTest, ZipfSkewsKeyFrequencies) {
+  ring::Catalog catalog;
+  catalog.AddRelation(S("Zs"), {S("k")});
+  StreamOptions options;
+  options.seed = 3;
+  options.domain_size = 1000;
+  options.zipf_s = 1.2;
+  RelationStream stream(catalog, S("Zs"), options);
+  std::map<int64_t, int> freq;
+  for (int i = 0; i < 20000; ++i) {
+    ring::Update u = stream.Next();
+    ++freq[u.values[0].AsInt()];
+  }
+  // Rank 0 must dominate: at least 5x the frequency of rank >= 50.
+  int head = freq[0];
+  int tail = 0;
+  for (const auto& [k, n] : freq) {
+    if (k >= 50) tail = std::max(tail, n);
+  }
+  EXPECT_GT(head, 5 * tail);
+}
+
+TEST(RelationStreamTest, GrowthRateMatchesDeleteFraction) {
+  ring::Catalog catalog = OrdersSchema();
+  StreamOptions options;
+  options.seed = 5;
+  options.delete_fraction = 0.5;  // live size stays near zero growth
+  RelationStream stream(catalog, S("lineitem"), options);
+  for (int i = 0; i < 5000; ++i) stream.Next();
+  EXPECT_LT(stream.live_count(), 1000u);
+}
+
+TEST(RoundRobinStreamTest, AlternatesRelations) {
+  ring::Catalog catalog = OrdersSchema();
+  StreamOptions options;
+  std::vector<RelationStream> streams;
+  streams.emplace_back(catalog, S("orders"), options);
+  streams.emplace_back(catalog, S("lineitem"), options);
+  RoundRobinStream rr(std::move(streams));
+  EXPECT_EQ(rr.Next().relation, S("orders"));
+  EXPECT_EQ(rr.Next().relation, S("lineitem"));
+  EXPECT_EQ(rr.Next().relation, S("orders"));
+}
+
+TEST(WorkloadEndToEnd, RevenueQueryOverGeneratedStream) {
+  ring::Catalog catalog = OrdersSchema();
+  auto t = sql::TranslateSql(catalog,
+                             "SELECT o.ckey, SUM(l.price * l.qty) "
+                             "FROM orders o, lineitem l "
+                             "WHERE o.okey = l.okey GROUP BY o.ckey");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  auto engine = runtime::Engine::Create(catalog, t->group_vars, t->body);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  StreamOptions options;
+  options.seed = 11;
+  options.domain_size = 32;
+  options.delete_fraction = 0.1;
+  std::vector<RelationStream> streams;
+  streams.emplace_back(catalog, S("orders"), options);
+  streams.emplace_back(catalog, S("lineitem"), options);
+  RoundRobinStream rr(std::move(streams));
+
+  ring::Database shadow(catalog);
+  for (int i = 0; i < 400; ++i) {
+    ring::Update u = rr.Next();
+    ASSERT_TRUE(engine->Apply(u).ok());
+    shadow.Apply(u);
+  }
+  // Spot-check against direct evaluation on the shadow database.
+  auto expected = agca::Evaluate(agca::Expr::Sum(t->group_vars, t->body),
+                                 shadow, ring::Tuple());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(engine->ResultGmr(), *expected);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace ringdb
