@@ -580,10 +580,32 @@ class CompilerImpl {
     }
   }
 
+  static void CollectViewReads(const TExpr& e, std::set<int>* out) {
+    if (e.kind() == TExpr::Kind::kViewLookup) out->insert(e.view_id());
+    for (const TExprPtr& c : e.children()) CollectViewReads(*c, out);
+  }
+
+  // A trigger is multiplicity-linear when its read set (rhs view lookups
+  // and loop drivers) is disjoint from its write set (statement targets):
+  // no firing observes state written by a previous firing of the same
+  // trigger, so m unit firings emit exactly m times the emissions of one.
+  static void ComputeMultiplicityLinearity(Trigger& t) {
+    std::set<int> reads, writes;
+    for (const Statement& s : t.statements) {
+      writes.insert(s.target_view);
+      CollectViewReads(*s.rhs, &reads);
+      for (const LoopSpec& loop : s.loops) reads.insert(loop.view_id);
+    }
+    t.multiplicity_linear =
+        std::none_of(writes.begin(), writes.end(),
+                     [&](int v) { return reads.contains(v); });
+  }
+
   // Sorts every trigger's statements by descending target-view degree so
   // each view reads pre-update values of the strictly deeper views.
   void FinalizeTriggers() {
     for (Trigger& t : program_.triggers) {
+      ComputeMultiplicityLinearity(t);
       std::stable_sort(
           t.statements.begin(), t.statements.end(),
           [&](const Statement& a, const Statement& b) {

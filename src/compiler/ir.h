@@ -148,6 +148,15 @@ struct Trigger {
   Symbol relation;
   ring::Update::Sign sign = ring::Update::Sign::kInsert;
   std::vector<Statement> statements;  // descending target-view degree
+  // Batch-execution metadata: true when no statement reads (via rhs view
+  // lookups or driving loops) a view that any statement of this trigger
+  // writes. Then the query is linear in R, every firing computes the same
+  // emissions, and the delta of m identical events is exactly m times the
+  // delta of one — the batch executor fires such a trigger once per
+  // coalesced delta-GMR entry with emissions scaled by the entry's net
+  // multiplicity, instead of once per input tuple. Nonlinear triggers
+  // (self-joins, lazy domain maintenance) fall back to unit firings.
+  bool multiplicity_linear = false;
 
   std::string ToString() const;
 };

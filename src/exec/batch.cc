@@ -1,0 +1,110 @@
+#include "exec/batch.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace exec {
+
+uint64_t RelationDelta::TupleUnits() const {
+  uint64_t n = 0;
+  for (const DeltaEntry& e : entries) {
+    RINGDB_CHECK(e.multiplicity.is_integer());
+    int64_t m = e.multiplicity.AsInt();
+    n += static_cast<uint64_t>(m > 0 ? m : -m);
+  }
+  return n;
+}
+
+size_t UpdateBatch::EntryCount() const {
+  size_t n = 0;
+  for (const RelationDelta& d : deltas_) n += d.entries.size();
+  return n;
+}
+
+uint64_t UpdateBatch::TupleUnits() const {
+  uint64_t n = 0;
+  for (const RelationDelta& d : deltas_) n += d.TupleUnits();
+  return n;
+}
+
+std::string UpdateBatch::ToString() const {
+  std::ostringstream out;
+  for (const RelationDelta& d : deltas_) {
+    out << d.relation.str() << ": {";
+    for (size_t i = 0; i < d.entries.size(); ++i) {
+      if (i) out << ", ";
+      out << '(';
+      for (size_t j = 0; j < d.entries[i].values.size(); ++j) {
+        if (j) out << ", ";
+        out << d.entries[i].values[j].ToString();
+      }
+      out << ") -> " << d.entries[i].multiplicity.ToString();
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+Status BatchBuilder::Add(Symbol relation, const std::vector<Value>& values,
+                         Numeric multiplicity) {
+  if (!catalog_->Has(relation)) {
+    return Status::NotFound("unknown relation " + relation.str());
+  }
+  if (catalog_->Arity(relation) != values.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch in update of " + relation.str() + ": expected " +
+        std::to_string(catalog_->Arity(relation)) + " values, got " +
+        std::to_string(values.size()));
+  }
+  if (multiplicity.IsZero()) return Status::Ok();
+  RINGDB_CHECK(multiplicity.is_integer());
+  int64_t m = multiplicity.AsInt();
+  pending_updates_ += static_cast<uint64_t>(m > 0 ? m : -m);
+
+  auto [rel_it, rel_inserted] =
+      relation_slot_.try_emplace(relation, relations_.size());
+  if (rel_inserted) {
+    relations_.push_back(relation);
+    entries_.emplace_back();
+    entry_slot_.emplace_back();
+  }
+  std::deque<DeltaEntry>& entries = entries_[rel_it->second];
+  auto& slots = entry_slot_[rel_it->second];
+  auto probe = slots.find(&values);
+  if (probe != slots.end()) {
+    probe->second->multiplicity += multiplicity;
+    return Status::Ok();
+  }
+  // One copy per distinct tuple: the deque slot owns the values and the
+  // map keys on their (stable) address.
+  entries.push_back(DeltaEntry{values, multiplicity});
+  slots.emplace(&entries.back().values, &entries.back());
+  return Status::Ok();
+}
+
+UpdateBatch BatchBuilder::Build() {
+  UpdateBatch out;
+  out.deltas_.reserve(relations_.size());
+  // Drop fully cancelled entries (and then empty relations), keeping the
+  // first-touch order of the survivors.
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    RelationDelta delta;
+    delta.relation = relations_[r];
+    delta.entries.reserve(entries_[r].size());
+    for (DeltaEntry& e : entries_[r]) {
+      if (!e.multiplicity.IsZero()) delta.entries.push_back(std::move(e));
+    }
+    if (!delta.entries.empty()) out.deltas_.push_back(std::move(delta));
+  }
+  relations_.clear();
+  entries_.clear();
+  relation_slot_.clear();
+  entry_slot_.clear();
+  pending_updates_ = 0;
+  return out;
+}
+
+}  // namespace exec
+}  // namespace ringdb

@@ -1,0 +1,122 @@
+// Batched update execution: coalescing a sequence of single-tuple update
+// events into per-relation delta GMRs.
+//
+// Koch's delta rule maintains views from the update event alone, and ring
+// addition makes a batch of events a first-class object: the net effect of
+// a window of updates is one gmr per relation mapping each touched tuple
+// to its signed multiplicity (inserts +1, deletes -1, duplicates summed).
+// Opposite events inside one batch cancel *before* any trigger fires, so
+// a sliding-window workload that inserts and deletes the same tuple within
+// a batch costs nothing at all, and m identical inserts fire a
+// multiplicity-linear trigger once (see compiler::Trigger) instead of m
+// times. Entries preserve per-relation first-touch order, so replaying a
+// batch is deterministic.
+
+#ifndef RINGDB_EXEC_BATCH_H_
+#define RINGDB_EXEC_BATCH_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ring/database.h"
+#include "util/hash.h"
+#include "util/numeric.h"
+#include "util/status.h"
+#include "util/symbol.h"
+#include "util/value.h"
+
+namespace ringdb {
+namespace exec {
+
+// One coalesced tuple delta: net multiplicity of the tuple in the batch.
+struct DeltaEntry {
+  std::vector<Value> values;
+  Numeric multiplicity = kZero;
+};
+
+// The delta GMR of one relation: all touched tuples with nonzero net
+// multiplicity, in first-touch order.
+struct RelationDelta {
+  Symbol relation;
+  std::vector<DeltaEntry> entries;
+
+  // Sum of |multiplicity| over entries (tuple-units the delta stands for).
+  uint64_t TupleUnits() const;
+};
+
+// An immutable coalesced batch, produced by BatchBuilder::Build.
+class UpdateBatch {
+ public:
+  UpdateBatch() = default;
+
+  const std::vector<RelationDelta>& deltas() const { return deltas_; }
+  bool empty() const { return deltas_.empty(); }
+
+  // Number of coalesced (relation, tuple) entries across relations.
+  size_t EntryCount() const;
+  // Number of input tuple-units the batch nets out to.
+  uint64_t TupleUnits() const;
+
+  std::string ToString() const;
+
+ private:
+  friend class BatchBuilder;
+  std::vector<RelationDelta> deltas_;  // relation first-touch order
+};
+
+// Accumulates update events and coalesces them into an UpdateBatch.
+// Validates each event against the catalog at Add time, so a built batch
+// is always well-formed.
+class BatchBuilder {
+ public:
+  explicit BatchBuilder(const ring::Catalog& catalog) : catalog_(&catalog) {}
+
+  Status Add(const ring::Update& update) {
+    return Add(update.relation, update.values, update.SignedUnit());
+  }
+  Status Add(Symbol relation, const std::vector<Value>& values,
+             Numeric multiplicity);
+
+  // Events accumulated since the last Build (tuple-units, pre-coalesce).
+  uint64_t pending_updates() const { return pending_updates_; }
+
+  // Finalizes the batch: drops entries whose multiplicities cancelled to
+  // zero (preserving the order of the survivors) and resets the builder.
+  UpdateBatch Build();
+
+ private:
+  // The coalescing maps key on pointers into the accumulating entries
+  // (stored in deques for address stability), so each distinct tuple is
+  // stored exactly once.
+  struct ValuesPtrHash {
+    size_t operator()(const std::vector<Value>* vs) const noexcept {
+      size_t h = 0x8c62e9f7655b2ae1ULL;
+      for (const Value& v : *vs) h = HashCombine(h, v.Hash());
+      return h;
+    }
+  };
+  struct ValuesPtrEq {
+    bool operator()(const std::vector<Value>* a,
+                    const std::vector<Value>* b) const noexcept {
+      return *a == *b;
+    }
+  };
+
+  const ring::Catalog* catalog_;
+  uint64_t pending_updates_ = 0;
+  // Parallel per-relation accumulators, in relation first-touch order.
+  std::vector<Symbol> relations_;
+  std::vector<std::deque<DeltaEntry>> entries_;
+  std::unordered_map<Symbol, size_t> relation_slot_;
+  std::vector<std::unordered_map<const std::vector<Value>*, DeltaEntry*,
+                                 ValuesPtrHash, ValuesPtrEq>>
+      entry_slot_;
+};
+
+}  // namespace exec
+}  // namespace ringdb
+
+#endif  // RINGDB_EXEC_BATCH_H_

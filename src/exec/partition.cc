@@ -1,0 +1,213 @@
+#include "exec/partition.h"
+
+#include <set>
+#include <sstream>
+
+#include "agca/polynomial.h"
+#include "util/check.h"
+
+namespace ringdb {
+namespace exec {
+
+namespace {
+
+using agca::Expr;
+using agca::ExprPtr;
+using agca::Monomial;
+
+// Union-find over variable symbols (equivalence under shared names and
+// explicit kEq comparisons).
+class VarClasses {
+ public:
+  Symbol Find(Symbol v) {
+    auto it = parent_.find(v);
+    if (it == parent_.end()) {
+      parent_.emplace(v, v);
+      return v;
+    }
+    if (it->second == v) return v;
+    Symbol root = Find(it->second);
+    parent_[v] = root;
+    return root;
+  }
+
+  void Union(Symbol a, Symbol b) {
+    Symbol ra = Find(a);
+    Symbol rb = Find(b);
+    if (!(ra == rb)) parent_[ra] = rb;
+  }
+
+ private:
+  std::unordered_map<Symbol, Symbol> parent_;
+};
+
+struct RelAtom {
+  Symbol relation;
+  const std::vector<agca::Term>* args;
+};
+
+// One way a monomial satisfies the co-partitioning condition: for every
+// relation it mentions, the set of columns that carry the witnessing
+// equivalence class in *all* of that relation's atoms.
+using CandidateMap = std::unordered_map<Symbol, std::vector<size_t>>;
+
+// Collects the monomial's relation atoms; fails (returns false) when a
+// relation occurs inside a nested aggregate factor, which this analysis
+// does not see through.
+bool CollectAtoms(const Monomial& m, std::vector<RelAtom>* atoms,
+                  VarClasses* classes) {
+  for (const ExprPtr& f : m.factors) {
+    switch (f->kind()) {
+      case Expr::Kind::kRelation:
+        atoms->push_back(RelAtom{f->relation(), &f->args()});
+        break;
+      case Expr::Kind::kCmp:
+        if (f->cmp_op() == agca::CmpOp::kEq &&
+            f->lhs()->kind() == Expr::Kind::kVar &&
+            f->rhs()->kind() == Expr::Kind::kVar) {
+          classes->Union(f->lhs()->var(), f->rhs()->var());
+        }
+        if (!agca::DatabaseFree(*f)) return false;
+        break;
+      default:
+        if (!agca::DatabaseFree(*f)) return false;  // nested Sum over a
+                                                    // relation: bail out
+        break;
+    }
+  }
+  return true;
+}
+
+// All candidate maps of one monomial, one per equivalence class that
+// covers every relation atom.
+std::vector<CandidateMap> CandidatesFor(const std::vector<RelAtom>& atoms,
+                                        VarClasses* classes) {
+  // Distinct classes among variables used as atom arguments.
+  std::vector<Symbol> roots;
+  std::set<Symbol> seen;
+  for (const RelAtom& a : atoms) {
+    for (const agca::Term& t : *a.args) {
+      if (!agca::IsVar(t)) continue;
+      Symbol r = classes->Find(agca::TermVar(t));
+      if (seen.insert(r).second) roots.push_back(r);
+    }
+  }
+  std::vector<CandidateMap> out;
+  for (Symbol root : roots) {
+    CandidateMap candidate;
+    bool covers = true;
+    for (const RelAtom& a : atoms) {
+      if (!covers) break;
+      if (candidate.contains(a.relation)) continue;
+      // Columns carrying class `root` in every atom of this relation.
+      std::vector<size_t> columns;
+      for (size_t p = 0; p < a.args->size(); ++p) {
+        bool in_all = true;
+        for (const RelAtom& b : atoms) {
+          if (!(b.relation == a.relation)) continue;
+          const agca::Term& t = (*b.args)[p];
+          if (!agca::IsVar(t) ||
+              !(classes->Find(agca::TermVar(t)) == root)) {
+            in_all = false;
+            break;
+          }
+        }
+        if (in_all) columns.push_back(p);
+      }
+      if (columns.empty()) {
+        covers = false;
+      } else {
+        candidate.emplace(a.relation, std::move(columns));
+      }
+    }
+    if (covers) out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+// Backtracking search for one routing column per relation consistent with
+// at least one candidate of every monomial. Problem sizes are tiny (a few
+// monomials, arities <= a handful), so exhaustive search is fine.
+bool Solve(const std::vector<std::vector<CandidateMap>>& per_monomial,
+           size_t idx, std::unordered_map<Symbol, size_t>* assignment) {
+  if (idx == per_monomial.size()) return true;
+  for (const CandidateMap& candidate : per_monomial[idx]) {
+    // Relations already pinned must be compatible with this candidate.
+    std::vector<Symbol> free_rels;
+    bool compatible = true;
+    for (const auto& [rel, columns] : candidate) {
+      auto it = assignment->find(rel);
+      if (it == assignment->end()) {
+        free_rels.push_back(rel);
+      } else if (std::find(columns.begin(), columns.end(), it->second) ==
+                 columns.end()) {
+        compatible = false;
+        break;
+      }
+    }
+    if (!compatible) continue;
+    // Enumerate column choices for the relations this candidate newly
+    // pins (cross product; tiny).
+    std::vector<size_t> choice(free_rels.size(), 0);
+    while (true) {
+      for (size_t i = 0; i < free_rels.size(); ++i) {
+        (*assignment)[free_rels[i]] =
+            candidate.at(free_rels[i])[choice[i]];
+      }
+      if (Solve(per_monomial, idx + 1, assignment)) return true;
+      size_t i = 0;
+      for (; i < free_rels.size(); ++i) {
+        if (++choice[i] < candidate.at(free_rels[i]).size()) break;
+        choice[i] = 0;
+      }
+      if (i == free_rels.size()) break;
+    }
+    for (Symbol rel : free_rels) assignment->erase(rel);
+  }
+  return false;
+}
+
+}  // namespace
+
+PartitionScheme DerivePartitionScheme(const ring::Catalog& catalog,
+                                      const std::vector<Symbol>& group_vars,
+                                      const agca::ExprPtr& body) {
+  (void)group_vars;  // the merge is a ring sum, valid for any grouping
+  PartitionScheme scheme;
+  if (body == nullptr) return scheme;
+  std::vector<Monomial> monomials = agca::Expand(body);
+  std::vector<std::vector<CandidateMap>> per_monomial;
+  for (const Monomial& m : monomials) {
+    VarClasses classes;
+    std::vector<RelAtom> atoms;
+    if (!CollectAtoms(m, &atoms, &classes)) return scheme;
+    if (atoms.empty()) continue;  // database-free monomial: unaffected
+    std::vector<CandidateMap> candidates = CandidatesFor(atoms, &classes);
+    if (candidates.empty()) return scheme;
+    per_monomial.push_back(std::move(candidates));
+  }
+  std::unordered_map<Symbol, size_t> assignment;
+  if (!Solve(per_monomial, 0, &assignment)) return scheme;
+  for (const auto& [rel, column] : assignment) {
+    RINGDB_CHECK(catalog.Has(rel));
+    RINGDB_CHECK_LT(column, catalog.Arity(rel));
+  }
+  scheme.valid = true;
+  scheme.route_column = std::move(assignment);
+  return scheme;
+}
+
+std::string PartitionScheme::ToString() const {
+  if (!valid) return "<unpartitionable>";
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [rel, column] : route_column) {
+    if (!first) out << ", ";
+    first = false;
+    out << rel.str() << "[" << column << "]";
+  }
+  return out.str();
+}
+
+}  // namespace exec
+}  // namespace ringdb

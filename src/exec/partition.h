@@ -1,0 +1,65 @@
+// Shard partitioning analysis for data-parallel view maintenance.
+//
+// A query Q decomposes over a hash partition of its input relations,
+// Q(D) = sum_i Q(D_i), exactly when every monomial of Q constrains all of
+// its relation atoms to agree on some variable equivalence class E (shared
+// variable names and explicit kEq comparisons): any joining combination of
+// tuples then shares one routing value, lands in one shard, and is counted
+// by that shard alone, while the ring sum merges shard results (including
+// cancellations) losslessly. This is the classic co-partitioning condition
+// of parallel hash joins lifted to AGCA's polynomial form.
+//
+// DerivePartitionScheme searches for one routing column per relation that
+// witnesses the condition for every monomial simultaneously. Queries with
+// no such witness — chain joins, inequality joins, disjoint products —
+// yield an invalid scheme and the engine falls back to one shard; this is
+// a conservative soundness analysis, never a correctness gamble.
+
+#ifndef RINGDB_EXEC_PARTITION_H_
+#define RINGDB_EXEC_PARTITION_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "agca/ast.h"
+#include "ring/database.h"
+#include "util/symbol.h"
+#include "util/value.h"
+
+namespace ringdb {
+namespace exec {
+
+struct PartitionScheme {
+  // Sound to run the query on hash-partitioned shards and merge by ring
+  // addition. When false, multi-shard execution must not be used.
+  bool valid = false;
+  // relation -> routing key column. Relations the query never mentions
+  // are absent and route to shard 0 (their updates fire no trigger).
+  std::unordered_map<Symbol, size_t> route_column;
+
+  // Owning shard of an update to `relation` with the given tuple values.
+  // Malformed tuples (shorter than the routing column) route to shard 0,
+  // whose executor rejects them with the proper arity error.
+  size_t ShardOf(Symbol relation, const std::vector<Value>& values,
+                 size_t num_shards) const {
+    auto it = route_column.find(relation);
+    if (it == route_column.end() || it->second >= values.size()) return 0;
+    return values[it->second].Hash() % num_shards;
+  }
+
+  std::string ToString() const;
+};
+
+// Analyzes Sum_[group_vars](body) over the catalog. Returns a valid
+// scheme iff the decomposition condition above holds for a single global
+// choice of routing columns; otherwise {valid = false}.
+PartitionScheme DerivePartitionScheme(const ring::Catalog& catalog,
+                                      const std::vector<Symbol>& group_vars,
+                                      const agca::ExprPtr& body);
+
+}  // namespace exec
+}  // namespace ringdb
+
+#endif  // RINGDB_EXEC_PARTITION_H_

@@ -1,0 +1,140 @@
+#include "exec/sharded_executor.h"
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace exec {
+
+ShardedExecutor::ShardedExecutor(const compiler::TriggerProgram& program,
+                                 PartitionScheme scheme, size_t num_shards)
+    : scheme_(std::move(scheme)) {
+  size_t effective = num_shards;
+  if (effective == 0) effective = 1;
+  if (!scheme_.valid) effective = 1;
+  shards_.reserve(effective);
+  for (size_t i = 0; i < effective; ++i) {
+    shards_.push_back(std::make_unique<runtime::Executor>(program));
+  }
+  shard_work_.resize(effective);
+  shard_status_.assign(effective, Status::Ok());
+  // Shard 0 always runs on the calling thread; workers serve shards 1..N.
+  for (size_t i = 1; i < effective; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ShardedExecutor::~ShardedExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ShardedExecutor::RunShard(size_t shard_idx) {
+  runtime::Executor& exec = *shards_[shard_idx];
+  const std::vector<RoutedEntry>& work = shard_work_[shard_idx];
+  Status status = Status::Ok();
+  // Entries arrive grouped by relation (routing walks the batch relation
+  // by relation), so each contiguous run is one relation's delta GMR and
+  // goes through the statement-major grouped path.
+  std::vector<runtime::Executor::Delta> run;
+  size_t i = 0;
+  while (i < work.size() && status.ok()) {
+    size_t j = i;
+    run.clear();
+    while (j < work.size() && work[j].relation == work[i].relation) {
+      run.push_back(runtime::Executor::Delta{&work[j].entry->values,
+                                             work[j].entry->multiplicity});
+      ++j;
+    }
+    status = exec.ApplyDeltaBatch(work[i].relation, run);
+    i = j;
+  }
+  shard_status_[shard_idx] = std::move(status);
+}
+
+void ShardedExecutor::WorkerLoop(size_t shard_idx) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    RunShard(shard_idx);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+Status ShardedExecutor::ApplyBatch(const UpdateBatch& batch) {
+  if (batch.empty()) return Status::Ok();
+  const size_t n = shards_.size();
+  for (std::vector<RoutedEntry>& work : shard_work_) work.clear();
+  for (const RelationDelta& delta : batch.deltas()) {
+    for (const DeltaEntry& entry : delta.entries) {
+      shard_work_[ShardOf(delta.relation, entry.values)].push_back(
+          RoutedEntry{delta.relation, &entry});
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!shard_work_[i].empty()) {
+      shards_[i]->ReserveForBatch(shard_work_[i].size());
+    }
+  }
+  if (n == 1) {
+    RunShard(0);
+    return shard_status_[0];
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ = n - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunShard(0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+  for (const Status& s : shard_status_) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+runtime::Executor::Stats ShardedExecutor::AggregateStats() const {
+  runtime::Executor::Stats total;
+  for (const auto& shard : shards_) {
+    const runtime::Executor::Stats& s = shard->stats();
+    total.updates += s.updates;
+    total.statements_run += s.statements_run;
+    total.entries_touched += s.entries_touched;
+    total.arithmetic_ops += s.arithmetic_ops;
+    total.init_evaluations += s.init_evaluations;
+    total.delta_entries += s.delta_entries;
+    total.scaled_firings += s.scaled_firings;
+  }
+  return total;
+}
+
+void ShardedExecutor::ResetStats() {
+  for (const auto& shard : shards_) shard->ResetStats();
+}
+
+size_t ShardedExecutor::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& shard : shards_) bytes += shard->ApproxBytes();
+  return bytes;
+}
+
+}  // namespace exec
+}  // namespace ringdb

@@ -53,10 +53,15 @@ const Gmr& Database::Relation(Symbol name) const {
 }
 
 void Database::Apply(const Update& u) {
-  RINGDB_CHECK(catalog_.Has(u.relation));
-  const std::vector<Symbol>& cols = catalog_.Columns(u.relation);
-  RINGDB_CHECK_EQ(cols.size(), u.values.size());
-  relations_[u.relation].Add(Tuple::FromRow(cols, u.values), u.SignedUnit());
+  AddTuple(u.relation, u.values, u.SignedUnit());
+}
+
+void Database::AddTuple(Symbol relation, const std::vector<Value>& values,
+                        Numeric m) {
+  RINGDB_CHECK(catalog_.Has(relation));
+  const std::vector<Symbol>& cols = catalog_.Columns(relation);
+  RINGDB_CHECK_EQ(cols.size(), values.size());
+  relations_[relation].Add(Tuple::FromRow(cols, values), m);
 }
 
 int64_t Database::TotalTuples() const {

@@ -71,6 +71,10 @@ class Database {
   // D := D + u.
   void Apply(const Update& u);
 
+  // D := D + m * chi_{R(values)}: applies a coalesced batch delta entry in
+  // one step (m is the net multiplicity of the tuple within the batch).
+  void AddTuple(Symbol relation, const std::vector<Value>& values, Numeric m);
+
   void Insert(Symbol relation, std::vector<Value> values) {
     Apply(Update::Insert(relation, std::move(values)));
   }

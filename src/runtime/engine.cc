@@ -1,5 +1,7 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace ringdb {
@@ -7,22 +9,57 @@ namespace runtime {
 
 StatusOr<Engine> Engine::Create(const ring::Catalog& catalog,
                                 std::vector<Symbol> group_vars,
-                                agca::ExprPtr body) {
+                                agca::ExprPtr body, EngineOptions options) {
+  // The partition analysis reads the query before compilation consumes it.
+  exec::PartitionScheme scheme =
+      options.num_shards > 1
+          ? exec::DerivePartitionScheme(catalog, group_vars, body)
+          : exec::PartitionScheme{};
   RINGDB_ASSIGN_OR_RETURN(
       compiler::CompiledQuery compiled,
       compiler::Compile(catalog, group_vars, std::move(body)));
-  return Engine(std::move(compiled), std::move(group_vars));
+  return Engine(std::move(compiled), std::move(group_vars),
+                std::move(options), std::move(scheme));
 }
 
 Engine::Engine(compiler::CompiledQuery compiled,
-               std::vector<Symbol> group_vars)
+               std::vector<Symbol> group_vars, EngineOptions options,
+               exec::PartitionScheme scheme)
     : group_vars_(std::move(group_vars)),
       root_key_order_(std::move(compiled.root_key_order)),
-      executor_(std::make_unique<Executor>(std::move(compiled.program))) {}
+      options_(options),
+      sharded_(std::make_unique<exec::ShardedExecutor>(
+          compiled.program, std::move(scheme), options.num_shards)),
+      builder_(std::make_unique<exec::BatchBuilder>(
+          sharded_->shard(0).program().catalog)) {}
+
+Status Engine::ApplyBatch(const std::vector<ring::Update>& updates) {
+  const size_t window = std::max<size_t>(options_.batch_size, 1);
+  size_t i = 0;
+  while (i < updates.size()) {
+    size_t end = std::min(updates.size(), i + window);
+    for (; i < end; ++i) {
+      Status added = builder_->Add(updates[i]);
+      if (!added.ok()) {
+        // Match sequential semantics: the valid prefix before the bad
+        // update still applies, and nothing lingers in the builder to
+        // leak into a later batch.
+        RINGDB_RETURN_IF_ERROR(sharded_->ApplyBatch(builder_->Build()));
+        return added;
+      }
+    }
+    RINGDB_RETURN_IF_ERROR(sharded_->ApplyBatch(builder_->Build()));
+  }
+  return Status::Ok();
+}
 
 Numeric Engine::ResultScalar() const {
   RINGDB_CHECK(group_vars_.empty());
-  return executor_->root().At({});
+  Numeric total = kZero;
+  for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+    total += sharded_->shard(i).root().At({});
+  }
+  return total;
 }
 
 Numeric Engine::ResultAt(const std::vector<Value>& group_values) const {
@@ -31,19 +68,25 @@ Numeric Engine::ResultAt(const std::vector<Value>& group_values) const {
   for (size_t i = 0; i < group_values.size(); ++i) {
     key[root_key_order_[i]] = group_values[i];
   }
-  return executor_->root().At(key);
+  Numeric total = kZero;
+  for (size_t i = 0; i < sharded_->num_shards(); ++i) {
+    total += sharded_->shard(i).root().At(key);
+  }
+  return total;
 }
 
 ring::Gmr Engine::ResultGmr() const {
   ring::Gmr out;
-  executor_->root().ForEach([&](const Key& key, Numeric m) {
-    std::vector<ring::Tuple::Field> fields;
-    fields.reserve(group_vars_.size());
-    for (size_t i = 0; i < group_vars_.size(); ++i) {
-      fields.emplace_back(group_vars_[i], key[root_key_order_[i]]);
-    }
-    out.Add(ring::Tuple::FromFields(std::move(fields)), m);
-  });
+  for (size_t s = 0; s < sharded_->num_shards(); ++s) {
+    sharded_->shard(s).root().ForEach([&](const Key& key, Numeric m) {
+      std::vector<ring::Tuple::Field> fields;
+      fields.reserve(group_vars_.size());
+      for (size_t i = 0; i < group_vars_.size(); ++i) {
+        fields.emplace_back(group_vars_[i], key[root_key_order_[i]]);
+      }
+      out.Add(ring::Tuple::FromFields(std::move(fields)), m);
+    });
+  }
   return out;
 }
 

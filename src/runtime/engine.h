@@ -1,6 +1,7 @@
 // Public facade: register a schema and an AGCA query, then stream
-// single-tuple updates; the query result (scalar or grouped) is always
-// available in O(1) per value, maintained by the compiled view hierarchy.
+// single-tuple updates or coalesced batches; the query result (scalar or
+// grouped) is always available in O(1) per value, maintained by the
+// compiled view hierarchy.
 //
 //   ring::Catalog catalog;
 //   catalog.AddRelation(R, {A});
@@ -8,6 +9,14 @@
 //       catalog, /*group_vars=*/{}, body);
 //   engine->Apply(ring::Update::Insert(R, {Value(42)}));
 //   Numeric count = engine->ResultScalar();
+//
+// Scaling knobs (runtime::EngineOptions): batch_size coalesces windows of
+// updates into per-relation delta GMRs before triggers fire (cancelled
+// events cost nothing, repeated events fire multiplicity-linear triggers
+// once), and num_shards hash-partitions the view hierarchy for parallel
+// application when the query admits a sound partition scheme (see
+// exec/partition.h). The single-tuple Apply is a batch of one routed to
+// its owning shard, so both APIs share one execution path.
 
 #ifndef RINGDB_RUNTIME_ENGINE_H_
 #define RINGDB_RUNTIME_ENGINE_H_
@@ -17,6 +26,9 @@
 
 #include "agca/ast.h"
 #include "compiler/compile.h"
+#include "exec/batch.h"
+#include "exec/partition.h"
+#include "exec/sharded_executor.h"
 #include "ring/database.h"
 #include "ring/gmr.h"
 #include "runtime/interpreter.h"
@@ -25,15 +37,36 @@
 namespace ringdb {
 namespace runtime {
 
+struct EngineOptions {
+  // Number of buffered updates coalesced into one delta batch by
+  // ApplyBatch; 1 degenerates to per-tuple execution.
+  size_t batch_size = 1;
+  // Requested data-parallel shards. The effective count is 1 when the
+  // query admits no sound partition scheme (Engine::num_shards tells).
+  size_t num_shards = 1;
+};
+
 class Engine {
  public:
   // Compiles Sum_[group_vars](body) over the catalog. The engine starts
   // on the empty database.
   static StatusOr<Engine> Create(const ring::Catalog& catalog,
                                  std::vector<Symbol> group_vars,
-                                 agca::ExprPtr body);
+                                 agca::ExprPtr body) {
+    return Create(catalog, std::move(group_vars), std::move(body),
+                  EngineOptions{});
+  }
+  static StatusOr<Engine> Create(const ring::Catalog& catalog,
+                                 std::vector<Symbol> group_vars,
+                                 agca::ExprPtr body, EngineOptions options);
 
-  Status Apply(const ring::Update& update) { return executor_->Apply(update); }
+  Status Apply(const ring::Update& update) { return sharded_->Apply(update); }
+
+  // Applies the updates in windows of options.batch_size: each window is
+  // coalesced into per-relation delta GMRs (opposite events cancel) and
+  // executed shard-parallel. Any window size yields the same final state
+  // as applying the updates one by one.
+  Status ApplyBatch(const std::vector<ring::Update>& updates);
 
   Status Insert(Symbol relation, std::vector<Value> values) {
     return Apply(ring::Update::Insert(relation, std::move(values)));
@@ -42,30 +75,46 @@ class Engine {
     return Apply(ring::Update::Delete(relation, std::move(values)));
   }
 
-  // Result for a scalar query (empty group_vars).
+  // Result for a scalar query (empty group_vars); sums over shards.
   Numeric ResultScalar() const;
 
   // Result value for one group, values given in group_vars order.
   Numeric ResultAt(const std::vector<Value>& group_values) const;
 
   // The full grouped result as a gmr over the group variables (tuples
-  // {group_var -> value} with the aggregate as multiplicity).
+  // {group_var -> value} with the aggregate as multiplicity), merged over
+  // shards by ring addition.
   ring::Gmr ResultGmr() const;
 
   const compiler::TriggerProgram& program() const {
-    return executor_->program();
+    return sharded_->shard(0).program();
   }
-  Executor& executor() { return *executor_; }
-  const Executor& executor() const { return *executor_; }
+  // The primary shard's executor (the only shard unless sharding is on);
+  // multi-shard callers should use sharded() for per-shard access.
+  Executor& executor() { return sharded_->shard(0); }
+  const Executor& executor() const { return sharded_->shard(0); }
+  exec::ShardedExecutor& sharded() { return *sharded_; }
+  const exec::ShardedExecutor& sharded() const { return *sharded_; }
+
   const std::vector<Symbol>& group_vars() const { return group_vars_; }
+  const EngineOptions& options() const { return options_; }
+  // Effective shard count (1 when the query is not partitionable).
+  size_t num_shards() const { return sharded_->num_shards(); }
+  const exec::PartitionScheme& partition_scheme() const {
+    return sharded_->scheme();
+  }
 
  private:
-  Engine(compiler::CompiledQuery compiled, std::vector<Symbol> group_vars);
+  Engine(compiler::CompiledQuery compiled, std::vector<Symbol> group_vars,
+         EngineOptions options, exec::PartitionScheme scheme);
 
   std::vector<Symbol> group_vars_;
   std::vector<size_t> root_key_order_;
-  // unique_ptr so Engine stays movable despite the Executor's internals.
-  std::unique_ptr<Executor> executor_;
+  EngineOptions options_;
+  // unique_ptr so Engine stays movable despite the executor's internals
+  // (worker threads, mutexes).
+  std::unique_ptr<exec::ShardedExecutor> sharded_;
+  std::unique_ptr<exec::BatchBuilder> builder_;
 };
 
 }  // namespace runtime

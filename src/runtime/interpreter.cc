@@ -20,6 +20,21 @@ uint64_t TriggerKey(Symbol relation, ring::Update::Sign sign) {
          (sign == ring::Update::Sign::kInsert ? 0u : 1u);
 }
 
+void CollectParams(const TExpr& e, std::vector<size_t>* out) {
+  if (e.kind() == TExpr::Kind::kParam) out->push_back(e.param_index());
+  if (e.kind() == TExpr::Kind::kViewLookup) {
+    for (const KeyRef& ref : e.keys()) {
+      if (ref.kind() == KeyRef::Kind::kParam) out->push_back(ref.param_index());
+    }
+  }
+  for (const auto& c : e.children()) CollectParams(*c, out);
+}
+
+void SortUnique(std::vector<size_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
 }  // namespace
 
 Executor::Executor(compiler::TriggerProgram program)
@@ -75,45 +90,261 @@ Executor::Executor(compiler::TriggerProgram program)
         }
         plan.loops.push_back(std::move(lp));
       }
+      BuildGroupingPlan(trigger, stmt, &plan);
     }
   }
 }
 
-Status Executor::Apply(const ring::Update& update) {
-  ++stats_.updates;
-  if (!program_.catalog.Has(update.relation)) {
-    return Status::NotFound("unknown relation " + update.relation.str());
+void Executor::BuildGroupingPlan(const compiler::Trigger& trigger,
+                                 const Statement& stmt, StatementPlan* plan) {
+  if (!trigger.multiplicity_linear) return;
+  const size_t arity = program_.catalog.Arity(trigger.relation);
+  // Shape params: every param the statement resolves positionally —
+  // target keys, loop probe patterns, and all rhs occurrences except the
+  // foldable ones extracted below.
+  std::vector<size_t> shape;
+  for (const KeyRef& ref : stmt.target_key) {
+    if (ref.kind() == KeyRef::Kind::kParam) shape.push_back(ref.param_index());
   }
-  if (program_.catalog.Arity(update.relation) != update.values.size()) {
-    return Status::InvalidArgument("arity mismatch in update " +
-                                   update.ToString());
-  }
-  auto it = trigger_index_.find(TriggerKey(update.relation, update.sign));
-  auto run_trigger = [&] {
-    if (it == trigger_index_.end()) return;  // query-irrelevant relation
-    const compiler::Trigger& trigger = program_.triggers[it->second];
-    const std::vector<StatementPlan>& plans = plans_[it->second];
-    for (size_t s = 0; s < trigger.statements.size(); ++s) {
-      ++stats_.statements_run;
-      RunStatement(trigger.statements[s], plans[s], update.values);
+  for (const LoopSpec& loop : stmt.loops) {
+    for (const KeyRef& ref : loop.pattern) {
+      if (ref.kind() == KeyRef::Kind::kParam) {
+        shape.push_back(ref.param_index());
+      }
     }
-  };
-  run_trigger();
-  // The base database transitions to D + u only after the trigger ran:
-  // deltas and lazy initializations both read the pre-update state.
-  if (has_lazy_views_) base_db_.Apply(update);
+  }
+  // Foldable params: bare kParam leaves that are direct factors of a
+  // top-level product (or the whole rhs). Their values are pure scalar
+  // multipliers, so they move into the group coefficient.
+  std::vector<size_t> foldable;
+  std::vector<compiler::TExprPtr> residual;
+  if (stmt.rhs->kind() == TExpr::Kind::kParam) {
+    foldable.push_back(stmt.rhs->param_index());
+  } else if (stmt.rhs->kind() == TExpr::Kind::kMul) {
+    for (const compiler::TExprPtr& child : stmt.rhs->children()) {
+      if (child->kind() == TExpr::Kind::kParam) {
+        foldable.push_back(child->param_index());
+      } else {
+        CollectParams(*child, &shape);
+        residual.push_back(child);
+      }
+    }
+  } else {
+    CollectParams(*stmt.rhs, &shape);
+  }
+  SortUnique(&shape);
+  // When the shape already spans every param, grouping can only merge
+  // identical tuples, which batch coalescing did upstream.
+  if (shape.size() >= arity) return;
+  plan->groupable = true;
+  plan->shape_params = std::move(shape);
+  plan->foldable_params = std::move(foldable);
+  if (foldable_empty_rhs_ == nullptr) {
+    foldable_empty_rhs_ = TExpr::Const(Value(int64_t{1}));
+  }
+  if (plan->foldable_params.empty()) {
+    plan->grouped_rhs = stmt.rhs;
+  } else if (residual.empty()) {
+    plan->grouped_rhs = foldable_empty_rhs_;
+  } else if (residual.size() == 1) {
+    plan->grouped_rhs = residual[0];
+  } else {
+    plan->grouped_rhs = TExpr::Mul(std::move(residual));
+  }
+}
+
+Status Executor::ApplyDelta(Symbol relation, const std::vector<Value>& values,
+                            Numeric multiplicity) {
+  if (multiplicity.IsZero()) return Status::Ok();
+  if (!program_.catalog.Has(relation)) {
+    return Status::NotFound("unknown relation " + relation.str());
+  }
+  if (program_.catalog.Arity(relation) != values.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch in update of " + relation.str() + " (got " +
+        std::to_string(values.size()) + " values)");
+  }
+  ApplyDeltaUnchecked(relation, values, multiplicity);
   return Status::Ok();
 }
 
+void Executor::ApplyDeltaUnchecked(Symbol relation,
+                                   const std::vector<Value>& values,
+                                   Numeric multiplicity) {
+  // Batch deltas are sums of ±1 events, so net multiplicities are
+  // integral; unit-firing fallback for nonlinear triggers needs a count.
+  RINGDB_CHECK(multiplicity.is_integer());
+  const int64_t m = multiplicity.AsInt();
+  const uint64_t count = static_cast<uint64_t>(m > 0 ? m : -m);
+  const ring::Update::Sign sign = m > 0 ? ring::Update::Sign::kInsert
+                                        : ring::Update::Sign::kDelete;
+  const Numeric unit = m > 0 ? kOne : Numeric(int64_t{-1});
+  stats_.updates += count;
+  ++stats_.delta_entries;
+  auto it = trigger_index_.find(TriggerKey(relation, sign));
+  if (it == trigger_index_.end()) {
+    // Query-irrelevant relation: only the base database (if kept) moves.
+    if (has_lazy_views_) base_db_.AddTuple(relation, values, multiplicity);
+    return;
+  }
+  if (program_.triggers[it->second].multiplicity_linear) {
+    // Linear in the relation: the delta of `count` identical events is
+    // count times the delta of one, so fire once with scaled emissions.
+    if (count > 1) ++stats_.scaled_firings;
+    FireTrigger(it->second, values, Numeric(static_cast<int64_t>(count)));
+    // The base database transitions to D + u only after the trigger ran:
+    // deltas and lazy initializations both read the pre-update state.
+    if (has_lazy_views_) base_db_.AddTuple(relation, values, multiplicity);
+    return;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    FireTrigger(it->second, values, kOne);
+    if (has_lazy_views_) base_db_.AddTuple(relation, values, unit);
+  }
+}
+
+Status Executor::ApplyDeltaBatch(Symbol relation,
+                                 const std::vector<Delta>& deltas) {
+  if (deltas.empty()) return Status::Ok();
+  if (!program_.catalog.Has(relation)) {
+    return Status::NotFound("unknown relation " + relation.str());
+  }
+  const size_t arity = program_.catalog.Arity(relation);
+  for (const Delta& d : deltas) {
+    if (d.values->size() != arity) {
+      return Status::InvalidArgument("arity mismatch in batch delta of " +
+                                     relation.str());
+    }
+  }
+  // Split by sign (insert trigger for net-positive entries, delete
+  // trigger for net-negative); each sign group runs as one sequential
+  // block, so cross-relation read dependencies see a consistent prefix.
+  std::vector<Delta> by_sign[2];
+  for (const Delta& d : deltas) {
+    if (d.multiplicity.IsZero()) continue;
+    RINGDB_CHECK(d.multiplicity.is_integer());
+    by_sign[d.multiplicity.AsInt() > 0 ? 0 : 1].push_back(d);
+  }
+  for (int s = 0; s < 2; ++s) {
+    const std::vector<Delta>& group = by_sign[s];
+    if (group.empty()) continue;
+    const ring::Update::Sign sign = s == 0 ? ring::Update::Sign::kInsert
+                                           : ring::Update::Sign::kDelete;
+    auto it = trigger_index_.find(TriggerKey(relation, sign));
+    const bool linear =
+        it != trigger_index_.end() &&
+        program_.triggers[it->second].multiplicity_linear &&
+        group.size() > 1;
+    if (linear) {
+      for (const Delta& d : group) {
+        const int64_t m = d.multiplicity.AsInt();
+        stats_.updates += static_cast<uint64_t>(m > 0 ? m : -m);
+        ++stats_.delta_entries;
+        if (m > 1 || m < -1) ++stats_.scaled_firings;
+      }
+      RunLinearTriggerBatch(it->second, group);
+      if (has_lazy_views_) {
+        for (const Delta& d : group) {
+          base_db_.AddTuple(relation, *d.values, d.multiplicity);
+        }
+      }
+    } else {
+      // Entries were validated against the catalog above.
+      for (const Delta& d : group) {
+        ApplyDeltaUnchecked(relation, *d.values, d.multiplicity);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+void Executor::RunLinearTriggerBatch(size_t trigger_idx,
+                                     const std::vector<Delta>& deltas) {
+  const compiler::Trigger& trigger = program_.triggers[trigger_idx];
+  const std::vector<StatementPlan>& plans = plans_[trigger_idx];
+  // Statement-major: linearity guarantees no statement reads anything
+  // this trigger writes, so all firings of one statement see the same
+  // state and merge freely.
+  std::unordered_map<Key, size_t, KeyHash> groups;
+  std::vector<std::pair<const std::vector<Value>*, Numeric>> reps;
+  for (size_t s = 0; s < trigger.statements.size(); ++s) {
+    const Statement& stmt = trigger.statements[s];
+    const StatementPlan& plan = plans[s];
+    if (!plan.groupable) {
+      for (const Delta& d : deltas) {
+        ++stats_.statements_run;
+        const int64_t m = d.multiplicity.AsInt();
+        RunStatement(stmt, plan, *d.values,
+                     Numeric(m > 0 ? m : -m), *stmt.rhs);
+      }
+      continue;
+    }
+    // Accumulate one coefficient per distinct shape projection:
+    // sum over entries of |multiplicity| * product(foldable params).
+    groups.clear();
+    reps.clear();
+    Key shape_key(plan.shape_params.size());
+    for (const Delta& d : deltas) {
+      const std::vector<Value>& values = *d.values;
+      for (size_t i = 0; i < plan.shape_params.size(); ++i) {
+        shape_key[i] = values[plan.shape_params[i]];
+      }
+      const int64_t m = d.multiplicity.AsInt();
+      Numeric coeff(m > 0 ? m : -m);
+      for (size_t p : plan.foldable_params) {
+        auto n = values[p].ToNumeric();
+        RINGDB_CHECK(n.ok());
+        coeff *= *n;
+        ++stats_.arithmetic_ops;
+      }
+      auto [slot, inserted] = groups.try_emplace(shape_key, reps.size());
+      if (inserted) {
+        reps.emplace_back(&values, coeff);
+      } else {
+        reps[slot->second].second += coeff;
+        ++stats_.arithmetic_ops;
+      }
+    }
+    for (const auto& [rep_values, coeff] : reps) {
+      if (coeff.IsZero()) continue;
+      ++stats_.statements_run;
+      RunStatement(stmt, plan, *rep_values, coeff, *plan.grouped_rhs);
+    }
+  }
+}
+
+void Executor::FireTrigger(size_t trigger_idx,
+                           const std::vector<Value>& params, Numeric scale) {
+  const compiler::Trigger& trigger = program_.triggers[trigger_idx];
+  const std::vector<StatementPlan>& plans = plans_[trigger_idx];
+  for (size_t s = 0; s < trigger.statements.size(); ++s) {
+    ++stats_.statements_run;
+    RunStatement(trigger.statements[s], plans[s], params, scale,
+                 *trigger.statements[s].rhs);
+  }
+}
+
+void Executor::ReserveForBatch(size_t additional) {
+  for (ViewMap& v : views_) v.Reserve(v.size() + additional);
+}
+
 void Executor::RunStatement(const Statement& stmt, const StatementPlan& plan,
-                            const std::vector<Value>& params) {
-  Bindings bindings;
+                            const std::vector<Value>& params, Numeric scale,
+                            const TExpr& rhs) {
+  Bindings& bindings = bindings_scratch_;
+  bindings.clear();
   // Emissions are buffered and applied after all loops finish: a
   // statement may loop over its own target view (domain maintenance), and
   // mutating a map during enumeration is undefined.
-  std::vector<Emission> emissions;
-  RunLoops(stmt, plan, 0, params, &bindings, &emissions);
+  std::vector<Emission>& emissions = emissions_scratch_;
+  emissions.clear();
+  RunLoops(stmt, plan, 0, params, rhs, &bindings, &emissions);
+  const bool scaled = !scale.IsOne();
   for (Emission& e : emissions) {
+    if (scaled) {
+      e.second *= scale;
+      ++stats_.arithmetic_ops;
+    }
     AddToView(stmt.target_view, e.first, e.second);
     ++stats_.entries_touched;
     ++stats_.arithmetic_ops;  // the += itself
@@ -122,9 +353,10 @@ void Executor::RunStatement(const Statement& stmt, const StatementPlan& plan,
 
 void Executor::RunLoops(const Statement& stmt, const StatementPlan& plan,
                         size_t loop_index, const std::vector<Value>& params,
-                        Bindings* bindings, std::vector<Emission>* emissions) {
+                        const TExpr& rhs, Bindings* bindings,
+                        std::vector<Emission>* emissions) {
   if (loop_index == stmt.loops.size()) {
-    Emit(stmt, params, *bindings, emissions);
+    Emit(stmt, params, rhs, *bindings, emissions);
     return;
   }
   const LoopSpec& loop = stmt.loops[loop_index];
@@ -147,7 +379,7 @@ void Executor::RunLoops(const Statement& stmt, const StatementPlan& plan,
       }
     }
     if (ok) {
-      RunLoops(stmt, plan, loop_index + 1, params, bindings, emissions);
+      RunLoops(stmt, plan, loop_index + 1, params, rhs, bindings, emissions);
     }
     for (Symbol var : inserted_here) bindings->erase(var);
   };
@@ -189,9 +421,9 @@ void Executor::RunLoops(const Statement& stmt, const StatementPlan& plan,
 }
 
 void Executor::Emit(const Statement& stmt, const std::vector<Value>& params,
-                    const Bindings& bindings,
+                    const TExpr& rhs, const Bindings& bindings,
                     std::vector<Emission>* emissions) {
-  Numeric value = EvalNumeric(*stmt.rhs, params, bindings);
+  Numeric value = EvalNumeric(rhs, params, bindings);
   if (value.IsZero()) return;
   Key key;
   key.reserve(stmt.target_key.size());

@@ -27,18 +27,56 @@ namespace runtime {
 class Executor {
  public:
   struct Stats {
-    uint64_t updates = 0;
+    uint64_t updates = 0;           // input tuple-units (|multiplicity|)
     uint64_t statements_run = 0;
     uint64_t entries_touched = 0;   // view entries incremented
     uint64_t arithmetic_ops = 0;    // +, *, comparisons in rhs evaluation
     uint64_t init_evaluations = 0;  // lazy first-touch initializations
+    uint64_t delta_entries = 0;     // coalesced delta-GMR entries applied
+    uint64_t scaled_firings = 0;    // linear triggers fired once for m > 1
   };
 
   explicit Executor(compiler::TriggerProgram program);
 
   // Fires the trigger for the update; relations without triggers are
   // no-ops (the query does not depend on them).
-  Status Apply(const ring::Update& update);
+  Status Apply(const ring::Update& update) {
+    return ApplyDelta(update.relation, update.values, update.SignedUnit());
+  }
+
+  // Applies one coalesced delta-GMR entry: the net effect of inserting
+  // (multiplicity > 0) or deleting (multiplicity < 0) |multiplicity|
+  // copies of the tuple. Multiplicity-linear triggers (see compiler::
+  // Trigger) fire once with emissions scaled by |multiplicity|; nonlinear
+  // triggers fall back to |multiplicity| unit firings, each reading the
+  // state left by the previous one. Multiplicity must be integral (batch
+  // deltas are sums of ±1 events) and may be zero (no-op).
+  Status ApplyDelta(Symbol relation, const std::vector<Value>& values,
+                    Numeric multiplicity);
+
+  // One delta-GMR entry of a batch, pointing into caller-owned storage.
+  struct Delta {
+    const std::vector<Value>* values;
+    Numeric multiplicity;
+  };
+
+  // Applies a relation's delta GMR (same net semantics as calling
+  // ApplyDelta per entry, in order). For multiplicity-linear triggers the
+  // statements additionally run *statement-major with grouping*: entries
+  // that agree on a statement's shape params (those resolved into loop
+  // probes, target keys, or view-lookup keys) share one execution whose
+  // emission scale is the group's accumulated coefficient — multiplicity
+  // times the product of the rhs's pure scalar-multiplier params. This is
+  // the batch delta rule: e.g. the revenue query's per-lineitem join loop
+  // runs once per distinct order key in the batch instead of once per
+  // lineitem event. Sound because linearity makes every firing read only
+  // views this trigger never writes, so reordering and merging firings
+  // cannot change what they observe.
+  Status ApplyDeltaBatch(Symbol relation, const std::vector<Delta>& deltas);
+
+  // Pre-sizes every view's entry table for `additional` more entries (the
+  // batch path passes the delta-GMR entry count as the hint).
+  void ReserveForBatch(size_t additional);
 
   const compiler::TriggerProgram& program() const { return program_; }
   const ViewMap& view(int id) const {
@@ -68,20 +106,50 @@ class Executor {
   };
   struct StatementPlan {
     std::vector<LoopPlan> loops;
+    // Batch grouping (multiplicity-linear triggers only). Entries whose
+    // update params agree at shape_params share one statement execution.
+    // foldable_params are rhs factors that are bare param leaves; their
+    // values multiply into the group coefficient and grouped_rhs is the
+    // rhs with those leaves removed. groupable is false when the shape
+    // covers every param (coalescing already merged identical tuples).
+    bool groupable = false;
+    std::vector<size_t> shape_params;
+    std::vector<size_t> foldable_params;
+    compiler::TExprPtr grouped_rhs;
   };
 
   using Bindings = std::unordered_map<Symbol, Value>;
   using Emission = std::pair<Key, Numeric>;
 
+  // ApplyDelta after relation/arity validation (batch entries are
+  // validated once per batch, not per entry).
+  void ApplyDeltaUnchecked(Symbol relation, const std::vector<Value>& values,
+                           Numeric multiplicity);
+  // Runs every statement of the trigger once; emissions are scaled by
+  // `scale` (1 for unit firings).
+  void FireTrigger(size_t trigger_idx, const std::vector<Value>& params,
+                   Numeric scale);
+  // Runs one statement with the given rhs (stmt.rhs normally,
+  // plan.grouped_rhs for grouped batch execution); emissions scale by
+  // `scale`.
   void RunStatement(const compiler::Statement& stmt,
                     const StatementPlan& plan,
-                    const std::vector<Value>& params);
+                    const std::vector<Value>& params, Numeric scale,
+                    const compiler::TExpr& rhs);
+  // Statement-major grouped execution of a linear trigger over same-sign
+  // delta entries (see ApplyDeltaBatch).
+  void RunLinearTriggerBatch(size_t trigger_idx,
+                             const std::vector<Delta>& deltas);
+  void BuildGroupingPlan(const compiler::Trigger& trigger,
+                         const compiler::Statement& stmt,
+                         StatementPlan* plan);
   void RunLoops(const compiler::Statement& stmt, const StatementPlan& plan,
                 size_t loop_index, const std::vector<Value>& params,
-                Bindings* bindings, std::vector<Emission>* emissions);
+                const compiler::TExpr& rhs, Bindings* bindings,
+                std::vector<Emission>* emissions);
   void Emit(const compiler::Statement& stmt,
-            const std::vector<Value>& params, const Bindings& bindings,
-            std::vector<Emission>* emissions);
+            const std::vector<Value>& params, const compiler::TExpr& rhs,
+            const Bindings& bindings, std::vector<Emission>* emissions);
 
   // Lazy domain maintenance (paper footnote 2): the first use of a slice
   // of a lazy_init view evaluates the view definition with the slice key
@@ -113,6 +181,13 @@ class Executor {
   // trigger index per (relation, sign): parallel to program_.triggers.
   std::unordered_map<uint64_t, size_t> trigger_index_;
   std::vector<std::vector<StatementPlan>> plans_;  // per trigger
+  // Scratch buffers reused across statement executions (the batch path
+  // fires thousands of statements per call; per-firing allocation of the
+  // binding map and emission buffer dominated the interpreter profile).
+  Bindings bindings_scratch_;
+  std::vector<Emission> emissions_scratch_;
+  // Shared "1" rhs for grouped statements whose whole rhs folded away.
+  compiler::TExprPtr foldable_empty_rhs_;
   Stats stats_;
 };
 

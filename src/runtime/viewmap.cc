@@ -47,6 +47,7 @@ int ViewMap::EnsureIndex(std::vector<size_t> positions) {
   }
   Index index;
   index.positions = std::move(positions);
+  index.rows.reserve(entries_.size());
   for (const auto& [key, m] : entries_) {
     index.rows[SubKey(index, key)].insert(key);
   }

@@ -42,6 +42,11 @@ class ViewMap {
   size_t arity() const { return arity_; }
   size_t size() const { return entries_.size(); }
 
+  // Pre-sizes the entry table for at least `n` entries (hint from the
+  // batch path: current size + delta-GMR size), avoiding rehash storms on
+  // large batches. Never shrinks.
+  void Reserve(size_t n) { entries_.reserve(n); }
+
   // Lazily initialized views keep zero-valued entries: their entry set is
   // the *initialized key domain* (paper footnote 2), which self-loop
   // maintenance statements must enumerate even where the value is 0.

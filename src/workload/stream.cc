@@ -5,10 +5,20 @@
 namespace ringdb {
 namespace workload {
 
+uint64_t ChildSeed(uint64_t master_seed, uint64_t child_index) {
+  // SplitMix-style: decorrelates even adjacent child indexes, and child 0
+  // differs from the master so parent and child never alias.
+  return Mix64(master_seed ^ Mix64(child_index + 0x9e3779b97f4a7c15ULL));
+}
+
 RelationStream::RelationStream(const ring::Catalog& catalog, Symbol relation,
                                StreamOptions options)
+    : RelationStream(relation, catalog.Arity(relation), options) {}
+
+RelationStream::RelationStream(Symbol relation, size_t arity,
+                               StreamOptions options)
     : relation_(relation),
-      arity_(catalog.Arity(relation)),
+      arity_(arity),
       options_(options),
       rng_(options.seed ^ (static_cast<uint64_t>(relation.id()) << 32)) {
   RINGDB_CHECK_GT(options_.domain_size, 0);
@@ -16,6 +26,12 @@ RelationStream::RelationStream(const ring::Catalog& catalog, Symbol relation,
     zipf_ = std::make_unique<Zipf>(
         static_cast<uint64_t>(options_.domain_size), options_.zipf_s);
   }
+}
+
+RelationStream RelationStream::Split(uint64_t child_index) const {
+  StreamOptions child_options = options_;
+  child_options.seed = ChildSeed(options_.seed, child_index);
+  return RelationStream(relation_, arity_, child_options);
 }
 
 std::vector<Value> RelationStream::RandomRow() {

@@ -31,6 +31,12 @@ struct StreamOptions {
   double zipf_s = 0.0;
 };
 
+// Deterministic per-child seed derivation: child streams of a split
+// generator draw from statistically independent substreams, and the same
+// (master seed, child index) pair always yields the same substream, so
+// multi-threaded benches reproduce exactly regardless of interleaving.
+uint64_t ChildSeed(uint64_t master_seed, uint64_t child_index);
+
 // Generates inserts (and sliding-window deletes) for one relation.
 class RelationStream {
  public:
@@ -39,10 +45,18 @@ class RelationStream {
 
   ring::Update Next();
 
+  // A child stream with the same shape (relation, domain, skew, deletes)
+  // on the derived seed ChildSeed(options.seed, child_index), starting
+  // from an empty live window. Children with distinct indexes are
+  // independent; splitting is how per-shard generators stay deterministic.
+  RelationStream Split(uint64_t child_index) const;
+
   Symbol relation() const { return relation_; }
   size_t live_count() const { return live_.size(); }
 
  private:
+  RelationStream(Symbol relation, size_t arity, StreamOptions options);
+
   std::vector<Value> RandomRow();
 
   Symbol relation_;
@@ -65,6 +79,17 @@ class RoundRobinStream {
     ring::Update u = streams_[next_].Next();
     next_ = (next_ + 1) % streams_.size();
     return u;
+  }
+
+  // Splits every member stream with the same child index, preserving the
+  // round-robin relation order (see RelationStream::Split).
+  RoundRobinStream Split(uint64_t child_index) const {
+    std::vector<RelationStream> children;
+    children.reserve(streams_.size());
+    for (const RelationStream& s : streams_) {
+      children.push_back(s.Split(child_index));
+    }
+    return RoundRobinStream(std::move(children));
   }
 
  private:

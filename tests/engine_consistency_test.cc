@@ -218,7 +218,18 @@ std::vector<Scenario> Scenarios() {
   return out;
 }
 
-Update RandomUpdateFor(const Scenario& s, Rng& rng) {
+// Stream shapes for the batch-equivalence tests: mostly-insert (the
+// classic growth stream), delete-heavy (nets inside a batch cancel), and
+// skewed (repeated hot tuples give net multiplicities > 1, exercising the
+// scaled-firing fast path and the nonlinear unit-firing fallback).
+struct StreamShape {
+  const char* name;
+  double insert_fraction;
+  bool skewed;
+};
+
+Update RandomUpdateShaped(const Scenario& s, Rng& rng,
+                          const StreamShape& shape) {
   std::vector<Symbol> rels = s.catalog.RelationNames();
   std::sort(rels.begin(), rels.end());
   Symbol rel = rels[rng.Below(rels.size())];
@@ -226,15 +237,25 @@ Update RandomUpdateFor(const Scenario& s, Rng& rng) {
   for (size_t i = 0; i < s.catalog.Arity(rel); ++i) {
     if (s.strings && i == 0) {
       values.emplace_back("k" + std::to_string(rng.Range(0, 2)));
+    } else if (shape.skewed) {
+      // min of two uniforms: mass concentrates on small values.
+      values.emplace_back(std::min(
+          rng.Range(0, static_cast<int64_t>(s.domain_size)),
+          rng.Range(0, static_cast<int64_t>(s.domain_size))));
     } else {
       values.emplace_back(
           rng.Range(0, static_cast<int64_t>(s.domain_size)));
     }
   }
+  return rng.Bernoulli(shape.insert_fraction)
+             ? Update::Insert(rel, std::move(values))
+             : Update::Delete(rel, std::move(values));
+}
+
+Update RandomUpdateFor(const Scenario& s, Rng& rng) {
   // Mostly inserts so the database grows; deletions may go negative,
   // which all three implementations must handle identically (gmrs).
-  return rng.Bernoulli(0.75) ? Update::Insert(rel, std::move(values))
-                             : Update::Delete(rel, std::move(values));
+  return RandomUpdateShaped(s, rng, {"default", 0.75, false});
 }
 
 class ConsistencyTest : public ::testing::TestWithParam<size_t> {};
@@ -266,6 +287,63 @@ TEST_P(ConsistencyTest, EngineMatchesBothBaselinesOnRandomStream) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, ConsistencyTest,
+                         ::testing::Range<size_t>(0, Scenarios().size()),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return Scenarios()[info.param].name;
+                         });
+
+// Batch-vs-single equivalence: the same stream applied per tuple and in
+// coalesced shard-parallel batches must agree on the result at every
+// window boundary, for every scenario, under insert-heavy, delete-heavy,
+// and skewed streams, at 1, 2, and 8 shards. Scenarios whose query does
+// not admit a partition scheme silently run on one shard, which is
+// exactly the fallback contract.
+class BatchConsistencyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BatchConsistencyTest, BatchedShardedMatchesPerTupleOnRandomStream) {
+  Scenario s = Scenarios()[GetParam()];
+  SCOPED_TRACE(s.name);
+  const StreamShape shapes[] = {
+      {"insert_heavy", 0.8, false},
+      {"delete_heavy", 0.45, false},
+      {"skewed", 0.7, true},
+  };
+  for (const StreamShape& shape : shapes) {
+    SCOPED_TRACE(shape.name);
+    auto single = Engine::Create(s.catalog, s.group_vars, s.body);
+    ASSERT_TRUE(single.ok()) << single.status().ToString();
+    std::vector<runtime::Engine> batched;
+    for (size_t shards : {1u, 2u, 8u}) {
+      runtime::EngineOptions options;
+      options.batch_size = 16;
+      options.num_shards = shards;
+      auto e = Engine::Create(s.catalog, s.group_vars, s.body, options);
+      ASSERT_TRUE(e.ok()) << e.status().ToString();
+      batched.push_back(std::move(*e));
+    }
+
+    Rng rng(9000 + GetParam());
+    for (int window = 0; window < 8; ++window) {
+      std::vector<Update> updates;
+      for (int i = 0; i < 30; ++i) {
+        updates.push_back(RandomUpdateShaped(s, rng, shape));
+      }
+      for (const Update& u : updates) {
+        ASSERT_TRUE(single->Apply(u).ok());
+      }
+      ring::Gmr expected = single->ResultGmr();
+      for (runtime::Engine& e : batched) {
+        ASSERT_TRUE(e.ApplyBatch(updates).ok());
+        ASSERT_EQ(expected, e.ResultGmr())
+            << "window " << window << " shards " << e.num_shards()
+            << "\nsingle:  " << expected.ToString()
+            << "\nbatched: " << e.ResultGmr().ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, BatchConsistencyTest,
                          ::testing::Range<size_t>(0, Scenarios().size()),
                          [](const ::testing::TestParamInfo<size_t>& info) {
                            return Scenarios()[info.param].name;
