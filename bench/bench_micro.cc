@@ -166,7 +166,7 @@ void BM_ViewMapIndexedProbe(benchmark::State& state) {
     int64_t probe = rng.Range(0, 64);
     size_t n = 0;
     view.ForEachMatching(index, {Value(probe)},
-                         [&](const ringdb::runtime::Key&, Numeric) { ++n; });
+                         [&](ringdb::runtime::KeyView, Numeric) { ++n; });
     benchmark::DoNotOptimize(n);
   }
 }

@@ -200,7 +200,7 @@ void BatchShardSweep() {
     for (int i = 0; i < kUpdates; ++i) updates.push_back(stream.Next());
 
     ringdb::TablePrinter table(
-        {"config", "shards", "upd/s", "vs single-tuple"});
+        {"config", "shards", "upd/s", "vs single-tuple", "view MB"});
     double baseline = 0.0;
     for (const SweepConfig& config : sweep) {
       ringdb::runtime::EngineOptions engine_options;
@@ -223,11 +223,13 @@ void BatchShardSweep() {
                            .count();
       double tput = kUpdates / elapsed;
       if (baseline == 0.0) baseline = tput;
-      char a[32], b[32], c[32];
+      char a[32], b[32], c[32], d[32];
       std::snprintf(a, sizeof(a), "%zu", engine->num_shards());
       std::snprintf(b, sizeof(b), "%.0f", tput);
       std::snprintf(c, sizeof(c), "%.2fx", tput / baseline);
-      table.AddRow({config.name, a, b, c});
+      std::snprintf(d, sizeof(d), "%.1f",
+                    engine->sharded().ApproxBytes() / (1024.0 * 1024.0));
+      table.AddRow({config.name, a, b, c, d});
     }
     std::printf("%s\n", table.Render().c_str());
   }

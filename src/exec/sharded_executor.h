@@ -61,6 +61,15 @@ class ShardedExecutor {
   runtime::Executor& shard(size_t i) { return *shards_[i]; }
   const runtime::Executor& shard(size_t i) const { return *shards_[i]; }
 
+  // Merge-on-read: invokes fn(key, multiplicity) for every root-view
+  // entry of every shard (templated straight through ViewTable::ForEach,
+  // no type erasure). One group key may appear in several shards; callers
+  // merge by ring addition.
+  template <typename Fn>
+  void ForEachRoot(Fn&& fn) const {
+    for (const auto& shard : shards_) shard->root().ForEach(fn);
+  }
+
   // Sums of per-shard counters (reads are only safe between batches).
   runtime::Executor::Stats AggregateStats() const;
   void ResetStats();

@@ -64,6 +64,12 @@ void Database::AddTuple(Symbol relation, const std::vector<Value>& values,
   relations_[relation].Add(Tuple::FromRow(cols, values), m);
 }
 
+void Database::Reserve(Symbol relation, size_t additional) {
+  RINGDB_CHECK(catalog_.Has(relation));
+  Gmr& gmr = relations_[relation];
+  gmr.Reserve(gmr.SupportSize() + additional);
+}
+
 int64_t Database::TotalTuples() const {
   int64_t n = 0;
   for (const auto& [name, gmr] : relations_) {

@@ -75,6 +75,11 @@ class Database {
   // one step (m is the net multiplicity of the tuple within the batch).
   void AddTuple(Symbol relation, const std::vector<Value>& values, Numeric m);
 
+  // Pre-sizes a relation's gmr for `additional` more tuples; the batch
+  // path calls this once per delta block instead of growing tuple by
+  // tuple.
+  void Reserve(Symbol relation, size_t additional);
+
   void Insert(Symbol relation, std::vector<Value> values) {
     Apply(Update::Insert(relation, std::move(values)));
   }

@@ -55,6 +55,10 @@ class Gmr {
   size_t SupportSize() const { return support_.size(); }
   bool IsZero() const { return support_.empty(); }
 
+  // Pre-sizes the support table for at least `n` tuples (batch paths pass
+  // current size + delta entry count). Never shrinks.
+  void Reserve(size_t n) { support_.reserve(n); }
+
   // Sum of all multiplicities: the Sum(.) aggregate of AGCA applied to
   // this gmr, i.e. the image under the ring homomorphism A[T] -> A that
   // collapses every tuple to <>.

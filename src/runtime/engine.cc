@@ -77,16 +77,14 @@ Numeric Engine::ResultAt(const std::vector<Value>& group_values) const {
 
 ring::Gmr Engine::ResultGmr() const {
   ring::Gmr out;
-  for (size_t s = 0; s < sharded_->num_shards(); ++s) {
-    sharded_->shard(s).root().ForEach([&](const Key& key, Numeric m) {
-      std::vector<ring::Tuple::Field> fields;
-      fields.reserve(group_vars_.size());
-      for (size_t i = 0; i < group_vars_.size(); ++i) {
-        fields.emplace_back(group_vars_[i], key[root_key_order_[i]]);
-      }
-      out.Add(ring::Tuple::FromFields(std::move(fields)), m);
-    });
-  }
+  sharded_->ForEachRoot([&](KeyView key, Numeric m) {
+    std::vector<ring::Tuple::Field> fields;
+    fields.reserve(group_vars_.size());
+    for (size_t i = 0; i < group_vars_.size(); ++i) {
+      fields.emplace_back(group_vars_[i], key[root_key_order_[i]]);
+    }
+    out.Add(ring::Tuple::FromFields(std::move(fields)), m);
+  });
   return out;
 }
 

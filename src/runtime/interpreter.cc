@@ -244,6 +244,7 @@ Status Executor::ApplyDeltaBatch(Symbol relation,
       }
       RunLinearTriggerBatch(it->second, group);
       if (has_lazy_views_) {
+        base_db_.Reserve(relation, group.size());
         for (const Delta& d : group) {
           base_db_.AddTuple(relation, *d.values, d.multiplicity);
         }
@@ -363,7 +364,11 @@ void Executor::RunLoops(const Statement& stmt, const StatementPlan& plan,
   const LoopPlan& lp = plan.loops[loop_index];
   const ViewMap& driver = views_[static_cast<size_t>(loop.view_id)];
 
-  auto body = [&](const Key& key, Numeric) {
+  // The KeyView is only read before the recursion (bindings copy the
+  // values out), so writes to `driver` deeper in the loop nest — lazy
+  // slice initialization, self-loop maintenance — cannot invalidate it
+  // mid-use.
+  auto body = [&](KeyView key, Numeric) {
     // Bind this loop's variables from the enumerated key; positions that
     // repeat a variable within the same loop must agree.
     std::vector<Symbol> inserted_here;

@@ -1,0 +1,320 @@
+#include "runtime/view_table.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+namespace ringdb {
+namespace runtime {
+
+namespace {
+
+// Finds the live entry with this hash/key in the slot table; kNoEntry if
+// absent. Free function so both the const and mutating paths share it.
+template <typename Slots, typename Entries, typename KeyOf>
+uint32_t Probe(const Slots& slots, const Entries& entries, const KeyOf& key_of,
+               const Value* key, size_t n, uint64_t hash) {
+  if (slots.empty()) return UINT32_MAX;
+  const size_t mask = slots.size() - 1;
+  size_t s = hash & mask;
+  while (slots[s] != UINT32_MAX) {
+    const auto& e = entries[slots[s]];
+    if (e.hash == hash) {
+      const Value* ek = key_of(e);
+      bool eq = true;
+      for (size_t i = 0; i < n && eq; ++i) eq = ek[i] == key[i];
+      if (eq) return slots[s];
+    }
+    s = (s + 1) & mask;
+  }
+  return UINT32_MAX;
+}
+
+}  // namespace
+
+uint32_t ViewTable::FindEntryHashed(const Value* key, size_t n,
+                                    uint64_t hash) const {
+  return Probe(
+      slots_, entries_, [this](const Entry& e) { return EntryKey(e); }, key,
+      n, hash);
+}
+
+uint32_t ViewTable::FindEntry(const Value* key, size_t n) const {
+  return FindEntryHashed(key, n, HashValues(key, n));
+}
+
+// Clears a deferred erase: the entry at `id` counts as live again.
+void ViewTable::Unpend(uint32_t id) {
+  entries_[id].pending_erase = false;
+  pending_erases_.erase(
+      std::find(pending_erases_.begin(), pending_erases_.end(), id));
+}
+
+bool ViewTable::Contains(const Key& key) const {
+  const uint32_t id = FindEntry(key.data(), key.size());
+  return id != kNoEntry && !entries_[id].pending_erase;
+}
+
+void ViewTable::Add(const Key& key, Numeric delta) {
+  RINGDB_CHECK_EQ(key.size(), arity_);
+  if (delta.IsZero()) return;
+  if (iter_depth_ == 0 && !pending_erases_.empty()) ApplyPendingErases();
+  const uint64_t hash = HashValues(key.data(), key.size());
+  const uint32_t id = FindEntryHashed(key.data(), key.size(), hash);
+  if (id == kNoEntry) {
+    AppendEntry(key.data(), hash, delta);
+    return;
+  }
+  Entry& e = entries_[id];
+  e.value += delta;
+  if (e.pending_erase) {
+    // Resurrected before the deferred erase applied (delta is nonzero, so
+    // the sum left zero).
+    Unpend(id);
+    return;
+  }
+  if (e.value.IsZero() && !keep_zeros_) EraseEntry(id);
+}
+
+void ViewTable::EnsureEntry(const Key& key, Numeric value) {
+  RINGDB_CHECK_EQ(key.size(), arity_);
+  if (iter_depth_ == 0 && !pending_erases_.empty()) ApplyPendingErases();
+  const uint64_t hash = HashValues(key.data(), key.size());
+  const uint32_t id = FindEntryHashed(key.data(), key.size(), hash);
+  if (id != kNoEntry) {
+    // A pending-erase entry still owns its key; marking it live again
+    // with the requested value preserves EnsureEntry's contract.
+    if (entries_[id].pending_erase) {
+      entries_[id].value = value;
+      Unpend(id);
+    }
+    return;
+  }
+  AppendEntry(key.data(), hash, value);
+}
+
+void ViewTable::Reserve(size_t n) {
+  if (iter_depth_ == 0 && !pending_erases_.empty()) ApplyPendingErases();
+  entries_.reserve(n);
+  if (!inline_keys()) arena_.reserve(n * arity_);
+  GrowSlots(n);
+  for (Index& index : indexes_) index.rows.reserve(n);
+}
+
+int ViewTable::EnsureIndex(std::vector<size_t> positions) {
+  RINGDB_CHECK_EQ(iter_depth_, 0);
+  if (!pending_erases_.empty()) ApplyPendingErases();
+  for (size_t i = 1; i < positions.size(); ++i) {
+    RINGDB_CHECK_LT(positions[i - 1], positions[i]);
+  }
+  for (size_t p : positions) RINGDB_CHECK_LT(p, arity_);
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    if (indexes_[i].positions == positions) return static_cast<int>(i);
+  }
+  Index index;
+  index.positions = std::move(positions);
+  index.rows.reserve(entries_.size());
+  for (uint32_t id = 0; id < entries_.size(); ++id) {
+    index.rows[SubHash(index, EntryKey(entries_[id]))].push_back(id);
+  }
+  indexes_.push_back(std::move(index));
+  return static_cast<int>(indexes_.size() - 1);
+}
+
+uint32_t ViewTable::AppendEntry(const Value* key, uint64_t hash,
+                                Numeric value) {
+  RINGDB_CHECK_LT(entries_.size(), static_cast<size_t>(kNoEntry));
+  if (slots_.empty() || (entries_.size() + 1) * 4 > slots_.size() * 3) {
+    GrowSlots(entries_.size() + 1);
+  }
+  const uint32_t id = static_cast<uint32_t>(entries_.size());
+  Entry e;
+  e.hash = hash;
+  e.value = value;
+  if (inline_keys()) {
+    for (size_t i = 0; i < arity_; ++i) e.ikey[i] = key[i];
+  } else {
+    uint32_t block;
+    if (!free_blocks_.empty()) {
+      block = free_blocks_.back();
+      free_blocks_.pop_back();
+    } else {
+      block = static_cast<uint32_t>(arena_.size() / arity_);
+      arena_.resize(arena_.size() + arity_);
+    }
+    Value* dst = arena_.data() + static_cast<size_t>(block) * arity_;
+    for (size_t i = 0; i < arity_; ++i) dst[i] = key[i];
+    e.block = block;
+  }
+  entries_.push_back(std::move(e));
+  const size_t mask = slots_.size() - 1;
+  size_t s = hash & mask;
+  while (slots_[s] != kEmptySlot) s = (s + 1) & mask;
+  slots_[s] = id;
+  const Value* ek = EntryKey(entries_[id]);
+  for (Index& index : indexes_) {
+    index.rows[SubHash(index, ek)].push_back(id);
+  }
+  return id;
+}
+
+void ViewTable::EraseEntry(uint32_t id) {
+  if (iter_depth_ > 0) {
+    entries_[id].pending_erase = true;
+    pending_erases_.push_back(id);
+    return;
+  }
+  EraseEntryNow(id);
+}
+
+void ViewTable::ApplyPendingErases() {
+  // Descending id order keeps every deferred id valid: swap-erase only
+  // relocates the last (maximal) entry, which is either the id being
+  // erased or not deferred at all.
+  std::sort(pending_erases_.begin(), pending_erases_.end(),
+            std::greater<uint32_t>());
+  for (uint32_t id : pending_erases_) EraseEntryNow(id);
+  pending_erases_.clear();
+}
+
+void ViewTable::EraseEntryNow(uint32_t id) {
+  {
+    const Entry& e = entries_[id];
+    EraseSlotAt(SlotOf(id));
+    const Value* ek = EntryKey(e);
+    for (Index& index : indexes_) {
+      RemoveFromRow(&index, SubHash(index, ek), id);
+    }
+    if (!inline_keys()) {
+      // Clear the block so string payloads release before reuse.
+      Value* block = arena_.data() + static_cast<size_t>(e.block) * arity_;
+      for (size_t i = 0; i < arity_; ++i) block[i] = Value();
+      free_blocks_.push_back(e.block);
+    }
+  }
+  const uint32_t last = static_cast<uint32_t>(entries_.size()) - 1;
+  if (id != last) {
+    // Swap-move the last entry into the hole; its slot and index rows
+    // must point at the new id.
+    slots_[SlotOf(last)] = id;
+    const Value* lk = EntryKey(entries_[last]);
+    for (Index& index : indexes_) {
+      auto row = index.rows.find(SubHash(index, lk));
+      RINGDB_CHECK(row != index.rows.end());
+      for (uint32_t& rid : row->second) {
+        if (rid == last) {
+          rid = id;
+          break;
+        }
+      }
+    }
+    entries_[id] = std::move(entries_[last]);
+  }
+  entries_.pop_back();
+}
+
+void ViewTable::EraseSlotAt(size_t slot) {
+  // Tombstone-free backshift deletion: walk the probe chain after the
+  // hole and move back every entry whose home position reaches the hole.
+  const size_t mask = slots_.size() - 1;
+  size_t i = slot;
+  size_t j = slot;
+  while (true) {
+    j = (j + 1) & mask;
+    if (slots_[j] == kEmptySlot) break;
+    const size_t home = entries_[slots_[j]].hash & mask;
+    if (((j - home) & mask) >= ((j - i) & mask)) {
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+  slots_[i] = kEmptySlot;
+}
+
+size_t ViewTable::SlotOf(uint32_t id) const {
+  const size_t mask = slots_.size() - 1;
+  size_t s = entries_[id].hash & mask;
+  while (slots_[s] != id) s = (s + 1) & mask;
+  return s;
+}
+
+void ViewTable::RemoveFromRow(Index* index, uint64_t subhash, uint32_t id) {
+  auto it = index->rows.find(subhash);
+  RINGDB_CHECK(it != index->rows.end());
+  std::vector<uint32_t>& row = it->second;
+  for (uint32_t& rid : row) {
+    if (rid == id) {
+      rid = row.back();
+      row.pop_back();
+      break;
+    }
+  }
+  if (row.empty()) index->rows.erase(it);
+}
+
+void ViewTable::GrowSlots(size_t min_entries) {
+  size_t cap = slots_.empty() ? 16 : slots_.size();
+  while (min_entries * 4 > cap * 3) cap *= 2;
+  if (cap == slots_.size()) return;
+  slots_.assign(cap, kEmptySlot);
+  const size_t mask = cap - 1;
+  for (uint32_t id = 0; id < entries_.size(); ++id) {
+    size_t s = entries_[id].hash & mask;
+    while (slots_[s] != kEmptySlot) s = (s + 1) & mask;
+    slots_[s] = id;
+  }
+}
+
+size_t ViewTable::ApproxBytes() const {
+  size_t bytes = slots_.capacity() * sizeof(uint32_t) +
+                 entries_.capacity() * sizeof(Entry) +
+                 arena_.capacity() * sizeof(Value) +
+                 (free_blocks_.capacity() + pending_erases_.capacity()) *
+                     sizeof(uint32_t);
+  // Heap payloads behind string key values (SSO strings cost nothing).
+  for (const Entry& e : entries_) {
+    const Value* ek = EntryKey(e);
+    for (size_t i = 0; i < arity_; ++i) {
+      if (ek[i].is_string()) {
+        // Strings past the SSO buffer (15 chars in libstdc++/libc++)
+        // own a heap payload of capacity + NUL.
+        const std::string& s = ek[i].AsString();
+        if (s.capacity() > 15) bytes += s.capacity() + 1;
+      }
+    }
+  }
+  for (const Index& index : indexes_) {
+    bytes += index.positions.capacity() * sizeof(size_t);
+    bytes += index.rows.bucket_count() * sizeof(void*);
+    for (const auto& [subhash, row] : index.rows) {
+      // Node: subkey hash, id vector header, bucket chain + cached hash.
+      bytes += sizeof(uint64_t) + sizeof(std::vector<uint32_t>) +
+               2 * sizeof(void*);
+      bytes += row.capacity() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+std::string ViewTable::ToString() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (e.pending_erase) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << '[';
+    const Value* ek = EntryKey(e);
+    for (size_t i = 0; i < arity_; ++i) {
+      if (i) out << ", ";
+      out << ek[i].ToString();
+    }
+    out << "] -> " << e.value.ToString();
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace runtime
+}  // namespace ringdb

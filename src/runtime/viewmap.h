@@ -1,111 +1,17 @@
-// Materialized view storage: positional-key hash maps with default 0,
-// zero-erasure (so the support is always exactly the nonzero entries),
-// and incrementally maintained secondary indexes over key-position
-// subsets (used by trigger statements that loop over the entries matching
-// the update's bound key positions — this keeps per-update work
-// proportional to the number of *affected* values, per Theorem 7.1).
+// Historical name for the view store. The original ViewMap — nested
+// std::unordered_map entries plus map<Key, set<Key>> indexes — grew into
+// the flat open-addressing ViewTable (runtime/view_table.h); this alias
+// keeps the runtime-facing name stable.
 
 #ifndef RINGDB_RUNTIME_VIEWMAP_H_
 #define RINGDB_RUNTIME_VIEWMAP_H_
 
-#include <cstdint>
-#include <functional>
-#include <string>
-#include <unordered_map>
-#include <unordered_set>
-#include <vector>
-
-#include "util/check.h"
-#include "util/hash.h"
-#include "util/numeric.h"
-#include "util/value.h"
+#include "runtime/view_table.h"
 
 namespace ringdb {
 namespace runtime {
 
-using Key = std::vector<Value>;
-
-struct KeyHash {
-  size_t operator()(const Key& k) const noexcept {
-    size_t h = 0x9ae16a3b2f90404fULL;
-    for (const Value& v : k) h = HashCombine(h, v.Hash());
-    return h;
-  }
-};
-
-class ViewMap {
- public:
-  using Entries = std::unordered_map<Key, Numeric, KeyHash>;
-
-  explicit ViewMap(size_t arity) : arity_(arity) {}
-
-  size_t arity() const { return arity_; }
-  size_t size() const { return entries_.size(); }
-
-  // Pre-sizes the entry table for at least `n` entries (hint from the
-  // batch path: current size + delta-GMR size), avoiding rehash storms on
-  // large batches. Never shrinks.
-  void Reserve(size_t n) { entries_.reserve(n); }
-
-  // Lazily initialized views keep zero-valued entries: their entry set is
-  // the *initialized key domain* (paper footnote 2), which self-loop
-  // maintenance statements must enumerate even where the value is 0.
-  void SetKeepZeros() { keep_zeros_ = true; }
-  bool keep_zeros() const { return keep_zeros_; }
-
-  bool Contains(const Key& key) const { return entries_.contains(key); }
-
-  // Inserts an entry with the given value (even zero) if absent; used to
-  // mark a lazily initialized key. No-op when the key exists.
-  void EnsureEntry(const Key& key, Numeric value);
-
-  Numeric At(const Key& key) const {
-    auto it = entries_.find(key);
-    return it == entries_.end() ? kZero : it->second;
-  }
-
-  // entry[key] += delta, erasing on cancellation to zero; all registered
-  // indexes are maintained.
-  void Add(const Key& key, Numeric delta);
-
-  const Entries& entries() const { return entries_; }
-
-  // Registers (idempotently) an index over the given key positions;
-  // returns its id. Positions must be sorted and within arity.
-  int EnsureIndex(std::vector<size_t> positions);
-
-  // Invokes fn(key, multiplicity) for every entry whose values at the
-  // index's positions equal `subkey` (values in position order).
-  void ForEachMatching(int index_id, const Key& subkey,
-                       const std::function<void(const Key&, Numeric)>& fn)
-      const;
-
-  void ForEach(const std::function<void(const Key&, Numeric)>& fn) const;
-
-  // Estimated heap bytes (entries + index buckets), for the memory
-  // comparisons of the factorization experiment (E3).
-  size_t ApproxBytes() const;
-
-  std::string ToString() const;
-
- private:
-  struct Index {
-    std::vector<size_t> positions;
-    std::unordered_map<Key, std::unordered_set<Key, KeyHash>, KeyHash> rows;
-  };
-
-  Key SubKey(const Index& index, const Key& full) const {
-    Key sub;
-    sub.reserve(index.positions.size());
-    for (size_t p : index.positions) sub.push_back(full[p]);
-    return sub;
-  }
-
-  size_t arity_;
-  bool keep_zeros_ = false;
-  Entries entries_;
-  std::vector<Index> indexes_;
-};
+using ViewMap = ViewTable;
 
 }  // namespace runtime
 }  // namespace ringdb

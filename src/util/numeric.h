@@ -36,20 +36,37 @@ class Numeric {
   bool IsZero() const { return is_int_ ? i_ == 0 : d_ == 0.0; }
   bool IsOne() const { return is_int_ ? i_ == 1 : d_ == 1.0; }
 
+  // Integer arithmetic promotes to double instead of wrapping when the
+  // exact result does not fit int64 (signed overflow would be UB; streams
+  // of billions of updates reach INT64-scale sums in practice).
   friend Numeric operator+(Numeric a, Numeric b) {
-    if (a.is_int_ && b.is_int_) return Numeric(a.i_ + b.i_);
+    if (a.is_int_ && b.is_int_) {
+      int64_t r;
+      if (!__builtin_add_overflow(a.i_, b.i_, &r)) return Numeric(r);
+      return Numeric(static_cast<double>(a.i_) + static_cast<double>(b.i_));
+    }
     return Numeric(a.AsDouble() + b.AsDouble());
   }
   friend Numeric operator-(Numeric a, Numeric b) {
-    if (a.is_int_ && b.is_int_) return Numeric(a.i_ - b.i_);
+    if (a.is_int_ && b.is_int_) {
+      int64_t r;
+      if (!__builtin_sub_overflow(a.i_, b.i_, &r)) return Numeric(r);
+      return Numeric(static_cast<double>(a.i_) - static_cast<double>(b.i_));
+    }
     return Numeric(a.AsDouble() - b.AsDouble());
   }
   friend Numeric operator*(Numeric a, Numeric b) {
-    if (a.is_int_ && b.is_int_) return Numeric(a.i_ * b.i_);
+    if (a.is_int_ && b.is_int_) {
+      int64_t r;
+      if (!__builtin_mul_overflow(a.i_, b.i_, &r)) return Numeric(r);
+      return Numeric(static_cast<double>(a.i_) * static_cast<double>(b.i_));
+    }
     return Numeric(a.AsDouble() * b.AsDouble());
   }
   Numeric operator-() const {
-    return is_int_ ? Numeric(-i_) : Numeric(-d_);
+    if (!is_int_) return Numeric(-d_);
+    if (i_ == INT64_MIN) return Numeric(-static_cast<double>(i_));
+    return Numeric(-i_);
   }
   Numeric& operator+=(Numeric o) { return *this = *this + o; }
   Numeric& operator-=(Numeric o) { return *this = *this - o; }
@@ -73,12 +90,16 @@ class Numeric {
 
   size_t Hash() const {
     // Integral doubles hash like the corresponding int so that Numeric
-    // hashing is consistent with numeric equality.
+    // hashing is consistent with numeric equality. The int64-range check
+    // must precede the cast: casting a double at or beyond 2^63 (or NaN)
+    // is UB, and overflow promotion produces exactly such values.
     if (!is_int_) {
       double d = d_;
-      int64_t asint = static_cast<int64_t>(d);
-      if (static_cast<double>(asint) == d) {
-        return Mix64(static_cast<uint64_t>(asint));
+      if (d >= -9223372036854775808.0 && d < 9223372036854775808.0) {
+        int64_t asint = static_cast<int64_t>(d);
+        if (static_cast<double>(asint) == d) {
+          return Mix64(static_cast<uint64_t>(asint));
+        }
       }
       uint64_t bits;
       static_assert(sizeof(bits) == sizeof(d));

@@ -91,6 +91,9 @@ class Value {
         return Mix64(static_cast<uint64_t>(std::get<int64_t>(v_)));
       case Kind::kDouble: {
         double d = std::get<double>(v_);
+        // operator== compares payloads numerically, so -0.0 == 0.0; they
+        // must therefore hash alike (their bit patterns differ).
+        if (d == 0.0) d = 0.0;
         uint64_t bits;
         __builtin_memcpy(&bits, &d, sizeof(bits));
         return Mix64(bits ^ 0xd6e8feb86659fd93ULL);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/numeric.h"
 #include "util/value.h"
 
@@ -32,10 +34,60 @@ TEST(NumericTest, RingAxiomsSpotChecks) {
   EXPECT_EQ(a * kZero, kZero);
 }
 
+TEST(NumericTest, IntegerOverflowPromotesToDouble) {
+  // Integer +, -, * promote to double instead of wrapping (signed
+  // overflow would be UB); exact results stay integral.
+  const Numeric max(INT64_MAX), min(INT64_MIN);
+  Numeric sum = max + Numeric(1);
+  EXPECT_FALSE(sum.is_integer());
+  EXPECT_DOUBLE_EQ(sum.AsDouble(), static_cast<double>(INT64_MAX) + 1.0);
+  EXPECT_TRUE((max + Numeric(0)).is_integer());
+  EXPECT_EQ((max + Numeric(-1)).AsInt(), INT64_MAX - 1);
+
+  Numeric diff = min - Numeric(1);
+  EXPECT_FALSE(diff.is_integer());
+  EXPECT_DOUBLE_EQ(diff.AsDouble(), static_cast<double>(INT64_MIN) - 1.0);
+  EXPECT_TRUE((min - Numeric(0)).is_integer());
+  EXPECT_FALSE((max - min).is_integer());
+
+  Numeric prod = max * Numeric(2);
+  EXPECT_FALSE(prod.is_integer());
+  EXPECT_DOUBLE_EQ(prod.AsDouble(), static_cast<double>(INT64_MAX) * 2.0);
+  EXPECT_TRUE((max * kOne).is_integer());
+  EXPECT_FALSE((min * Numeric(-1)).is_integer());
+
+  // Unary negation of INT64_MIN has no int64 representation.
+  Numeric neg = -min;
+  EXPECT_FALSE(neg.is_integer());
+  EXPECT_DOUBLE_EQ(neg.AsDouble(), -static_cast<double>(INT64_MIN));
+  EXPECT_EQ((-max).AsInt(), -INT64_MAX);
+}
+
+TEST(NumericTest, OverflowBoundaryAccumulation) {
+  // A running sum that crosses the boundary keeps a usable (double)
+  // value near 2^63 rather than wrapping negative.
+  Numeric acc(INT64_MAX - 2);
+  for (int i = 0; i < 5; ++i) acc += kOne;
+  EXPECT_FALSE(acc.is_integer());
+  EXPECT_GE(acc, Numeric(INT64_MAX));
+  EXPECT_GT(acc, kZero);
+}
+
 TEST(NumericTest, CrossKindEqualityAndHash) {
   EXPECT_EQ(Numeric(3), Numeric(3.0));
   EXPECT_EQ(Numeric(3).Hash(), Numeric(3.0).Hash());
   EXPECT_NE(Numeric(3), Numeric(3.5));
+}
+
+TEST(NumericTest, HashOfDoublesBeyondInt64Range) {
+  // Values the overflow promotion produces (>= 2^63) must hash without
+  // the float-to-int cast UB (the release-ubsan CI job aborts on it).
+  Numeric promoted = Numeric(INT64_MAX) + kOne;  // 2^63 as a double
+  EXPECT_EQ(promoted.Hash(), Numeric(9223372036854775808.0).Hash());
+  EXPECT_EQ((promoted * promoted).Hash(), (promoted * promoted).Hash());
+  Numeric nan(std::numeric_limits<double>::quiet_NaN());
+  (void)nan.Hash();  // just must be defined
+  EXPECT_EQ(Numeric(-3.0).Hash(), Numeric(-3).Hash());
 }
 
 TEST(NumericTest, Ordering) {
@@ -55,6 +107,14 @@ TEST(ValueTest, KindSensitiveEquality) {
   EXPECT_NE(Value(3), Value(3.0));
   EXPECT_NE(Value(3), Value("3"));
   EXPECT_EQ(Value("abc"), Value(std::string("abc")));
+}
+
+TEST(ValueTest, HashConsistentWithEqualityForSignedZero) {
+  // -0.0 == 0.0 under operator==, so the hashes must agree (they are
+  // distinct bit patterns; unordered containers break silently if the
+  // hash/equality contract does not hold).
+  EXPECT_EQ(Value(-0.0), Value(0.0));
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
 }
 
 TEST(ValueTest, ToNumeric) {

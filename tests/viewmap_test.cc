@@ -1,9 +1,15 @@
-// ViewMap: default-zero lookups, cancellation erasure, keep-zeros mode
-// (lazy domains), and incrementally maintained partial-key indexes.
+// ViewTable (runtime/view_table.h): default-zero lookups, cancellation
+// erasure, keep-zeros mode (lazy domains), incrementally maintained
+// partial-key slot-id indexes, deferred erasure under iteration, and the
+// hash/equality contract of Value keys.
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "runtime/viewmap.h"
 #include "util/random.h"
@@ -29,6 +35,7 @@ TEST(ViewMapTest, CancellationErasesEntry) {
   v.Add({Value(7)}, Numeric(-4));
   EXPECT_EQ(v.size(), 0u);
   EXPECT_EQ(v.At({Value(7)}), kZero);
+  EXPECT_FALSE(v.Contains({Value(7)}));
 }
 
 TEST(ViewMapTest, KeepZerosRetainsInitializedDomain) {
@@ -56,6 +63,21 @@ TEST(ViewMapTest, ZeroDeltaIsNoop) {
   EXPECT_EQ(v.size(), 0u);
 }
 
+// Value::Hash regression: -0.0 and 0.0 compare equal, so they must land
+// on one entry (the old hash split them, silently breaking every Key
+// table's hash/equality invariant).
+TEST(ViewMapTest, NegativeZeroAndZeroShareOneEntry) {
+  ASSERT_EQ(Value(-0.0), Value(0.0));
+  ASSERT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+  ViewMap v(1);
+  v.Add({Value(0.0)}, Numeric(2));
+  v.Add({Value(-0.0)}, Numeric(3));
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.At({Value(-0.0)}), Numeric(5));
+  v.Add({Value(0.0)}, Numeric(-5));  // cancels across both spellings
+  EXPECT_EQ(v.size(), 0u);
+}
+
 TEST(ViewMapTest, IndexFindsMatchingEntries) {
   ViewMap v(2);
   int idx = v.EnsureIndex({1});
@@ -63,7 +85,7 @@ TEST(ViewMapTest, IndexFindsMatchingEntries) {
   v.Add({Value(2), Value(10)}, kOne);
   v.Add({Value(3), Value(20)}, kOne);
   std::set<int64_t> firsts;
-  v.ForEachMatching(idx, {Value(10)}, [&](const Key& k, Numeric) {
+  v.ForEachMatching(idx, {Value(10)}, [&](KeyView k, Numeric) {
     firsts.insert(k[0].AsInt());
   });
   EXPECT_EQ(firsts, (std::set<int64_t>{1, 2}));
@@ -75,8 +97,7 @@ TEST(ViewMapTest, IndexBuiltOverExistingEntries) {
   v.Add({Value(2), Value(20)}, kOne);
   int idx = v.EnsureIndex({1});  // built after the fact
   int count = 0;
-  v.ForEachMatching(idx, {Value(20)},
-                    [&](const Key&, Numeric) { ++count; });
+  v.ForEachMatching(idx, {Value(20)}, [&](KeyView, Numeric) { ++count; });
   EXPECT_EQ(count, 1);
 }
 
@@ -86,12 +107,30 @@ TEST(ViewMapTest, IndexMaintainedAcrossErasure) {
   v.Add({Value(1), Value(10)}, Numeric(2));
   v.Add({Value(1), Value(10)}, Numeric(-2));  // cancels, erased
   int count = 0;
-  v.ForEachMatching(idx, {Value(1)}, [&](const Key&, Numeric) { ++count; });
+  v.ForEachMatching(idx, {Value(1)}, [&](KeyView, Numeric) { ++count; });
   EXPECT_EQ(count, 0);
   // Re-adding resurrects the index row.
   v.Add({Value(1), Value(10)}, kOne);
-  v.ForEachMatching(idx, {Value(1)}, [&](const Key&, Numeric) { ++count; });
+  v.ForEachMatching(idx, {Value(1)}, [&](KeyView, Numeric) { ++count; });
   EXPECT_EQ(count, 1);
+}
+
+// Zero-cancellation in a keep_zeros view must keep the entry *and* its
+// index row (the initialized domain is what self-loop statements
+// enumerate), reported with multiplicity 0.
+TEST(ViewMapTest, KeepZerosIndexRetainsCancelledEntries) {
+  ViewMap v(2);
+  v.SetKeepZeros();
+  int idx = v.EnsureIndex({0});
+  v.Add({Value(1), Value(10)}, Numeric(2));
+  v.Add({Value(1), Value(11)}, Numeric(5));
+  v.Add({Value(1), Value(10)}, Numeric(-2));  // cancels to zero, kept
+  std::set<std::pair<int64_t, int64_t>> seen;
+  v.ForEachMatching(idx, {Value(1)}, [&](KeyView k, Numeric m) {
+    seen.insert({k[1].AsInt(), m.is_integer() ? m.AsInt() : -999});
+  });
+  EXPECT_EQ(seen, (std::set<std::pair<int64_t, int64_t>>{{10, 0}, {11, 5}}));
+  EXPECT_EQ(v.size(), 2u);
 }
 
 TEST(ViewMapTest, EnsureIndexDeduplicates) {
@@ -108,12 +147,14 @@ TEST(ViewMapTest, MultiPositionIndex) {
   v.Add({Value(1), Value("z"), Value(4)}, kOne);
   int count = 0;
   v.ForEachMatching(idx, {Value(1), Value(3)},
-                    [&](const Key&, Numeric) { ++count; });
+                    [&](KeyView, Numeric) { ++count; });
   EXPECT_EQ(count, 2);
 }
 
 TEST(ViewMapTest, RandomizedIndexConsistency) {
-  // Index probes must always agree with a full scan.
+  // Index probes must always agree with a full scan, across insertions,
+  // accumulation, and cancellation erasure (which swap-moves entries and
+  // patches slot/index ids).
   ViewMap v(2);
   int idx = v.EnsureIndex({1});
   Rng rng(99);
@@ -123,10 +164,10 @@ TEST(ViewMapTest, RandomizedIndexConsistency) {
   }
   for (int64_t probe = 0; probe <= 10; ++probe) {
     std::set<std::pair<int64_t, int64_t>> via_index, via_scan;
-    v.ForEachMatching(idx, {Value(probe)}, [&](const Key& k, Numeric) {
+    v.ForEachMatching(idx, {Value(probe)}, [&](KeyView k, Numeric) {
       via_index.insert({k[0].AsInt(), k[1].AsInt()});
     });
-    v.ForEach([&](const Key& k, Numeric) {
+    v.ForEach([&](KeyView k, Numeric) {
       if (k[1] == Value(probe)) {
         via_scan.insert({k[0].AsInt(), k[1].AsInt()});
       }
@@ -135,11 +176,179 @@ TEST(ViewMapTest, RandomizedIndexConsistency) {
   }
 }
 
+TEST(ViewMapTest, RandomizedAgainstReferenceMap) {
+  // Full behavioral check against a simple reference: At/size after a
+  // mixed stream of adds and cancellations, for inline (arity 2) and
+  // arena (arity 3) key storage.
+  for (size_t arity : {size_t{2}, size_t{3}}) {
+    ViewMap v(arity);
+    std::map<std::vector<int64_t>, int64_t> ref;
+    Rng rng(7 + arity);
+    for (int i = 0; i < 20000; ++i) {
+      std::vector<int64_t> rk;
+      Key k;
+      for (size_t j = 0; j < arity; ++j) {
+        int64_t x = rng.Range(0, 12);
+        rk.push_back(x);
+        k.push_back(Value(x));
+      }
+      int64_t d = rng.Range(-2, 2);
+      v.Add(k, Numeric(d));
+      ref[rk] += d;
+      if (ref[rk] == 0) ref.erase(rk);
+    }
+    EXPECT_EQ(v.size(), ref.size());
+    for (const auto& [rk, m] : ref) {
+      Key k;
+      for (int64_t x : rk) k.push_back(Value(x));
+      EXPECT_EQ(v.At(k), Numeric(m));
+    }
+    size_t scanned = 0;
+    v.ForEach([&](KeyView k, Numeric m) {
+      ++scanned;
+      std::vector<int64_t> rk;
+      for (size_t j = 0; j < arity; ++j) rk.push_back(k[j].AsInt());
+      auto it = ref.find(rk);
+      ASSERT_NE(it, ref.end());
+      EXPECT_EQ(Numeric(it->second), m);
+    });
+    EXPECT_EQ(scanned, ref.size());
+  }
+}
+
+TEST(ViewMapTest, ArenaKeysSurviveChurnAndReuse) {
+  // Arity > 2 keys live in the per-view arena; erased blocks must be
+  // reused without corrupting survivors (string payloads included).
+  ViewMap v(4);
+  int idx = v.EnsureIndex({0, 3});
+  auto key = [](int64_t a, const std::string& s, int64_t c, int64_t d) {
+    return Key{Value(a), Value(s), Value(c), Value(d)};
+  };
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      v.Add(key(i % 4, "payload-string-well-past-sso-" + std::to_string(i),
+                round, i % 8),
+            kOne);
+    }
+    for (int i = 0; i < 40; i += 2) {
+      v.Add(key(i % 4, "payload-string-well-past-sso-" + std::to_string(i),
+                round, i % 8),
+            Numeric(-1));  // cancel half, freeing arena blocks
+    }
+  }
+  size_t matches = 0;
+  v.ForEachMatching(idx, {Value(1), Value(1)}, [&](KeyView k, Numeric m) {
+    EXPECT_EQ(k[0].AsInt(), 1);
+    EXPECT_EQ(k[3].AsInt(), 1);
+    EXPECT_TRUE(k[1].is_string());
+    EXPECT_EQ(m, kOne);
+    ++matches;
+  });
+  EXPECT_EQ(matches, 5u * 50u);  // odd i with i%4==1, i%8==1: 1,9,17,25,33
+}
+
+// Mutation-safety: a callback may write to the very view it is
+// iterating (self-loop statements do). Inserts are not visited
+// (snapshot), cancellations are deferred and skipped, and the table is
+// consistent afterwards.
+TEST(ViewMapTest, ForEachMatchingSurvivesWritesToSameView) {
+  ViewMap v(2);
+  int idx = v.EnsureIndex({1});
+  for (int i = 0; i < 64; ++i) {
+    v.Add({Value(i), Value(i % 4)}, Numeric(i + 1));
+  }
+  size_t visited = 0;
+  v.ForEachMatching(idx, {Value(1)}, [&](KeyView k, Numeric m) {
+    ++visited;
+    const int64_t first = k[0].AsInt();  // copy out before mutating
+    v.Add({Value(first), Value(1)}, -m);       // cancel self
+    v.Add({Value(first + 1000), Value(1)}, kOne);  // matching insert
+    EXPECT_EQ(v.At({Value(first + 1000), Value(1)}), kOne);
+    EXPECT_FALSE(v.Contains({Value(first), Value(1)}));
+  });
+  EXPECT_EQ(visited, 16u);  // snapshot: the 1000+ inserts not visited
+  // The 16 matching originals cancelled, 48 others + 16 inserts remain.
+  EXPECT_EQ(v.size(), 64u);
+  size_t remaining = 0;
+  v.ForEachMatching(idx, {Value(1)}, [&](KeyView k, Numeric m) {
+    EXPECT_GE(k[0].AsInt(), 1000);
+    EXPECT_EQ(m, kOne);
+    ++remaining;
+  });
+  EXPECT_EQ(remaining, 16u);
+}
+
+TEST(ViewMapTest, NestedForEachWithDeferredErase) {
+  ViewMap v(1);
+  for (int i = 0; i < 8; ++i) v.Add({Value(i)}, kOne);
+  size_t outer = 0;
+  size_t cancelled = 0;
+  v.ForEach([&](KeyView k, Numeric m) {
+    ++outer;
+    Key key{k[0]};
+    v.Add(key, -m);  // deferred erase under iteration
+    ++cancelled;
+    // An erased-then-readded key resurrects in place.
+    if (key[0].AsInt() == 3) {
+      v.Add(key, Numeric(7));
+      EXPECT_EQ(v.At(key), Numeric(7));
+      --cancelled;
+    }
+    // Nested scans see exactly the live entries.
+    size_t inner = 0;
+    v.ForEach([&](KeyView, Numeric) { ++inner; });
+    EXPECT_EQ(inner, 8u - cancelled);
+    EXPECT_EQ(v.size(), 8u - cancelled);
+  });
+  EXPECT_EQ(outer, 8u);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.At({Value(3)}), Numeric(7));
+  EXPECT_FALSE(v.Contains({Value(0)}));
+}
+
+TEST(ViewMapTest, ReserveKeepsContents) {
+  ViewMap v(2);
+  int idx = v.EnsureIndex({0});
+  for (int i = 0; i < 100; ++i) v.Add({Value(i % 10), Value(i)}, kOne);
+  v.Reserve(100000);
+  EXPECT_EQ(v.size(), 100u);
+  size_t count = 0;
+  v.ForEachMatching(idx, {Value(3)}, [&](KeyView, Numeric) { ++count; });
+  EXPECT_EQ(count, 10u);
+}
+
 TEST(ViewMapTest, ApproxBytesGrowsWithEntries) {
   ViewMap small(1), large(1);
   for (int i = 0; i < 10; ++i) small.Add({Value(i)}, kOne);
   for (int i = 0; i < 1000; ++i) large.Add({Value(i)}, kOne);
   EXPECT_GT(large.ApproxBytes(), small.ApproxBytes());
+}
+
+TEST(ViewMapTest, ApproxBytesCountsStringPayloadAndIndexes) {
+  // Long string keys own heap payloads the estimate must include (the
+  // old estimate skipped them, skewing the E3 memory comparison).
+  ViewMap ints(1), strings(1);
+  for (int i = 0; i < 500; ++i) {
+    ints.Add({Value(i)}, kOne);
+    strings.Add({Value("quite-a-long-key-string-number-" +
+                       std::to_string(i))},
+                kOne);
+  }
+  EXPECT_GT(strings.ApproxBytes(), ints.ApproxBytes() + 500 * 16);
+  // Registering an index adds accounted storage.
+  ViewMap indexed(2), plain(2);
+  indexed.EnsureIndex({0});
+  for (int i = 0; i < 500; ++i) {
+    indexed.Add({Value(i % 7), Value(i)}, kOne);
+    plain.Add({Value(i % 7), Value(i)}, kOne);
+  }
+  EXPECT_GT(indexed.ApproxBytes(), plain.ApproxBytes());
+}
+
+TEST(ViewMapTest, ToStringRendersEntries) {
+  ViewMap v(2);
+  v.Add({Value(1), Value("a")}, Numeric(3));
+  EXPECT_EQ(v.ToString(), "{[1, a] -> 3}");
 }
 
 }  // namespace
