@@ -6,8 +6,11 @@
 // throughput, growing with stream length (classical per-update cost
 // scales with matching-group sizes).
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -29,6 +32,75 @@ struct Config {
   double zipf_s;
   double delete_fraction;
 };
+
+// Command line: --updates N (sweep event budget), --json PATH (snapshot
+// output, empty disables), --label STR (snapshot label), --sweep-only
+// (skip the classical-IVM comparison sections; CI smoke mode). The
+// default output name is distinct from the committed trajectory file
+// BENCH_tpch_stream.json (same schema) so an argless run never clobbers
+// the recorded per-PR history; merge snapshots into it deliberately.
+struct Options {
+  int updates = 200000;
+  std::string json_path = "BENCH_tpch_stream.dev.json";
+  std::string label = "dev";
+  bool sweep_only = false;
+};
+
+// One measured (stream, engine-config) cell of the sweep, serialized to
+// BENCH_tpch_stream.json so the repo tracks a perf trajectory across PRs.
+struct SweepResult {
+  std::string stream;
+  std::string config;
+  size_t batch_size;
+  size_t shards;
+  double upd_per_s;
+  size_t approx_bytes;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void WriteSnapshotJson(const Options& opt,
+                       const std::vector<SweepResult>& results) {
+  if (opt.json_path.empty()) return;
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"tpch_stream\",\n  \"snapshots\": [\n");
+  std::fprintf(f, "    {\n      \"label\": \"%s\",\n      \"updates\": %d,\n",
+               JsonEscape(opt.label).c_str(), opt.updates);
+  std::fprintf(f, "      \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SweepResult& r = results[i];
+    std::fprintf(f,
+                 "        {\"stream\": \"%s\", \"config\": \"%s\", "
+                 "\"batch_size\": %zu, \"shards\": %zu, "
+                 "\"upd_per_s\": %.0f, \"approx_bytes\": %zu}%s\n",
+                 JsonEscape(r.stream).c_str(), JsonEscape(r.config).c_str(),
+                 r.batch_size, r.shards, r.upd_per_s, r.approx_bytes,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "      ]\n    }\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu results)\n", opt.json_path.c_str(),
+              results.size());
+}
 
 double Throughput(const std::function<void(const ringdb::ring::Update&)>&
                       apply,
@@ -151,7 +223,7 @@ void NationCountQuery() {
 // scratch and hash-table reservations amortize); sharding partitions the
 // view hierarchy by the join key (okey) and applies sub-batches on a
 // persistent worker pool.
-void BatchShardSweep() {
+void BatchShardSweep(const Options& opt) {
   std::printf("\nbatched + sharded execution sweep (revenue query)\n\n");
   ringdb::ring::Catalog catalog = ringdb::workload::OrdersSchema();
   auto t = ringdb::sql::TranslateSql(
@@ -179,7 +251,8 @@ void BatchShardSweep() {
       {"uniform, 15% deletes", 0.0, 0.15},
       {"zipf(1.1), 15% deletes", 1.1, 0.15},
   };
-  const int kUpdates = 200000;
+  const int kUpdates = opt.updates;
+  std::vector<SweepResult> sweep_results;
 
   for (const Config& stream_config : stream_configs) {
     std::printf("stream: %s, %d updates\n", stream_config.name.c_str(),
@@ -223,23 +296,57 @@ void BatchShardSweep() {
                            .count();
       double tput = kUpdates / elapsed;
       if (baseline == 0.0) baseline = tput;
+      const size_t bytes = engine->sharded().ApproxBytes();
+      sweep_results.push_back(SweepResult{stream_config.name, config.name,
+                                          config.batch_size,
+                                          engine->num_shards(), tput, bytes});
       char a[32], b[32], c[32], d[32];
       std::snprintf(a, sizeof(a), "%zu", engine->num_shards());
       std::snprintf(b, sizeof(b), "%.0f", tput);
       std::snprintf(c, sizeof(c), "%.2fx", tput / baseline);
-      std::snprintf(d, sizeof(d), "%.1f",
-                    engine->sharded().ApproxBytes() / (1024.0 * 1024.0));
+      std::snprintf(d, sizeof(d), "%.1f", bytes / (1024.0 * 1024.0));
       table.AddRow({config.name, a, b, c, d});
     }
     std::printf("%s\n", table.Render().c_str());
   }
+  WriteSnapshotJson(opt, sweep_results);
 }
 
 }  // namespace
 
-int main() {
-  RevenueQuery();
-  NationCountQuery();
-  BatchShardSweep();
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--updates") == 0 && i + 1 < argc) {
+      errno = 0;
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || errno == ERANGE || v <= 0 ||
+          v > 1000000000L) {
+        std::fprintf(stderr,
+                     "--updates wants a positive integer <= 1e9, got %s\n",
+                     argv[i]);
+        return 2;
+      }
+      opt.updates = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      opt.label = argv[++i];
+    } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
+      opt.sweep_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--updates N] [--json PATH] [--label STR] "
+                   "[--sweep-only]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!opt.sweep_only) {
+    RevenueQuery();
+    NationCountQuery();
+  }
+  BatchShardSweep(opt);
   return 0;
 }

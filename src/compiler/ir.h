@@ -34,6 +34,10 @@
 namespace ringdb {
 namespace compiler {
 
+namespace lower {
+struct LoweredProgram;  // compiler/lower.h
+}  // namespace lower
+
 // A key-slot reference resolvable at trigger-execution time.
 class KeyRef {
  public:
@@ -188,6 +192,11 @@ struct TriggerProgram {
   std::vector<ViewDef> views;  // views[root_view] is the query result
   int root_view = 0;
   std::vector<Trigger> triggers;  // one per (relation, sign)
+  // Register-based bytecode form of every statement (compiler/lower.h),
+  // immutable and shared by all executors built from this program. The
+  // executor lowers on demand when absent; multi-shard construction
+  // lowers once up front.
+  std::shared_ptr<const lower::LoweredProgram> lowered;
 
   const ViewDef& view(int id) const { return views[static_cast<size_t>(id)]; }
 

@@ -1,0 +1,480 @@
+#include "compiler/lower.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace compiler {
+namespace lower {
+
+namespace {
+
+bool SameRef(const KeyRef& a, const KeyRef& b) {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case KeyRef::Kind::kParam:
+      return a.param_index() == b.param_index();
+    case KeyRef::Kind::kLoopVar:
+      return a.loop_var() == b.loop_var();
+    case KeyRef::Kind::kConst:
+      return a.constant() == b.constant();
+  }
+  return false;
+}
+
+bool SamePattern(const std::vector<KeyRef>& a, const std::vector<KeyRef>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!SameRef(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+void CollectParams(const TExpr& e, std::vector<size_t>* out) {
+  if (e.kind() == TExpr::Kind::kParam) out->push_back(e.param_index());
+  if (e.kind() == TExpr::Kind::kViewLookup) {
+    for (const KeyRef& ref : e.keys()) {
+      if (ref.kind() == KeyRef::Kind::kParam) out->push_back(ref.param_index());
+    }
+  }
+  for (const auto& c : e.children()) CollectParams(*c, out);
+}
+
+void SortUnique(std::vector<size_t>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+// Registers (idempotently) the index requirement and returns the id
+// ViewTable::EnsureIndex will assign when the runtime replays the
+// registrations in order.
+int IndexIdFor(LoweredProgram* lp, int view_id, std::vector<size_t> positions) {
+  auto& sets = lp->view_indexes[static_cast<size_t>(view_id)].position_sets;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (sets[i] == positions) return static_cast<int>(i);
+  }
+  sets.push_back(std::move(positions));
+  return static_cast<int>(sets.size() - 1);
+}
+
+class StmtLowerer {
+ public:
+  StmtLowerer(const TriggerProgram& program, const Trigger& trigger,
+              const Statement& stmt, LoweredProgram* lp)
+      : program_(program), trigger_(trigger), stmt_(stmt), lp_(lp) {}
+
+  StmtProgram Run() {
+    LowerLoops();
+    LowerTarget();
+    out_.rhs = LowerRhs(*stmt_.rhs);
+    LowerGrouping();
+    out_.frame_size = next_slot_;
+    return std::move(out_);
+  }
+
+ private:
+  static uint16_t U16(size_t v) {
+    RINGDB_CHECK_LT(v, size_t{1} << 16);
+    return static_cast<uint16_t>(v);
+  }
+
+  uint16_t ConstIdx(const Value& v) {
+    for (size_t i = 0; i < out_.const_pool.size(); ++i) {
+      if (out_.const_pool[i] == v) return U16(i);
+    }
+    out_.const_pool.push_back(v);
+    return U16(out_.const_pool.size() - 1);
+  }
+
+  // The reference must already be resolvable: loop variables are bound by
+  // the time anything that uses this template runs (loops lower first).
+  SlotRef RefFor(const KeyRef& ref) {
+    SlotRef r;
+    switch (ref.kind()) {
+      case KeyRef::Kind::kParam:
+        r.source = SlotRef::Source::kParam;
+        r.index = U16(ref.param_index());
+        return r;
+      case KeyRef::Kind::kConst:
+        r.source = SlotRef::Source::kConst;
+        r.index = ConstIdx(ref.constant());
+        return r;
+      case KeyRef::Kind::kLoopVar: {
+        auto it = slot_.find(ref.loop_var());
+        RINGDB_CHECK(it != slot_.end());
+        r.source = SlotRef::Source::kFrame;
+        r.index = it->second;
+        return r;
+      }
+    }
+    RINGDB_CHECK(false);
+    return r;
+  }
+
+  KeyTemplate Template(const std::vector<SlotRef>& refs) {
+    KeyTemplate t;
+    t.first = static_cast<uint32_t>(out_.slot_refs.size());
+    t.size = U16(refs.size());
+    out_.slot_refs.insert(out_.slot_refs.end(), refs.begin(), refs.end());
+    return t;
+  }
+
+  // Mirrors the tree-walking executor's LoopPlan classification: a key
+  // position is *bound* (part of the index probe subkey) when it is a
+  // param, a constant, or a variable bound by an earlier loop; otherwise
+  // it binds (first occurrence) or filters (repeat within this loop).
+  void LowerLoops() {
+    for (const LoopSpec& loop : stmt_.loops) {
+      LoopProgram lpgm;
+      lpgm.view_id = loop.view_id;
+      const ViewDef& driver = program_.view(loop.view_id);
+      // Variables bound before this loop started (slot_ grows as this
+      // loop allocates, so snapshot the boundary).
+      std::unordered_map<Symbol, uint16_t> bound_before = slot_;
+      std::vector<size_t> bound_positions;
+      std::vector<size_t> binding_positions;
+      std::vector<SlotRef> probe_refs;
+      for (size_t pos = 0; pos < loop.pattern.size(); ++pos) {
+        const KeyRef& ref = loop.pattern[pos];
+        if (ref.kind() != KeyRef::Kind::kLoopVar ||
+            bound_before.contains(ref.loop_var())) {
+          bound_positions.push_back(pos);
+          probe_refs.push_back(RefFor(ref));
+          continue;
+        }
+        binding_positions.push_back(pos);
+        auto it = slot_.find(ref.loop_var());
+        if (it != slot_.end()) {
+          // Repeat within this loop: positions must agree at run time.
+          lpgm.binds.push_back(LoopBind{U16(pos), it->second, true});
+        } else {
+          uint16_t s = next_slot_++;
+          slot_.emplace(ref.loop_var(), s);
+          lpgm.binds.push_back(LoopBind{U16(pos), s, false});
+        }
+      }
+      if (driver.lazy_init) {
+        // Case B (slice-domain loop): the loop binds exactly the slice
+        // positions — enumerate initialized slice subkeys. Case A: all
+        // slice positions are bound — materialize the probed slice, then
+        // take the regular index path.
+        if (binding_positions == driver.slice_positions) {
+          lpgm.slice_domain = true;
+          // binds[i].pos currently indexes the full key at
+          // slice_positions[i]; the slice subkey is exactly those
+          // positions in order, so rebase onto subkey indices.
+          for (size_t i = 0; i < lpgm.binds.size(); ++i) {
+            RINGDB_CHECK_EQ(lpgm.binds[i].pos, driver.slice_positions[i]);
+            lpgm.binds[i].pos = U16(i);
+          }
+        } else {
+          lpgm.lazy_driver = true;
+          std::vector<SlotRef> slice_refs;
+          for (size_t p : driver.slice_positions) {
+            RINGDB_CHECK(std::find(bound_positions.begin(),
+                                   bound_positions.end(),
+                                   p) != bound_positions.end());
+            slice_refs.push_back(RefFor(loop.pattern[p]));
+          }
+          lpgm.lazy_slice = Template(slice_refs);
+        }
+      }
+      if (!lpgm.slice_domain && !bound_positions.empty()) {
+        lpgm.index_id =
+            IndexIdFor(lp_, loop.view_id, std::move(bound_positions));
+        lpgm.probe = Template(probe_refs);
+      }
+      out_.loops.push_back(std::move(lpgm));
+    }
+  }
+
+  void LowerTarget() {
+    out_.target_view = stmt_.target_view;
+    std::vector<SlotRef> refs;
+    refs.reserve(stmt_.target_key.size());
+    for (const KeyRef& ref : stmt_.target_key) refs.push_back(RefFor(ref));
+    out_.target_key = Template(refs);
+    const ViewDef& def = program_.view(stmt_.target_view);
+    out_.target_lazy = def.lazy_init;
+    for (size_t p : def.slice_positions) {
+      out_.target_slice_positions.push_back(U16(p));
+    }
+  }
+
+  void Grow(RhsProgram* p, uint32_t* depth) {
+    ++*depth;
+    p->max_stack = std::max(p->max_stack, *depth);
+  }
+
+  // A view lookup whose key pattern is identical to a (non-slice-domain)
+  // loop driver's pattern always probes the entry that loop is currently
+  // enumerating: the probe subkey matched the bound positions and the
+  // binding positions were just copied out of the entry itself. Forward
+  // the enumerated multiplicity instead of re-probing. (Slice-domain
+  // loops enumerate slice subkeys, not entries, so they never forward.)
+  int ForwardableLoop(const TExpr& e) const {
+    for (size_t i = 0; i < stmt_.loops.size(); ++i) {
+      if (out_.loops[i].slice_domain) continue;
+      if (stmt_.loops[i].view_id == e.view_id() &&
+          SamePattern(stmt_.loops[i].pattern, e.keys())) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  void EmitExpr(const TExpr& e, RhsProgram* p, uint32_t* depth) {
+    switch (e.kind()) {
+      case TExpr::Kind::kConst:
+        p->ops.push_back({OpCode::kLoadConst, 0, ConstIdx(e.constant())});
+        Grow(p, depth);
+        return;
+      case TExpr::Kind::kParam:
+        p->ops.push_back({OpCode::kLoadParam, 0, U16(e.param_index())});
+        Grow(p, depth);
+        return;
+      case TExpr::Kind::kLoopVar: {
+        auto it = slot_.find(e.loop_var());
+        RINGDB_CHECK(it != slot_.end());
+        p->ops.push_back({OpCode::kLoadFrame, 0, it->second});
+        Grow(p, depth);
+        return;
+      }
+      case TExpr::Kind::kViewLookup: {
+        int fwd = ForwardableLoop(e);
+        if (fwd >= 0) {
+          p->ops.push_back({OpCode::kLoadLoopValue, 0, U16(fwd)});
+        } else {
+          ProbePlan plan;
+          plan.view_id = e.view_id();
+          std::vector<SlotRef> refs;
+          refs.reserve(e.keys().size());
+          for (const KeyRef& ref : e.keys()) refs.push_back(RefFor(ref));
+          plan.key = Template(refs);
+          const ViewDef& def = program_.view(e.view_id());
+          plan.lazy = def.lazy_init;
+          for (size_t sp : def.slice_positions) {
+            plan.slice_positions.push_back(U16(sp));
+          }
+          out_.probes.push_back(std::move(plan));
+          p->ops.push_back(
+              {OpCode::kProbeView, 0, U16(out_.probes.size() - 1)});
+        }
+        Grow(p, depth);
+        return;
+      }
+      case TExpr::Kind::kAdd:
+      case TExpr::Kind::kMul: {
+        RINGDB_CHECK(!e.children().empty());
+        for (const TExprPtr& c : e.children()) EmitExpr(*c, p, depth);
+        p->ops.push_back({e.kind() == TExpr::Kind::kAdd ? OpCode::kAdd
+                                                        : OpCode::kMul,
+                          0, U16(e.children().size())});
+        *depth -= static_cast<uint32_t>(e.children().size()) - 1;
+        return;
+      }
+      case TExpr::Kind::kCmp: {
+        EmitExpr(*e.children()[0], p, depth);
+        EmitExpr(*e.children()[1], p, depth);
+        p->ops.push_back(
+            {OpCode::kCmp, static_cast<uint8_t>(e.cmp_op()), 0});
+        *depth -= 1;
+        return;
+      }
+    }
+    RINGDB_CHECK(false);
+  }
+
+  RhsProgram LowerRhs(const TExpr& e) {
+    RhsProgram p;
+    uint32_t depth = 0;
+    EmitExpr(e, &p, &depth);
+    RINGDB_CHECK_EQ(depth, 1u);
+    return p;
+  }
+
+  // Port of the tree-walking executor's grouping analysis (see the batch
+  // delta rule in runtime/interpreter.h): shape params are every param
+  // resolved positionally, foldable params are bare kParam leaves that
+  // are direct factors of a top-level product.
+  void LowerGrouping() {
+    if (!trigger_.multiplicity_linear) return;
+    const size_t arity = program_.catalog.Arity(trigger_.relation);
+    std::vector<size_t> shape;
+    for (const KeyRef& ref : stmt_.target_key) {
+      if (ref.kind() == KeyRef::Kind::kParam) {
+        shape.push_back(ref.param_index());
+      }
+    }
+    for (const LoopSpec& loop : stmt_.loops) {
+      for (const KeyRef& ref : loop.pattern) {
+        if (ref.kind() == KeyRef::Kind::kParam) {
+          shape.push_back(ref.param_index());
+        }
+      }
+    }
+    std::vector<size_t> foldable;
+    std::vector<TExprPtr> residual;
+    if (stmt_.rhs->kind() == TExpr::Kind::kParam) {
+      foldable.push_back(stmt_.rhs->param_index());
+    } else if (stmt_.rhs->kind() == TExpr::Kind::kMul) {
+      for (const TExprPtr& child : stmt_.rhs->children()) {
+        if (child->kind() == TExpr::Kind::kParam) {
+          foldable.push_back(child->param_index());
+        } else {
+          CollectParams(*child, &shape);
+          residual.push_back(child);
+        }
+      }
+    } else {
+      CollectParams(*stmt_.rhs, &shape);
+    }
+    SortUnique(&shape);
+    // When the shape already spans every param, grouping can only merge
+    // identical tuples, which batch coalescing did upstream.
+    if (shape.size() >= arity) return;
+    out_.groupable = true;
+    for (size_t p : shape) out_.shape_params.push_back(U16(p));
+    for (size_t p : foldable) out_.foldable_params.push_back(U16(p));
+    if (foldable.empty()) {
+      // Nothing folded out: the grouped rhs is the rhs (share the
+      // already-lowered program; its operands index the same pools).
+      out_.grouped_rhs = out_.rhs;
+      return;
+    }
+    TExprPtr grouped;
+    if (residual.empty()) {
+      grouped = TExpr::Const(Value(int64_t{1}));
+    } else if (residual.size() == 1) {
+      grouped = residual[0];
+    } else {
+      grouped = TExpr::Mul(std::move(residual));
+    }
+    out_.grouped_rhs = LowerRhs(*grouped);
+  }
+
+  const TriggerProgram& program_;
+  const Trigger& trigger_;
+  const Statement& stmt_;
+  LoweredProgram* lp_;
+  StmtProgram out_;
+  std::unordered_map<Symbol, uint16_t> slot_;  // loop var -> frame slot
+  uint16_t next_slot_ = 0;
+};
+
+std::string RefStr(const StmtProgram& sp, const SlotRef& r) {
+  switch (r.source) {
+    case SlotRef::Source::kParam:
+      return "@p" + std::to_string(r.index);
+    case SlotRef::Source::kConst:
+      return sp.const_pool[r.index].ToString();
+    case SlotRef::Source::kFrame:
+      return "f" + std::to_string(r.index);
+  }
+  return "?";
+}
+
+std::string TemplateStr(const StmtProgram& sp, const KeyTemplate& t) {
+  std::string out = "[";
+  for (size_t i = 0; i < t.size; ++i) {
+    if (i) out += ", ";
+    out += RefStr(sp, sp.slot_refs[t.first + i]);
+  }
+  return out + "]";
+}
+
+void AppendRhs(const StmtProgram& sp, const RhsProgram& p,
+               std::ostringstream* out) {
+  for (size_t i = 0; i < p.ops.size(); ++i) {
+    const Op& op = p.ops[i];
+    if (i) *out << ' ';
+    switch (op.code) {
+      case OpCode::kLoadConst:
+        *out << "const(" << sp.const_pool[op.a].ToString() << ')';
+        break;
+      case OpCode::kLoadParam:
+        *out << "param(" << op.a << ')';
+        break;
+      case OpCode::kLoadFrame:
+        *out << "frame(" << op.a << ')';
+        break;
+      case OpCode::kLoadLoopValue:
+        *out << "loopval(" << op.a << ')';
+        break;
+      case OpCode::kProbeView:
+        *out << "probe(m" << sp.probes[op.a].view_id << ' '
+             << TemplateStr(sp, sp.probes[op.a].key) << ')';
+        break;
+      case OpCode::kAdd:
+        *out << "add(" << op.a << ')';
+        break;
+      case OpCode::kMul:
+        *out << "mul(" << op.a << ')';
+        break;
+      case OpCode::kCmp:
+        *out << "cmp(" << static_cast<int>(op.aux) << ')';
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string StmtProgram::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < loops.size(); ++i) {
+    const LoopProgram& lp = loops[i];
+    out << "for m" << lp.view_id;
+    if (lp.slice_domain) {
+      out << " slices";
+    } else if (lp.index_id >= 0) {
+      out << " idx" << lp.index_id << TemplateStr(*this, lp.probe);
+    } else {
+      out << " scan";
+    }
+    if (lp.lazy_driver) {
+      out << " ensure" << TemplateStr(*this, lp.lazy_slice);
+    }
+    out << " {";
+    for (size_t b = 0; b < lp.binds.size(); ++b) {
+      if (b) out << ' ';
+      out << (lp.binds[b].is_filter ? "filter " : "bind ")
+          << lp.binds[b].pos << "->f" << lp.binds[b].frame;
+    }
+    out << "}: ";
+  }
+  out << 'm' << target_view << TemplateStr(*this, target_key) << " += ";
+  AppendRhs(*this, rhs, &out);
+  if (groupable) {
+    out << " | grouped: ";
+    AppendRhs(*this, grouped_rhs, &out);
+  }
+  return out.str();
+}
+
+std::shared_ptr<const LoweredProgram> Lower(const TriggerProgram& program) {
+  auto lp = std::make_shared<LoweredProgram>();
+  lp->view_indexes.resize(program.views.size());
+  lp->stmts.resize(program.triggers.size());
+  for (size_t t = 0; t < program.triggers.size(); ++t) {
+    const Trigger& trigger = program.triggers[t];
+    lp->stmts[t].reserve(trigger.statements.size());
+    for (const Statement& stmt : trigger.statements) {
+      StmtProgram sp = StmtLowerer(program, trigger, stmt, lp.get()).Run();
+      lp->max_frame = std::max(lp->max_frame, sp.frame_size);
+      lp->max_stack = std::max(
+          {lp->max_stack, sp.rhs.max_stack, sp.grouped_rhs.max_stack});
+      lp->max_loop_depth = std::max(lp->max_loop_depth,
+                                    static_cast<uint32_t>(sp.loops.size()));
+      lp->stmts[t].push_back(std::move(sp));
+    }
+  }
+  return lp;
+}
+
+}  // namespace lower
+}  // namespace compiler
+}  // namespace ringdb

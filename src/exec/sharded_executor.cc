@@ -1,5 +1,6 @@
 #include "exec/sharded_executor.h"
 
+#include "compiler/lower.h"
 #include "util/check.h"
 
 namespace ringdb {
@@ -11,9 +12,19 @@ ShardedExecutor::ShardedExecutor(const compiler::TriggerProgram& program,
   size_t effective = num_shards;
   if (effective == 0) effective = 1;
   if (!scheme_.valid) effective = 1;
+  // Lower to bytecode once; every shard's executor shares the programs.
+  // Only materialize an augmented copy when the caller's program has not
+  // been lowered yet.
+  const compiler::TriggerProgram* prog = &program;
+  compiler::TriggerProgram augmented;
+  if (program.lowered == nullptr) {
+    augmented = program;
+    augmented.lowered = compiler::lower::Lower(augmented);
+    prog = &augmented;
+  }
   shards_.reserve(effective);
   for (size_t i = 0; i < effective; ++i) {
-    shards_.push_back(std::make_unique<runtime::Executor>(program));
+    shards_.push_back(std::make_unique<runtime::Executor>(*prog));
   }
   shard_work_.resize(effective);
   shard_status_.assign(effective, Status::Ok());

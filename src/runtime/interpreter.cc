@@ -8,149 +8,59 @@
 namespace ringdb {
 namespace runtime {
 
-using compiler::KeyRef;
-using compiler::LoopSpec;
-using compiler::Statement;
-using compiler::TExpr;
-
-namespace {
-
-uint64_t TriggerKey(Symbol relation, ring::Update::Sign sign) {
-  return (static_cast<uint64_t>(relation.id()) << 1) |
-         (sign == ring::Update::Sign::kInsert ? 0u : 1u);
-}
-
-void CollectParams(const TExpr& e, std::vector<size_t>* out) {
-  if (e.kind() == TExpr::Kind::kParam) out->push_back(e.param_index());
-  if (e.kind() == TExpr::Kind::kViewLookup) {
-    for (const KeyRef& ref : e.keys()) {
-      if (ref.kind() == KeyRef::Kind::kParam) out->push_back(ref.param_index());
-    }
-  }
-  for (const auto& c : e.children()) CollectParams(*c, out);
-}
-
-void SortUnique(std::vector<size_t>* v) {
-  std::sort(v->begin(), v->end());
-  v->erase(std::unique(v->begin(), v->end()), v->end());
-}
-
-}  // namespace
+namespace lower = compiler::lower;
 
 Executor::Executor(compiler::TriggerProgram program)
     : program_(std::move(program)), base_db_(program_.catalog) {
+  // Single-shard construction lowers here; the sharded executor lowers
+  // once and shares the result across shards.
+  if (program_.lowered == nullptr) {
+    program_.lowered = lower::Lower(program_);
+  }
+  lowered_ = program_.lowered;
+
   views_.reserve(program_.views.size());
   slices_.resize(program_.views.size());
   for (const compiler::ViewDef& v : program_.views) {
     views_.emplace_back(v.key_vars.size());
     if (v.lazy_init) has_lazy_views_ = true;
   }
-  plans_.resize(program_.triggers.size());
-  for (size_t t = 0; t < program_.triggers.size(); ++t) {
-    const compiler::Trigger& trigger = program_.triggers[t];
-    trigger_index_.emplace(TriggerKey(trigger.relation, trigger.sign), t);
-    plans_[t].resize(trigger.statements.size());
-    for (size_t s = 0; s < trigger.statements.size(); ++s) {
-      const Statement& stmt = trigger.statements[s];
-      StatementPlan& plan = plans_[t][s];
-      std::unordered_map<Symbol, bool> bound;  // loop vars bound so far
-      for (const LoopSpec& loop : stmt.loops) {
-        LoopPlan lp;
-        for (size_t pos = 0; pos < loop.pattern.size(); ++pos) {
-          const KeyRef& ref = loop.pattern[pos];
-          if (ref.kind() == KeyRef::Kind::kLoopVar &&
-              !bound.contains(ref.loop_var())) {
-            lp.binding_positions.push_back(pos);
-            lp.binding_vars.push_back(ref.loop_var());
-          } else {
-            lp.bound_positions.push_back(pos);
-          }
-        }
-        for (Symbol v : lp.binding_vars) bound.emplace(v, true);
-        const compiler::ViewDef& driver_def = program_.view(loop.view_id);
-        if (driver_def.lazy_init) {
-          lp.lazy_driver = true;
-          // Case B (slice-domain loop): the loop binds exactly the slice
-          // positions — enumerate initialized slices. Case A: all slice
-          // positions are bound — ensure the probed slice, then use the
-          // regular index path.
-          if (lp.binding_positions == driver_def.slice_positions) {
-            lp.slice_domain = true;
-          } else {
-            for (size_t p : driver_def.slice_positions) {
-              RINGDB_CHECK(std::find(lp.bound_positions.begin(),
-                                     lp.bound_positions.end(),
-                                     p) != lp.bound_positions.end());
-            }
-          }
-        }
-        if (!lp.slice_domain && !lp.bound_positions.empty()) {
-          lp.index_id = views_[static_cast<size_t>(loop.view_id)].EnsureIndex(
-              lp.bound_positions);
-        }
-        plan.loops.push_back(std::move(lp));
-      }
-      BuildGroupingPlan(trigger, stmt, &plan);
+  // Replay the lowering pass's index registrations; EnsureIndex
+  // deduplicates identically, so the assigned ids match the
+  // LoopProgram::index_id values baked into the bytecode.
+  for (size_t v = 0; v < views_.size(); ++v) {
+    int expected = 0;
+    for (const std::vector<size_t>& positions :
+         lowered_->view_indexes[v].position_sets) {
+      RINGDB_CHECK_EQ(views_[v].EnsureIndex(positions), expected);
+      ++expected;
     }
   }
-}
-
-void Executor::BuildGroupingPlan(const compiler::Trigger& trigger,
-                                 const Statement& stmt, StatementPlan* plan) {
-  if (!trigger.multiplicity_linear) return;
-  const size_t arity = program_.catalog.Arity(trigger.relation);
-  // Shape params: every param the statement resolves positionally —
-  // target keys, loop probe patterns, and all rhs occurrences except the
-  // foldable ones extracted below.
-  std::vector<size_t> shape;
-  for (const KeyRef& ref : stmt.target_key) {
-    if (ref.kind() == KeyRef::Kind::kParam) shape.push_back(ref.param_index());
-  }
-  for (const LoopSpec& loop : stmt.loops) {
-    for (const KeyRef& ref : loop.pattern) {
-      if (ref.kind() == KeyRef::Kind::kParam) {
-        shape.push_back(ref.param_index());
-      }
+  // Flat (relation, sign) -> trigger map over the program's own
+  // relation-id span.
+  if (!program_.triggers.empty()) {
+    uint32_t min_rel = UINT32_MAX;
+    uint32_t max_rel = 0;
+    for (const compiler::Trigger& t : program_.triggers) {
+      min_rel = std::min(min_rel, t.relation.id());
+      max_rel = std::max(max_rel, t.relation.id());
+    }
+    trigger_base_ = min_rel;
+    trigger_lookup_.assign(
+        2 * (static_cast<size_t>(max_rel - min_rel) + 1), -1);
+    for (size_t t = 0; t < program_.triggers.size(); ++t) {
+      const compiler::Trigger& trigger = program_.triggers[t];
+      const size_t idx =
+          static_cast<size_t>(trigger.relation.id() - trigger_base_) * 2 +
+          (trigger.sign == ring::Update::Sign::kDelete ? 1 : 0);
+      trigger_lookup_[idx] = static_cast<int32_t>(t);
     }
   }
-  // Foldable params: bare kParam leaves that are direct factors of a
-  // top-level product (or the whole rhs). Their values are pure scalar
-  // multipliers, so they move into the group coefficient.
-  std::vector<size_t> foldable;
-  std::vector<compiler::TExprPtr> residual;
-  if (stmt.rhs->kind() == TExpr::Kind::kParam) {
-    foldable.push_back(stmt.rhs->param_index());
-  } else if (stmt.rhs->kind() == TExpr::Kind::kMul) {
-    for (const compiler::TExprPtr& child : stmt.rhs->children()) {
-      if (child->kind() == TExpr::Kind::kParam) {
-        foldable.push_back(child->param_index());
-      } else {
-        CollectParams(*child, &shape);
-        residual.push_back(child);
-      }
-    }
-  } else {
-    CollectParams(*stmt.rhs, &shape);
-  }
-  SortUnique(&shape);
-  // When the shape already spans every param, grouping can only merge
-  // identical tuples, which batch coalescing did upstream.
-  if (shape.size() >= arity) return;
-  plan->groupable = true;
-  plan->shape_params = std::move(shape);
-  plan->foldable_params = std::move(foldable);
-  if (foldable_empty_rhs_ == nullptr) {
-    foldable_empty_rhs_ = TExpr::Const(Value(int64_t{1}));
-  }
-  if (plan->foldable_params.empty()) {
-    plan->grouped_rhs = stmt.rhs;
-  } else if (residual.empty()) {
-    plan->grouped_rhs = foldable_empty_rhs_;
-  } else if (residual.size() == 1) {
-    plan->grouped_rhs = residual[0];
-  } else {
-    plan->grouped_rhs = TExpr::Mul(std::move(residual));
-  }
+  // Execution scratch, sized to the program's maxima once.
+  frame_.resize(lowered_->max_frame);
+  stack_.resize(std::max<uint32_t>(lowered_->max_stack, 1));
+  loop_values_.resize(lowered_->max_loop_depth);
+  loop_key_scratch_.resize(lowered_->max_loop_depth);
 }
 
 Status Executor::ApplyDelta(Symbol relation, const std::vector<Value>& values,
@@ -181,24 +91,25 @@ void Executor::ApplyDeltaUnchecked(Symbol relation,
   const Numeric unit = m > 0 ? kOne : Numeric(int64_t{-1});
   stats_.updates += count;
   ++stats_.delta_entries;
-  auto it = trigger_index_.find(TriggerKey(relation, sign));
-  if (it == trigger_index_.end()) {
+  const int t = FindTrigger(relation, sign);
+  if (t < 0) {
     // Query-irrelevant relation: only the base database (if kept) moves.
     if (has_lazy_views_) base_db_.AddTuple(relation, values, multiplicity);
     return;
   }
-  if (program_.triggers[it->second].multiplicity_linear) {
+  if (program_.triggers[static_cast<size_t>(t)].multiplicity_linear) {
     // Linear in the relation: the delta of `count` identical events is
     // count times the delta of one, so fire once with scaled emissions.
     if (count > 1) ++stats_.scaled_firings;
-    FireTrigger(it->second, values, Numeric(static_cast<int64_t>(count)));
+    FireTrigger(static_cast<size_t>(t), values.data(),
+                Numeric(static_cast<int64_t>(count)));
     // The base database transitions to D + u only after the trigger ran:
     // deltas and lazy initializations both read the pre-update state.
     if (has_lazy_views_) base_db_.AddTuple(relation, values, multiplicity);
     return;
   }
   for (uint64_t i = 0; i < count; ++i) {
-    FireTrigger(it->second, values, kOne);
+    FireTrigger(static_cast<size_t>(t), values.data(), kOne);
     if (has_lazy_views_) base_db_.AddTuple(relation, values, unit);
   }
 }
@@ -230,10 +141,10 @@ Status Executor::ApplyDeltaBatch(Symbol relation,
     if (group.empty()) continue;
     const ring::Update::Sign sign = s == 0 ? ring::Update::Sign::kInsert
                                            : ring::Update::Sign::kDelete;
-    auto it = trigger_index_.find(TriggerKey(relation, sign));
+    const int t = FindTrigger(relation, sign);
     const bool linear =
-        it != trigger_index_.end() &&
-        program_.triggers[it->second].multiplicity_linear &&
+        t >= 0 &&
+        program_.triggers[static_cast<size_t>(t)].multiplicity_linear &&
         group.size() > 1;
     if (linear) {
       for (const Delta& d : group) {
@@ -242,7 +153,7 @@ Status Executor::ApplyDeltaBatch(Symbol relation,
         ++stats_.delta_entries;
         if (m > 1 || m < -1) ++stats_.scaled_firings;
       }
-      RunLinearTriggerBatch(it->second, group);
+      RunLinearTriggerBatch(static_cast<size_t>(t), group);
       if (has_lazy_views_) {
         base_db_.Reserve(relation, group.size());
         for (const Delta& d : group) {
@@ -261,67 +172,58 @@ Status Executor::ApplyDeltaBatch(Symbol relation,
 
 void Executor::RunLinearTriggerBatch(size_t trigger_idx,
                                      const std::vector<Delta>& deltas) {
-  const compiler::Trigger& trigger = program_.triggers[trigger_idx];
-  const std::vector<StatementPlan>& plans = plans_[trigger_idx];
   // Statement-major: linearity guarantees no statement reads anything
   // this trigger writes, so all firings of one statement see the same
   // state and merge freely.
-  std::unordered_map<Key, size_t, KeyHash> groups;
-  std::vector<std::pair<const std::vector<Value>*, Numeric>> reps;
-  for (size_t s = 0; s < trigger.statements.size(); ++s) {
-    const Statement& stmt = trigger.statements[s];
-    const StatementPlan& plan = plans[s];
-    if (!plan.groupable) {
+  for (const lower::StmtProgram& sp : lowered_->stmts[trigger_idx]) {
+    if (!sp.groupable) {
       for (const Delta& d : deltas) {
         ++stats_.statements_run;
         const int64_t m = d.multiplicity.AsInt();
-        RunStatement(stmt, plan, *d.values,
-                     Numeric(m > 0 ? m : -m), *stmt.rhs);
+        RunStatement(sp, d.values->data(), Numeric(m > 0 ? m : -m), sp.rhs);
       }
       continue;
     }
     // Accumulate one coefficient per distinct shape projection:
     // sum over entries of |multiplicity| * product(foldable params).
-    groups.clear();
-    reps.clear();
-    Key shape_key(plan.shape_params.size());
+    groups_scratch_.clear();
+    reps_scratch_.clear();
+    shape_scratch_.resize(sp.shape_params.size());
     for (const Delta& d : deltas) {
       const std::vector<Value>& values = *d.values;
-      for (size_t i = 0; i < plan.shape_params.size(); ++i) {
-        shape_key[i] = values[plan.shape_params[i]];
+      for (size_t i = 0; i < sp.shape_params.size(); ++i) {
+        shape_scratch_[i] = values[sp.shape_params[i]];
       }
       const int64_t m = d.multiplicity.AsInt();
       Numeric coeff(m > 0 ? m : -m);
-      for (size_t p : plan.foldable_params) {
+      for (uint16_t p : sp.foldable_params) {
         auto n = values[p].ToNumeric();
         RINGDB_CHECK(n.ok());
         coeff *= *n;
         ++stats_.arithmetic_ops;
       }
-      auto [slot, inserted] = groups.try_emplace(shape_key, reps.size());
+      auto [slot, inserted] =
+          groups_scratch_.try_emplace(shape_scratch_, reps_scratch_.size());
       if (inserted) {
-        reps.emplace_back(&values, coeff);
+        reps_scratch_.emplace_back(&values, coeff);
       } else {
-        reps[slot->second].second += coeff;
+        reps_scratch_[slot->second].second += coeff;
         ++stats_.arithmetic_ops;
       }
     }
-    for (const auto& [rep_values, coeff] : reps) {
+    for (const auto& [rep_values, coeff] : reps_scratch_) {
       if (coeff.IsZero()) continue;
       ++stats_.statements_run;
-      RunStatement(stmt, plan, *rep_values, coeff, *plan.grouped_rhs);
+      RunStatement(sp, rep_values->data(), coeff, sp.grouped_rhs);
     }
   }
 }
 
-void Executor::FireTrigger(size_t trigger_idx,
-                           const std::vector<Value>& params, Numeric scale) {
-  const compiler::Trigger& trigger = program_.triggers[trigger_idx];
-  const std::vector<StatementPlan>& plans = plans_[trigger_idx];
-  for (size_t s = 0; s < trigger.statements.size(); ++s) {
+void Executor::FireTrigger(size_t trigger_idx, const Value* params,
+                           Numeric scale) {
+  for (const lower::StmtProgram& sp : lowered_->stmts[trigger_idx]) {
     ++stats_.statements_run;
-    RunStatement(trigger.statements[s], plans[s], params, scale,
-                 *trigger.statements[s].rhs);
+    RunStatement(sp, params, scale, sp.rhs);
   }
 }
 
@@ -329,113 +231,217 @@ void Executor::ReserveForBatch(size_t additional) {
   for (ViewMap& v : views_) v.Reserve(v.size() + additional);
 }
 
-void Executor::RunStatement(const Statement& stmt, const StatementPlan& plan,
-                            const std::vector<Value>& params, Numeric scale,
-                            const TExpr& rhs) {
-  Bindings& bindings = bindings_scratch_;
-  bindings.clear();
+void Executor::RunStatement(const lower::StmtProgram& sp, const Value* params,
+                            Numeric scale, const lower::RhsProgram& rhs) {
   // Emissions are buffered and applied after all loops finish: a
   // statement may loop over its own target view (domain maintenance), and
   // mutating a map during enumeration is undefined.
-  std::vector<Emission>& emissions = emissions_scratch_;
-  emissions.clear();
-  RunLoops(stmt, plan, 0, params, rhs, &bindings, &emissions);
+  emission_keys_.clear();
+  emission_values_.clear();
+  RunLoops(sp, 0, params, rhs);
   const bool scaled = !scale.IsOne();
-  for (Emission& e : emissions) {
+  const size_t arity = sp.target_key.size;
+  ViewMap& target = views_[static_cast<size_t>(sp.target_view)];
+  for (size_t i = 0; i < emission_values_.size(); ++i) {
+    Numeric delta = emission_values_[i];
     if (scaled) {
-      e.second *= scale;
+      delta *= scale;
       ++stats_.arithmetic_ops;
     }
-    AddToView(stmt.target_view, e.first, e.second);
+    const Value* key = emission_keys_.data() + i * arity;
+    if (sp.target_lazy) {
+      slice_scratch_.resize(sp.target_slice_positions.size());
+      for (size_t j = 0; j < sp.target_slice_positions.size(); ++j) {
+        slice_scratch_[j] = key[sp.target_slice_positions[j]];
+      }
+      EnsureSlice(sp.target_view, slice_scratch_);
+    }
+    target.Add(key, arity, delta);
     ++stats_.entries_touched;
     ++stats_.arithmetic_ops;  // the += itself
   }
 }
 
-void Executor::RunLoops(const Statement& stmt, const StatementPlan& plan,
-                        size_t loop_index, const std::vector<Value>& params,
-                        const TExpr& rhs, Bindings* bindings,
-                        std::vector<Emission>* emissions) {
-  if (loop_index == stmt.loops.size()) {
-    Emit(stmt, params, rhs, *bindings, emissions);
+bool Executor::BindLoop(const lower::LoopProgram& lp, const Value* key) {
+  for (const lower::LoopBind& b : lp.binds) {
+    if (b.is_filter) {
+      // Positions that repeat an already-bound variable must agree.
+      if (frame_[b.frame] != key[b.pos]) return false;
+    } else {
+      frame_[b.frame] = key[b.pos];
+    }
+  }
+  return true;
+}
+
+void Executor::RunLoops(const lower::StmtProgram& sp, size_t loop_index,
+                        const Value* params,
+                        const lower::RhsProgram& rhs) {
+  if (loop_index == sp.loops.size()) {
+    Emit(sp, params, rhs);
     return;
   }
-  const LoopSpec& loop = stmt.loops[loop_index];
-  const LoopPlan& lp = plan.loops[loop_index];
-  const ViewMap& driver = views_[static_cast<size_t>(loop.view_id)];
-
-  // The KeyView is only read before the recursion (bindings copy the
-  // values out), so writes to `driver` deeper in the loop nest — lazy
-  // slice initialization, self-loop maintenance — cannot invalidate it
-  // mid-use.
-  auto body = [&](KeyView key, Numeric) {
-    // Bind this loop's variables from the enumerated key; positions that
-    // repeat a variable within the same loop must agree.
-    std::vector<Symbol> inserted_here;
-    bool ok = true;
-    for (size_t i = 0; i < lp.binding_positions.size() && ok; ++i) {
-      Symbol var = lp.binding_vars[i];
-      const Value& v = key[lp.binding_positions[i]];
-      auto [it, inserted] = bindings->emplace(var, v);
-      if (inserted) {
-        inserted_here.push_back(var);
-      } else if (it->second != v) {
-        ok = false;
-      }
-    }
-    if (ok) {
-      RunLoops(stmt, plan, loop_index + 1, params, rhs, bindings, emissions);
-    }
-    for (Symbol var : inserted_here) bindings->erase(var);
-  };
+  const lower::LoopProgram& lp = sp.loops[loop_index];
+  const ViewMap& driver = views_[static_cast<size_t>(lp.view_id)];
 
   if (lp.slice_domain) {
     // Enumerate the initialized slice subkeys; each binds the slice-
     // position loop variables (bound positions are outside the subkey).
-    const auto& slices = slices_[static_cast<size_t>(loop.view_id)];
-    const auto& positions =
-        program_.view(loop.view_id).slice_positions;
-    for (const Key& slice : slices) {
-      Key synthetic(loop.pattern.size());
-      for (size_t i = 0; i < positions.size(); ++i) {
-        synthetic[positions[i]] = slice[i];
-      }
-      body(synthetic, kZero);
+    for (const Key& slice : slices_[static_cast<size_t>(lp.view_id)]) {
+      if (!BindLoop(lp, slice.data())) continue;
+      loop_values_[loop_index] = kZero;
+      RunLoops(sp, loop_index + 1, params, rhs);
     }
     return;
   }
   if (lp.lazy_driver) {
     // Case A: the bound positions cover the slice; materialize it before
     // enumerating so the index sees every entry.
-    Key full(loop.pattern.size());
-    for (size_t pos : lp.bound_positions) {
-      full[pos] = ResolveKey(loop.pattern[pos], params, *bindings);
-    }
-    EnsureSliceFor(loop.view_id, full);
+    BuildKey(sp, lp.lazy_slice, params, &slice_scratch_);
+    EnsureSlice(lp.view_id, slice_scratch_);
   }
+  // The KeyView is only read before the recursion (binds copy the values
+  // into frame slots), so writes to `driver` deeper in the loop nest —
+  // lazy slice initialization, self-loop maintenance — cannot invalidate
+  // it mid-use.
+  auto body = [&](KeyView key, Numeric value) {
+    if (!BindLoop(lp, key.begin())) return;
+    loop_values_[loop_index] = value;
+    RunLoops(sp, loop_index + 1, params, rhs);
+  };
   if (lp.index_id >= 0) {
-    Key subkey;
-    subkey.reserve(lp.bound_positions.size());
-    for (size_t pos : lp.bound_positions) {
-      subkey.push_back(ResolveKey(loop.pattern[pos], params, *bindings));
-    }
+    // The probe subkey must stay alive for the whole enumeration (the
+    // index verifies candidates against it), so each loop depth owns a
+    // scratch buffer.
+    Key& subkey = loop_key_scratch_[loop_index];
+    BuildKey(sp, lp.probe, params, &subkey);
     driver.ForEachMatching(lp.index_id, subkey, body);
   } else {
     driver.ForEach(body);
   }
 }
 
-void Executor::Emit(const Statement& stmt, const std::vector<Value>& params,
-                    const TExpr& rhs, const Bindings& bindings,
-                    std::vector<Emission>* emissions) {
-  Numeric value = EvalNumeric(rhs, params, bindings);
+void Executor::Emit(const lower::StmtProgram& sp, const Value* params,
+                    const lower::RhsProgram& rhs) {
+  Numeric value = EvalRhs(sp, rhs, params);
   if (value.IsZero()) return;
-  Key key;
-  key.reserve(stmt.target_key.size());
-  for (const KeyRef& ref : stmt.target_key) {
-    key.push_back(ResolveKey(ref, params, bindings));
+  const lower::SlotRef* refs = sp.slot_refs.data() + sp.target_key.first;
+  for (size_t i = 0; i < sp.target_key.size; ++i) {
+    emission_keys_.push_back(Resolve(sp, refs[i], params));
   }
-  emissions->emplace_back(std::move(key), value);
+  emission_values_.push_back(value);
+}
+
+Numeric Executor::AsNum(const Reg& r) const {
+  if (r.ref == nullptr) return r.num;
+  auto n = r.ref->ToNumeric();
+  RINGDB_CHECK(n.ok());
+  return *n;
+}
+
+Numeric Executor::EvalRhs(const lower::StmtProgram& sp,
+                          const lower::RhsProgram& rhs, const Value* params) {
+  Reg* stack = stack_.data();
+  size_t top = 0;
+  for (const lower::Op& op : rhs.ops) {
+    switch (op.code) {
+      case lower::OpCode::kLoadConst:
+        stack[top++].ref = &sp.const_pool[op.a];
+        break;
+      case lower::OpCode::kLoadParam:
+        stack[top++].ref = &params[op.a];
+        break;
+      case lower::OpCode::kLoadFrame:
+        stack[top++].ref = &frame_[op.a];
+        break;
+      case lower::OpCode::kLoadLoopValue: {
+        Reg& r = stack[top++];
+        r.ref = nullptr;
+        r.num = loop_values_[op.a];
+        break;
+      }
+      case lower::OpCode::kProbeView: {
+        const lower::ProbePlan& plan = sp.probes[op.a];
+        BuildKey(sp, plan.key, params, &probe_scratch_);
+        Reg& r = stack[top++];
+        r.ref = nullptr;
+        r.num = ProbeView(plan, probe_scratch_);
+        break;
+      }
+      case lower::OpCode::kAdd: {
+        const size_t n = op.a;
+        Numeric total = AsNum(stack[top - n]);
+        for (size_t i = 1; i < n; ++i) {
+          total += AsNum(stack[top - n + i]);
+          ++stats_.arithmetic_ops;
+        }
+        top -= n;
+        stack[top].ref = nullptr;
+        stack[top].num = total;
+        ++top;
+        break;
+      }
+      case lower::OpCode::kMul: {
+        const size_t n = op.a;
+        Numeric total = AsNum(stack[top - n]);
+        for (size_t i = 1; i < n; ++i) {
+          total *= AsNum(stack[top - n + i]);
+          ++stats_.arithmetic_ops;
+        }
+        top -= n;
+        stack[top].ref = nullptr;
+        stack[top].num = total;
+        ++top;
+        break;
+      }
+      case lower::OpCode::kCmp: {
+        const Reg rr = stack[--top];
+        const Reg lr = stack[--top];
+        ++stats_.arithmetic_ops;
+        const auto cop = static_cast<agca::CmpOp>(op.aux);
+        bool holds = false;
+        if (cop == agca::CmpOp::kEq || cop == agca::CmpOp::kNe) {
+          // Kind-sensitive Value equality, like the tree walker's
+          // EvalValue path; computed operands materialize transiently.
+          bool eq;
+          if (lr.ref != nullptr && rr.ref != nullptr) {
+            eq = (*lr.ref == *rr.ref);
+          } else {
+            const Value lv = lr.ref != nullptr ? *lr.ref : Value(lr.num);
+            const Value rv = rr.ref != nullptr ? *rr.ref : Value(rr.num);
+            eq = (lv == rv);
+          }
+          holds = (cop == agca::CmpOp::kEq) ? eq : !eq;
+        } else {
+          const Numeric ln = AsNum(lr);
+          const Numeric rn = AsNum(rr);
+          switch (cop) {
+            case agca::CmpOp::kLt: holds = ln < rn; break;
+            case agca::CmpOp::kLe: holds = ln <= rn; break;
+            case agca::CmpOp::kGt: holds = ln > rn; break;
+            case agca::CmpOp::kGe: holds = ln >= rn; break;
+            default: RINGDB_CHECK(false);
+          }
+        }
+        Reg& out = stack[top++];
+        out.ref = nullptr;
+        out.num = holds ? kOne : kZero;
+        break;
+      }
+    }
+  }
+  return AsNum(stack[0]);
+}
+
+Numeric Executor::ProbeView(const lower::ProbePlan& plan, const Key& key) {
+  if (plan.lazy) {
+    slice_scratch_.resize(plan.slice_positions.size());
+    for (size_t i = 0; i < plan.slice_positions.size(); ++i) {
+      slice_scratch_[i] = key[plan.slice_positions[i]];
+    }
+    EnsureSlice(plan.view_id, slice_scratch_);
+  }
+  return views_[static_cast<size_t>(plan.view_id)].At(key);
 }
 
 void Executor::InitializeLazySlice(int view_id, const Key& slice_key) {
@@ -463,148 +469,6 @@ void Executor::InitializeLazySlice(int view_id, const Key& slice_key) {
   }
   slices_[static_cast<size_t>(view_id)].insert(slice_key);
   ++stats_.init_evaluations;
-}
-
-void Executor::EnsureSliceFor(int view_id, const Key& full_key) {
-  const compiler::ViewDef& def = program_.view(view_id);
-  if (!def.lazy_init) return;
-  Key slice;
-  slice.reserve(def.slice_positions.size());
-  for (size_t p : def.slice_positions) slice.push_back(full_key[p]);
-  if (!slices_[static_cast<size_t>(view_id)].contains(slice)) {
-    InitializeLazySlice(view_id, slice);
-  }
-}
-
-Numeric Executor::ProbeView(int view_id, const Key& key) {
-  EnsureSliceFor(view_id, key);
-  return views_[static_cast<size_t>(view_id)].At(key);
-}
-
-void Executor::AddToView(int view_id, const Key& key, Numeric delta) {
-  EnsureSliceFor(view_id, key);
-  views_[static_cast<size_t>(view_id)].Add(key, delta);
-}
-
-Value Executor::ResolveKey(const KeyRef& ref, const std::vector<Value>& params,
-                           const Bindings& bindings) const {
-  switch (ref.kind()) {
-    case KeyRef::Kind::kParam:
-      return params[ref.param_index()];
-    case KeyRef::Kind::kConst:
-      return ref.constant();
-    case KeyRef::Kind::kLoopVar: {
-      auto it = bindings.find(ref.loop_var());
-      RINGDB_CHECK(it != bindings.end());
-      return it->second;
-    }
-  }
-  RINGDB_CHECK(false);
-  return Value();
-}
-
-Numeric Executor::EvalNumeric(const TExpr& e, const std::vector<Value>& params,
-                              const Bindings& bindings) {
-  switch (e.kind()) {
-    case TExpr::Kind::kConst: {
-      auto n = e.constant().ToNumeric();
-      RINGDB_CHECK(n.ok());
-      return *n;
-    }
-    case TExpr::Kind::kParam: {
-      auto n = params[e.param_index()].ToNumeric();
-      RINGDB_CHECK(n.ok());
-      return *n;
-    }
-    case TExpr::Kind::kLoopVar: {
-      auto it = bindings.find(e.loop_var());
-      RINGDB_CHECK(it != bindings.end());
-      auto n = it->second.ToNumeric();
-      RINGDB_CHECK(n.ok());
-      return *n;
-    }
-    case TExpr::Kind::kViewLookup: {
-      Key key;
-      key.reserve(e.keys().size());
-      for (const KeyRef& ref : e.keys()) {
-        key.push_back(ResolveKey(ref, params, bindings));
-      }
-      return ProbeView(e.view_id(), key);
-    }
-    case TExpr::Kind::kAdd: {
-      Numeric total = kZero;
-      bool first = true;
-      for (const auto& c : e.children()) {
-        Numeric v = EvalNumeric(*c, params, bindings);
-        if (first) {
-          total = v;
-          first = false;
-        } else {
-          total += v;
-          ++stats_.arithmetic_ops;
-        }
-      }
-      return total;
-    }
-    case TExpr::Kind::kMul: {
-      Numeric total = kOne;
-      bool first = true;
-      for (const auto& c : e.children()) {
-        Numeric v = EvalNumeric(*c, params, bindings);
-        if (first) {
-          total = v;
-          first = false;
-        } else {
-          total *= v;
-          ++stats_.arithmetic_ops;
-        }
-      }
-      return total;
-    }
-    case TExpr::Kind::kCmp: {
-      Value l = EvalValue(*e.children()[0], params, bindings);
-      Value r = EvalValue(*e.children()[1], params, bindings);
-      ++stats_.arithmetic_ops;
-      bool holds = false;
-      switch (e.cmp_op()) {
-        case agca::CmpOp::kEq: holds = (l == r); break;
-        case agca::CmpOp::kNe: holds = (l != r); break;
-        default: {
-          auto ln = l.ToNumeric();
-          auto rn = r.ToNumeric();
-          RINGDB_CHECK(ln.ok());
-          RINGDB_CHECK(rn.ok());
-          switch (e.cmp_op()) {
-            case agca::CmpOp::kLt: holds = *ln < *rn; break;
-            case agca::CmpOp::kLe: holds = *ln <= *rn; break;
-            case agca::CmpOp::kGt: holds = *ln > *rn; break;
-            case agca::CmpOp::kGe: holds = *ln >= *rn; break;
-            default: RINGDB_CHECK(false);
-          }
-        }
-      }
-      return holds ? kOne : kZero;
-    }
-  }
-  RINGDB_CHECK(false);
-  return kZero;
-}
-
-Value Executor::EvalValue(const TExpr& e, const std::vector<Value>& params,
-                          const Bindings& bindings) {
-  switch (e.kind()) {
-    case TExpr::Kind::kConst:
-      return e.constant();
-    case TExpr::Kind::kParam:
-      return params[e.param_index()];
-    case TExpr::Kind::kLoopVar: {
-      auto it = bindings.find(e.loop_var());
-      RINGDB_CHECK(it != bindings.end());
-      return it->second;
-    }
-    default:
-      return Value(EvalNumeric(e, params, bindings));
-  }
 }
 
 size_t Executor::ApproxBytes() const {

@@ -3,9 +3,18 @@
 // statements (ordered by descending target-view degree, so each level
 // reads pre-update values of the deeper levels — Equation (1) of §1.1).
 //
+// Statements run in their lowered bytecode form (compiler/lower.h): loop
+// variables live in a flat Value frame indexed by slot, every key the
+// statement builds comes from a pre-resolved SlotRef template into a
+// reused scratch buffer, and the rhs is a postfix opcode stream executed
+// by a tight dispatch loop over a small register stack. The statement
+// inner loop performs no Symbol lookups, no expression-tree recursion,
+// and no per-emission allocation.
+//
 // The interpreter counts arithmetic operations and touched entries so the
 // benchmarks can verify the constant-work-per-maintained-value claim
-// (Theorem 7.1 / the NC0 property) empirically.
+// (Theorem 7.1 / the NC0 property) empirically; the lowered programs
+// preserve the tree walker's operation counts exactly.
 
 #ifndef RINGDB_RUNTIME_INTERPRETER_H_
 #define RINGDB_RUNTIME_INTERPRETER_H_
@@ -16,6 +25,7 @@
 #include <vector>
 
 #include "compiler/ir.h"
+#include "compiler/lower.h"
 #include "ring/database.h"
 #include "runtime/viewmap.h"
 #include "util/status.h"
@@ -93,33 +103,27 @@ class Executor {
   size_t ApproxBytes() const;
 
  private:
-  struct LoopPlan {
-    int index_id = -1;                  // -1: full scan
-    std::vector<size_t> bound_positions;  // positions probed via the index
-    std::vector<size_t> binding_positions;  // positions that bind vars
-    std::vector<Symbol> binding_vars;
-    // Lazy-driver classification: slice_domain loops (self maintenance)
-    // enumerate the view's initialized slice subkeys; non-slice loops
-    // over lazy views first ensure the probed slice is initialized.
-    bool slice_domain = false;
-    bool lazy_driver = false;
-  };
-  struct StatementPlan {
-    std::vector<LoopPlan> loops;
-    // Batch grouping (multiplicity-linear triggers only). Entries whose
-    // update params agree at shape_params share one statement execution.
-    // foldable_params are rhs factors that are bare param leaves; their
-    // values multiply into the group coefficient and grouped_rhs is the
-    // rhs with those leaves removed. groupable is false when the shape
-    // covers every param (coalescing already merged identical tuples).
-    bool groupable = false;
-    std::vector<size_t> shape_params;
-    std::vector<size_t> foldable_params;
-    compiler::TExprPtr grouped_rhs;
+  // One rhs register: either a computed Numeric or a reference to a Value
+  // in the params array, a constant pool, or the loop-variable frame.
+  // Leaves load references; arithmetic converts on use, so string values
+  // flow into kind-sensitive equality comparisons without conversion.
+  struct Reg {
+    const Value* ref = nullptr;  // nullptr: num holds a computed value
+    Numeric num;
   };
 
-  using Bindings = std::unordered_map<Symbol, Value>;
-  using Emission = std::pair<Key, Numeric>;
+  // Lowered trigger index for (relation, sign), or -1: a flat array
+  // indexed by (relation.id() - trigger_base_) * 2 + sign, resolved once
+  // at construction (replaces a hash lookup per applied delta). Rebasing
+  // on the smallest trigger relation id keeps the array sized by the
+  // program's own relation-id span, not the global intern counter.
+  int FindTrigger(Symbol relation, ring::Update::Sign sign) const {
+    const uint32_t id = relation.id();
+    if (id < trigger_base_) return -1;
+    const size_t idx = static_cast<size_t>(id - trigger_base_) * 2 +
+                       (sign == ring::Update::Sign::kDelete ? 1 : 0);
+    return idx < trigger_lookup_.size() ? trigger_lookup_[idx] : -1;
+  }
 
   // ApplyDelta after relation/arity validation (batch entries are
   // validated once per batch, not per entry).
@@ -127,50 +131,69 @@ class Executor {
                            Numeric multiplicity);
   // Runs every statement of the trigger once; emissions are scaled by
   // `scale` (1 for unit firings).
-  void FireTrigger(size_t trigger_idx, const std::vector<Value>& params,
-                   Numeric scale);
-  // Runs one statement with the given rhs (stmt.rhs normally,
-  // plan.grouped_rhs for grouped batch execution); emissions scale by
+  void FireTrigger(size_t trigger_idx, const Value* params, Numeric scale);
+  // Runs one statement with the given rhs program (sp.rhs normally,
+  // sp.grouped_rhs for grouped batch execution); emissions scale by
   // `scale`.
-  void RunStatement(const compiler::Statement& stmt,
-                    const StatementPlan& plan,
-                    const std::vector<Value>& params, Numeric scale,
-                    const compiler::TExpr& rhs);
+  void RunStatement(const compiler::lower::StmtProgram& sp,
+                    const Value* params, Numeric scale,
+                    const compiler::lower::RhsProgram& rhs);
   // Statement-major grouped execution of a linear trigger over same-sign
   // delta entries (see ApplyDeltaBatch).
   void RunLinearTriggerBatch(size_t trigger_idx,
                              const std::vector<Delta>& deltas);
-  void BuildGroupingPlan(const compiler::Trigger& trigger,
-                         const compiler::Statement& stmt,
-                         StatementPlan* plan);
-  void RunLoops(const compiler::Statement& stmt, const StatementPlan& plan,
-                size_t loop_index, const std::vector<Value>& params,
-                const compiler::TExpr& rhs, Bindings* bindings,
-                std::vector<Emission>* emissions);
-  void Emit(const compiler::Statement& stmt,
-            const std::vector<Value>& params, const compiler::TExpr& rhs,
-            const Bindings& bindings, std::vector<Emission>* emissions);
+  void RunLoops(const compiler::lower::StmtProgram& sp, size_t loop_index,
+                const Value* params, const compiler::lower::RhsProgram& rhs);
+  // Applies a loop's binds/filters from the enumerated key (or slice
+  // subkey); false when a filter rejects the entry.
+  bool BindLoop(const compiler::lower::LoopProgram& lp, const Value* key);
+  void Emit(const compiler::lower::StmtProgram& sp, const Value* params,
+            const compiler::lower::RhsProgram& rhs);
+  // The bytecode dispatch loop; returns the rhs value.
+  Numeric EvalRhs(const compiler::lower::StmtProgram& sp,
+                  const compiler::lower::RhsProgram& rhs,
+                  const Value* params);
+  Numeric AsNum(const Reg& r) const;
+
+  const Value& Resolve(const compiler::lower::StmtProgram& sp,
+                       compiler::lower::SlotRef ref,
+                       const Value* params) const {
+    switch (ref.source) {
+      case compiler::lower::SlotRef::Source::kParam:
+        return params[ref.index];
+      case compiler::lower::SlotRef::Source::kConst:
+        return sp.const_pool[ref.index];
+      case compiler::lower::SlotRef::Source::kFrame:
+        return frame_[ref.index];
+    }
+    RINGDB_CHECK(false);
+    return frame_[0];
+  }
+  // Materializes a key template into a reused scratch buffer.
+  void BuildKey(const compiler::lower::StmtProgram& sp,
+                compiler::lower::KeyTemplate t, const Value* params,
+                Key* out) {
+    out->resize(t.size);
+    const compiler::lower::SlotRef* refs = sp.slot_refs.data() + t.first;
+    for (size_t i = 0; i < t.size; ++i) {
+      (*out)[i] = Resolve(sp, refs[i], params);
+    }
+  }
 
   // Lazy domain maintenance (paper footnote 2): the first use of a slice
   // of a lazy_init view evaluates the view definition with the slice key
   // bound against the base database, materializing the whole slice.
   void InitializeLazySlice(int view_id, const Key& slice_key);
-  // Projects a full key onto the view's slice positions and initializes
-  // the slice if needed.
-  void EnsureSliceFor(int view_id, const Key& full_key);
-  Numeric ProbeView(int view_id, const Key& key);
-  void AddToView(int view_id, const Key& key, Numeric delta);
-
-  Value ResolveKey(const compiler::KeyRef& ref,
-                   const std::vector<Value>& params,
-                   const Bindings& bindings) const;
-  Numeric EvalNumeric(const compiler::TExpr& e,
-                      const std::vector<Value>& params,
-                      const Bindings& bindings);
-  Value EvalValue(const compiler::TExpr& e, const std::vector<Value>& params,
-                  const Bindings& bindings);
+  // Initializes the slice (given directly as its subkey) if needed.
+  void EnsureSlice(int view_id, const Key& slice_key) {
+    if (!slices_[static_cast<size_t>(view_id)].contains(slice_key)) {
+      InitializeLazySlice(view_id, slice_key);
+    }
+  }
+  Numeric ProbeView(const compiler::lower::ProbePlan& plan, const Key& key);
 
   compiler::TriggerProgram program_;
+  std::shared_ptr<const compiler::lower::LoweredProgram> lowered_;
   // Base database, maintained only when some view needs lazy
   // initialization (the pure view hierarchy never reads it otherwise).
   bool has_lazy_views_ = false;
@@ -178,16 +201,29 @@ class Executor {
   std::vector<ViewMap> views_;
   // Initialized slice subkeys per lazy view (empty sets for non-lazy).
   std::vector<std::unordered_set<Key, KeyHash>> slices_;
-  // trigger index per (relation, sign): parallel to program_.triggers.
-  std::unordered_map<uint64_t, size_t> trigger_index_;
-  std::vector<std::vector<StatementPlan>> plans_;  // per trigger
-  // Scratch buffers reused across statement executions (the batch path
-  // fires thousands of statements per call; per-firing allocation of the
-  // binding map and emission buffer dominated the interpreter profile).
-  Bindings bindings_scratch_;
-  std::vector<Emission> emissions_scratch_;
-  // Shared "1" rhs for grouped statements whose whole rhs folded away.
-  compiler::TExprPtr foldable_empty_rhs_;
+  // Flat (relation, sign) -> trigger index map; -1 = no trigger.
+  uint32_t trigger_base_ = 0;  // smallest trigger relation id
+  std::vector<int32_t> trigger_lookup_;
+
+  // Shared execution scratch, sized once at construction from the
+  // lowered program's maxima. Nothing below allocates per firing.
+  std::vector<Value> frame_;          // loop-variable slots
+  std::vector<Reg> stack_;            // rhs register stack
+  std::vector<Numeric> loop_values_;  // per-depth driver-entry value
+  std::vector<Key> loop_key_scratch_;  // per-depth index probe subkeys
+  Key probe_scratch_;                  // rhs view-lookup keys
+  Key slice_scratch_;                  // lazy slice subkeys
+  // Deferred emissions of the running statement: target keys flattened
+  // into one Value buffer (arity-sized chunks) plus parallel deltas.
+  // Buffered because a statement may loop over its own target view
+  // (domain maintenance), and mutating a view during enumeration is
+  // undefined.
+  std::vector<Value> emission_keys_;
+  std::vector<Numeric> emission_values_;
+  // Batch grouping scratch (RunLinearTriggerBatch).
+  Key shape_scratch_;
+  std::unordered_map<Key, size_t, KeyHash> groups_scratch_;
+  std::vector<std::pair<const std::vector<Value>*, Numeric>> reps_scratch_;
   Stats stats_;
 };
 

@@ -55,14 +55,14 @@ bool ViewTable::Contains(const Key& key) const {
   return id != kNoEntry && !entries_[id].pending_erase;
 }
 
-void ViewTable::Add(const Key& key, Numeric delta) {
-  RINGDB_CHECK_EQ(key.size(), arity_);
+void ViewTable::Add(const Value* key, size_t n, Numeric delta) {
+  RINGDB_CHECK_EQ(n, arity_);
   if (delta.IsZero()) return;
   if (iter_depth_ == 0 && !pending_erases_.empty()) ApplyPendingErases();
-  const uint64_t hash = HashValues(key.data(), key.size());
-  const uint32_t id = FindEntryHashed(key.data(), key.size(), hash);
+  const uint64_t hash = HashValues(key, n);
+  const uint32_t id = FindEntryHashed(key, n, hash);
   if (id == kNoEntry) {
-    AppendEntry(key.data(), hash, delta);
+    AppendEntry(key, hash, delta);
     return;
   }
   Entry& e = entries_[id];

@@ -113,14 +113,20 @@ class ViewTable {
 
   bool Contains(const Key& key) const;
 
-  Numeric At(const Key& key) const {
-    const uint32_t id = FindEntry(key.data(), key.size());
+  Numeric At(const Key& key) const { return At(key.data(), key.size()); }
+  Numeric At(const Value* key, size_t n) const {
+    const uint32_t id = FindEntry(key, n);
     return id == kNoEntry ? kZero : entries_[id].value;
   }
 
   // entry[key] += delta, erasing on cancellation to zero; all registered
-  // indexes are maintained.
-  void Add(const Key& key, Numeric delta);
+  // indexes are maintained. The pointer overload lets callers keep keys
+  // in flat reused buffers (the interpreter's emission path) instead of
+  // allocating a Key per call.
+  void Add(const Key& key, Numeric delta) {
+    Add(key.data(), key.size(), delta);
+  }
+  void Add(const Value* key, size_t n, Numeric delta);
 
   // Inserts an entry with the given value (even zero) if absent; used to
   // mark a lazily initialized key. No-op when the key exists.

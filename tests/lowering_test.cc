@@ -1,0 +1,368 @@
+// The bytecode executor (compiler/lower.h + runtime/interpreter.h)
+// against the AGCA evaluation function [[.]] (agca/eval.h) as oracle:
+// for a pool of query scenarios covering joins, self-joins, grouping,
+// inequalities (lazy domain maintenance), arithmetic, and string keys,
+// the engine's maintained root view must equal re-evaluating
+// Sum_[group_vars](body) on the base database after every window of a
+// random mixed insert/delete stream — across batch sizes {1, 7, 1024}
+// and shard counts {1, 2, 8}. Also locks the lowering invariants the
+// perf work depends on: loop-value forwarding in the grouped rhs, and
+// exact operation-count parity with the tree-walking interpreter the
+// bytecode replaced (the NC0 constants of bench_opcount).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "agca/ast.h"
+#include "agca/eval.h"
+#include "compiler/compile.h"
+#include "compiler/lower.h"
+#include "ring/database.h"
+#include "runtime/engine.h"
+#include "util/random.h"
+
+namespace ringdb {
+namespace {
+
+using agca::CmpOp;
+using agca::Expr;
+using agca::ExprPtr;
+using agca::Term;
+using ring::Catalog;
+using ring::Update;
+using runtime::Engine;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+ExprPtr V(const char* name) { return Expr::Var(S(name)); }
+
+struct Scenario {
+  std::string name;
+  Catalog catalog;
+  std::vector<Symbol> group_vars;
+  ExprPtr body;
+  int domain_size = 3;
+  bool strings = false;
+};
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> out;
+  {
+    Scenario s;
+    s.name = "scalar_count";
+    s.catalog.AddRelation(S("LwA"), {S("A")});
+    s.body = Expr::Relation(S("LwA"), {Term(S("x"))});
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "self_join_count";  // nonlinear: unit-firing fallback
+    s.catalog.AddRelation(S("LwB"), {S("A")});
+    s.body = Expr::Mul({Expr::Relation(S("LwB"), {Term(S("x"))}),
+                        Expr::Relation(S("LwB"), {Term(S("y"))}),
+                        Expr::Cmp(CmpOp::kEq, V("x"), V("y"))});
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "grouped_join_sum";  // revenue shape: grouped batch path
+    s.catalog.AddRelation(S("LwO"), {S("ok"), S("ck")});
+    s.catalog.AddRelation(S("LwL"), {S("ok2"), S("price")});
+    s.group_vars = {S("c")};
+    s.body = Expr::Mul(
+        {Expr::Relation(S("LwO"), {Term(S("o")), Term(S("c"))}),
+         Expr::Relation(S("LwL"), {Term(S("o")), Term(S("p"))}), V("p")});
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "three_way_chain";
+    s.catalog.AddRelation(S("LwR3"), {S("A"), S("B")});
+    s.catalog.AddRelation(S("LwS3"), {S("C"), S("D")});
+    s.catalog.AddRelation(S("LwT3"), {S("E"), S("F")});
+    s.body = Expr::Mul(
+        {Expr::Relation(S("LwR3"), {Term(S("a")), Term(S("b"))}),
+         Expr::Relation(S("LwS3"), {Term(S("b")), Term(S("d"))}),
+         Expr::Relation(S("LwT3"), {Term(S("d")), Term(S("f"))}), V("a"),
+         V("f")});
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "inequality_join";  // lazy domain maintenance, <
+    s.catalog.AddRelation(S("LwRg"), {S("A")});
+    s.catalog.AddRelation(S("LwSg"), {S("A")});
+    s.body = Expr::Mul({Expr::Relation(S("LwRg"), {Term(S("x"))}),
+                        Expr::Relation(S("LwSg"), {Term(S("y"))}),
+                        Expr::Cmp(CmpOp::kLt, V("x"), V("y"))});
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "grouped_inequality";  // lazy + free group key
+    s.catalog.AddRelation(S("LwRo"), {S("g"), S("A")});
+    s.catalog.AddRelation(S("LwSo"), {S("A")});
+    s.group_vars = {S("g")};
+    s.body =
+        Expr::Mul({Expr::Relation(S("LwRo"), {Term(S("g")), Term(S("x"))}),
+                   Expr::Relation(S("LwSo"), {Term(S("y"))}),
+                   Expr::Cmp(CmpOp::kGt, V("x"), V("y"))});
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "not_equal_join";
+    s.catalog.AddRelation(S("LwRm"), {S("A")});
+    s.catalog.AddRelation(S("LwSm"), {S("A")});
+    s.body = Expr::Mul({Expr::Relation(S("LwRm"), {Term(S("x"))}),
+                        Expr::Relation(S("LwSm"), {Term(S("y"))}),
+                        Expr::Cmp(CmpOp::kNe, V("x"), V("y")), V("y")});
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "string_keys_grouped";
+    s.catalog.AddRelation(S("LwRh"), {S("k"), S("v")});
+    s.group_vars = {S("k")};
+    s.body = Expr::Mul(
+        {Expr::Relation(S("LwRh"), {Term(S("k")), Term(S("v"))}), V("v")});
+    s.strings = true;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "constant_selection";
+    s.catalog.AddRelation(S("LwRi"), {S("A"), S("B")});
+    s.body = Expr::Relation(S("LwRi"), {Term(S("x")), Term(Value(1))});
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "difference_of_counts";
+    s.catalog.AddRelation(S("LwRj"), {S("A")});
+    s.catalog.AddRelation(S("LwSj"), {S("A")});
+    s.body = Expr::Add({Expr::Relation(S("LwRj"), {Term(S("x"))}),
+                        Expr::Neg(Expr::Relation(S("LwSj"), {Term(S("y"))}))});
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "degree_three_self_join";
+    s.catalog.AddRelation(S("LwRk"), {S("A")});
+    s.body = Expr::Mul({Expr::Relation(S("LwRk"), {Term(S("x"))}),
+                        Expr::Relation(S("LwRk"), {Term(S("y"))}),
+                        Expr::Relation(S("LwRk"), {Term(S("z"))}),
+                        Expr::Cmp(CmpOp::kEq, V("x"), V("y")),
+                        Expr::Cmp(CmpOp::kEq, V("y"), V("z"))});
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "two_group_vars";
+    s.catalog.AddRelation(S("LwRp"), {S("A"), S("B")});
+    s.catalog.AddRelation(S("LwSp"), {S("B"), S("C")});
+    s.group_vars = {S("a"), S("c")};
+    s.body = Expr::Mul(
+        {Expr::Relation(S("LwRp"), {Term(S("a")), Term(S("b"))}),
+         Expr::Relation(S("LwSp"), {Term(S("b")), Term(S("c"))})});
+    out.push_back(s);
+  }
+  return out;
+}
+
+// Mixed insert/delete stream with skew: min-of-two-uniforms concentrates
+// mass on small values, so coalesced batches contain net multiplicities
+// beyond ±1 (scaled firings) and exact cancellations.
+Update RandomUpdate(const Scenario& s, Rng& rng) {
+  std::vector<Symbol> rels = s.catalog.RelationNames();
+  std::sort(rels.begin(), rels.end());
+  Symbol rel = rels[rng.Below(rels.size())];
+  std::vector<Value> values;
+  for (size_t i = 0; i < s.catalog.Arity(rel); ++i) {
+    if (s.strings && i == 0) {
+      values.emplace_back("k" + std::to_string(rng.Range(0, 2)));
+    } else {
+      values.emplace_back(std::min(
+          rng.Range(0, static_cast<int64_t>(s.domain_size)),
+          rng.Range(0, static_cast<int64_t>(s.domain_size))));
+    }
+  }
+  return rng.Bernoulli(0.6) ? Update::Insert(rel, std::move(values))
+                            : Update::Delete(rel, std::move(values));
+}
+
+// The oracle: [[Sum_[group_vars](body)]] on the maintained base database.
+class AgcaOracle {
+ public:
+  AgcaOracle(const Scenario& s)
+      : db_(s.catalog), query_(Expr::Sum(s.group_vars, s.body)) {}
+
+  void Apply(const Update& u) { db_.Apply(u); }
+
+  ring::Gmr Result() const {
+    auto g = agca::Evaluate(query_, db_, ring::Tuple());
+    RINGDB_CHECK(g.ok());
+    return *std::move(g);
+  }
+
+ private:
+  ring::Database db_;
+  ExprPtr query_;
+};
+
+class LoweringDifferentialTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LoweringDifferentialTest, BytecodeMatchesAgcaOracle) {
+  Scenario s = Scenarios()[GetParam()];
+  SCOPED_TRACE(s.name);
+  struct Config {
+    size_t batch_size;
+    size_t num_shards;
+  };
+  const std::vector<Config> configs = {
+      {1, 1}, {7, 1}, {1024, 1}, {1, 2}, {7, 2}, {7, 8}, {1024, 8}};
+  std::vector<Engine> engines;
+  for (const Config& c : configs) {
+    runtime::EngineOptions options;
+    options.batch_size = c.batch_size;
+    options.num_shards = c.num_shards;
+    auto e = Engine::Create(s.catalog, s.group_vars, s.body, options);
+    ASSERT_TRUE(e.ok()) << e.status().ToString();
+    engines.push_back(std::move(*e));
+  }
+  AgcaOracle oracle(s);
+
+  Rng rng(4200 + GetParam());
+  for (int window = 0; window < 6; ++window) {
+    std::vector<Update> updates;
+    for (int i = 0; i < 40; ++i) updates.push_back(RandomUpdate(s, rng));
+    for (const Update& u : updates) oracle.Apply(u);
+    ring::Gmr expected = oracle.Result();
+    for (size_t e = 0; e < engines.size(); ++e) {
+      ASSERT_TRUE(engines[e].ApplyBatch(updates).ok());
+      ASSERT_EQ(expected, engines[e].ResultGmr())
+          << "window " << window << " batch " << configs[e].batch_size
+          << " shards " << engines[e].num_shards()
+          << "\noracle:  " << expected.ToString()
+          << "\nengine:  " << engines[e].ResultGmr().ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, LoweringDifferentialTest,
+                         ::testing::Range<size_t>(0, Scenarios().size()),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return Scenarios()[info.param].name;
+                         });
+
+// Loop-value forwarding: in the revenue-shaped grouped statement the rhs
+// view lookup has the same pattern as the loop driver, so the lowered
+// program must read the enumerated entry's multiplicity (loopval) instead
+// of re-probing the view.
+TEST(LoweringTest, ForwardsLoopDriverValueInGroupedRhs) {
+  Catalog catalog;
+  catalog.AddRelation(S("LwFo"), {S("ok"), S("ck")});
+  catalog.AddRelation(S("LwFl"), {S("ok2"), S("price")});
+  ExprPtr body = Expr::Mul(
+      {Expr::Relation(S("LwFo"), {Term(S("o")), Term(S("c"))}),
+       Expr::Relation(S("LwFl"), {Term(S("o")), Term(S("p"))}), V("p")});
+  auto compiled = compiler::Compile(catalog, {S("c")}, body);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  auto lowered = compiler::lower::Lower(compiled->program);
+  bool any_forward = false;
+  size_t loopy_statements = 0;
+  for (size_t t = 0; t < lowered->stmts.size(); ++t) {
+    for (const compiler::lower::StmtProgram& sp : lowered->stmts[t]) {
+      if (sp.loops.empty()) continue;
+      ++loopy_statements;
+      for (const compiler::lower::Op& op : sp.rhs.ops) {
+        if (op.code == compiler::lower::OpCode::kLoadLoopValue) {
+          any_forward = true;
+          // A forwarded rhs must not also probe the driver view.
+          for (const compiler::lower::ProbePlan& p : sp.probes) {
+            EXPECT_NE(p.view_id, sp.loops[op.a].view_id)
+                << sp.ToString();
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(loopy_statements, 0u);
+  EXPECT_TRUE(any_forward);
+}
+
+// NC0 regression: the bytecode executor must report the exact operation
+// counts the tree-walking interpreter reported (bench_opcount baselines,
+// recorded before the rewrite). The constant-work claim is only evidence
+// if the instrument itself is stable across executor rewrites.
+TEST(LoweringTest, OperationCountsMatchTreeWalkerBaselines) {
+  struct Spec {
+    const char* rel;
+    int degree;  // number of self-join factors
+    uint64_t expected_ops_per_update;
+  };
+  // Baselines: count(R)=1, deg-2 self-join=5, deg-4 self-join=63.
+  const Spec specs[] = {{"LwOc1", 1, 1}, {"LwOc2", 2, 5}, {"LwOc4", 4, 63}};
+  for (const Spec& spec : specs) {
+    Catalog catalog;
+    Symbol r = S(spec.rel);
+    catalog.AddRelation(r, {S("A")});
+    std::vector<ExprPtr> fs;
+    const char* vars[] = {"x", "y", "z", "w"};
+    for (int i = 0; i < spec.degree; ++i) {
+      fs.push_back(Expr::Relation(r, {Term(S(vars[i]))}));
+    }
+    for (int i = 0; i + 1 < spec.degree; ++i) {
+      fs.push_back(
+          Expr::Cmp(CmpOp::kEq, V(vars[i]), V(vars[i + 1])));
+    }
+    ExprPtr body = spec.degree == 1 ? fs[0] : Expr::Mul(std::move(fs));
+    auto engine = Engine::Create(catalog, {}, body);
+    ASSERT_TRUE(engine.ok());
+    Rng rng(7);
+    // Cover the whole domain first: a fresh value's zero-valued probe
+    // skips emissions (in both executors), which would perturb the
+    // measured constant.
+    for (int64_t v = 0; v < 64; ++v) {
+      ASSERT_TRUE(engine->Insert(r, {Value(v)}).ok());
+    }
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(engine->Insert(r, {Value(rng.Range(0, 64))}).ok());
+    }
+    uint64_t before = engine->executor().stats().arithmetic_ops;
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(engine->Insert(r, {Value(rng.Range(0, 64))}).ok());
+    }
+    uint64_t ops = engine->executor().stats().arithmetic_ops - before;
+    EXPECT_EQ(ops, spec.expected_ops_per_update * 100)
+        << spec.rel << " degree " << spec.degree;
+  }
+}
+
+// Scratch-buffer reuse contract: firing the same statements repeatedly
+// must not leak state between firings (frame slots and emission buffers
+// are shared across all statements of a program).
+TEST(LoweringTest, RepeatedFiringsAreIndependent) {
+  Catalog catalog;
+  catalog.AddRelation(S("LwIx"), {S("A"), S("B")});
+  catalog.AddRelation(S("LwIy"), {S("B"), S("C")});
+  ExprPtr body = Expr::Mul(
+      {Expr::Relation(S("LwIx"), {Term(S("a")), Term(S("b"))}),
+       Expr::Relation(S("LwIy"), {Term(S("b")), Term(S("c"))}), V("c")});
+  auto engine = Engine::Create(catalog, {S("a")}, body);
+  ASSERT_TRUE(engine.ok());
+  AgcaOracle oracle(
+      {"ix", catalog, {S("a")}, body, /*domain_size=*/3, false});
+  Rng rng(17);
+  Scenario s{"ix", catalog, {S("a")}, body, 3, false};
+  for (int i = 0; i < 200; ++i) {
+    Update u = RandomUpdate(s, rng);
+    ASSERT_TRUE(engine->Apply(u).ok());
+    oracle.Apply(u);
+  }
+  EXPECT_EQ(oracle.Result(), engine->ResultGmr());
+}
+
+}  // namespace
+}  // namespace ringdb
