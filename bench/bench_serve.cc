@@ -1,0 +1,312 @@
+// E12 — concurrent serving throughput (src/serve/): K reader threads ×
+// M standing queries over one zipf write stream through QueryService.
+// Readers hammer snapshot point lookups (wait-free RCU reads) while the
+// ingest pipeline applies batches and republishes snapshots; the single-
+// writer Engine::ApplyBatch throughput on the same stream is measured
+// first as the baseline, so the table shows what fraction of raw
+// maintenance throughput survives serving (snapshot publication + fan-
+// out) and how many reads ride along for free. This is the first bench
+// where read throughput exists at all: before serve/, results could only
+// be read between batches on the writer thread.
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/engine.h"
+#include "serve/query_service.h"
+#include "sql/translate.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+#include "workload/stream.h"
+
+namespace {
+
+using ringdb::Numeric;
+using ringdb::Symbol;
+using ringdb::Value;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+
+struct Options {
+  int updates = 200000;
+  int readers = 4;
+  int queries = 2;
+  size_t batch_size = 1024;
+  size_t shards = 1;
+  std::string json_path = "BENCH_serve.dev.json";
+  std::string label = "dev";
+};
+
+struct Result {
+  int readers;
+  int queries;
+  size_t batch_size;
+  size_t shards;
+  double base_upd_per_s;  // single-writer Engine::ApplyBatch, no serving
+  double upd_per_s;       // service ingest throughput with readers live
+  double reads_per_s;     // aggregate snapshot reads across reader threads
+  uint64_t final_version;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void WriteSnapshotJson(const Options& opt, const std::vector<Result>& results) {
+  if (opt.json_path.empty()) return;
+  std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"snapshots\": [\n");
+  std::fprintf(f, "    {\n      \"label\": \"%s\",\n      \"updates\": %d,\n",
+               JsonEscape(opt.label).c_str(), opt.updates);
+  std::fprintf(f, "      \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::fprintf(f,
+                 "        {\"readers\": %d, \"queries\": %d, "
+                 "\"batch_size\": %zu, \"shards\": %zu, "
+                 "\"base_upd_per_s\": %.0f, \"upd_per_s\": %.0f, "
+                 "\"reads_per_s\": %.0f, \"final_version\": %llu}%s\n",
+                 r.readers, r.queries, r.batch_size, r.shards,
+                 r.base_upd_per_s, r.upd_per_s, r.reads_per_s,
+                 static_cast<unsigned long long>(r.final_version),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "      ]\n    }\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu results)\n", opt.json_path.c_str(),
+              results.size());
+}
+
+std::vector<ringdb::ring::Update> MakeUpdates(
+    const ringdb::ring::Catalog& catalog, int count) {
+  ringdb::workload::StreamOptions options;
+  options.seed = 99;
+  options.domain_size = 4096;
+  options.zipf_s = 1.1;
+  options.delete_fraction = 0.15;
+  std::vector<ringdb::workload::RelationStream> streams;
+  streams.emplace_back(catalog, S("orders"), options);
+  streams.emplace_back(catalog, S("lineitem"), options);
+  ringdb::workload::RoundRobinStream stream(std::move(streams));
+  std::vector<ringdb::ring::Update> updates;
+  updates.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) updates.push_back(stream.Next());
+  return updates;
+}
+
+// The M standing queries: the revenue join and the per-customer order
+// count, alternating (both multiplicity-linear and okey/ckey-groupable,
+// the shape the serving fan-out is built for).
+const char* QuerySql(int index) {
+  return index % 2 == 0
+             ? "SELECT o.ckey, SUM(l.price * l.qty) FROM orders o, "
+               "lineitem l WHERE o.okey = l.okey GROUP BY o.ckey"
+             : "SELECT o.ckey, SUM(1) FROM orders o GROUP BY o.ckey";
+}
+
+void Run(const Options& opt) {
+  ringdb::ring::Catalog catalog = ringdb::workload::OrdersSchema();
+  std::vector<ringdb::ring::Update> updates =
+      MakeUpdates(catalog, opt.updates);
+
+  std::printf(
+      "serve read/write mix: %d updates (zipf 1.1, 15%% del), "
+      "%d queries, %d readers, batch %zu, %zu shard(s)\n\n",
+      opt.updates, opt.queries, opt.readers, opt.batch_size, opt.shards);
+
+  // Baseline: one engine, one thread, no serving machinery.
+  double base_upd_per_s = 0.0;
+  {
+    auto translated = ringdb::sql::TranslateSql(catalog, QuerySql(0));
+    if (!translated.ok()) {
+      std::fprintf(stderr, "%s\n", translated.status().ToString().c_str());
+      return;
+    }
+    ringdb::runtime::EngineOptions engine_options;
+    engine_options.batch_size = opt.batch_size;
+    auto engine = ringdb::runtime::Engine::Create(
+        catalog, translated->group_vars, translated->body, engine_options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return;
+    }
+    auto start = std::chrono::steady_clock::now();
+    (void)engine->ApplyBatch(updates);
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    base_upd_per_s = opt.updates / elapsed;
+  }
+
+  // The service under reader load.
+  ringdb::serve::ServeOptions serve_options;
+  serve_options.batch_size = opt.batch_size;
+  serve_options.num_shards = opt.shards;
+  serve_options.queue_capacity = 1 << 15;
+  ringdb::serve::QueryService service(catalog, serve_options);
+  std::vector<ringdb::serve::QueryId> query_ids;
+  for (int i = 0; i < opt.queries; ++i) {
+    auto id = service.RegisterSql("q" + std::to_string(i), QuerySql(i));
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return;
+    }
+    query_ids.push_back(*id);
+  }
+  service.Start();
+
+  std::atomic<bool> stop_readers{false};
+  std::atomic<uint64_t> total_reads{0};
+  std::atomic<int64_t> checksum{0};  // defeats dead-read elimination
+  std::vector<std::thread> readers;
+  readers.reserve(static_cast<size_t>(opt.readers));
+  for (int r = 0; r < opt.readers; ++r) {
+    readers.emplace_back([&, r] {
+      ringdb::Rng rng(ringdb::workload::ChildSeed(4242, r));
+      ringdb::Zipf zipf(4096, 1.1);
+      uint64_t reads = 0;
+      int64_t local_sum = 0;
+      std::vector<Value> key(1);
+      while (!stop_readers.load(std::memory_order_relaxed)) {
+        const ringdb::serve::QueryId q =
+            query_ids[reads % query_ids.size()];
+        key[0] = Value(static_cast<int64_t>(zipf.Sample(rng)));
+        Numeric v = service.Get(q, key);
+        local_sum ^= static_cast<int64_t>(v.Hash());
+        ++reads;
+      }
+      total_reads.fetch_add(reads);
+      checksum.fetch_add(local_sum);
+    });
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  for (const ringdb::ring::Update& update : updates) {
+    (void)service.Push(update);
+  }
+  service.Drain();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  stop_readers.store(true);
+  for (std::thread& t : readers) t.join();
+  const uint64_t final_version = service.version(query_ids[0]);
+  service.Stop();
+  if (!service.status().ok()) {
+    std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
+    return;
+  }
+
+  Result result;
+  result.readers = opt.readers;
+  result.queries = opt.queries;
+  result.batch_size = opt.batch_size;
+  result.shards = opt.shards;
+  result.base_upd_per_s = base_upd_per_s;
+  result.upd_per_s = opt.updates / elapsed;
+  result.reads_per_s = total_reads.load() / elapsed;
+  result.final_version = final_version;
+
+  ringdb::TablePrinter table({"config", "upd/s", "vs single-writer",
+                              "reads/s", "windows"});
+  char a[32], b[32], c[32], d[32];
+  std::snprintf(a, sizeof(a), "%.0f", result.upd_per_s);
+  std::snprintf(b, sizeof(b), "%.0f%%",
+                100.0 * result.upd_per_s / result.base_upd_per_s);
+  std::snprintf(c, sizeof(c), "%.0f", result.reads_per_s);
+  std::snprintf(d, sizeof(d), "%llu",
+                static_cast<unsigned long long>(result.final_version));
+  table.AddRow({"serve (" + std::to_string(opt.queries) + "q, " +
+                    std::to_string(opt.readers) + "r)",
+                a, b, c, d});
+  std::snprintf(a, sizeof(a), "%.0f", result.base_upd_per_s);
+  table.AddRow({"single-writer engine", a, "100%", "-", "-"});
+  std::printf("%s", table.Render().c_str());
+  std::printf("(read checksum %lld)\n",
+              static_cast<long long>(checksum.load()));
+
+  WriteSnapshotJson(opt, {result});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  auto parse_positive = [&](const char* flag, const char* arg, long max,
+                            long* out) {
+    errno = 0;
+    char* end = nullptr;
+    const long v = std::strtol(arg, &end, 10);
+    if (end == arg || *end != '\0' || errno == ERANGE || v <= 0 || v > max) {
+      std::fprintf(stderr, "%s wants a positive integer <= %ld, got %s\n",
+                   flag, max, arg);
+      return false;
+    }
+    *out = v;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    long v = 0;
+    if (std::strcmp(argv[i], "--updates") == 0 && i + 1 < argc) {
+      if (!parse_positive("--updates", argv[++i], 1000000000L, &v)) return 2;
+      opt.updates = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--readers") == 0 && i + 1 < argc) {
+      // 0 readers is allowed: it isolates the serving pipeline's own
+      // overhead (coalesce-once fan-out + snapshot publication).
+      errno = 0;
+      char* end = nullptr;
+      v = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || errno == ERANGE || v < 0 ||
+          v > 256) {
+        std::fprintf(stderr, "--readers wants an integer in [0, 256]\n");
+        return 2;
+      }
+      opt.readers = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      if (!parse_positive("--queries", argv[++i], 64, &v)) return 2;
+      opt.queries = static_cast<int>(v);
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      if (!parse_positive("--batch", argv[++i], 1 << 20, &v)) return 2;
+      opt.batch_size = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      if (!parse_positive("--shards", argv[++i], 64, &v)) return 2;
+      opt.shards = static_cast<size_t>(v);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      opt.json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      opt.label = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--updates N] [--readers K] [--queries M] "
+                   "[--batch B] [--shards S] [--json PATH] [--label STR]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  Run(opt);
+  return 0;
+}

@@ -47,17 +47,23 @@ std::string UpdateBatch::ToString() const {
   return out.str();
 }
 
-Status BatchBuilder::Add(Symbol relation, const std::vector<Value>& values,
-                         Numeric multiplicity) {
-  if (!catalog_->Has(relation)) {
+Status BatchBuilder::Validate(const ring::Catalog& catalog, Symbol relation,
+                              const std::vector<Value>& values) {
+  if (!catalog.Has(relation)) {
     return Status::NotFound("unknown relation " + relation.str());
   }
-  if (catalog_->Arity(relation) != values.size()) {
+  if (catalog.Arity(relation) != values.size()) {
     return Status::InvalidArgument(
         "arity mismatch in update of " + relation.str() + ": expected " +
-        std::to_string(catalog_->Arity(relation)) + " values, got " +
+        std::to_string(catalog.Arity(relation)) + " values, got " +
         std::to_string(values.size()));
   }
+  return Status::Ok();
+}
+
+Status BatchBuilder::Add(Symbol relation, const std::vector<Value>& values,
+                         Numeric multiplicity) {
+  RINGDB_RETURN_IF_ERROR(Validate(*catalog_, relation, values));
   if (multiplicity.IsZero()) return Status::Ok();
   RINGDB_CHECK(multiplicity.is_integer());
   int64_t m = multiplicity.AsInt();

@@ -80,6 +80,13 @@ class BatchBuilder {
   Status Add(Symbol relation, const std::vector<Value>& values,
              Numeric multiplicity);
 
+  // The validation Add performs (relation known, arity matches), exposed
+  // so producer-facing layers (serve::QueryService::Push) can reject bad
+  // events eagerly with the identical error — an update passing Validate
+  // cannot fail Add.
+  static Status Validate(const ring::Catalog& catalog, Symbol relation,
+                         const std::vector<Value>& values);
+
   // Events accumulated since the last Build (tuple-units, pre-coalesce).
   uint64_t pending_updates() const { return pending_updates_; }
 

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "compiler/ir.h"
@@ -70,6 +71,39 @@ class ShardedExecutor {
     for (const auto& shard : shards_) shard->root().ForEach(fn);
   }
 
+  // Like ForEachRoot, but group keys appearing in several shards are
+  // pre-merged by ring addition: fn sees each root key exactly once with
+  // its global multiplicity (keys whose shard contributions cancel to
+  // zero are skipped). The merge map is member scratch with a reserve
+  // sized from the previous merge's cardinality — snapshot publication
+  // (serve::QueryService) calls this once per applied batch, and steady-
+  // state result sizes drift slowly, so rehash growth is a one-time cost
+  // instead of a per-batch one. Single-shard executors stream straight
+  // from the root table, no map at all. The scratch is guarded by its
+  // own mutex (one uncontended lock per call, not per entry) so
+  // concurrent const readers on a quiescent executor stay safe; racing
+  // the *writer* is still on the caller, as for every read path here.
+  template <typename Fn>
+  void ForEachRootMerged(Fn&& fn) const {
+    if (shards_.size() == 1) {
+      shards_[0]->root().ForEach(fn);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    merge_scratch_.clear();
+    merge_scratch_.reserve(last_merge_size_ + last_merge_size_ / 8 + 8);
+    for (const auto& shard : shards_) {
+      shard->root().ForEach([&](runtime::KeyView key, Numeric m) {
+        auto [it, inserted] = merge_scratch_.try_emplace(key.ToKey(), m);
+        if (!inserted) it->second += m;
+      });
+    }
+    last_merge_size_ = merge_scratch_.size();
+    for (const auto& [key, m] : merge_scratch_) {
+      if (!m.IsZero()) fn(runtime::KeyView(key), m);
+    }
+  }
+
   // Sums of per-shard counters (reads are only safe between batches).
   runtime::Executor::Stats AggregateStats() const;
   void ResetStats();
@@ -90,6 +124,14 @@ class ShardedExecutor {
 
   PartitionScheme scheme_;
   std::vector<std::unique_ptr<runtime::Executor>> shards_;
+
+  // ForEachRootMerged scratch (mutable: merge-on-read is logically
+  // const). Reused across calls, guarded by merge_mu_; see the method
+  // comment.
+  mutable std::mutex merge_mu_;
+  mutable std::unordered_map<runtime::Key, Numeric, runtime::KeyHash>
+      merge_scratch_;
+  mutable size_t last_merge_size_ = 0;
 
   // Worker pool state: workers_[i] serves shard i + 1 (shard 0 runs on
   // the calling thread), guarded by mu_. A batch publishes shard_work_,

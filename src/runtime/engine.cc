@@ -34,6 +34,7 @@ Engine::Engine(compiler::CompiledQuery compiled,
           sharded_->shard(0).program().catalog)) {}
 
 Status Engine::ApplyBatch(const std::vector<ring::Update>& updates) {
+  ApplyGuard guard(apply_depth_.get());
   const size_t window = std::max<size_t>(options_.batch_size, 1);
   size_t i = 0;
   while (i < updates.size()) {
@@ -53,7 +54,13 @@ Status Engine::ApplyBatch(const std::vector<ring::Update>& updates) {
   return Status::Ok();
 }
 
+Status Engine::ApplyPrepared(const exec::UpdateBatch& batch) {
+  ApplyGuard guard(apply_depth_.get());
+  return sharded_->ApplyBatch(batch);
+}
+
 Numeric Engine::ResultScalar() const {
+  CheckNotApplying();
   RINGDB_CHECK(group_vars_.empty());
   Numeric total = kZero;
   for (size_t i = 0; i < sharded_->num_shards(); ++i) {
@@ -63,6 +70,7 @@ Numeric Engine::ResultScalar() const {
 }
 
 Numeric Engine::ResultAt(const std::vector<Value>& group_values) const {
+  CheckNotApplying();
   RINGDB_CHECK_EQ(group_values.size(), group_vars_.size());
   Key key(group_values.size());
   for (size_t i = 0; i < group_values.size(); ++i) {
@@ -76,8 +84,9 @@ Numeric Engine::ResultAt(const std::vector<Value>& group_values) const {
 }
 
 ring::Gmr Engine::ResultGmr() const {
+  CheckNotApplying();
   ring::Gmr out;
-  sharded_->ForEachRoot([&](KeyView key, Numeric m) {
+  sharded_->ForEachRootMerged([&](KeyView key, Numeric m) {
     std::vector<ring::Tuple::Field> fields;
     fields.reserve(group_vars_.size());
     for (size_t i = 0; i < group_vars_.size(); ++i) {

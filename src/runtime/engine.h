@@ -17,10 +17,20 @@
 // application when the query admits a sound partition scheme (see
 // exec/partition.h). The single-tuple Apply is a batch of one routed to
 // its owning shard, so both APIs share one execution path.
+//
+// Thread safety: Engine is single-writer. Apply/ApplyBatch/ApplyPrepared
+// must not run concurrently with each other or with the result accessors
+// (ResultScalar/ResultAt/ResultGmr), which read the live view hierarchy
+// and would return torn state if they raced the writer. The accessors
+// CHECK-fail when an apply is in flight (a relaxed-atomic depth guard, so
+// misuse dies loudly instead of silently serving garbage). Concurrent
+// readers belong on serve::QueryService, which publishes an immutable
+// ResultSnapshot per applied batch and never blocks either side.
 
 #ifndef RINGDB_RUNTIME_ENGINE_H_
 #define RINGDB_RUNTIME_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -60,13 +70,25 @@ class Engine {
                                  std::vector<Symbol> group_vars,
                                  agca::ExprPtr body, EngineOptions options);
 
-  Status Apply(const ring::Update& update) { return sharded_->Apply(update); }
+  Status Apply(const ring::Update& update) {
+    ApplyGuard guard(apply_depth_.get());
+    return sharded_->Apply(update);
+  }
 
   // Applies the updates in windows of options.batch_size: each window is
   // coalesced into per-relation delta GMRs (opposite events cancel) and
   // executed shard-parallel. Any window size yields the same final state
   // as applying the updates one by one.
   Status ApplyBatch(const std::vector<ring::Update>& updates);
+
+  // Applies one already-coalesced batch (exec::BatchBuilder output)
+  // directly, bypassing this engine's builder. This is the multi-query
+  // serving hook: serve::QueryService coalesces each ingest window's
+  // per-relation delta GMRs once and feeds the same UpdateBatch to every
+  // registered query's engine, so the coalescing cost amortizes across
+  // queries. The batch must be built against this engine's catalog;
+  // relations the query never mentions are no-ops.
+  Status ApplyPrepared(const exec::UpdateBatch& batch);
 
   Status Insert(Symbol relation, std::vector<Value> values) {
     return Apply(ring::Update::Insert(relation, std::move(values)));
@@ -97,6 +119,12 @@ class Engine {
   const exec::ShardedExecutor& sharded() const { return *sharded_; }
 
   const std::vector<Symbol>& group_vars() const { return group_vars_; }
+  // root_key_order()[i] = root-view key position holding the i-th group
+  // variable (view keys are stored in canonical order); snapshot
+  // extraction (serve/) permutes read keys through this.
+  const std::vector<size_t>& root_key_order() const {
+    return root_key_order_;
+  }
   const EngineOptions& options() const { return options_; }
   // Effective shard count (1 when the query is not partitionable).
   size_t num_shards() const { return sharded_->num_shards(); }
@@ -105,8 +133,29 @@ class Engine {
   }
 
  private:
+  // Marks an apply in flight for the duration of a scope; the result
+  // accessors check the depth so a reader racing the writer fails fast.
+  class ApplyGuard {
+   public:
+    explicit ApplyGuard(std::atomic<int>* depth) : depth_(depth) {
+      depth_->fetch_add(1, std::memory_order_relaxed);
+    }
+    ~ApplyGuard() { depth_->fetch_sub(1, std::memory_order_relaxed); }
+
+   private:
+    std::atomic<int>* depth_;
+  };
+
   Engine(compiler::CompiledQuery compiled, std::vector<Symbol> group_vars,
          EngineOptions options, exec::PartitionScheme scheme);
+
+  void CheckNotApplying() const {
+    // Racy by nature (that is the point: it only trips when a reader
+    // overlaps a writer); relaxed is enough for a diagnostic.
+    RINGDB_CHECK(apply_depth_->load(std::memory_order_relaxed) == 0 &&
+                 "Engine result accessor raced Apply/ApplyBatch; use "
+                 "serve::QueryService snapshots for concurrent reads");
+  }
 
   std::vector<Symbol> group_vars_;
   std::vector<size_t> root_key_order_;
@@ -115,6 +164,9 @@ class Engine {
   // (worker threads, mutexes).
   std::unique_ptr<exec::ShardedExecutor> sharded_;
   std::unique_ptr<exec::BatchBuilder> builder_;
+  // unique_ptr keeps Engine movable (atomics are not).
+  std::unique_ptr<std::atomic<int>> apply_depth_ =
+      std::make_unique<std::atomic<int>>(0);
 };
 
 }  // namespace runtime

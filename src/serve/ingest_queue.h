@@ -1,0 +1,98 @@
+// Bounded MPSC ingest queue with blocking backpressure.
+//
+// Producer threads Push update events; the serving batcher pops windows
+// of up to batch_size events at a time. The bound is the pipeline's flow
+// control: when view maintenance falls behind the producers, Push blocks
+// instead of growing an unbounded buffer (and instead of dropping
+// events), so memory stays fixed and producers pace themselves to the
+// sustainable ingest rate. Close() releases everyone — pending items
+// still drain, later Push calls fail, and PopWindow returns false once
+// the queue is empty.
+//
+// A mutex + two condvars over a deque is deliberately boring: the queue
+// hands off whole windows (one lock round-trip per batch on the consumer
+// side), so it is nowhere near the contention point of the pipeline —
+// the per-query trigger execution is.
+
+#ifndef RINGDB_SERVE_INGEST_QUEUE_H_
+#define RINGDB_SERVE_INGEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "ring/database.h"
+
+namespace ringdb {
+namespace serve {
+
+class IngestQueue {
+ public:
+  explicit IngestQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false iff the queue was
+  // closed (the update is not enqueued).
+  bool Push(ring::Update update) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(update));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Pops up to max_n events into *out (cleared first), blocking until at
+  // least one event is available. Returns false iff the queue is closed
+  // and fully drained.
+  bool PopWindow(size_t max_n, std::vector<ring::Update>* out) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    const size_t n = std::min(max_n, items_.size());
+    out->reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    lock.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<ring::Update> items_;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace ringdb
+
+#endif  // RINGDB_SERVE_INGEST_QUEUE_H_

@@ -1,0 +1,228 @@
+#include "serve/query_service.h"
+
+#include <utility>
+
+#include "sql/translate.h"
+#include "util/check.h"
+
+namespace ringdb {
+namespace serve {
+
+QueryService::QueryService(ring::Catalog catalog, ServeOptions options)
+    : catalog_(std::move(catalog)),
+      options_(options),
+      queue_(options.queue_capacity),
+      builder_(catalog_) {}
+
+QueryService::~QueryService() { Stop(); }
+
+StatusOr<QueryId> QueryService::Register(std::string name,
+                                         std::vector<Symbol> group_vars,
+                                         agca::ExprPtr body) {
+  if (started_ || stopped_) {
+    return Status::FailedPrecondition(
+        "queries must be registered before Start()");
+  }
+  runtime::EngineOptions engine_options;
+  engine_options.batch_size = options_.batch_size;
+  engine_options.num_shards = options_.num_shards;
+  RINGDB_ASSIGN_OR_RETURN(
+      runtime::Engine engine,
+      runtime::Engine::Create(catalog_, group_vars, std::move(body),
+                              engine_options));
+  auto info = std::make_shared<QueryInfo>();
+  info->name = std::move(name);
+  info->group_vars = std::move(group_vars);
+  info->key_order = engine.root_key_order();
+  auto query = std::make_unique<Query>();
+  query->info = info;
+  query->engine = std::make_unique<runtime::Engine>(std::move(engine));
+  for (const compiler::Trigger& trigger : query->engine->program().triggers) {
+    query->relevant_relations.insert(trigger.relation);
+  }
+  // The empty pre-ingest snapshot: readers are never handed a null.
+  query->snapshot.store(ResultSnapshot::Build(std::move(info),
+                                              *query->engine,
+                                              /*version=*/0,
+                                              /*updates_applied=*/0));
+  queries_.push_back(std::move(query));
+  return queries_.size() - 1;
+}
+
+StatusOr<QueryId> QueryService::RegisterSql(std::string name,
+                                            const std::string& sql) {
+  RINGDB_ASSIGN_OR_RETURN(sql::TranslatedQuery translated,
+                          sql::TranslateSql(catalog_, sql));
+  return Register(std::move(name), std::move(translated.group_vars),
+                  std::move(translated.body));
+}
+
+void QueryService::Start() {
+  RINGDB_CHECK(!started_ && !stopped_);
+  started_ = true;
+  for (size_t i = 1; i < queries_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  batcher_ = std::thread([this] { BatcherLoop(); });
+}
+
+Status QueryService::Push(const ring::Update& update) {
+  // Before Start there is no batcher to drain the queue: accepting the
+  // update would strand it (and leave a later Drain() waiting forever).
+  if (!started_) {
+    return Status::FailedPrecondition("Push before Start()");
+  }
+  // Eager validation — the exact check BatchBuilder::Add performs — so
+  // the producer gets the error and the batcher can treat builder
+  // failures as impossible.
+  RINGDB_RETURN_IF_ERROR(exec::BatchBuilder::Validate(
+      catalog_, update.relation, update.values));
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++pushed_;
+  }
+  if (!queue_.Push(update)) {
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      --pushed_;
+    }
+    // The rollback may have made Drain's predicate true with no further
+    // applies coming (the queue is closed), so wake waiters here too.
+    drain_cv_.notify_all();
+    return Status::FailedPrecondition("ingest queue closed");
+  }
+  return Status::Ok();
+}
+
+void QueryService::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] { return applied_ >= pushed_; });
+}
+
+void QueryService::Stop() {
+  if (stopped_) return;
+  queue_.Close();
+  if (batcher_.joinable()) batcher_.join();  // drains accepted updates
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_workers_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  stopped_ = true;
+}
+
+const QueryInfo& QueryService::query_info(QueryId id) const {
+  RINGDB_CHECK(id < queries_.size());
+  return *queries_[id]->info;
+}
+
+Status QueryService::status() const {
+  for (const auto& query : queries_) {
+    if (!query->apply_status.ok()) return query->apply_status;
+  }
+  return Status::Ok();
+}
+
+runtime::Engine& QueryService::engine(QueryId id) {
+  RINGDB_CHECK(id < queries_.size());
+  RINGDB_CHECK(!started_ || stopped_);
+  return *queries_[id]->engine;
+}
+
+void QueryService::ApplyAndPublish(size_t query_index,
+                                   const exec::UpdateBatch& batch,
+                                   uint64_t version,
+                                   uint64_t updates_applied) {
+  Query& query = *queries_[query_index];
+  // A window disjoint from the query's trigger relations cannot move
+  // the result: skip the no-op apply and the O(result-size) snapshot
+  // rebuild. The previous snapshot stays published — still a correct
+  // prefix of the stream, just labeled with its older epoch.
+  bool touches_query = false;
+  for (const exec::RelationDelta& delta : batch.deltas()) {
+    if (query.relevant_relations.contains(delta.relation)) {
+      touches_query = true;
+      break;
+    }
+  }
+  if (!touches_query) return;
+  Status applied = query.engine->ApplyPrepared(batch);
+  if (!applied.ok() && query.apply_status.ok()) {
+    query.apply_status = std::move(applied);
+  }
+  query.snapshot.store(ResultSnapshot::Build(query.info, *query.engine,
+                                             version, updates_applied));
+}
+
+void QueryService::WorkerLoop(size_t query_index) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const exec::UpdateBatch* batch = nullptr;
+    uint64_t version = 0;
+    uint64_t updates = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_workers_ || generation_ != seen_generation;
+      });
+      if (stop_workers_) return;
+      seen_generation = generation_;
+      batch = current_batch_;
+      version = current_version_;
+      updates = current_updates_;
+    }
+    ApplyAndPublish(query_index, *batch, version, updates);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void QueryService::BatcherLoop() {
+  std::vector<ring::Update> window;
+  uint64_t sequence = 0;
+  uint64_t cumulative_updates = 0;
+  while (queue_.PopWindow(options_.batch_size, &window)) {
+    for (const ring::Update& update : window) {
+      // Push validated relation and arity; Add cannot fail.
+      RINGDB_CHECK(builder_.Add(update).ok());
+    }
+    // The window's delta GMRs, built once for all queries.
+    exec::UpdateBatch batch = builder_.Build();
+    cumulative_updates += window.size();
+    const uint64_t version = ++sequence;
+    const size_t num_queries = queries_.size();
+    if (num_queries > 1) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        current_batch_ = &batch;
+        current_version_ = version;
+        current_updates_ = cumulative_updates;
+        pending_ = num_queries - 1;
+        ++generation_;
+      }
+      work_cv_.notify_all();
+    }
+    if (num_queries > 0) {
+      // Query 0 runs here: the batcher is an applier, not just a router.
+      ApplyAndPublish(0, batch, version, cumulative_updates);
+    }
+    if (num_queries > 1) {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] { return pending_ == 0; });
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      applied_ += window.size();
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace serve
+}  // namespace ringdb

@@ -1,0 +1,199 @@
+// Concurrent query serving: many standing queries over one ingest
+// stream, snapshot-isolated reads racing a single logical writer.
+//
+// The paper's point is that maintained views make query *results* cheap
+// to read; QueryService is the layer that lets arbitrarily many threads
+// actually read them while updates keep flowing. It hosts N registered
+// queries (SQL or AGCA) over one shared catalog, each compiled to its
+// own trigger program; one ingest stream fans out to all of them, with
+// each window's per-relation delta GMRs coalesced exactly once
+// (exec::BatchBuilder) and the same UpdateBatch fed to every query's
+// engine via Engine::ApplyPrepared — cancellation and dedup work
+// amortize across queries instead of repeating per query. After every
+// applied window each query publishes an immutable ResultSnapshot by
+// swapping its SnapshotCell (RCU-style), so readers get constant-time,
+// batch-consistent point lookups, scalar reads, and scans, and never
+// observe a half-applied window.
+//
+// Pipeline (each stage overlaps the others):
+//
+//   producers --Push--> IngestQueue (bounded, backpressure)
+//     --> batcher thread: window coalescing, fan-out
+//       --> per-query appliers (query 0 on the batcher thread, one
+//           worker thread per further query; each engine may be
+//           internally sharded on top) --> snapshot publication
+//
+//   serve::QueryService service(catalog, {.batch_size = 1024});
+//   auto revenue = service.RegisterSql("revenue",
+//       "SELECT o.ckey, SUM(l.price * l.qty) FROM orders o, lineitem l "
+//       "WHERE o.okey = l.okey GROUP BY o.ckey");
+//   service.Start();
+//   // producer threads:          reader threads:
+//   service.Push(update);         service.Get(*revenue, {Value(ckey)});
+//   service.Stop();
+
+#ifndef RINGDB_SERVE_QUERY_SERVICE_H_
+#define RINGDB_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "agca/ast.h"
+#include "exec/batch.h"
+#include "ring/database.h"
+#include "runtime/engine.h"
+#include "serve/ingest_queue.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+
+namespace ringdb {
+namespace serve {
+
+using QueryId = size_t;
+
+struct ServeOptions {
+  // Updates coalesced per applied window; also the snapshot cadence
+  // (one snapshot per query per window).
+  size_t batch_size = 1024;
+  // Data-parallel shards per query engine (subject to each query's
+  // partition analysis; see exec/partition.h).
+  size_t num_shards = 1;
+  // IngestQueue bound: producers block once this many events are
+  // pending (backpressure instead of unbounded buffering).
+  size_t queue_capacity = 1 << 16;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(ring::Catalog catalog, ServeOptions options = {});
+  ~QueryService();  // Stop()
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Registers the standing query Sum_[group_vars](body); compiles it to
+  // its trigger program on this service's catalog. Registration is only
+  // allowed before Start().
+  StatusOr<QueryId> Register(std::string name,
+                             std::vector<Symbol> group_vars,
+                             agca::ExprPtr body);
+  StatusOr<QueryId> RegisterSql(std::string name, const std::string& sql);
+
+  // Spawns the batcher and per-query worker threads; freezes
+  // registration. Snapshots (version 0, empty result) are readable even
+  // before Start.
+  void Start();
+
+  // Enqueues one update. Validated against the catalog here so the
+  // producer gets the error synchronously (the asynchronous batcher
+  // could only drop it). Blocks while the queue is full;
+  // FailedPrecondition outside the running window (before Start or
+  // after Stop).
+  Status Push(const ring::Update& update);
+
+  // Blocks until every successfully pushed update has been applied to
+  // every query and the corresponding snapshots published. Meaningful
+  // once the caller's producers are quiescent.
+  void Drain();
+
+  // Closes the queue (later Push calls fail), drains what was accepted,
+  // and joins all threads. Idempotent; snapshots stay readable forever.
+  void Stop();
+
+  size_t num_queries() const { return queries_.size(); }
+  const QueryInfo& query_info(QueryId id) const;
+  // First ingest/apply error, if any. Stable once Drain()/Stop()
+  // returned; racing appliers may not have recorded an error yet.
+  Status status() const;
+
+  // --- Read path: any thread, any time after registration -------------
+  // RCU-style reads: one shared_ptr copy out of the query's publication
+  // cell (a mutex held for nanoseconds; see SnapshotCell), then pure
+  // probes into immutable memory. No read ever blocks ingest for longer
+  // than a pointer swap; ingest never blocks a read on batch work.
+  // A query's snapshot advances only with windows that touch its
+  // relations (disjoint windows cannot move the result and are skipped),
+  // so version() lags the global window count for single-relation
+  // queries on multi-relation streams.
+  SnapshotPtr snapshot(QueryId id) const {
+    RINGDB_CHECK(id < queries_.size());
+    return queries_[id]->snapshot.load();
+  }
+  Numeric Get(QueryId id, const std::vector<Value>& group_values) const {
+    return snapshot(id)->Get(group_values);
+  }
+  Numeric Scalar(QueryId id) const { return snapshot(id)->scalar(); }
+  uint64_t version(QueryId id) const { return snapshot(id)->version(); }
+
+  // Test/maintenance access to a query's engine. Only valid while the
+  // service is not running (before Start or after Stop).
+  runtime::Engine& engine(QueryId id);
+
+ private:
+  struct Query {
+    std::shared_ptr<const QueryInfo> info;
+    std::unique_ptr<runtime::Engine> engine;
+    SnapshotCell snapshot;
+    // Relations with a trigger in this query's program: a window whose
+    // delta relations are disjoint cannot change the result, so its
+    // apply (a no-op) and its O(result) snapshot rebuild are skipped —
+    // the previous snapshot stays published, and it still equals the
+    // replay of the longer prefix.
+    std::unordered_set<Symbol> relevant_relations;
+    // Written only by this query's applier thread; read via status()
+    // after the Drain()/Stop() happens-before edge.
+    Status apply_status;
+  };
+
+  void BatcherLoop();
+  void WorkerLoop(size_t query_index);
+  // Applies the window's batch to one query and publishes its snapshot.
+  void ApplyAndPublish(size_t query_index, const exec::UpdateBatch& batch,
+                       uint64_t version, uint64_t updates_applied);
+
+  ring::Catalog catalog_;
+  ServeOptions options_;
+  std::vector<std::unique_ptr<Query>> queries_;
+  IngestQueue queue_;
+  exec::BatchBuilder builder_;  // batcher-thread-only after Start
+
+  // Atomic so a misuse like Push racing Start() fails cleanly (the
+  // FailedPrecondition path) instead of being a data race; the intended
+  // protocol is still Start -> spawn producers -> Push.
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::thread batcher_;
+  std::vector<std::thread> workers_;  // worker i serves query i + 1
+
+  // Fan-out handoff (mirrors exec::ShardedExecutor's pool): the batcher
+  // publishes the window's batch/version under mu_, bumps generation_,
+  // and waits for pending_ to drain; workers re-read the shared fields
+  // after observing the generation change under the same mutex.
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const exec::UpdateBatch* current_batch_ = nullptr;
+  uint64_t current_version_ = 0;
+  uint64_t current_updates_ = 0;
+  uint64_t generation_ = 0;
+  size_t pending_ = 0;
+  bool stop_workers_ = false;
+
+  // Drain accounting: pushed_ counts accepted Push calls, applied_
+  // counts window events whose snapshots are all published.
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  uint64_t pushed_ = 0;
+  uint64_t applied_ = 0;
+};
+
+}  // namespace serve
+}  // namespace ringdb
+
+#endif  // RINGDB_SERVE_QUERY_SERVICE_H_

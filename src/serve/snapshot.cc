@@ -1,0 +1,107 @@
+#include "serve/snapshot.h"
+
+#include "ring/tuple.h"
+#include "runtime/engine.h"
+#include "util/check.h"
+
+namespace ringdb {
+namespace serve {
+
+namespace {
+
+constexpr uint32_t kEmptySlot = UINT32_MAX;
+
+// Group keys up to this arity are permuted on the stack in Get (larger
+// arities fall back to a heap key; grouping columns are few in practice).
+constexpr size_t kInlineArity = 4;
+
+}  // namespace
+
+std::shared_ptr<const ResultSnapshot> ResultSnapshot::Build(
+    std::shared_ptr<const QueryInfo> info, const runtime::Engine& engine,
+    uint64_t version, uint64_t updates_applied) {
+  auto snap = std::shared_ptr<ResultSnapshot>(new ResultSnapshot());
+  snap->info_ = std::move(info);
+  snap->version_ = version;
+  snap->updates_applied_ = updates_applied;
+  snap->arity_ = snap->info_->group_vars.size();
+  // Upper bound on the merged cardinality: sum of per-shard root sizes
+  // (exact for one shard), so the dense arrays fill without growing.
+  size_t estimate = 0;
+  for (size_t i = 0; i < engine.num_shards(); ++i) {
+    estimate += engine.sharded().shard(i).root().size();
+  }
+  snap->keys_.reserve(estimate * snap->arity_);
+  snap->values_.reserve(estimate);
+  Numeric total = kZero;
+  engine.sharded().ForEachRootMerged([&](runtime::KeyView key, Numeric m) {
+    for (size_t i = 0; i < key.size(); ++i) snap->keys_.push_back(key[i]);
+    snap->values_.push_back(m);
+    total += m;
+  });
+  snap->scalar_ = total;
+  snap->BuildSlots();
+  return snap;
+}
+
+void ResultSnapshot::BuildSlots() {
+  size_t want = 16;
+  while (want < values_.size() * 2) want <<= 1;
+  slots_.assign(want, kEmptySlot);
+  slot_mask_ = want - 1;
+  for (size_t id = 0; id < values_.size(); ++id) {
+    const uint64_t h =
+        runtime::HashValues(keys_.data() + id * arity_, arity_);
+    size_t slot = h & slot_mask_;
+    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & slot_mask_;
+    slots_[slot] = static_cast<uint32_t>(id);
+  }
+}
+
+Numeric ResultSnapshot::AtRootKey(const Value* key, size_t n) const {
+  RINGDB_CHECK_EQ(n, arity_);
+  if (values_.empty()) return kZero;
+  size_t slot = runtime::HashValues(key, n) & slot_mask_;
+  while (slots_[slot] != kEmptySlot) {
+    const uint32_t id = slots_[slot];
+    const Value* entry_key = keys_.data() + static_cast<size_t>(id) * arity_;
+    bool match = true;
+    for (size_t i = 0; i < n && match; ++i) match = entry_key[i] == key[i];
+    if (match) return values_[id];
+    slot = (slot + 1) & slot_mask_;
+  }
+  return kZero;
+}
+
+Numeric ResultSnapshot::Get(const std::vector<Value>& group_values) const {
+  RINGDB_CHECK_EQ(group_values.size(), arity_);
+  if (arity_ == 0) return scalar_;
+  const std::vector<size_t>& order = info_->key_order;
+  if (arity_ <= kInlineArity) {
+    Value key[kInlineArity];
+    for (size_t i = 0; i < arity_; ++i) key[order[i]] = group_values[i];
+    return AtRootKey(key, arity_);
+  }
+  runtime::Key key(arity_);
+  for (size_t i = 0; i < arity_; ++i) key[order[i]] = group_values[i];
+  return AtRootKey(key.data(), arity_);
+}
+
+ring::Gmr ResultSnapshot::ToGmr() const {
+  ring::Gmr out;
+  const std::vector<Symbol>& group_vars = info_->group_vars;
+  const std::vector<size_t>& order = info_->key_order;
+  out.Reserve(values_.size());
+  ForEach([&](runtime::KeyView key, Numeric m) {
+    std::vector<ring::Tuple::Field> fields;
+    fields.reserve(group_vars.size());
+    for (size_t i = 0; i < group_vars.size(); ++i) {
+      fields.emplace_back(group_vars[i], key[order[i]]);
+    }
+    out.Add(ring::Tuple::FromFields(std::move(fields)), m);
+  });
+  return out;
+}
+
+}  // namespace serve
+}  // namespace ringdb

@@ -1,0 +1,156 @@
+// Immutable, versioned query results for concurrent serving.
+//
+// A ResultSnapshot freezes one query's maintained result as of a batch
+// boundary: an epoch (version = number of applied ingest windows, plus
+// the count of input tuple-units those windows carried) and the full
+// grouped result in a frozen flat open-addressing table, built in one
+// pass from the engine's root view(s) merged over shards. serve::
+// QueryService publishes a fresh snapshot per query after every applied
+// window by swapping a shared_ptr cell (SnapshotCell below) — RCU-style:
+// readers copy the pointer and the refcount keeps their snapshot alive
+// for as long as they hold it, the writer never waits for readers, and
+// a reader's only shared-state touch is the pointer copy itself. Any
+// number of threads get consistent point lookups, scalar reads, and
+// full scans while ingestion keeps running; no reader ever observes a
+// half-applied batch.
+//
+// The table mirrors runtime::ViewTable's read path (power-of-two slot
+// array, linear probing over a dense key/value store) but is build-once:
+// one pass fills the dense arrays, a second pass seeds the slots — no
+// rehashing, no deletion machinery, and reads touch two cache lines.
+
+#ifndef RINGDB_SERVE_SNAPSHOT_H_
+#define RINGDB_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ring/gmr.h"
+#include "runtime/viewmap.h"
+#include "util/numeric.h"
+#include "util/symbol.h"
+#include "util/value.h"
+
+namespace ringdb {
+
+namespace runtime {
+class Engine;
+}  // namespace runtime
+
+namespace serve {
+
+// Immutable per-query metadata, shared by every snapshot of the query
+// (one allocation at registration, not one per publication).
+struct QueryInfo {
+  std::string name;
+  // Requested grouping order (empty for scalar queries).
+  std::vector<Symbol> group_vars;
+  // group i -> root-view key position (root keys are stored in the
+  // compiler's canonical order; see runtime::Engine::root_key_order).
+  std::vector<size_t> key_order;
+};
+
+class ResultSnapshot {
+ public:
+  // Freezes `engine`'s current root result (merged over shards). Must
+  // not race an apply on the same engine; QueryService builds snapshots
+  // on the thread that just applied the batch.
+  static std::shared_ptr<const ResultSnapshot> Build(
+      std::shared_ptr<const QueryInfo> info, const runtime::Engine& engine,
+      uint64_t version, uint64_t updates_applied);
+
+  // Applied-window sequence number; strictly increases across the
+  // snapshots of one query (0 = the empty pre-ingest snapshot).
+  uint64_t version() const { return version_; }
+  // Input tuple-units covered: this snapshot equals a replay of exactly
+  // the first updates_applied() events of the ingest stream.
+  uint64_t updates_applied() const { return updates_applied_; }
+
+  const QueryInfo& info() const { return *info_; }
+  size_t arity() const { return arity_; }
+  bool scalar_query() const { return arity_ == 0; }
+  // Number of groups in the result.
+  size_t size() const { return values_.size(); }
+
+  // Scalar fast path: the root value for scalar queries; the Sum(.)
+  // collapse (total over all groups) otherwise.
+  Numeric scalar() const { return scalar_; }
+
+  // Point lookup, values given in group_vars order; 0 outside the
+  // result (the gmr default).
+  Numeric Get(const std::vector<Value>& group_values) const;
+
+  // Raw probe with the key already in root-view key order.
+  Numeric AtRootKey(const Value* key, size_t n) const;
+
+  // Full scan: fn(KeyView, Numeric) per group, keys in root order
+  // (permute through info().key_order for group_vars order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < values_.size(); ++i) {
+      fn(runtime::KeyView(keys_.data() + i * arity_, arity_), values_[i]);
+    }
+  }
+
+  // The result as a gmr over the group variables (equivalence checks).
+  ring::Gmr ToGmr() const;
+
+ private:
+  ResultSnapshot() = default;
+  void BuildSlots();
+
+  std::shared_ptr<const QueryInfo> info_;
+  uint64_t version_ = 0;
+  uint64_t updates_applied_ = 0;
+  size_t arity_ = 0;
+  Numeric scalar_ = kZero;
+  std::vector<Value> keys_;  // arity_-strided, root key order
+  std::vector<Numeric> values_;
+  std::vector<uint32_t> slots_;  // power-of-two, linear probing
+  size_t slot_mask_ = 0;
+};
+
+using SnapshotPtr = std::shared_ptr<const ResultSnapshot>;
+
+// The published-snapshot cell: an atomically swappable SnapshotPtr.
+// std::atomic<shared_ptr> would be the textbook tool, but libstdc++'s
+// lock-free _Sp_atomic is not TSan-annotated in GCC 12 and the
+// debug-tsan CI job gates this subsystem, so the cell uses a plain
+// mutex held only for the pointer copy: constant-time on both sides
+// (the writer swaps one pointer per applied window, readers copy one
+// pointer and then probe immutable memory lock-free), and the refcount
+// retires an old snapshot when its last reader drops it.
+class SnapshotCell {
+ public:
+  SnapshotCell() = default;
+  SnapshotCell(const SnapshotCell&) = delete;
+  SnapshotCell& operator=(const SnapshotCell&) = delete;
+
+  SnapshotPtr load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+  }
+
+  void store(SnapshotPtr next) {
+    SnapshotPtr old;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      old = std::move(ptr_);
+      ptr_ = std::move(next);
+    }
+    // `old` (and possibly the whole retired snapshot) dies here, outside
+    // the lock, so publication never holds the cell over a deallocation.
+  }
+
+ private:
+  mutable std::mutex mu_;
+  SnapshotPtr ptr_;
+};
+
+}  // namespace serve
+}  // namespace ringdb
+
+#endif  // RINGDB_SERVE_SNAPSHOT_H_

@@ -22,6 +22,9 @@ RelationStream::RelationStream(Symbol relation, size_t arity,
       options_(options),
       rng_(options.seed ^ (static_cast<uint64_t>(relation.id()) << 32)) {
   RINGDB_CHECK_GT(options_.domain_size, 0);
+  for (size_t position : options_.read_key_positions) {
+    RINGDB_CHECK_LT(position, arity_);
+  }
   if (options_.zipf_s > 0) {
     zipf_ = std::make_unique<Zipf>(
         static_cast<uint64_t>(options_.domain_size), options_.zipf_s);
@@ -57,6 +60,41 @@ ring::Update RelationStream::Next() {
   std::vector<Value> row = RandomRow();
   live_.push_back(row);
   return ring::Update::Insert(relation_, std::move(row));
+}
+
+StreamOp RelationStream::NextOp() {
+  if (options_.read_fraction > 0 && !live_.empty() &&
+      rng_.Bernoulli(options_.read_fraction)) {
+    StreamOp op;
+    op.kind = StreamOp::Kind::kRead;
+    size_t index;
+    if (zipf_ != nullptr) {
+      // Rescale the domain skew onto the live window: hot zipf ranks map
+      // to low indexes, so read traffic concentrates on a stable subset
+      // of live rows the way hot-key workloads do. (With deletions on,
+      // swap-erase occasionally moves a young row into a hot slot, so
+      // "low index" means mostly-oldest, not strictly oldest.)
+      const uint64_t rank = zipf_->Sample(rng_);
+      index = static_cast<size_t>(
+          static_cast<unsigned __int128>(rank) * live_.size() /
+          static_cast<uint64_t>(options_.domain_size));
+    } else {
+      index = static_cast<size_t>(rng_.Below(live_.size()));
+    }
+    const std::vector<Value>& row = live_[index];
+    if (options_.read_key_positions.empty()) {
+      op.read_key = row;
+    } else {
+      op.read_key.reserve(options_.read_key_positions.size());
+      for (size_t position : options_.read_key_positions) {
+        op.read_key.push_back(row[position]);
+      }
+    }
+    return op;
+  }
+  StreamOp op;
+  op.update = Next();
+  return op;
 }
 
 ring::Catalog OrdersSchema() {

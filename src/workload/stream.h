@@ -29,6 +29,24 @@ struct StreamOptions {
   double delete_fraction = 0.0;
   // Zipf skew parameter; 0 disables skew (uniform).
   double zipf_s = 0.0;
+  // Fraction of NextOp() events that are *read* operations probing a
+  // live key instead of updates (the serving-path mix). Reads pick a
+  // live row — zipf-skewed toward a stable low-index subset (mostly the
+  // oldest rows; deletions swap-erase, so not strictly) when zipf_s > 0,
+  // mirroring hot-key read traffic — and project read_key_positions out
+  // of it. 0 keeps NextOp() event-for-event identical to Next().
+  double read_fraction = 0.0;
+  // Row positions projected into a read op's key (e.g. {1} = ckey of
+  // orders(okey, ckey)); empty projects the whole row.
+  std::vector<size_t> read_key_positions;
+};
+
+// One mixed-stream event: an update to apply or a key to read back.
+struct StreamOp {
+  enum class Kind { kUpdate, kRead };
+  Kind kind = Kind::kUpdate;
+  ring::Update update;           // when kind == kUpdate
+  std::vector<Value> read_key;   // when kind == kRead
 };
 
 // Deterministic per-child seed derivation: child streams of a split
@@ -44,6 +62,11 @@ class RelationStream {
                  StreamOptions options);
 
   ring::Update Next();
+
+  // Mixed read/update event (options.read_fraction); with no live rows
+  // or read_fraction == 0 this is exactly Next() wrapped as an update op
+  // (same rng draws, so update-only streams are unchanged).
+  StreamOp NextOp();
 
   // A child stream with the same shape (relation, domain, skew, deletes)
   // on the derived seed ChildSeed(options.seed, child_index), starting
@@ -79,6 +102,13 @@ class RoundRobinStream {
     ring::Update u = streams_[next_].Next();
     next_ = (next_ + 1) % streams_.size();
     return u;
+  }
+
+  // Round-robin mixed read/update events (see RelationStream::NextOp).
+  StreamOp NextOp() {
+    StreamOp op = streams_[next_].NextOp();
+    next_ = (next_ + 1) % streams_.size();
+    return op;
   }
 
   // Splits every member stream with the same child index, preserving the

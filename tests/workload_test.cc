@@ -91,6 +91,87 @@ TEST(RoundRobinStreamTest, AlternatesRelations) {
   EXPECT_EQ(rr.Next().relation, S("orders"));
 }
 
+TEST(MixedStreamTest, NextOpMatchesNextWhenReadFractionZero) {
+  ring::Catalog catalog = OrdersSchema();
+  StreamOptions options;
+  options.seed = 23;
+  options.delete_fraction = 0.25;
+  options.zipf_s = 1.1;
+  RelationStream a(catalog, S("orders"), options);
+  RelationStream b(catalog, S("orders"), options);
+  for (int i = 0; i < 500; ++i) {
+    StreamOp op = a.NextOp();
+    ASSERT_EQ(op.kind, StreamOp::Kind::kUpdate);
+    EXPECT_EQ(op.update.ToString(), b.Next().ToString()) << i;
+  }
+}
+
+TEST(MixedStreamTest, ReadOpsProjectLiveKeys) {
+  ring::Catalog catalog = OrdersSchema();
+  StreamOptions options;
+  options.seed = 31;
+  options.domain_size = 16;  // collisions: the live set has duplicates
+  options.delete_fraction = 0.3;
+  options.read_fraction = 0.4;
+  options.read_key_positions = {1};  // ckey of orders(okey, ckey)
+  RelationStream stream(catalog, S("orders"), options);
+
+  // Mirror the live multiset from the update ops we see; every read key
+  // must be the ckey of some currently-live row.
+  std::map<std::pair<int64_t, int64_t>, int> live;
+  int reads = 0;
+  for (int i = 0; i < 3000; ++i) {
+    StreamOp op = stream.NextOp();
+    if (op.kind == StreamOp::Kind::kUpdate) {
+      auto row = std::make_pair(op.update.values[0].AsInt(),
+                                op.update.values[1].AsInt());
+      if (op.update.sign == ring::Update::Sign::kInsert) {
+        ++live[row];
+      } else {
+        ASSERT_GT(live[row], 0);
+        if (--live[row] == 0) live.erase(row);
+      }
+      continue;
+    }
+    ++reads;
+    ASSERT_EQ(op.read_key.size(), 1u);
+    const int64_t ckey = op.read_key[0].AsInt();
+    bool found = false;
+    for (const auto& [row, n] : live) {
+      if (row.second == ckey) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "read key " << ckey << " not live at op " << i;
+  }
+  // The mix knob actually produced reads (~40% of post-warmup events).
+  EXPECT_GT(reads, 500);
+}
+
+TEST(MixedStreamTest, ZipfSkewsReadKeysTowardOldRows) {
+  ring::Catalog catalog;
+  catalog.AddRelation(S("Zr"), {S("k")});
+  StreamOptions options;
+  options.seed = 37;
+  options.domain_size = 1000;
+  options.zipf_s = 1.2;
+  options.delete_fraction = 0.0;  // live window only grows: stable ranks
+  options.read_fraction = 0.5;
+  RelationStream stream(catalog, S("Zr"), options);
+  for (int i = 0; i < 200; ++i) stream.NextOp();  // warm the live window
+  std::map<int64_t, int> freq;
+  for (int i = 0; i < 20000; ++i) {
+    StreamOp op = stream.NextOp();
+    if (op.kind == StreamOp::Kind::kRead) ++freq[op.read_key[0].AsInt()];
+  }
+  // Reads concentrate: the hottest key is read far more often than a
+  // uniform choice over ~10k live rows (~2 expected hits) would allow.
+  int head = 0;
+  for (const auto& [k, n] : freq) head = std::max(head, n);
+  EXPECT_GT(head, 100);
+}
+
 TEST(WorkloadEndToEnd, RevenueQueryOverGeneratedStream) {
   ring::Catalog catalog = OrdersSchema();
   auto t = sql::TranslateSql(catalog,
