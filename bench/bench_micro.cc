@@ -9,7 +9,7 @@
 #include "baseline/baselines.h"
 #include "compiler/compile.h"
 #include "runtime/engine.h"
-#include "runtime/viewmap.h"
+#include "runtime/view_table.h"
 #include "sql/translate.h"
 #include "util/random.h"
 #include "workload/stream.h"
@@ -143,8 +143,8 @@ void BM_EvaluatorJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_EvaluatorJoin)->Arg(64)->Arg(256);
 
-void BM_ViewMapAdd(benchmark::State& state) {
-  ringdb::runtime::ViewMap view(2);
+void BM_ViewTableAdd(benchmark::State& state) {
+  ringdb::runtime::ViewTable view(2);
   Rng rng(5);
   for (auto _ : state) {
     view.Add({Value(rng.Range(0, 4096)), Value(rng.Range(0, 16))},
@@ -152,10 +152,10 @@ void BM_ViewMapAdd(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ViewMapAdd);
+BENCHMARK(BM_ViewTableAdd);
 
-void BM_ViewMapIndexedProbe(benchmark::State& state) {
-  ringdb::runtime::ViewMap view(2);
+void BM_ViewTableIndexedProbe(benchmark::State& state) {
+  ringdb::runtime::ViewTable view(2);
   int index = view.EnsureIndex({1});
   Rng rng(5);
   for (int i = 0; i < 100000; ++i) {
@@ -170,7 +170,7 @@ void BM_ViewMapIndexedProbe(benchmark::State& state) {
     benchmark::DoNotOptimize(n);
   }
 }
-BENCHMARK(BM_ViewMapIndexedProbe);
+BENCHMARK(BM_ViewTableIndexedProbe);
 
 }  // namespace
 

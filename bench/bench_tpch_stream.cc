@@ -35,15 +35,19 @@ struct Config {
 
 // Command line: --updates N (sweep event budget), --json PATH (snapshot
 // output, empty disables), --label STR (snapshot label), --sweep-only
-// (skip the classical-IVM comparison sections; CI smoke mode). The
-// default output name is distinct from the committed trajectory file
-// BENCH_tpch_stream.json (same schema) so an argless run never clobbers
-// the recorded per-PR history; merge snapshots into it deliberately.
+// (skip the classical-IVM comparison sections; CI smoke mode),
+// --backend interpret|compile|both (which statement-execution backends
+// the sweep measures; compile rows are skipped with a note when no host
+// C compiler is available). The default output name is distinct from the
+// committed trajectory file BENCH_tpch_stream.json (same schema) so an
+// argless run never clobbers the recorded per-PR history; merge
+// snapshots into it deliberately.
 struct Options {
   int updates = 200000;
   std::string json_path = "BENCH_tpch_stream.dev.json";
   std::string label = "dev";
   bool sweep_only = false;
+  std::string backend = "both";
 };
 
 // One measured (stream, engine-config) cell of the sweep, serialized to
@@ -51,6 +55,7 @@ struct Options {
 struct SweepResult {
   std::string stream;
   std::string config;
+  std::string backend;  // "interpret" or "compile"
   size_t batch_size;
   size_t shards;
   double upd_per_s;
@@ -90,10 +95,12 @@ void WriteSnapshotJson(const Options& opt,
     const SweepResult& r = results[i];
     std::fprintf(f,
                  "        {\"stream\": \"%s\", \"config\": \"%s\", "
+                 "\"backend\": \"%s\", "
                  "\"batch_size\": %zu, \"shards\": %zu, "
                  "\"upd_per_s\": %.0f, \"approx_bytes\": %zu}%s\n",
                  JsonEscape(r.stream).c_str(), JsonEscape(r.config).c_str(),
-                 r.batch_size, r.shards, r.upd_per_s, r.approx_bytes,
+                 JsonEscape(r.backend).c_str(), r.batch_size, r.shards,
+                 r.upd_per_s, r.approx_bytes,
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "      ]\n    }\n  ]\n}\n");
@@ -272,40 +279,68 @@ void BatchShardSweep(const Options& opt) {
     updates.reserve(kUpdates);
     for (int i = 0; i < kUpdates; ++i) updates.push_back(stream.Next());
 
-    ringdb::TablePrinter table(
-        {"config", "shards", "upd/s", "vs single-tuple", "view MB"});
+    // Backend dimension: the interpreter rows are the trajectory the
+    // repo has tracked since PR 1; the compiled rows measure the emitted
+    // C + dlopen backend on identical streams. Engine construction
+    // (including the one-time cc invocation, amortized by the .so cache)
+    // is outside the timed region, matching the long-lived-engine use
+    // the backend targets.
+    std::vector<ringdb::runtime::Backend> backends;
+    if (opt.backend == "interpret" || opt.backend == "both") {
+      backends.push_back(ringdb::runtime::Backend::kInterpret);
+    }
+    if (opt.backend == "compile" || opt.backend == "both") {
+      backends.push_back(ringdb::runtime::Backend::kCompile);
+    }
+    ringdb::TablePrinter table({"config", "backend", "shards", "upd/s",
+                                "vs single-tuple", "view MB"});
     double baseline = 0.0;
-    for (const SweepConfig& config : sweep) {
-      ringdb::runtime::EngineOptions engine_options;
-      engine_options.batch_size = config.batch_size;
-      engine_options.num_shards = config.num_shards;
-      auto engine = ringdb::runtime::Engine::Create(
-          catalog, t->group_vars, t->body, engine_options);
-      if (!engine.ok()) {
-        std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
-        return;
+    for (const ringdb::runtime::Backend backend : backends) {
+      const char* backend_name =
+          backend == ringdb::runtime::Backend::kCompile ? "compile"
+                                                        : "interpret";
+      for (const SweepConfig& config : sweep) {
+        ringdb::runtime::EngineOptions engine_options;
+        engine_options.batch_size = config.batch_size;
+        engine_options.num_shards = config.num_shards;
+        engine_options.backend = backend;
+        auto engine = ringdb::runtime::Engine::Create(
+            catalog, t->group_vars, t->body, engine_options);
+        if (!engine.ok()) {
+          std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+          return;
+        }
+        if (backend == ringdb::runtime::Backend::kCompile &&
+            !engine->native_enabled()) {
+          std::printf("  (compiled backend unavailable: %s)\n",
+                      engine->native_status().ToString().c_str());
+          break;
+        }
+        auto start = std::chrono::steady_clock::now();
+        if (config.batch_size <= 1 && config.num_shards <= 1) {
+          for (const ringdb::ring::Update& u : updates) {
+            (void)engine->Apply(u);
+          }
+        } else {
+          (void)engine->ApplyBatch(updates);
+        }
+        double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        double tput = kUpdates / elapsed;
+        if (baseline == 0.0) baseline = tput;
+        const size_t bytes = engine->sharded().ApproxBytes();
+        sweep_results.push_back(
+            SweepResult{stream_config.name, config.name, backend_name,
+                        config.batch_size, engine->num_shards(), tput,
+                        bytes});
+        char a[32], b[32], c[32], d[32];
+        std::snprintf(a, sizeof(a), "%zu", engine->num_shards());
+        std::snprintf(b, sizeof(b), "%.0f", tput);
+        std::snprintf(c, sizeof(c), "%.2fx", tput / baseline);
+        std::snprintf(d, sizeof(d), "%.1f", bytes / (1024.0 * 1024.0));
+        table.AddRow({config.name, backend_name, a, b, c, d});
       }
-      auto start = std::chrono::steady_clock::now();
-      if (config.batch_size <= 1 && config.num_shards <= 1) {
-        for (const ringdb::ring::Update& u : updates) (void)engine->Apply(u);
-      } else {
-        (void)engine->ApplyBatch(updates);
-      }
-      double elapsed = std::chrono::duration<double>(
-                           std::chrono::steady_clock::now() - start)
-                           .count();
-      double tput = kUpdates / elapsed;
-      if (baseline == 0.0) baseline = tput;
-      const size_t bytes = engine->sharded().ApproxBytes();
-      sweep_results.push_back(SweepResult{stream_config.name, config.name,
-                                          config.batch_size,
-                                          engine->num_shards(), tput, bytes});
-      char a[32], b[32], c[32], d[32];
-      std::snprintf(a, sizeof(a), "%zu", engine->num_shards());
-      std::snprintf(b, sizeof(b), "%.0f", tput);
-      std::snprintf(c, sizeof(c), "%.2fx", tput / baseline);
-      std::snprintf(d, sizeof(d), "%.1f", bytes / (1024.0 * 1024.0));
-      table.AddRow({config.name, a, b, c, d});
     }
     std::printf("%s\n", table.Render().c_str());
   }
@@ -335,10 +370,19 @@ int main(int argc, char** argv) {
       opt.label = argv[++i];
     } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
       opt.sweep_only = true;
+    } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      opt.backend = argv[++i];
+      if (opt.backend != "interpret" && opt.backend != "compile" &&
+          opt.backend != "both") {
+        std::fprintf(stderr,
+                     "--backend wants interpret|compile|both, got %s\n",
+                     opt.backend.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--updates N] [--json PATH] [--label STR] "
-                   "[--sweep-only]\n",
+                   "[--sweep-only] [--backend interpret|compile|both]\n",
                    argv[0]);
       return 2;
     }

@@ -1,24 +1,67 @@
-// Emits a compiled TriggerProgram as NC0C source — "essentially a small
-// fragment of the programming language C" (§7). The emitted translation
-// unit declares one hash map per materialized view and one trigger
-// function per event kind, each a straight-line (or singly-nested-loop)
-// sequence of += statements over map entries: no joins, no aggregation,
-// a constant number of arithmetic operations per maintained value.
+// Emits a compiled TriggerProgram as a self-contained C translation unit
+// ready for `cc -O2 -shared` — the paper's §7 observation ("essentially a
+// small fragment of the programming language C") taken literally and made
+// an execution backend (runtime::NativeModule + the compiled-backend seam
+// in runtime/compiled_executor.h).
 //
-// The output is illustrative and self-describing (maps are modeled with a
-// tiny open-addressing helper emitted into the preamble); tests check the
-// structural properties rather than compiling the output.
+// The emission scheme works from the lowered bytecode (compiler/lower.h),
+// not the TExpr trees: each StmtProgram becomes one exported function
+// whose body is the statement's loop nest and straight-line rhs —
+//
+//  - frame slots become fields of a stack-allocated environment struct
+//    (locals, threaded through the loop callbacks);
+//  - every KeyTemplate materializes into a fixed-size stack buffer;
+//  - the postfix Op array unrolls into straight-line C expressions over
+//    RdbNum temporaries (overflow-promoting arithmetic and kind-sensitive
+//    comparisons textually mirror util/numeric.h and the interpreter's
+//    EvalRhs — same results, no dispatch loop);
+//  - view probes, loop enumeration, and emissions call through the
+//    RdbHostApi function-pointer table (runtime/native_abi.h), so the
+//    module has no link-time dependencies and views stay host-owned
+//    (sharding, serving snapshots, and merge-on-read are unaffected).
+//
+// Not everything is emitted. Statements touching the lazy domain-
+// maintenance machinery (slice enumeration, lazy drivers or probes, lazy
+// targets) are skipped, and a per-variant cost model skips loops whose
+// rhs is a single load (the strength-reduced grouped join): the
+// interpreter already runs those as bind-and-copy loops, and the ABI
+// marshalling per enumerated entry costs more than the saved dispatch.
+// Skipped statements/variants keep the interpreter (CodegenStmt::emitted
+// false, or grouped_fn empty). A statement whose grouped rhs folds
+// nothing reuses the plain function (grouped_fn == fn).
 
 #ifndef RINGDB_COMPILER_CODEGEN_C_H_
 #define RINGDB_COMPILER_CODEGEN_C_H_
 
 #include <string>
+#include <vector>
 
 #include "compiler/ir.h"
 
 namespace ringdb {
 namespace compiler {
 
+// Emission record for one lowered statement.
+struct CodegenStmt {
+  bool emitted = false;    // false: interpreter fallback for this statement
+  std::string fn;          // exported symbol for the plain rhs
+  std::string grouped_fn;  // exported symbol for the grouped rhs (may == fn;
+                           // empty when the statement is not groupable)
+};
+
+struct CodegenModule {
+  std::string source;  // the complete C translation unit
+  // stmts[t][s] describes program.triggers[t].statements[s].
+  std::vector<std::vector<CodegenStmt>> stmts;
+  size_t emitted_statements = 0;  // functions worth compiling
+};
+
+// Emits the module for `program`, lowering it first if program.lowered is
+// unset. Pure function of the program: identical programs produce
+// byte-identical source (the .so cache keys on the source hash).
+CodegenModule GenerateModule(const TriggerProgram& program);
+
+// Convenience: just the emitted source (docs, golden tests, debugging).
 std::string GenerateC(const TriggerProgram& program);
 
 }  // namespace compiler

@@ -7,7 +7,8 @@ namespace ringdb {
 namespace exec {
 
 ShardedExecutor::ShardedExecutor(const compiler::TriggerProgram& program,
-                                 PartitionScheme scheme, size_t num_shards)
+                                 PartitionScheme scheme, size_t num_shards,
+                                 runtime::Backend backend)
     : scheme_(std::move(scheme)) {
   size_t effective = num_shards;
   if (effective == 0) effective = 1;
@@ -22,9 +23,28 @@ ShardedExecutor::ShardedExecutor(const compiler::TriggerProgram& program,
     augmented.lowered = compiler::lower::Lower(augmented);
     prog = &augmented;
   }
+  // The native module (one emit + compile + dlopen) is shared by every
+  // shard, like the lowered program; failure to build one is not an
+  // error, it selects the interpreter (graceful fallback for hosts
+  // without a C compiler and for all-lazy programs).
+  std::shared_ptr<const runtime::NativeModule> module;
+  if (backend == runtime::Backend::kCompile) {
+    auto built = runtime::NativeModule::Build(*prog);
+    if (built.ok()) {
+      module = *std::move(built);
+      native_enabled_ = true;
+    } else {
+      native_status_ = built.status();
+    }
+  }
   shards_.reserve(effective);
   for (size_t i = 0; i < effective; ++i) {
-    shards_.push_back(std::make_unique<runtime::Executor>(*prog));
+    if (module != nullptr) {
+      shards_.push_back(
+          std::make_unique<runtime::CompiledExecutor>(*prog, module));
+    } else {
+      shards_.push_back(std::make_unique<runtime::Executor>(*prog));
+    }
   }
   shard_work_.resize(effective);
   shard_status_.assign(effective, Status::Ok());

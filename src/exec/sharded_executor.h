@@ -26,6 +26,7 @@
 #include "exec/batch.h"
 #include "exec/partition.h"
 #include "ring/database.h"
+#include "runtime/compiled_executor.h"
 #include "runtime/interpreter.h"
 #include "util/status.h"
 
@@ -37,8 +38,13 @@ class ShardedExecutor {
   // Builds `num_shards` executors from copies of the program. The
   // effective shard count drops to 1 when num_shards <= 1 or the scheme
   // is invalid; worker threads are only spawned for > 1 effective shards.
+  // With backend == kCompile the program's native module is built once
+  // (emit C, cc -shared, dlopen — see runtime/native_module.h) and shared
+  // by every shard; when that fails (no host compiler, nothing emittable)
+  // the shards are plain interpreters and native_status() says why.
   ShardedExecutor(const compiler::TriggerProgram& program,
-                  PartitionScheme scheme, size_t num_shards);
+                  PartitionScheme scheme, size_t num_shards,
+                  runtime::Backend backend = runtime::Backend::kInterpret);
   ~ShardedExecutor();
 
   ShardedExecutor(const ShardedExecutor&) = delete;
@@ -46,6 +52,13 @@ class ShardedExecutor {
 
   size_t num_shards() const { return shards_.size(); }
   const PartitionScheme& scheme() const { return scheme_; }
+
+  // True when the shards dispatch (at least some) statements into a
+  // dlopen'd native module rather than the bytecode interpreter.
+  bool native_enabled() const { return native_enabled_; }
+  // Why the compiled backend is off (Ok while native_enabled() or when it
+  // was never requested).
+  const Status& native_status() const { return native_status_; }
 
   // Single-tuple path: a batch of one, routed and applied inline on the
   // owning shard (no worker handoff).
@@ -124,6 +137,8 @@ class ShardedExecutor {
 
   PartitionScheme scheme_;
   std::vector<std::unique_ptr<runtime::Executor>> shards_;
+  bool native_enabled_ = false;
+  Status native_status_ = Status::Ok();
 
   // ForEachRootMerged scratch (mutable: merge-on-read is logically
   // const). Reused across calls, guarded by merge_mu_; see the method

@@ -1,0 +1,200 @@
+#include "runtime/compiled_executor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace ringdb {
+namespace runtime {
+
+namespace lower = compiler::lower;
+
+namespace {
+
+// The emitted preamble (compiler/codegen_c.cc) carries its own textual
+// copy of these structs; the load-time rdb_abi_layout handshake keeps the
+// two in sync, and this keeps the host honest about its own header.
+static_assert(RdbAbiLayout() ==
+              sizeof(RdbVal) * 1000000u + offsetof(RdbVal, kind) * 10000u +
+                  sizeof(RdbNum) * 100u + offsetof(RdbNum, is_int));
+
+inline RdbVal ToRdbVal(const Value& v) {
+  RdbVal r{};
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      r.kind = 0;
+      r.i = v.AsInt();
+      break;
+    case Value::Kind::kDouble:
+      r.kind = 1;
+      r.d = v.AsDouble();
+      break;
+    case Value::Kind::kString: {
+      const std::string& s = v.AsString();
+      r.kind = 2;
+      r.s = s.data();
+      r.slen = s.size();
+      break;
+    }
+  }
+  return r;
+}
+
+inline Value ToValue(const RdbVal& v) {
+  switch (v.kind) {
+    case 0:
+      return Value(v.i);
+    case 1:
+      return Value(v.d);
+    default:
+      return Value(std::string(v.s, static_cast<size_t>(v.slen)));
+  }
+}
+
+inline RdbNum ToRdbNum(Numeric n) {
+  RdbNum r{};
+  if (n.is_integer()) {
+    r.is_int = 1;
+    r.i = n.AsInt();
+  } else {
+    r.is_int = 0;
+    r.d = n.AsDouble();
+  }
+  return r;
+}
+
+inline Numeric ToNumeric(RdbNum n) {
+  return n.is_int ? Numeric(n.i) : Numeric(n.d);
+}
+
+}  // namespace
+
+CompiledExecutor::CompiledExecutor(compiler::TriggerProgram program,
+                                   std::shared_ptr<const NativeModule> module)
+    : Executor(std::move(program)), module_(std::move(module)) {
+  const compiler::TriggerProgram& prog = this->program();
+  for (size_t t = 0; t < lowered_->stmts.size(); ++t) {
+    const uint32_t arity = static_cast<uint32_t>(
+        prog.catalog.Arity(prog.triggers[t].relation));
+    for (size_t s = 0; s < lowered_->stmts[t].size(); ++s) {
+      const NativeModule::StmtFns& fns = module_->fns(t, s);
+      if (fns.plain == nullptr) continue;
+      fns_.emplace(&lowered_->stmts[t][s],
+                   Fns{fns.plain, fns.grouped, arity});
+    }
+  }
+  const size_t depths = std::max<size_t>(lowered_->max_loop_depth, 1);
+  entry_scratch_.resize(depths);
+  subkey_scratch_.resize(depths);
+}
+
+void CompiledExecutor::RunStatement(const lower::StmtProgram& sp,
+                                    const Value* params, Numeric scale,
+                                    const lower::RhsProgram& rhs) {
+  const auto it = fns_.find(&sp);
+  RdbStmtFn fn = nullptr;
+  uint32_t param_count = 0;
+  if (it != fns_.end()) {
+    // The grouped rhs is a distinct RhsProgram object even when it shares
+    // the plain ops, so the address identifies the variant.
+    fn = (&rhs == &sp.rhs) ? it->second.plain : it->second.grouped;
+    param_count = it->second.param_count;
+  }
+  if (fn == nullptr) {
+    Executor::RunStatement(sp, params, scale, rhs);
+    return;
+  }
+  static const RdbHostApi kApi = {
+      RDB_ABI_VERSION, &CompiledExecutor::Probe, &CompiledExecutor::Foreach,
+      &CompiledExecutor::ForeachMatching, &CompiledExecutor::Emit,
+      &CompiledExecutor::Add, &CompiledExecutor::Fail,
+  };
+  emission_keys_.clear();
+  emission_values_.clear();
+  param_scratch_.resize(param_count);
+  for (uint32_t i = 0; i < param_count; ++i) {
+    param_scratch_[i] = ToRdbVal(params[i]);
+  }
+  depth_ = 0;
+  fn(&kApi, this, param_scratch_.data(), ToRdbNum(scale));
+  // Direct-add statements already applied everything (empty buffers);
+  // self-loop statements flush here, exactly like the interpreter.
+  FlushEmissions(sp, scale);
+}
+
+RdbNum CompiledExecutor::Probe(void* ctx, int32_t view_id, const RdbVal* key,
+                               uint32_t n) {
+  auto* self = static_cast<CompiledExecutor*>(ctx);
+  Key& k = self->probe_scratch_;
+  k.resize(n);
+  for (uint32_t i = 0; i < n; ++i) k[i] = ToValue(key[i]);
+  return ToRdbNum(self->views_[static_cast<size_t>(view_id)].At(k));
+}
+
+void CompiledExecutor::Foreach(void* ctx, int32_t view_id, RdbLoopFn fn,
+                               void* env) {
+  auto* self = static_cast<CompiledExecutor*>(ctx);
+  const size_t d = self->depth_++;
+  const ViewTable& table = self->views_[static_cast<size_t>(view_id)];
+  std::vector<RdbVal>& kbuf = self->entry_scratch_[d];
+  kbuf.resize(table.arity());
+  table.ForEach([&](KeyView key, Numeric m) {
+    for (size_t i = 0; i < key.size(); ++i) kbuf[i] = ToRdbVal(key[i]);
+    fn(env, kbuf.data(), ToRdbNum(m));
+  });
+  --self->depth_;
+}
+
+void CompiledExecutor::ForeachMatching(void* ctx, int32_t view_id,
+                                       int32_t index_id,
+                                       const RdbVal* subkey, uint32_t n,
+                                       RdbLoopFn fn, void* env) {
+  auto* self = static_cast<CompiledExecutor*>(ctx);
+  const size_t d = self->depth_++;
+  const ViewTable& table = self->views_[static_cast<size_t>(view_id)];
+  Key& sk = self->subkey_scratch_[d];
+  sk.resize(n);
+  for (uint32_t i = 0; i < n; ++i) sk[i] = ToValue(subkey[i]);
+  std::vector<RdbVal>& kbuf = self->entry_scratch_[d];
+  kbuf.resize(table.arity());
+  table.ForEachMatching(index_id, sk, [&](KeyView key, Numeric m) {
+    for (size_t i = 0; i < key.size(); ++i) kbuf[i] = ToRdbVal(key[i]);
+    fn(env, kbuf.data(), ToRdbNum(m));
+  });
+  --self->depth_;
+}
+
+void CompiledExecutor::Emit(void* ctx, const RdbVal* key, uint32_t n,
+                            RdbNum value) {
+  auto* self = static_cast<CompiledExecutor*>(ctx);
+  for (uint32_t i = 0; i < n; ++i) {
+    self->emission_keys_.push_back(ToValue(key[i]));
+  }
+  self->emission_values_.push_back(ToNumeric(value));
+}
+
+void CompiledExecutor::Add(void* ctx, int32_t view_id, const RdbVal* key,
+                           uint32_t n, RdbNum delta) {
+  auto* self = static_cast<CompiledExecutor*>(ctx);
+  Key& k = self->add_scratch_;
+  k.resize(n);
+  for (uint32_t i = 0; i < n; ++i) k[i] = ToValue(key[i]);
+  self->views_[static_cast<size_t>(view_id)].Add(k.data(), n,
+                                                 ToNumeric(delta));
+  ++self->stats_.entries_touched;
+  ++self->stats_.arithmetic_ops;  // the += itself
+}
+
+void CompiledExecutor::Fail(void* ctx, const char* msg) {
+  // The native analogue of RINGDB_CHECK: invariant violations inside a
+  // module (a string flowing into arithmetic) must die loudly, exactly
+  // like the interpreter's paths.
+  (void)ctx;
+  std::fprintf(stderr, "native trigger module CHECK failed: %s\n", msg);
+  std::abort();
+}
+
+}  // namespace runtime
+}  // namespace ringdb

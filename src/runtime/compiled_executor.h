@@ -1,0 +1,108 @@
+// The compiled execution backend: an Executor whose statements run as
+// dlopen'd native code (compiler/codegen_c.h emission, runtime/
+// native_module.h compilation + caching) instead of bytecode dispatch.
+//
+// CompiledExecutor is plug-compatible with the interpreter — it overrides
+// exactly one seam, RunStatement, and inherits everything else: trigger
+// dispatch, delta batching, grouped statement-major execution, lazy
+// domain maintenance, stats, and every read path (root views, sharding
+// merge-on-read, serving snapshots). A native statement executes as
+//
+//   host RunStatement            native statement function
+//   ------------------           ----------------------------------
+//   convert params to RdbVal --> loop nest via api->foreach[_matching]
+//   (per-shard scratch)          straight-line rhs over RdbNum locals
+//                                api->emit into the host buffers
+//   apply buffered emissions <-- return
+//   (scaled, stats counted)
+//
+// so native code never mutates a view: probes and enumeration see frozen
+// state for the duration of the statement (which is also what keeps the
+// borrowed string pointers in RdbVal valid).
+//
+// Fallback is per statement and per module: statements the emitter skips
+// (lazy domain maintenance) simply keep their interpreter implementation,
+// and when no module could be built at all (no host compiler — CI
+// sandboxes, locked-down deploys) ShardedExecutor constructs plain
+// Executors instead, recording why in native_status().
+
+#ifndef RINGDB_RUNTIME_COMPILED_EXECUTOR_H_
+#define RINGDB_RUNTIME_COMPILED_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "compiler/ir.h"
+#include "compiler/lower.h"
+#include "runtime/interpreter.h"
+#include "runtime/native_abi.h"
+#include "runtime/native_module.h"
+
+namespace ringdb {
+namespace runtime {
+
+// Which statement-execution backend an engine uses (EngineOptions).
+enum class Backend {
+  kInterpret,  // register-based bytecode interpreter (always available)
+  kCompile,    // emitted C compiled at runtime; falls back to the
+               // interpreter per statement (lazy domain) and wholesale
+               // when no host compiler is available
+};
+
+class CompiledExecutor : public Executor {
+ public:
+  // `module` must have been built from (a program lowered identically to)
+  // `program`; ShardedExecutor builds it once and shares it across
+  // shards.
+  CompiledExecutor(compiler::TriggerProgram program,
+                   std::shared_ptr<const NativeModule> module);
+
+  // Statements this executor runs natively (the rest interpret).
+  size_t native_statements() const { return module_->native_statements(); }
+
+ protected:
+  void RunStatement(const compiler::lower::StmtProgram& sp,
+                    const Value* params, Numeric scale,
+                    const compiler::lower::RhsProgram& rhs) override;
+
+ private:
+  struct Fns {
+    RdbStmtFn plain = nullptr;
+    RdbStmtFn grouped = nullptr;
+    uint32_t param_count = 0;  // trigger relation arity
+  };
+
+  // RdbHostApi trampolines; ctx is the CompiledExecutor.
+  static RdbNum Probe(void* ctx, int32_t view_id, const RdbVal* key,
+                      uint32_t n);
+  static void Foreach(void* ctx, int32_t view_id, RdbLoopFn fn, void* env);
+  static void ForeachMatching(void* ctx, int32_t view_id, int32_t index_id,
+                              const RdbVal* subkey, uint32_t n,
+                              RdbLoopFn fn, void* env);
+  static void Emit(void* ctx, const RdbVal* key, uint32_t n, RdbNum value);
+  static void Add(void* ctx, int32_t view_id, const RdbVal* key,
+                  uint32_t n, RdbNum delta);
+  static void Fail(void* ctx, const char* msg);
+
+  std::shared_ptr<const NativeModule> module_;
+  // Lowered statement -> native entry points, resolved once (lowered_ is
+  // immutable and shared, so StmtProgram addresses are stable keys).
+  std::unordered_map<const compiler::lower::StmtProgram*, Fns> fns_;
+
+  // Per-call conversion scratch (single-writer executor, like the
+  // interpreter's frames): params once per statement, enumerated keys and
+  // probe subkeys per loop depth.
+  std::vector<RdbVal> param_scratch_;
+  std::vector<std::vector<RdbVal>> entry_scratch_;  // per loop depth
+  std::vector<Key> subkey_scratch_;                 // per loop depth
+  Key probe_scratch_;
+  Key add_scratch_;
+  size_t depth_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace ringdb
+
+#endif  // RINGDB_RUNTIME_COMPILED_EXECUTOR_H_

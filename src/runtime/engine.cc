@@ -29,7 +29,8 @@ Engine::Engine(compiler::CompiledQuery compiled,
       root_key_order_(std::move(compiled.root_key_order)),
       options_(options),
       sharded_(std::make_unique<exec::ShardedExecutor>(
-          compiled.program, std::move(scheme), options.num_shards)),
+          compiled.program, std::move(scheme), options.num_shards,
+          options.backend)),
       builder_(std::make_unique<exec::BatchBuilder>(
           sharded_->shard(0).program().catalog)) {}
 

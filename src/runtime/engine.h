@@ -13,10 +13,12 @@
 // Scaling knobs (runtime::EngineOptions): batch_size coalesces windows of
 // updates into per-relation delta GMRs before triggers fire (cancelled
 // events cost nothing, repeated events fire multiplicity-linear triggers
-// once), and num_shards hash-partitions the view hierarchy for parallel
+// once), num_shards hash-partitions the view hierarchy for parallel
 // application when the query admits a sound partition scheme (see
-// exec/partition.h). The single-tuple Apply is a batch of one routed to
-// its owning shard, so both APIs share one execution path.
+// exec/partition.h), and backend selects between the bytecode interpreter
+// and the runtime-compiled native backend (emitted C behind dlopen; see
+// runtime/compiled_executor.h). The single-tuple Apply is a batch of one
+// routed to its owning shard, so all APIs share one execution path.
 //
 // Thread safety: Engine is single-writer. Apply/ApplyBatch/ApplyPrepared
 // must not run concurrently with each other or with the result accessors
@@ -54,6 +56,15 @@ struct EngineOptions {
   // Requested data-parallel shards. The effective count is 1 when the
   // query admits no sound partition scheme (Engine::num_shards tells).
   size_t num_shards = 1;
+  // Statement-execution backend. kCompile emits the query's lowered
+  // trigger program as C, compiles it with the host C compiler (cached by
+  // source hash), and dlopens the result; statements the emitter cannot
+  // handle (lazy domain maintenance) and hosts without a compiler fall
+  // back to the interpreter transparently — results are identical either
+  // way (Engine::native_enabled reports what actually engaged). Prefer
+  // kInterpret for short-lived engines and tiny streams, where the
+  // one-time cc invocation costs more than it saves.
+  Backend backend = Backend::kInterpret;
 };
 
 class Engine {
@@ -70,6 +81,8 @@ class Engine {
                                  std::vector<Symbol> group_vars,
                                  agca::ExprPtr body, EngineOptions options);
 
+  // Applies one signed single-tuple update (a batch of one, routed
+  // inline to its owning shard). Single-writer: see the class comment.
   Status Apply(const ring::Update& update) {
     ApplyGuard guard(apply_depth_.get());
     return sharded_->Apply(update);
@@ -90,6 +103,7 @@ class Engine {
   // relations the query never mentions are no-ops.
   Status ApplyPrepared(const exec::UpdateBatch& batch);
 
+  // Convenience single-tuple wrappers around Apply (multiplicity ±1).
   Status Insert(Symbol relation, std::vector<Value> values) {
     return Apply(ring::Update::Insert(relation, std::move(values)));
   }
@@ -97,10 +111,12 @@ class Engine {
     return Apply(ring::Update::Delete(relation, std::move(values)));
   }
 
-  // Result for a scalar query (empty group_vars); sums over shards.
+  // Result for a scalar query; sums over shards. Precondition: the query
+  // was compiled with empty group_vars (CHECK-fails otherwise).
   Numeric ResultScalar() const;
 
-  // Result value for one group, values given in group_vars order.
+  // Result value for one group, values given in group_vars order (0 for
+  // groups not in the result's support).
   Numeric ResultAt(const std::vector<Value>& group_values) const;
 
   // The full grouped result as a gmr over the group variables (tuples
@@ -108,6 +124,7 @@ class Engine {
   // shards by ring addition.
   ring::Gmr ResultGmr() const;
 
+  // The compiled NC0C trigger program this engine maintains.
   const compiler::TriggerProgram& program() const {
     return sharded_->shard(0).program();
   }
@@ -115,9 +132,11 @@ class Engine {
   // multi-shard callers should use sharded() for per-shard access.
   Executor& executor() { return sharded_->shard(0); }
   const Executor& executor() const { return sharded_->shard(0); }
+  // The sharded execution layer (per-shard access, aggregate stats).
   exec::ShardedExecutor& sharded() { return *sharded_; }
   const exec::ShardedExecutor& sharded() const { return *sharded_; }
 
+  // The query's grouping variables, in the order the caller declared.
   const std::vector<Symbol>& group_vars() const { return group_vars_; }
   // root_key_order()[i] = root-view key position holding the i-th group
   // variable (view keys are stored in canonical order); snapshot
@@ -125,12 +144,20 @@ class Engine {
   const std::vector<size_t>& root_key_order() const {
     return root_key_order_;
   }
+  // The options this engine was created with (requested, not effective).
   const EngineOptions& options() const { return options_; }
   // Effective shard count (1 when the query is not partitionable).
   size_t num_shards() const { return sharded_->num_shards(); }
+  // The partition-analysis witness behind the effective shard count.
   const exec::PartitionScheme& partition_scheme() const {
     return sharded_->scheme();
   }
+  // True when backend == kCompile actually engaged: statements dispatch
+  // into the dlopen'd native module instead of the bytecode interpreter.
+  bool native_enabled() const { return sharded_->native_enabled(); }
+  // Why the compiled backend is off (Ok when on or never requested) —
+  // e.g. "no host C compiler found" in sandboxed CI.
+  const Status& native_status() const { return sharded_->native_status(); }
 
  private:
   // Marks an apply in flight for the duration of a scope; the result

@@ -228,20 +228,25 @@ void Executor::FireTrigger(size_t trigger_idx, const Value* params,
 }
 
 void Executor::ReserveForBatch(size_t additional) {
-  for (ViewMap& v : views_) v.Reserve(v.size() + additional);
+  for (ViewTable& v : views_) v.Reserve(v.size() + additional);
 }
 
 void Executor::RunStatement(const lower::StmtProgram& sp, const Value* params,
                             Numeric scale, const lower::RhsProgram& rhs) {
   // Emissions are buffered and applied after all loops finish: a
   // statement may loop over its own target view (domain maintenance), and
-  // mutating a map during enumeration is undefined.
+  // mutating a view during enumeration would change what later iterations
+  // observe.
   emission_keys_.clear();
   emission_values_.clear();
   RunLoops(sp, 0, params, rhs);
+  FlushEmissions(sp, scale);
+}
+
+void Executor::FlushEmissions(const lower::StmtProgram& sp, Numeric scale) {
   const bool scaled = !scale.IsOne();
   const size_t arity = sp.target_key.size;
-  ViewMap& target = views_[static_cast<size_t>(sp.target_view)];
+  ViewTable& target = views_[static_cast<size_t>(sp.target_view)];
   for (size_t i = 0; i < emission_values_.size(); ++i) {
     Numeric delta = emission_values_[i];
     if (scaled) {
@@ -282,7 +287,7 @@ void Executor::RunLoops(const lower::StmtProgram& sp, size_t loop_index,
     return;
   }
   const lower::LoopProgram& lp = sp.loops[loop_index];
-  const ViewMap& driver = views_[static_cast<size_t>(lp.view_id)];
+  const ViewTable& driver = views_[static_cast<size_t>(lp.view_id)];
 
   if (lp.slice_domain) {
     // Enumerate the initialized slice subkeys; each binds the slice-
@@ -457,7 +462,7 @@ void Executor::InitializeLazySlice(int view_id, const Key& slice_key) {
   // Compiled view definitions are range-restricted queries; evaluation
   // cannot fail on a well-formed program.
   RINGDB_CHECK(result.ok());
-  ViewMap& view = views_[static_cast<size_t>(view_id)];
+  ViewTable& view = views_[static_cast<size_t>(view_id)];
   for (const auto& [tuple, m] : result->support()) {
     Key key(def.key_vars.size());
     for (size_t j = 0; j < def.key_vars.size(); ++j) {
@@ -473,7 +478,7 @@ void Executor::InitializeLazySlice(int view_id, const Key& slice_key) {
 
 size_t Executor::ApproxBytes() const {
   size_t bytes = 0;
-  for (const ViewMap& v : views_) bytes += v.ApproxBytes();
+  for (const ViewTable& v : views_) bytes += v.ApproxBytes();
   return bytes;
 }
 

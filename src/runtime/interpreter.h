@@ -1,5 +1,5 @@
 // The NC0C trigger interpreter: executes a compiled TriggerProgram against
-// materialized ViewMaps. Apply(update) runs the matching trigger's
+// materialized ViewTables. Apply(update) runs the matching trigger's
 // statements (ordered by descending target-view degree, so each level
 // reads pre-update values of the deeper levels — Equation (1) of §1.1).
 //
@@ -15,6 +15,11 @@
 // benchmarks can verify the constant-work-per-maintained-value claim
 // (Theorem 7.1 / the NC0 property) empirically; the lowered programs
 // preserve the tree walker's operation counts exactly.
+//
+// Statement execution is a virtual seam: the compiled backend
+// (runtime/compiled_executor.h) subclasses Executor and overrides
+// RunStatement to dispatch into dlopen'd native code, inheriting batching,
+// grouping, lazy maintenance, and all read paths unchanged.
 
 #ifndef RINGDB_RUNTIME_INTERPRETER_H_
 #define RINGDB_RUNTIME_INTERPRETER_H_
@@ -27,7 +32,7 @@
 #include "compiler/ir.h"
 #include "compiler/lower.h"
 #include "ring/database.h"
-#include "runtime/viewmap.h"
+#include "runtime/view_table.h"
 #include "util/status.h"
 #include "util/symbol.h"
 
@@ -41,12 +46,18 @@ class Executor {
     uint64_t statements_run = 0;
     uint64_t entries_touched = 0;   // view entries incremented
     uint64_t arithmetic_ops = 0;    // +, *, comparisons in rhs evaluation
+                                    // (interpreted statements only; native
+                                    // statements do not instrument rhs ops)
     uint64_t init_evaluations = 0;  // lazy first-touch initializations
     uint64_t delta_entries = 0;     // coalesced delta-GMR entries applied
     uint64_t scaled_firings = 0;    // linear triggers fired once for m > 1
   };
 
   explicit Executor(compiler::TriggerProgram program);
+  virtual ~Executor() = default;
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
 
   // Fires the trigger for the update; relations without triggers are
   // no-ops (the query does not depend on them).
@@ -89,10 +100,10 @@ class Executor {
   void ReserveForBatch(size_t additional);
 
   const compiler::TriggerProgram& program() const { return program_; }
-  const ViewMap& view(int id) const {
+  const ViewTable& view(int id) const {
     return views_[static_cast<size_t>(id)];
   }
-  const ViewMap& root() const {
+  const ViewTable& root() const {
     return views_[static_cast<size_t>(program_.root_view)];
   }
 
@@ -101,6 +112,33 @@ class Executor {
 
   // Total heap footprint of all views (experiment E3).
   size_t ApproxBytes() const;
+
+ protected:
+  // Runs one statement with the given rhs program (sp.rhs normally,
+  // sp.grouped_rhs for grouped batch execution); emissions scale by
+  // `scale`. This is the backend seam: the compiled executor overrides it
+  // to dispatch into native code (falling back to this implementation for
+  // statements that were not emitted).
+  virtual void RunStatement(const compiler::lower::StmtProgram& sp,
+                            const Value* params, Numeric scale,
+                            const compiler::lower::RhsProgram& rhs);
+  // Applies the buffered emissions of the statement just run, scaled by
+  // `scale` (shared epilogue of the interpreted and native paths).
+  void FlushEmissions(const compiler::lower::StmtProgram& sp, Numeric scale);
+
+  // Shared with the compiled backend: the immutable lowered program, the
+  // view stores its trampolines probe/enumerate/emit against, and the
+  // per-statement emission buffers its native calls fill.
+  std::shared_ptr<const compiler::lower::LoweredProgram> lowered_;
+  std::vector<ViewTable> views_;
+  // Deferred emissions of the running statement: target keys flattened
+  // into one Value buffer (arity-sized chunks) plus parallel deltas.
+  // Buffered because a statement may loop over its own target view
+  // (domain maintenance), and mutating a view during enumeration would
+  // change what later iterations observe.
+  std::vector<Value> emission_keys_;
+  std::vector<Numeric> emission_values_;
+  Stats stats_;
 
  private:
   // One rhs register: either a computed Numeric or a reference to a Value
@@ -132,12 +170,6 @@ class Executor {
   // Runs every statement of the trigger once; emissions are scaled by
   // `scale` (1 for unit firings).
   void FireTrigger(size_t trigger_idx, const Value* params, Numeric scale);
-  // Runs one statement with the given rhs program (sp.rhs normally,
-  // sp.grouped_rhs for grouped batch execution); emissions scale by
-  // `scale`.
-  void RunStatement(const compiler::lower::StmtProgram& sp,
-                    const Value* params, Numeric scale,
-                    const compiler::lower::RhsProgram& rhs);
   // Statement-major grouped execution of a linear trigger over same-sign
   // delta entries (see ApplyDeltaBatch).
   void RunLinearTriggerBatch(size_t trigger_idx,
@@ -193,12 +225,10 @@ class Executor {
   Numeric ProbeView(const compiler::lower::ProbePlan& plan, const Key& key);
 
   compiler::TriggerProgram program_;
-  std::shared_ptr<const compiler::lower::LoweredProgram> lowered_;
   // Base database, maintained only when some view needs lazy
   // initialization (the pure view hierarchy never reads it otherwise).
   bool has_lazy_views_ = false;
   ring::Database base_db_;
-  std::vector<ViewMap> views_;
   // Initialized slice subkeys per lazy view (empty sets for non-lazy).
   std::vector<std::unordered_set<Key, KeyHash>> slices_;
   // Flat (relation, sign) -> trigger index map; -1 = no trigger.
@@ -213,18 +243,10 @@ class Executor {
   std::vector<Key> loop_key_scratch_;  // per-depth index probe subkeys
   Key probe_scratch_;                  // rhs view-lookup keys
   Key slice_scratch_;                  // lazy slice subkeys
-  // Deferred emissions of the running statement: target keys flattened
-  // into one Value buffer (arity-sized chunks) plus parallel deltas.
-  // Buffered because a statement may loop over its own target view
-  // (domain maintenance), and mutating a view during enumeration is
-  // undefined.
-  std::vector<Value> emission_keys_;
-  std::vector<Numeric> emission_values_;
   // Batch grouping scratch (RunLinearTriggerBatch).
   Key shape_scratch_;
   std::unordered_map<Key, size_t, KeyHash> groups_scratch_;
   std::vector<std::pair<const std::vector<Value>*, Numeric>> reps_scratch_;
-  Stats stats_;
 };
 
 }  // namespace runtime

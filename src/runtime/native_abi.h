@@ -1,0 +1,111 @@
+// The C ABI between the host runtime and natively compiled trigger
+// modules (compiler/codegen_c.{h,cc} emits the module side).
+//
+// A compiled module is a self-contained C translation unit: it receives
+// every service it needs — view probes, index-driven loop enumeration,
+// emission buffering — as a table of function pointers (RdbHostApi)
+// passed into each statement function, so the .so links against nothing
+// and the host needs no -rdynamic. Values cross the boundary as RdbVal
+// (a flattened util/value.h Value: tagged int64/double/string-view) and
+// scalars as RdbNum (a flattened util/numeric.h Numeric). String
+// payloads are borrowed pointers into host-owned storage (update params,
+// constant pools, view entry keys); they stay valid for the duration of
+// one statement execution because natively emitted statements never
+// mutate a view mid-run (emissions are buffered by the host and applied
+// after the statement function returns, and lazy-domain statements are
+// not emitted at all).
+//
+// The emitted preamble (codegen_c.cc) textually duplicates these
+// definitions so the module compiles standalone; RDB_ABI_VERSION and the
+// RdbAbiLayout() checksum exported by every module guard against the two
+// copies drifting apart — NativeModule refuses to load on mismatch.
+
+#ifndef RINGDB_RUNTIME_NATIVE_ABI_H_
+#define RINGDB_RUNTIME_NATIVE_ABI_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ringdb {
+namespace runtime {
+
+extern "C" {
+
+// Bumped whenever a struct layout or host-api slot changes.
+enum : uint32_t { RDB_ABI_VERSION = 2 };
+
+// A flattened Value: kind 0 = int64 (payload i), 1 = double (payload d),
+// 2 = string (payload s/slen, NOT NUL-terminated, borrowed).
+typedef struct RdbVal {
+  int64_t i;
+  double d;
+  const char* s;
+  uint64_t slen;
+  uint8_t kind;
+} RdbVal;
+
+// A flattened Numeric: exact int64 while is_int, double otherwise.
+typedef struct RdbNum {
+  int64_t i;
+  double d;
+  uint8_t is_int;
+} RdbNum;
+
+// Loop-body callback: `key` is the enumerated entry's full key (arity
+// values, valid only during the call), `mult` its multiplicity.
+typedef void (*RdbLoopFn)(void* env, const RdbVal* key, RdbNum mult);
+
+// Host services available to a statement function. `ctx` is the opaque
+// executor handle threaded through every call.
+typedef struct RdbHostApi {
+  uint32_t abi_version;
+  // O(1) view lookup (ViewTable::At); the key is the view's full key.
+  RdbNum (*probe)(void* ctx, int32_t view_id, const RdbVal* key,
+                  uint32_t n);
+  // Full-scan enumeration of a view's live entries.
+  void (*foreach)(void* ctx, int32_t view_id, RdbLoopFn fn, void* env);
+  // Index-driven enumeration: entries whose key matches `subkey` at the
+  // index's positions (ViewTable::ForEachMatching).
+  void (*foreach_matching)(void* ctx, int32_t view_id, int32_t index_id,
+                           const RdbVal* subkey, uint32_t n, RdbLoopFn fn,
+                           void* env);
+  // Buffers one emission target[key] += value; the host applies all
+  // buffered emissions (scaled) after the statement function returns.
+  // Used by statements whose rhs may read the target view (self-loops):
+  // all rhs evaluations must observe the pre-statement state.
+  void (*emit)(void* ctx, const RdbVal* key, uint32_t n, RdbNum value);
+  // Immediate emission: view[key] += delta, applied in place (the
+  // statement scale already folded in). Sound only when the statement's
+  // rhs provably never reads `view_id` — the emitter checks the loop
+  // drivers and probe plans statically and falls back to emit()
+  // otherwise. Skips the buffer round trip on the hot path.
+  void (*add)(void* ctx, int32_t view_id, const RdbVal* key, uint32_t n,
+              RdbNum delta);
+  // Aborts with a diagnostic (the RINGDB_CHECK analogue; never returns).
+  void (*fail)(void* ctx, const char* msg);
+} RdbHostApi;
+
+// One lowered statement compiled to native code. `params` holds the
+// update's values (the trigger relation's arity of them); `scale` is the
+// emission scale (1 for unit firings, the net multiplicity for scaled
+// linear firings, the accumulated group coefficient on the grouped batch
+// path). Statements emitting through api->emit ignore scale (the host
+// applies it when flushing); direct-add statements fold it in.
+typedef void (*RdbStmtFn)(const RdbHostApi* api, void* ctx,
+                          const RdbVal* params, RdbNum scale);
+
+}  // extern "C"
+
+// Host-side layout checksum; every emitted module exports
+// `uint64_t rdb_abi_layout` computed by the same formula from its own
+// textual copy of the structs. Loading compares the two.
+constexpr uint64_t RdbAbiLayout() {
+  return static_cast<uint64_t>(sizeof(RdbVal)) * 1000000u +
+         offsetof(RdbVal, kind) * 10000u + sizeof(RdbNum) * 100u +
+         offsetof(RdbNum, is_int);
+}
+
+}  // namespace runtime
+}  // namespace ringdb
+
+#endif  // RINGDB_RUNTIME_NATIVE_ABI_H_

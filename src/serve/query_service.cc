@@ -26,6 +26,7 @@ StatusOr<QueryId> QueryService::Register(std::string name,
   runtime::EngineOptions engine_options;
   engine_options.batch_size = options_.batch_size;
   engine_options.num_shards = options_.num_shards;
+  engine_options.backend = options_.backend;
   RINGDB_ASSIGN_OR_RETURN(
       runtime::Engine engine,
       runtime::Engine::Create(catalog_, group_vars, std::move(body),

@@ -67,10 +67,19 @@ struct ServeOptions {
   // IngestQueue bound: producers block once this many events are
   // pending (backpressure instead of unbounded buffering).
   size_t queue_capacity = 1 << 16;
+  // Statement-execution backend for every registered query's engine
+  // (runtime::EngineOptions::backend): kCompile dispatches trigger
+  // statements into runtime-compiled native code where available,
+  // falling back to the interpreter transparently. Standing queries are
+  // exactly the long-lived engines the one-time compile cost amortizes
+  // over.
+  runtime::Backend backend = runtime::Backend::kInterpret;
 };
 
 class QueryService {
  public:
+  // A service over `catalog`; all queries registered later are compiled
+  // against it. No threads run until Start().
   explicit QueryService(ring::Catalog catalog, ServeOptions options = {});
   ~QueryService();  // Stop()
 
@@ -106,7 +115,10 @@ class QueryService {
   // and joins all threads. Idempotent; snapshots stay readable forever.
   void Stop();
 
+  // Number of registered standing queries.
   size_t num_queries() const { return queries_.size(); }
+  // Name/definition metadata recorded at registration. Precondition:
+  // id came from this service's Register/RegisterSql.
   const QueryInfo& query_info(QueryId id) const;
   // First ingest/apply error, if any. Stable once Drain()/Stop()
   // returned; racing appliers may not have recorded an error yet.
@@ -121,14 +133,19 @@ class QueryService {
   // relations (disjoint windows cannot move the result and are skipped),
   // so version() lags the global window count for single-relation
   // queries on multi-relation streams.
+  // The query's latest published snapshot (immutable; hold the pointer
+  // to read many values from one consistent version).
   SnapshotPtr snapshot(QueryId id) const {
     RINGDB_CHECK(id < queries_.size());
     return queries_[id]->snapshot.load();
   }
+  // Point lookup in the latest snapshot, values in group_vars order.
   Numeric Get(QueryId id, const std::vector<Value>& group_values) const {
     return snapshot(id)->Get(group_values);
   }
+  // Scalar result from the latest snapshot (scalar queries only).
   Numeric Scalar(QueryId id) const { return snapshot(id)->scalar(); }
+  // Applied-window sequence number of the latest snapshot.
   uint64_t version(QueryId id) const { return snapshot(id)->version(); }
 
   // Test/maintenance access to a query's engine. Only valid while the

@@ -29,7 +29,7 @@
 #include <vector>
 
 #include "ring/gmr.h"
-#include "runtime/viewmap.h"
+#include "runtime/view_table.h"
 #include "util/numeric.h"
 #include "util/symbol.h"
 #include "util/value.h"

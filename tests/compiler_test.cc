@@ -205,7 +205,7 @@ TEST(CompilerGroupedTest, PerNationCustomerCount) {
 
 // ---- NC0C code generation ----
 
-TEST(CodegenTest, EmitsTriggerFunctionsAndMaps) {
+TEST(CodegenTest, EmitsStatementFunctionsPerTrigger) {
   Catalog catalog;
   catalog.AddRelation(S("Rcg"), {S("A")});
   ExprPtr body = Expr::Mul({Expr::Relation(S("Rcg"), {Term(S("x"))}),
@@ -213,13 +213,35 @@ TEST(CodegenTest, EmitsTriggerFunctionsAndMaps) {
                             Expr::Cmp(CmpOp::kEq, V("x"), V("y"))});
   auto compiled = Compile(catalog, {}, body);
   ASSERT_TRUE(compiled.ok());
-  std::string code = GenerateC(compiled->program);
-  EXPECT_NE(code.find("void on_insert_Rcg(value_t p0)"), std::string::npos);
-  EXPECT_NE(code.find("void on_delete_Rcg(value_t p0)"), std::string::npos);
-  EXPECT_NE(code.find("static map_t m0"), std::string::npos);
-  EXPECT_NE(code.find("map_add(&m0"), std::string::npos);
-  // No loops are needed for this fully update-bound query.
-  EXPECT_EQ(code.find("MAP_FOREACH_MATCHING(m"), std::string::npos);
+  CodegenModule mod = GenerateModule(compiled->program);
+  ASSERT_EQ(mod.stmts.size(), compiled->program.triggers.size());
+  EXPECT_GT(mod.emitted_statements, 0u);
+  // Every statement of this non-lazy program is emitted, each trigger
+  // gets a marker section, and exported names follow rdb_t<T>_s<S>.
+  for (size_t t = 0; t < mod.stmts.size(); ++t) {
+    const Trigger& trigger = compiled->program.triggers[t];
+    std::string marker =
+        std::string("/* === trigger ") +
+        (trigger.sign == ring::Update::Sign::kInsert ? "+" : "-") +
+        trigger.relation.str() + " === */";
+    EXPECT_NE(mod.source.find(marker), std::string::npos) << marker;
+    ASSERT_EQ(mod.stmts[t].size(), trigger.statements.size());
+    for (size_t s = 0; s < mod.stmts[t].size(); ++s) {
+      EXPECT_TRUE(mod.stmts[t][s].emitted);
+      std::string decl = "void " + mod.stmts[t][s].fn +
+                         "(const RdbHostApi* api, void* ctx, "
+                         "const RdbVal* p, RdbNum scale)";
+      EXPECT_NE(mod.source.find(decl), std::string::npos) << decl;
+    }
+  }
+  // No loops are needed for this fully update-bound query: emissions go
+  // straight through the host api (direct add — no statement reads its
+  // own target), no enumeration calls.
+  EXPECT_EQ(mod.source.find("->foreach"), std::string::npos);
+  EXPECT_NE(mod.source.find("->add("), std::string::npos);
+  // Loader handshake symbols are always present.
+  EXPECT_NE(mod.source.find("rdb_abi_version"), std::string::npos);
+  EXPECT_NE(mod.source.find("rdb_abi_layout"), std::string::npos);
 }
 
 // ---- Error paths ----

@@ -1,0 +1,88 @@
+/* === trigger +lineitem === */
+/* for m2 idx0[@p0] {bind 1->f0}: m0[f0] += param(1) param(2) loopval(0) mul(3) | grouped: loopval(0) */
+typedef struct {
+  const RdbHostApi* api;
+  void* ctx;
+  const RdbVal* p;
+  RdbNum sc;
+  RdbVal f[1];
+  RdbNum lv[1];
+} rdb_t2_s0_env;
+static void rdb_t2_s0_body(rdb_t2_s0_env* E) {
+  RdbNum t0 = rdb_mul(rdb_mul(rdb_num(E->api, E->ctx, E->p[1]), rdb_num(E->api, E->ctx, E->p[2])), E->lv[0]);
+  RdbNum v = t0;
+  if (rdb_is_zero(v)) return;
+  RdbVal tk[1];
+  tk[0] = E->f[0];
+  if (!rdb_is_one(E->sc)) v = rdb_mul(v, E->sc);
+  E->api->add(E->ctx, 0, tk, 1, v);
+}
+static void rdb_t2_s0_l0(void* ve, const RdbVal* k, RdbNum m) {
+  rdb_t2_s0_env* E = (rdb_t2_s0_env*)ve;
+  E->f[0] = k[1];
+  E->lv[0] = m;
+  rdb_t2_s0_body(E);
+}
+void rdb_t2_s0(const RdbHostApi* api, void* ctx, const RdbVal* p, RdbNum scale) {
+  rdb_t2_s0_env e;
+  e.api = api;
+  e.ctx = ctx;
+  e.p = p;
+  e.sc = scale;
+  rdb_t2_s0_env* E = &e;
+  RdbVal sk0[1];
+  sk0[0] = E->p[0];
+  E->api->foreach_matching(E->ctx, 2, 0, sk0, 1, rdb_t2_s0_l0, (void*)E);
+}
+
+/* grouped variant of stmt 0: interpreter (cost model) */
+/* m1[@p0] += param(1) param(2) mul(2) | grouped: const(1) */
+static const RdbVal rdb_t2_s1_c[] = {
+    {1, 0.0, 0, 0, 0},
+};
+typedef struct {
+  const RdbHostApi* api;
+  void* ctx;
+  const RdbVal* p;
+  RdbNum sc;
+  RdbVal f[1];
+  RdbNum lv[1];
+} rdb_t2_s1_env;
+static void rdb_t2_s1_body(rdb_t2_s1_env* E) {
+  RdbNum t0 = rdb_mul(rdb_num(E->api, E->ctx, E->p[1]), rdb_num(E->api, E->ctx, E->p[2]));
+  RdbNum v = t0;
+  if (rdb_is_zero(v)) return;
+  RdbVal tk[1];
+  tk[0] = E->p[0];
+  if (!rdb_is_one(E->sc)) v = rdb_mul(v, E->sc);
+  E->api->add(E->ctx, 1, tk, 1, v);
+}
+void rdb_t2_s1(const RdbHostApi* api, void* ctx, const RdbVal* p, RdbNum scale) {
+  rdb_t2_s1_env e;
+  e.api = api;
+  e.ctx = ctx;
+  e.p = p;
+  e.sc = scale;
+  rdb_t2_s1_env* E = &e;
+  rdb_t2_s1_body(E);
+}
+
+static void rdb_t2_s1_g_body(rdb_t2_s1_env* E) {
+  RdbNum v = rdb_num(E->api, E->ctx, rdb_t2_s1_c[0]);
+  if (rdb_is_zero(v)) return;
+  RdbVal tk[1];
+  tk[0] = E->p[0];
+  if (!rdb_is_one(E->sc)) v = rdb_mul(v, E->sc);
+  E->api->add(E->ctx, 1, tk, 1, v);
+}
+void rdb_t2_s1_g(const RdbHostApi* api, void* ctx, const RdbVal* p, RdbNum scale) {
+  rdb_t2_s1_env e;
+  e.api = api;
+  e.ctx = ctx;
+  e.p = p;
+  e.sc = scale;
+  rdb_t2_s1_env* E = &e;
+  rdb_t2_s1_g_body(E);
+}
+
+

@@ -219,14 +219,25 @@ TEST_P(LoweringDifferentialTest, BytecodeMatchesAgcaOracle) {
   struct Config {
     size_t batch_size;
     size_t num_shards;
+    runtime::Backend backend;
   };
+  // Every (batch, shards) point runs under both backends: the compiled
+  // engines must agree with the AGCA oracle exactly like the interpreter
+  // (on compiler-less hosts they silently ARE the interpreter — the
+  // release CI job asserts native engagement via native_backend_test).
+  constexpr auto kI = runtime::Backend::kInterpret;
+  constexpr auto kC = runtime::Backend::kCompile;
   const std::vector<Config> configs = {
-      {1, 1}, {7, 1}, {1024, 1}, {1, 2}, {7, 2}, {7, 8}, {1024, 8}};
+      {1, 1, kI},    {7, 1, kI}, {1024, 1, kI}, {1, 2, kI},
+      {7, 2, kI},    {7, 8, kI}, {1024, 8, kI}, {1, 1, kC},
+      {7, 1, kC},    {1024, 1, kC}, {1, 2, kC}, {7, 2, kC},
+      {7, 8, kC},    {1024, 8, kC}};
   std::vector<Engine> engines;
   for (const Config& c : configs) {
     runtime::EngineOptions options;
     options.batch_size = c.batch_size;
     options.num_shards = c.num_shards;
+    options.backend = c.backend;
     auto e = Engine::Create(s.catalog, s.group_vars, s.body, options);
     ASSERT_TRUE(e.ok()) << e.status().ToString();
     engines.push_back(std::move(*e));
@@ -243,7 +254,9 @@ TEST_P(LoweringDifferentialTest, BytecodeMatchesAgcaOracle) {
       ASSERT_TRUE(engines[e].ApplyBatch(updates).ok());
       ASSERT_EQ(expected, engines[e].ResultGmr())
           << "window " << window << " batch " << configs[e].batch_size
-          << " shards " << engines[e].num_shards()
+          << " shards " << engines[e].num_shards() << " backend "
+          << (configs[e].backend == kC ? "compiled" : "interpreted")
+          << (engines[e].native_enabled() ? " (native)" : "")
           << "\noracle:  " << expected.ToString()
           << "\nengine:  " << engines[e].ResultGmr().ToString();
     }

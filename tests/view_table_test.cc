@@ -11,15 +11,15 @@
 #include <utility>
 #include <vector>
 
-#include "runtime/viewmap.h"
+#include "runtime/view_table.h"
 #include "util/random.h"
 
 namespace ringdb {
 namespace runtime {
 namespace {
 
-TEST(ViewMapTest, DefaultZeroAndAdd) {
-  ViewMap v(2);
+TEST(ViewTableTest, DefaultZeroAndAdd) {
+  ViewTable v(2);
   Key k{Value(1), Value("a")};
   EXPECT_EQ(v.At(k), kZero);
   v.Add(k, Numeric(5));
@@ -29,8 +29,8 @@ TEST(ViewMapTest, DefaultZeroAndAdd) {
   EXPECT_EQ(v.size(), 1u);
 }
 
-TEST(ViewMapTest, CancellationErasesEntry) {
-  ViewMap v(1);
+TEST(ViewTableTest, CancellationErasesEntry) {
+  ViewTable v(1);
   v.Add({Value(7)}, Numeric(4));
   v.Add({Value(7)}, Numeric(-4));
   EXPECT_EQ(v.size(), 0u);
@@ -38,8 +38,8 @@ TEST(ViewMapTest, CancellationErasesEntry) {
   EXPECT_FALSE(v.Contains({Value(7)}));
 }
 
-TEST(ViewMapTest, KeepZerosRetainsInitializedDomain) {
-  ViewMap v(1);
+TEST(ViewTableTest, KeepZerosRetainsInitializedDomain) {
+  ViewTable v(1);
   v.SetKeepZeros();
   v.EnsureEntry({Value(1)}, kZero);
   v.Add({Value(2)}, Numeric(3));
@@ -50,15 +50,15 @@ TEST(ViewMapTest, KeepZerosRetainsInitializedDomain) {
   EXPECT_EQ(v.At({Value(2)}), kZero);
 }
 
-TEST(ViewMapTest, EnsureEntryIsIdempotent) {
-  ViewMap v(1);
+TEST(ViewTableTest, EnsureEntryIsIdempotent) {
+  ViewTable v(1);
   v.Add({Value(1)}, Numeric(9));
   v.EnsureEntry({Value(1)}, Numeric(555));  // no-op: entry exists
   EXPECT_EQ(v.At({Value(1)}), Numeric(9));
 }
 
-TEST(ViewMapTest, ZeroDeltaIsNoop) {
-  ViewMap v(1);
+TEST(ViewTableTest, ZeroDeltaIsNoop) {
+  ViewTable v(1);
   v.Add({Value(1)}, kZero);
   EXPECT_EQ(v.size(), 0u);
 }
@@ -66,10 +66,10 @@ TEST(ViewMapTest, ZeroDeltaIsNoop) {
 // Value::Hash regression: -0.0 and 0.0 compare equal, so they must land
 // on one entry (the old hash split them, silently breaking every Key
 // table's hash/equality invariant).
-TEST(ViewMapTest, NegativeZeroAndZeroShareOneEntry) {
+TEST(ViewTableTest, NegativeZeroAndZeroShareOneEntry) {
   ASSERT_EQ(Value(-0.0), Value(0.0));
   ASSERT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
-  ViewMap v(1);
+  ViewTable v(1);
   v.Add({Value(0.0)}, Numeric(2));
   v.Add({Value(-0.0)}, Numeric(3));
   EXPECT_EQ(v.size(), 1u);
@@ -78,8 +78,8 @@ TEST(ViewMapTest, NegativeZeroAndZeroShareOneEntry) {
   EXPECT_EQ(v.size(), 0u);
 }
 
-TEST(ViewMapTest, IndexFindsMatchingEntries) {
-  ViewMap v(2);
+TEST(ViewTableTest, IndexFindsMatchingEntries) {
+  ViewTable v(2);
   int idx = v.EnsureIndex({1});
   v.Add({Value(1), Value(10)}, kOne);
   v.Add({Value(2), Value(10)}, kOne);
@@ -91,8 +91,8 @@ TEST(ViewMapTest, IndexFindsMatchingEntries) {
   EXPECT_EQ(firsts, (std::set<int64_t>{1, 2}));
 }
 
-TEST(ViewMapTest, IndexBuiltOverExistingEntries) {
-  ViewMap v(2);
+TEST(ViewTableTest, IndexBuiltOverExistingEntries) {
+  ViewTable v(2);
   v.Add({Value(1), Value(10)}, kOne);
   v.Add({Value(2), Value(20)}, kOne);
   int idx = v.EnsureIndex({1});  // built after the fact
@@ -101,8 +101,8 @@ TEST(ViewMapTest, IndexBuiltOverExistingEntries) {
   EXPECT_EQ(count, 1);
 }
 
-TEST(ViewMapTest, IndexMaintainedAcrossErasure) {
-  ViewMap v(2);
+TEST(ViewTableTest, IndexMaintainedAcrossErasure) {
+  ViewTable v(2);
   int idx = v.EnsureIndex({0});
   v.Add({Value(1), Value(10)}, Numeric(2));
   v.Add({Value(1), Value(10)}, Numeric(-2));  // cancels, erased
@@ -118,8 +118,8 @@ TEST(ViewMapTest, IndexMaintainedAcrossErasure) {
 // Zero-cancellation in a keep_zeros view must keep the entry *and* its
 // index row (the initialized domain is what self-loop statements
 // enumerate), reported with multiplicity 0.
-TEST(ViewMapTest, KeepZerosIndexRetainsCancelledEntries) {
-  ViewMap v(2);
+TEST(ViewTableTest, KeepZerosIndexRetainsCancelledEntries) {
+  ViewTable v(2);
   v.SetKeepZeros();
   int idx = v.EnsureIndex({0});
   v.Add({Value(1), Value(10)}, Numeric(2));
@@ -133,14 +133,14 @@ TEST(ViewMapTest, KeepZerosIndexRetainsCancelledEntries) {
   EXPECT_EQ(v.size(), 2u);
 }
 
-TEST(ViewMapTest, EnsureIndexDeduplicates) {
-  ViewMap v(3);
+TEST(ViewTableTest, EnsureIndexDeduplicates) {
+  ViewTable v(3);
   EXPECT_EQ(v.EnsureIndex({0, 2}), v.EnsureIndex({0, 2}));
   EXPECT_NE(v.EnsureIndex({0, 2}), v.EnsureIndex({1}));
 }
 
-TEST(ViewMapTest, MultiPositionIndex) {
-  ViewMap v(3);
+TEST(ViewTableTest, MultiPositionIndex) {
+  ViewTable v(3);
   int idx = v.EnsureIndex({0, 2});
   v.Add({Value(1), Value("x"), Value(3)}, kOne);
   v.Add({Value(1), Value("y"), Value(3)}, kOne);
@@ -151,11 +151,11 @@ TEST(ViewMapTest, MultiPositionIndex) {
   EXPECT_EQ(count, 2);
 }
 
-TEST(ViewMapTest, RandomizedIndexConsistency) {
+TEST(ViewTableTest, RandomizedIndexConsistency) {
   // Index probes must always agree with a full scan, across insertions,
   // accumulation, and cancellation erasure (which swap-moves entries and
   // patches slot/index ids).
-  ViewMap v(2);
+  ViewTable v(2);
   int idx = v.EnsureIndex({1});
   Rng rng(99);
   for (int i = 0; i < 5000; ++i) {
@@ -176,12 +176,12 @@ TEST(ViewMapTest, RandomizedIndexConsistency) {
   }
 }
 
-TEST(ViewMapTest, RandomizedAgainstReferenceMap) {
+TEST(ViewTableTest, RandomizedAgainstReferenceMap) {
   // Full behavioral check against a simple reference: At/size after a
   // mixed stream of adds and cancellations, for inline (arity 2) and
   // arena (arity 3) key storage.
   for (size_t arity : {size_t{2}, size_t{3}}) {
-    ViewMap v(arity);
+    ViewTable v(arity);
     std::map<std::vector<int64_t>, int64_t> ref;
     Rng rng(7 + arity);
     for (int i = 0; i < 20000; ++i) {
@@ -216,10 +216,10 @@ TEST(ViewMapTest, RandomizedAgainstReferenceMap) {
   }
 }
 
-TEST(ViewMapTest, ArenaKeysSurviveChurnAndReuse) {
+TEST(ViewTableTest, ArenaKeysSurviveChurnAndReuse) {
   // Arity > 2 keys live in the per-view arena; erased blocks must be
   // reused without corrupting survivors (string payloads included).
-  ViewMap v(4);
+  ViewTable v(4);
   int idx = v.EnsureIndex({0, 3});
   auto key = [](int64_t a, const std::string& s, int64_t c, int64_t d) {
     return Key{Value(a), Value(s), Value(c), Value(d)};
@@ -251,8 +251,8 @@ TEST(ViewMapTest, ArenaKeysSurviveChurnAndReuse) {
 // iterating (self-loop statements do). Inserts are not visited
 // (snapshot), cancellations are deferred and skipped, and the table is
 // consistent afterwards.
-TEST(ViewMapTest, ForEachMatchingSurvivesWritesToSameView) {
-  ViewMap v(2);
+TEST(ViewTableTest, ForEachMatchingSurvivesWritesToSameView) {
+  ViewTable v(2);
   int idx = v.EnsureIndex({1});
   for (int i = 0; i < 64; ++i) {
     v.Add({Value(i), Value(i % 4)}, Numeric(i + 1));
@@ -278,8 +278,8 @@ TEST(ViewMapTest, ForEachMatchingSurvivesWritesToSameView) {
   EXPECT_EQ(remaining, 16u);
 }
 
-TEST(ViewMapTest, NestedForEachWithDeferredErase) {
-  ViewMap v(1);
+TEST(ViewTableTest, NestedForEachWithDeferredErase) {
+  ViewTable v(1);
   for (int i = 0; i < 8; ++i) v.Add({Value(i)}, kOne);
   size_t outer = 0;
   size_t cancelled = 0;
@@ -306,8 +306,8 @@ TEST(ViewMapTest, NestedForEachWithDeferredErase) {
   EXPECT_FALSE(v.Contains({Value(0)}));
 }
 
-TEST(ViewMapTest, ReserveKeepsContents) {
-  ViewMap v(2);
+TEST(ViewTableTest, ReserveKeepsContents) {
+  ViewTable v(2);
   int idx = v.EnsureIndex({0});
   for (int i = 0; i < 100; ++i) v.Add({Value(i % 10), Value(i)}, kOne);
   v.Reserve(100000);
@@ -317,17 +317,17 @@ TEST(ViewMapTest, ReserveKeepsContents) {
   EXPECT_EQ(count, 10u);
 }
 
-TEST(ViewMapTest, ApproxBytesGrowsWithEntries) {
-  ViewMap small(1), large(1);
+TEST(ViewTableTest, ApproxBytesGrowsWithEntries) {
+  ViewTable small(1), large(1);
   for (int i = 0; i < 10; ++i) small.Add({Value(i)}, kOne);
   for (int i = 0; i < 1000; ++i) large.Add({Value(i)}, kOne);
   EXPECT_GT(large.ApproxBytes(), small.ApproxBytes());
 }
 
-TEST(ViewMapTest, ApproxBytesCountsStringPayloadAndIndexes) {
+TEST(ViewTableTest, ApproxBytesCountsStringPayloadAndIndexes) {
   // Long string keys own heap payloads the estimate must include (the
   // old estimate skipped them, skewing the E3 memory comparison).
-  ViewMap ints(1), strings(1);
+  ViewTable ints(1), strings(1);
   for (int i = 0; i < 500; ++i) {
     ints.Add({Value(i)}, kOne);
     strings.Add({Value("quite-a-long-key-string-number-" +
@@ -336,7 +336,7 @@ TEST(ViewMapTest, ApproxBytesCountsStringPayloadAndIndexes) {
   }
   EXPECT_GT(strings.ApproxBytes(), ints.ApproxBytes() + 500 * 16);
   // Registering an index adds accounted storage.
-  ViewMap indexed(2), plain(2);
+  ViewTable indexed(2), plain(2);
   indexed.EnsureIndex({0});
   for (int i = 0; i < 500; ++i) {
     indexed.Add({Value(i % 7), Value(i)}, kOne);
@@ -345,8 +345,8 @@ TEST(ViewMapTest, ApproxBytesCountsStringPayloadAndIndexes) {
   EXPECT_GT(indexed.ApproxBytes(), plain.ApproxBytes());
 }
 
-TEST(ViewMapTest, ToStringRendersEntries) {
-  ViewMap v(2);
+TEST(ViewTableTest, ToStringRendersEntries) {
+  ViewTable v(2);
   v.Add({Value(1), Value("a")}, Numeric(3));
   EXPECT_EQ(v.ToString(), "{[1, a] -> 3}");
 }

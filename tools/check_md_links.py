@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs CI job.
+
+Verifies that every relative link target in the given markdown files
+exists in the repository (anchors are stripped; http/https/mailto links
+are skipped so the check works offline). Exit code 1 lists every broken
+link; 0 means all links resolve.
+
+Usage: tools/check_md_links.py README.md DESIGN.md examples/README.md
+"""
+
+import os
+import re
+import sys
+
+# Inline links [text](target) — skips images' leading ! automatically —
+# and reference definitions [id]: target.
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def check_file(path: str) -> list[str]:
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    base = os.path.dirname(path)
+    targets = INLINE.findall(text) + REFDEF.findall(text)
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = os.path.normpath(os.path.join(base, rel))
+        if not os.path.exists(resolved):
+            broken.append(f"{path}: broken link -> {target}")
+    return broken
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    broken = []
+    for path in sys.argv[1:]:
+        if not os.path.exists(path):
+            broken.append(f"{path}: file not found")
+            continue
+        broken.extend(check_file(path))
+    for line in broken:
+        print(line, file=sys.stderr)
+    if not broken:
+        print(f"all links resolve in {len(sys.argv) - 1} file(s)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
