@@ -42,6 +42,10 @@ struct Options {
   size_t shards = 1;
   std::string json_path = "BENCH_serve.dev.json";
   std::string label = "dev";
+  // --stats: dump the service's full metrics export (queue spans,
+  // coalesce/apply/publish-age histograms, per-query staleness) after
+  // the throughput table.
+  bool stats = false;
 };
 
 struct Result {
@@ -53,6 +57,7 @@ struct Result {
   double upd_per_s;       // service ingest throughput with readers live
   double reads_per_s;     // aggregate snapshot reads across reader threads
   uint64_t final_version;
+  std::string stats_json;  // QueryService::StatsJson at end of run
 };
 
 std::string JsonEscape(const std::string& s) {
@@ -82,6 +87,8 @@ void WriteSnapshotJson(const Options& opt, const std::vector<Result>& results) {
   std::fprintf(f, "{\n  \"bench\": \"serve\",\n  \"snapshots\": [\n");
   std::fprintf(f, "    {\n      \"label\": \"%s\",\n      \"updates\": %d,\n",
                JsonEscape(opt.label).c_str(), opt.updates);
+  std::fprintf(f, "      \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "      \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];
@@ -89,10 +96,12 @@ void WriteSnapshotJson(const Options& opt, const std::vector<Result>& results) {
                  "        {\"readers\": %d, \"queries\": %d, "
                  "\"batch_size\": %zu, \"shards\": %zu, "
                  "\"base_upd_per_s\": %.0f, \"upd_per_s\": %.0f, "
-                 "\"reads_per_s\": %.0f, \"final_version\": %llu}%s\n",
+                 "\"reads_per_s\": %.0f, \"final_version\": %llu,\n"
+                 "         \"stats\": %s}%s\n",
                  r.readers, r.queries, r.batch_size, r.shards,
                  r.base_upd_per_s, r.upd_per_s, r.reads_per_s,
                  static_cast<unsigned long long>(r.final_version),
+                 r.stats_json.empty() ? "null" : r.stats_json.c_str(),
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "      ]\n    }\n  ]\n}\n");
@@ -215,6 +224,11 @@ void Run(const Options& opt) {
   stop_readers.store(true);
   for (std::thread& t : readers) t.join();
   const uint64_t final_version = service.version(query_ids[0]);
+  // Capture before Stop(): the export is concurrency-safe, and reading
+  // it while the pipeline threads are still up is the supported pattern
+  // (operators poll a live service).
+  const std::string stats_json = service.StatsJson(9);
+  const std::string stats_text = service.StatsText();
   service.Stop();
   if (!service.status().ok()) {
     std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
@@ -230,6 +244,7 @@ void Run(const Options& opt) {
   result.upd_per_s = opt.updates / elapsed;
   result.reads_per_s = total_reads.load() / elapsed;
   result.final_version = final_version;
+  result.stats_json = stats_json;
 
   ringdb::TablePrinter table({"config", "upd/s", "vs single-writer",
                               "reads/s", "windows"});
@@ -248,6 +263,9 @@ void Run(const Options& opt) {
   std::printf("%s", table.Render().c_str());
   std::printf("(read checksum %lld)\n",
               static_cast<long long>(checksum.load()));
+  if (opt.stats) {
+    std::printf("\n--- service stats ---\n%s", stats_text.c_str());
+  }
 
   WriteSnapshotJson(opt, {result});
 }
@@ -299,10 +317,13 @@ int main(int argc, char** argv) {
       opt.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
       opt.label = argv[++i];
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      opt.stats = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--updates N] [--readers K] [--queries M] "
-                   "[--batch B] [--shards S] [--json PATH] [--label STR]\n",
+                   "[--batch B] [--shards S] [--json PATH] [--label STR] "
+                   "[--stats]\n",
                    argv[0]);
       return 2;
     }

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baseline/baselines.h"
@@ -38,7 +39,9 @@ struct Config {
 // (skip the classical-IVM comparison sections; CI smoke mode),
 // --backend interpret|compile|both (which statement-execution backends
 // the sweep measures; compile rows are skipped with a note when no host
-// C compiler is available). The default output name is distinct from the
+// C compiler is available), --stats (dump each sweep engine's full
+// metrics export — per-statement counters, dispatch decisions, stage
+// spans — after its row). The default output name is distinct from the
 // committed trajectory file BENCH_tpch_stream.json (same schema) so an
 // argless run never clobbers the recorded per-PR history; merge
 // snapshots into it deliberately.
@@ -48,6 +51,7 @@ struct Options {
   std::string label = "dev";
   bool sweep_only = false;
   std::string backend = "both";
+  bool stats = false;
 };
 
 // One measured (stream, engine-config) cell of the sweep, serialized to
@@ -60,6 +64,7 @@ struct SweepResult {
   size_t shards;
   double upd_per_s;
   size_t approx_bytes;
+  std::string stats_json;  // Engine::StatsJson of the run (valid JSON)
 };
 
 std::string JsonEscape(const std::string& s) {
@@ -90,6 +95,8 @@ void WriteSnapshotJson(const Options& opt,
   std::fprintf(f, "{\n  \"bench\": \"tpch_stream\",\n  \"snapshots\": [\n");
   std::fprintf(f, "    {\n      \"label\": \"%s\",\n      \"updates\": %d,\n",
                JsonEscape(opt.label).c_str(), opt.updates);
+  std::fprintf(f, "      \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "      \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const SweepResult& r = results[i];
@@ -97,10 +104,12 @@ void WriteSnapshotJson(const Options& opt,
                  "        {\"stream\": \"%s\", \"config\": \"%s\", "
                  "\"backend\": \"%s\", "
                  "\"batch_size\": %zu, \"shards\": %zu, "
-                 "\"upd_per_s\": %.0f, \"approx_bytes\": %zu}%s\n",
+                 "\"upd_per_s\": %.0f, \"approx_bytes\": %zu,\n"
+                 "         \"stats\": %s}%s\n",
                  JsonEscape(r.stream).c_str(), JsonEscape(r.config).c_str(),
                  JsonEscape(r.backend).c_str(), r.batch_size, r.shards,
                  r.upd_per_s, r.approx_bytes,
+                 r.stats_json.empty() ? "null" : r.stats_json.c_str(),
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "      ]\n    }\n  ]\n}\n");
@@ -333,7 +342,12 @@ void BatchShardSweep(const Options& opt) {
         sweep_results.push_back(
             SweepResult{stream_config.name, config.name, backend_name,
                         config.batch_size, engine->num_shards(), tput,
-                        bytes});
+                        bytes, engine->StatsJson(9)});
+        if (opt.stats) {
+          std::printf("--- stats: %s / %s / %s ---\n%s\n",
+                      stream_config.name.c_str(), config.name.c_str(),
+                      backend_name, engine->StatsText().c_str());
+        }
         char a[32], b[32], c[32], d[32];
         std::snprintf(a, sizeof(a), "%zu", engine->num_shards());
         std::snprintf(b, sizeof(b), "%.0f", tput);
@@ -370,6 +384,8 @@ int main(int argc, char** argv) {
       opt.label = argv[++i];
     } else if (std::strcmp(argv[i], "--sweep-only") == 0) {
       opt.sweep_only = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      opt.stats = true;
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       opt.backend = argv[++i];
       if (opt.backend != "interpret" && opt.backend != "compile" &&
@@ -382,7 +398,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--updates N] [--json PATH] [--label STR] "
-                   "[--sweep-only] [--backend interpret|compile|both]\n",
+                   "[--sweep-only] [--backend interpret|compile|both] "
+                   "[--stats]\n",
                    argv[0]);
       return 2;
     }

@@ -88,6 +88,12 @@ int main() {
               service.snapshot(*revenue)->size(),
               service.Get(*counts, {Value(1)}).ToString().c_str(),
               service.snapshot(*counts)->scalar().ToString().c_str());
+
+  // 5. The pipeline's own story: Stats() is safe to poll from any
+  // thread while ingest runs (operators do exactly that); here the
+  // drained service reports queue waits, coalesce/apply/publish spans,
+  // and per-query staleness (DESIGN.md "Observability").
+  std::printf("\nservice stats:\n%s", service.StatsText().c_str());
   service.Stop();
   return 0;
 }

@@ -203,15 +203,21 @@ std::string CValInit(const Value& v) {
 // chain per rhs variant. The structure mirrors the interpreter exactly —
 // RunLoops becomes the callback chain, EvalRhs becomes the straight-line
 // body — so results (including evaluation order over doubles) agree.
-// Cost model for one rhs variant: a native statement pays an ABI-crossing
-// conversion per enumerated loop entry (key values marshalled to RdbVal,
-// callback through a function pointer), and buys back the interpreter's
-// opcode dispatch. A loop whose rhs is a single load — the strength-
-// reduced grouped join forwarding the driver's multiplicity — is already
-// a bind-and-copy loop in the interpreter with nothing left to buy back;
-// measured on the zipf revenue stream, emitting it natively LOSES ~7%.
-// Loop-less statements (pure arithmetic, no per-entry tax) and loops with
-// real rhs work win. Variants that fail the model keep the interpreter.
+// Static cost model for one rhs variant: a native statement pays an
+// ABI-crossing conversion per enumerated loop entry (key values
+// marshalled to RdbVal, callback through a function pointer), and buys
+// back the interpreter's opcode dispatch. A loop whose rhs is a single
+// load — the strength-reduced grouped join forwarding the driver's
+// multiplicity — is already a bind-and-copy loop in the interpreter with
+// nothing left to buy back; measured on the zipf revenue stream, running
+// it natively LOSES ~7%. Loop-less statements (pure arithmetic, no
+// per-entry tax) and loops with real rhs work win.
+//
+// Since PR 6 the verdict is a *preference*, not an emission gate: every
+// emittable variant is compiled, and the runtime's profile-guided
+// selection (runtime/compiled_executor.h) starts from this preference,
+// then alternates backends during a warmup window and locks in whichever
+// one measures faster on the live workload.
 bool WorthNative(const lw::StmtProgram& sp, const lw::RhsProgram& rhs) {
   return sp.loops.empty() || rhs.ops.size() > 1;
 }
@@ -510,20 +516,23 @@ CodegenModule GenerateModule(const TriggerProgram& program) {
         mod.stmts[t].push_back(cs);
         continue;
       }
-      // Folding only removes ops, so grouped_rhs never out-works rhs: a
-      // plain variant failing the cost model sinks the whole statement.
-      if (!WorthNative(sp, sp.rhs)) {
-        out << "/* stmt " << s << ": interpreter fallback (cost model): "
-            << CComment(sp.ToString()) << " */\n";
-        mod.stmts[t].push_back(cs);
-        continue;
-      }
       cs.emitted = true;
       cs.fn = "rdb_t" + std::to_string(t) + "_s" + std::to_string(s);
+      cs.prefer_native = WorthNative(sp, sp.rhs);
+      if (!cs.prefer_native) {
+        out << "/* stmt " << s
+            << ": static cost model prefers interpreter "
+               "(profile-guided selection decides at run time) */\n";
+      }
       StmtEmitter emitter(sp, cs.fn, &out);
       emitter.EmitShared();
       emitter.EmitVariant("", sp.rhs);
-      if (sp.groupable && WorthNative(sp, sp.grouped_rhs)) {
+      if (sp.groupable) {
+        cs.grouped_prefer_native = WorthNative(sp, sp.grouped_rhs);
+        if (!cs.grouped_prefer_native) {
+          out << "/* grouped variant of stmt " << s
+              << ": static cost model prefers interpreter */\n";
+        }
         if (sp.foldable_params.empty()) {
           // grouped_rhs shares the plain ops; reuse the function.
           cs.grouped_fn = cs.fn;
@@ -531,9 +540,6 @@ CodegenModule GenerateModule(const TriggerProgram& program) {
           cs.grouped_fn = cs.fn + "_g";
           emitter.EmitVariant("_g", sp.grouped_rhs);
         }
-      } else if (sp.groupable) {
-        out << "/* grouped variant of stmt " << s
-            << ": interpreter (cost model) */\n";
       }
       ++mod.emitted_statements;
       mod.stmts[t].push_back(std::move(cs));

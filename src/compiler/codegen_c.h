@@ -22,13 +22,17 @@
 //
 // Not everything is emitted. Statements touching the lazy domain-
 // maintenance machinery (slice enumeration, lazy drivers or probes, lazy
-// targets) are skipped, and a per-variant cost model skips loops whose
-// rhs is a single load (the strength-reduced grouped join): the
-// interpreter already runs those as bind-and-copy loops, and the ABI
-// marshalling per enumerated entry costs more than the saved dispatch.
-// Skipped statements/variants keep the interpreter (CodegenStmt::emitted
-// false, or grouped_fn empty). A statement whose grouped rhs folds
-// nothing reuses the plain function (grouped_fn == fn).
+// targets) are skipped and keep the interpreter (CodegenStmt::emitted
+// false). Everything else is emitted, and a per-variant static cost
+// model records a *preference* instead: loops whose rhs is a single load
+// (the strength-reduced grouped join) are flagged prefer-interpreter —
+// the interpreter already runs those as bind-and-copy loops, and the ABI
+// marshalling per enumerated entry usually costs more than the saved
+// dispatch — but the runtime's profile-guided selection
+// (runtime/compiled_executor.h) measures both backends during warmup and
+// may overturn the static verdict on the live workload. A statement
+// whose grouped rhs folds nothing reuses the plain function
+// (grouped_fn == fn).
 
 #ifndef RINGDB_COMPILER_CODEGEN_C_H_
 #define RINGDB_COMPILER_CODEGEN_C_H_
@@ -47,6 +51,13 @@ struct CodegenStmt {
   std::string fn;          // exported symbol for the plain rhs
   std::string grouped_fn;  // exported symbol for the grouped rhs (may == fn;
                            // empty when the statement is not groupable)
+  // Static cost-model verdict per variant (see WorthNative in the .cc):
+  // the runtime's profile-guided selection (runtime/compiled_executor.h)
+  // starts from this preference and overrides it with measured warmup
+  // timings. Before PR 6 a false verdict suppressed emission entirely;
+  // now every emittable variant is compiled and the verdict is advice.
+  bool prefer_native = true;          // plain variant
+  bool grouped_prefer_native = true;  // grouped variant
 };
 
 struct CodegenModule {

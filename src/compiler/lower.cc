@@ -464,6 +464,7 @@ std::shared_ptr<const LoweredProgram> Lower(const TriggerProgram& program) {
     lp->stmts[t].reserve(trigger.statements.size());
     for (const Statement& stmt : trigger.statements) {
       StmtProgram sp = StmtLowerer(program, trigger, stmt, lp.get()).Run();
+      sp.stmt_id = lp->num_statements++;
       lp->max_frame = std::max(lp->max_frame, sp.frame_size);
       lp->max_stack = std::max(
           {lp->max_stack, sp.rhs.max_stack, sp.grouped_rhs.max_stack});

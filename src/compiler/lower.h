@@ -141,6 +141,12 @@ struct StmtProgram {
   std::vector<Value> const_pool;
   std::vector<ProbePlan> probes;
 
+  // Flat program-wide statement id (trigger-major assignment order),
+  // indexing LoweredProgram::num_statements-sized side tables: the
+  // runtime's per-statement execution counters (obs layer) and the
+  // compiled backend's per-variant profiles key on it.
+  uint32_t stmt_id = 0;
+
   std::string ToString() const;  // disassembly (tests, debugging)
 };
 
@@ -160,6 +166,9 @@ struct LoweredProgram {
   uint16_t max_frame = 0;
   uint32_t max_stack = 0;
   uint32_t max_loop_depth = 0;
+  // Total statements across all triggers; StmtProgram::stmt_id ranges
+  // over [0, num_statements).
+  uint32_t num_statements = 0;
 };
 
 // Pure function of the program; the result is immutable and shared by

@@ -64,6 +64,7 @@ ShardedExecutor::~ShardedExecutor() {
 }
 
 void ShardedExecutor::RunShard(size_t shard_idx) {
+  const uint64_t t0 = obs::NowNs();
   runtime::Executor& exec = *shards_[shard_idx];
   const std::vector<RoutedEntry>& work = shard_work_[shard_idx];
   Status status = Status::Ok();
@@ -84,6 +85,7 @@ void ShardedExecutor::RunShard(size_t shard_idx) {
     i = j;
   }
   shard_status_[shard_idx] = std::move(status);
+  RINGDB_OBS(apply_ns_.Record(obs::NowNs() - t0));
 }
 
 void ShardedExecutor::WorkerLoop(size_t shard_idx) {
@@ -153,6 +155,24 @@ runtime::Executor::Stats ShardedExecutor::AggregateStats() const {
     total.init_evaluations += s.init_evaluations;
     total.delta_entries += s.delta_entries;
     total.scaled_firings += s.scaled_firings;
+  }
+  return total;
+}
+
+std::vector<runtime::Executor::StmtCounters>
+ShardedExecutor::AggregateStmtCounters() const {
+  std::vector<runtime::Executor::StmtCounters> total(
+      shards_[0]->stmt_counters().size());
+  for (const auto& shard : shards_) {
+    const auto& per = shard->stmt_counters();
+    for (size_t i = 0; i < per.size() && i < total.size(); ++i) {
+      total[i].invocations += per[i].invocations;
+      total[i].loop_iterations += per[i].loop_iterations;
+      total[i].probes += per[i].probes;
+      total[i].emissions += per[i].emissions;
+      total[i].native_calls += per[i].native_calls;
+      total[i].interp_calls += per[i].interp_calls;
+    }
   }
   return total;
 }

@@ -25,6 +25,7 @@
 #include "compiler/ir.h"
 #include "exec/batch.h"
 #include "exec/partition.h"
+#include "obs/metrics.h"
 #include "ring/database.h"
 #include "runtime/compiled_executor.h"
 #include "runtime/interpreter.h"
@@ -102,6 +103,7 @@ class ShardedExecutor {
       shards_[0]->root().ForEach(fn);
       return;
     }
+    const uint64_t t0 = obs::NowNs();
     std::lock_guard<std::mutex> lock(merge_mu_);
     merge_scratch_.clear();
     merge_scratch_.reserve(last_merge_size_ + last_merge_size_ / 8 + 8);
@@ -115,12 +117,32 @@ class ShardedExecutor {
     for (const auto& [key, m] : merge_scratch_) {
       if (!m.IsZero()) fn(runtime::KeyView(key), m);
     }
+    RINGDB_OBS(merge_ns_.Record(obs::NowNs() - t0));
   }
 
   // Sums of per-shard counters (reads are only safe between batches).
   runtime::Executor::Stats AggregateStats() const;
+  // Cross-shard sums of the per-statement counters, indexed by
+  // StmtProgram::stmt_id (same read-safety caveat as AggregateStats).
+  std::vector<runtime::Executor::StmtCounters> AggregateStmtCounters() const;
+  // Shard 0's backend dispatch report (shards profile independently but
+  // see statistically identical slices, so one shard is representative).
+  void CollectDispatch(
+      std::vector<runtime::Executor::StmtDispatch>* out) const {
+    shards_[0]->CollectDispatch(out);
+  }
   void ResetStats();
   size_t ApproxBytes() const;
+
+  // Pipeline stage spans, batch-boundary granularity: wall time of one
+  // shard applying its sub-batch (recorded per shard per batch, so the
+  // spread exposes shard skew), and wall time of one merged root read.
+  obs::HistogramSnapshot ApplySpanSnapshot() const {
+    return apply_ns_.Snapshot();
+  }
+  obs::HistogramSnapshot MergeSpanSnapshot() const {
+    return merge_ns_.Snapshot();
+  }
 
  private:
   struct RoutedEntry {
@@ -147,6 +169,11 @@ class ShardedExecutor {
   mutable std::unordered_map<runtime::Key, Numeric, runtime::KeyHash>
       merge_scratch_;
   mutable size_t last_merge_size_ = 0;
+
+  // Stage-span histograms (atomic buckets: shard workers record
+  // concurrently; merge records under merge_mu_ but reads race freely).
+  obs::Histogram apply_ns_;
+  mutable obs::Histogram merge_ns_;
 
   // Worker pool state: workers_[i] serves shard i + 1 (shard 0 runs on
   // the calling thread), guarded by mu_. A batch publishes shard_work_,

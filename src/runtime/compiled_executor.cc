@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace ringdb {
@@ -81,8 +82,17 @@ CompiledExecutor::CompiledExecutor(compiler::TriggerProgram program,
     for (size_t s = 0; s < lowered_->stmts[t].size(); ++s) {
       const NativeModule::StmtFns& fns = module_->fns(t, s);
       if (fns.plain == nullptr) continue;
-      fns_.emplace(&lowered_->stmts[t][s],
-                   Fns{fns.plain, fns.grouped, arity});
+      Fns f;
+      f.plain = fns.plain;
+      f.grouped = fns.grouped;
+      f.param_count = arity;
+#ifdef RINGDB_NO_METRICS
+      // No clock to profile with: lock the emitter's static cost-model
+      // preference immediately (the pre-PR 6 behavior).
+      f.plain_profile.mode = fns.prefer_native ? 1 : 0;
+      f.grouped_profile.mode = fns.grouped_prefer_native ? 1 : 0;
+#endif
+      fns_.emplace(&lowered_->stmts[t][s], f);
     }
   }
   const size_t depths = std::max<size_t>(lowered_->max_loop_depth, 1);
@@ -90,27 +100,85 @@ CompiledExecutor::CompiledExecutor(compiler::TriggerProgram program,
   subkey_scratch_.resize(depths);
 }
 
+void CompiledExecutor::CollectDispatch(std::vector<StmtDispatch>* out) const {
+  out->assign(lowered_->num_statements, StmtDispatch{});
+  for (const auto& [sp, f] : fns_) {
+    StmtDispatch& d = (*out)[sp->stmt_id];
+    d.native_available = f.plain != nullptr;
+    d.grouped_available = f.grouped != nullptr;
+    d.plain_mode = f.plain_profile.mode;
+    d.grouped_mode = f.grouped != nullptr ? f.grouped_profile.mode : 0;
+    d.profile_native_ns =
+        f.plain_profile.native_ns + f.grouped_profile.native_ns;
+    d.profile_interp_ns =
+        f.plain_profile.interp_ns + f.grouped_profile.interp_ns;
+  }
+}
+
 void CompiledExecutor::RunStatement(const lower::StmtProgram& sp,
                                     const Value* params, Numeric scale,
                                     const lower::RhsProgram& rhs) {
   const auto it = fns_.find(&sp);
-  RdbStmtFn fn = nullptr;
-  uint32_t param_count = 0;
-  if (it != fns_.end()) {
-    // The grouped rhs is a distinct RhsProgram object even when it shares
-    // the plain ops, so the address identifies the variant.
-    fn = (&rhs == &sp.rhs) ? it->second.plain : it->second.grouped;
-    param_count = it->second.param_count;
+  if (it == fns_.end()) {
+    Executor::RunStatement(sp, params, scale, rhs);
+    return;
   }
+  Fns& f = it->second;
+  // The grouped rhs is a distinct RhsProgram object even when it shares
+  // the plain ops, so the address identifies the variant.
+  const bool is_grouped = (&rhs != &sp.rhs);
+  const RdbStmtFn fn = is_grouped ? f.grouped : f.plain;
   if (fn == nullptr) {
     Executor::RunStatement(sp, params, scale, rhs);
     return;
   }
+  VariantProfile& prof = is_grouped ? f.grouped_profile : f.plain_profile;
+  switch (prof.mode) {
+    case 1:  // locked native
+      RunNative(fn, f.param_count, sp, params, scale);
+      return;
+    case 0:  // locked interpreter
+      Executor::RunStatement(sp, params, scale, rhs);
+      return;
+    default:
+      break;  // profiling
+  }
+  // Warmup: alternate backends, timing each run, until both have
+  // kWarmupRuns samples; then lock whichever measured cheaper per run
+  // (cross-multiplied so there is no division and ties go native).
+  const bool run_native = prof.native_runs <= prof.interp_runs;
+  const uint64_t t0 = obs::NowNs();
+  if (run_native) {
+    RunNative(fn, f.param_count, sp, params, scale);
+  } else {
+    Executor::RunStatement(sp, params, scale, rhs);
+  }
+  const uint64_t dt = obs::NowNs() - t0;
+  if (run_native) {
+    prof.native_ns += dt;
+    ++prof.native_runs;
+  } else {
+    prof.interp_ns += dt;
+    ++prof.interp_runs;
+  }
+  if (prof.native_runs >= kWarmupRuns && prof.interp_runs >= kWarmupRuns) {
+    prof.mode = (prof.native_ns * prof.interp_runs <=
+                 prof.interp_ns * prof.native_runs)
+                    ? 1
+                    : 0;
+  }
+}
+
+void CompiledExecutor::RunNative(RdbStmtFn fn, uint32_t param_count,
+                                 const lower::StmtProgram& sp,
+                                 const Value* params, Numeric scale) {
   static const RdbHostApi kApi = {
       RDB_ABI_VERSION, &CompiledExecutor::Probe, &CompiledExecutor::Foreach,
       &CompiledExecutor::ForeachMatching, &CompiledExecutor::Emit,
       &CompiledExecutor::Add, &CompiledExecutor::Fail,
   };
+  RINGDB_OBS(cur_counters_ = &stmt_counters_[sp.stmt_id]);
+  RINGDB_OBS(++cur_counters_->native_calls);
   emission_keys_.clear();
   emission_values_.clear();
   param_scratch_.resize(param_count);
@@ -127,6 +195,7 @@ void CompiledExecutor::RunStatement(const lower::StmtProgram& sp,
 RdbNum CompiledExecutor::Probe(void* ctx, int32_t view_id, const RdbVal* key,
                                uint32_t n) {
   auto* self = static_cast<CompiledExecutor*>(ctx);
+  RINGDB_OBS(++self->cur_counters_->probes);
   Key& k = self->probe_scratch_;
   k.resize(n);
   for (uint32_t i = 0; i < n; ++i) k[i] = ToValue(key[i]);
@@ -141,6 +210,7 @@ void CompiledExecutor::Foreach(void* ctx, int32_t view_id, RdbLoopFn fn,
   std::vector<RdbVal>& kbuf = self->entry_scratch_[d];
   kbuf.resize(table.arity());
   table.ForEach([&](KeyView key, Numeric m) {
+    RINGDB_OBS(++self->cur_counters_->loop_iterations);
     for (size_t i = 0; i < key.size(); ++i) kbuf[i] = ToRdbVal(key[i]);
     fn(env, kbuf.data(), ToRdbNum(m));
   });
@@ -160,6 +230,7 @@ void CompiledExecutor::ForeachMatching(void* ctx, int32_t view_id,
   std::vector<RdbVal>& kbuf = self->entry_scratch_[d];
   kbuf.resize(table.arity());
   table.ForEachMatching(index_id, sk, [&](KeyView key, Numeric m) {
+    RINGDB_OBS(++self->cur_counters_->loop_iterations);
     for (size_t i = 0; i < key.size(); ++i) kbuf[i] = ToRdbVal(key[i]);
     fn(env, kbuf.data(), ToRdbNum(m));
   });
@@ -169,6 +240,7 @@ void CompiledExecutor::ForeachMatching(void* ctx, int32_t view_id,
 void CompiledExecutor::Emit(void* ctx, const RdbVal* key, uint32_t n,
                             RdbNum value) {
   auto* self = static_cast<CompiledExecutor*>(ctx);
+  RINGDB_OBS(++self->cur_counters_->emissions);
   for (uint32_t i = 0; i < n; ++i) {
     self->emission_keys_.push_back(ToValue(key[i]));
   }
@@ -178,6 +250,7 @@ void CompiledExecutor::Emit(void* ctx, const RdbVal* key, uint32_t n,
 void CompiledExecutor::Add(void* ctx, int32_t view_id, const RdbVal* key,
                            uint32_t n, RdbNum delta) {
   auto* self = static_cast<CompiledExecutor*>(ctx);
+  RINGDB_OBS(++self->cur_counters_->emissions);
   Key& k = self->add_scratch_;
   k.resize(n);
   for (uint32_t i = 0; i < n; ++i) k[i] = ToValue(key[i]);

@@ -20,6 +20,16 @@
 // state for the duration of the statement (which is also what keeps the
 // borrowed string pointers in RdbVal valid).
 //
+// Backend choice is per statement VARIANT (plain rhs vs grouped rhs) and
+// profile-guided: the emitter compiles every emittable variant and
+// records its static cost-model preference, then during a short warmup
+// this executor alternates native and interpreted execution, timing both
+// with obs::NowNs, and locks whichever measured cheaper on the live
+// workload (cross-multiplied ns-per-run comparison, no division). Under
+// -DRINGDB_NO_METRICS there is no clock, so the static preference locks
+// immediately. Engine::Stats exports the decision per statement
+// (StmtDispatch).
+//
 // Fallback is per statement and per module: statements the emitter skips
 // (lazy domain maintenance) simply keep their interpreter implementation,
 // and when no module could be built at all (no host compiler — CI
@@ -62,17 +72,44 @@ class CompiledExecutor : public Executor {
   // Statements this executor runs natively (the rest interpret).
   size_t native_statements() const { return module_->native_statements(); }
 
+  void CollectDispatch(std::vector<StmtDispatch>* out) const override;
+
  protected:
   void RunStatement(const compiler::lower::StmtProgram& sp,
                     const Value* params, Numeric scale,
                     const compiler::lower::RhsProgram& rhs) override;
 
  private:
+  // Profile-guided selection state for one rhs variant. Mode values
+  // match StmtDispatch: 0 = interpreter, 1 = native, 2 = still profiling
+  // (warmup alternation). Single-writer per shard, like everything else
+  // in the executor.
+  struct VariantProfile {
+    uint8_t mode = 2;
+    uint16_t native_runs = 0;
+    uint16_t interp_runs = 0;
+    uint64_t native_ns = 0;
+    uint64_t interp_ns = 0;
+  };
+  // Warmup runs per backend before a variant's mode locks. Long enough
+  // to amortize first-touch effects (branch training, view growth during
+  // early batches), short enough that profiling cost is invisible next
+  // to steady-state throughput.
+  static constexpr uint16_t kWarmupRuns = 12;
+
   struct Fns {
     RdbStmtFn plain = nullptr;
     RdbStmtFn grouped = nullptr;
     uint32_t param_count = 0;  // trigger relation arity
+    VariantProfile plain_profile;
+    VariantProfile grouped_profile;
   };
+
+  // Dispatches into `fn` through the RdbHostApi trampolines (the native
+  // half of RunStatement; the interpreted half is the base class).
+  void RunNative(RdbStmtFn fn, uint32_t param_count,
+                 const compiler::lower::StmtProgram& sp, const Value* params,
+                 Numeric scale);
 
   // RdbHostApi trampolines; ctx is the CompiledExecutor.
   static RdbNum Probe(void* ctx, int32_t view_id, const RdbVal* key,
@@ -87,8 +124,9 @@ class CompiledExecutor : public Executor {
   static void Fail(void* ctx, const char* msg);
 
   std::shared_ptr<const NativeModule> module_;
-  // Lowered statement -> native entry points, resolved once (lowered_ is
-  // immutable and shared, so StmtProgram addresses are stable keys).
+  // Lowered statement -> native entry points + profiles, resolved once
+  // (lowered_ is immutable and shared, so StmtProgram addresses are
+  // stable keys).
   std::unordered_map<const compiler::lower::StmtProgram*, Fns> fns_;
 
   // Per-call conversion scratch (single-writer executor, like the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/table_printer.h"
 
 namespace ringdb {
 namespace runtime {
@@ -95,6 +96,151 @@ ring::Gmr Engine::ResultGmr() const {
     }
     out.Add(ring::Tuple::FromFields(std::move(fields)), m);
   });
+  return out;
+}
+
+namespace {
+
+const char* ModeName(uint8_t mode) {
+  switch (mode) {
+    case 1:
+      return "native";
+    case 2:
+      return "profiling";
+    default:
+      return "interp";
+  }
+}
+
+}  // namespace
+
+Engine::EngineStats Engine::Stats() const {
+  CheckNotApplying();
+  EngineStats out;
+  out.totals = sharded_->AggregateStats();
+  out.approx_bytes = sharded_->ApproxBytes();
+  out.num_shards = sharded_->num_shards();
+  out.native_enabled = sharded_->native_enabled();
+  out.shard_apply_ns = sharded_->ApplySpanSnapshot();
+  out.merge_ns = sharded_->MergeSpanSnapshot();
+
+  const std::vector<Executor::StmtCounters> counters =
+      sharded_->AggregateStmtCounters();
+  std::vector<Executor::StmtDispatch> dispatch;
+  sharded_->CollectDispatch(&dispatch);
+  const compiler::TriggerProgram& prog = program();
+  out.statements.reserve(counters.size());
+  for (size_t t = 0; t < prog.lowered->stmts.size(); ++t) {
+    const compiler::Trigger& trig = prog.triggers[t];
+    const char sign =
+        trig.sign == ring::Update::Sign::kDelete ? '-' : '+';
+    for (size_t s = 0; s < prog.lowered->stmts[t].size(); ++s) {
+      const compiler::lower::StmtProgram& sp = prog.lowered->stmts[t][s];
+      StmtStats row;
+      row.stmt_id = sp.stmt_id;
+      row.label = std::string(1, sign) + trig.relation.str() + " s" +
+                  std::to_string(s) + " -> " +
+                  prog.views[static_cast<size_t>(sp.target_view)].name;
+      if (sp.stmt_id < counters.size()) row.counters = counters[sp.stmt_id];
+      if (sp.stmt_id < dispatch.size()) row.dispatch = dispatch[sp.stmt_id];
+      out.statements.push_back(std::move(row));
+    }
+  }
+  std::sort(out.statements.begin(), out.statements.end(),
+            [](const StmtStats& a, const StmtStats& b) {
+              return a.stmt_id < b.stmt_id;
+            });
+  return out;
+}
+
+std::string Engine::StatsText() const {
+  const EngineStats st = Stats();
+  std::string out;
+  out += "engine: shards=" + std::to_string(st.num_shards) +
+         " backend=" + (st.native_enabled ? "native" : "interp") +
+         " approx_bytes=" + std::to_string(st.approx_bytes) +
+         " updates=" + std::to_string(st.totals.updates) +
+         " statements_run=" + std::to_string(st.totals.statements_run) +
+         " entries_touched=" + std::to_string(st.totals.entries_touched) +
+         "\n";
+  auto span = [&](const char* name, const obs::HistogramSnapshot& s) {
+    out += std::string(name) + ": n=" + std::to_string(s.count) +
+           " mean=" + std::to_string(s.mean()) +
+           "ns p50=" + std::to_string(s.p50) +
+           "ns p99=" + std::to_string(s.p99) +
+           "ns max=" + std::to_string(s.max) + "ns\n";
+  };
+  span("shard_apply", st.shard_apply_ns);
+  span("merge_read", st.merge_ns);
+  TablePrinter table({"statement", "invocations", "loop_iters", "probes",
+                      "emissions", "native", "interp", "mode"});
+  for (const StmtStats& row : st.statements) {
+    const Executor::StmtCounters& c = row.counters;
+    std::string mode = ModeName(row.dispatch.plain_mode);
+    if (row.dispatch.grouped_available &&
+        row.dispatch.grouped_mode != row.dispatch.plain_mode) {
+      mode += "/";
+      mode += ModeName(row.dispatch.grouped_mode);
+    }
+    if (!row.dispatch.native_available) mode = "interp-only";
+    table.AddRow({row.label, std::to_string(c.invocations),
+                  std::to_string(c.loop_iterations),
+                  std::to_string(c.probes), std::to_string(c.emissions),
+                  std::to_string(c.native_calls),
+                  std::to_string(c.interp_calls), std::move(mode)});
+  }
+  out += table.Render();
+  return out;
+}
+
+std::string Engine::StatsJson(int indent) const {
+  const EngineStats st = Stats();
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::string out = "{\n";
+  out += pad + "  \"num_shards\": " + std::to_string(st.num_shards) + ",\n";
+  out += pad + "  \"native_enabled\": " +
+         (st.native_enabled ? std::string("true") : std::string("false")) +
+         ",\n";
+  out += pad + "  \"approx_bytes\": " + std::to_string(st.approx_bytes) +
+         ",\n";
+  out += pad + "  \"totals\": {\"updates\": " +
+         std::to_string(st.totals.updates) +
+         ", \"statements_run\": " + std::to_string(st.totals.statements_run) +
+         ", \"entries_touched\": " +
+         std::to_string(st.totals.entries_touched) +
+         ", \"arithmetic_ops\": " + std::to_string(st.totals.arithmetic_ops) +
+         ", \"init_evaluations\": " +
+         std::to_string(st.totals.init_evaluations) +
+         ", \"delta_entries\": " + std::to_string(st.totals.delta_entries) +
+         ", \"scaled_firings\": " + std::to_string(st.totals.scaled_firings) +
+         "},\n";
+  out += pad + "  \"shard_apply_ns\": ";
+  obs::AppendHistogramJson(st.shard_apply_ns, &out);
+  out += ",\n" + pad + "  \"merge_ns\": ";
+  obs::AppendHistogramJson(st.merge_ns, &out);
+  out += ",\n" + pad + "  \"statements\": [\n";
+  for (size_t i = 0; i < st.statements.size(); ++i) {
+    const StmtStats& row = st.statements[i];
+    const Executor::StmtCounters& c = row.counters;
+    out += pad + "    {\"stmt_id\": " + std::to_string(row.stmt_id) +
+           ", \"label\": \"" + row.label + "\"" +
+           ", \"invocations\": " + std::to_string(c.invocations) +
+           ", \"loop_iterations\": " + std::to_string(c.loop_iterations) +
+           ", \"probes\": " + std::to_string(c.probes) +
+           ", \"emissions\": " + std::to_string(c.emissions) +
+           ", \"native_calls\": " + std::to_string(c.native_calls) +
+           ", \"interp_calls\": " + std::to_string(c.interp_calls) +
+           ", \"native_available\": " +
+           (row.dispatch.native_available ? "true" : "false") +
+           ", \"plain_mode\": \"" + ModeName(row.dispatch.plain_mode) +
+           "\", \"grouped_mode\": \"" + ModeName(row.dispatch.grouped_mode) +
+           "\", \"profile_native_ns\": " +
+           std::to_string(row.dispatch.profile_native_ns) +
+           ", \"profile_interp_ns\": " +
+           std::to_string(row.dispatch.profile_interp_ns) + "}";
+    out += (i + 1 < st.statements.size()) ? ",\n" : "\n";
+  }
+  out += pad + "  ]\n" + pad + "}";
   return out;
 }
 

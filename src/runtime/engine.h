@@ -36,11 +36,14 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "agca/ast.h"
 #include "compiler/compile.h"
 #include "exec/batch.h"
 #include "exec/partition.h"
 #include "exec/sharded_executor.h"
+#include "obs/metrics.h"
 #include "ring/database.h"
 #include "ring/gmr.h"
 #include "runtime/interpreter.h"
@@ -158,6 +161,36 @@ class Engine {
   // Why the compiled backend is off (Ok when on or never requested) —
   // e.g. "no host C compiler found" in sandboxed CI.
   const Status& native_status() const { return sharded_->native_status(); }
+
+  // One lowered statement's observability row (see Executor::StmtCounters
+  // / StmtDispatch): cross-shard counter sums plus shard 0's backend
+  // dispatch state, labeled for humans ("+lineitem s0 -> m1").
+  struct StmtStats {
+    uint32_t stmt_id = 0;
+    std::string label;
+    Executor::StmtCounters counters;
+    Executor::StmtDispatch dispatch;
+  };
+
+  // Structured engine-wide observability snapshot. Reads merge per-shard
+  // state on demand; like every Engine read it must not race a writer
+  // (concurrent serving stats belong to QueryService::Stats, which only
+  // reads between batches by construction).
+  struct EngineStats {
+    Executor::Stats totals;               // cross-shard sums
+    std::vector<StmtStats> statements;    // by stmt_id
+    size_t approx_bytes = 0;              // all views, all shards
+    size_t num_shards = 0;
+    bool native_enabled = false;
+    obs::HistogramSnapshot shard_apply_ns;  // per shard per batch
+    obs::HistogramSnapshot merge_ns;        // merged root reads
+  };
+
+  EngineStats Stats() const;
+  // The snapshot as an aligned text table / a JSON object (`indent`
+  // spaces prefix every line, for embedding in bench JSON files).
+  std::string StatsText() const;
+  std::string StatsJson(int indent = 0) const;
 
  private:
   // Marks an apply in flight for the duration of a scope; the result

@@ -61,6 +61,8 @@ Executor::Executor(compiler::TriggerProgram program)
   stack_.resize(std::max<uint32_t>(lowered_->max_stack, 1));
   loop_values_.resize(lowered_->max_loop_depth);
   loop_key_scratch_.resize(lowered_->max_loop_depth);
+  stmt_counters_.resize(std::max<uint32_t>(lowered_->num_statements, 1));
+  cur_counters_ = stmt_counters_.data();
 }
 
 Status Executor::ApplyDelta(Symbol relation, const std::vector<Value>& values,
@@ -179,6 +181,7 @@ void Executor::RunLinearTriggerBatch(size_t trigger_idx,
     if (!sp.groupable) {
       for (const Delta& d : deltas) {
         ++stats_.statements_run;
+        RINGDB_OBS(++stmt_counters_[sp.stmt_id].invocations);
         const int64_t m = d.multiplicity.AsInt();
         RunStatement(sp, d.values->data(), Numeric(m > 0 ? m : -m), sp.rhs);
       }
@@ -214,6 +217,7 @@ void Executor::RunLinearTriggerBatch(size_t trigger_idx,
     for (const auto& [rep_values, coeff] : reps_scratch_) {
       if (coeff.IsZero()) continue;
       ++stats_.statements_run;
+      RINGDB_OBS(++stmt_counters_[sp.stmt_id].invocations);
       RunStatement(sp, rep_values->data(), coeff, sp.grouped_rhs);
     }
   }
@@ -223,6 +227,7 @@ void Executor::FireTrigger(size_t trigger_idx, const Value* params,
                            Numeric scale) {
   for (const lower::StmtProgram& sp : lowered_->stmts[trigger_idx]) {
     ++stats_.statements_run;
+    RINGDB_OBS(++stmt_counters_[sp.stmt_id].invocations);
     RunStatement(sp, params, scale, sp.rhs);
   }
 }
@@ -233,6 +238,8 @@ void Executor::ReserveForBatch(size_t additional) {
 
 void Executor::RunStatement(const lower::StmtProgram& sp, const Value* params,
                             Numeric scale, const lower::RhsProgram& rhs) {
+  RINGDB_OBS(cur_counters_ = &stmt_counters_[sp.stmt_id]);
+  RINGDB_OBS(++cur_counters_->interp_calls);
   // Emissions are buffered and applied after all loops finish: a
   // statement may loop over its own target view (domain maintenance), and
   // mutating a view during enumeration would change what later iterations
@@ -293,6 +300,7 @@ void Executor::RunLoops(const lower::StmtProgram& sp, size_t loop_index,
     // Enumerate the initialized slice subkeys; each binds the slice-
     // position loop variables (bound positions are outside the subkey).
     for (const Key& slice : slices_[static_cast<size_t>(lp.view_id)]) {
+      RINGDB_OBS(++cur_counters_->loop_iterations);
       if (!BindLoop(lp, slice.data())) continue;
       loop_values_[loop_index] = kZero;
       RunLoops(sp, loop_index + 1, params, rhs);
@@ -310,6 +318,7 @@ void Executor::RunLoops(const lower::StmtProgram& sp, size_t loop_index,
   // lazy slice initialization, self-loop maintenance — cannot invalidate
   // it mid-use.
   auto body = [&](KeyView key, Numeric value) {
+    RINGDB_OBS(++cur_counters_->loop_iterations);
     if (!BindLoop(lp, key.begin())) return;
     loop_values_[loop_index] = value;
     RunLoops(sp, loop_index + 1, params, rhs);
@@ -330,6 +339,7 @@ void Executor::Emit(const lower::StmtProgram& sp, const Value* params,
                     const lower::RhsProgram& rhs) {
   Numeric value = EvalRhs(sp, rhs, params);
   if (value.IsZero()) return;
+  RINGDB_OBS(++cur_counters_->emissions);
   const lower::SlotRef* refs = sp.slot_refs.data() + sp.target_key.first;
   for (size_t i = 0; i < sp.target_key.size; ++i) {
     emission_keys_.push_back(Resolve(sp, refs[i], params));
@@ -367,6 +377,7 @@ Numeric Executor::EvalRhs(const lower::StmtProgram& sp,
       }
       case lower::OpCode::kProbeView: {
         const lower::ProbePlan& plan = sp.probes[op.a];
+        RINGDB_OBS(++cur_counters_->probes);
         BuildKey(sp, plan.key, params, &probe_scratch_);
         Reg& r = stack[top++];
         r.ref = nullptr;

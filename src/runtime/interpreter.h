@@ -24,6 +24,7 @@
 #ifndef RINGDB_RUNTIME_INTERPRETER_H_
 #define RINGDB_RUNTIME_INTERPRETER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -31,6 +32,7 @@
 
 #include "compiler/ir.h"
 #include "compiler/lower.h"
+#include "obs/metrics.h"
 #include "ring/database.h"
 #include "runtime/view_table.h"
 #include "util/status.h"
@@ -51,6 +53,36 @@ class Executor {
     uint64_t init_evaluations = 0;  // lazy first-touch initializations
     uint64_t delta_entries = 0;     // coalesced delta-GMR entries applied
     uint64_t scaled_firings = 0;    // linear triggers fired once for m > 1
+  };
+
+  // Per-statement execution counters, indexed by StmtProgram::stmt_id.
+  // Plain (non-atomic) uint64: each executor shard is single-writer, and
+  // even relaxed atomics are measurable per enumerated join entry on the
+  // NC0 hot path; cross-shard totals merge on read (Engine::Stats). The
+  // semantic counters (everything except the dispatch split) are backend-
+  // invariant: interpreter and native execution of the same stream
+  // produce identical values — the metrics-exactness test pins that.
+  // Compiled out (left zero) under -DRINGDB_NO_METRICS.
+  struct StmtCounters {
+    uint64_t invocations = 0;      // statement firings (both rhs variants)
+    uint64_t loop_iterations = 0;  // enumerated loop entries, pre-filter
+    uint64_t probes = 0;           // rhs view lookups
+    uint64_t emissions = 0;        // nonzero rhs values emitted
+    uint64_t native_calls = 0;     // dispatched into the native module
+    uint64_t interp_calls = 0;     // run by the bytecode interpreter
+  };
+
+  // Per-statement backend dispatch report for stats export; the compiled
+  // backend overrides with its profile-guided decisions.
+  struct StmtDispatch {
+    bool native_available = false;    // plain variant has a native fn
+    bool grouped_available = false;   // grouped variant has a native fn
+    // Locked execution mode: 0 = interpreter, 1 = native, 2 = profiling
+    // (warmup alternation still measuring).
+    uint8_t plain_mode = 0;
+    uint8_t grouped_mode = 0;
+    uint64_t profile_native_ns = 0;   // warmup wall time, native runs
+    uint64_t profile_interp_ns = 0;   // warmup wall time, interpreted runs
   };
 
   explicit Executor(compiler::TriggerProgram program);
@@ -108,7 +140,20 @@ class Executor {
   }
 
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats(); }
+  // Per-statement counters, indexed by StmtProgram::stmt_id (see
+  // StmtCounters; all-zero under -DRINGDB_NO_METRICS).
+  const std::vector<StmtCounters>& stmt_counters() const {
+    return stmt_counters_;
+  }
+  // Fills *out (resized to the statement count) with each statement's
+  // backend dispatch state. Base executor: everything interpreted.
+  virtual void CollectDispatch(std::vector<StmtDispatch>* out) const {
+    out->assign(lowered_->num_statements, StmtDispatch{});
+  }
+  void ResetStats() {
+    stats_ = Stats();
+    std::fill(stmt_counters_.begin(), stmt_counters_.end(), StmtCounters{});
+  }
 
   // Total heap footprint of all views (experiment E3).
   size_t ApproxBytes() const;
@@ -139,6 +184,13 @@ class Executor {
   std::vector<Value> emission_keys_;
   std::vector<Numeric> emission_values_;
   Stats stats_;
+  // stmt_counters_[StmtProgram::stmt_id]; sized at construction (at
+  // least one element so cur_counters_ always points at valid storage).
+  std::vector<StmtCounters> stmt_counters_;
+  // The running statement's counter row, set on RunStatement entry; the
+  // compiled backend's trampolines attribute loop/probe/emission events
+  // through it.
+  StmtCounters* cur_counters_ = nullptr;
 
  private:
   // One rhs register: either a computed Numeric or a reference to a Value

@@ -223,6 +223,8 @@ StatusOr<std::shared_ptr<const NativeModule>> NativeModule::Build(
                                   cs.grouped_fn);
         }
       }
+      fns.prefer_native = cs.prefer_native;
+      fns.grouped_prefer_native = cs.grouped_prefer_native;
       module->fns_[t][s] = fns;
       ++module->native_statements_;
     }

@@ -43,9 +43,14 @@ namespace runtime {
 class NativeModule {
  public:
   // Per-statement native entry points; null means interpreter fallback.
+  // The prefer flags carry the emitter's static cost-model verdict per
+  // variant (compiler::CodegenStmt); the compiled executor's profile-
+  // guided selection starts from them.
   struct StmtFns {
     RdbStmtFn plain = nullptr;
     RdbStmtFn grouped = nullptr;
+    bool prefer_native = true;
+    bool grouped_prefer_native = true;
   };
 
   // Emits, compiles, caches, and loads the module for `program`. Errors

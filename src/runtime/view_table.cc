@@ -30,6 +30,24 @@ uint32_t Probe(const Slots& slots, const Entries& entries, const KeyOf& key_of,
   return UINT32_MAX;
 }
 
+// One index row's fixed cost in the unordered_map: subkey hash, id
+// vector header, bucket chain + cached hash.
+constexpr size_t kIndexRowNodeBytes =
+    sizeof(uint64_t) + sizeof(std::vector<uint32_t>) + 2 * sizeof(void*);
+
+// Heap payload behind the string values of a stored key (SSO strings —
+// up to 15 chars in libstdc++/libc++ — cost nothing).
+size_t StringHeapBytes(const Value* key, size_t n) {
+  size_t bytes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (key[i].is_string()) {
+      const std::string& s = key[i].AsString();
+      if (s.capacity() > 15) bytes += s.capacity() + 1;
+    }
+  }
+  return bytes;
+}
+
 }  // namespace
 
 uint32_t ViewTable::FindEntryHashed(const Value* key, size_t n,
@@ -117,6 +135,11 @@ int ViewTable::EnsureIndex(std::vector<size_t> positions) {
   for (uint32_t id = 0; id < entries_.size(); ++id) {
     index.rows[SubHash(index, EntryKey(entries_[id]))].push_back(id);
   }
+  // Account the freshly built rows in one pass (the only O(n) moment of
+  // the incremental scheme: index registration itself is O(n) anyway).
+  for (const auto& [subhash, row] : index.rows) {
+    index_row_bytes_ += kIndexRowNodeBytes + row.capacity() * sizeof(uint32_t);
+  }
   indexes_.push_back(std::move(index));
   return static_cast<int>(indexes_.size() - 1);
 }
@@ -152,8 +175,16 @@ uint32_t ViewTable::AppendEntry(const Value* key, uint64_t hash,
   while (slots_[s] != kEmptySlot) s = (s + 1) & mask;
   slots_[s] = id;
   const Value* ek = EntryKey(entries_[id]);
+  // Incremental ApproxBytes: measure the *stored* copies (their
+  // capacities, not the caller's), and track row growth around the
+  // push_back.
+  string_bytes_ += StringHeapBytes(ek, arity_);
   for (Index& index : indexes_) {
-    index.rows[SubHash(index, ek)].push_back(id);
+    auto [it, inserted] = index.rows.try_emplace(SubHash(index, ek));
+    if (inserted) index_row_bytes_ += kIndexRowNodeBytes;
+    index_row_bytes_ -= it->second.capacity() * sizeof(uint32_t);
+    it->second.push_back(id);
+    index_row_bytes_ += it->second.capacity() * sizeof(uint32_t);
   }
   return id;
 }
@@ -182,6 +213,7 @@ void ViewTable::EraseEntryNow(uint32_t id) {
     const Entry& e = entries_[id];
     EraseSlotAt(SlotOf(id));
     const Value* ek = EntryKey(e);
+    string_bytes_ -= StringHeapBytes(ek, arity_);
     for (Index& index : indexes_) {
       RemoveFromRow(&index, SubHash(index, ek), id);
     }
@@ -208,7 +240,15 @@ void ViewTable::EraseEntryNow(uint32_t id) {
         }
       }
     }
+    // Re-measure string capacities across the move: a move-assign into
+    // the hole's inline key may keep the hole's larger heap buffer (an
+    // SSO source cannot be stolen from, so the destination's allocation
+    // is reused), leaving the survivor with a different capacity than
+    // was accounted at its append. Arena keys never move, so the two
+    // terms cancel there.
+    string_bytes_ -= StringHeapBytes(lk, arity_);
     entries_[id] = std::move(entries_[last]);
+    string_bytes_ += StringHeapBytes(EntryKey(entries_[id]), arity_);
   }
   entries_.pop_back();
 }
@@ -249,7 +289,13 @@ void ViewTable::RemoveFromRow(Index* index, uint64_t subhash, uint32_t id) {
       break;
     }
   }
-  if (row.empty()) index->rows.erase(it);
+  if (row.empty()) {
+    // pop_back never shrinks capacity, so the row still accounts for
+    // capacity() ids plus its node.
+    index_row_bytes_ -=
+        kIndexRowNodeBytes + row.capacity() * sizeof(uint32_t);
+    index->rows.erase(it);
+  }
 }
 
 void ViewTable::GrowSlots(size_t min_entries) {
@@ -270,27 +316,35 @@ size_t ViewTable::ApproxBytes() const {
                  entries_.capacity() * sizeof(Entry) +
                  arena_.capacity() * sizeof(Value) +
                  (free_blocks_.capacity() + pending_erases_.capacity()) *
+                     sizeof(uint32_t) +
+                 string_bytes_ + index_row_bytes_;
+  // Bucket arrays rehash behind the map's back, so they are queried at
+  // read time instead of tracked (O(#indexes), still no entry walk).
+  for (const Index& index : indexes_) {
+    bytes += index.positions.capacity() * sizeof(size_t);
+    bytes += index.rows.bucket_count() * sizeof(void*);
+  }
+#ifndef NDEBUG
+  RINGDB_CHECK_EQ(bytes, ApproxBytesSlow());
+#endif
+  return bytes;
+}
+
+size_t ViewTable::ApproxBytesSlow() const {
+  size_t bytes = slots_.capacity() * sizeof(uint32_t) +
+                 entries_.capacity() * sizeof(Entry) +
+                 arena_.capacity() * sizeof(Value) +
+                 (free_blocks_.capacity() + pending_erases_.capacity()) *
                      sizeof(uint32_t);
   // Heap payloads behind string key values (SSO strings cost nothing).
   for (const Entry& e : entries_) {
-    const Value* ek = EntryKey(e);
-    for (size_t i = 0; i < arity_; ++i) {
-      if (ek[i].is_string()) {
-        // Strings past the SSO buffer (15 chars in libstdc++/libc++)
-        // own a heap payload of capacity + NUL.
-        const std::string& s = ek[i].AsString();
-        if (s.capacity() > 15) bytes += s.capacity() + 1;
-      }
-    }
+    bytes += StringHeapBytes(EntryKey(e), arity_);
   }
   for (const Index& index : indexes_) {
     bytes += index.positions.capacity() * sizeof(size_t);
     bytes += index.rows.bucket_count() * sizeof(void*);
     for (const auto& [subhash, row] : index.rows) {
-      // Node: subkey hash, id vector header, bucket chain + cached hash.
-      bytes += sizeof(uint64_t) + sizeof(std::vector<uint32_t>) +
-               2 * sizeof(void*);
-      bytes += row.capacity() * sizeof(uint32_t);
+      bytes += kIndexRowNodeBytes + row.capacity() * sizeof(uint32_t);
     }
   }
   return bytes;

@@ -179,8 +179,16 @@ class ViewTable {
   // Estimated heap bytes: slot table, entry array, key arena, string
   // payloads behind key values, and index storage (bucket arrays, row
   // nodes, id vectors). Used by the memory comparisons of the
-  // factorization experiment (E3).
+  // factorization experiment (E3) and the engine's approx_bytes gauge.
+  // O(#indexes), not O(#entries): the string and index-row components
+  // are maintained incrementally on insert/erase/index churn (a live
+  // gauge instead of a recount walk, so stats polling stays cheap on
+  // million-entry views). Debug builds cross-check against the walk.
   size_t ApproxBytes() const;
+  // The original full-recount walk; the incremental accounting must
+  // agree with it exactly (debug ApproxBytes asserts so, and the
+  // randomized view_table tests call both).
+  size_t ApproxBytesSlow() const;
 
   std::string ToString() const;
 
@@ -248,6 +256,16 @@ class ViewTable {
   size_t SlotOf(uint32_t id) const;        // slot holding this entry id
   void RemoveFromRow(Index* index, uint64_t subhash, uint32_t id);
   void GrowSlots(size_t min_entries);
+
+  // Incremental ApproxBytes accounting. string_bytes_: heap payloads
+  // behind stored string key values (entries own copies, so capacities
+  // are measured on the stored strings, live + pending-erase alike).
+  // index_row_bytes_: per-row node overhead + id-vector capacities
+  // across all indexes (bucket arrays are added at read time — they are
+  // O(#indexes) to query but change on rehash, which is invisible from
+  // the mutation sites).
+  size_t string_bytes_ = 0;
+  size_t index_row_bytes_ = 0;
 
   size_t arity_;
   bool keep_zeros_ = false;

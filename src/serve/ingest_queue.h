@@ -13,16 +13,25 @@
 // hands off whole windows (one lock round-trip per batch on the consumer
 // side), so it is nowhere near the contention point of the pipeline —
 // the per-query trigger execution is.
+//
+// The queue is also the pipeline's first traced stage: every event
+// carries its enqueue timestamp so PopWindow can record the
+// enqueue→dequeue wait, Push counts backpressure stalls (and how long
+// they blocked), and popped window sizes feed a histogram — all behind
+// RINGDB_OBS / obs primitives, so -DRINGDB_NO_METRICS builds shed the
+// cost entirely.
 
 #ifndef RINGDB_SERVE_INGEST_QUEUE_H_
 #define RINGDB_SERVE_INGEST_QUEUE_H_
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "ring/database.h"
 
 namespace ringdb {
@@ -30,6 +39,16 @@ namespace serve {
 
 class IngestQueue {
  public:
+  // Merged read-time view of the queue's metrics (QueryService::Stats).
+  struct Stats {
+    size_t depth = 0;
+    size_t capacity = 0;
+    uint64_t stalls = 0;                // Push calls that hit the bound
+    obs::HistogramSnapshot stall_ns;    // how long those blocked
+    obs::HistogramSnapshot wait_ns;     // per-event enqueue→dequeue wait
+    obs::HistogramSnapshot window_size; // events per popped window
+  };
+
   explicit IngestQueue(size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
@@ -40,10 +59,17 @@ class IngestQueue {
   // closed (the update is not enqueued).
   bool Push(ring::Update update) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock,
-                   [&] { return closed_ || items_.size() < capacity_; });
+    if (!closed_ && items_.size() >= capacity_) {
+      // Backpressure engaged: count the stall and time the block (the
+      // producers' view of "maintenance is the bottleneck").
+      RINGDB_OBS(stalls_.Add());
+      const uint64_t t0 = obs::NowNs();
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      RINGDB_OBS(stall_ns_.Record(obs::NowNs() - t0));
+    }
     if (closed_) return false;
-    items_.push_back(std::move(update));
+    items_.push_back(Item{std::move(update), obs::NowNs()});
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -59,11 +85,15 @@ class IngestQueue {
     if (items_.empty()) return false;
     const size_t n = std::min(max_n, items_.size());
     out->reserve(n);
+    RINGDB_OBS(const uint64_t now = obs::NowNs();
+               for (size_t i = 0; i < n; ++i)
+                   wait_ns_.Record(now - items_[i].enqueue_ns));
     for (size_t i = 0; i < n; ++i) {
-      out->push_back(std::move(items_.front()));
+      out->push_back(std::move(items_.front().update));
       items_.pop_front();
     }
     lock.unlock();
+    RINGDB_OBS(window_size_.Record(n));
     not_full_.notify_all();
     return true;
   }
@@ -83,13 +113,36 @@ class IngestQueue {
   }
   size_t capacity() const { return capacity_; }
 
+  // Concurrent-safe (one mutex acquisition for the depth; everything
+  // else merges atomics).
+  Stats GetStats() const {
+    Stats s;
+    s.depth = size();
+    s.capacity = capacity_;
+    s.stalls = stalls_.Value();
+    s.stall_ns = stall_ns_.Snapshot();
+    s.wait_ns = wait_ns_.Snapshot();
+    s.window_size = window_size_.Snapshot();
+    return s;
+  }
+
  private:
+  struct Item {
+    ring::Update update;
+    uint64_t enqueue_ns;  // NowNs at Push (0 under RINGDB_NO_METRICS)
+  };
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<ring::Update> items_;
+  std::deque<Item> items_;
   bool closed_ = false;
+
+  obs::Counter stalls_;
+  obs::Histogram stall_ns_;
+  obs::Histogram wait_ns_;
+  obs::Histogram window_size_;
 };
 
 }  // namespace serve

@@ -1,9 +1,11 @@
 #include "serve/query_service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sql/translate.h"
 #include "util/check.h"
+#include "util/table_printer.h"
 
 namespace ringdb {
 namespace serve {
@@ -136,7 +138,8 @@ runtime::Engine& QueryService::engine(QueryId id) {
 void QueryService::ApplyAndPublish(size_t query_index,
                                    const exec::UpdateBatch& batch,
                                    uint64_t version,
-                                   uint64_t updates_applied) {
+                                   uint64_t updates_applied,
+                                   uint64_t window_ns) {
   Query& query = *queries_[query_index];
   // A window disjoint from the query's trigger relations cannot move
   // the result: skip the no-op apply and the O(result-size) snapshot
@@ -149,13 +152,20 @@ void QueryService::ApplyAndPublish(size_t query_index,
       break;
     }
   }
-  if (!touches_query) return;
+  if (!touches_query) {
+    RINGDB_OBS(query.windows_skipped.Add(1));
+    return;
+  }
+  const uint64_t t0 = obs::NowNs();
   Status applied = query.engine->ApplyPrepared(batch);
   if (!applied.ok() && query.apply_status.ok()) {
     query.apply_status = std::move(applied);
   }
+  RINGDB_OBS(query_apply_ns_.Record(obs::NowNs() - t0));
   query.snapshot.store(ResultSnapshot::Build(query.info, *query.engine,
                                              version, updates_applied));
+  RINGDB_OBS(publish_age_ns_.Record(obs::NowNs() - window_ns));
+  RINGDB_OBS(query.windows_applied.Add(1));
 }
 
 void QueryService::WorkerLoop(size_t query_index) {
@@ -164,6 +174,7 @@ void QueryService::WorkerLoop(size_t query_index) {
     const exec::UpdateBatch* batch = nullptr;
     uint64_t version = 0;
     uint64_t updates = 0;
+    uint64_t window_ns = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
@@ -174,8 +185,9 @@ void QueryService::WorkerLoop(size_t query_index) {
       batch = current_batch_;
       version = current_version_;
       updates = current_updates_;
+      window_ns = current_window_ns_;
     }
-    ApplyAndPublish(query_index, *batch, version, updates);
+    ApplyAndPublish(query_index, *batch, version, updates, window_ns);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --pending_;
@@ -189,14 +201,17 @@ void QueryService::BatcherLoop() {
   uint64_t sequence = 0;
   uint64_t cumulative_updates = 0;
   while (queue_.PopWindow(options_.batch_size, &window)) {
+    const uint64_t window_ns = obs::NowNs();
     for (const ring::Update& update : window) {
       // Push validated relation and arity; Add cannot fail.
       RINGDB_CHECK(builder_.Add(update).ok());
     }
     // The window's delta GMRs, built once for all queries.
     exec::UpdateBatch batch = builder_.Build();
+    RINGDB_OBS(coalesce_ns_.Record(obs::NowNs() - window_ns));
     cumulative_updates += window.size();
     const uint64_t version = ++sequence;
+    RINGDB_OBS(windows_.Set(static_cast<int64_t>(version)));
     const size_t num_queries = queries_.size();
     if (num_queries > 1) {
       {
@@ -204,6 +219,7 @@ void QueryService::BatcherLoop() {
         current_batch_ = &batch;
         current_version_ = version;
         current_updates_ = cumulative_updates;
+        current_window_ns_ = window_ns;
         pending_ = num_queries - 1;
         ++generation_;
       }
@@ -211,7 +227,7 @@ void QueryService::BatcherLoop() {
     }
     if (num_queries > 0) {
       // Query 0 runs here: the batcher is an applier, not just a router.
-      ApplyAndPublish(0, batch, version, cumulative_updates);
+      ApplyAndPublish(0, batch, version, cumulative_updates, window_ns);
     }
     if (num_queries > 1) {
       std::unique_lock<std::mutex> lock(mu_);
@@ -223,6 +239,107 @@ void QueryService::BatcherLoop() {
     }
     drain_cv_.notify_all();
   }
+}
+
+QueryService::ServiceStats QueryService::Stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    out.pushed = pushed_;
+    out.applied = applied_;
+  }
+  out.windows = windows_.Value();
+  out.queue = queue_.GetStats();
+  out.coalesce_ns = coalesce_ns_.Snapshot();
+  out.query_apply_ns = query_apply_ns_.Snapshot();
+  out.publish_age_ns = publish_age_ns_.Snapshot();
+  out.queries.reserve(queries_.size());
+  for (const auto& query : queries_) {
+    QueryStats qs;
+    qs.name = query->info->name;
+    qs.snapshot_version = query->snapshot.load()->version();
+    qs.windows_applied = query->windows_applied.Value();
+    qs.windows_skipped = query->windows_skipped.Value();
+    // The global epoch is read after the per-query ones, so a racing
+    // window can only make staleness look larger, never negative — but
+    // clamp anyway (a query may also observe its own window before the
+    // batcher's Set lands).
+    qs.staleness_windows = std::max<int64_t>(
+        0, out.windows - (qs.windows_applied + qs.windows_skipped));
+    out.queries.push_back(std::move(qs));
+  }
+  return out;
+}
+
+std::string QueryService::StatsText() const {
+  const ServiceStats st = Stats();
+  std::string out;
+  out += "serve: pushed=" + std::to_string(st.pushed) +
+         " applied=" + std::to_string(st.applied) +
+         " windows=" + std::to_string(st.windows) +
+         " queue_depth=" + std::to_string(st.queue.depth) + "/" +
+         std::to_string(st.queue.capacity) +
+         " stalls=" + std::to_string(st.queue.stalls) + "\n";
+  auto span = [&](const char* name, const obs::HistogramSnapshot& s) {
+    out += std::string(name) + ": n=" + std::to_string(s.count) +
+           " mean=" + std::to_string(s.mean()) +
+           "ns p50=" + std::to_string(s.p50) +
+           "ns p99=" + std::to_string(s.p99) +
+           "ns max=" + std::to_string(s.max) + "ns\n";
+  };
+  span("queue_wait", st.queue.wait_ns);
+  span("queue_stall", st.queue.stall_ns);
+  span("coalesce", st.coalesce_ns);
+  span("query_apply", st.query_apply_ns);
+  span("publish_age", st.publish_age_ns);
+  TablePrinter table({"query", "version", "windows_applied",
+                      "windows_skipped", "staleness"});
+  for (const QueryStats& q : st.queries) {
+    table.AddRow({q.name, std::to_string(q.snapshot_version),
+                  std::to_string(q.windows_applied),
+                  std::to_string(q.windows_skipped),
+                  std::to_string(q.staleness_windows)});
+  }
+  out += table.Render();
+  return out;
+}
+
+std::string QueryService::StatsJson(int indent) const {
+  const ServiceStats st = Stats();
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  std::string out = "{\n";
+  out += pad + "  \"pushed\": " + std::to_string(st.pushed) + ",\n";
+  out += pad + "  \"applied\": " + std::to_string(st.applied) + ",\n";
+  out += pad + "  \"windows\": " + std::to_string(st.windows) + ",\n";
+  out += pad + "  \"queue\": {\"depth\": " + std::to_string(st.queue.depth) +
+         ", \"capacity\": " + std::to_string(st.queue.capacity) +
+         ", \"stalls\": " + std::to_string(st.queue.stalls) +
+         ", \"stall_ns\": ";
+  obs::AppendHistogramJson(st.queue.stall_ns, &out);
+  out += ", \"wait_ns\": ";
+  obs::AppendHistogramJson(st.queue.wait_ns, &out);
+  out += ", \"window_size\": ";
+  obs::AppendHistogramJson(st.queue.window_size, &out);
+  out += "},\n";
+  out += pad + "  \"coalesce_ns\": ";
+  obs::AppendHistogramJson(st.coalesce_ns, &out);
+  out += ",\n" + pad + "  \"query_apply_ns\": ";
+  obs::AppendHistogramJson(st.query_apply_ns, &out);
+  out += ",\n" + pad + "  \"publish_age_ns\": ";
+  obs::AppendHistogramJson(st.publish_age_ns, &out);
+  out += ",\n" + pad + "  \"queries\": [\n";
+  for (size_t i = 0; i < st.queries.size(); ++i) {
+    const QueryStats& q = st.queries[i];
+    out += pad + "    {\"name\": \"" + q.name + "\", \"version\": " +
+           std::to_string(q.snapshot_version) +
+           ", \"windows_applied\": " + std::to_string(q.windows_applied) +
+           ", \"windows_skipped\": " + std::to_string(q.windows_skipped) +
+           ", \"staleness_windows\": " +
+           std::to_string(q.staleness_windows) + "}";
+    out += (i + 1 < st.queries.size()) ? ",\n" : "\n";
+  }
+  out += pad + "  ]\n" + pad + "}";
+  return out;
 }
 
 }  // namespace serve

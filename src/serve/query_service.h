@@ -46,6 +46,7 @@
 
 #include "agca/ast.h"
 #include "exec/batch.h"
+#include "obs/metrics.h"
 #include "ring/database.h"
 #include "runtime/engine.h"
 #include "serve/ingest_queue.h"
@@ -152,6 +153,34 @@ class QueryService {
   // service is not running (before Start or after Stop).
   runtime::Engine& engine(QueryId id);
 
+  // --- Observability ---------------------------------------------------
+  // Everything below is safe to call from any thread at any time,
+  // concurrently with ingest: reads are atomics, histogram merges, and
+  // two short mutex acquisitions (queue depth, drain counters). The
+  // per-query epoch fields (snapshot_version, windows_applied,
+  // windows_skipped) are monotone — pollers can assert they never move
+  // backwards (serve_test's stats hammer does).
+  struct QueryStats {
+    std::string name;
+    uint64_t snapshot_version = 0;   // applied-window seq of the snapshot
+    int64_t windows_applied = 0;     // relevant windows applied
+    int64_t windows_skipped = 0;     // disjoint windows skipped
+    int64_t staleness_windows = 0;   // global windows not yet reflected
+  };
+  struct ServiceStats {
+    uint64_t pushed = 0;             // accepted Push calls
+    uint64_t applied = 0;            // updates applied + published
+    int64_t windows = 0;             // coalesce windows popped so far
+    IngestQueue::Stats queue;
+    obs::HistogramSnapshot coalesce_ns;     // window -> delta GMRs
+    obs::HistogramSnapshot query_apply_ns;  // per query per window
+    obs::HistogramSnapshot publish_age_ns;  // window pop -> snapshot swap
+    std::vector<QueryStats> queries;
+  };
+  ServiceStats Stats() const;
+  std::string StatsText() const;
+  std::string StatsJson(int indent = 0) const;
+
  private:
   struct Query {
     std::shared_ptr<const QueryInfo> info;
@@ -166,13 +195,19 @@ class QueryService {
     // Written only by this query's applier thread; read via status()
     // after the Drain()/Stop() happens-before edge.
     Status apply_status;
+    // Monotone epoch gauges (single writer: this query's applier;
+    // concurrent readers via Stats()).
+    obs::Gauge windows_applied;
+    obs::Gauge windows_skipped;
   };
 
   void BatcherLoop();
   void WorkerLoop(size_t query_index);
   // Applies the window's batch to one query and publishes its snapshot.
+  // `window_ns` is the window's PopWindow timestamp (publish-age span).
   void ApplyAndPublish(size_t query_index, const exec::UpdateBatch& batch,
-                       uint64_t version, uint64_t updates_applied);
+                       uint64_t version, uint64_t updates_applied,
+                       uint64_t window_ns);
 
   ring::Catalog catalog_;
   ServeOptions options_;
@@ -198,9 +233,17 @@ class QueryService {
   const exec::UpdateBatch* current_batch_ = nullptr;
   uint64_t current_version_ = 0;
   uint64_t current_updates_ = 0;
+  uint64_t current_window_ns_ = 0;  // PopWindow timestamp of the window
   uint64_t generation_ = 0;
   size_t pending_ = 0;
   bool stop_workers_ = false;
+
+  // Pipeline stage spans + global window epoch (batcher writes, any
+  // thread reads through Stats()).
+  obs::Gauge windows_;                // coalesce windows popped (monotone)
+  obs::Histogram coalesce_ns_;        // window -> delta GMRs (batcher)
+  obs::Histogram query_apply_ns_;     // ApplyPrepared span per query/window
+  obs::Histogram publish_age_ns_;  // pop -> snapshot swap
 
   // Drain accounting: pushed_ counts accepted Push calls, applied_
   // counts window events whose snapshots are all published.

@@ -35,7 +35,33 @@ void rdb_t2_s0(const RdbHostApi* api, void* ctx, const RdbVal* p, RdbNum scale) 
   E->api->foreach_matching(E->ctx, 2, 0, sk0, 1, rdb_t2_s0_l0, (void*)E);
 }
 
-/* grouped variant of stmt 0: interpreter (cost model) */
+/* grouped variant of stmt 0: static cost model prefers interpreter */
+static void rdb_t2_s0_g_body(rdb_t2_s0_env* E) {
+  RdbNum v = E->lv[0];
+  if (rdb_is_zero(v)) return;
+  RdbVal tk[1];
+  tk[0] = E->f[0];
+  if (!rdb_is_one(E->sc)) v = rdb_mul(v, E->sc);
+  E->api->add(E->ctx, 0, tk, 1, v);
+}
+static void rdb_t2_s0_g_l0(void* ve, const RdbVal* k, RdbNum m) {
+  rdb_t2_s0_env* E = (rdb_t2_s0_env*)ve;
+  E->f[0] = k[1];
+  E->lv[0] = m;
+  rdb_t2_s0_g_body(E);
+}
+void rdb_t2_s0_g(const RdbHostApi* api, void* ctx, const RdbVal* p, RdbNum scale) {
+  rdb_t2_s0_env e;
+  e.api = api;
+  e.ctx = ctx;
+  e.p = p;
+  e.sc = scale;
+  rdb_t2_s0_env* E = &e;
+  RdbVal sk0[1];
+  sk0[0] = E->p[0];
+  E->api->foreach_matching(E->ctx, 2, 0, sk0, 1, rdb_t2_s0_g_l0, (void*)E);
+}
+
 /* m1[@p0] += param(1) param(2) mul(2) | grouped: const(1) */
 static const RdbVal rdb_t2_s1_c[] = {
     {1, 0.0, 0, 0, 0},

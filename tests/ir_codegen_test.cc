@@ -198,11 +198,13 @@ TEST(CodegenTest, GroupedVariantSharedWhenNothingFolds) {
   EXPECT_TRUE(any_shared);
 }
 
-TEST(CodegenTest, TrivialForwardedLoopKeepsInterpreter) {
+TEST(CodegenTest, TrivialForwardedLoopPrefersInterpreter) {
   // The strength-reduced grouped join (rhs = one forwarded load) is a
   // bind-and-copy loop the interpreter already executes optimally; the
-  // cost model must keep it off the native path rather than paying the
-  // ABI marshalling tax per enumerated entry.
+  // static cost model must flag it prefer-interpreter so profiling-free
+  // builds (-DRINGDB_NO_METRICS) keep it off the ABI marshalling tax.
+  // Since PR 6 the variant is still *emitted* — the runtime's profile-
+  // guided selection may overturn the verdict on the live workload.
   ring::Catalog catalog;
   catalog.AddRelation(S("Rcm"), {S("ok"), S("ck")});
   catalog.AddRelation(S("Scm"), {S("ok2"), S("v")});
@@ -212,7 +214,18 @@ TEST(CodegenTest, TrivialForwardedLoopKeepsInterpreter) {
   auto compiled = Compile(catalog, {S("c")}, body);
   ASSERT_TRUE(compiled.ok());
   CodegenModule mod = GenerateModule(compiled->program);
-  EXPECT_NE(mod.source.find("interpreter fallback (cost model)"),
+  bool any_prefer_interp = false;
+  for (const auto& trigger : mod.stmts) {
+    for (const CodegenStmt& cs : trigger) {
+      if (!cs.emitted) continue;
+      EXPECT_FALSE(cs.fn.empty());
+      if (!cs.prefer_native || !cs.grouped_prefer_native) {
+        any_prefer_interp = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_prefer_interp);
+  EXPECT_NE(mod.source.find("static cost model prefers interpreter"),
             std::string::npos);
 }
 

@@ -264,6 +264,87 @@ TEST(QueryServiceTest, ReaderWriterHammer) {
             ReplayPrefix(catalog, kRevenueSql, updates, updates.size()));
 }
 
+// 8 reader threads hammer QueryService::Stats() while ingest runs (the
+// debug-tsan CI job races the export against the batcher, the worker
+// pool, and the blocked producers); every poll must see internally
+// consistent, monotone values — the epoch fields (snapshot_version,
+// windows_applied, windows_skipped) never move backwards for a single
+// poller, staleness is never negative, and applied never exceeds pushed.
+TEST(QueryServiceTest, StatsHammerIsMonotoneUnderIngest) {
+  Catalog catalog = workload::OrdersSchema();
+  const std::vector<Update> updates = MakeUpdates(catalog, 6000, 71);
+
+  ServeOptions options;
+  options.batch_size = 128;
+  options.num_shards = 2;
+  options.queue_capacity = 256;  // small: stalls and depth get exercised
+  QueryService service(catalog, options);
+  auto revenue = service.RegisterSql("revenue", kRevenueSql);
+  auto counts = service.RegisterSql("counts", kOrderCountSql);
+  ASSERT_TRUE(revenue.ok() && counts.ok());
+  service.Start();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_polls{0};
+  std::vector<std::thread> pollers;
+  for (int r = 0; r < 8; ++r) {
+    pollers.emplace_back([&] {
+      uint64_t polls = 0;
+      uint64_t last_pushed = 0;
+      int64_t last_windows = 0;
+      std::vector<QueryService::QueryStats> last(2);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const QueryService::ServiceStats stats = service.Stats();
+        ASSERT_EQ(stats.queries.size(), 2u);
+        ASSERT_LE(stats.applied, stats.pushed);
+        ASSERT_GE(stats.pushed, last_pushed);
+        last_pushed = stats.pushed;
+        ASSERT_GE(stats.windows, last_windows);
+        last_windows = stats.windows;
+        ASSERT_LE(stats.queue.depth, stats.queue.capacity);
+        for (size_t q = 0; q < stats.queries.size(); ++q) {
+          const QueryService::QueryStats& qs = stats.queries[q];
+          ASSERT_GE(qs.snapshot_version, last[q].snapshot_version);
+          ASSERT_GE(qs.windows_applied, last[q].windows_applied);
+          ASSERT_GE(qs.windows_skipped, last[q].windows_skipped);
+          ASSERT_GE(qs.staleness_windows, 0);
+          last[q] = qs;
+        }
+        ++polls;
+      }
+      total_polls.fetch_add(polls);
+    });
+  }
+
+  for (const Update& update : updates) {
+    ASSERT_TRUE(service.Push(update).ok());
+  }
+  service.Drain();
+  stop.store(true);
+  for (std::thread& t : pollers) t.join();
+  EXPECT_GT(total_polls.load(), 0u);
+
+  // Quiescent exports are exact and self-consistent.
+  const QueryService::ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.pushed, updates.size());
+  EXPECT_EQ(stats.applied, updates.size());
+  EXPECT_EQ(stats.queue.depth, 0u);
+#ifndef RINGDB_NO_METRICS
+  EXPECT_GT(stats.windows, 0);
+  for (const QueryService::QueryStats& qs : stats.queries) {
+    // Drained: every popped window was either applied or skipped.
+    EXPECT_EQ(qs.windows_applied + qs.windows_skipped, stats.windows)
+        << qs.name;
+    EXPECT_EQ(qs.staleness_windows, 0) << qs.name;
+  }
+#endif
+  const std::string text = service.StatsText();
+  EXPECT_NE(text.find("revenue"), std::string::npos);
+  EXPECT_NE(text.find("counts"), std::string::npos);
+  service.Stop();
+  ASSERT_TRUE(service.status().ok()) << service.status().ToString();
+}
+
 TEST(QueryServiceTest, BackpressureThroughTinyQueue) {
   Catalog catalog = workload::OrdersSchema();
   const std::vector<Update> updates = MakeUpdates(catalog, 3000, 61);

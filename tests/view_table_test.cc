@@ -345,6 +345,64 @@ TEST(ViewTableTest, ApproxBytesCountsStringPayloadAndIndexes) {
   EXPECT_GT(indexed.ApproxBytes(), plain.ApproxBytes());
 }
 
+// The incremental ApproxBytes accounting (a live gauge maintained at
+// insert/erase/index-churn sites) must equal the full recount walk at
+// every churn point — across string payloads (SSO and heap), arena
+// keys, index registration over existing entries, cancellation erasure
+// (swap-move + row compaction), resurrection, and keep-zeros domains.
+// Debug builds also self-check inside ApproxBytes; this test pins the
+// property in release builds too.
+TEST(ViewTableTest, ApproxBytesIncrementalMatchesSlowWalkUnderChurn) {
+  for (size_t arity : {size_t{2}, size_t{3}}) {
+    ViewTable v(arity);
+    int idx = v.EnsureIndex({0});
+    Rng rng(31 + arity);
+    auto make_key = [&](int64_t salt) {
+      Key k;
+      k.push_back(Value(salt % 9));
+      // Mix of int, SSO string, and heap string key values.
+      const int64_t kind = salt % 3;
+      k.push_back(kind == 0 ? Value(salt)
+                  : kind == 1
+                      ? Value("sso")
+                      : Value("heap-allocated-key-string-payload-" +
+                              std::to_string(salt % 17)));
+      while (k.size() < arity) k.push_back(Value(salt % 5));
+      return k;
+    };
+    for (int i = 0; i < 3000; ++i) {
+      v.Add(make_key(rng.Range(0, 400)), Numeric(rng.Range(-2, 2)));
+      if (i % 257 == 0) {
+        EXPECT_EQ(v.ApproxBytes(), v.ApproxBytesSlow()) << "churn step " << i;
+      }
+    }
+    // A second index built over the existing population must be
+    // accounted in one pass.
+    v.EnsureIndex({1});
+    EXPECT_EQ(v.ApproxBytes(), v.ApproxBytesSlow());
+    // Deferred erases under iteration, then resurrection.
+    v.ForEachMatching(idx, {Value(3)}, [&](KeyView k, Numeric m) {
+      v.Add(k.ToKey(), -m);
+    });
+    EXPECT_EQ(v.ApproxBytes(), v.ApproxBytesSlow());
+    for (int i = 0; i < 500; ++i) {
+      v.Add(make_key(rng.Range(0, 400)), kOne);
+    }
+    EXPECT_EQ(v.ApproxBytes(), v.ApproxBytesSlow());
+  }
+  // keep_zeros domains retain cancelled entries; their storage stays
+  // accounted.
+  ViewTable lazy(1);
+  lazy.SetKeepZeros();
+  for (int i = 0; i < 200; ++i) {
+    lazy.EnsureEntry({Value("lazy-domain-key-string-" + std::to_string(i))},
+                     kZero);
+    lazy.Add({Value("lazy-domain-key-string-" + std::to_string(i))},
+             Numeric(i % 3 - 1));
+  }
+  EXPECT_EQ(lazy.ApproxBytes(), lazy.ApproxBytesSlow());
+}
+
 TEST(ViewTableTest, ToStringRendersEntries) {
   ViewTable v(2);
   v.Add({Value(1), Value("a")}, Numeric(3));

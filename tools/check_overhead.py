@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Metrics-overhead gate for the CI release job.
+
+Compares two bench_tpch_stream JSON snapshots — one from the normal
+build (metrics on) and one from a -DRINGDB_NO_METRICS=ON control build —
+and fails when the always-on observability layer costs more than the
+budget (default 2%) of maintenance throughput.
+
+Rows are matched by (stream, config, backend). Two noise filters make a
+2% gate workable on shared CI runners whose single-run numbers swing by
+double digits: pass each flag several times (one JSON per repeated bench
+run) and the tool takes the best-of-N throughput per row — throughput
+noise is one-sided, the fastest run is the least-disturbed one — and the
+gate is then evaluated on the geometric mean of per-row ratios rather
+than any single row, since the layer's cost is a property of the whole
+sweep, not of one lucky cell. The headline zipf batch-1024 row is
+printed separately because it is the number the repo tracks.
+
+Usage:
+  tools/check_overhead.py --metrics run1.json --metrics run2.json \
+      --control ctl1.json --control ctl2.json [--max-overhead-pct 2.0]
+
+Exit code 0: overhead within budget. 1: over budget or inputs unusable.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_rows(paths: list[str]) -> dict[tuple[str, str, str], float]:
+    """(stream, config, backend) -> best-of-N upd_per_s across the runs."""
+    rows: dict[tuple[str, str, str], float] = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        for snapshot in doc.get("snapshots", []):
+            for r in snapshot.get("results", []):
+                key = (r["stream"], r["config"], r["backend"])
+                rows[key] = max(rows.get(key, 0.0), float(r["upd_per_s"]))
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--metrics", required=True, action="append",
+                        help="bench JSON from the normal (metrics-on) "
+                             "build; repeat for best-of-N")
+    parser.add_argument("--control", required=True, action="append",
+                        help="bench JSON from the RINGDB_NO_METRICS "
+                             "build; repeat for best-of-N")
+    parser.add_argument("--max-overhead-pct", type=float, default=2.0,
+                        help="budget as a percentage (default: 2.0)")
+    args = parser.parse_args()
+
+    metrics = load_rows(args.metrics)
+    control = load_rows(args.control)
+    common = sorted(set(metrics) & set(control))
+    if not common:
+        print("check_overhead: no matching (stream, config, backend) rows "
+              "between the two snapshots", file=sys.stderr)
+        return 1
+
+    print(f"{'stream':<24} {'config':<24} {'backend':<10} "
+          f"{'metrics':>10} {'control':>10} {'overhead':>9}")
+    log_ratio_sum = 0.0
+    for key in common:
+        stream, config, backend = key
+        with_metrics = metrics[key]
+        without = control[key]
+        overhead = (without - with_metrics) / without * 100.0
+        log_ratio_sum += math.log(with_metrics / without)
+        print(f"{stream:<24} {config:<24} {backend:<10} "
+              f"{with_metrics:>10.0f} {without:>10.0f} {overhead:>8.2f}%")
+
+    geomean_overhead = (1.0 - math.exp(log_ratio_sum / len(common))) * 100.0
+    print(f"\ngeomean overhead over {len(common)} rows: "
+          f"{geomean_overhead:.2f}% (budget {args.max_overhead_pct:.2f}%)")
+
+    headline = ("zipf(1.1), 15% deletes", "batch 1024", "interpret")
+    if headline in metrics and headline in control:
+        h = (control[headline] - metrics[headline]) / control[headline] * 100
+        print(f"headline zipf batch-1024 interpret overhead: {h:.2f}%")
+
+    if geomean_overhead > args.max_overhead_pct:
+        print(f"check_overhead: FAIL — metrics cost {geomean_overhead:.2f}% "
+              f"> {args.max_overhead_pct:.2f}% budget", file=sys.stderr)
+        return 1
+    print("check_overhead: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
