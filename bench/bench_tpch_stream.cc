@@ -51,6 +51,8 @@ struct Options {
   std::string label = "dev";
   bool sweep_only = false;
   std::string backend = "both";
+  std::string stream = "both";   // uniform|zipf|both: sweep stream filter
+  std::string config_filter;     // substring filter over sweep config names
   bool stats = false;
 };
 
@@ -60,12 +62,24 @@ struct SweepResult {
   std::string stream;
   std::string config;
   std::string backend;  // "interpret" or "compile"
+  // Batch delta representation the run executed with: "columnar" (the
+  // default dense-column windows) or "row" (RINGDB_FORCE_ROW=1 legacy
+  // per-tuple path; the differential suite pins both to identical
+  // results and operation counts).
+  std::string representation;
   size_t batch_size;
   size_t shards;
   double upd_per_s;
   size_t approx_bytes;
   std::string stats_json;  // Engine::StatsJson of the run (valid JSON)
 };
+
+// The representation the executors will run with, decided by the same
+// environment knob the executors sample at construction.
+const char* ActiveRepresentation() {
+  const char* force_row = std::getenv("RINGDB_FORCE_ROW");
+  return force_row != nullptr && force_row[0] == '1' ? "row" : "columnar";
+}
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -102,13 +116,14 @@ void WriteSnapshotJson(const Options& opt,
     const SweepResult& r = results[i];
     std::fprintf(f,
                  "        {\"stream\": \"%s\", \"config\": \"%s\", "
-                 "\"backend\": \"%s\", "
+                 "\"backend\": \"%s\", \"representation\": \"%s\", "
                  "\"batch_size\": %zu, \"shards\": %zu, "
                  "\"upd_per_s\": %.0f, \"approx_bytes\": %zu,\n"
                  "         \"stats\": %s}%s\n",
                  JsonEscape(r.stream).c_str(), JsonEscape(r.config).c_str(),
-                 JsonEscape(r.backend).c_str(), r.batch_size, r.shards,
-                 r.upd_per_s, r.approx_bytes,
+                 JsonEscape(r.backend).c_str(),
+                 JsonEscape(r.representation).c_str(), r.batch_size,
+                 r.shards, r.upd_per_s, r.approx_bytes,
                  r.stats_json.empty() ? "null" : r.stats_json.c_str(),
                  i + 1 < results.size() ? "," : "");
   }
@@ -270,7 +285,12 @@ void BatchShardSweep(const Options& opt) {
   const int kUpdates = opt.updates;
   std::vector<SweepResult> sweep_results;
 
+  const char* representation = ActiveRepresentation();
   for (const Config& stream_config : stream_configs) {
+    if (opt.stream != "both") {
+      const bool is_zipf = stream_config.zipf_s > 0.0;
+      if (opt.stream == "zipf" ? !is_zipf : is_zipf) continue;
+    }
     std::printf("stream: %s, %d updates\n", stream_config.name.c_str(),
                 kUpdates);
     // One pre-generated stream per stream shape, shared by every engine
@@ -309,6 +329,10 @@ void BatchShardSweep(const Options& opt) {
           backend == ringdb::runtime::Backend::kCompile ? "compile"
                                                         : "interpret";
       for (const SweepConfig& config : sweep) {
+        if (!opt.config_filter.empty() &&
+            config.name.find(opt.config_filter) == std::string::npos) {
+          continue;
+        }
         ringdb::runtime::EngineOptions engine_options;
         engine_options.batch_size = config.batch_size;
         engine_options.num_shards = config.num_shards;
@@ -341,8 +365,9 @@ void BatchShardSweep(const Options& opt) {
         const size_t bytes = engine->sharded().ApproxBytes();
         sweep_results.push_back(
             SweepResult{stream_config.name, config.name, backend_name,
-                        config.batch_size, engine->num_shards(), tput,
-                        bytes, engine->StatsJson(9)});
+                        representation, config.batch_size,
+                        engine->num_shards(), tput, bytes,
+                        engine->StatsJson(9)});
         if (opt.stats) {
           std::printf("--- stats: %s / %s / %s ---\n%s\n",
                       stream_config.name.c_str(), config.name.c_str(),
@@ -395,10 +420,21 @@ int main(int argc, char** argv) {
                      opt.backend.c_str());
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--stream") == 0 && i + 1 < argc) {
+      opt.stream = argv[++i];
+      if (opt.stream != "uniform" && opt.stream != "zipf" &&
+          opt.stream != "both") {
+        std::fprintf(stderr, "--stream wants uniform|zipf|both, got %s\n",
+                     opt.stream.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      opt.config_filter = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--updates N] [--json PATH] [--label STR] "
                    "[--sweep-only] [--backend interpret|compile|both] "
+                   "[--stream uniform|zipf|both] [--config SUBSTR] "
                    "[--stats]\n",
                    argv[0]);
       return 2;

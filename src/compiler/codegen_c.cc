@@ -53,7 +53,17 @@ typedef struct RdbHostApi {
   void (*add)(void* ctx, int32_t view_id, const RdbVal* key, uint32_t n,
               RdbNum delta);
   void (*fail)(void* ctx, const char* msg);
+  void (*add_span)(void* ctx, int32_t view_id, const RdbVal* keys,
+                   const RdbNum* deltas, uint32_t count, uint32_t arity);
 } RdbHostApi;
+
+typedef struct RdbColWin {
+  const RdbVal* const* cols;
+  const uint32_t* rows;
+  const RdbNum* scales;
+  uint32_t n;
+  uint32_t arity;
+} RdbColWin;
 
 static RdbNum rdb_int(int64_t v) {
   RdbNum n; n.i = v; n.d = 0.0; n.is_int = 1; return n;
@@ -124,7 +134,7 @@ static int rdb_le(RdbNum a, RdbNum b) {
 constexpr const char kTail[] = R"(
 /* Loader handshake: layout checksum over this translation unit's own
  * struct copies; must equal runtime::RdbAbiLayout() on the host side. */
-const int32_t rdb_abi_version = 2;
+const int32_t rdb_abi_version = 3;
 const uint64_t rdb_abi_layout =
     (uint64_t)sizeof(RdbVal) * 1000000u +
     (uint64_t)offsetof(RdbVal, kind) * 10000u +
@@ -222,6 +232,12 @@ bool WorthNative(const lw::StmtProgram& sp, const lw::RhsProgram& rhs) {
   return sp.loops.empty() || rhs.ops.size() > 1;
 }
 
+// Rows buffered by a columnar window before flushing through
+// api->add_span (flattened keys + parallel scaled deltas). 128 keeps the
+// key chunk a few KB of stack while amortizing the host's up-front
+// hash-and-prefetch pipeline over enough rows to hide probe latency.
+constexpr uint32_t kWindowChunk = 128;
+
 // True when the statement's rhs cannot read its own target view (no loop
 // drives it, no probe looks it up): emissions may then apply in place
 // (api->add) instead of through the host's deferred buffer, because no
@@ -260,6 +276,9 @@ class StmtEmitter {
          << "  RdbVal f[" << std::max<int>(sp_.frame_size, 1) << "];\n"
          << "  RdbNum lv[" << std::max<size_t>(sp_.loops.size(), 1)
          << "];\n"
+         << "  RdbVal* kb;\n"  // window emission chunk (window variants
+         << "  RdbNum* vb;\n"  // only; per-firing entry points leave
+         << "  uint32_t nb;\n"  // these unset)
          << "} " << base_ << "_env;\n";
   }
 
@@ -281,10 +300,74 @@ class StmtEmitter {
     out_ << "}\n\n";
   }
 
+  // The columnar-window entry point `<base><wsuffix>` (RdbColStmtFn) for
+  // one rhs variant: all window firings in one native call, params
+  // indexed straight out of the mirrored columns. Loop-less statements
+  // inline the rhs over restrict-qualified column pointers — a straight-
+  // line loop nest cc -O2 can vectorize. Statements with loops get their
+  // own callback chain whose body pushes emissions into the window's
+  // chunk instead of one api->add per enumerated entry. Either way,
+  // scaled emissions collect in chunk buffers and flush through
+  // api->add_span, which hashes whole chunks up front; deferring the
+  // adds past firing boundaries is sound exactly because windows are
+  // only emitted for direct-add statements — the rhs provably never
+  // reads the target view, so no firing in the window can observe
+  // another's emissions early or late. (Emit-buffered self-loop
+  // statements need a host flush per firing, hence no window.)
+  void EmitWindowVariant(const std::string& wsuffix,
+                         const lw::RhsProgram& rhs) {
+    RINGDB_CHECK(direct_);
+    const std::string name = base_ + wsuffix;
+    if (sp_.loops.empty()) {
+      EmitWindowLoopless(name, rhs);
+      return;
+    }
+    const uint32_t key_size = sp_.target_key.size;
+    const std::string ks = std::to_string(key_size);
+    EmitWindowBody(name, rhs);
+    for (size_t i = sp_.loops.size(); i-- > 0;) {
+      EmitLoopCallback(name, i);
+    }
+    out_ << "void " << name
+         << "(const RdbHostApi* api, void* ctx, const RdbColWin* win) {\n"
+         << "  " << base_ << "_env e;\n"
+         << "  e.api = api;\n  e.ctx = ctx;\n"
+         << "  RdbVal pbuf[" << std::max<int>(sp_.param_count, 1)
+         << "];\n"
+         << "  e.p = pbuf;\n"
+         << "  RdbVal kb[" << kWindowChunk * std::max<uint32_t>(key_size, 1)
+         << "];\n"
+         << "  RdbNum vb[" << kWindowChunk << "];\n"
+         << "  e.kb = kb;\n  e.vb = vb;\n  e.nb = 0;\n";
+    for (uint16_t c : sp_.cols_read) {
+      out_ << "  const RdbVal* restrict c" << c << " = win->cols[" << c
+           << "];\n";
+    }
+    out_ << "  const uint32_t* restrict rows = win->rows;\n"
+         << "  const RdbNum* restrict scales = win->scales;\n"
+         << "  " << base_ << "_env* E = &e;\n"
+         << "  for (uint32_t i = 0; i < win->n; ++i) {\n"
+         << "    const uint32_t r = rows[i];\n";
+    if (sp_.cols_read.empty()) out_ << "    (void)r;\n";
+    for (uint16_t c : sp_.cols_read) {
+      out_ << "    pbuf[" << c << "] = c" << c << "[r];\n";
+    }
+    out_ << "    e.sc = scales[i];\n";
+    EmitNext(name, 0, "    ");
+    out_ << "  }\n"
+         << "  if (e.nb) api->add_span(ctx, " << sp_.target_view
+         << ", kb, vb, e.nb, " << ks << ");\n"
+         << "}\n\n";
+  }
+
  private:
+  // In column mode (the loop-less window variant) params read straight
+  // from the restrict-qualified column pointers at the current row and
+  // host calls use the entry point's own api/ctx — there is no env.
   std::string Ref(const lw::SlotRef& r) const {
     switch (r.source) {
       case lw::SlotRef::Source::kParam:
+        if (col_) return "c" + std::to_string(r.index) + "[r]";
         return "E->p[" + std::to_string(r.index) + "]";
       case lw::SlotRef::Source::kConst:
         return base_ + "_c[" + std::to_string(r.index) + "]";
@@ -294,6 +377,9 @@ class StmtEmitter {
     RINGDB_CHECK(false);
     return "";
   }
+
+  std::string Api() const { return col_ ? "api" : "E->api"; }
+  std::string Ctx() const { return col_ ? "ctx" : "E->ctx"; }
 
   // Materializes a KeyTemplate into stack buffer `buf`. Clamped to one
   // element for empty templates (a scalar-view probe): zero-length
@@ -357,16 +443,18 @@ class StmtEmitter {
 
   std::string AsNum(const CV& v) const {
     if (v.is_num) return v.expr;
-    return "rdb_num(E->api, E->ctx, " + v.expr + ")";
+    return "rdb_num(" + Api() + ", " + Ctx() + ", " + v.expr + ")";
   }
 
-  void EmitBody(const std::string& name, const lw::RhsProgram& rhs) {
-    out_ << "static void " << name << "_body(" << base_ << "_env* E) {\n";
+  // Unrolls one postfix rhs into straight-line C at `indent`; returns the
+  // final value as a CV. Shared by the per-firing body functions and the
+  // loop-less columnar window (which runs it in column mode inside the
+  // row loop).
+  CV EmitRhs(const lw::RhsProgram& rhs, const std::string& indent) {
     std::vector<CV> stk;
-    int tmp = 0;
     auto temp = [&](const std::string& expr) {
-      const std::string t = "t" + std::to_string(tmp++);
-      out_ << "  RdbNum " << t << " = " << expr << ";\n";
+      const std::string t = "t" + std::to_string(tmp_++);
+      out_ << indent << "RdbNum " << t << " = " << expr << ";\n";
       stk.push_back(CV{true, t});
     };
     for (const lw::Op& op : rhs.ops) {
@@ -376,7 +464,9 @@ class StmtEmitter {
               CV{false, base_ + "_c[" + std::to_string(op.a) + "]"});
           break;
         case lw::OpCode::kLoadParam:
-          stk.push_back(CV{false, "E->p[" + std::to_string(op.a) + "]"});
+          stk.push_back(CV{
+              false, Ref(lw::SlotRef{lw::SlotRef::Source::kParam,
+                                     static_cast<uint16_t>(op.a)})});
           break;
         case lw::OpCode::kLoadFrame:
           stk.push_back(CV{false, "E->f[" + std::to_string(op.a) + "]"});
@@ -388,10 +478,11 @@ class StmtEmitter {
           break;
         case lw::OpCode::kProbeView: {
           const lw::ProbePlan& plan = sp_.probes[op.a];
-          const std::string pk = "pk" + std::to_string(tmp);
-          EmitKeyBuffer(pk, plan.key, "  ");
-          temp("E->api->probe(E->ctx, " + std::to_string(plan.view_id) +
-               ", " + pk + ", " + std::to_string(plan.key.size) + ")");
+          const std::string pk = "pk" + std::to_string(tmp_);
+          EmitKeyBuffer(pk, plan.key, indent);
+          temp(Api() + "->probe(" + Ctx() + ", " +
+               std::to_string(plan.view_id) + ", " + pk + ", " +
+               std::to_string(plan.key.size) + ")");
           break;
         }
         case lw::OpCode::kAdd:
@@ -456,7 +547,91 @@ class StmtEmitter {
       }
     }
     RINGDB_CHECK_EQ(stk.size(), 1u);
-    out_ << "  RdbNum v = " << AsNum(stk[0]) << ";\n"
+    return stk[0];
+  }
+
+  // Shape of the loop-less window variant: one tight row loop, no env
+  // struct, no callbacks, no per-firing host call. Emissions collect in
+  // local chunk buffers (flattened keys + parallel scaled deltas) and
+  // flush through api->add_span, which hashes the whole chunk up front.
+  void EmitWindowLoopless(const std::string& name,
+                          const lw::RhsProgram& rhs) {
+    const uint32_t key_size = sp_.target_key.size;
+    const std::string ks = std::to_string(key_size);
+    out_ << "void " << name
+         << "(const RdbHostApi* api, void* ctx, const RdbColWin* win) {\n";
+    for (uint16_t c : sp_.cols_read) {
+      out_ << "  const RdbVal* restrict c" << c << " = win->cols[" << c
+           << "];\n";
+    }
+    out_ << "  const uint32_t* restrict rows = win->rows;\n"
+         << "  const RdbNum* restrict scales = win->scales;\n"
+         << "  enum { CHUNK = 128 };\n"
+         << "  RdbVal kb[CHUNK * " << std::max<uint32_t>(key_size, 1)
+         << "];\n"
+         << "  RdbNum vb[CHUNK];\n"
+         << "  uint32_t nb = 0;\n"
+         << "  for (uint32_t i = 0; i < win->n; ++i) {\n"
+         << "    const uint32_t r = rows[i];\n";
+    if (sp_.cols_read.empty()) out_ << "    (void)r;\n";
+    col_ = true;
+    tmp_ = 0;
+    const CV result = EmitRhs(rhs, "    ");
+    out_ << "    RdbNum v = " << AsNum(result) << ";\n"
+         << "    if (rdb_is_zero(v)) continue;\n"
+         << "    if (!rdb_is_one(scales[i])) v = rdb_mul(v, scales[i]);\n";
+    for (uint32_t j = 0; j < key_size; ++j) {
+      out_ << "    kb[nb * " << ks << " + " << j
+           << "] = " << Ref(sp_.slot_refs[sp_.target_key.first + j])
+           << ";\n";
+    }
+    col_ = false;
+    out_ << "    vb[nb] = v;\n"
+         << "    if (++nb == CHUNK) {\n"
+         << "      api->add_span(ctx, " << sp_.target_view
+         << ", kb, vb, nb, " << ks << ");\n"
+         << "      nb = 0;\n"
+         << "    }\n"
+         << "  }\n"
+         << "  if (nb) api->add_span(ctx, " << sp_.target_view
+         << ", kb, vb, nb, " << ks << ");\n"
+         << "}\n\n";
+  }
+
+  // The body of a loop-ful window variant: the same straight-line rhs as
+  // the per-firing body (same evaluation order, so results agree to the
+  // last double bit), but the emission folds the scale in and pushes
+  // into the env's window chunk — the entry point flushes the tail.
+  void EmitWindowBody(const std::string& name, const lw::RhsProgram& rhs) {
+    const uint32_t ks = sp_.target_key.size;
+    out_ << "static void " << name << "_body(" << base_ << "_env* E) {\n";
+    tmp_ = 0;
+    const CV result = EmitRhs(rhs, "  ");
+    out_ << "  RdbNum v = " << AsNum(result) << ";\n"
+         << "  if (rdb_is_zero(v)) return;\n"
+         << "  if (!rdb_is_one(E->sc)) v = rdb_mul(v, E->sc);\n";
+    if (ks > 0) {
+      out_ << "  RdbVal* kk = E->kb + (size_t)E->nb * " << ks << ";\n";
+      for (uint32_t j = 0; j < ks; ++j) {
+        out_ << "  kk[" << j
+             << "] = " << Ref(sp_.slot_refs[sp_.target_key.first + j])
+             << ";\n";
+      }
+    }
+    out_ << "  E->vb[E->nb] = v;\n"
+         << "  if (++E->nb == " << kWindowChunk << ") {\n"
+         << "    E->api->add_span(E->ctx, " << sp_.target_view
+         << ", E->kb, E->vb, E->nb, " << ks << ");\n"
+         << "    E->nb = 0;\n"
+         << "  }\n"
+         << "}\n";
+  }
+
+  void EmitBody(const std::string& name, const lw::RhsProgram& rhs) {
+    out_ << "static void " << name << "_body(" << base_ << "_env* E) {\n";
+    tmp_ = 0;
+    const CV result = EmitRhs(rhs, "  ");
+    out_ << "  RdbNum v = " << AsNum(result) << ";\n"
          << "  if (rdb_is_zero(v)) return;\n";
     const std::string key =
         sp_.target_key.size > 0 ? "tk" : "0";
@@ -481,6 +656,8 @@ class StmtEmitter {
   const bool direct_;
   const std::string base_;
   std::ostringstream& out_;
+  bool col_ = false;  // see Ref(): loop-less window emission mode
+  int tmp_ = 0;       // rhs temporary counter of the function being emitted
 };
 
 }  // namespace
@@ -527,6 +704,11 @@ CodegenModule GenerateModule(const TriggerProgram& program) {
       StmtEmitter emitter(sp, cs.fn, &out);
       emitter.EmitShared();
       emitter.EmitVariant("", sp.rhs);
+      const bool direct = CanEmitDirect(sp);
+      if (direct) {
+        cs.win_fn = cs.fn + "_w";
+        emitter.EmitWindowVariant("_w", sp.rhs);
+      }
       if (sp.groupable) {
         cs.grouped_prefer_native = WorthNative(sp, sp.grouped_rhs);
         if (!cs.grouped_prefer_native) {
@@ -534,11 +716,16 @@ CodegenModule GenerateModule(const TriggerProgram& program) {
               << ": static cost model prefers interpreter */\n";
         }
         if (sp.foldable_params.empty()) {
-          // grouped_rhs shares the plain ops; reuse the function.
+          // grouped_rhs shares the plain ops; reuse the function(s).
           cs.grouped_fn = cs.fn;
+          cs.grouped_win_fn = cs.win_fn;
         } else {
           cs.grouped_fn = cs.fn + "_g";
           emitter.EmitVariant("_g", sp.grouped_rhs);
+          if (direct) {
+            cs.grouped_win_fn = cs.fn + "_gw";
+            emitter.EmitWindowVariant("_gw", sp.grouped_rhs);
+          }
         }
       }
       ++mod.emitted_statements;

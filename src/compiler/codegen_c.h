@@ -51,6 +51,14 @@ struct CodegenStmt {
   std::string fn;          // exported symbol for the plain rhs
   std::string grouped_fn;  // exported symbol for the grouped rhs (may == fn;
                            // empty when the statement is not groupable)
+  // Columnar-window entry points (RdbColStmtFn, symbol `fn + "_w"` /
+  // `fn + "_gw"`): whole-window execution over mirrored column arrays.
+  // Emitted only for direct-add statements (emit-buffered self-loop
+  // statements need a host flush per firing); empty otherwise. A
+  // statement whose grouped rhs folds nothing shares the plain window
+  // (grouped_win_fn == win_fn), like grouped_fn == fn.
+  std::string win_fn;
+  std::string grouped_win_fn;
   // Static cost-model verdict per variant (see WorthNative in the .cc):
   // the runtime's profile-guided selection (runtime/compiled_executor.h)
   // starts from this preference and overrides it with measured warmup

@@ -465,6 +465,24 @@ std::shared_ptr<const LoweredProgram> Lower(const TriggerProgram& program) {
     for (const Statement& stmt : trigger.statements) {
       StmtProgram sp = StmtLowerer(program, trigger, stmt, lp.get()).Run();
       sp.stmt_id = lp->num_statements++;
+      // Column-access metadata: every param position the statement reads,
+      // whether through a key template or either rhs opcode stream.
+      sp.param_count =
+          static_cast<uint16_t>(program.catalog.Arity(trigger.relation));
+      for (const SlotRef& r : sp.slot_refs) {
+        if (r.source == SlotRef::Source::kParam) {
+          sp.cols_read.push_back(r.index);
+        }
+      }
+      for (const RhsProgram* rp : {&sp.rhs, &sp.grouped_rhs}) {
+        for (const Op& op : rp->ops) {
+          if (op.code == OpCode::kLoadParam) sp.cols_read.push_back(op.a);
+        }
+      }
+      std::sort(sp.cols_read.begin(), sp.cols_read.end());
+      sp.cols_read.erase(
+          std::unique(sp.cols_read.begin(), sp.cols_read.end()),
+          sp.cols_read.end());
       lp->max_frame = std::max(lp->max_frame, sp.frame_size);
       lp->max_stack = std::max(
           {lp->max_stack, sp.rhs.max_stack, sp.grouped_rhs.max_stack});

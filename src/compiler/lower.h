@@ -147,6 +147,15 @@ struct StmtProgram {
   // compiled backend's per-variant profiles key on it.
   uint32_t stmt_id = 0;
 
+  // Column-access metadata for the columnar batch path: the trigger
+  // relation's arity (how many params a firing carries) and the sorted
+  // distinct param positions this statement actually reads — from key
+  // templates (slot_refs) or either rhs opcode stream. Window drivers
+  // bind only these columns; the native emitter declares one restrict-
+  // qualified column pointer per entry.
+  uint16_t param_count = 0;
+  std::vector<uint16_t> cols_read;
+
   std::string ToString() const;  // disassembly (tests, debugging)
 };
 

@@ -9,17 +9,17 @@ namespace exec {
 
 uint64_t RelationDelta::TupleUnits() const {
   uint64_t n = 0;
-  for (const DeltaEntry& e : entries) {
-    RINGDB_CHECK(e.multiplicity.is_integer());
-    int64_t m = e.multiplicity.AsInt();
-    n += static_cast<uint64_t>(m > 0 ? m : -m);
+  for (const Numeric& m : mults) {
+    RINGDB_CHECK(m.is_integer());
+    int64_t v = m.AsInt();
+    n += static_cast<uint64_t>(v > 0 ? v : -v);
   }
   return n;
 }
 
 size_t UpdateBatch::EntryCount() const {
   size_t n = 0;
-  for (const RelationDelta& d : deltas_) n += d.entries.size();
+  for (const RelationDelta& d : deltas_) n += d.size();
   return n;
 }
 
@@ -33,14 +33,14 @@ std::string UpdateBatch::ToString() const {
   std::ostringstream out;
   for (const RelationDelta& d : deltas_) {
     out << d.relation.str() << ": {";
-    for (size_t i = 0; i < d.entries.size(); ++i) {
+    for (size_t i = 0; i < d.size(); ++i) {
       if (i) out << ", ";
       out << '(';
-      for (size_t j = 0; j < d.entries[i].values.size(); ++j) {
+      for (size_t j = 0; j < d.arity(); ++j) {
         if (j) out << ", ";
-        out << d.entries[i].values[j].ToString();
+        out << d.columns[j][i].ToString();
       }
-      out << ") -> " << d.entries[i].multiplicity.ToString();
+      out << ") -> " << d.mults[i].ToString();
     }
     out << "}\n";
   }
@@ -61,6 +61,25 @@ Status BatchBuilder::Validate(const ring::Catalog& catalog, Symbol relation,
   return Status::Ok();
 }
 
+uint64_t BatchBuilder::HashRow(const std::vector<Value>& values) {
+  uint64_t h = 0x8c62e9f7655b2ae1ULL;
+  for (const Value& v : values) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+void BatchBuilder::GrowSlots(Accum& a, size_t min_rows) {
+  size_t cap = a.slots.empty() ? 16 : a.slots.size();
+  while (min_rows * 4 > cap * 3) cap *= 2;
+  if (cap == a.slots.size()) return;
+  a.slots.assign(cap, kEmptySlot);
+  const size_t mask = cap - 1;
+  for (size_t r = 0; r < a.hashes.size(); ++r) {
+    size_t s = a.hashes[r] & mask;
+    while (a.slots[s] != kEmptySlot) s = (s + 1) & mask;
+    a.slots[s] = static_cast<uint32_t>(r);
+  }
+}
+
 Status BatchBuilder::Add(Symbol relation, const std::vector<Value>& values,
                          Numeric multiplicity) {
   RINGDB_RETURN_IF_ERROR(Validate(*catalog_, relation, values));
@@ -73,43 +92,89 @@ Status BatchBuilder::Add(Symbol relation, const std::vector<Value>& values,
       relation_slot_.try_emplace(relation, relations_.size());
   if (rel_inserted) {
     relations_.push_back(relation);
-    entries_.emplace_back();
-    entry_slot_.emplace_back();
+    accums_.emplace_back();
+    Accum& fresh = accums_.back();
+    fresh.delta.relation = relation;
+    fresh.delta.columns.resize(values.size());
   }
-  std::deque<DeltaEntry>& entries = entries_[rel_it->second];
-  auto& slots = entry_slot_[rel_it->second];
-  auto probe = slots.find(&values);
-  if (probe != slots.end()) {
-    probe->second->multiplicity += multiplicity;
-    return Status::Ok();
+  Accum& a = accums_[rel_it->second];
+  const uint64_t h = HashRow(values);
+
+  GrowSlots(a, a.hashes.size() + 1);
+  const size_t mask = a.slots.size() - 1;
+  size_t s = h & mask;
+  while (a.slots[s] != kEmptySlot) {
+    const uint32_t row = a.slots[s];
+    if (a.hashes[row] == h) {
+      bool eq = true;
+      for (size_t c = 0; c < values.size(); ++c) {
+        if (!(a.delta.columns[c][row] == values[c])) {
+          eq = false;
+          break;
+        }
+      }
+      if (eq) {
+        a.delta.mults[row] += multiplicity;
+        return Status::Ok();
+      }
+    }
+    s = (s + 1) & mask;
   }
-  // One copy per distinct tuple: the deque slot owns the values and the
-  // map keys on their (stable) address.
-  entries.push_back(DeltaEntry{values, multiplicity});
-  slots.emplace(&entries.back().values, &entries.back());
+  // Fresh tuple: append one value to each column tail — this is the only
+  // copy the tuple ever takes; there is no transpose pass later.
+  a.slots[s] = static_cast<uint32_t>(a.hashes.size());
+  a.hashes.push_back(h);
+  for (size_t c = 0; c < values.size(); ++c) {
+    a.delta.columns[c].push_back(values[c]);
+  }
+  a.delta.mults.push_back(multiplicity);
   return Status::Ok();
 }
 
 UpdateBatch BatchBuilder::Build() {
   UpdateBatch out;
   out.deltas_.reserve(relations_.size());
-  // Drop fully cancelled entries (and then empty relations), keeping the
-  // first-touch order of the survivors.
-  for (size_t r = 0; r < relations_.size(); ++r) {
-    RelationDelta delta;
-    delta.relation = relations_[r];
-    delta.entries.reserve(entries_[r].size());
-    for (DeltaEntry& e : entries_[r]) {
-      if (!e.multiplicity.IsZero()) delta.entries.push_back(std::move(e));
+  // Drop fully cancelled rows (and then empty relations), keeping the
+  // first-touch order of the survivors. Compaction is stable and in
+  // place, one column at a time.
+  for (Accum& a : accums_) {
+    RelationDelta& d = a.delta;
+    size_t keep = 0;
+    for (size_t r = 0; r < d.mults.size(); ++r) {
+      if (d.mults[r].IsZero()) continue;
+      if (keep != r) {
+        for (std::vector<Value>& col : d.columns) {
+          col[keep] = std::move(col[r]);
+        }
+        d.mults[keep] = d.mults[r];
+      }
+      ++keep;
     }
-    if (!delta.entries.empty()) out.deltas_.push_back(std::move(delta));
+    for (std::vector<Value>& col : d.columns) col.resize(keep);
+    d.mults.resize(keep);
+    if (keep != 0) out.deltas_.push_back(std::move(d));
   }
   relations_.clear();
-  entries_.clear();
+  accums_.clear();
   relation_slot_.clear();
-  entry_slot_.clear();
   pending_updates_ = 0;
   return out;
+}
+
+size_t BatchBuilder::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Accum& a : accums_) {
+    bytes += a.hashes.capacity() * sizeof(uint64_t);
+    bytes += a.slots.capacity() * sizeof(uint32_t);
+    bytes += a.delta.mults.capacity() * sizeof(Numeric);
+    for (const std::vector<Value>& col : a.delta.columns) {
+      bytes += col.capacity() * sizeof(Value);
+      for (const Value& v : col) {
+        if (v.kind() == Value::Kind::kString) bytes += v.AsString().size();
+      }
+    }
+  }
+  return bytes;
 }
 
 }  // namespace exec

@@ -1,5 +1,5 @@
 // Batched update execution: coalescing a sequence of single-tuple update
-// events into per-relation delta GMRs.
+// events into per-relation columnar delta GMRs.
 //
 // Koch's delta rule maintains views from the update event alone, and ring
 // addition makes a batch of events a first-class object: the net effect of
@@ -9,14 +9,23 @@
 // a sliding-window workload that inserts and deletes the same tuple within
 // a batch costs nothing at all, and m identical inserts fire a
 // multiplicity-linear trigger once (see compiler::Trigger) instead of m
-// times. Entries preserve per-relation first-touch order, so replaying a
+// times. Rows preserve per-relation first-touch order, so replaying a
 // batch is deterministic.
+//
+// The delta is stored column-major: one dense Value array per attribute
+// plus a contiguous multiplicity array. Columns are built directly during
+// coalescing (BatchBuilder appends each event's values to the column
+// tails), so there is no row-to-column transpose pass. Downstream loop
+// drivers (Executor::ApplyDeltaColumns, the native columnar-window entry
+// points) index the columns directly; call sites that still want a tuple
+// at a time use the RowView/Rows() adapter, which is a pair of pointers —
+// no materialization.
 
 #ifndef RINGDB_EXEC_BATCH_H_
 #define RINGDB_EXEC_BATCH_H_
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,20 +40,67 @@
 namespace ringdb {
 namespace exec {
 
-// One coalesced tuple delta: net multiplicity of the tuple in the batch.
-struct DeltaEntry {
-  std::vector<Value> values;
-  Numeric multiplicity = kZero;
-};
-
-// The delta GMR of one relation: all touched tuples with nonzero net
-// multiplicity, in first-touch order.
+// The delta GMR of one relation in columnar layout: all touched tuples
+// with nonzero net multiplicity, in first-touch order. Row r of the delta
+// is (columns[0][r], ..., columns[arity-1][r]) -> mults[r].
 struct RelationDelta {
   Symbol relation;
-  std::vector<DeltaEntry> entries;
+  std::vector<std::vector<Value>> columns;  // arity() dense columns
+  std::vector<Numeric> mults;               // one net multiplicity per row
 
-  // Sum of |multiplicity| over entries (tuple-units the delta stands for).
+  size_t size() const { return mults.size(); }
+  size_t arity() const { return columns.size(); }
+  bool empty() const { return mults.empty(); }
+
+  // Copies row r into out[0..arity), which must have room for arity()
+  // values. The row-gather used by fallback paths that need a contiguous
+  // tuple (legacy row representation, nonlinear triggers).
+  void GatherRow(size_t r, Value* out) const {
+    for (size_t c = 0; c < columns.size(); ++c) out[c] = columns[c][r];
+  }
+
+  // Sum of |multiplicity| over rows (tuple-units the delta stands for).
   uint64_t TupleUnits() const;
+
+  // Cheap per-tuple adapter over the columnar storage for call sites that
+  // read one row at a time (tests, printing). Holds a delta pointer and a
+  // row id; no values are copied.
+  class RowView {
+   public:
+    RowView(const RelationDelta* d, size_t row) : d_(d), row_(row) {}
+    size_t arity() const { return d_->columns.size(); }
+    const Value& operator[](size_t c) const { return d_->columns[c][row_]; }
+    const Numeric& multiplicity() const { return d_->mults[row_]; }
+    size_t row() const { return row_; }
+
+   private:
+    const RelationDelta* d_;
+    size_t row_;
+  };
+
+  class RowIterator {
+   public:
+    RowIterator(const RelationDelta* d, size_t row) : d_(d), row_(row) {}
+    RowView operator*() const { return RowView(d_, row_); }
+    RowIterator& operator++() {
+      ++row_;
+      return *this;
+    }
+    bool operator!=(const RowIterator& o) const { return row_ != o.row_; }
+
+   private:
+    const RelationDelta* d_;
+    size_t row_;
+  };
+
+  struct RowRange {
+    const RelationDelta* d;
+    RowIterator begin() const { return RowIterator(d, 0); }
+    RowIterator end() const { return RowIterator(d, d->size()); }
+  };
+  RowRange Rows() const { return RowRange{this}; }
+
+  RowView Row(size_t r) const { return RowView(this, r); }
 };
 
 // An immutable coalesced batch, produced by BatchBuilder::Build.
@@ -55,7 +111,7 @@ class UpdateBatch {
   const std::vector<RelationDelta>& deltas() const { return deltas_; }
   bool empty() const { return deltas_.empty(); }
 
-  // Number of coalesced (relation, tuple) entries across relations.
+  // Number of coalesced (relation, tuple) rows across relations.
   size_t EntryCount() const;
   // Number of input tuple-units the batch nets out to.
   uint64_t TupleUnits() const;
@@ -69,7 +125,10 @@ class UpdateBatch {
 
 // Accumulates update events and coalesces them into an UpdateBatch.
 // Validates each event against the catalog at Add time, so a built batch
-// is always well-formed.
+// is always well-formed. Coalescing is an open-addressing hash over row
+// ids (power-of-two table, linear probing): a repeated tuple folds its
+// multiplicity into the existing row, a fresh tuple appends one Value to
+// each column tail — the columnar delta is built in place.
 class BatchBuilder {
  public:
   explicit BatchBuilder(const ring::Catalog& catalog) : catalog_(&catalog) {}
@@ -90,37 +149,38 @@ class BatchBuilder {
   // Events accumulated since the last Build (tuple-units, pre-coalesce).
   uint64_t pending_updates() const { return pending_updates_; }
 
-  // Finalizes the batch: drops entries whose multiplicities cancelled to
+  // Finalizes the batch: drops rows whose multiplicities cancelled to
   // zero (preserving the order of the survivors) and resets the builder.
+  // The columnar buffers move out wholesale; the builder re-acquires
+  // capacity on the next Add.
   UpdateBatch Build();
 
+  // Bytes held by the coalescing buffers (columns, multiplicities, hash
+  // tables), including string payloads of buffered values. Feeds
+  // Engine::Stats::approx_bytes so pending-window memory is visible.
+  size_t ApproxBytes() const;
+
  private:
-  // The coalescing maps key on pointers into the accumulating entries
-  // (stored in deques for address stability), so each distinct tuple is
-  // stored exactly once.
-  struct ValuesPtrHash {
-    size_t operator()(const std::vector<Value>* vs) const noexcept {
-      size_t h = 0x8c62e9f7655b2ae1ULL;
-      for (const Value& v : *vs) h = HashCombine(h, v.Hash());
-      return h;
-    }
+  static constexpr uint32_t kEmptySlot = UINT32_MAX;
+
+  // Per-relation accumulator: the delta under construction plus the
+  // open-addressing row index (hashes cached per row so growth never
+  // rehashes values).
+  struct Accum {
+    RelationDelta delta;
+    std::vector<uint64_t> hashes;  // per-row tuple hash
+    std::vector<uint32_t> slots;   // power-of-two open addressing -> row id
   };
-  struct ValuesPtrEq {
-    bool operator()(const std::vector<Value>* a,
-                    const std::vector<Value>* b) const noexcept {
-      return *a == *b;
-    }
-  };
+
+  static uint64_t HashRow(const std::vector<Value>& values);
+  static void GrowSlots(Accum& a, size_t min_rows);
 
   const ring::Catalog* catalog_;
   uint64_t pending_updates_ = 0;
   // Parallel per-relation accumulators, in relation first-touch order.
   std::vector<Symbol> relations_;
-  std::vector<std::deque<DeltaEntry>> entries_;
+  std::vector<Accum> accums_;
   std::unordered_map<Symbol, size_t> relation_slot_;
-  std::vector<std::unordered_map<const std::vector<Value>*, DeltaEntry*,
-                                 ValuesPtrHash, ValuesPtrEq>>
-      entry_slot_;
 };
 
 }  // namespace exec

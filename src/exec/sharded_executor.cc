@@ -1,5 +1,7 @@
 #include "exec/sharded_executor.h"
 
+#include <algorithm>
+
 #include "compiler/lower.h"
 #include "util/check.h"
 
@@ -47,6 +49,8 @@ ShardedExecutor::ShardedExecutor(const compiler::TriggerProgram& program,
     }
   }
   shard_work_.resize(effective);
+  shard_work_used_.assign(effective, 0);
+  route_scratch_.resize(effective);
   shard_status_.assign(effective, Status::Ok());
   // Shard 0 always runs on the calling thread; workers serve shards 1..N.
   for (size_t i = 1; i < effective; ++i) {
@@ -66,23 +70,17 @@ ShardedExecutor::~ShardedExecutor() {
 void ShardedExecutor::RunShard(size_t shard_idx) {
   const uint64_t t0 = obs::NowNs();
   runtime::Executor& exec = *shards_[shard_idx];
-  const std::vector<RoutedEntry>& work = shard_work_[shard_idx];
   Status status = Status::Ok();
-  // Entries arrive grouped by relation (routing walks the batch relation
-  // by relation), so each contiguous run is one relation's delta GMR and
-  // goes through the statement-major grouped path.
-  std::vector<runtime::Executor::Delta> run;
-  size_t i = 0;
-  while (i < work.size() && status.ok()) {
-    size_t j = i;
-    run.clear();
-    while (j < work.size() && work[j].relation == work[i].relation) {
-      run.push_back(runtime::Executor::Delta{&work[j].entry->values,
-                                             work[j].entry->multiplicity});
-      ++j;
-    }
-    status = exec.ApplyDeltaBatch(work[i].relation, run);
-    i = j;
+  // Each slice is one relation's (sub-)delta in columnar form and goes
+  // through the statement-major columnar path; whole-delta slices pass
+  // the columns straight down with no row list at all.
+  const size_t used = shard_work_used_[shard_idx];
+  for (size_t i = 0; i < used && status.ok(); ++i) {
+    const ShardSlice& slice = shard_work_[shard_idx][i];
+    status = slice.all ? exec.ApplyDeltaColumns(*slice.delta)
+                       : exec.ApplyDeltaColumns(*slice.delta,
+                                                slice.rows.data(),
+                                                slice.rows.size());
   }
   shard_status_[shard_idx] = std::move(status);
   RINGDB_OBS(apply_ns_.Record(obs::NowNs() - t0));
@@ -111,17 +109,48 @@ void ShardedExecutor::WorkerLoop(size_t shard_idx) {
 Status ShardedExecutor::ApplyBatch(const UpdateBatch& batch) {
   if (batch.empty()) return Status::Ok();
   const size_t n = shards_.size();
-  for (std::vector<RoutedEntry>& work : shard_work_) work.clear();
-  for (const RelationDelta& delta : batch.deltas()) {
-    for (const DeltaEntry& entry : delta.entries) {
-      shard_work_[ShardOf(delta.relation, entry.values)].push_back(
-          RoutedEntry{delta.relation, &entry});
+  std::fill(shard_work_used_.begin(), shard_work_used_.end(), size_t{0});
+  if (n == 1) {
+    // Single shard: hand every delta over whole — no routing, no row
+    // lists, the columns flow through untouched.
+    for (const RelationDelta& delta : batch.deltas()) {
+      ShardSlice& slice = NextSlice(0);
+      slice.delta = &delta;
+      slice.all = true;
+    }
+  } else {
+    for (const RelationDelta& delta : batch.deltas()) {
+      // The routing column is per relation; resolve it once and hash only
+      // that column's values. Unroutable relations (absent from the
+      // scheme, or a malformed routing column) go whole to shard 0,
+      // matching PartitionScheme::ShardOf row semantics.
+      auto route = scheme_.route_column.find(delta.relation);
+      if (route == scheme_.route_column.end() ||
+          route->second >= delta.arity()) {
+        ShardSlice& slice = NextSlice(0);
+        slice.delta = &delta;
+        slice.all = true;
+        continue;
+      }
+      const std::vector<Value>& col = delta.columns[route->second];
+      std::fill(route_scratch_.begin(), route_scratch_.end(), nullptr);
+      for (uint32_t r = 0; r < delta.size(); ++r) {
+        const size_t s = col[r].Hash() % n;
+        if (route_scratch_[s] == nullptr) {
+          route_scratch_[s] = &NextSlice(s);
+          route_scratch_[s]->delta = &delta;
+        }
+        route_scratch_[s]->rows.push_back(r);
+      }
     }
   }
   for (size_t i = 0; i < n; ++i) {
-    if (!shard_work_[i].empty()) {
-      shards_[i]->ReserveForBatch(shard_work_[i].size());
+    size_t rows = 0;
+    for (size_t k = 0; k < shard_work_used_[i]; ++k) {
+      const ShardSlice& slice = shard_work_[i][k];
+      rows += slice.all ? slice.delta->size() : slice.rows.size();
     }
+    if (rows != 0) shards_[i]->ReserveForBatch(rows);
   }
   if (n == 1) {
     RunShard(0);
@@ -184,6 +213,13 @@ void ShardedExecutor::ResetStats() {
 size_t ShardedExecutor::ApproxBytes() const {
   size_t bytes = 0;
   for (const auto& shard : shards_) bytes += shard->ApproxBytes();
+  // Routing scratch: pooled slices and their row-id buffers.
+  for (const std::vector<ShardSlice>& pool : shard_work_) {
+    bytes += pool.capacity() * sizeof(ShardSlice);
+    for (const ShardSlice& slice : pool) {
+      bytes += slice.rows.capacity() * sizeof(uint32_t);
+    }
+  }
   return bytes;
 }
 

@@ -145,13 +145,28 @@ class ShardedExecutor {
   }
 
  private:
-  struct RoutedEntry {
-    Symbol relation;
-    const DeltaEntry* entry;
+  // One shard's slice of one relation's columnar delta: either the whole
+  // delta (all = true, the single-shard / unroutable fast path — no row
+  // list is built at all) or the listed row ids. Slices and their row
+  // vectors are pooled across batches (shard_work_used_ marks the live
+  // prefix), so steady-state routing allocates nothing.
+  struct ShardSlice {
+    const RelationDelta* delta = nullptr;
+    std::vector<uint32_t> rows;
+    bool all = false;
   };
 
   size_t ShardOf(Symbol relation, const std::vector<Value>& values) const {
     return scheme_.ShardOf(relation, values, shards_.size());
+  }
+
+  ShardSlice& NextSlice(size_t shard_idx) {
+    std::vector<ShardSlice>& pool = shard_work_[shard_idx];
+    if (shard_work_used_[shard_idx] == pool.size()) pool.emplace_back();
+    ShardSlice& slice = pool[shard_work_used_[shard_idx]++];
+    slice.rows.clear();
+    slice.all = false;
+    return slice;
   }
 
   void WorkerLoop(size_t shard_idx);
@@ -178,7 +193,9 @@ class ShardedExecutor {
   // Worker pool state: workers_[i] serves shard i + 1 (shard 0 runs on
   // the calling thread), guarded by mu_. A batch publishes shard_work_,
   // bumps generation_, and waits for pending_ to drain.
-  std::vector<std::vector<RoutedEntry>> shard_work_;
+  std::vector<std::vector<ShardSlice>> shard_work_;
+  std::vector<size_t> shard_work_used_;     // live slices per shard
+  std::vector<ShardSlice*> route_scratch_;  // per-delta open slice per shard
   std::vector<Status> shard_status_;
   std::mutex mu_;
   std::condition_variable work_cv_;

@@ -85,12 +85,17 @@ CompiledExecutor::CompiledExecutor(compiler::TriggerProgram program,
       Fns f;
       f.plain = fns.plain;
       f.grouped = fns.grouped;
+      f.col_plain = fns.col_plain;
+      f.col_grouped = fns.col_grouped;
       f.param_count = arity;
 #ifdef RINGDB_NO_METRICS
       // No clock to profile with: lock the emitter's static cost-model
-      // preference immediately (the pre-PR 6 behavior).
+      // preference immediately (the pre-PR 6 behavior). The window
+      // variants inherit the same per-variant verdict.
       f.plain_profile.mode = fns.prefer_native ? 1 : 0;
       f.grouped_profile.mode = fns.grouped_prefer_native ? 1 : 0;
+      f.plain_win_profile.mode = fns.prefer_native ? 1 : 0;
+      f.grouped_win_profile.mode = fns.grouped_prefer_native ? 1 : 0;
 #endif
       fns_.emplace(&lowered_->stmts[t][s], f);
     }
@@ -106,12 +111,20 @@ void CompiledExecutor::CollectDispatch(std::vector<StmtDispatch>* out) const {
     StmtDispatch& d = (*out)[sp->stmt_id];
     d.native_available = f.plain != nullptr;
     d.grouped_available = f.grouped != nullptr;
+    d.window_available = f.col_plain != nullptr;
     d.plain_mode = f.plain_profile.mode;
     d.grouped_mode = f.grouped != nullptr ? f.grouped_profile.mode : 0;
-    d.profile_native_ns =
-        f.plain_profile.native_ns + f.grouped_profile.native_ns;
-    d.profile_interp_ns =
-        f.plain_profile.interp_ns + f.grouped_profile.interp_ns;
+    d.win_plain_mode = f.plain_win_profile.mode;
+    d.win_grouped_mode =
+        f.col_grouped != nullptr ? f.grouped_win_profile.mode : 0;
+    d.profile_native_ns = f.plain_profile.native_ns +
+                          f.grouped_profile.native_ns +
+                          f.plain_win_profile.native_ns +
+                          f.grouped_win_profile.native_ns;
+    d.profile_interp_ns = f.plain_profile.interp_ns +
+                          f.grouped_profile.interp_ns +
+                          f.plain_win_profile.interp_ns +
+                          f.grouped_win_profile.interp_ns;
   }
 }
 
@@ -169,14 +182,121 @@ void CompiledExecutor::RunStatement(const lower::StmtProgram& sp,
   }
 }
 
-void CompiledExecutor::RunNative(RdbStmtFn fn, uint32_t param_count,
-                                 const lower::StmtProgram& sp,
-                                 const Value* params, Numeric scale) {
+const RdbHostApi& CompiledExecutor::HostApi() {
   static const RdbHostApi kApi = {
       RDB_ABI_VERSION, &CompiledExecutor::Probe, &CompiledExecutor::Foreach,
       &CompiledExecutor::ForeachMatching, &CompiledExecutor::Emit,
       &CompiledExecutor::Add, &CompiledExecutor::Fail,
+      &CompiledExecutor::AddSpan,
   };
+  return kApi;
+}
+
+void CompiledExecutor::RunStatementWindow(const lower::StmtProgram& sp,
+                                          const ColWindow& win,
+                                          const lower::RhsProgram& rhs) {
+  const auto it = fns_.find(&sp);
+  Fns* f = it != fns_.end() ? &it->second : nullptr;
+  const bool is_grouped = (&rhs != &sp.rhs);
+  const RdbColStmtFn fn =
+      f != nullptr ? (is_grouped ? f->col_grouped : f->col_plain) : nullptr;
+  if (fn == nullptr) {
+    // No window entry point (interpreter-only or emit-buffered
+    // statement): the base gather loop dispatches per firing through the
+    // profiled RunStatement seam above.
+    Executor::RunStatementWindow(sp, win, rhs);
+    return;
+  }
+  WindowProfile& prof =
+      is_grouped ? f->grouped_win_profile : f->plain_win_profile;
+  switch (prof.mode) {
+    case 1:  // locked native window
+      RunNativeWindow(fn, sp, win);
+      return;
+    case 0:  // locked per-firing path
+      Executor::RunStatementWindow(sp, win, rhs);
+      return;
+    default:
+      break;  // profiling
+  }
+  // Warmup: alternate whole windows between the native window call and
+  // the gathered per-firing path, then lock whichever measured cheaper
+  // *per row* — windows vary in width, so the comparison cross-multiplies
+  // ns by the other side's row units. Ties go native.
+  const bool run_native = prof.native_runs <= prof.interp_runs;
+  const uint64_t t0 = obs::NowNs();
+  if (run_native) {
+    RunNativeWindow(fn, sp, win);
+  } else {
+    Executor::RunStatementWindow(sp, win, rhs);
+  }
+  const uint64_t dt = obs::NowNs() - t0;
+  // Each side's first window is discarded from the totals (still counted
+  // as a run): it pays one-off costs — first mirror-column conversion,
+  // module page-in, cold view tables — that would otherwise decide the
+  // lock off one outlier sample.
+  if (run_native) {
+    if (prof.native_runs > 0) {
+      prof.native_ns += dt;
+      prof.native_units += win.n;
+    }
+    ++prof.native_runs;
+  } else {
+    if (prof.interp_runs > 0) {
+      prof.interp_ns += dt;
+      prof.interp_units += win.n;
+    }
+    ++prof.interp_runs;
+  }
+  if (prof.native_runs >= kWarmupRuns && prof.interp_runs >= kWarmupRuns) {
+    prof.mode = (prof.native_ns * prof.interp_units <=
+                 prof.interp_ns * prof.native_units)
+                    ? 1
+                    : 0;
+  }
+}
+
+void CompiledExecutor::RunNativeWindow(RdbColStmtFn fn,
+                                       const lower::StmtProgram& sp,
+                                       const ColWindow& win) {
+  RINGDB_OBS(cur_counters_ = &stmt_counters_[sp.stmt_id]);
+  RINGDB_OBS(cur_counters_->native_calls += win.n);
+  // Mirror the delta's columns into RdbVal arrays, converting each column
+  // at most once per delta (the epoch identifies the column arrays across
+  // every statement window cut from the same delta). Only the columns
+  // this statement reads are converted; the rest stay null.
+  if (win.epoch != mirror_epoch_) {
+    mirror_epoch_ = win.epoch;
+    mirror_cols_.resize(win.arity);
+    mirror_ptrs_.assign(win.arity, nullptr);
+  }
+  for (uint16_t c : sp.cols_read) {
+    if (mirror_ptrs_[c] != nullptr) continue;
+    std::vector<RdbVal>& col = mirror_cols_[c];
+    col.resize(win.col_len);
+    const std::vector<Value>& src = win.cols[c];
+    for (size_t i = 0; i < win.col_len; ++i) col[i] = ToRdbVal(src[i]);
+    mirror_ptrs_[c] = col.data();
+  }
+  win_scale_scratch_.resize(win.n);
+  for (size_t i = 0; i < win.n; ++i) {
+    win_scale_scratch_[i] = ToRdbNum(win.scales[i]);
+  }
+  RdbColWin w;
+  w.cols = mirror_ptrs_.data();
+  w.rows = win.rows;
+  w.scales = win_scale_scratch_.data();
+  w.n = static_cast<uint32_t>(win.n);
+  w.arity = win.arity;
+  depth_ = 0;
+  // Windows exist only for direct-add statements: every emission lands
+  // immediately through add/add_span, so there is nothing to flush.
+  fn(&HostApi(), this, &w);
+}
+
+void CompiledExecutor::RunNative(RdbStmtFn fn, uint32_t param_count,
+                                 const lower::StmtProgram& sp,
+                                 const Value* params, Numeric scale) {
   RINGDB_OBS(cur_counters_ = &stmt_counters_[sp.stmt_id]);
   RINGDB_OBS(++cur_counters_->native_calls);
   emission_keys_.clear();
@@ -186,7 +306,7 @@ void CompiledExecutor::RunNative(RdbStmtFn fn, uint32_t param_count,
     param_scratch_[i] = ToRdbVal(params[i]);
   }
   depth_ = 0;
-  fn(&kApi, this, param_scratch_.data(), ToRdbNum(scale));
+  fn(&HostApi(), this, param_scratch_.data(), ToRdbNum(scale));
   // Direct-add statements already applied everything (empty buffers);
   // self-loop statements flush here, exactly like the interpreter.
   FlushEmissions(sp, scale);
@@ -258,6 +378,44 @@ void CompiledExecutor::Add(void* ctx, int32_t view_id, const RdbVal* key,
                                                  ToNumeric(delta));
   ++self->stats_.entries_touched;
   ++self->stats_.arithmetic_ops;  // the += itself
+}
+
+void CompiledExecutor::AddSpan(void* ctx, int32_t view_id, const RdbVal* keys,
+                               const RdbNum* deltas, uint32_t count,
+                               uint32_t arity) {
+  auto* self = static_cast<CompiledExecutor*>(ctx);
+  RINGDB_OBS(self->cur_counters_->emissions += count);
+  // One Add's worth of accounting per spanned key, exactly like the
+  // element-wise Add trampoline (the chunking must not change counters).
+  std::vector<Value>& kb = self->span_keys_scratch_;
+  std::vector<Numeric>& vb = self->span_deltas_scratch_;
+  const size_t nk = static_cast<size_t>(count) * arity;
+  kb.resize(nk);
+  for (size_t i = 0; i < nk; ++i) kb[i] = ToValue(keys[i]);
+  vb.resize(count);
+  for (uint32_t i = 0; i < count; ++i) vb[i] = ToNumeric(deltas[i]);
+  self->views_[static_cast<size_t>(view_id)].AddSpan(kb.data(), vb.data(),
+                                                     count);
+  self->stats_.entries_touched += count;
+  self->stats_.arithmetic_ops += count;  // the += per spanned key
+}
+
+size_t CompiledExecutor::ApproxBytes() const {
+  size_t bytes = Executor::ApproxBytes();
+  // Native conversion scratch: param/entry marshalling plus the columnar
+  // window buffers (mirror columns, scale column, span buffers).
+  bytes += param_scratch_.capacity() * sizeof(RdbVal);
+  for (const std::vector<RdbVal>& v : entry_scratch_) {
+    bytes += v.capacity() * sizeof(RdbVal);
+  }
+  for (const std::vector<RdbVal>& v : mirror_cols_) {
+    bytes += v.capacity() * sizeof(RdbVal);
+  }
+  bytes += mirror_ptrs_.capacity() * sizeof(const RdbVal*);
+  bytes += win_scale_scratch_.capacity() * sizeof(RdbNum);
+  bytes += span_keys_scratch_.capacity() * sizeof(Value);
+  bytes += span_deltas_scratch_.capacity() * sizeof(Numeric);
+  return bytes;
 }
 
 void CompiledExecutor::Fail(void* ctx, const char* msg) {

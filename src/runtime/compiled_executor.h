@@ -74,10 +74,22 @@ class CompiledExecutor : public Executor {
 
   void CollectDispatch(std::vector<StmtDispatch>* out) const override;
 
+  // Executor::ApproxBytes plus the native conversion scratch this backend
+  // owns (mirror columns, span buffers, param/entry scratch).
+  size_t ApproxBytes() const override;
+
  protected:
   void RunStatement(const compiler::lower::StmtProgram& sp,
                     const Value* params, Numeric scale,
                     const compiler::lower::RhsProgram& rhs) override;
+  // Whole-window dispatch into the columnar native entry points
+  // (RdbColStmtFn). Profiled separately from the per-firing variants: the
+  // window path competes against the base gather loop (which itself lands
+  // in the profiled RunStatement above), so the measured alternative is
+  // "best per-firing backend", not just the interpreter.
+  void RunStatementWindow(const compiler::lower::StmtProgram& sp,
+                          const ColWindow& win,
+                          const compiler::lower::RhsProgram& rhs) override;
 
  private:
   // Profile-guided selection state for one rhs variant. Mode values
@@ -97,12 +109,32 @@ class CompiledExecutor : public Executor {
   // to steady-state throughput.
   static constexpr uint16_t kWarmupRuns = 12;
 
+  // Like VariantProfile, but for whole-window runs, whose cost scales
+  // with the window width: the lock normalizes by row units (ns x units
+  // cross-multiplication), so a wide native window and a narrow gathered
+  // one still compare per row.
+  struct WindowProfile {
+    uint8_t mode = 2;
+    uint16_t native_runs = 0;
+    uint16_t interp_runs = 0;
+    uint64_t native_ns = 0;
+    uint64_t interp_ns = 0;
+    uint64_t native_units = 0;
+    uint64_t interp_units = 0;
+  };
+
   struct Fns {
     RdbStmtFn plain = nullptr;
     RdbStmtFn grouped = nullptr;
+    // Columnar-window entry points; null for emit-buffered statements
+    // (windows are emitted only for direct-add statements).
+    RdbColStmtFn col_plain = nullptr;
+    RdbColStmtFn col_grouped = nullptr;
     uint32_t param_count = 0;  // trigger relation arity
     VariantProfile plain_profile;
     VariantProfile grouped_profile;
+    WindowProfile plain_win_profile;
+    WindowProfile grouped_win_profile;
   };
 
   // Dispatches into `fn` through the RdbHostApi trampolines (the native
@@ -110,6 +142,16 @@ class CompiledExecutor : public Executor {
   void RunNative(RdbStmtFn fn, uint32_t param_count,
                  const compiler::lower::StmtProgram& sp, const Value* params,
                  Numeric scale);
+  // The native half of RunStatementWindow: mirrors the window's columns
+  // into cached RdbVal arrays (once per delta epoch, shared by every
+  // statement window cut from it), converts the scales, and runs the
+  // whole window in one RdbColStmtFn call.
+  void RunNativeWindow(RdbColStmtFn fn, const compiler::lower::StmtProgram& sp,
+                       const ColWindow& win);
+
+  // The host-api table handed to every native call (function-local static
+  // so the private trampolines stay private).
+  static const RdbHostApi& HostApi();
 
   // RdbHostApi trampolines; ctx is the CompiledExecutor.
   static RdbNum Probe(void* ctx, int32_t view_id, const RdbVal* key,
@@ -121,6 +163,8 @@ class CompiledExecutor : public Executor {
   static void Emit(void* ctx, const RdbVal* key, uint32_t n, RdbNum value);
   static void Add(void* ctx, int32_t view_id, const RdbVal* key,
                   uint32_t n, RdbNum delta);
+  static void AddSpan(void* ctx, int32_t view_id, const RdbVal* keys,
+                      const RdbNum* deltas, uint32_t count, uint32_t arity);
   static void Fail(void* ctx, const char* msg);
 
   std::shared_ptr<const NativeModule> module_;
@@ -138,6 +182,20 @@ class CompiledExecutor : public Executor {
   Key probe_scratch_;
   Key add_scratch_;
   size_t depth_ = 0;
+
+  // Columnar-window conversion scratch. Mirror columns are keyed by the
+  // window's delta epoch: the first statement window cut from a delta
+  // converts the columns it reads (cols_read), later windows over the
+  // same delta reuse them — so conversion is once per (delta, column),
+  // not once per statement. Pointers for unconverted columns stay null
+  // (never dereferenced: window code only names cols_read).
+  uint64_t mirror_epoch_ = ~0ull;
+  std::vector<std::vector<RdbVal>> mirror_cols_;
+  std::vector<const RdbVal*> mirror_ptrs_;
+  std::vector<RdbNum> win_scale_scratch_;
+  // add_span trampoline conversion buffers (flattened keys + deltas).
+  std::vector<Value> span_keys_scratch_;
+  std::vector<Numeric> span_deltas_scratch_;
 };
 
 }  // namespace runtime

@@ -182,6 +182,14 @@ std::string Engine::StatsText() const {
       mode += "/";
       mode += ModeName(row.dispatch.grouped_mode);
     }
+    if (row.dispatch.window_available) {
+      mode += " w:";
+      mode += ModeName(row.dispatch.win_plain_mode);
+      if (row.dispatch.win_grouped_mode != row.dispatch.win_plain_mode) {
+        mode += "/";
+        mode += ModeName(row.dispatch.win_grouped_mode);
+      }
+    }
     if (!row.dispatch.native_available) mode = "interp-only";
     table.AddRow({row.label, std::to_string(c.invocations),
                   std::to_string(c.loop_iterations),
@@ -232,8 +240,14 @@ std::string Engine::StatsJson(int indent) const {
            ", \"interp_calls\": " + std::to_string(c.interp_calls) +
            ", \"native_available\": " +
            (row.dispatch.native_available ? "true" : "false") +
+           ", \"window_available\": " +
+           (row.dispatch.window_available ? "true" : "false") +
            ", \"plain_mode\": \"" + ModeName(row.dispatch.plain_mode) +
            "\", \"grouped_mode\": \"" + ModeName(row.dispatch.grouped_mode) +
+           "\", \"win_plain_mode\": \"" +
+           ModeName(row.dispatch.win_plain_mode) +
+           "\", \"win_grouped_mode\": \"" +
+           ModeName(row.dispatch.win_grouped_mode) +
            "\", \"profile_native_ns\": " +
            std::to_string(row.dispatch.profile_native_ns) +
            ", \"profile_interp_ns\": " +

@@ -1,9 +1,11 @@
 #include "runtime/interpreter.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "agca/eval.h"
 #include "util/check.h"
+#include "util/hash.h"
 
 namespace ringdb {
 namespace runtime {
@@ -63,6 +65,10 @@ Executor::Executor(compiler::TriggerProgram program)
   loop_key_scratch_.resize(lowered_->max_loop_depth);
   stmt_counters_.resize(std::max<uint32_t>(lowered_->num_statements, 1));
   cur_counters_ = stmt_counters_.data();
+  // Representation toggle for differential testing: force the legacy
+  // row-at-a-time batch path even when the caller hands us columns.
+  const char* force_row = std::getenv("RINGDB_FORCE_ROW");
+  force_row_ = force_row != nullptr && force_row[0] == '1';
 }
 
 Status Executor::ApplyDelta(Symbol relation, const std::vector<Value>& values,
@@ -172,6 +178,201 @@ Status Executor::ApplyDeltaBatch(Symbol relation,
   return Status::Ok();
 }
 
+Status Executor::ApplyDeltaColumns(const exec::RelationDelta& delta,
+                                   const uint32_t* rows, size_t n) {
+  if (rows == nullptr) n = delta.size();
+  if (n == 0) return Status::Ok();
+  if (!program_.catalog.Has(delta.relation)) {
+    return Status::NotFound("unknown relation " + delta.relation.str());
+  }
+  if (program_.catalog.Arity(delta.relation) != delta.arity()) {
+    return Status::InvalidArgument("arity mismatch in batch delta of " +
+                                   delta.relation.str());
+  }
+  if (force_row_) return ApplyDeltaRowFallback(delta, rows, n);
+  ++col_epoch_;
+  // Split by sign (insert trigger for net-positive rows, delete trigger
+  // for net-negative); each sign group runs as one sequential block, so
+  // cross-relation read dependencies see a consistent prefix. Mirrors
+  // ApplyDeltaBatch exactly, over row ids instead of entry copies.
+  sign_rows_[0].clear();
+  sign_rows_[1].clear();
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = rows != nullptr ? rows[i] : static_cast<uint32_t>(i);
+    const Numeric& m = delta.mults[r];
+    if (m.IsZero()) continue;
+    RINGDB_CHECK(m.is_integer());
+    sign_rows_[m.AsInt() > 0 ? 0 : 1].push_back(r);
+  }
+  for (int s = 0; s < 2; ++s) {
+    const std::vector<uint32_t>& group = sign_rows_[s];
+    if (group.empty()) continue;
+    const ring::Update::Sign sign = s == 0 ? ring::Update::Sign::kInsert
+                                           : ring::Update::Sign::kDelete;
+    const int t = FindTrigger(delta.relation, sign);
+    const bool linear =
+        t >= 0 &&
+        program_.triggers[static_cast<size_t>(t)].multiplicity_linear &&
+        group.size() > 1;
+    if (linear) {
+      for (const uint32_t r : group) {
+        const int64_t m = delta.mults[r].AsInt();
+        stats_.updates += static_cast<uint64_t>(m > 0 ? m : -m);
+        ++stats_.delta_entries;
+        if (m > 1 || m < -1) ++stats_.scaled_firings;
+      }
+      RunLinearTriggerBatchColumnar(static_cast<size_t>(t), delta,
+                                    group.data(), group.size());
+      if (has_lazy_views_) {
+        base_db_.Reserve(delta.relation, group.size());
+        row_gather_.resize(delta.arity());
+        for (const uint32_t r : group) {
+          delta.GatherRow(r, row_gather_.data());
+          base_db_.AddTuple(delta.relation, row_gather_, delta.mults[r]);
+        }
+      }
+    } else {
+      row_gather_.resize(delta.arity());
+      for (const uint32_t r : group) {
+        delta.GatherRow(r, row_gather_.data());
+        ApplyDeltaUnchecked(delta.relation, row_gather_, delta.mults[r]);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Executor::ApplyDeltaRowFallback(const exec::RelationDelta& delta,
+                                       const uint32_t* rows, size_t n) {
+  row_values_scratch_.resize(n);
+  row_deltas_scratch_.clear();
+  row_deltas_scratch_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = rows != nullptr ? rows[i] : static_cast<uint32_t>(i);
+    std::vector<Value>& values = row_values_scratch_[i];
+    values.resize(delta.arity());
+    delta.GatherRow(r, values.data());
+    row_deltas_scratch_.push_back(Delta{&values, delta.mults[r]});
+  }
+  return ApplyDeltaBatch(delta.relation, row_deltas_scratch_);
+}
+
+void Executor::RunLinearTriggerBatchColumnar(size_t trigger_idx,
+                                             const exec::RelationDelta& delta,
+                                             const uint32_t* rows, size_t n) {
+  // Statement-major, like RunLinearTriggerBatch; the grouping decisions
+  // and every semantic counter are identical to the row path — only the
+  // execution mechanics (column indexing, window dispatch) differ.
+  const std::vector<Value>* cols = delta.columns.data();
+  const uint32_t arity = static_cast<uint32_t>(delta.arity());
+  for (const lower::StmtProgram& sp : lowered_->stmts[trigger_idx]) {
+    if (!sp.groupable) {
+      win_rows_.assign(rows, rows + n);
+      win_scales_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        const int64_t m = delta.mults[rows[i]].AsInt();
+        win_scales_[i] = Numeric(m > 0 ? m : -m);
+      }
+      stats_.statements_run += n;
+      RINGDB_OBS(stmt_counters_[sp.stmt_id].invocations += n);
+      const ColWindow win{cols,  win_rows_.data(), win_scales_.data(),
+                          n,     arity,            delta.size(),
+                          col_epoch_};
+      RunStatementWindow(sp, win, sp.rhs);
+      continue;
+    }
+    // Accumulate one coefficient per distinct shape projection:
+    // sum over rows of |multiplicity| * product(foldable params). The
+    // open-addressing table keys on the shape columns in place.
+    rep_rows_.clear();
+    rep_coeffs_.clear();
+    rep_hashes_.clear();
+    size_t cap = group_slots_.empty() ? 16 : group_slots_.size();
+    while (n * 4 > cap * 3) cap *= 2;
+    group_slots_.assign(cap, UINT32_MAX);
+    const size_t mask = cap - 1;
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t r = rows[i];
+      uint64_t h = 0x51c9a7f0d3b86e25ULL;
+      for (uint16_t p : sp.shape_params) {
+        h = HashCombine(h, cols[p][r].Hash());
+      }
+      const int64_t m = delta.mults[r].AsInt();
+      Numeric coeff(m > 0 ? m : -m);
+      for (uint16_t p : sp.foldable_params) {
+        auto num = cols[p][r].ToNumeric();
+        RINGDB_CHECK(num.ok());
+        coeff *= *num;
+        ++stats_.arithmetic_ops;
+      }
+      size_t slot = h & mask;
+      bool merged = false;
+      while (group_slots_[slot] != UINT32_MAX) {
+        const uint32_t g = group_slots_[slot];
+        if (rep_hashes_[g] == h) {
+          bool eq = true;
+          for (uint16_t p : sp.shape_params) {
+            if (!(cols[p][rep_rows_[g]] == cols[p][r])) {
+              eq = false;
+              break;
+            }
+          }
+          if (eq) {
+            rep_coeffs_[g] += coeff;
+            ++stats_.arithmetic_ops;
+            merged = true;
+            break;
+          }
+        }
+        slot = (slot + 1) & mask;
+      }
+      if (!merged) {
+        group_slots_[slot] = static_cast<uint32_t>(rep_rows_.size());
+        rep_rows_.push_back(r);
+        rep_coeffs_.push_back(coeff);
+        rep_hashes_.push_back(h);
+      }
+    }
+    // Fire the survivors in first-touch order, like the row path's
+    // reps_scratch_ walk (zero coefficients are skipped uncounted).
+    win_rows_.clear();
+    win_scales_.clear();
+    for (size_t g = 0; g < rep_rows_.size(); ++g) {
+      if (rep_coeffs_[g].IsZero()) continue;
+      win_rows_.push_back(rep_rows_[g]);
+      win_scales_.push_back(rep_coeffs_[g]);
+    }
+    if (win_rows_.empty()) continue;
+    stats_.statements_run += win_rows_.size();
+    RINGDB_OBS(stmt_counters_[sp.stmt_id].invocations += win_rows_.size());
+    const ColWindow win{cols,
+                        win_rows_.data(),
+                        win_scales_.data(),
+                        win_rows_.size(),
+                        arity,
+                        delta.size(),
+                        col_epoch_};
+    RunStatementWindow(sp, win, sp.grouped_rhs);
+  }
+}
+
+void Executor::RunStatementWindow(const lower::StmtProgram& sp,
+                                  const ColWindow& win,
+                                  const lower::RhsProgram& rhs) {
+  // Base implementation: gather each row's params and run the per-firing
+  // seam, so an interpreter-only executor (and any subclass that lacks a
+  // native window variant) executes windows row by row with unchanged
+  // semantics and counters.
+  param_gather_.resize(win.arity);
+  for (size_t i = 0; i < win.n; ++i) {
+    const uint32_t r = win.rows[i];
+    for (uint32_t c = 0; c < win.arity; ++c) {
+      param_gather_[c] = win.cols[c][r];
+    }
+    RunStatement(sp, param_gather_.data(), win.scales[i], rhs);
+  }
+}
+
 void Executor::RunLinearTriggerBatch(size_t trigger_idx,
                                      const std::vector<Delta>& deltas) {
   // Statement-major: linearity guarantees no statement reads anything
@@ -251,27 +452,34 @@ void Executor::RunStatement(const lower::StmtProgram& sp, const Value* params,
 }
 
 void Executor::FlushEmissions(const lower::StmtProgram& sp, Numeric scale) {
+  const size_t count = emission_values_.size();
+  if (count == 0) return;
   const bool scaled = !scale.IsOne();
   const size_t arity = sp.target_key.size;
   ViewTable& target = views_[static_cast<size_t>(sp.target_view)];
-  for (size_t i = 0; i < emission_values_.size(); ++i) {
-    Numeric delta = emission_values_[i];
-    if (scaled) {
-      delta *= scale;
-      ++stats_.arithmetic_ops;
-    }
-    const Value* key = emission_keys_.data() + i * arity;
-    if (sp.target_lazy) {
+  if (scaled) {
+    for (size_t i = 0; i < count; ++i) emission_values_[i] *= scale;
+    stats_.arithmetic_ops += count;
+  }
+  if (sp.target_lazy) {
+    // Lazy targets interleave slice initialization with each emission, so
+    // they stay element-wise.
+    for (size_t i = 0; i < count; ++i) {
+      const Value* key = emission_keys_.data() + i * arity;
       slice_scratch_.resize(sp.target_slice_positions.size());
       for (size_t j = 0; j < sp.target_slice_positions.size(); ++j) {
         slice_scratch_[j] = key[sp.target_slice_positions[j]];
       }
       EnsureSlice(sp.target_view, slice_scratch_);
+      target.Add(key, arity, emission_values_[i]);
     }
-    target.Add(key, arity, delta);
-    ++stats_.entries_touched;
-    ++stats_.arithmetic_ops;  // the += itself
+  } else {
+    // The emission buffer is already a column span (flattened keys +
+    // parallel deltas); apply it through the batched Add.
+    target.AddSpan(emission_keys_.data(), emission_values_.data(), count);
   }
+  stats_.entries_touched += count;
+  stats_.arithmetic_ops += count;  // the += itself
 }
 
 bool Executor::BindLoop(const lower::LoopProgram& lp, const Value* key) {
@@ -490,6 +698,22 @@ void Executor::InitializeLazySlice(int view_id, const Key& slice_key) {
 size_t Executor::ApproxBytes() const {
   size_t bytes = 0;
   for (const ViewTable& v : views_) bytes += v.ApproxBytes();
+  // Columnar window scratch: sign/row/scale buffers plus the grouped-path
+  // open-addressing table (the per-Value payloads are trigger params, all
+  // inline kinds in practice, so capacities suffice).
+  bytes += (sign_rows_[0].capacity() + sign_rows_[1].capacity() +
+            group_slots_.capacity() + rep_rows_.capacity() +
+            win_rows_.capacity()) *
+           sizeof(uint32_t);
+  bytes += (rep_coeffs_.capacity() + win_scales_.capacity()) *
+           sizeof(Numeric);
+  bytes += rep_hashes_.capacity() * sizeof(uint64_t);
+  bytes += (param_gather_.capacity() + row_gather_.capacity()) *
+           sizeof(Value);
+  for (const std::vector<Value>& row : row_values_scratch_) {
+    bytes += row.capacity() * sizeof(Value);
+  }
+  bytes += row_deltas_scratch_.capacity() * sizeof(Delta);
   return bytes;
 }
 

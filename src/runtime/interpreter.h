@@ -32,6 +32,7 @@
 
 #include "compiler/ir.h"
 #include "compiler/lower.h"
+#include "exec/batch.h"
 #include "obs/metrics.h"
 #include "ring/database.h"
 #include "runtime/view_table.h"
@@ -47,9 +48,15 @@ class Executor {
     uint64_t updates = 0;           // input tuple-units (|multiplicity|)
     uint64_t statements_run = 0;
     uint64_t entries_touched = 0;   // view entries incremented
-    uint64_t arithmetic_ops = 0;    // +, *, comparisons in rhs evaluation
-                                    // (interpreted statements only; native
+    uint64_t arithmetic_ops = 0;    // +, *, comparisons in rhs evaluation.
+                                    // Instrumentation, not a contract: it
+                                    // counts arithmetic actually performed,
+                                    // which differs across backends (native
                                     // statements do not instrument rhs ops)
+                                    // and across representations (the
+                                    // columnar window path folds per-row
+                                    // scales where the per-tuple path
+                                    // re-evaluates per firing).
     uint64_t init_evaluations = 0;  // lazy first-touch initializations
     uint64_t delta_entries = 0;     // coalesced delta-GMR entries applied
     uint64_t scaled_firings = 0;    // linear triggers fired once for m > 1
@@ -77,10 +84,15 @@ class Executor {
   struct StmtDispatch {
     bool native_available = false;    // plain variant has a native fn
     bool grouped_available = false;   // grouped variant has a native fn
+    bool window_available = false;    // columnar-window entry point exists
     // Locked execution mode: 0 = interpreter, 1 = native, 2 = profiling
     // (warmup alternation still measuring).
     uint8_t plain_mode = 0;
     uint8_t grouped_mode = 0;
+    // Same, for the whole-window dispatch (native columnar call vs the
+    // gathered per-firing path); meaningless unless window_available.
+    uint8_t win_plain_mode = 0;
+    uint8_t win_grouped_mode = 0;
     uint64_t profile_native_ns = 0;   // warmup wall time, native runs
     uint64_t profile_interp_ns = 0;   // warmup wall time, interpreted runs
   };
@@ -127,6 +139,39 @@ class Executor {
   // cannot change what they observe.
   Status ApplyDeltaBatch(Symbol relation, const std::vector<Delta>& deltas);
 
+  // A columnar execution window: `n` firings of one statement, row i
+  // reading its trigger params from cols[c][rows[i]] and scaling its
+  // emissions by scales[i]. `cols` points at the arity dense columns of a
+  // RelationDelta; `rows` selects and orders the firings (never null);
+  // col_len is the full column length and `epoch` identifies the column
+  // arrays across windows cut from the same delta, so backends can cache
+  // per-delta derived state (the native mirror columns) and convert each
+  // column once per batch rather than once per statement window.
+  struct ColWindow {
+    const std::vector<Value>* cols;
+    const uint32_t* rows;
+    const Numeric* scales;
+    size_t n = 0;
+    uint32_t arity = 0;
+    size_t col_len = 0;
+    uint64_t epoch = 0;
+  };
+
+  // Applies a columnar relation delta (or the subset selected by `rows`,
+  // when non-null) with the same net semantics and operation counts as
+  // routing each row through ApplyDeltaBatch. This is the batch fast
+  // path: sign groups become ColWindows driven statement-major straight
+  // off the column arrays — no per-row Value vectors, no KeyView callback
+  // binding. Setting RINGDB_FORCE_ROW=1 in the environment (sampled at
+  // construction) re-materializes rows and runs the legacy row
+  // representation instead; the differential tests use that to pin
+  // row/columnar equivalence.
+  Status ApplyDeltaColumns(const exec::RelationDelta& delta,
+                           const uint32_t* rows, size_t n);
+  Status ApplyDeltaColumns(const exec::RelationDelta& delta) {
+    return ApplyDeltaColumns(delta, nullptr, 0);
+  }
+
   // Pre-sizes every view's entry table for `additional` more entries (the
   // batch path passes the delta-GMR entry count as the hint).
   void ReserveForBatch(size_t additional);
@@ -155,8 +200,10 @@ class Executor {
     std::fill(stmt_counters_.begin(), stmt_counters_.end(), StmtCounters{});
   }
 
-  // Total heap footprint of all views (experiment E3).
-  size_t ApproxBytes() const;
+  // Total heap footprint of all views plus executor-side batch scratch
+  // (experiment E3). Virtual so the compiled backend can add its native
+  // conversion buffers (mirror columns, span scratch) to the gauge.
+  virtual size_t ApproxBytes() const;
 
  protected:
   // Runs one statement with the given rhs program (sp.rhs normally,
@@ -167,6 +214,16 @@ class Executor {
   virtual void RunStatement(const compiler::lower::StmtProgram& sp,
                             const Value* params, Numeric scale,
                             const compiler::lower::RhsProgram& rhs);
+  // Runs one statement over a whole columnar window. The base
+  // implementation gathers each row's params into a scratch buffer and
+  // delegates to the virtual RunStatement, so subclasses that only
+  // override the per-firing seam still execute windows correctly; the
+  // compiled backend overrides this to dispatch whole windows into the
+  // native columnar entry points. Callers have already accounted
+  // statements_run/invocations for all n firings.
+  virtual void RunStatementWindow(const compiler::lower::StmtProgram& sp,
+                                  const ColWindow& win,
+                                  const compiler::lower::RhsProgram& rhs);
   // Applies the buffered emissions of the statement just run, scaled by
   // `scale` (shared epilogue of the interpreted and native paths).
   void FlushEmissions(const compiler::lower::StmtProgram& sp, Numeric scale);
@@ -226,6 +283,17 @@ class Executor {
   // delta entries (see ApplyDeltaBatch).
   void RunLinearTriggerBatch(size_t trigger_idx,
                              const std::vector<Delta>& deltas);
+  // Columnar twin of RunLinearTriggerBatch: same grouping decisions and
+  // operation counts, but shape keys hash straight out of the columns
+  // (no Key materialization) and statements fire through
+  // RunStatementWindow. `rows` lists same-sign row ids of `delta`.
+  void RunLinearTriggerBatchColumnar(size_t trigger_idx,
+                                     const exec::RelationDelta& delta,
+                                     const uint32_t* rows, size_t n);
+  // ApplyDeltaColumns under RINGDB_FORCE_ROW=1: gathers the selected rows
+  // back into per-row Value vectors and replays the legacy row path.
+  Status ApplyDeltaRowFallback(const exec::RelationDelta& delta,
+                               const uint32_t* rows, size_t n);
   void RunLoops(const compiler::lower::StmtProgram& sp, size_t loop_index,
                 const Value* params, const compiler::lower::RhsProgram& rhs);
   // Applies a loop's binds/filters from the enumerated key (or slice
@@ -299,6 +367,26 @@ class Executor {
   Key shape_scratch_;
   std::unordered_map<Key, size_t, KeyHash> groups_scratch_;
   std::vector<std::pair<const std::vector<Value>*, Numeric>> reps_scratch_;
+
+  // Columnar batch scratch (ApplyDeltaColumns /
+  // RunLinearTriggerBatchColumnar); counted by ApproxBytes. The grouped
+  // path open-addresses representative rows directly: group_slots_ maps
+  // hash -> rep index, reps keep (row id, accumulated coefficient, hash)
+  // in first-touch order — no shape Key is ever materialized.
+  bool force_row_ = false;          // RINGDB_FORCE_ROW=1 at construction
+  uint64_t col_epoch_ = 0;          // bumped once per columnar delta
+  std::vector<uint32_t> sign_rows_[2];
+  std::vector<uint32_t> group_slots_;
+  std::vector<uint32_t> rep_rows_;
+  std::vector<Numeric> rep_coeffs_;
+  std::vector<uint64_t> rep_hashes_;
+  std::vector<uint32_t> win_rows_;     // rows of the window being fired
+  std::vector<Numeric> win_scales_;    // parallel per-firing scales
+  std::vector<Value> param_gather_;    // RunStatementWindow base impl
+  std::vector<Value> row_gather_;      // single-row gathers (lazy, fallback)
+  // RINGDB_FORCE_ROW re-materialization buffers.
+  std::vector<std::vector<Value>> row_values_scratch_;
+  std::vector<Delta> row_deltas_scratch_;
 };
 
 }  // namespace runtime

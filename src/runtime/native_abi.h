@@ -32,7 +32,10 @@ namespace runtime {
 extern "C" {
 
 // Bumped whenever a struct layout or host-api slot changes.
-enum : uint32_t { RDB_ABI_VERSION = 2 };
+// v3: columnar windows — RdbColWin, the RdbColStmtFn entry-point shape,
+// and the add_span host slot (appended, so the v2 prefix is unchanged;
+// the bump still retires stale cached modules).
+enum : uint32_t { RDB_ABI_VERSION = 3 };
 
 // A flattened Value: kind 0 = int64 (payload i), 1 = double (payload d),
 // 2 = string (payload s/slen, NOT NUL-terminated, borrowed).
@@ -83,7 +86,28 @@ typedef struct RdbHostApi {
               RdbNum delta);
   // Aborts with a diagnostic (the RINGDB_CHECK analogue; never returns).
   void (*fail)(void* ctx, const char* msg);
+  // Batched immediate emission: view[keys + j*arity .. +arity) += deltas[j]
+  // for j in [0, count). The columnar-window analogue of add(): window
+  // variants accumulate chunks of scaled (key, delta) pairs locally and
+  // flush them through one host call, which hashes all keys up front
+  // (ViewTable::AddSpan). Zero deltas are skipped by the host. Same
+  // direct-emission soundness requirement as add().
+  void (*add_span)(void* ctx, int32_t view_id, const RdbVal* keys,
+                   const RdbNum* deltas, uint32_t count, uint32_t arity);
 } RdbHostApi;
+
+// A columnar execution window: n statement firings reading row ids out of
+// dense per-attribute columns. cols[c] points at the full mirrored column
+// of the relation delta (host-converted RdbVal arrays, shared across every
+// statement window cut from the same delta); firing j reads its params as
+// cols[c][rows[j]] and scales its emissions by scales[j].
+typedef struct RdbColWin {
+  const RdbVal* const* cols;
+  const uint32_t* rows;
+  const RdbNum* scales;
+  uint32_t n;
+  uint32_t arity;
+} RdbColWin;
 
 // One lowered statement compiled to native code. `params` holds the
 // update's values (the trigger relation's arity of them); `scale` is the
@@ -93,6 +117,15 @@ typedef struct RdbHostApi {
 // applies it when flushing); direct-add statements fold it in.
 typedef void (*RdbStmtFn)(const RdbHostApi* api, void* ctx,
                           const RdbVal* params, RdbNum scale);
+
+// The columnar-window entry point of one statement (`<fn>_w`, and `_gw`
+// for the grouped rhs): runs the whole window's firings in one native
+// call, indexing columns directly — no per-firing host dispatch. The
+// per-firing scale is already folded in by the emitting code (windows are
+// only emitted for direct-add statements, so there is no host-side flush
+// to apply it).
+typedef void (*RdbColStmtFn)(const RdbHostApi* api, void* ctx,
+                             const RdbColWin* win);
 
 }  // extern "C"
 

@@ -223,6 +223,25 @@ StatusOr<std::shared_ptr<const NativeModule>> NativeModule::Build(
                                   cs.grouped_fn);
         }
       }
+      if (!cs.win_fn.empty()) {
+        fns.col_plain = reinterpret_cast<RdbColStmtFn>(
+            ::dlsym(handle, cs.win_fn.c_str()));
+        if (fns.col_plain == nullptr) {
+          return Status::Internal("missing native symbol " + cs.win_fn);
+        }
+      }
+      if (!cs.grouped_win_fn.empty()) {
+        if (cs.grouped_win_fn == cs.win_fn) {
+          fns.col_grouped = fns.col_plain;
+        } else {
+          fns.col_grouped = reinterpret_cast<RdbColStmtFn>(
+              ::dlsym(handle, cs.grouped_win_fn.c_str()));
+          if (fns.col_grouped == nullptr) {
+            return Status::Internal("missing native symbol " +
+                                    cs.grouped_win_fn);
+          }
+        }
+      }
       fns.prefer_native = cs.prefer_native;
       fns.grouped_prefer_native = cs.grouped_prefer_native;
       module->fns_[t][s] = fns;

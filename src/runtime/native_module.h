@@ -49,6 +49,11 @@ class NativeModule {
   struct StmtFns {
     RdbStmtFn plain = nullptr;
     RdbStmtFn grouped = nullptr;
+    // Columnar-window entry points (null for non-direct-add statements,
+    // which keep per-firing dispatch). col_grouped aliases col_plain when
+    // the grouped rhs folds nothing, mirroring grouped_fn == fn.
+    RdbColStmtFn col_plain = nullptr;
+    RdbColStmtFn col_grouped = nullptr;
     bool prefer_native = true;
     bool grouped_prefer_native = true;
   };

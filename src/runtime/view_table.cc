@@ -77,8 +77,11 @@ void ViewTable::Add(const Value* key, size_t n, Numeric delta) {
   RINGDB_CHECK_EQ(n, arity_);
   if (delta.IsZero()) return;
   if (iter_depth_ == 0 && !pending_erases_.empty()) ApplyPendingErases();
-  const uint64_t hash = HashValues(key, n);
-  const uint32_t id = FindEntryHashed(key, n, hash);
+  AddHashed(key, HashValues(key, n), delta);
+}
+
+void ViewTable::AddHashed(const Value* key, uint64_t hash, Numeric delta) {
+  const uint32_t id = FindEntryHashed(key, arity_, hash);
   if (id == kNoEntry) {
     AppendEntry(key, hash, delta);
     return;
@@ -92,6 +95,32 @@ void ViewTable::Add(const Value* key, size_t n, Numeric delta) {
     return;
   }
   if (e.value.IsZero() && !keep_zeros_) EraseEntry(id);
+}
+
+void ViewTable::AddSpan(const Value* keys, const Numeric* deltas,
+                        size_t count) {
+  if (count == 0) return;
+  // One pending-erase sweep for the whole span: when no iteration is in
+  // flight, per-element Adds cannot re-defer (EraseEntry applies
+  // immediately), so hoisting the sweep is observationally identical to
+  // calling Add in a loop. Under an active iteration the sweep is skipped
+  // exactly like Add skips it.
+  if (iter_depth_ == 0 && !pending_erases_.empty()) ApplyPendingErases();
+  span_hash_scratch_.resize(count);
+  // Hash pass first: computing all key hashes up front lets the probe
+  // pass start from a warm slot line (the prefetch below) instead of
+  // alternating hash arithmetic with dependent cache misses. Slot growth
+  // mid-span only staleness-es the *hint*; the probe recomputes masks.
+  const size_t mask = slots_.empty() ? 0 : slots_.size() - 1;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t h = HashValues(keys + i * arity_, arity_);
+    span_hash_scratch_[i] = h;
+    if (mask != 0) __builtin_prefetch(&slots_[h & mask]);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (deltas[i].IsZero()) continue;
+    AddHashed(keys + i * arity_, span_hash_scratch_[i], deltas[i]);
+  }
 }
 
 void ViewTable::EnsureEntry(const Key& key, Numeric value) {
@@ -113,10 +142,20 @@ void ViewTable::EnsureEntry(const Key& key, Numeric value) {
 
 void ViewTable::Reserve(size_t n) {
   if (iter_depth_ == 0 && !pending_erases_.empty()) ApplyPendingErases();
-  entries_.reserve(n);
-  if (!inline_keys()) arena_.reserve(n * arity_);
+  // reserve() allocates *exactly* n, so a caller that reserves a little
+  // more every window (the batch path's size + delta hint) would move
+  // the whole entry table once per window. Grow geometrically instead,
+  // and only when capacity is actually short.
+  if (entries_.capacity() < n) {
+    entries_.reserve(std::max(n, entries_.capacity() * 2));
+  }
+  if (!inline_keys() && arena_.capacity() < n * arity_) {
+    arena_.reserve(std::max(n * arity_, arena_.capacity() * 2));
+  }
   GrowSlots(n);
-  for (Index& index : indexes_) index.rows.reserve(n);
+  // Index rows are keyed by distinct subkey, typically far fewer than n;
+  // they grow amortized on insert — pre-reserving n buckets per window
+  // was a rehash per window for no locality gain.
 }
 
 int ViewTable::EnsureIndex(std::vector<size_t> positions) {
@@ -317,6 +356,7 @@ size_t ViewTable::ApproxBytes() const {
                  arena_.capacity() * sizeof(Value) +
                  (free_blocks_.capacity() + pending_erases_.capacity()) *
                      sizeof(uint32_t) +
+                 span_hash_scratch_.capacity() * sizeof(uint64_t) +
                  string_bytes_ + index_row_bytes_;
   // Bucket arrays rehash behind the map's back, so they are queried at
   // read time instead of tracked (O(#indexes), still no entry walk).
@@ -335,7 +375,8 @@ size_t ViewTable::ApproxBytesSlow() const {
                  entries_.capacity() * sizeof(Entry) +
                  arena_.capacity() * sizeof(Value) +
                  (free_blocks_.capacity() + pending_erases_.capacity()) *
-                     sizeof(uint32_t);
+                     sizeof(uint32_t) +
+                 span_hash_scratch_.capacity() * sizeof(uint64_t);
   // Heap payloads behind string key values (SSO strings cost nothing).
   for (const Entry& e : entries_) {
     bytes += StringHeapBytes(EntryKey(e), arity_);

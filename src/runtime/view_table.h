@@ -128,6 +128,15 @@ class ViewTable {
   }
   void Add(const Value* key, size_t n, Numeric delta);
 
+  // Batched Add over a column span: `keys` holds `count` keys flattened
+  // into arity-sized chunks (the layout of the interpreter's emission
+  // buffer and of a columnar window's gathered target keys), `deltas`
+  // one Numeric per key. Semantically identical to calling Add per
+  // element in order; the batch hoists the pending-erase sweep out of
+  // the loop, hashes all keys up front into a reused scratch column, and
+  // prefetches each key's slot-table cache line before probing it.
+  void AddSpan(const Value* keys, const Numeric* deltas, size_t count);
+
   // Inserts an entry with the given value (even zero) if absent; used to
   // mark a lazily initialized key. No-op when the key exists.
   void EnsureEntry(const Key& key, Numeric value);
@@ -239,6 +248,10 @@ class ViewTable {
   uint32_t FindEntry(const Value* key, size_t n) const;
   uint32_t FindEntryHashed(const Value* key, size_t n, uint64_t hash) const;
 
+  // Add with the key's hash already computed (the AddSpan batch path);
+  // does not sweep pending erases — the caller has.
+  void AddHashed(const Value* key, uint64_t hash, Numeric delta);
+
   // Clears entry `id`'s deferred erase (it counts as live again).
   void Unpend(uint32_t id);
 
@@ -275,6 +288,11 @@ class ViewTable {
   std::vector<uint32_t> free_blocks_;
   std::vector<uint32_t> pending_erases_;
   std::vector<Index> indexes_;
+  // AddSpan's per-batch hash column (one 64-bit hash per spanned key),
+  // reused across windows. Counted by ApproxBytes: it is the view-side
+  // buffer of the columnar window path and the accounting invariant
+  // (ApproxBytes == ApproxBytesSlow in debug) must cover it.
+  std::vector<uint64_t> span_hash_scratch_;
   mutable int iter_depth_ = 0;
 };
 

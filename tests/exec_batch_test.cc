@@ -57,12 +57,25 @@ TEST(BatchBuilderTest, CoalescesAndCancels) {
   ASSERT_EQ(batch.deltas().size(), 1u);
   const exec::RelationDelta& delta = batch.deltas()[0];
   EXPECT_EQ(delta.relation, orders);
-  ASSERT_EQ(delta.entries.size(), 2u);
-  // First-touch order survives coalescing.
-  EXPECT_EQ(delta.entries[0].values[0], Value(1));
-  EXPECT_EQ(delta.entries[0].multiplicity, Numeric(1));
-  EXPECT_EQ(delta.entries[1].values[0], Value(2));
-  EXPECT_EQ(delta.entries[1].multiplicity, Numeric(1));
+  ASSERT_EQ(delta.size(), 2u);
+  ASSERT_EQ(delta.arity(), 2u);
+  // First-touch order survives coalescing; row r of the columnar delta is
+  // (columns[0][r], ..., columns[arity-1][r]) -> mults[r].
+  EXPECT_EQ(delta.columns[0][0], Value(1));
+  EXPECT_EQ(delta.mults[0], Numeric(1));
+  EXPECT_EQ(delta.columns[0][1], Value(2));
+  EXPECT_EQ(delta.mults[1], Numeric(1));
+  // The RowView adapter reads the same tuples without materializing them.
+  EXPECT_EQ(delta.Row(0)[0], Value(1));
+  EXPECT_EQ(delta.Row(1)[0], Value(2));
+  EXPECT_EQ(delta.Row(1).multiplicity(), Numeric(1));
+  size_t rows_seen = 0;
+  for (exec::RelationDelta::RowView row : delta.Rows()) {
+    EXPECT_EQ(row.arity(), 2u);
+    EXPECT_EQ(row[1], Value(10 * (static_cast<int>(row.row()) + 1)));
+    ++rows_seen;
+  }
+  EXPECT_EQ(rows_seen, 2u);
 }
 
 TEST(BatchBuilderTest, FullCancellationYieldsEmptyBatch) {
@@ -94,7 +107,7 @@ TEST(BatchBuilderTest, NetMultiplicityAccumulates) {
   }
   UpdateBatch batch = builder.Build();
   ASSERT_EQ(batch.EntryCount(), 1u);
-  EXPECT_EQ(batch.deltas()[0].entries[0].multiplicity, Numeric(4));
+  EXPECT_EQ(batch.deltas()[0].mults[0], Numeric(4));
   EXPECT_EQ(batch.TupleUnits(), 4u);
 }
 
