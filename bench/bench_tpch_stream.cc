@@ -11,11 +11,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "baseline/baselines.h"
+#include "exec/batch.h"
+#include "log/durable_log.h"
 #include "runtime/engine.h"
 #include "sql/translate.h"
 #include "util/table_printer.h"
@@ -54,6 +58,11 @@ struct Options {
   std::string stream = "both";   // uniform|zipf|both: sweep stream filter
   std::string config_filter;     // substring filter over sweep config names
   bool stats = false;
+  // off|never|window|group|all: adds the durability overhead section,
+  // which re-runs the zipf batch-1024 row with every applied window
+  // appended write-ahead (log/durable_log.h) under the given fsync
+  // policy, against the memory-only baseline. Empty = section skipped.
+  std::string durability;
 };
 
 // One measured (stream, engine-config) cell of the sweep, serialized to
@@ -254,7 +263,8 @@ void NationCountQuery() {
 // scratch and hash-table reservations amortize); sharding partitions the
 // view hierarchy by the join key (okey) and applies sub-batches on a
 // persistent worker pool.
-void BatchShardSweep(const Options& opt) {
+void BatchShardSweep(const Options& opt,
+                     std::vector<SweepResult>* all_results) {
   std::printf("\nbatched + sharded execution sweep (revenue query)\n\n");
   ringdb::ring::Catalog catalog = ringdb::workload::OrdersSchema();
   auto t = ringdb::sql::TranslateSql(
@@ -383,7 +393,142 @@ void BatchShardSweep(const Options& opt) {
     }
     std::printf("%s\n", table.Render().c_str());
   }
-  WriteSnapshotJson(opt, sweep_results);
+  all_results->insert(all_results->end(), sweep_results.begin(),
+                      sweep_results.end());
+}
+
+// E12 — durability overhead: the zipf(1.1) 15%-delete stream at batch
+// 1024, with every applied window encoded and appended to the WAL
+// (log/durable_log.h) under each fsync policy, against the memory-only
+// run. This is the write-ahead cost the serving batcher pays per window;
+// the policies mirror the classic redo-flush spectrum (never / every
+// window / group commit).
+void DurabilitySweep(const Options& opt,
+                     std::vector<SweepResult>* all_results) {
+  std::printf("\ndurability overhead sweep (zipf batch-1024, WAL per "
+              "window)\n\n");
+  ringdb::ring::Catalog catalog = ringdb::workload::OrdersSchema();
+  auto t = ringdb::sql::TranslateSql(
+      catalog,
+      "SELECT o.ckey, SUM(l.price * l.qty) FROM orders o, lineitem l "
+      "WHERE o.okey = l.okey GROUP BY o.ckey");
+  if (!t.ok()) {
+    std::fprintf(stderr, "%s\n", t.status().ToString().c_str());
+    return;
+  }
+
+  ringdb::workload::StreamOptions options;
+  options.seed = 99;
+  options.domain_size = 4096;
+  options.zipf_s = 1.1;
+  options.delete_fraction = 0.15;
+  std::vector<ringdb::workload::RelationStream> streams;
+  streams.emplace_back(catalog, S("orders"), options);
+  streams.emplace_back(catalog, S("lineitem"), options);
+  ringdb::workload::RoundRobinStream stream(std::move(streams));
+  std::vector<ringdb::ring::Update> updates;
+  updates.reserve(opt.updates);
+  for (int i = 0; i < opt.updates; ++i) updates.push_back(stream.Next());
+  constexpr size_t kBatch = 1024;
+
+  struct PolicyRow {
+    const char* name;  // config name in the snapshot: "durability=<x>"
+    bool enabled;
+    ringdb::log::FsyncPolicy policy;
+  };
+  std::vector<PolicyRow> rows;
+  auto want = [&](const char* name) {
+    return opt.durability == "all" || opt.durability == name;
+  };
+  // The off row always runs: it is the baseline the ratios are against.
+  rows.push_back({"off", false, ringdb::log::FsyncPolicy::kNever});
+  if (want("never")) {
+    rows.push_back({"never", true, ringdb::log::FsyncPolicy::kNever});
+  }
+  if (want("window")) {
+    rows.push_back({"window", true, ringdb::log::FsyncPolicy::kEveryWindow});
+  }
+  if (want("group")) {
+    rows.push_back({"group", true, ringdb::log::FsyncPolicy::kGroupCommit});
+  }
+
+  ringdb::TablePrinter table(
+      {"durability", "upd/s", "vs off", "fsyncs", "wal MB"});
+  double baseline = 0.0;
+  for (const PolicyRow& row : rows) {
+    auto engine = ringdb::runtime::Engine::Create(catalog, t->group_vars,
+                                                  t->body, {});
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return;
+    }
+    std::unique_ptr<ringdb::log::DurableLog> dlog;
+    const std::string dir =
+        "/tmp/ringdb-bench-durability-" + std::to_string(::getpid());
+    if (row.enabled) {
+      std::filesystem::remove_all(dir);
+      ringdb::log::DurabilityOptions dopt;
+      dopt.dir = dir;
+      dopt.fsync_policy = row.policy;
+      // No checkpoints: isolate the per-window append + flush cost.
+      dopt.checkpoint_every_windows = 0;
+      auto opened = ringdb::log::DurableLog::Open(catalog, dopt);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+        return;
+      }
+      dlog = std::move(opened).value();
+      std::vector<ringdb::log::DurableLog::EngineSlot> slots;
+      (void)dlog->Recover(slots);
+    }
+
+    ringdb::exec::BatchBuilder builder(catalog);
+    uint64_t seq = 0;
+    uint64_t applied = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < updates.size();) {
+      const size_t end = std::min(i + kBatch, updates.size());
+      for (; i < end; ++i) (void)builder.Add(updates[i]);
+      ringdb::exec::UpdateBatch batch = builder.Build();
+      ++seq;
+      applied = i;
+      if (dlog != nullptr) {
+        ringdb::Status logged =
+            dlog->AppendWindow(seq, end, applied, batch);
+        if (!logged.ok()) {
+          std::fprintf(stderr, "%s\n", logged.ToString().c_str());
+          return;
+        }
+      }
+      (void)engine->ApplyPrepared(batch);
+    }
+    double elapsed = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    const double tput = updates.size() / elapsed;
+    if (baseline == 0.0) baseline = tput;
+    uint64_t fsyncs = 0;
+    uint64_t wal_bytes = 0;
+    if (dlog != nullptr) {
+      const ringdb::log::DurabilityStats stats = dlog->GetStats();
+      fsyncs = stats.wal_fsyncs;
+      wal_bytes = stats.wal_bytes;
+      (void)dlog->Close();
+      std::filesystem::remove_all(dir);
+    }
+    const std::string config = std::string("durability=") + row.name;
+    all_results->push_back(SweepResult{
+        "zipf(1.1), 15% deletes", config, "interpret",
+        ActiveRepresentation(), kBatch, 1, tput, 0, engine->StatsJson(9)});
+    char a[32], b[32], c[32], d[32];
+    std::snprintf(a, sizeof(a), "%.0f", tput);
+    std::snprintf(b, sizeof(b), "%.2fx", tput / baseline);
+    std::snprintf(c, sizeof(c), "%llu",
+                  static_cast<unsigned long long>(fsyncs));
+    std::snprintf(d, sizeof(d), "%.1f", wal_bytes / (1024.0 * 1024.0));
+    table.AddRow({row.name, a, b, c, d});
+  }
+  std::printf("%s", table.Render().c_str());
 }
 
 }  // namespace
@@ -430,12 +575,23 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
       opt.config_filter = argv[++i];
+    } else if (std::strcmp(argv[i], "--durability") == 0 && i + 1 < argc) {
+      opt.durability = argv[++i];
+      if (opt.durability != "off" && opt.durability != "never" &&
+          opt.durability != "window" && opt.durability != "group" &&
+          opt.durability != "all") {
+        std::fprintf(stderr,
+                     "--durability wants off|never|window|group|all, "
+                     "got %s\n",
+                     opt.durability.c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--updates N] [--json PATH] [--label STR] "
                    "[--sweep-only] [--backend interpret|compile|both] "
                    "[--stream uniform|zipf|both] [--config SUBSTR] "
-                   "[--stats]\n",
+                   "[--durability off|never|window|group|all] [--stats]\n",
                    argv[0]);
       return 2;
     }
@@ -444,6 +600,9 @@ int main(int argc, char** argv) {
     RevenueQuery();
     NationCountQuery();
   }
-  BatchShardSweep(opt);
+  std::vector<SweepResult> results;
+  BatchShardSweep(opt, &results);
+  if (!opt.durability.empty()) DurabilitySweep(opt, &results);
+  WriteSnapshotJson(opt, results);
   return 0;
 }

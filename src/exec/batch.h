@@ -108,6 +108,18 @@ class UpdateBatch {
  public:
   UpdateBatch() = default;
 
+  // Rehydrates a batch from already-materialized deltas. This is the
+  // recovery path (log::DecodeBatch): WAL records store the coalesced
+  // deltas a BatchBuilder produced before the crash, so replay feeds
+  // them back through ApplyPrepared without re-coalescing. Callers are
+  // responsible for the BatchBuilder invariants (validated rows, net
+  // multiplicities) — decode validates against the catalog.
+  static UpdateBatch FromDeltas(std::vector<RelationDelta> deltas) {
+    UpdateBatch batch;
+    batch.deltas_ = std::move(deltas);
+    return batch;
+  }
+
   const std::vector<RelationDelta>& deltas() const { return deltas_; }
   bool empty() const { return deltas_.empty(); }
 

@@ -1,0 +1,373 @@
+#include "log/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "log/crash_point.h"
+#include "log/crc32.h"
+#include "log/serialize.h"
+#include "runtime/engine.h"
+#include "util/hash.h"
+
+namespace ringdb {
+namespace log {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kCkptMagic[8] = {'R', 'D', 'B', 'C', 'K', 'P', '1', '\n'};
+// magic + crc:u32 + payload_len:u64
+constexpr size_t kCkptHeaderSize = sizeof(kCkptMagic) + 4 + 8;
+
+std::string CkptFileName(const std::string& name, uint64_t seq) {
+  return name + "." + std::to_string(seq) + ".ckpt";
+}
+
+// Parses "<name>.<seq>.ckpt"; false when `filename` is not a checkpoint
+// of `name` (different engine, temp file, stray).
+bool ParseCkptSeq(const std::string& name, const std::string& filename,
+                  uint64_t* seq) {
+  const std::string prefix = name + ".";
+  const std::string suffix = ".ckpt";
+  if (filename.size() <= prefix.size() + suffix.size()) return false;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return false;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return false;
+  }
+  const std::string digits = filename.substr(
+      prefix.size(), filename.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return false;
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = v;
+  return true;
+}
+
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::Internal("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Internal("fsync failed: " + path);
+  return Status::Ok();
+}
+
+// Serializes the engine's full view state (every shard, every view).
+void EncodeEngineState(const runtime::Engine& engine, std::string* out) {
+  const size_t num_shards = engine.num_shards();
+  PutU32(out, static_cast<uint32_t>(num_shards));
+  for (size_t s = 0; s < num_shards; ++s) {
+    const runtime::Executor& shard = engine.sharded().shard(s);
+    const size_t num_views = shard.num_views();
+    PutU32(out, static_cast<uint32_t>(num_views));
+    for (size_t v = 0; v < num_views; ++v) {
+      const runtime::ViewTable& view = shard.view(static_cast<int>(v));
+      PutU32(out, static_cast<uint32_t>(view.arity()));
+      PutU64(out, view.size());
+      view.ForEach([&](runtime::KeyView key, Numeric value) {
+        for (size_t i = 0; i < key.size(); ++i) EncodeValue(key[i], out);
+        EncodeNumeric(value, out);
+      });
+    }
+  }
+}
+
+// One view's decoded entries, staged before installation.
+struct ViewEntries {
+  std::vector<runtime::Key> keys;
+  std::vector<Numeric> values;
+};
+
+// Decodes the full engine state into scratch, touching the engine only
+// for layout validation. Two-phase (decode everything, then install) so
+// a failure anywhere leaves the engine exactly as it was — the caller
+// can fall back to an older checkpoint or to full WAL replay.
+Status DecodeEngineState(BufReader* in, runtime::Engine* engine) {
+  uint32_t num_shards;
+  if (!in->GetU32(&num_shards)) {
+    return Status::InvalidArgument("checkpoint: truncated shard count");
+  }
+  if (num_shards != engine->num_shards()) {
+    return Status::InvalidArgument(
+        "checkpoint: shard count mismatch (file " +
+        std::to_string(num_shards) + ", engine " +
+        std::to_string(engine->num_shards()) + ")");
+  }
+  std::vector<std::vector<ViewEntries>> staged(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    const runtime::Executor& shard = engine->sharded().shard(s);
+    uint32_t num_views;
+    if (!in->GetU32(&num_views)) {
+      return Status::InvalidArgument("checkpoint: truncated view count");
+    }
+    if (num_views != shard.num_views()) {
+      return Status::InvalidArgument("checkpoint: view count mismatch");
+    }
+    staged[s].resize(num_views);
+    for (uint32_t v = 0; v < num_views; ++v) {
+      const runtime::ViewTable& view = shard.view(static_cast<int>(v));
+      uint32_t arity;
+      uint64_t entries;
+      if (!in->GetU32(&arity) || !in->GetU64(&entries)) {
+        return Status::InvalidArgument("checkpoint: truncated view header");
+      }
+      if (arity != view.arity()) {
+        return Status::InvalidArgument("checkpoint: view arity mismatch");
+      }
+      if (entries > in->remaining()) {
+        return Status::InvalidArgument(
+            "checkpoint: implausible entry count");
+      }
+      if (view.size() != 0) {
+        return Status::FailedPrecondition(
+            "checkpoint: loading into a non-empty engine");
+      }
+      ViewEntries& dst = staged[s][v];
+      dst.keys.reserve(entries);
+      dst.values.reserve(entries);
+      for (uint64_t e = 0; e < entries; ++e) {
+        runtime::Key key(arity);
+        for (uint32_t i = 0; i < arity; ++i) {
+          RINGDB_RETURN_IF_ERROR(DecodeValue(in, &key[i]));
+        }
+        Numeric value;
+        RINGDB_RETURN_IF_ERROR(DecodeNumeric(in, &value));
+        dst.keys.push_back(std::move(key));
+        dst.values.push_back(value);
+      }
+    }
+  }
+  if (in->remaining() != 0) {
+    return Status::InvalidArgument(
+        "checkpoint: trailing bytes after engine state");
+  }
+  // Everything validated; install.
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    runtime::Executor& shard = engine->sharded().shard(s);
+    for (uint32_t v = 0; v < staged[s].size(); ++v) {
+      runtime::ViewTable& view = shard.mutable_view(static_cast<int>(v));
+      ViewEntries& src = staged[s][v];
+      view.Reserve(src.keys.size());
+      for (size_t e = 0; e < src.keys.size(); ++e) {
+        // EnsureEntry (not Add): inserts exactly the stored value, even
+        // zero, and maintains all registered indexes — view indexes are
+        // registered at engine construction, before any load.
+        view.EnsureEntry(src.keys[e], src.values[e]);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// Reads and validates one checkpoint file; returns the payload reader
+// positioned past the meta fields. Any validation failure is reported
+// as non-ok — LoadLatestCheckpoint treats that as "skip this file".
+Status ReadCheckpointFile(const std::string& path, uint64_t expected_seq,
+                          uint64_t fingerprint, std::string* payload,
+                          CheckpointMeta* meta, size_t* state_offset) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::Internal("cannot open checkpoint " + path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (content.size() < kCkptHeaderSize ||
+      std::memcmp(content.data(), kCkptMagic, sizeof(kCkptMagic)) != 0) {
+    return Status::InvalidArgument("bad checkpoint header: " + path);
+  }
+  BufReader header(content.data() + sizeof(kCkptMagic),
+                   kCkptHeaderSize - sizeof(kCkptMagic));
+  uint32_t crc = 0;
+  uint64_t len = 0;
+  header.GetU32(&crc);
+  header.GetU64(&len);
+  if (len != content.size() - kCkptHeaderSize) {
+    return Status::InvalidArgument("checkpoint length mismatch: " + path);
+  }
+  if (Crc32(content.data() + kCkptHeaderSize, len) != crc) {
+    return Status::InvalidArgument("checkpoint checksum mismatch: " + path);
+  }
+  payload->assign(content, kCkptHeaderSize, len);
+  BufReader pr(payload->data(), payload->size());
+  uint64_t fp = 0;
+  if (!pr.GetU64(&meta->seq) || !pr.GetU64(&meta->updates_applied) ||
+      !pr.GetU64(&meta->wal_offset) || !pr.GetU64(&fp)) {
+    return Status::InvalidArgument("checkpoint meta truncated: " + path);
+  }
+  if (meta->seq != expected_seq) {
+    return Status::InvalidArgument("checkpoint seq/filename mismatch: " +
+                                   path);
+  }
+  if (fp != fingerprint) {
+    return Status::InvalidArgument(
+        "checkpoint fingerprint mismatch (different query or shard "
+        "layout): " + path);
+  }
+  meta->path = path;
+  *state_offset = pr.position();
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint64_t EngineFingerprint(const runtime::Engine& engine) {
+  const uint64_t program_hash = HashString(engine.program().ToString());
+  return Mix64(program_hash ^ (engine.num_shards() * 0x9e3779b97f4a7c15ULL));
+}
+
+bool Checkpointable(const runtime::Engine& engine) {
+  for (const compiler::ViewDef& view : engine.program().views) {
+    if (view.lazy_init) return false;
+  }
+  return true;
+}
+
+Status WriteCheckpoint(const std::string& dir, const std::string& name,
+                       const CheckpointMeta& meta,
+                       const runtime::Engine& engine) {
+  if (!Checkpointable(engine)) {
+    return Status::FailedPrecondition(
+        "engine has lazily initialized views; checkpoint not supported");
+  }
+  RINGDB_CRASH_POINT("ckpt:begin");
+  std::string payload;
+  PutU64(&payload, meta.seq);
+  PutU64(&payload, meta.updates_applied);
+  PutU64(&payload, meta.wal_offset);
+  PutU64(&payload, EngineFingerprint(engine));
+  EncodeEngineState(engine, &payload);
+
+  std::string file;
+  file.append(kCkptMagic, sizeof(kCkptMagic));
+  PutU32(&file, Crc32(payload));
+  PutU64(&file, payload.size());
+  file.append(payload);
+
+  const fs::path target = fs::path(dir) / CkptFileName(name, meta.seq);
+  fs::path tmp = target;
+  tmp += ".tmp" + std::to_string(::getpid());
+  {
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::Internal("cannot create checkpoint temp " +
+                              tmp.string());
+    }
+    // Two writes with a kill point between: a crash mid-checkpoint
+    // leaves a short temp file that recovery ignores and GC removes.
+    const size_t half = file.size() / 2;
+    size_t done = 0;
+    Status write_status = Status::Ok();
+    auto write_span = [&](const char* data, size_t n) {
+      while (done < n && write_status.ok()) {
+        const ssize_t w = ::write(fd, data + done, n - done);
+        if (w < 0) {
+          write_status =
+              Status::Internal("checkpoint write failed: " + tmp.string());
+          break;
+        }
+        done += static_cast<size_t>(w);
+      }
+    };
+    write_span(file.data(), half);
+    RINGDB_CRASH_POINT("ckpt:mid_write");
+    write_span(file.data(), file.size());
+    if (write_status.ok() && ::fsync(fd) != 0) {
+      write_status =
+          Status::Internal("checkpoint fsync failed: " + tmp.string());
+    }
+    ::close(fd);
+    if (!write_status.ok()) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return write_status;
+    }
+  }
+  RINGDB_CRASH_POINT("ckpt:before_rename");
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::Internal("cannot publish checkpoint " + target.string() +
+                            ": " + ec.message());
+  }
+  // Make the rename itself durable: fsync the directory entry.
+  RINGDB_RETURN_IF_ERROR(FsyncPath(dir));
+  RINGDB_CRASH_POINT("ckpt:after_rename");
+
+  // GC: keep this generation and its predecessor (the fallback when the
+  // newest file turns out damaged); drop older ones and stray temps.
+  std::vector<uint64_t> seqs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string fname = entry.path().filename().string();
+    uint64_t seq;
+    if (ParseCkptSeq(name, fname, &seq)) {
+      seqs.push_back(seq);
+    } else if (fname.rfind(name + ".", 0) == 0 &&
+               fname.find(".tmp") != std::string::npos) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  if (seqs.size() > 2) {
+    for (size_t i = 0; i + 2 < seqs.size(); ++i) {
+      fs::remove(fs::path(dir) / CkptFileName(name, seqs[i]), ec);
+    }
+  }
+  RINGDB_CRASH_POINT("ckpt:gc");
+  return Status::Ok();
+}
+
+StatusOr<bool> LoadLatestCheckpoint(const std::string& dir,
+                                    const std::string& name,
+                                    runtime::Engine* engine,
+                                    CheckpointMeta* meta) {
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) return false;
+  std::vector<uint64_t> seqs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    uint64_t seq;
+    if (ParseCkptSeq(name, entry.path().filename().string(), &seq)) {
+      seqs.push_back(seq);
+    }
+  }
+  if (ec) {
+    return Status::Internal("cannot list checkpoint dir " + dir + ": " +
+                            ec.message());
+  }
+  std::sort(seqs.begin(), seqs.end(), std::greater<uint64_t>());
+  const uint64_t fingerprint = EngineFingerprint(*engine);
+  for (uint64_t seq : seqs) {
+    const std::string path =
+        (fs::path(dir) / CkptFileName(name, seq)).string();
+    std::string payload;
+    size_t state_offset = 0;
+    CheckpointMeta candidate;
+    Status valid = ReadCheckpointFile(path, seq, fingerprint, &payload,
+                                      &candidate, &state_offset);
+    if (!valid.ok()) continue;  // damaged or foreign: fall back to older
+    BufReader state(payload.data() + state_offset,
+                    payload.size() - state_offset);
+    // The payload passed its CRC, so a decode failure here means a
+    // format/fingerprint bug, not disk corruption — still skip rather
+    // than crash, and let replay rebuild from scratch.
+    Status loaded = DecodeEngineState(&state, engine);
+    if (!loaded.ok()) continue;
+    *meta = candidate;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace log
+}  // namespace ringdb

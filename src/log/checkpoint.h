@@ -1,0 +1,89 @@
+// ViewTable checkpoints: the full materialized state of one engine
+// (every view of every shard), frozen at a window boundary so recovery
+// replays only the WAL tail past it instead of the whole log.
+//
+// A checkpoint file carries the epoch it freezes — the last WAL
+// sequence number included and the cumulative `updates_applied` event
+// count the serve snapshots advertise — plus the WAL offset just past
+// that record (informational: recovery re-scans the log and filters by
+// sequence number, which stays correct even if the log was truncated or
+// rewritten underneath the stored offset), a program fingerprint so a
+// checkpoint is never loaded into a different query or shard layout,
+// and per shard, per view, every live entry as (key, value).
+//
+// Atomicity: the file is assembled in memory, written to a temp name,
+// fsynced, renamed into place, and the directory fsynced — a crash
+// leaves either the old set of checkpoints or the old set plus one new
+// complete file, never a half-written visible checkpoint. One CRC-32
+// over the whole payload rejects partial or bit-rotted files at load
+// time; an invalid newest checkpoint silently falls back to the next
+// older one (kept: the previous generation), and ultimately to a full
+// WAL replay from the empty state. The WAL is synced *before* a
+// checkpoint is written (DurableLog enforces it), so a visible
+// checkpoint never claims an epoch ahead of the durable log.
+//
+// File name: <name>.<seq>.ckpt under the durability directory, where
+// `name` identifies the engine ("q0", "q1", ... in QueryService).
+//
+// Engines with lazily initialized views cannot checkpoint (their state
+// includes the base database and the initialized-slice sets); writers
+// gate on Checkpointable() and such engines recover by full replay.
+
+#ifndef RINGDB_LOG_CHECKPOINT_H_
+#define RINGDB_LOG_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace ringdb {
+
+namespace runtime {
+class Engine;
+}  // namespace runtime
+
+namespace log {
+
+// Identifies the (program, shard layout) a checkpoint belongs to: a
+// checkpoint written by a different query definition or shard count is
+// rejected at load, forcing the safe full-replay path.
+uint64_t EngineFingerprint(const runtime::Engine& engine);
+
+// False when the engine's program has lazily initialized views (their
+// state is not captured by the view dump); such engines never
+// checkpoint and recover by full WAL replay.
+bool Checkpointable(const runtime::Engine& engine);
+
+struct CheckpointMeta {
+  uint64_t seq = 0;              // last WAL sequence included
+  uint64_t updates_applied = 0;  // cumulative event epoch at that window
+  uint64_t wal_offset = 0;       // offset just past that record (info only)
+  std::string path;              // the file the meta came from (load)
+};
+
+// Writes <name>.<seq>.ckpt atomically, then garbage-collects all but
+// the newest two generations (the new file and its predecessor — the
+// fallback if the newest is later found damaged) plus any stale temp
+// files. The engine must be quiescent (no apply in flight) and
+// Checkpointable().
+Status WriteCheckpoint(const std::string& dir, const std::string& name,
+                       const CheckpointMeta& meta,
+                       const runtime::Engine& engine);
+
+// Loads the newest valid checkpoint for `name` into `engine` (which
+// must be freshly created: empty views, same program/shard layout as
+// the writer — enforced via the fingerprint). Returns true and fills
+// *meta when one was loaded; false when none exists or none is valid
+// (the caller replays the full WAL). I/O errors while listing the
+// directory are returned as non-ok; a damaged checkpoint file is not an
+// error, just skipped.
+StatusOr<bool> LoadLatestCheckpoint(const std::string& dir,
+                                    const std::string& name,
+                                    runtime::Engine* engine,
+                                    CheckpointMeta* meta);
+
+}  // namespace log
+}  // namespace ringdb
+
+#endif  // RINGDB_LOG_CHECKPOINT_H_

@@ -1,0 +1,64 @@
+#include "log/crash_point.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ringdb {
+namespace log {
+
+namespace {
+
+std::atomic<uint64_t> g_hits{0};
+
+struct Config {
+  long long target = -1;  // -1: disarmed
+  const char* report = nullptr;
+  Config() {
+    if (const char* e = std::getenv("RINGDB_CRASH_AT")) {
+      target = std::atoll(e);
+      if (target <= 0) target = -1;
+    }
+    report = std::getenv("RINGDB_CRASH_REPORT");
+  }
+};
+
+const Config& GetConfig() {
+  static const Config config;
+  return config;
+}
+
+}  // namespace
+
+bool CrashPointsArmed() { return GetConfig().target > 0; }
+
+uint64_t CrashPointHits() {
+  return g_hits.load(std::memory_order_relaxed);
+}
+
+void CrashPointHit(const char* name) {
+  const Config& config = GetConfig();
+  if (config.target <= 0) return;
+  const uint64_t hit = g_hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (static_cast<long long>(hit) != config.target) return;
+  if (config.report != nullptr) {
+    // Raw write, no stdio buffering: the next line is _exit.
+    char buf[256];
+    const int n = std::snprintf(buf, sizeof(buf), "%llu %s\n",
+                                static_cast<unsigned long long>(hit), name);
+    const int fd = ::open(config.report, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0 && n > 0) {
+      ssize_t ignored = ::write(fd, buf, static_cast<size_t>(n));
+      (void)ignored;
+      ::close(fd);
+    }
+  }
+  ::_exit(137);  // the power cut: no destructors, no flushes
+}
+
+}  // namespace log
+}  // namespace ringdb

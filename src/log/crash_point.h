@@ -1,0 +1,52 @@
+// Fault-injection kill points for crash-recovery testing.
+//
+// The durability layer (WAL append, fsync, checkpoint write/rename/GC)
+// marks every state transition with RINGDB_CRASH_POINT("name"). In
+// normal operation a point costs one predictable branch on a cached
+// flag. Under test, the environment arms the harness:
+//
+//   RINGDB_CRASH_AT=N       _exit(137) at the N-th crash point hit
+//                           (1-based, process-wide, any point name)
+//   RINGDB_CRASH_REPORT=p   before exiting, write "<hit> <name>\n" to
+//                           file p so the parent test can log where the
+//                           process died
+//
+// Killing at the N-th *hit* rather than at a named point is what makes
+// the recovery test "kill-anywhere": a uniformly random N lands between
+// any two adjacent durability state transitions — mid-record, between
+// write and fsync, between checkpoint rename and GC — without the test
+// enumerating the transitions. _exit (not abort, not exceptions) models
+// a power-cut: no destructors, no flush, no atexit.
+
+#ifndef RINGDB_LOG_CRASH_POINT_H_
+#define RINGDB_LOG_CRASH_POINT_H_
+
+#include <cstdint>
+
+namespace ringdb {
+namespace log {
+
+// True when RINGDB_CRASH_AT is set for this process (cached at first
+// call; the env is read once).
+bool CrashPointsArmed();
+
+// Registers one hit; exits the process iff this is the armed N-th hit.
+void CrashPointHit(const char* name);
+
+// Total hits so far (test introspection: a completed run's hit count
+// bounds the useful RINGDB_CRASH_AT range for the next run).
+uint64_t CrashPointHits();
+
+}  // namespace log
+}  // namespace ringdb
+
+// The cheap always-on marker. Kept a macro so the disarmed fast path is
+// a single inlined flag check at the call site.
+#define RINGDB_CRASH_POINT(name)                  \
+  do {                                            \
+    if (::ringdb::log::CrashPointsArmed()) {      \
+      ::ringdb::log::CrashPointHit(name);         \
+    }                                             \
+  } while (0)
+
+#endif  // RINGDB_LOG_CRASH_POINT_H_

@@ -1,0 +1,30 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for log record checksums.
+//
+// Every WAL record and every checkpoint file carries a CRC over its
+// payload; recovery treats a mismatch as the torn tail of a crashed
+// write, not as an error to propagate. The classic table-driven
+// byte-at-a-time implementation is plenty: the log path is dominated by
+// the write() syscall and the optional fsync, not the checksum.
+
+#ifndef RINGDB_LOG_CRC32_H_
+#define RINGDB_LOG_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ringdb {
+namespace log {
+
+// CRC-32 of `data[0..n)`, seeded with `seed` (0 for a fresh checksum;
+// pass a previous result to checksum discontiguous spans as one).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace log
+}  // namespace ringdb
+
+#endif  // RINGDB_LOG_CRC32_H_

@@ -1,0 +1,215 @@
+#include "log/durable_log.h"
+
+#include <ctime>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "log/checkpoint.h"
+#include "log/crash_point.h"
+#include "log/serialize.h"
+#include "runtime/engine.h"
+
+namespace ringdb {
+namespace log {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Spans here must survive -DRINGDB_NO_METRICS (obs::NowNs compiles to 0
+// there); the histograms they feed become no-ops, but elapsed time also
+// guards nothing semantic, so a private clock keeps the code one path.
+uint64_t MonotonicNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+DurableLog::DurableLog(const ring::Catalog& catalog,
+                       DurabilityOptions options)
+    : catalog_(&catalog), options_(std::move(options)) {
+  wal_path_ = options_.dir + "/windows.wal";
+}
+
+StatusOr<std::unique_ptr<DurableLog>> DurableLog::Open(
+    const ring::Catalog& catalog, DurabilityOptions options) {
+  if (!options.enabled()) {
+    return Status::InvalidArgument("durability directory is empty");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create durability dir " + options.dir +
+                            ": " + ec.message());
+  }
+  return std::unique_ptr<DurableLog>(
+      new DurableLog(catalog, std::move(options)));
+}
+
+Status DurableLog::Recover(const std::vector<EngineSlot>& engines) {
+  if (recovered_) {
+    return Status::FailedPrecondition("durable log already recovered");
+  }
+
+  // Phase 1: newest valid checkpoint per engine. `floor[i]` is the WAL
+  // sequence the engine's loaded state already includes (0 = empty).
+  std::vector<uint64_t> floor(engines.size(), 0);
+  uint64_t best_seq = 0;
+  uint64_t best_updates = 0;
+  for (size_t i = 0; i < engines.size(); ++i) {
+    CheckpointMeta meta;
+    RINGDB_ASSIGN_OR_RETURN(
+        const bool loaded,
+        LoadLatestCheckpoint(options_.dir, engines[i].name,
+                             engines[i].engine, &meta));
+    if (loaded) {
+      floor[i] = meta.seq;
+      recovered_from_checkpoint_ = true;
+      if (meta.seq > best_seq) {
+        best_seq = meta.seq;
+        best_updates = meta.updates_applied;
+      }
+    }
+  }
+
+  // Phase 2: one scan of the WAL; each valid record past an engine's
+  // floor replays through the normal prepared-batch path. The batch is
+  // decoded at most once per record (lazily: a record every engine's
+  // checkpoint already covers is skipped without decoding).
+  WalScanResult scan;
+  Status scan_status = ScanWal(
+      wal_path_,
+      [&](const WalRecordView& record) -> Status {
+        bool needed = false;
+        for (size_t i = 0; i < engines.size(); ++i) {
+          needed = needed || record.seq > floor[i];
+        }
+        if (!needed) return Status::Ok();
+        RINGDB_ASSIGN_OR_RETURN(
+            exec::UpdateBatch batch,
+            DecodeBatch(*catalog_, record.batch_bytes));
+        for (size_t i = 0; i < engines.size(); ++i) {
+          if (record.seq > floor[i]) {
+            engines[i].engine->ApplyPrepared(batch);
+          }
+        }
+        return Status::Ok();
+      },
+      &scan);
+  if (!scan_status.ok()) {
+    return Status::Internal("wal replay failed (" + wal_path_ +
+                            "): " + std::string(scan_status.message()));
+  }
+  recovered_records_ = scan.records;
+  if (scan.last_seq > best_seq) {
+    best_seq = scan.last_seq;
+    best_updates = scan.last_updates_after;
+  }
+  recovered_seq_ = best_seq;
+  recovered_updates_ = best_updates;
+
+  // Phase 3: drop the torn tail so appends resume on a record boundary.
+  if (scan.valid_end < scan.file_size) {
+    truncated_bytes_ = scan.file_size - scan.valid_end;
+    RINGDB_RETURN_IF_ERROR(TruncateWal(wal_path_, scan.valid_end));
+  }
+
+  // Phase 4: reopen for appending.
+  WalOptions wal_options;
+  wal_options.policy = options_.fsync_policy;
+  wal_options.group_windows = options_.group_windows;
+  wal_options.group_max_delay_ms = options_.group_max_delay_ms;
+  RINGDB_ASSIGN_OR_RETURN(wal_, WalWriter::Open(wal_path_, wal_options));
+  recovered_ = true;
+  return Status::Ok();
+}
+
+Status DurableLog::AppendWindow(uint64_t seq, uint64_t events,
+                                uint64_t updates_after,
+                                const exec::UpdateBatch& batch) {
+  if (!recovered_) {
+    return Status::FailedPrecondition("durable log not recovered");
+  }
+  RINGDB_CRASH_POINT("durable:before_append");
+  encode_scratch_.clear();
+  EncodeBatch(batch, &encode_scratch_);
+  const uint64_t t0 = MonotonicNs();
+  RINGDB_RETURN_IF_ERROR(
+      wal_.Append(seq, events, updates_after, encode_scratch_));
+  RINGDB_OBS(append_ns_.Record(MonotonicNs() - t0));
+  RINGDB_CRASH_POINT("durable:after_append");
+  return Status::Ok();
+}
+
+Status DurableLog::MaybeCheckpoint(uint64_t seq, uint64_t updates_applied,
+                                   const std::vector<EngineSlot>& engines) {
+  if (!recovered_) {
+    return Status::FailedPrecondition("durable log not recovered");
+  }
+  if (options_.checkpoint_every_windows == 0) return Status::Ok();
+  if (++windows_since_checkpoint_ < options_.checkpoint_every_windows) {
+    return Status::Ok();
+  }
+  windows_since_checkpoint_ = 0;
+  bool any = false;
+  for (const EngineSlot& slot : engines) {
+    any = any || Checkpointable(*slot.engine);
+  }
+  if (!any) return Status::Ok();
+
+  const uint64_t t0 = MonotonicNs();
+  // Log-ahead rule: the epoch a checkpoint claims must already be
+  // durable in the WAL, or a crash could strand a checkpoint the log
+  // tail cannot reconcile (kNever / kGroupCommit policies).
+  RINGDB_RETURN_IF_ERROR(wal_.Sync());
+  CheckpointMeta meta;
+  meta.seq = seq;
+  meta.updates_applied = updates_applied;
+  meta.wal_offset = wal_.offset();
+  for (const EngineSlot& slot : engines) {
+    if (!Checkpointable(*slot.engine)) continue;
+    RINGDB_RETURN_IF_ERROR(
+        WriteCheckpoint(options_.dir, slot.name, meta, *slot.engine));
+    ++checkpoints_;
+  }
+  RINGDB_OBS(checkpoint_ns_.Record(MonotonicNs() - t0));
+  return Status::Ok();
+}
+
+Status DurableLog::Sync() {
+  if (!recovered_) {
+    return Status::FailedPrecondition("durable log not recovered");
+  }
+  return wal_.Sync();
+}
+
+Status DurableLog::Close() {
+  if (!wal_.is_open()) return Status::Ok();
+  return wal_.Close();
+}
+
+DurabilityStats DurableLog::GetStats() const {
+  DurabilityStats stats;
+  stats.enabled = true;
+  stats.policy = FsyncPolicyName(options_.fsync_policy);
+  stats.wal_records = wal_.records_appended();
+  stats.wal_bytes = wal_.bytes_appended();
+  stats.wal_fsyncs = wal_.fsyncs();
+  stats.unsynced_windows = wal_.unsynced_windows();
+  stats.checkpoints = checkpoints_;
+  stats.recovered_seq = recovered_seq_;
+  stats.recovered_updates = recovered_updates_;
+  stats.recovered_records = recovered_records_;
+  stats.truncated_bytes = truncated_bytes_;
+  stats.recovered_from_checkpoint = recovered_from_checkpoint_;
+  stats.append_ns = append_ns_.Snapshot();
+  stats.checkpoint_ns = checkpoint_ns_.Snapshot();
+  return stats;
+}
+
+}  // namespace log
+}  // namespace ringdb

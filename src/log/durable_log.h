@@ -1,0 +1,156 @@
+// DurableLog: the durability coordinator the serve layer talks to.
+//
+// Owns one write-ahead log (shared by every standing query of a
+// service: the WAL records the *ingest stream's* coalesced windows
+// once, not per query) plus per-engine checkpoint families, and runs
+// recovery in the order that makes the pieces compose:
+//
+//   1. Load the newest valid checkpoint of each engine (damaged or
+//      fingerprint-mismatched files fall back to the previous
+//      generation, then to nothing).
+//   2. Scan the WAL once; every record with seq greater than an
+//      engine's checkpoint seq replays into it through the normal
+//      ApplyPrepared path — the identical code path live ingest uses,
+//      on either backend.
+//   3. Truncate the torn tail (first bad length/CRC/sequence) so the
+//      next append starts on a record boundary.
+//   4. Reopen the log for appending; the recovered epoch (last valid
+//      seq, cumulative event count) seeds the service's window
+//      sequencing, so post-recovery snapshots advertise exactly the
+//      epoch the replayed state corresponds to.
+//
+// Invariants:
+//   - Write-ahead: AppendWindow runs before the window fans out to any
+//     engine. A crash between append and apply replays the window.
+//   - Log-ahead-of-checkpoint: MaybeCheckpoint syncs the WAL before
+//     writing, so a visible checkpoint's epoch is never ahead of the
+//     durable log (otherwise a kNever/kGroupCommit crash could leave a
+//     checkpoint no log tail can reconcile).
+//   - Recovery errors are loud: a CRC-valid record that fails to decode
+//     against the catalog means the schema changed or the log is
+//     foreign — that is a returned error, never a silent truncation.
+
+#ifndef RINGDB_LOG_DURABLE_LOG_H_
+#define RINGDB_LOG_DURABLE_LOG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/batch.h"
+#include "log/wal.h"
+#include "obs/metrics.h"
+#include "ring/database.h"
+#include "util/status.h"
+
+namespace ringdb {
+
+namespace runtime {
+class Engine;
+}  // namespace runtime
+
+namespace log {
+
+struct DurabilityOptions {
+  // Directory for the WAL + checkpoints. Empty disables durability
+  // entirely (the memory-only pre-PR-8 behavior).
+  std::string dir;
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryWindow;
+  // kGroupCommit tuning (ignored for the other policies).
+  uint64_t group_windows = 8;
+  uint64_t group_max_delay_ms = 50;
+  // Checkpoint all engines every N applied windows; 0 = never (recovery
+  // replays the whole WAL).
+  uint64_t checkpoint_every_windows = 256;
+
+  bool enabled() const { return !dir.empty(); }
+};
+
+// Read-time snapshot of the durability layer's effort counters
+// (exported through QueryService::Stats).
+struct DurabilityStats {
+  bool enabled = false;
+  std::string policy;
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t unsynced_windows = 0;   // group-commit exposure right now
+  uint64_t checkpoints = 0;
+  uint64_t recovered_seq = 0;      // window epoch recovery landed on
+  uint64_t recovered_updates = 0;  // event epoch recovery landed on
+  uint64_t recovered_records = 0;  // WAL records replayed
+  uint64_t truncated_bytes = 0;    // torn tail discarded at recovery
+  bool recovered_from_checkpoint = false;
+  obs::HistogramSnapshot append_ns;      // per-window append (+fsync)
+  obs::HistogramSnapshot checkpoint_ns;  // per checkpoint round
+};
+
+class DurableLog {
+ public:
+  // One engine under durability management. `name` keys the engine's
+  // checkpoint family and must be stable across restarts ("q0", "q1",
+  // ... in QueryService registration order).
+  struct EngineSlot {
+    std::string name;
+    runtime::Engine* engine;
+  };
+
+  // Creates the directory if needed. No recovery yet; call Recover().
+  static StatusOr<std::unique_ptr<DurableLog>> Open(
+      const ring::Catalog& catalog, DurabilityOptions options);
+
+  // Runs recovery (checkpoints + WAL replay + torn-tail truncation) into
+  // the given engines — which must be freshly created, empty, and remain
+  // valid for later MaybeCheckpoint calls — then opens the WAL for
+  // appending. Must be called exactly once, before AppendWindow.
+  Status Recover(const std::vector<EngineSlot>& engines);
+
+  // The epoch recovery landed on; the service resumes numbering from
+  // here. Zero when the directory was empty.
+  uint64_t recovered_seq() const { return recovered_seq_; }
+  uint64_t recovered_updates() const { return recovered_updates_; }
+
+  // Logs one coalesced window (write-ahead: call before fan-out).
+  Status AppendWindow(uint64_t seq, uint64_t events, uint64_t updates_after,
+                      const exec::UpdateBatch& batch);
+
+  // Call after window `seq` is fully applied to every engine and the
+  // engines are quiescent; writes a checkpoint round when one is due.
+  Status MaybeCheckpoint(uint64_t seq, uint64_t updates_applied,
+                         const std::vector<EngineSlot>& engines);
+
+  // Forces the group-commit tail to disk.
+  Status Sync();
+
+  // Sync + close the WAL. Idempotent.
+  Status Close();
+
+  DurabilityStats GetStats() const;
+
+  const std::string& wal_path() const { return wal_path_; }
+
+ private:
+  DurableLog(const ring::Catalog& catalog, DurabilityOptions options);
+
+  const ring::Catalog* catalog_;
+  DurabilityOptions options_;
+  std::string wal_path_;
+  WalWriter wal_;
+  bool recovered_ = false;
+  uint64_t recovered_seq_ = 0;
+  uint64_t recovered_updates_ = 0;
+  uint64_t recovered_records_ = 0;
+  uint64_t truncated_bytes_ = 0;
+  bool recovered_from_checkpoint_ = false;
+  uint64_t windows_since_checkpoint_ = 0;
+  uint64_t checkpoints_ = 0;
+  std::string encode_scratch_;  // batch payload buffer, reused per window
+
+  obs::Histogram append_ns_;
+  obs::Histogram checkpoint_ns_;
+};
+
+}  // namespace log
+}  // namespace ringdb
+
+#endif  // RINGDB_LOG_DURABLE_LOG_H_

@@ -1,0 +1,297 @@
+#include "log/serialize.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace ringdb {
+namespace log {
+
+namespace {
+
+// A corrupted-but-CRC-valid length field must not drive a giant
+// allocation: every count is checked against the bytes that could
+// possibly back it before any reserve. The smallest encodings are 1
+// byte per Value and 9 per Numeric, so `count <= remaining` is a sound
+// (loose) pre-reserve bound for both.
+bool PlausibleCount(const BufReader& in, uint64_t count) {
+  return count <= in.remaining();
+}
+
+}  // namespace
+
+bool BufReader::GetU8(uint8_t* out) {
+  if (!ok_ || size_ - pos_ < 1) {
+    ok_ = false;
+    return false;
+  }
+  *out = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool BufReader::GetBytes(void* out, size_t n) {
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool BufReader::GetU32(uint32_t* out) {
+  unsigned char b[4];
+  if (!GetBytes(b, 4)) return false;
+  *out = static_cast<uint32_t>(b[0]) | static_cast<uint32_t>(b[1]) << 8 |
+         static_cast<uint32_t>(b[2]) << 16 |
+         static_cast<uint32_t>(b[3]) << 24;
+  return true;
+}
+
+bool BufReader::GetU64(uint64_t* out) {
+  unsigned char b[8];
+  if (!GetBytes(b, 8)) return false;
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = v << 8 | b[i];
+  *out = v;
+  return true;
+}
+
+bool BufReader::GetI64(int64_t* out) {
+  uint64_t u;
+  if (!GetU64(&u)) return false;
+  std::memcpy(out, &u, sizeof(u));
+  return true;
+}
+
+bool BufReader::GetDouble(double* out) {
+  uint64_t bits;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(out, &bits, sizeof(bits));
+  return true;
+}
+
+bool BufReader::GetString(std::string* out, uint32_t len) {
+  if (!ok_ || size_ - pos_ < len) {
+    ok_ = false;
+    return false;
+  }
+  out->assign(data_ + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out->append(b, 8);
+}
+
+void PutI64(std::string* out, int64_t v) {
+  uint64_t u;
+  std::memcpy(&u, &v, sizeof(v));
+  PutU64(out, u);
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(v));
+  PutU64(out, bits);
+}
+
+void EncodeValue(const Value& v, std::string* out) {
+  PutU8(out, static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kInt:
+      PutI64(out, v.AsInt());
+      break;
+    case Value::Kind::kDouble:
+      PutDouble(out, v.AsDouble());
+      break;
+    case Value::Kind::kString: {
+      const std::string& s = v.AsString();
+      PutU32(out, static_cast<uint32_t>(s.size()));
+      out->append(s);
+      break;
+    }
+  }
+}
+
+Status DecodeValue(BufReader* in, Value* out) {
+  uint8_t kind;
+  if (!in->GetU8(&kind)) {
+    return Status::InvalidArgument("value: truncated kind");
+  }
+  switch (kind) {
+    case static_cast<uint8_t>(Value::Kind::kInt): {
+      int64_t i;
+      if (!in->GetI64(&i)) {
+        return Status::InvalidArgument("value: truncated int payload");
+      }
+      *out = Value(i);
+      return Status::Ok();
+    }
+    case static_cast<uint8_t>(Value::Kind::kDouble): {
+      double d;
+      if (!in->GetDouble(&d)) {
+        return Status::InvalidArgument("value: truncated double payload");
+      }
+      *out = Value(d);
+      return Status::Ok();
+    }
+    case static_cast<uint8_t>(Value::Kind::kString): {
+      uint32_t len;
+      std::string s;
+      if (!in->GetU32(&len) || !in->GetString(&s, len)) {
+        return Status::InvalidArgument("value: truncated string payload");
+      }
+      *out = Value(std::move(s));
+      return Status::Ok();
+    }
+    default:
+      return Status::InvalidArgument("value: unknown kind tag " +
+                                     std::to_string(kind));
+  }
+}
+
+void EncodeNumeric(Numeric n, std::string* out) {
+  if (n.is_integer()) {
+    PutU8(out, 0);
+    PutI64(out, n.AsInt());
+  } else {
+    PutU8(out, 1);
+    PutDouble(out, n.AsDouble());
+  }
+}
+
+Status DecodeNumeric(BufReader* in, Numeric* out) {
+  uint8_t tag;
+  if (!in->GetU8(&tag)) {
+    return Status::InvalidArgument("numeric: truncated tag");
+  }
+  if (tag == 0) {
+    int64_t i;
+    if (!in->GetI64(&i)) {
+      return Status::InvalidArgument("numeric: truncated int payload");
+    }
+    *out = Numeric(i);
+    return Status::Ok();
+  }
+  if (tag == 1) {
+    double d;
+    if (!in->GetDouble(&d)) {
+      return Status::InvalidArgument("numeric: truncated double payload");
+    }
+    *out = Numeric(d);
+    return Status::Ok();
+  }
+  return Status::InvalidArgument("numeric: unknown tag " +
+                                 std::to_string(tag));
+}
+
+void EncodeKey(const Value* values, size_t n, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) EncodeValue(values[i], out);
+}
+
+void EncodeDelta(const exec::RelationDelta& delta, std::string* out) {
+  const std::string& name = delta.relation.str();
+  PutU32(out, static_cast<uint32_t>(name.size()));
+  out->append(name);
+  PutU32(out, static_cast<uint32_t>(delta.arity()));
+  PutU64(out, delta.size());
+  for (const std::vector<Value>& column : delta.columns) {
+    for (const Value& v : column) EncodeValue(v, out);
+  }
+  for (const Numeric& m : delta.mults) EncodeNumeric(m, out);
+}
+
+Status DecodeDelta(BufReader* in, const ring::Catalog& catalog,
+                   exec::RelationDelta* out) {
+  uint32_t name_len;
+  std::string name;
+  if (!in->GetU32(&name_len) || !in->GetString(&name, name_len)) {
+    return Status::InvalidArgument("delta: truncated relation name");
+  }
+  const Symbol relation = Symbol::Intern(name);
+  if (!catalog.Has(relation)) {
+    return Status::InvalidArgument("delta: unknown relation '" + name + "'");
+  }
+  uint32_t arity;
+  uint64_t rows;
+  if (!in->GetU32(&arity) || !in->GetU64(&rows)) {
+    return Status::InvalidArgument("delta: truncated header");
+  }
+  if (arity != catalog.Arity(relation)) {
+    return Status::InvalidArgument(
+        "delta: arity mismatch for '" + name + "': encoded " +
+        std::to_string(arity) + ", catalog " +
+        std::to_string(catalog.Arity(relation)));
+  }
+  if (!PlausibleCount(*in, rows) ||
+      (arity > 0 && !PlausibleCount(*in, rows * arity))) {
+    return Status::InvalidArgument("delta: implausible row count " +
+                                   std::to_string(rows));
+  }
+  out->relation = relation;
+  out->columns.assign(arity, {});
+  out->mults.clear();
+  for (std::vector<Value>& column : out->columns) {
+    column.reserve(rows);
+    for (uint64_t r = 0; r < rows; ++r) {
+      Value v;
+      RINGDB_RETURN_IF_ERROR(DecodeValue(in, &v));
+      column.push_back(std::move(v));
+    }
+  }
+  out->mults.reserve(rows);
+  for (uint64_t r = 0; r < rows; ++r) {
+    Numeric m;
+    RINGDB_RETURN_IF_ERROR(DecodeNumeric(in, &m));
+    out->mults.push_back(m);
+  }
+  return Status::Ok();
+}
+
+void EncodeBatch(const exec::UpdateBatch& batch, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(batch.deltas().size()));
+  for (const exec::RelationDelta& delta : batch.deltas()) {
+    EncodeDelta(delta, out);
+  }
+}
+
+StatusOr<exec::UpdateBatch> DecodeBatch(const ring::Catalog& catalog,
+                                        std::string_view payload) {
+  BufReader in(payload);
+  uint32_t num_deltas;
+  if (!in.GetU32(&num_deltas)) {
+    return Status::InvalidArgument("batch: truncated delta count");
+  }
+  if (!PlausibleCount(in, num_deltas)) {
+    return Status::InvalidArgument("batch: implausible delta count " +
+                                   std::to_string(num_deltas));
+  }
+  std::vector<exec::RelationDelta> deltas(num_deltas);
+  for (uint32_t i = 0; i < num_deltas; ++i) {
+    RINGDB_RETURN_IF_ERROR(DecodeDelta(&in, catalog, &deltas[i]));
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument(
+        "batch: " + std::to_string(in.remaining()) +
+        " trailing bytes after last delta");
+  }
+  return exec::UpdateBatch::FromDeltas(std::move(deltas));
+}
+
+}  // namespace log
+}  // namespace ringdb

@@ -1,0 +1,106 @@
+// Binary serialization of delta windows: Value / Numeric / RelationDelta
+// / UpdateBatch <-> bytes, the payload format of WAL records and
+// checkpoint entries.
+//
+// Design rules:
+//  - Little-endian fixed-width integers, no varints: the format is a
+//    recovery log read back by the same binary family, not a wire
+//    protocol; fixed widths keep encode/decode branch-free and make
+//    torn-tail arithmetic exact in tests.
+//  - Doubles are raw IEEE-754 bit patterns, so -0.0, NaN payloads, and
+//    subnormals round-trip bit-exactly (Value's hash normalizes -0.0 at
+//    *hash* time, not at storage time — the log must preserve storage).
+//  - Symbols are process-local interned ids, so relations are encoded by
+//    *name* and re-interned on decode; a log written by one process is
+//    replayable by any other.
+//  - Decoding is bounds-checked everywhere and validates against the
+//    catalog (relation known, arity matches). Corruption that slips past
+//    the record CRC surfaces as Status, never as UB or a crash.
+//
+// Layouts (all integers little-endian):
+//   Value         := kind:u8 (0 int | 1 double | 2 string)
+//                    int -> i64; double -> 8 raw bytes; string -> len:u32 bytes
+//   Numeric       := tag:u8 (0 int | 1 double) payload:8 bytes
+//   RelationDelta := name_len:u32 name arity:u32 rows:u64
+//                    columns column-major (arity x rows Values)
+//                    mults (rows Numerics)
+//   UpdateBatch   := num_deltas:u32 RelationDelta*
+
+#ifndef RINGDB_LOG_SERIALIZE_H_
+#define RINGDB_LOG_SERIALIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "exec/batch.h"
+#include "ring/database.h"
+#include "util/numeric.h"
+#include "util/status.h"
+#include "util/value.h"
+
+namespace ringdb {
+namespace log {
+
+// Bounds-checked little-endian cursor over a byte span. Get* return
+// false on underflow and leave the output untouched; once any Get
+// failed, ok() stays false (callers may batch their error checks).
+class BufReader {
+ public:
+  BufReader(const char* data, size_t size)
+      : data_(data), size_(size) {}
+  explicit BufReader(std::string_view s) : BufReader(s.data(), s.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  bool GetU8(uint8_t* out);
+  bool GetU32(uint32_t* out);
+  bool GetU64(uint64_t* out);
+  bool GetI64(int64_t* out);
+  bool GetDouble(double* out);  // raw bit pattern
+  bool GetBytes(void* out, size_t n);
+  bool GetString(std::string* out, uint32_t len);
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Little-endian primitive appenders (encode side; appending to a string
+// keeps record assembly a single allocation-amortized buffer).
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutDouble(std::string* out, double v);  // raw bit pattern
+
+void EncodeValue(const Value& v, std::string* out);
+Status DecodeValue(BufReader* in, Value* out);
+
+void EncodeNumeric(Numeric n, std::string* out);
+Status DecodeNumeric(BufReader* in, Numeric* out);
+
+// A key / tuple as count-prefixed Values (checkpoint entries).
+void EncodeKey(const Value* values, size_t n, std::string* out);
+
+void EncodeDelta(const exec::RelationDelta& delta, std::string* out);
+// Decodes and validates one delta: the relation must exist in `catalog`
+// with the encoded arity. The symbol is re-interned by name.
+Status DecodeDelta(BufReader* in, const ring::Catalog& catalog,
+                   exec::RelationDelta* out);
+
+void EncodeBatch(const exec::UpdateBatch& batch, std::string* out);
+// Decodes a full batch payload; fails unless the payload is consumed
+// exactly (trailing garbage means a framing bug, not a valid batch).
+StatusOr<exec::UpdateBatch> DecodeBatch(const ring::Catalog& catalog,
+                                        std::string_view payload);
+
+}  // namespace log
+}  // namespace ringdb
+
+#endif  // RINGDB_LOG_SERIALIZE_H_

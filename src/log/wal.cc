@@ -1,0 +1,285 @@
+#include "log/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <vector>
+
+#include "log/crash_point.h"
+#include "log/crc32.h"
+#include "log/serialize.h"
+
+namespace ringdb {
+namespace log {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " +
+                          std::strerror(errno));
+}
+
+// Group-commit delay needs a real clock even in -DRINGDB_NO_METRICS
+// builds (obs::NowNs compiles to 0 there), so the WAL keeps its own.
+uint64_t MonotonicNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever: return "never";
+    case FsyncPolicy::kEveryWindow: return "window";
+    case FsyncPolicy::kGroupCommit: return "group";
+  }
+  return "?";
+}
+
+WalWriter::~WalWriter() {
+  // No sync: an unclean exit must leave exactly what the kernel already
+  // has, not retroactively look durable.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    offset_ = other.offset_;
+    records_ = other.records_;
+    bytes_ = other.bytes_;
+    fsyncs_ = other.fsyncs_;
+    unsynced_windows_ = other.unsynced_windows_;
+    last_sync_ns_ = other.last_sync_ns_;
+  }
+  return *this;
+}
+
+StatusOr<WalWriter> WalWriter::Open(const std::string& path,
+                                    WalOptions options) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) return Errno("cannot open wal", path);
+  WalWriter writer;
+  writer.fd_ = fd;
+  writer.path_ = path;
+  writer.options_ = options;
+  writer.last_sync_ns_ = MonotonicNs();
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) return Errno("cannot seek wal", path);
+  if (end == 0) {
+    RINGDB_RETURN_IF_ERROR(writer.WriteAll(kWalMagic, sizeof(kWalMagic)));
+    writer.offset_ = kWalHeaderSize;
+  } else {
+    writer.offset_ = static_cast<uint64_t>(end);
+  }
+  return writer;
+}
+
+Status WalWriter::WriteAll(const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t w = ::write(fd_, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("wal write failed", path_);
+    }
+    done += static_cast<size_t>(w);
+  }
+  return Status::Ok();
+}
+
+bool WalWriter::GroupCommitDue() const {
+  if (unsynced_windows_ >= options_.group_windows) return true;
+  const uint64_t elapsed_ns = MonotonicNs() - last_sync_ns_;
+  return elapsed_ns / 1000000 >= options_.group_max_delay_ms;
+}
+
+Status WalWriter::DoSync() {
+  RINGDB_CRASH_POINT("wal:before_fsync");
+  if (::fsync(fd_) != 0) return Errno("wal fsync failed", path_);
+  ++fsyncs_;
+  unsynced_windows_ = 0;
+  last_sync_ns_ = MonotonicNs();
+  RINGDB_CRASH_POINT("wal:after_fsync");
+  return Status::Ok();
+}
+
+Status WalWriter::Append(uint64_t seq, uint64_t events,
+                         uint64_t updates_after,
+                         std::string_view batch_bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("wal is closed");
+  // Assemble payload then prepend length + checksum; one buffer, one
+  // logical record, two write() calls with a kill point between so the
+  // fault harness produces genuinely torn on-disk records.
+  scratch_.clear();
+  PutU64(&scratch_, seq);
+  PutU64(&scratch_, events);
+  PutU64(&scratch_, updates_after);
+  scratch_.append(batch_bytes.data(), batch_bytes.size());
+  const uint32_t len = static_cast<uint32_t>(scratch_.size());
+  const uint32_t crc = Crc32(scratch_);
+  std::string header;
+  PutU32(&header, len);
+  PutU32(&header, crc);
+
+  RINGDB_CRASH_POINT("wal:before_record");
+  RINGDB_RETURN_IF_ERROR(WriteAll(header.data(), header.size()));
+  RINGDB_CRASH_POINT("wal:torn_record");
+  // Split the payload write so a kill can also land mid-payload (a
+  // record whose length and checksum prefix are intact but whose body
+  // is short — the CRC-mismatch flavor of a torn tail).
+  const size_t half = scratch_.size() / 2;
+  RINGDB_RETURN_IF_ERROR(WriteAll(scratch_.data(), half));
+  RINGDB_CRASH_POINT("wal:torn_payload");
+  RINGDB_RETURN_IF_ERROR(
+      WriteAll(scratch_.data() + half, scratch_.size() - half));
+  RINGDB_CRASH_POINT("wal:after_record");
+
+  offset_ += kWalRecordHeaderSize + scratch_.size();
+  bytes_ += kWalRecordHeaderSize + scratch_.size();
+  ++records_;
+  ++unsynced_windows_;
+
+  switch (options_.policy) {
+    case FsyncPolicy::kNever:
+      break;
+    case FsyncPolicy::kEveryWindow:
+      RINGDB_RETURN_IF_ERROR(DoSync());
+      break;
+    case FsyncPolicy::kGroupCommit:
+      if (GroupCommitDue()) RINGDB_RETURN_IF_ERROR(DoSync());
+      break;
+  }
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("wal is closed");
+  if (unsynced_windows_ == 0) return Status::Ok();
+  return DoSync();
+}
+
+Status WalWriter::Close() {
+  if (fd_ < 0) return Status::Ok();
+  Status synced = unsynced_windows_ > 0 ? DoSync() : Status::Ok();
+  if (::close(fd_) != 0 && synced.ok()) {
+    synced = Errno("wal close failed", path_);
+  }
+  fd_ = -1;
+  return synced;
+}
+
+Status ScanWal(const std::string& path,
+               const std::function<Status(const WalRecordView&)>& fn,
+               WalScanResult* result) {
+  *result = WalScanResult{};
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) return Status::Ok();  // no log yet: empty scan
+    return Errno("cannot open wal", path);
+  }
+  struct Closer {
+    std::FILE* f;
+    ~Closer() { std::fclose(f); }
+  } closer{f};
+
+  if (std::fseek(f, 0, SEEK_END) != 0) return Errno("cannot seek", path);
+  const long size = std::ftell(f);
+  if (size < 0) return Errno("cannot tell", path);
+  result->file_size = static_cast<uint64_t>(size);
+  std::rewind(f);
+
+  if (result->file_size == 0) return Status::Ok();  // created, not headed
+
+  char magic[kWalHeaderSize];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic)) {
+    // A crash while the 8-byte header itself was in flight: torn, not
+    // foreign. Truncating to zero lets the reopened writer re-head it.
+    result->torn = true;
+    result->torn_reason = "partial file header";
+    result->valid_end = 0;
+    return Status::Ok();
+  }
+  if (std::memcmp(magic, kWalMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("not a wal file (bad header): " + path);
+  }
+  result->valid_end = kWalHeaderSize;
+
+  std::vector<char> payload;
+  auto torn = [&](std::string reason) {
+    result->torn = result->valid_end < result->file_size;
+    result->torn_reason = std::move(reason);
+    return Status::Ok();
+  };
+  while (true) {
+    const uint64_t record_offset = result->valid_end;
+    char header[kWalRecordHeaderSize];
+    const size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got == 0) return torn("end of file");
+    if (got < sizeof(header)) return torn("truncated record header");
+    BufReader hr(header, sizeof(header));
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    hr.GetU32(&len);
+    hr.GetU32(&crc);
+    if (len < kWalPayloadHeaderSize || len > kWalMaxRecordBytes) {
+      // Covers zero-fill (len=0 checks out against an empty payload's
+      // CRC of 0, so the length bound must reject it first) and
+      // bit-flipped lengths.
+      return torn("implausible record length " + std::to_string(len));
+    }
+    if (record_offset + kWalRecordHeaderSize + len > result->file_size) {
+      return torn("record extends past end of file");
+    }
+    payload.resize(len);
+    if (std::fread(payload.data(), 1, len, f) != len) {
+      return torn("truncated record payload");
+    }
+    if (Crc32(static_cast<const void*>(payload.data()), len) != crc) {
+      return torn("checksum mismatch");
+    }
+    BufReader pr(payload.data(), len);
+    WalRecordView record;
+    pr.GetU64(&record.seq);
+    pr.GetU64(&record.events);
+    pr.GetU64(&record.updates_after);
+    record.batch_bytes =
+        std::string_view(payload.data() + kWalPayloadHeaderSize,
+                         len - kWalPayloadHeaderSize);
+    record.offset = record_offset;
+    if (record.seq <= result->last_seq) {
+      // Sequence numbers strictly increase for the log's whole life;
+      // a CRC-valid record that breaks that is stale or corrupt bytes
+      // that happened to checksum — stop here rather than replay it.
+      return torn("non-monotone sequence " + std::to_string(record.seq) +
+                  " after " + std::to_string(result->last_seq));
+    }
+    RINGDB_RETURN_IF_ERROR(fn(record));
+    ++result->records;
+    result->last_seq = record.seq;
+    result->last_updates_after = record.updates_after;
+    result->valid_end = record_offset + kWalRecordHeaderSize + len;
+  }
+}
+
+Status TruncateWal(const std::string& path, uint64_t offset) {
+  if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+    return Errno("cannot truncate wal", path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace log
+}  // namespace ringdb

@@ -1,0 +1,167 @@
+// Write-ahead log of applied update windows.
+//
+// One append-only file of length-prefixed, CRC-checksummed records, one
+// record per coalesced ingest window, written *before* the window fans
+// out to the engines (write-ahead: a crash after the append replays the
+// window, a crash before it loses only what the producer never had
+// acknowledged durable). The record payload carries the window's
+// monotone sequence number, its pre-coalesce event count, the cumulative
+// event epoch after it, and the serialized UpdateBatch
+// (log/serialize.h), so replay re-enters the normal ApplyPrepared path
+// with byte-identical deltas.
+//
+// File layout:
+//   header  := "RDBWAL1\n" (8 bytes)
+//   record  := len:u32 crc:u32 payload[len]     (crc = CRC-32 of payload)
+//   payload := seq:u64 events:u64 updates_after:u64 batch_bytes
+//
+// Torn-tail discipline (the MariaDB/innodb recover-to-epoch shape): a
+// scan accepts records while length, checksum, minimum payload size, and
+// sequence monotonicity all hold, and treats the first violation as the
+// torn tail of a crashed write — everything from that offset on is
+// discarded by truncation, never "repaired". A record is only readable
+// if every byte of it made it to disk, so recovery lands exactly on a
+// window boundary.
+//
+// Fsync policy mirrors the classic trade (innodb_flush_log_at_trx_commit):
+//   kNever       - no fsync; survives process kill (page cache persists),
+//                  not OS crash/power loss.
+//   kEveryWindow - fsync after every record; full durability.
+//   kGroupCommit - fsync every N windows or when max_delay elapsed since
+//                  the last sync, whichever first, checked at append
+//                  granularity (no timer thread: an idle log defers its
+//                  tail to Sync()/Close()).
+
+#ifndef RINGDB_LOG_WAL_H_
+#define RINGDB_LOG_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ringdb {
+namespace log {
+
+inline constexpr char kWalMagic[8] = {'R', 'D', 'B', 'W',
+                                      'A', 'L', '1', '\n'};
+inline constexpr size_t kWalHeaderSize = 8;
+inline constexpr size_t kWalRecordHeaderSize = 8;   // len + crc
+inline constexpr size_t kWalPayloadHeaderSize = 24; // seq, events, updates
+// Length sanity bound: a bit-flipped length field must not drive a
+// multi-gigabyte allocation during scan.
+inline constexpr uint32_t kWalMaxRecordBytes = 1u << 30;
+
+enum class FsyncPolicy : uint8_t {
+  kNever = 0,
+  kEveryWindow = 1,
+  kGroupCommit = 2,
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+struct WalOptions {
+  FsyncPolicy policy = FsyncPolicy::kEveryWindow;
+  // kGroupCommit knobs: sync after this many unsynced windows, or when
+  // this much wall time passed since the last sync — whichever first.
+  uint64_t group_windows = 8;
+  uint64_t group_max_delay_ms = 50;
+};
+
+// Appender. Open() assumes any torn tail was already truncated by a
+// prior RecoverWal/ScanWal pass (DurableLog guarantees the order);
+// appends go at the current end of file.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(WalWriter&& other) noexcept { *this = std::move(other); }
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Opens (creating + writing the header if absent or empty).
+  static StatusOr<WalWriter> Open(const std::string& path,
+                                  WalOptions options);
+
+  // Appends one window record; applies the fsync policy. `seq` must
+  // strictly increase across the log's life (the scan enforces it).
+  Status Append(uint64_t seq, uint64_t events, uint64_t updates_after,
+                std::string_view batch_bytes);
+
+  // Forces an fsync of everything appended so far (group-commit tail,
+  // pre-checkpoint barrier).
+  Status Sync();
+
+  // Sync + close. Idempotent; the destructor closes without syncing
+  // (crash semantics are the WAL's whole point — an unclean exit must
+  // not look cleaner than it was).
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t offset() const { return offset_; }
+
+  // Cumulative effort counters (exported through obs by DurableLog).
+  uint64_t records_appended() const { return records_; }
+  uint64_t bytes_appended() const { return bytes_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+  uint64_t unsynced_windows() const { return unsynced_windows_; }
+
+ private:
+  Status WriteAll(const char* data, size_t n);
+  bool GroupCommitDue() const;
+  Status DoSync();
+
+  int fd_ = -1;
+  std::string path_;
+  WalOptions options_;
+  uint64_t offset_ = 0;
+  uint64_t records_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t unsynced_windows_ = 0;
+  uint64_t last_sync_ns_ = 0;
+  std::string scratch_;  // record assembly buffer, reused per append
+};
+
+// One decoded record during a scan; `batch_bytes` points into the
+// scan's buffer and is only valid inside the callback.
+struct WalRecordView {
+  uint64_t seq = 0;
+  uint64_t events = 0;
+  uint64_t updates_after = 0;
+  std::string_view batch_bytes;
+  uint64_t offset = 0;  // file offset of the record's length prefix
+};
+
+struct WalScanResult {
+  uint64_t records = 0;
+  uint64_t last_seq = 0;            // 0 when no record was valid
+  uint64_t last_updates_after = 0;
+  uint64_t valid_end = 0;           // offset just past the last valid record
+  uint64_t file_size = 0;
+  bool torn = false;                // valid_end < file_size
+  std::string torn_reason;
+};
+
+// Scans `path`, invoking fn per valid record in order, stopping at the
+// first torn/invalid one (reported via *result, not as an error). A
+// missing file scans as empty. Errors are real I/O or header problems
+// (unreadable file, wrong magic) — the callers treat those as "this is
+// not our log", not as a tail to truncate. A non-ok status from fn
+// aborts the scan and is returned as-is.
+Status ScanWal(const std::string& path,
+               const std::function<Status(const WalRecordView&)>& fn,
+               WalScanResult* result);
+
+// Truncates the file to `offset` (the scan's valid_end): discards a torn
+// tail so the next append starts on a record boundary.
+Status TruncateWal(const std::string& path, uint64_t offset);
+
+}  // namespace log
+}  // namespace ringdb
+
+#endif  // RINGDB_LOG_WAL_H_

@@ -183,6 +183,12 @@ class Executor {
   const ViewTable& root() const {
     return views_[static_cast<size_t>(program_.root_view)];
   }
+  size_t num_views() const { return views_.size(); }
+  // Checkpoint-recovery load hook (log/checkpoint.cc): bulk-inserts
+  // restored entries into an otherwise untouched executor. Not for use
+  // during normal maintenance — views are trigger-owned state.
+  ViewTable& mutable_view(int id) { return views_[static_cast<size_t>(id)]; }
+  bool has_lazy_views() const { return has_lazy_views_; }
 
   const Stats& stats() const { return stats_; }
   // Per-statement counters, indexed by StmtProgram::stmt_id (see

@@ -175,21 +175,42 @@ StatusOr<std::shared_ptr<const NativeModule>> NativeModule::Build(
   const fs::path so = dir / (std::string(key) + ".so");
 
   std::error_code ec;
-  if (!fs::exists(so, ec)) {
+  const bool cached = fs::exists(so, ec);
+  if (!cached) {
     RINGDB_RETURN_IF_ERROR(WriteFileAtomic(src, gen.source));
     RINGDB_RETURN_IF_ERROR(CompileSo(cc, src, so));
   }
 
-  void* handle = ::dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  auto loaded = LoadAndResolve(so.string(), gen);
+  if (!loaded.ok() && cached) {
+    // The cache lied: the hash-keyed name promised a loadable module for
+    // this exact source, but the artifact would not dlopen, failed the
+    // ABI handshake, or is missing symbols (truncated or bit-rotted
+    // file, cache shared with an incompatible build). Evict it and pay
+    // the compile once — never surface a corrupt cache entry as an
+    // engine-construction error.
+    fs::remove(so, ec);
+    RINGDB_RETURN_IF_ERROR(WriteFileAtomic(src, gen.source));
+    RINGDB_RETURN_IF_ERROR(CompileSo(cc, src, so));
+    loaded = LoadAndResolve(so.string(), gen);
+  }
+  if (!loaded.ok()) return loaded.status();
+  std::shared_ptr<NativeModule> module = std::move(loaded).value();
+  module->source_ = std::move(gen.source);
+  return std::shared_ptr<const NativeModule>(std::move(module));
+}
+
+StatusOr<std::shared_ptr<NativeModule>> NativeModule::LoadAndResolve(
+    const std::string& so_path, const compiler::CodegenModule& gen) {
+  void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (handle == nullptr) {
     const char* err = ::dlerror();
-    return Status::Internal("dlopen(" + so.string() +
+    return Status::Internal("dlopen(" + so_path +
                             ") failed: " + (err ? err : "?"));
   }
   auto module = std::shared_ptr<NativeModule>(new NativeModule());
   module->handle_ = handle;
-  module->so_path_ = so.string();
-  module->source_ = std::move(gen.source);
+  module->so_path_ = so_path;
 
   // ABI handshake before touching any statement symbol: a stale cached
   // artifact from an older ABI must be rejected, not executed.
@@ -200,7 +221,7 @@ StatusOr<std::shared_ptr<const NativeModule>> NativeModule::Build(
   if (version == nullptr || layout == nullptr ||
       static_cast<uint32_t>(*version) != RDB_ABI_VERSION ||
       *layout != RdbAbiLayout()) {
-    return Status::Internal("native module ABI mismatch: " + so.string());
+    return Status::Internal("native module ABI mismatch: " + so_path);
   }
 
   module->fns_.resize(gen.stmts.size());
@@ -248,7 +269,7 @@ StatusOr<std::shared_ptr<const NativeModule>> NativeModule::Build(
       ++module->native_statements_;
     }
   }
-  return std::shared_ptr<const NativeModule>(std::move(module));
+  return module;
 }
 
 NativeModule::~NativeModule() {

@@ -79,6 +79,13 @@ class NativeModule {
  private:
   NativeModule() = default;
 
+  // dlopen + ABI handshake + per-statement symbol resolution for one
+  // on-disk artifact. Split from Build so a failing *cached* artifact
+  // (truncated, bit-rotted, or from an older ABI) can be evicted and
+  // rebuilt instead of surfacing as a hard error.
+  static StatusOr<std::shared_ptr<NativeModule>> LoadAndResolve(
+      const std::string& so_path, const compiler::CodegenModule& gen);
+
   void* handle_ = nullptr;  // dlclosed by the destructor
   std::vector<std::vector<StmtFns>> fns_;
   size_t native_statements_ = 0;

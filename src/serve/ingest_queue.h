@@ -24,6 +24,7 @@
 #ifndef RINGDB_SERVE_INGEST_QUEUE_H_
 #define RINGDB_SERVE_INGEST_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -44,6 +45,7 @@ class IngestQueue {
     size_t depth = 0;
     size_t capacity = 0;
     uint64_t stalls = 0;                // Push calls that hit the bound
+    uint64_t timeouts = 0;              // TryPushFor calls that gave up
     obs::HistogramSnapshot stall_ns;    // how long those blocked
     obs::HistogramSnapshot wait_ns;     // per-event enqueue→dequeue wait
     obs::HistogramSnapshot window_size; // events per popped window
@@ -73,6 +75,34 @@ class IngestQueue {
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  enum class PushResult { kAccepted, kTimedOut, kClosed };
+
+  // Push with a bounded wait: blocks at most `timeout` for space, then
+  // gives the update back to the caller as kTimedOut instead of hanging
+  // the producer forever behind a stalled consumer. kTimedOut leaves the
+  // queue unchanged — the caller decides whether to retry or shed load.
+  PushResult TryPushFor(ring::Update update,
+                        std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!closed_ && items_.size() >= capacity_) {
+      RINGDB_OBS(stalls_.Add());
+      const uint64_t t0 = obs::NowNs();
+      const bool has_space = not_full_.wait_for(
+          lock, timeout,
+          [&] { return closed_ || items_.size() < capacity_; });
+      RINGDB_OBS(stall_ns_.Record(obs::NowNs() - t0));
+      if (!has_space) {
+        RINGDB_OBS(timeouts_.Add());
+        return PushResult::kTimedOut;
+      }
+    }
+    if (closed_) return PushResult::kClosed;
+    items_.push_back(Item{std::move(update), obs::NowNs()});
+    lock.unlock();
+    not_empty_.notify_one();
+    return PushResult::kAccepted;
   }
 
   // Pops up to max_n events into *out (cleared first), blocking until at
@@ -120,6 +150,7 @@ class IngestQueue {
     s.depth = size();
     s.capacity = capacity_;
     s.stalls = stalls_.Value();
+    s.timeouts = timeouts_.Value();
     s.stall_ns = stall_ns_.Snapshot();
     s.wait_ns = wait_ns_.Snapshot();
     s.window_size = window_size_.Snapshot();
@@ -140,6 +171,7 @@ class IngestQueue {
   bool closed_ = false;
 
   obs::Counter stalls_;
+  obs::Counter timeouts_;
   obs::Histogram stall_ns_;
   obs::Histogram wait_ns_;
   obs::Histogram window_size_;

@@ -1,6 +1,7 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "sql/translate.h"
@@ -60,8 +61,62 @@ StatusOr<QueryId> QueryService::RegisterSql(std::string name,
                   std::move(translated.body));
 }
 
+std::vector<log::DurableLog::EngineSlot> QueryService::EngineSlots() const {
+  std::vector<log::DurableLog::EngineSlot> slots;
+  slots.reserve(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    // Registration order names the checkpoint families; a service must
+    // register its queries in the same order across restarts (the
+    // program fingerprint rejects a swapped assignment regardless).
+    slots.push_back({"q" + std::to_string(i), queries_[i]->engine.get()});
+  }
+  return slots;
+}
+
+void QueryService::DisableDurability(Status error) {
+  std::lock_guard<std::mutex> lock(dlog_mu_);
+  if (durability_status_.ok()) durability_status_ = std::move(error);
+  if (dlog_ != nullptr) {
+    (void)dlog_->Close();  // best effort; the error is already recorded
+    dlog_.reset();
+  }
+}
+
+void QueryService::RecoverDurability() {
+  if (!options_.durability.enabled()) return;
+  auto opened = log::DurableLog::Open(catalog_, options_.durability);
+  if (!opened.ok()) {
+    DisableDurability(opened.status());
+    return;
+  }
+  std::unique_ptr<log::DurableLog> dlog = std::move(opened).value();
+  Status recovered = dlog->Recover(EngineSlots());
+  if (!recovered.ok()) {
+    // Fail-stop, not fatal: the engines may hold a partial replay, but
+    // every snapshot still advertises the pre-recovery epoch 0 and no
+    // new windows were applied — republish nothing, serve memory-only.
+    DisableDurability(std::move(recovered));
+    return;
+  }
+  recovered_seq_ = dlog->recovered_seq();
+  recovered_updates_ = dlog->recovered_updates();
+  if (recovered_seq_ > 0) {
+    // Republish every query at the recovered epoch: readers of the
+    // restarted service resume exactly at "a replay of the first
+    // recovered_updates events", the invariant snapshots advertise.
+    for (auto& query : queries_) {
+      query->snapshot.store(ResultSnapshot::Build(
+          query->info, *query->engine, recovered_seq_, recovered_updates_));
+    }
+    RINGDB_OBS(windows_.SetMax(static_cast<int64_t>(recovered_seq_)));
+  }
+  std::lock_guard<std::mutex> lock(dlog_mu_);
+  dlog_ = std::move(dlog);
+}
+
 void QueryService::Start() {
   RINGDB_CHECK(!started_ && !stopped_);
+  RecoverDurability();  // before any thread exists; engines are quiescent
   started_ = true;
   for (size_t i = 1; i < queries_.size(); ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -84,17 +139,39 @@ Status QueryService::Push(const ring::Update& update) {
     std::lock_guard<std::mutex> lock(drain_mu_);
     ++pushed_;
   }
-  if (!queue_.Push(update)) {
+  // Not accepted after all: undo the drain accounting. The rollback may
+  // have made Drain's predicate true with no further applies coming, so
+  // wake waiters too.
+  auto rollback = [&] {
     {
       std::lock_guard<std::mutex> lock(drain_mu_);
       --pushed_;
     }
-    // The rollback may have made Drain's predicate true with no further
-    // applies coming (the queue is closed), so wake waiters here too.
     drain_cv_.notify_all();
-    return Status::FailedPrecondition("ingest queue closed");
+  };
+  if (options_.push_timeout_ms == 0) {
+    // No deadline: block on backpressure for as long as it takes.
+    if (!queue_.Push(update)) {
+      rollback();
+      return Status::FailedPrecondition("ingest queue closed");
+    }
+    return Status::Ok();
   }
-  return Status::Ok();
+  switch (queue_.TryPushFor(
+      update, std::chrono::milliseconds(options_.push_timeout_ms))) {
+    case IngestQueue::PushResult::kAccepted:
+      return Status::Ok();
+    case IngestQueue::PushResult::kTimedOut:
+      rollback();
+      return Status::Unavailable(
+          "ingest queue full: no space within " +
+          std::to_string(options_.push_timeout_ms) + "ms (retryable)");
+    case IngestQueue::PushResult::kClosed:
+      rollback();
+      return Status::FailedPrecondition("ingest queue closed");
+  }
+  RINGDB_CHECK(false);
+  return Status::Internal("unreachable");
 }
 
 void QueryService::Drain() {
@@ -104,6 +181,7 @@ void QueryService::Drain() {
 
 void QueryService::Stop() {
   if (stopped_) return;
+  stall_batcher_.store(false, std::memory_order_release);
   queue_.Close();
   if (batcher_.joinable()) batcher_.join();  // drains accepted updates
   {
@@ -113,6 +191,17 @@ void QueryService::Stop() {
   work_cv_.notify_all();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
+  }
+  {
+    // Batcher joined: the WAL tail is quiescent. A clean stop syncs it,
+    // so kGroupCommit loses nothing across an orderly restart.
+    std::lock_guard<std::mutex> lock(dlog_mu_);
+    if (dlog_ != nullptr) {
+      Status closed = dlog_->Close();
+      if (!closed.ok() && durability_status_.ok()) {
+        durability_status_ = std::move(closed);
+      }
+    }
   }
   stopped_ = true;
 }
@@ -127,6 +216,11 @@ Status QueryService::status() const {
     if (!query->apply_status.ok()) return query->apply_status;
   }
   return Status::Ok();
+}
+
+Status QueryService::durability_status() const {
+  std::lock_guard<std::mutex> lock(dlog_mu_);
+  return durability_status_;
 }
 
 runtime::Engine& QueryService::engine(QueryId id) {
@@ -198,9 +292,16 @@ void QueryService::WorkerLoop(size_t query_index) {
 
 void QueryService::BatcherLoop() {
   std::vector<ring::Update> window;
-  uint64_t sequence = 0;
-  uint64_t cumulative_updates = 0;
+  // Window numbering continues across restarts: recovery landed the
+  // engines (and the published snapshots) exactly on this epoch.
+  uint64_t sequence = recovered_seq_;
+  uint64_t cumulative_updates = recovered_updates_;
   while (queue_.PopWindow(options_.batch_size, &window)) {
+    while (stall_batcher_.load(std::memory_order_acquire)) {
+      // Test hook: hold the popped window so producers fill the queue
+      // behind it. Stop() clears the flag before closing the queue.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
     const uint64_t window_ns = obs::NowNs();
     for (const ring::Update& update : window) {
       // Push validated relation and arity; Add cannot fail.
@@ -211,6 +312,20 @@ void QueryService::BatcherLoop() {
     RINGDB_OBS(coalesce_ns_.Record(obs::NowNs() - window_ns));
     cumulative_updates += window.size();
     const uint64_t version = ++sequence;
+    // Write-ahead: the window is logged before any engine sees it, so a
+    // crash anywhere downstream replays it instead of losing it. Append
+    // failure is fail-stop for durability only (record + keep serving).
+    if (dlog_ != nullptr) {
+      Status logged;
+      {
+        std::lock_guard<std::mutex> lock(dlog_mu_);
+        if (dlog_ != nullptr) {
+          logged = dlog_->AppendWindow(version, window.size(),
+                                       cumulative_updates, batch);
+        }
+      }
+      if (!logged.ok()) DisableDurability(std::move(logged));
+    }
     RINGDB_OBS(windows_.Set(static_cast<int64_t>(version)));
     const size_t num_queries = queries_.size();
     if (num_queries > 1) {
@@ -233,6 +348,19 @@ void QueryService::BatcherLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       done_cv_.wait(lock, [&] { return pending_ == 0; });
     }
+    // Every engine has fully applied the window and the workers are
+    // parked — the quiescence WriteCheckpoint requires.
+    if (dlog_ != nullptr) {
+      Status ckpt;
+      {
+        std::lock_guard<std::mutex> lock(dlog_mu_);
+        if (dlog_ != nullptr) {
+          ckpt = dlog_->MaybeCheckpoint(version, cumulative_updates,
+                                        EngineSlots());
+        }
+      }
+      if (!ckpt.ok()) DisableDurability(std::move(ckpt));
+    }
     {
       std::lock_guard<std::mutex> lock(drain_mu_);
       applied_ += window.size();
@@ -250,6 +378,10 @@ QueryService::ServiceStats QueryService::Stats() const {
   }
   out.windows = windows_.Value();
   out.queue = queue_.GetStats();
+  {
+    std::lock_guard<std::mutex> lock(dlog_mu_);
+    if (dlog_ != nullptr) out.durability = dlog_->GetStats();
+  }
   out.coalesce_ns = coalesce_ns_.Snapshot();
   out.query_apply_ns = query_apply_ns_.Snapshot();
   out.publish_age_ns = publish_age_ns_.Snapshot();
@@ -292,6 +424,21 @@ std::string QueryService::StatsText() const {
   span("coalesce", st.coalesce_ns);
   span("query_apply", st.query_apply_ns);
   span("publish_age", st.publish_age_ns);
+  if (st.durability.enabled) {
+    out += "durability: policy=" + st.durability.policy +
+           " wal_records=" + std::to_string(st.durability.wal_records) +
+           " wal_bytes=" + std::to_string(st.durability.wal_bytes) +
+           " fsyncs=" + std::to_string(st.durability.wal_fsyncs) +
+           " unsynced=" + std::to_string(st.durability.unsynced_windows) +
+           " checkpoints=" + std::to_string(st.durability.checkpoints) +
+           " recovered_seq=" + std::to_string(st.durability.recovered_seq) +
+           " recovered_updates=" +
+           std::to_string(st.durability.recovered_updates) +
+           " truncated_bytes=" +
+           std::to_string(st.durability.truncated_bytes) + "\n";
+    span("wal_append", st.durability.append_ns);
+    span("checkpoint", st.durability.checkpoint_ns);
+  }
   TablePrinter table({"query", "version", "windows_applied",
                       "windows_skipped", "staleness"});
   for (const QueryStats& q : st.queries) {
@@ -327,7 +474,30 @@ std::string QueryService::StatsJson(int indent) const {
   obs::AppendHistogramJson(st.query_apply_ns, &out);
   out += ",\n" + pad + "  \"publish_age_ns\": ";
   obs::AppendHistogramJson(st.publish_age_ns, &out);
-  out += ",\n" + pad + "  \"queries\": [\n";
+  out += ",\n" + pad + "  \"durability\": {\"enabled\": " +
+         std::string(st.durability.enabled ? "true" : "false");
+  if (st.durability.enabled) {
+    out += ", \"policy\": \"" + st.durability.policy + "\"" +
+           ", \"wal_records\": " + std::to_string(st.durability.wal_records) +
+           ", \"wal_bytes\": " + std::to_string(st.durability.wal_bytes) +
+           ", \"wal_fsyncs\": " + std::to_string(st.durability.wal_fsyncs) +
+           ", \"unsynced_windows\": " +
+           std::to_string(st.durability.unsynced_windows) +
+           ", \"checkpoints\": " + std::to_string(st.durability.checkpoints) +
+           ", \"recovered_seq\": " +
+           std::to_string(st.durability.recovered_seq) +
+           ", \"recovered_updates\": " +
+           std::to_string(st.durability.recovered_updates) +
+           ", \"recovered_records\": " +
+           std::to_string(st.durability.recovered_records) +
+           ", \"truncated_bytes\": " +
+           std::to_string(st.durability.truncated_bytes) +
+           ", \"append_ns\": ";
+    obs::AppendHistogramJson(st.durability.append_ns, &out);
+    out += ", \"checkpoint_ns\": ";
+    obs::AppendHistogramJson(st.durability.checkpoint_ns, &out);
+  }
+  out += "},\n" + pad + "  \"queries\": [\n";
   for (size_t i = 0; i < st.queries.size(); ++i) {
     const QueryStats& q = st.queries[i];
     out += pad + "    {\"name\": \"" + q.name + "\", \"version\": " +

@@ -46,6 +46,7 @@
 
 #include "agca/ast.h"
 #include "exec/batch.h"
+#include "log/durable_log.h"
 #include "obs/metrics.h"
 #include "ring/database.h"
 #include "runtime/engine.h"
@@ -75,6 +76,16 @@ struct ServeOptions {
   // exactly the long-lived engines the one-time compile cost amortizes
   // over.
   runtime::Backend backend = runtime::Backend::kInterpret;
+  // Durability (log/durable_log.h): when `durability.dir` is non-empty,
+  // Start() recovers the service's state from that directory (checkpoint
+  // load + WAL replay + torn-tail truncation) and every applied window
+  // is logged write-ahead. Empty dir = the memory-only default.
+  log::DurabilityOptions durability;
+  // Push backpressure bound: a producer blocked this long on a full
+  // ingest queue gets Status kUnavailable back instead of blocking
+  // further (load shedding the producer can see). 0 = block forever
+  // (the pre-timeout behavior).
+  uint64_t push_timeout_ms = 30000;
 };
 
 class QueryService {
@@ -102,9 +113,10 @@ class QueryService {
 
   // Enqueues one update. Validated against the catalog here so the
   // producer gets the error synchronously (the asynchronous batcher
-  // could only drop it). Blocks while the queue is full;
-  // FailedPrecondition outside the running window (before Start or
-  // after Stop).
+  // could only drop it). Blocks while the queue is full — at most
+  // options.push_timeout_ms, after which the update is rejected with
+  // kUnavailable (retryable: nothing was enqueued); FailedPrecondition
+  // outside the running window (before Start or after Stop).
   Status Push(const ring::Update& update);
 
   // Blocks until every successfully pushed update has been applied to
@@ -124,6 +136,22 @@ class QueryService {
   // First ingest/apply error, if any. Stable once Drain()/Stop()
   // returned; racing appliers may not have recorded an error yet.
   Status status() const;
+  // First durability error, if any (recovery or WAL append/checkpoint
+  // failure). Durability is fail-stop but non-fatal: on error the
+  // service records it here, stops logging, and keeps serving
+  // memory-only — producers and readers see no difference.
+  Status durability_status() const;
+  // The window/event epoch recovery landed on at Start() (0 when
+  // durability is off or the directory was empty). Snapshots published
+  // before any new window advertise exactly this epoch.
+  uint64_t recovered_seq() const { return recovered_seq_; }
+  uint64_t recovered_updates() const { return recovered_updates_; }
+
+  // Test hook: freeze the batcher between windows so the ingest queue
+  // fills deterministically (exercises the Push timeout path).
+  void TestOnlyStallBatcher(bool stalled) {
+    stall_batcher_.store(stalled, std::memory_order_release);
+  }
 
   // --- Read path: any thread, any time after registration -------------
   // RCU-style reads: one shared_ptr copy out of the query's publication
@@ -175,6 +203,7 @@ class QueryService {
     obs::HistogramSnapshot coalesce_ns;     // window -> delta GMRs
     obs::HistogramSnapshot query_apply_ns;  // per query per window
     obs::HistogramSnapshot publish_age_ns;  // window pop -> snapshot swap
+    log::DurabilityStats durability;        // zeros when durability is off
     std::vector<QueryStats> queries;
   };
   ServiceStats Stats() const;
@@ -203,6 +232,15 @@ class QueryService {
 
   void BatcherLoop();
   void WorkerLoop(size_t query_index);
+  // Start()-time recovery: opens the durable log, loads checkpoints,
+  // replays the WAL into every engine, republishes snapshots at the
+  // recovered epoch. A failure records durability_status_ and leaves
+  // dlog_ null (memory-only service).
+  void RecoverDurability();
+  // One engine slot per query, in registration order ("q0", "q1", ...).
+  std::vector<log::DurableLog::EngineSlot> EngineSlots() const;
+  // Records the first durability error and stops logging (fail-stop).
+  void DisableDurability(Status error);
   // Applies the window's batch to one query and publishes its snapshot.
   // `window_ns` is the window's PopWindow timestamp (publish-age span).
   void ApplyAndPublish(size_t query_index, const exec::UpdateBatch& batch,
@@ -220,6 +258,18 @@ class QueryService {
   // protocol is still Start -> spawn producers -> Push.
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};
+  std::atomic<bool> stall_batcher_{false};  // test hook; Stop() clears it
+
+  // Durability: dlog_ is touched by Start() (recovery, pre-thread), the
+  // batcher thread (append/checkpoint), Stop() (close, post-join), and
+  // Stats() readers — dlog_mu_ serializes them (appends hold it through
+  // their fsync; Stats tolerates that, it is observability).
+  mutable std::mutex dlog_mu_;
+  std::unique_ptr<log::DurableLog> dlog_;
+  Status durability_status_;  // first durability error (guarded by dlog_mu_)
+  uint64_t recovered_seq_ = 0;      // set by Start() before threads spawn
+  uint64_t recovered_updates_ = 0;
+
   std::thread batcher_;
   std::vector<std::thread> workers_;  // worker i serves query i + 1
 

@@ -22,6 +22,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kUnavailable,
 };
 
 // Value-type error carrier. Ok statuses are cheap to copy.
@@ -47,6 +48,9 @@ class Status {
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -66,6 +70,7 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
       case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
       case StatusCode::kInternal: return "INTERNAL";
+      case StatusCode::kUnavailable: return "UNAVAILABLE";
     }
     return "UNKNOWN";
   }

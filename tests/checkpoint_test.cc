@@ -1,0 +1,274 @@
+// ViewTable checkpoint tests (log/checkpoint.h): write/load round trips
+// across shard counts, atomicity of the visible file set, fingerprint
+// rejection of mismatched programs/layouts, fallback from a damaged
+// newest generation, and garbage collection keeping exactly two.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "agca/ast.h"
+#include "exec/batch.h"
+#include "log/checkpoint.h"
+#include "ring/database.h"
+#include "runtime/engine.h"
+#include "util/random.h"
+#include "workload/stream.h"
+
+namespace ringdb {
+namespace {
+
+namespace fs = std::filesystem;
+
+using agca::CmpOp;
+using agca::Expr;
+using agca::ExprPtr;
+using agca::Term;
+using exec::BatchBuilder;
+using ring::Catalog;
+using ring::Update;
+using runtime::Engine;
+using runtime::EngineOptions;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+ExprPtr V(const char* name) { return Expr::Var(S(name)); }
+
+// Revenue-style grouped join over the shared orders/lineitem schema:
+// Sum_[c](orders(o,c) * lineitem(o,p,q) * p * q).
+ExprPtr RevenueBody() {
+  return Expr::Mul(
+      {Expr::Relation(S("orders"), {Term(S("o")), Term(S("c"))}),
+       Expr::Relation(S("lineitem"),
+                      {Term(S("o")), Term(S("p")), Term(S("q"))}),
+       V("p"), V("q")});
+}
+
+Engine MakeEngine(const Catalog& catalog, size_t num_shards = 1) {
+  EngineOptions options;
+  options.num_shards = num_shards;
+  auto engine = Engine::Create(catalog, {S("c")}, RevenueBody(), options);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+// Applies `n` random events through the batch path (the state a live
+// service would checkpoint), in windows of 64.
+void Feed(Engine* engine, const Catalog& catalog, size_t n, uint64_t seed) {
+  BatchBuilder builder(catalog);
+  Rng rng(seed);
+  size_t pending = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool orders = rng.Next() % 2 == 0;
+    std::vector<Value> row;
+    row.push_back(Value(static_cast<int64_t>(rng.Next() % 20)));
+    row.push_back(Value(static_cast<int64_t>(rng.Next() % 10)));
+    if (!orders) {
+      row.push_back(Value(static_cast<int64_t>(rng.Next() % 5)));
+    }
+    const Symbol rel = orders ? S("orders") : S("lineitem");
+    const bool insert = rng.Next() % 4 != 0;
+    ASSERT_TRUE(builder
+                    .Add(insert ? Update::Insert(rel, row)
+                                : Update::Delete(rel, row))
+                    .ok());
+    if (++pending == 64 || i + 1 == n) {
+      ASSERT_TRUE(engine->ApplyPrepared(builder.Build()).ok());
+      pending = 0;
+    }
+  }
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ringdb-ckpt-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::vector<std::string> Files(const std::string& prefix) const {
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind(prefix, 0) == 0) names.push_back(name);
+    }
+    return names;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointTest, RoundTripRestoresStateAndIndexes) {
+  for (size_t shards : {size_t{1}, size_t{2}, size_t{8}}) {
+    Catalog catalog = workload::OrdersSchema();
+    Engine engine = MakeEngine(catalog, shards);
+    ASSERT_TRUE(log::Checkpointable(engine));
+    Feed(&engine, catalog, 500, 42 + shards);
+
+    log::CheckpointMeta meta;
+    meta.seq = 17;
+    meta.updates_applied = 500;
+    meta.wal_offset = 12345;
+    ASSERT_TRUE(
+        log::WriteCheckpoint(dir_.string(), "q0", meta, engine).ok());
+
+    Engine restored = MakeEngine(catalog, shards);
+    log::CheckpointMeta loaded_meta;
+    auto loaded = log::LoadLatestCheckpoint(dir_.string(), "q0", &restored,
+                                            &loaded_meta);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ASSERT_TRUE(*loaded);
+    EXPECT_EQ(loaded_meta.seq, 17u);
+    EXPECT_EQ(loaded_meta.updates_applied, 500u);
+    EXPECT_EQ(loaded_meta.wal_offset, 12345u);
+    EXPECT_EQ(restored.ResultGmr(), engine.ResultGmr());
+
+    // The restored engine must keep working — secondary indexes and the
+    // whole trigger machinery see the loaded entries. Diverging now
+    // would mean the load bypassed something.
+    Feed(&engine, catalog, 300, 77);
+    Feed(&restored, catalog, 300, 77);
+    EXPECT_EQ(restored.ResultGmr(), engine.ResultGmr())
+        << "shards=" << shards;
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+}
+
+TEST_F(CheckpointTest, NoCheckpointLoadsNothing) {
+  Catalog catalog = workload::OrdersSchema();
+  Engine engine = MakeEngine(catalog);
+  log::CheckpointMeta meta;
+  auto loaded =
+      log::LoadLatestCheckpoint(dir_.string(), "q0", &engine, &meta);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(*loaded);
+}
+
+TEST_F(CheckpointTest, FingerprintRejectsDifferentProgramOrLayout) {
+  Catalog catalog = workload::OrdersSchema();
+  Engine engine = MakeEngine(catalog, 2);
+  Feed(&engine, catalog, 200, 1);
+  log::CheckpointMeta meta;
+  meta.seq = 5;
+  ASSERT_TRUE(log::WriteCheckpoint(dir_.string(), "q0", meta, engine).ok());
+
+  // Different shard layout: rejected (falls back to "nothing loaded").
+  Engine other_shards = MakeEngine(catalog, 4);
+  log::CheckpointMeta out;
+  auto loaded = log::LoadLatestCheckpoint(dir_.string(), "q0",
+                                          &other_shards, &out);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(*loaded);
+
+  // Different program under the same name: also rejected.
+  auto scalar = Engine::Create(
+      catalog, {},
+      Expr::Relation(S("orders"), {Term(S("o")), Term(S("c"))}), {});
+  ASSERT_TRUE(scalar.ok());
+  loaded = log::LoadLatestCheckpoint(dir_.string(), "q0",
+                                     &scalar.value(), &out);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(*loaded);
+}
+
+TEST_F(CheckpointTest, DamagedNewestFallsBackToPrevious) {
+  Catalog catalog = workload::OrdersSchema();
+  Engine engine = MakeEngine(catalog);
+  Feed(&engine, catalog, 100, 3);
+  log::CheckpointMeta meta;
+  meta.seq = 10;
+  meta.updates_applied = 100;
+  ASSERT_TRUE(log::WriteCheckpoint(dir_.string(), "q0", meta, engine).ok());
+  const ring::Gmr state_at_10 = engine.ResultGmr();
+
+  Feed(&engine, catalog, 100, 4);
+  meta.seq = 20;
+  meta.updates_applied = 200;
+  ASSERT_TRUE(log::WriteCheckpoint(dir_.string(), "q0", meta, engine).ok());
+
+  // Corrupt the newest file (flip a byte well inside the payload).
+  const fs::path newest = dir_ / "q0.20.ckpt";
+  ASSERT_TRUE(fs::exists(newest));
+  {
+    std::fstream f(newest,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(64);
+    char b = 0;
+    f.seekg(64);
+    f.get(b);
+    f.seekp(64);
+    f.put(static_cast<char>(b ^ 0x40));
+  }
+
+  Engine restored = MakeEngine(catalog);
+  log::CheckpointMeta out;
+  auto loaded =
+      log::LoadLatestCheckpoint(dir_.string(), "q0", &restored, &out);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(*loaded);
+  EXPECT_EQ(out.seq, 10u);  // fell back past the damaged generation
+  EXPECT_EQ(restored.ResultGmr(), state_at_10);
+}
+
+TEST_F(CheckpointTest, KeepsExactlyTwoGenerations) {
+  Catalog catalog = workload::OrdersSchema();
+  Engine engine = MakeEngine(catalog);
+  Feed(&engine, catalog, 50, 5);
+  for (uint64_t seq : {3u, 7u, 11u, 19u}) {
+    log::CheckpointMeta meta;
+    meta.seq = seq;
+    ASSERT_TRUE(
+        log::WriteCheckpoint(dir_.string(), "q0", meta, engine).ok());
+  }
+  std::vector<std::string> files = Files("q0.");
+  ASSERT_EQ(files.size(), 2u);
+  std::sort(files.begin(), files.end());
+  EXPECT_EQ(files[0], "q0.11.ckpt");
+  EXPECT_EQ(files[1], "q0.19.ckpt");
+}
+
+TEST_F(CheckpointTest, NamesAreIndependentFamilies) {
+  Catalog catalog = workload::OrdersSchema();
+  Engine engine = MakeEngine(catalog);
+  Feed(&engine, catalog, 60, 6);
+  log::CheckpointMeta meta;
+  meta.seq = 9;
+  ASSERT_TRUE(log::WriteCheckpoint(dir_.string(), "q0", meta, engine).ok());
+  ASSERT_TRUE(log::WriteCheckpoint(dir_.string(), "q1", meta, engine).ok());
+  EXPECT_EQ(Files("q0.").size(), 1u);
+  EXPECT_EQ(Files("q1.").size(), 1u);
+  // Loading q1 does not see q0's files.
+  Engine restored = MakeEngine(catalog);
+  log::CheckpointMeta out;
+  auto loaded =
+      log::LoadLatestCheckpoint(dir_.string(), "q1", &restored, &out);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(*loaded);
+}
+
+TEST_F(CheckpointTest, LazyViewProgramsAreNotCheckpointable) {
+  Catalog catalog;
+  catalog.AddRelation(S("Rck"), {S("A")});
+  catalog.AddRelation(S("Sck"), {S("A")});
+  // Inequality join forces lazily initialized domain views.
+  auto engine = Engine::Create(
+      catalog, {},
+      Expr::Mul({Expr::Relation(S("Rck"), {Term(S("x"))}),
+                 Expr::Relation(S("Sck"), {Term(S("y"))}),
+                 Expr::Cmp(CmpOp::kLt, V("x"), V("y"))}),
+      {});
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(log::Checkpointable(*engine));
+}
+
+}  // namespace
+}  // namespace ringdb

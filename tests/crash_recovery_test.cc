@@ -1,0 +1,361 @@
+// Kill-anywhere crash recovery: a QueryService with durability enabled
+// is killed (fault-injected `_exit` at a random crash point: mid WAL
+// record, between payload halves, before/after fsync, mid checkpoint
+// write, before/after the checkpoint rename, during GC) and restarted;
+// the restarted service must recover to exactly the epoch its snapshots
+// advertise, with the result equal to an AGCA oracle
+// (baseline::NaiveReevaluator) replaying the first `updates_applied`
+// events of the deterministic stream — then finish the stream and match
+// the oracle on all of it. Differenced across both backends and shard
+// counts 1/2/8.
+//
+// Protocol: the parent test fork/execs this same binary with
+// `--crash-child` and RINGDB_CRASH_AT=<n> in the environment
+// (log/crash_point.h kills the process at the n-th crash-point hit).
+// Exit codes: 137 = killed at a crash point (counted), 0 = child ran to
+// completion and every verification passed, 42 = recovered state did
+// not match the oracle at the recovered epoch, 43 = final state
+// mismatch, 44 = setup/ingest error. Each killed run is itself a
+// recovery test: the child verifies the recovered epoch before pushing.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "agca/ast.h"
+#include "baseline/baselines.h"
+#include "ring/database.h"
+#include "serve/query_service.h"
+#include "util/random.h"
+#include "workload/stream.h"
+
+namespace ringdb {
+namespace crashtest {
+
+namespace fs = std::filesystem;
+
+using agca::Expr;
+using agca::ExprPtr;
+using agca::Term;
+using ring::Catalog;
+using ring::Update;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+
+// The two standing queries every child registers, in this order (the
+// checkpoint families are keyed "q0"/"q1" by registration order).
+ExprPtr RevenueBody() {
+  return Expr::Mul(
+      {Expr::Relation(S("orders"), {Term(S("o")), Term(S("c"))}),
+       Expr::Relation(S("lineitem"),
+                      {Term(S("o")), Term(S("p")), Term(S("q"))}),
+       Expr::Var(S("p")), Expr::Var(S("q"))});
+}
+std::vector<Symbol> RevenueGroupVars() { return {S("c")}; }
+
+ExprPtr LineitemCountBody() {
+  return Expr::Relation(S("lineitem"),
+                        {Term(S("o")), Term(S("p")), Term(S("q"))});
+}
+
+// The deterministic event stream: same (seed, n) -> same events in every
+// process, which is what lets the child rebuild the oracle's prefix.
+std::vector<Update> MakeStream(uint64_t seed, size_t n) {
+  std::vector<Update> stream;
+  stream.reserve(n);
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    const bool orders = rng.Next() % 2 == 0;
+    std::vector<Value> row;
+    row.push_back(Value(static_cast<int64_t>(rng.Next() % 20)));
+    row.push_back(Value(static_cast<int64_t>(rng.Next() % 10)));
+    if (!orders) {
+      row.push_back(Value(static_cast<int64_t>(rng.Next() % 5)));
+    }
+    const Symbol rel = orders ? S("orders") : S("lineitem");
+    const bool insert = rng.Next() % 4 != 0;
+    stream.push_back(insert ? Update::Insert(rel, std::move(row))
+                            : Update::Delete(rel, std::move(row)));
+  }
+  return stream;
+}
+
+// Oracle result after the first `prefix` events.
+ring::Gmr OracleAfter(const Catalog& catalog,
+                      const std::vector<Symbol>& group_vars,
+                      ExprPtr body, const std::vector<Update>& stream,
+                      size_t prefix) {
+  baseline::NaiveReevaluator oracle(catalog, group_vars, std::move(body));
+  for (size_t i = 0; i < prefix; ++i) oracle.Load(stream[i]);
+  if (!oracle.Refresh().ok()) std::abort();
+  return oracle.ResultGmr();
+}
+
+const char* EnvOr(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? v : fallback;
+}
+
+int Fail(int code, const std::string& why) {
+  std::fprintf(stderr, "crash-child: %s\n", why.c_str());
+  return code;
+}
+
+// The child: recover, verify the recovered epoch against the oracle,
+// finish the stream, verify the whole of it. Killed at a crash point if
+// RINGDB_CRASH_AT arms one within this run.
+int RunChild() {
+  const std::string dir = EnvOr("RINGDB_CRASH_DIR", "");
+  if (dir.empty()) return Fail(44, "RINGDB_CRASH_DIR not set");
+  const uint64_t seed = std::strtoull(EnvOr("RINGDB_CRASH_SEED", "1"),
+                                      nullptr, 10);
+  const size_t events =
+      std::strtoull(EnvOr("RINGDB_CRASH_EVENTS", "1000"), nullptr, 10);
+  Catalog catalog = workload::OrdersSchema();
+
+  serve::ServeOptions options;
+  options.batch_size =
+      std::strtoull(EnvOr("RINGDB_CRASH_BATCH", "64"), nullptr, 10);
+  options.num_shards =
+      std::strtoull(EnvOr("RINGDB_CRASH_SHARDS", "1"), nullptr, 10);
+  options.backend = std::string_view(EnvOr("RINGDB_CRASH_BACKEND",
+                                           "interpret")) == "compile"
+                        ? runtime::Backend::kCompile
+                        : runtime::Backend::kInterpret;
+  options.durability.dir = dir;
+  const std::string_view policy = EnvOr("RINGDB_CRASH_POLICY", "window");
+  options.durability.fsync_policy =
+      policy == "never"  ? log::FsyncPolicy::kNever
+      : policy == "group" ? log::FsyncPolicy::kGroupCommit
+                          : log::FsyncPolicy::kEveryWindow;
+  options.durability.group_windows = 3;
+  options.durability.checkpoint_every_windows = 4;
+
+  serve::QueryService service(catalog, options);
+  auto q0 = service.Register("revenue", RevenueGroupVars(), RevenueBody());
+  auto q1 = service.Register("li_count", {}, LineitemCountBody());
+  if (!q0.ok() || !q1.ok()) return Fail(44, "register failed");
+
+  service.Start();
+  if (!service.durability_status().ok()) {
+    return Fail(44,
+                "durability: " + service.durability_status().ToString());
+  }
+  const uint64_t recovered = service.recovered_updates();
+  if (recovered > events) return Fail(44, "recovered past the stream");
+
+  const std::vector<Update> stream = MakeStream(seed, events);
+
+  // The recovery invariant: each snapshot advertises updates_applied ==
+  // recovered epoch and equals the oracle's replay of exactly that
+  // prefix.
+  {
+    auto s0 = service.snapshot(*q0);
+    auto s1 = service.snapshot(*q1);
+    if (s0->updates_applied() != recovered ||
+        s1->updates_applied() != recovered) {
+      return Fail(42, "snapshot epoch != recovered epoch");
+    }
+    if (s0->ToGmr() != OracleAfter(catalog, RevenueGroupVars(),
+                                   RevenueBody(), stream, recovered)) {
+      return Fail(42, "q0 mismatch at recovered epoch " +
+                          std::to_string(recovered));
+    }
+    if (s1->ToGmr() !=
+        OracleAfter(catalog, {}, LineitemCountBody(), stream, recovered)) {
+      return Fail(42, "q1 mismatch at recovered epoch " +
+                          std::to_string(recovered));
+    }
+  }
+
+  // Finish the stream (crash points may kill us anywhere in here — that
+  // is the test) and verify the full prefix.
+  for (size_t i = recovered; i < events; ++i) {
+    Status pushed = service.Push(stream[i]);
+    if (!pushed.ok()) return Fail(44, "push: " + pushed.ToString());
+  }
+  service.Drain();
+  service.Stop();
+  if (!service.status().ok()) {
+    return Fail(44, "apply: " + service.status().ToString());
+  }
+  if (!service.durability_status().ok()) {
+    return Fail(44,
+                "durability: " + service.durability_status().ToString());
+  }
+  if (service.snapshot(*q0)->ToGmr() !=
+      OracleAfter(catalog, RevenueGroupVars(), RevenueBody(), stream,
+                  events)) {
+    return Fail(43, "q0 final mismatch");
+  }
+  if (service.snapshot(*q1)->ToGmr() !=
+      OracleAfter(catalog, {}, LineitemCountBody(), stream, events)) {
+    return Fail(43, "q1 final mismatch");
+  }
+  return 0;
+}
+
+// ---- parent orchestration ---------------------------------------------
+
+struct ChildConfig {
+  std::string dir;
+  const char* backend = "interpret";
+  int shards = 1;
+  const char* policy = "window";
+  size_t events = 1000;
+  size_t batch = 64;
+  uint64_t seed = 1;
+  uint64_t crash_at = 0;  // 0 = disarmed
+};
+
+int RunChildProcess(const ChildConfig& cfg) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::setenv("RINGDB_CRASH_DIR", cfg.dir.c_str(), 1);
+    ::setenv("RINGDB_CRASH_BACKEND", cfg.backend, 1);
+    ::setenv("RINGDB_CRASH_SHARDS", std::to_string(cfg.shards).c_str(), 1);
+    ::setenv("RINGDB_CRASH_POLICY", cfg.policy, 1);
+    ::setenv("RINGDB_CRASH_EVENTS", std::to_string(cfg.events).c_str(), 1);
+    ::setenv("RINGDB_CRASH_BATCH", std::to_string(cfg.batch).c_str(), 1);
+    ::setenv("RINGDB_CRASH_SEED", std::to_string(cfg.seed).c_str(), 1);
+    ::setenv("RINGDB_CRASH_AT", std::to_string(cfg.crash_at).c_str(), 1);
+    const std::string report = cfg.dir + "/last_crash_point.txt";
+    ::setenv("RINGDB_CRASH_REPORT", report.c_str(), 1);
+    char* const argv[] = {const_cast<char*>("/proc/self/exe"),
+                          const_cast<char*>("--crash-child"), nullptr};
+    ::execv("/proc/self/exe", argv);
+    std::_Exit(127);
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return -1;
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string LastCrashPoint(const std::string& dir) {
+  std::ifstream in(dir + "/last_crash_point.txt");
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+// Runs kill-restart rounds until `min_kills` kills landed: each killed
+// run is followed by another child whose recovery is verified against
+// the oracle; a run the crash target overshoots completes the stream
+// and verifies all of it, then the directory resets for a fresh round.
+void RunCampaign(const std::string& label, ChildConfig cfg, int min_kills,
+                 uint64_t max_crash_at) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ringdb-crash-" + label + "-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  cfg.dir = dir.string();
+
+  Rng rng(0x5eed + min_kills);
+  int kills = 0;
+  int completions = 0;
+  int runs = 0;
+  const int max_runs = min_kills * 8 + 64;
+  while (kills < min_kills && runs < max_runs) {
+    ++runs;
+    cfg.crash_at = 1 + rng.Next() % max_crash_at;
+    const int code = RunChildProcess(cfg);
+    if (code == 137) {
+      ++kills;
+      continue;
+    }
+    if (code == 0) {
+      ++completions;
+      fs::remove_all(dir);
+      fs::create_directories(dir);
+      continue;
+    }
+    FAIL() << label << ": child exited " << code << " (crash_at="
+           << cfg.crash_at << ", after kill #" << kills
+           << ", last crash point: " << LastCrashPoint(cfg.dir) << ")";
+  }
+  EXPECT_GE(kills, min_kills) << label << ": only " << kills << " kills in "
+                              << runs << " runs";
+  // Every campaign must also prove a clean end-to-end completion of the
+  // final recovered state (not just mid-stream verifications).
+  if (completions == 0) {
+    cfg.crash_at = 0;
+    const int code = RunChildProcess(cfg);
+    EXPECT_EQ(code, 0) << label << ": disarmed completion run failed ("
+                       << LastCrashPoint(cfg.dir) << ")";
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CrashRecoveryTest, KillAnywhereMainConfig) {
+  ChildConfig cfg;
+  cfg.backend = "interpret";
+  cfg.shards = 2;
+  cfg.policy = "window";
+  cfg.events = 2500;
+  cfg.batch = 64;
+  cfg.seed = 20260808;
+  RunCampaign("main", cfg, /*min_kills=*/50, /*max_crash_at=*/300);
+}
+
+TEST(CrashRecoveryTest, KillMatrixBackendsAndShards) {
+  for (const char* backend : {"interpret", "compile"}) {
+    for (int shards : {1, 2, 8}) {
+      ChildConfig cfg;
+      cfg.backend = backend;
+      cfg.shards = shards;
+      cfg.policy = "window";
+      cfg.events = 1200;
+      cfg.batch = 64;
+      cfg.seed = 97 + static_cast<uint64_t>(shards);
+      RunCampaign(std::string("matrix-") + backend + "-" +
+                      std::to_string(shards),
+                  cfg, /*min_kills=*/8, /*max_crash_at=*/150);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(CrashRecoveryTest, KillUnderGroupCommitAndNeverPolicies) {
+  // `_exit` keeps the page cache, so even unsynced tails survive a
+  // process kill; what these policies must still guarantee is the epoch
+  // invariant — snapshots never advertise more than recovery delivers.
+  for (const char* policy : {"group", "never"}) {
+    ChildConfig cfg;
+    cfg.backend = "interpret";
+    cfg.shards = 1;
+    cfg.policy = policy;
+    cfg.events = 900;
+    cfg.batch = 64;
+    cfg.seed = 7;
+    RunCampaign(std::string("policy-") + policy, cfg, /*min_kills=*/6,
+                /*max_crash_at=*/120);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace crashtest
+}  // namespace ringdb
+
+// Custom main: `--crash-child` runs the fault-injected service instead
+// of the test suite (the parent fork/execs this same binary with it).
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--crash-child") {
+      return ringdb::crashtest::RunChild();
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

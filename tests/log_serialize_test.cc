@@ -1,0 +1,325 @@
+// Round-trip and corruption tests for the durability serialization
+// layer (log/serialize.h): Value/Numeric/RelationDelta/UpdateBatch
+// encodings must be bit-exact over every Value kind — including -0.0,
+// NaN payloads, INT64 boundaries, and empty strings — and decoding must
+// reject malformed bytes with a Status, never UB.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "exec/batch.h"
+#include "log/crc32.h"
+#include "log/serialize.h"
+#include "ring/database.h"
+#include "util/random.h"
+#include "util/value.h"
+#include "workload/stream.h"
+
+namespace ringdb {
+namespace {
+
+using exec::BatchBuilder;
+using exec::RelationDelta;
+using exec::UpdateBatch;
+using ring::Catalog;
+using ring::Update;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+
+// ---- primitives -------------------------------------------------------
+
+TEST(SerializePrimitiveTest, LittleEndianLayout) {
+  std::string out;
+  log::PutU32(&out, 0x01020304u);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(out[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(out[3]), 0x01);
+  uint32_t back = 0;
+  log::BufReader in(out);
+  ASSERT_TRUE(in.GetU32(&back));
+  EXPECT_EQ(back, 0x01020304u);
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(SerializePrimitiveTest, ReaderUnderflowIsSticky) {
+  std::string out;
+  log::PutU32(&out, 7);
+  log::BufReader in(out);
+  uint64_t v64 = 99;
+  EXPECT_FALSE(in.GetU64(&v64));  // only 4 bytes available
+  EXPECT_EQ(v64, 99u);            // output untouched on failure
+  EXPECT_FALSE(in.ok());
+  uint8_t v8 = 0;
+  EXPECT_FALSE(in.GetU8(&v8));  // sticky: nothing succeeds after a miss
+}
+
+// ---- Value ------------------------------------------------------------
+
+std::vector<Value> InterestingValues() {
+  std::vector<Value> values;
+  values.push_back(Value(int64_t{0}));
+  values.push_back(Value(int64_t{1}));
+  values.push_back(Value(int64_t{-1}));
+  values.push_back(Value(std::numeric_limits<int64_t>::min()));
+  values.push_back(Value(std::numeric_limits<int64_t>::max()));
+  values.push_back(Value(0.0));
+  values.push_back(Value(-0.0));
+  values.push_back(Value(1.5));
+  values.push_back(Value(-1e308));
+  values.push_back(Value(std::numeric_limits<double>::denorm_min()));
+  values.push_back(Value(std::numeric_limits<double>::infinity()));
+  values.push_back(Value(std::numeric_limits<double>::quiet_NaN()));
+  values.push_back(Value(std::string("")));
+  values.push_back(Value(std::string("x")));
+  values.push_back(Value(std::string("hello world")));
+  values.push_back(Value(std::string(1000, 'z')));
+  values.push_back(Value(std::string("emb\0edded", 9)));
+  return values;
+}
+
+TEST(SerializeValueTest, RoundTripsEveryKind) {
+  for (const Value& v : InterestingValues()) {
+    std::string bytes;
+    log::EncodeValue(v, &bytes);
+    log::BufReader in(bytes);
+    Value back;
+    ASSERT_TRUE(log::DecodeValue(&in, &back).ok()) << v.ToString();
+    EXPECT_EQ(in.remaining(), 0u);
+    if (v.kind() == Value::Kind::kDouble && std::isnan(v.AsDouble())) {
+      // NaN != NaN; assert bit-pattern preservation instead.
+      EXPECT_TRUE(std::isnan(back.AsDouble()));
+      uint64_t a = 0;
+      uint64_t b = 0;
+      const double va = v.AsDouble();
+      const double vb = back.AsDouble();
+      std::memcpy(&a, &va, 8);
+      std::memcpy(&b, &vb, 8);
+      EXPECT_EQ(a, b);
+    } else {
+      EXPECT_EQ(back, v) << v.ToString();
+      EXPECT_EQ(back.kind(), v.kind());
+    }
+  }
+}
+
+TEST(SerializeValueTest, NegativeZeroKeepsItsSignBit) {
+  std::string bytes;
+  log::EncodeValue(Value(-0.0), &bytes);
+  log::BufReader in(bytes);
+  Value back;
+  ASSERT_TRUE(log::DecodeValue(&in, &back).ok());
+  EXPECT_TRUE(std::signbit(back.AsDouble()));
+  // And re-encoding is byte-identical (storage, not hash, semantics).
+  std::string again;
+  log::EncodeValue(back, &again);
+  EXPECT_EQ(bytes, again);
+}
+
+TEST(SerializeValueTest, RejectsBadKindTag) {
+  std::string bytes;
+  log::PutU8(&bytes, 7);  // no such kind
+  log::PutU64(&bytes, 0);
+  log::BufReader in(bytes);
+  Value out;
+  EXPECT_FALSE(log::DecodeValue(&in, &out).ok());
+}
+
+TEST(SerializeValueTest, RejectsTruncationAtEveryPrefix) {
+  for (const Value& v : InterestingValues()) {
+    std::string bytes;
+    log::EncodeValue(v, &bytes);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      log::BufReader in(bytes.data(), cut);
+      Value out;
+      EXPECT_FALSE(log::DecodeValue(&in, &out).ok())
+          << v.ToString() << " cut at " << cut;
+    }
+  }
+}
+
+// ---- Numeric ----------------------------------------------------------
+
+TEST(SerializeNumericTest, RoundTrips) {
+  const Numeric cases[] = {
+      Numeric(0),       Numeric(1),    Numeric(-1),
+      Numeric(int64_t{1} << 62),       Numeric(-0.5),
+      Numeric(3.25),    Numeric(std::numeric_limits<int64_t>::min()),
+  };
+  for (Numeric n : cases) {
+    std::string bytes;
+    log::EncodeNumeric(n, &bytes);
+    log::BufReader in(bytes);
+    Numeric back;
+    ASSERT_TRUE(log::DecodeNumeric(&in, &back).ok());
+    EXPECT_EQ(back, n);
+    EXPECT_EQ(back.is_integer(), n.is_integer());
+  }
+}
+
+TEST(SerializeNumericTest, RejectsBadTag) {
+  std::string bytes;
+  log::PutU8(&bytes, 2);
+  log::PutU64(&bytes, 0);
+  log::BufReader in(bytes);
+  Numeric out;
+  EXPECT_FALSE(log::DecodeNumeric(&in, &out).ok());
+}
+
+// ---- batches ----------------------------------------------------------
+
+// A randomized batch over the orders/lineitem schema mixing all Value
+// kinds is the fuzz body shared by the round-trip and corruption tests.
+UpdateBatch RandomBatch(uint64_t seed, size_t events) {
+  Catalog catalog = workload::OrdersSchema();
+  BatchBuilder builder(catalog);
+  Rng rng(seed);
+  for (size_t i = 0; i < events; ++i) {
+    const bool orders = rng.Next() % 2 == 0;
+    std::vector<Value> row;
+    const size_t arity = orders ? 2 : 3;
+    for (size_t c = 0; c < arity; ++c) {
+      switch (rng.Next() % 4) {
+        case 0:
+          row.push_back(Value(static_cast<int64_t>(rng.Next() % 50) - 25));
+          break;
+        case 1:
+          row.push_back(Value(static_cast<double>(rng.Next() % 7) - 3.5));
+          break;
+        case 2:
+          row.push_back(Value(-0.0));
+          break;
+        default:
+          row.push_back(
+              Value("s" + std::to_string(rng.Next() % 20)));
+          break;
+      }
+    }
+    const Symbol rel = orders ? S("orders") : S("lineitem");
+    const bool insert = rng.Next() % 4 != 0;
+    EXPECT_TRUE(builder
+                    .Add(insert ? Update::Insert(rel, row)
+                                : Update::Delete(rel, row))
+                    .ok());
+  }
+  return builder.Build();
+}
+
+void ExpectBatchesEqual(const UpdateBatch& a, const UpdateBatch& b) {
+  ASSERT_EQ(a.deltas().size(), b.deltas().size());
+  for (size_t d = 0; d < a.deltas().size(); ++d) {
+    const RelationDelta& da = a.deltas()[d];
+    const RelationDelta& db = b.deltas()[d];
+    EXPECT_EQ(da.relation, db.relation);
+    ASSERT_EQ(da.arity(), db.arity());
+    ASSERT_EQ(da.size(), db.size());
+    for (size_t c = 0; c < da.arity(); ++c) {
+      for (size_t r = 0; r < da.size(); ++r) {
+        EXPECT_EQ(da.columns[c][r], db.columns[c][r]);
+        EXPECT_EQ(da.columns[c][r].kind(), db.columns[c][r].kind());
+      }
+    }
+    for (size_t r = 0; r < da.size(); ++r) {
+      EXPECT_EQ(da.mults[r], db.mults[r]);
+    }
+  }
+}
+
+TEST(SerializeBatchTest, FuzzRoundTrip) {
+  Catalog catalog = workload::OrdersSchema();
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    UpdateBatch batch = RandomBatch(seed, 200);
+    std::string bytes;
+    log::EncodeBatch(batch, &bytes);
+    auto decoded = log::DecodeBatch(catalog, bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectBatchesEqual(batch, *decoded);
+    // Determinism: re-encoding the decode is byte-identical.
+    std::string again;
+    log::EncodeBatch(*decoded, &again);
+    EXPECT_EQ(bytes, again);
+  }
+}
+
+TEST(SerializeBatchTest, EmptyBatchRoundTrips) {
+  Catalog catalog = workload::OrdersSchema();
+  std::string bytes;
+  log::EncodeBatch(UpdateBatch(), &bytes);
+  auto decoded = log::DecodeBatch(catalog, bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(SerializeBatchTest, RejectsTruncationAtEveryPrefix) {
+  Catalog catalog = workload::OrdersSchema();
+  UpdateBatch batch = RandomBatch(7, 60);
+  std::string bytes;
+  log::EncodeBatch(batch, &bytes);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto decoded = log::DecodeBatch(
+        catalog, std::string_view(bytes.data(), cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut << "/" << bytes.size();
+  }
+}
+
+TEST(SerializeBatchTest, RejectsTrailingGarbage) {
+  Catalog catalog = workload::OrdersSchema();
+  UpdateBatch batch = RandomBatch(8, 20);
+  std::string bytes;
+  log::EncodeBatch(batch, &bytes);
+  bytes.push_back('\0');
+  EXPECT_FALSE(log::DecodeBatch(catalog, bytes).ok());
+}
+
+TEST(SerializeBatchTest, RejectsUnknownRelationAndArityMismatch) {
+  Catalog catalog = workload::OrdersSchema();
+  UpdateBatch batch = RandomBatch(9, 20);
+  std::string bytes;
+  log::EncodeBatch(batch, &bytes);
+  // Decoding against a catalog that lacks the relations must fail...
+  Catalog other;
+  other.AddRelation(S("unrelated"), {S("a")});
+  EXPECT_FALSE(log::DecodeBatch(other, bytes).ok());
+  // ...as must one where the relation exists at a different arity.
+  Catalog narrow;
+  narrow.AddRelation(S("orders"), {S("a")});
+  narrow.AddRelation(S("lineitem"), {S("b")});
+  EXPECT_FALSE(log::DecodeBatch(narrow, bytes).ok());
+}
+
+TEST(SerializeBatchTest, FuzzBitFlipsNeverCrash) {
+  // Any single-bit flip must produce either a decode error or a decoded
+  // batch (when the flip lands in a value payload the CRC layer above
+  // would normally catch) — never UB. ASan/UBSan jobs give this teeth.
+  Catalog catalog = workload::OrdersSchema();
+  UpdateBatch batch = RandomBatch(11, 40);
+  std::string bytes;
+  log::EncodeBatch(batch, &bytes);
+  Rng rng(42);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string corrupt = bytes;
+    const size_t byte = rng.Next() % corrupt.size();
+    corrupt[byte] = static_cast<char>(
+        corrupt[byte] ^ static_cast<char>(1u << (rng.Next() % 8)));
+    auto decoded = log::DecodeBatch(catalog, corrupt);
+    (void)decoded;  // either outcome is fine; surviving is the assertion
+  }
+}
+
+// ---- crc32 ------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // IEEE CRC-32 of "123456789" is the classic check value.
+  EXPECT_EQ(log::Crc32(std::string_view("123456789")), 0xcbf43926u);
+  EXPECT_EQ(log::Crc32(std::string_view("")), 0u);
+  EXPECT_NE(log::Crc32(std::string_view("a")),
+            log::Crc32(std::string_view("b")));
+}
+
+}  // namespace
+}  // namespace ringdb

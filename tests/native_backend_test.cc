@@ -14,8 +14,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "runtime/engine.h"
@@ -176,6 +179,61 @@ TEST(NativeBackendTest, ModuleCacheServesRepeatConstruction) {
   auto second = CompiledEngine(catalog, q, 16, 1);
   ASSERT_TRUE(second.ok());
   EXPECT_TRUE(second->native_enabled());
+}
+
+TEST(NativeBackendTest, CorruptedCacheEntryIsEvictedAndRebuilt) {
+  namespace fs = std::filesystem;
+  char cache_template[] = "/tmp/ringdb-native-corrupt-XXXXXX";
+  ASSERT_NE(::mkdtemp(cache_template), nullptr);
+  ScopedEnv cache("RINGDB_NATIVE_CACHE_DIR", cache_template);
+  ring::Catalog catalog = workload::OrdersSchema();
+  sql::TranslatedQuery q = RevenueQuery(catalog);
+
+  // Corruption shapes a cache can actually contain when a fresh process
+  // starts (crashed copy, bit rot, cache shared with an incompatible
+  // build): truncated artifact, then outright garbage bytes under the
+  // hash-keyed name. Both must be evicted and rebuilt, never surfaced
+  // as an engine-construction failure or a crash. Each round populates
+  // and then fully releases the module before corrupting: dlopen of a
+  // path that is still mapped in-process returns the live mapping, so
+  // in-place corruption under a live engine is not the scenario this
+  // recovery path serves.
+  for (const char* mode : {"truncate", "garbage"}) {
+    std::vector<fs::path> so_files;
+    {
+      auto first = CompiledEngine(catalog, q, 16, 1);
+      ASSERT_TRUE(first.ok());
+      if (!first->native_enabled()) {
+        GTEST_SKIP() << first->native_status().ToString();
+      }
+      for (const auto& entry : fs::directory_iterator(cache_template)) {
+        if (entry.path().extension() == ".so") {
+          so_files.push_back(entry.path());
+        }
+      }
+      ASSERT_FALSE(so_files.empty()) << mode;
+    }  // engine destroyed -> module dlclosed -> mapping released
+    for (const fs::path& so : so_files) {
+      std::ofstream out(so, std::ios::binary | std::ios::trunc);
+      if (std::string_view(mode) == "garbage") {
+        out << "this is not an ELF shared object";
+      }
+    }
+    auto rebuilt = CompiledEngine(catalog, q, 16, 1);
+    ASSERT_TRUE(rebuilt.ok()) << mode << ": "
+                              << rebuilt.status().ToString();
+    EXPECT_TRUE(rebuilt->native_enabled())
+        << mode << ": " << rebuilt->native_status().ToString();
+
+    // And the rebuilt module computes correctly.
+    auto oracle = Engine::Create(catalog, q.group_vars, q.body);
+    ASSERT_TRUE(oracle.ok());
+    std::vector<Update> updates = RevenueStream(catalog, 300);
+    ASSERT_TRUE(rebuilt->ApplyBatch(updates).ok());
+    for (const Update& u : updates) ASSERT_TRUE(oracle->Apply(u).ok());
+    EXPECT_EQ(rebuilt->ResultGmr(), oracle->ResultGmr()) << mode;
+  }
+  fs::remove_all(cache_template);
 }
 
 TEST(NativeBackendTest, ServeOptionsPlumbBackend) {

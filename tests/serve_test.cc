@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
@@ -441,6 +443,134 @@ TEST(IngestQueueTest, WindowingAndClose) {
   queue.Close();
   EXPECT_FALSE(queue.Push(Update::Insert(S("orders"), {Value(3), Value(3)})));
   EXPECT_FALSE(queue.PopWindow(8, &window));
+}
+
+TEST(QueryServiceTest, PushTimesOutUnavailableWhenBatcherStalls) {
+  Catalog catalog = workload::OrdersSchema();
+  ServeOptions options;
+  options.batch_size = 4;
+  options.queue_capacity = 4;
+  options.push_timeout_ms = 50;  // shed load fast instead of hanging
+  QueryService service(catalog, options);
+  auto id = service.RegisterSql("revenue", kRevenueSql);
+  ASSERT_TRUE(id.ok());
+  service.Start();
+  service.TestOnlyStallBatcher(true);
+
+  // Fill the queue past capacity; once full, Push must come back with
+  // kUnavailable within the timeout instead of blocking forever.
+  Status timed_out = Status::Ok();
+  for (int i = 0; i < 32 && timed_out.ok(); ++i) {
+    timed_out = service.Push(
+        Update::Insert(S("orders"), {Value(i), Value(i % 5)}));
+  }
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.code(), StatusCode::kUnavailable)
+      << timed_out.ToString();
+
+  // Shed pushes are not counted as accepted: un-stall, drain, and the
+  // applied count equals exactly the accepted pushes.
+  service.TestOnlyStallBatcher(false);
+  service.Drain();
+  EXPECT_EQ(service.snapshot(*id)->updates_applied(),
+            service.Stats().pushed);
+  service.Stop();
+  ASSERT_TRUE(service.status().ok()) << service.status().ToString();
+}
+
+TEST(QueryServiceTest, RestartRecoversEpochAndResults) {
+  Catalog catalog = workload::OrdersSchema();
+  const std::vector<Update> updates = MakeUpdates(catalog, 1500, 23);
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("ringdb-serve-restart-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  ServeOptions options;
+  options.batch_size = 64;
+  options.durability.dir = dir.string();
+  options.durability.checkpoint_every_windows = 4;
+
+  uint64_t first_seq = 0;
+  uint64_t first_updates = 0;
+  ring::Gmr first_result;
+  {
+    QueryService service(catalog, options);
+    auto id = service.RegisterSql("revenue", kRevenueSql);
+    ASSERT_TRUE(id.ok());
+    service.Start();
+    ASSERT_TRUE(service.durability_status().ok())
+        << service.durability_status().ToString();
+    for (const Update& update : updates) {
+      ASSERT_TRUE(service.Push(update).ok());
+    }
+    service.Stop();
+    ASSERT_TRUE(service.status().ok());
+    first_seq = service.snapshot(*id)->version();
+    first_updates = service.snapshot(*id)->updates_applied();
+    first_result = service.snapshot(*id)->ToGmr();
+    ASSERT_EQ(first_updates, updates.size());
+  }
+
+  // A fresh service over the same directory resumes at the stopped
+  // epoch: same version, same updates_applied, same result — and keeps
+  // maintaining correctly from there.
+  QueryService service(catalog, options);
+  auto id = service.RegisterSql("revenue", kRevenueSql);
+  ASSERT_TRUE(id.ok());
+  service.Start();
+  ASSERT_TRUE(service.durability_status().ok())
+      << service.durability_status().ToString();
+  EXPECT_EQ(service.recovered_seq(), first_seq);
+  EXPECT_EQ(service.recovered_updates(), first_updates);
+  EXPECT_EQ(service.snapshot(*id)->version(), first_seq);
+  EXPECT_EQ(service.snapshot(*id)->updates_applied(), first_updates);
+  EXPECT_EQ(service.snapshot(*id)->ToGmr(), first_result);
+
+  const std::vector<Update> more = MakeUpdates(catalog, 500, 29);
+  for (const Update& update : more) {
+    ASSERT_TRUE(service.Push(update).ok());
+  }
+  service.Stop();
+  ASSERT_TRUE(service.status().ok());
+  std::vector<Update> all = updates;
+  all.insert(all.end(), more.begin(), more.end());
+  EXPECT_EQ(service.snapshot(*id)->updates_applied(), all.size());
+  EXPECT_EQ(service.snapshot(*id)->ToGmr(),
+            ReplayPrefix(catalog, kRevenueSql, all, all.size()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IngestQueueTest, TryPushForAcceptsTimesOutAndCloses) {
+  serve::IngestQueue queue(1);
+  using PushResult = serve::IngestQueue::PushResult;
+  using std::chrono::milliseconds;
+  EXPECT_EQ(queue.TryPushFor(
+                Update::Insert(S("orders"), {Value(1), Value(1)}),
+                milliseconds(10)),
+            PushResult::kAccepted);
+  // Full queue, no consumer: times out without accepting.
+  EXPECT_EQ(queue.TryPushFor(
+                Update::Insert(S("orders"), {Value(2), Value(2)}),
+                milliseconds(10)),
+            PushResult::kTimedOut);
+  EXPECT_EQ(queue.GetStats().timeouts, 1u);
+  // A consumer freeing space inside the wait releases the producer.
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(milliseconds(20));
+    std::vector<Update> window;
+    EXPECT_TRUE(queue.PopWindow(1, &window));
+  });
+  EXPECT_EQ(queue.TryPushFor(
+                Update::Insert(S("orders"), {Value(3), Value(3)}),
+                milliseconds(5000)),
+            PushResult::kAccepted);
+  consumer.join();
+  queue.Close();
+  EXPECT_EQ(queue.TryPushFor(
+                Update::Insert(S("orders"), {Value(4), Value(4)}),
+                milliseconds(10)),
+            PushResult::kClosed);
 }
 
 TEST(IngestQueueTest, BlockedProducerReleasedByConsumer) {
