@@ -19,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace_export.h"
 #include "runtime/engine.h"
 #include "serve/query_service.h"
 #include "sql/translate.h"
@@ -46,6 +47,11 @@ struct Options {
   // coalesce/apply/publish-age histograms, per-query staleness) after
   // the throughput table.
   bool stats = false;
+  // --trace FILE: write the flight recorder's Chrome trace-event JSON
+  // (chrome://tracing / Perfetto-loadable) after the run; the bench row
+  // also gains a "stage_breakdown" object and the per-stage latency
+  // table prints after the throughput table.
+  std::string trace_path;
 };
 
 struct Result {
@@ -57,7 +63,8 @@ struct Result {
   double upd_per_s;       // service ingest throughput with readers live
   double reads_per_s;     // aggregate snapshot reads across reader threads
   uint64_t final_version;
-  std::string stats_json;  // QueryService::StatsJson at end of run
+  std::string stats_json;       // QueryService::StatsJson at end of run
+  std::string stage_breakdown;  // TraceBreakdownJson (empty = no --trace)
 };
 
 std::string JsonEscape(const std::string& s) {
@@ -97,10 +104,13 @@ void WriteSnapshotJson(const Options& opt, const std::vector<Result>& results) {
                  "\"batch_size\": %zu, \"shards\": %zu, "
                  "\"base_upd_per_s\": %.0f, \"upd_per_s\": %.0f, "
                  "\"reads_per_s\": %.0f, \"final_version\": %llu,\n"
+                 "         \"stage_breakdown\": %s,\n"
                  "         \"stats\": %s}%s\n",
                  r.readers, r.queries, r.batch_size, r.shards,
                  r.base_upd_per_s, r.upd_per_s, r.reads_per_s,
                  static_cast<unsigned long long>(r.final_version),
+                 r.stage_breakdown.empty() ? "null"
+                                           : r.stage_breakdown.c_str(),
                  r.stats_json.empty() ? "null" : r.stats_json.c_str(),
                  i + 1 < results.size() ? "," : "");
   }
@@ -229,6 +239,23 @@ void Run(const Options& opt) {
   // (operators poll a live service).
   const std::string stats_json = service.StatsJson(9);
   const std::string stats_text = service.StatsText();
+  std::string stage_breakdown;
+  std::string breakdown_text;
+  if (!opt.trace_path.empty()) {
+    const std::string trace_json = service.TraceJson();
+    std::FILE* tf = std::fopen(opt.trace_path.c_str(), "w");
+    if (tf == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.trace_path.c_str());
+    } else {
+      std::fwrite(trace_json.data(), 1, trace_json.size(), tf);
+      std::fclose(tf);
+      std::printf("wrote %s (%zu bytes, load in chrome://tracing)\n",
+                  opt.trace_path.c_str(), trace_json.size());
+    }
+    stage_breakdown = service.TraceBreakdownJson(9);
+    breakdown_text = ringdb::obs::TraceBreakdownText(
+        ringdb::obs::ComputeTraceBreakdown(service.TraceWindows()));
+  }
   service.Stop();
   if (!service.status().ok()) {
     std::fprintf(stderr, "%s\n", service.status().ToString().c_str());
@@ -245,6 +272,7 @@ void Run(const Options& opt) {
   result.reads_per_s = total_reads.load() / elapsed;
   result.final_version = final_version;
   result.stats_json = stats_json;
+  result.stage_breakdown = stage_breakdown;
 
   ringdb::TablePrinter table({"config", "upd/s", "vs single-writer",
                               "reads/s", "windows"});
@@ -263,6 +291,9 @@ void Run(const Options& opt) {
   std::printf("%s", table.Render().c_str());
   std::printf("(read checksum %lld)\n",
               static_cast<long long>(checksum.load()));
+  if (!breakdown_text.empty()) {
+    std::printf("\n--- stage breakdown ---\n%s", breakdown_text.c_str());
+  }
   if (opt.stats) {
     std::printf("\n--- service stats ---\n%s", stats_text.c_str());
   }
@@ -319,11 +350,13 @@ int main(int argc, char** argv) {
       opt.label = argv[++i];
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       opt.stats = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      opt.trace_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--updates N] [--readers K] [--queries M] "
                    "[--batch B] [--shards S] [--json PATH] [--label STR] "
-                   "[--stats]\n",
+                   "[--stats] [--trace FILE]\n",
                    argv[0]);
       return 2;
     }

@@ -63,6 +63,12 @@ struct Options {
   // appended write-ahead (log/durable_log.h) under the given fsync
   // policy, against the memory-only baseline. Empty = section skipped.
   std::string durability;
+  // --trace FILE: enable the per-window flight recorder on every batched
+  // sweep engine (Engine::EnableTracing), write the last batch-1024
+  // row's Chrome trace-event JSON to FILE, and attach a
+  // "stage_breakdown" object to every traced row. Single-tuple rows run
+  // untraced (they go through Engine::Apply, below window granularity).
+  std::string trace_path;
 };
 
 // One measured (stream, engine-config) cell of the sweep, serialized to
@@ -81,6 +87,8 @@ struct SweepResult {
   double upd_per_s;
   size_t approx_bytes;
   std::string stats_json;  // Engine::StatsJson of the run (valid JSON)
+  // Engine::TraceBreakdownJson when the run was traced (empty = "null").
+  std::string stage_breakdown;
 };
 
 // The representation the executors will run with, decided by the same
@@ -128,11 +136,14 @@ void WriteSnapshotJson(const Options& opt,
                  "\"backend\": \"%s\", \"representation\": \"%s\", "
                  "\"batch_size\": %zu, \"shards\": %zu, "
                  "\"upd_per_s\": %.0f, \"approx_bytes\": %zu,\n"
+                 "         \"stage_breakdown\": %s,\n"
                  "         \"stats\": %s}%s\n",
                  JsonEscape(r.stream).c_str(), JsonEscape(r.config).c_str(),
                  JsonEscape(r.backend).c_str(),
                  JsonEscape(r.representation).c_str(), r.batch_size,
                  r.shards, r.upd_per_s, r.approx_bytes,
+                 r.stage_breakdown.empty() ? "null"
+                                           : r.stage_breakdown.c_str(),
                  r.stats_json.empty() ? "null" : r.stats_json.c_str(),
                  i + 1 < results.size() ? "," : "");
   }
@@ -264,7 +275,8 @@ void NationCountQuery() {
 // view hierarchy by the join key (okey) and applies sub-batches on a
 // persistent worker pool.
 void BatchShardSweep(const Options& opt,
-                     std::vector<SweepResult>* all_results) {
+                     std::vector<SweepResult>* all_results,
+                     std::string* trace_json) {
   std::printf("\nbatched + sharded execution sweep (revenue query)\n\n");
   ringdb::ring::Catalog catalog = ringdb::workload::OrdersSchema();
   auto t = ringdb::sql::TranslateSql(
@@ -359,6 +371,9 @@ void BatchShardSweep(const Options& opt,
                       engine->native_status().ToString().c_str());
           break;
         }
+        const bool traced =
+            !opt.trace_path.empty() && config.batch_size > 1;
+        if (traced) engine->EnableTracing();
         auto start = std::chrono::steady_clock::now();
         if (config.batch_size <= 1 && config.num_shards <= 1) {
           for (const ringdb::ring::Update& u : updates) {
@@ -377,7 +392,14 @@ void BatchShardSweep(const Options& opt,
             SweepResult{stream_config.name, config.name, backend_name,
                         representation, config.batch_size,
                         engine->num_shards(), tput, bytes,
-                        engine->StatsJson(9)});
+                        engine->StatsJson(9),
+                        traced ? engine->TraceBreakdownJson(9)
+                               : std::string()});
+        if (traced && config.batch_size == 1024) {
+          // Later rows overwrite: with both streams the zipf batch-1024
+          // row (the acceptance workload) is what lands in the file.
+          *trace_json = engine->TraceJson();
+        }
         if (opt.stats) {
           std::printf("--- stats: %s / %s / %s ---\n%s\n",
                       stream_config.name.c_str(), config.name.c_str(),
@@ -575,6 +597,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
       opt.config_filter = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      opt.trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--durability") == 0 && i + 1 < argc) {
       opt.durability = argv[++i];
       if (opt.durability != "off" && opt.durability != "never" &&
@@ -591,7 +615,8 @@ int main(int argc, char** argv) {
                    "usage: %s [--updates N] [--json PATH] [--label STR] "
                    "[--sweep-only] [--backend interpret|compile|both] "
                    "[--stream uniform|zipf|both] [--config SUBSTR] "
-                   "[--durability off|never|window|group|all] [--stats]\n",
+                   "[--durability off|never|window|group|all] [--stats] "
+                   "[--trace FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -601,8 +626,25 @@ int main(int argc, char** argv) {
     NationCountQuery();
   }
   std::vector<SweepResult> results;
-  BatchShardSweep(opt, &results);
+  std::string trace_json;
+  BatchShardSweep(opt, &results, &trace_json);
   if (!opt.durability.empty()) DurabilitySweep(opt, &results);
+  if (!opt.trace_path.empty()) {
+    if (trace_json.empty()) {
+      std::fprintf(stderr,
+                   "--trace: no batch-1024 row ran, nothing to write\n");
+    } else {
+      std::FILE* tf = std::fopen(opt.trace_path.c_str(), "w");
+      if (tf == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", opt.trace_path.c_str());
+      } else {
+        std::fwrite(trace_json.data(), 1, trace_json.size(), tf);
+        std::fclose(tf);
+        std::printf("wrote %s (%zu bytes, load in chrome://tracing)\n",
+                    opt.trace_path.c_str(), trace_json.size());
+      }
+    }
+  }
   WriteSnapshotJson(opt, results);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/trace_export.h"
 #include "serve/query_service.h"
 #include "workload/stream.h"
 
@@ -94,6 +95,16 @@ int main() {
   // drained service reports queue waits, coalesce/apply/publish spans,
   // and per-query staleness (DESIGN.md "Observability").
   std::printf("\nservice stats:\n%s", service.StatsText().c_str());
+
+  // 6. Where did each window's time go? The flight recorder kept a full
+  // per-stage trace of the last windows (DESIGN.md "Tracing");
+  // TraceJson() exports the same data as Chrome trace-event JSON for
+  // chrome://tracing / Perfetto.
+  std::printf("\nstage breakdown (last %zu windows):\n%s",
+              service.TraceWindows().size(),
+              ringdb::obs::TraceBreakdownText(
+                  ringdb::obs::ComputeTraceBreakdown(service.TraceWindows()))
+                  .c_str());
   service.Stop();
   return 0;
 }

@@ -83,7 +83,16 @@ void ShardedExecutor::RunShard(size_t shard_idx) {
                                                 slice.rows.size());
   }
   shard_status_[shard_idx] = std::move(status);
-  RINGDB_OBS(apply_ns_.Record(obs::NowNs() - t0));
+#ifndef RINGDB_NO_METRICS
+  const uint64_t t1 = obs::NowNs();
+  apply_ns_.Record(t1 - t0);
+  if (trace_ctx_.recorder != nullptr && trace_ctx_.seq != 0) {
+    trace_ctx_.recorder->AddSpan(
+        trace_ctx_.seq, obs::kSpanShardApply, trace_ctx_.query,
+        static_cast<uint32_t>(shard_idx), exec.window_dispatch_mode(), t0,
+        t1);
+  }
+#endif
 }
 
 void ShardedExecutor::WorkerLoop(size_t shard_idx) {
@@ -201,6 +210,7 @@ ShardedExecutor::AggregateStmtCounters() const {
       total[i].emissions += per[i].emissions;
       total[i].native_calls += per[i].native_calls;
       total[i].interp_calls += per[i].interp_calls;
+      total[i].window_ns += per[i].window_ns;
     }
   }
   return total;

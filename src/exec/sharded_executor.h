@@ -26,6 +26,7 @@
 #include "exec/batch.h"
 #include "exec/partition.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ring/database.h"
 #include "runtime/compiled_executor.h"
 #include "runtime/interpreter.h"
@@ -144,6 +145,12 @@ class ShardedExecutor {
     return merge_ns_.Snapshot();
   }
 
+  // Window tracer hook: set by the owning thread before ApplyBatch (the
+  // generation handshake publishes it to the workers), cleared or
+  // re-pointed per window. Each shard records a kSpanShardApply sub-span
+  // tagged with its dispatch mode into ctx.recorder. Null disables.
+  void SetTraceContext(const obs::TraceContext& ctx) { trace_ctx_ = ctx; }
+
  private:
   // One shard's slice of one relation's columnar delta: either the whole
   // delta (all = true, the single-shard / unroutable fast path — no row
@@ -189,6 +196,11 @@ class ShardedExecutor {
   // concurrently; merge records under merge_mu_ but reads race freely).
   obs::Histogram apply_ns_;
   mutable obs::Histogram merge_ns_;
+
+  // Per-window trace target. Written by the batch owner before the
+  // generation handshake, read by workers after it (the mu_ acquire
+  // gives the happens-before), so plain fields are TSan-clean.
+  obs::TraceContext trace_ctx_;
 
   // Worker pool state: workers_[i] serves shard i + 1 (shard 0 runs on
   // the calling thread), guarded by mu_. A batch publishes shard_work_,

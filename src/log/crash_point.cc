@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 
 namespace ringdb {
 namespace log {
@@ -14,6 +16,20 @@ namespace log {
 namespace {
 
 std::atomic<uint64_t> g_hits{0};
+
+// Per-site registry. Registration runs once per call site (the macro's
+// magic static); CrashPointCounts may race with increments, which is
+// fine — counts are advisory observability, read relaxed.
+struct SiteRegistry {
+  std::mutex mu;
+  std::vector<std::pair<const char*, std::unique_ptr<std::atomic<uint64_t>>>>
+      sites;
+};
+
+SiteRegistry& GetSiteRegistry() {
+  static SiteRegistry* registry = new SiteRegistry;
+  return *registry;
+}
 
 struct Config {
   long long target = -1;  // -1: disarmed
@@ -38,6 +54,31 @@ bool CrashPointsArmed() { return GetConfig().target > 0; }
 
 uint64_t CrashPointHits() {
   return g_hits.load(std::memory_order_relaxed);
+}
+
+std::atomic<uint64_t>& RegisterCrashPoint(const char* name) {
+  SiteRegistry& registry = GetSiteRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  // Two call sites may share a name (none do today); fold them into one
+  // counter so the export stays keyed by name.
+  for (auto& site : registry.sites) {
+    if (std::strcmp(site.first, name) == 0) return *site.second;
+  }
+  registry.sites.emplace_back(name,
+                              std::make_unique<std::atomic<uint64_t>>(0));
+  return *registry.sites.back().second;
+}
+
+std::vector<CrashPointCount> CrashPointCounts() {
+  SiteRegistry& registry = GetSiteRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<CrashPointCount> out;
+  out.reserve(registry.sites.size());
+  for (const auto& site : registry.sites) {
+    out.push_back(CrashPointCount{
+        site.first, site.second->load(std::memory_order_relaxed)});
+  }
+  return out;
 }
 
 void CrashPointHit(const char* name) {

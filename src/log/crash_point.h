@@ -21,7 +21,9 @@
 #ifndef RINGDB_LOG_CRASH_POINT_H_
 #define RINGDB_LOG_CRASH_POINT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <vector>
 
 namespace ringdb {
 namespace log {
@@ -37,16 +39,37 @@ void CrashPointHit(const char* name);
 // bounds the useful RINGDB_CRASH_AT range for the next run).
 uint64_t CrashPointHits();
 
+// Per-site pass-through counter, registered once per call site by the
+// macro's function-local static (name must be a string literal — the
+// pointer is retained). Returns a stable atomic the site bumps on every
+// pass, armed or not, so StatsJson can show which durability
+// transitions a run actually exercised.
+std::atomic<uint64_t>& RegisterCrashPoint(const char* name);
+
+struct CrashPointCount {
+  const char* name;
+  uint64_t hits;
+};
+
+// All registered crash points with their cumulative pass counts, in
+// registration order (only points whose call site executed at least
+// once are registered).
+std::vector<CrashPointCount> CrashPointCounts();
+
 }  // namespace log
 }  // namespace ringdb
 
-// The cheap always-on marker. Kept a macro so the disarmed fast path is
-// a single inlined flag check at the call site.
-#define RINGDB_CRASH_POINT(name)                  \
-  do {                                            \
-    if (::ringdb::log::CrashPointsArmed()) {      \
-      ::ringdb::log::CrashPointHit(name);         \
-    }                                             \
+// The cheap always-on marker. Kept a macro so the fast path inlines to
+// one relaxed increment on a cached per-site counter plus the disarmed
+// flag check.
+#define RINGDB_CRASH_POINT(name)                        \
+  do {                                                  \
+    static std::atomic<uint64_t>& rdb_cp_hits_ =        \
+        ::ringdb::log::RegisterCrashPoint(name);        \
+    rdb_cp_hits_.fetch_add(1, std::memory_order_relaxed); \
+    if (::ringdb::log::CrashPointsArmed()) {            \
+      ::ringdb::log::CrashPointHit(name);               \
+    }                                                   \
   } while (0)
 
 #endif  // RINGDB_LOG_CRASH_POINT_H_

@@ -135,12 +135,28 @@ Status DurableLog::AppendWindow(uint64_t seq, uint64_t events,
     return Status::FailedPrecondition("durable log not recovered");
   }
   RINGDB_CRASH_POINT("durable:before_append");
+  // The span starts before encoding: serialization is part of the price
+  // this window pays for durability, so the tracer attributes it to
+  // wal_append (MonotonicNs and obs::NowNs read the same clock, so the
+  // spans line up with the pipeline's other stages).
+  const uint64_t t0 = MonotonicNs();
   encode_scratch_.clear();
   EncodeBatch(batch, &encode_scratch_);
-  const uint64_t t0 = MonotonicNs();
-  RINGDB_RETURN_IF_ERROR(
-      wal_.Append(seq, events, updates_after, encode_scratch_));
-  RINGDB_OBS(append_ns_.Record(MonotonicNs() - t0));
+  WalWriter::AppendResult append_result;
+  RINGDB_RETURN_IF_ERROR(wal_.Append(seq, events, updates_after,
+                                     encode_scratch_, &append_result));
+  const uint64_t t1 = MonotonicNs();
+  RINGDB_OBS(append_ns_.Record(t1 - t0));
+#ifndef RINGDB_NO_METRICS
+  if (trace_ != nullptr) {
+    const uint64_t fsync_begin = t1 - append_result.fsync_ns;
+    trace_->Stage(seq, obs::kTraceWalAppend, t0, fsync_begin);
+    if (append_result.synced && append_result.fsync_ns > 0) {
+      trace_->Stage(seq, obs::kTraceWalFsync, fsync_begin, t1);
+    }
+    trace_->SetBytesLogged(seq, append_result.bytes, append_result.synced);
+  }
+#endif
   RINGDB_CRASH_POINT("durable:after_append");
   return Status::Ok();
 }
@@ -176,7 +192,11 @@ Status DurableLog::MaybeCheckpoint(uint64_t seq, uint64_t updates_applied,
         WriteCheckpoint(options_.dir, slot.name, meta, *slot.engine));
     ++checkpoints_;
   }
-  RINGDB_OBS(checkpoint_ns_.Record(MonotonicNs() - t0));
+  const uint64_t t1 = MonotonicNs();
+  RINGDB_OBS(checkpoint_ns_.Record(t1 - t0));
+#ifndef RINGDB_NO_METRICS
+  if (trace_ != nullptr) trace_->Stage(seq, obs::kTraceCheckpoint, t0, t1);
+#endif
   return Status::Ok();
 }
 
@@ -205,6 +225,7 @@ DurabilityStats DurableLog::GetStats() const {
   stats.recovered_updates = recovered_updates_;
   stats.recovered_records = recovered_records_;
   stats.truncated_bytes = truncated_bytes_;
+  stats.windows_since_checkpoint = windows_since_checkpoint_;
   stats.recovered_from_checkpoint = recovered_from_checkpoint_;
   stats.append_ns = append_ns_.Snapshot();
   stats.checkpoint_ns = checkpoint_ns_.Snapshot();

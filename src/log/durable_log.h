@@ -40,6 +40,7 @@
 #include "exec/batch.h"
 #include "log/wal.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ring/database.h"
 #include "util/status.h"
 
@@ -80,6 +81,7 @@ struct DurabilityStats {
   uint64_t recovered_updates = 0;  // event epoch recovery landed on
   uint64_t recovered_records = 0;  // WAL records replayed
   uint64_t truncated_bytes = 0;    // torn tail discarded at recovery
+  uint64_t windows_since_checkpoint = 0;  // replay debt if we died now
   bool recovered_from_checkpoint = false;
   obs::HistogramSnapshot append_ns;      // per-window append (+fsync)
   obs::HistogramSnapshot checkpoint_ns;  // per checkpoint round
@@ -129,6 +131,12 @@ class DurableLog {
 
   const std::string& wal_path() const { return wal_path_; }
 
+  // Window tracer hook: when set, AppendWindow records wal_append /
+  // wal_fsync stage spans + bytes logged, and MaybeCheckpoint records a
+  // checkpoint span, into the owning pipeline's recorder. The recorder
+  // must outlive this log; null disables.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   DurableLog(const ring::Catalog& catalog, DurabilityOptions options);
 
@@ -145,6 +153,7 @@ class DurableLog {
   uint64_t windows_since_checkpoint_ = 0;
   uint64_t checkpoints_ = 0;
   std::string encode_scratch_;  // batch payload buffer, reused per window
+  obs::TraceRecorder* trace_ = nullptr;  // not owned; null = no tracing
 
   obs::Histogram append_ns_;
   obs::Histogram checkpoint_ns_;

@@ -118,7 +118,8 @@ Status WalWriter::DoSync() {
 
 Status WalWriter::Append(uint64_t seq, uint64_t events,
                          uint64_t updates_after,
-                         std::string_view batch_bytes) {
+                         std::string_view batch_bytes,
+                         AppendResult* result) {
   if (fd_ < 0) return Status::FailedPrecondition("wal is closed");
   // Assemble payload then prepend length + checksum; one buffer, one
   // logical record, two write() calls with a kill point between so the
@@ -152,15 +153,27 @@ Status WalWriter::Append(uint64_t seq, uint64_t events,
   ++records_;
   ++unsynced_windows_;
 
+  bool want_sync = false;
   switch (options_.policy) {
     case FsyncPolicy::kNever:
       break;
     case FsyncPolicy::kEveryWindow:
-      RINGDB_RETURN_IF_ERROR(DoSync());
+      want_sync = true;
       break;
     case FsyncPolicy::kGroupCommit:
-      if (GroupCommitDue()) RINGDB_RETURN_IF_ERROR(DoSync());
+      want_sync = GroupCommitDue();
       break;
+  }
+  if (want_sync) {
+    const uint64_t sync_t0 = MonotonicNs();
+    RINGDB_RETURN_IF_ERROR(DoSync());
+    if (result != nullptr) {
+      result->fsync_ns = MonotonicNs() - sync_t0;
+      result->synced = true;
+    }
+  }
+  if (result != nullptr) {
+    result->bytes = kWalRecordHeaderSize + scratch_.size();
   }
   return Status::Ok();
 }

@@ -87,10 +87,21 @@ class WalWriter {
   static StatusOr<WalWriter> Open(const std::string& path,
                                   WalOptions options);
 
+  // Per-append effort split, for the window tracer: how much of the
+  // append was the fsync (0 when the policy skipped it this window),
+  // whether this window's record is on disk, and the record bytes
+  // written. Optional — pass nullptr when not tracing.
+  struct AppendResult {
+    uint64_t fsync_ns = 0;
+    bool synced = false;
+    uint64_t bytes = 0;
+  };
+
   // Appends one window record; applies the fsync policy. `seq` must
   // strictly increase across the log's life (the scan enforces it).
   Status Append(uint64_t seq, uint64_t events, uint64_t updates_after,
-                std::string_view batch_bytes);
+                std::string_view batch_bytes,
+                AppendResult* result = nullptr);
 
   // Forces an fsync of everything appended so far (group-commit tail,
   // pre-checkpoint barrier).

@@ -16,6 +16,8 @@ HistogramSnapshot Histogram::Snapshot() const {
   }
   snap.sum = sum_.load(std::memory_order_relaxed);
   if (snap.count == 0) return snap;
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
   // Quantile q = upper bound of the first bucket whose cumulative count
   // reaches q * total. Bucket b covers [2^(b-1), 2^b), so the upper
   // bound is (1 << b) - 1 (bucket 0 is exactly {0}).
@@ -32,12 +34,6 @@ HistogramSnapshot Histogram::Snapshot() const {
   snap.p50 = quantile((snap.count + 1) / 2);
   snap.p90 = quantile((snap.count * 9 + 9) / 10);
   snap.p99 = quantile((snap.count * 99 + 99) / 100);
-  for (size_t b = kBuckets; b-- > 0;) {
-    if (counts[b] != 0) {
-      snap.max = b == 0 ? 0 : (uint64_t{1} << b) - 1;
-      break;
-    }
-  }
   return snap;
 }
 
@@ -46,6 +42,8 @@ void Histogram::Reset() {
     buckets_[b].store(0, std::memory_order_relaxed);
   }
   sum_.store(0, std::memory_order_relaxed);
+  min_.store(~uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 Counter* MetricsRegistry::AddCounter(std::string name) {
@@ -99,6 +97,7 @@ void AppendHistogramJson(const HistogramSnapshot& snap, std::string* out) {
   *out += "{\"count\": " + std::to_string(snap.count) +
           ", \"sum\": " + std::to_string(snap.sum) +
           ", \"mean\": " + std::to_string(snap.mean()) +
+          ", \"min\": " + std::to_string(snap.min) +
           ", \"p50\": " + std::to_string(snap.p50) +
           ", \"p90\": " + std::to_string(snap.p90) +
           ", \"p99\": " + std::to_string(snap.p99) +

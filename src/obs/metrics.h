@@ -158,10 +158,14 @@ class Gauge {
 };
 
 // Read-time summary of a Histogram (also the unit JSON/text exporters
-// format). Quantiles are upper bounds of the containing log2 bucket.
+// format). Quantiles are upper bounds of the containing log2 bucket;
+// min/max/sum (and therefore mean()) are exact — tracked per Record
+// with relaxed CAS extremes, so exported stats carry one exact central
+// moment alongside the bucket-estimated tail.
 struct HistogramSnapshot {
   uint64_t count = 0;
   uint64_t sum = 0;
+  uint64_t min = 0;
   uint64_t p50 = 0;
   uint64_t p90 = 0;
   uint64_t p99 = 0;
@@ -181,6 +185,16 @@ class Histogram {
     size_t b = BucketOf(v);
     buckets_[b].fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
+    // Exact extremes. The CAS loops almost never iterate: after warmup
+    // the extremes are sticky, so the common case is one relaxed load.
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
 #else
     (void)v;
 #endif
@@ -201,6 +215,8 @@ class Histogram {
 
   std::atomic<uint64_t> buckets_[kBuckets]{};
   std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{~uint64_t{0}};
+  std::atomic<uint64_t> max_{0};
 };
 
 // Named-metric owner + exporter. Registration (construction-time, takes

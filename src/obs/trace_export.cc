@@ -1,0 +1,296 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/table_printer.h"
+
+namespace ringdb {
+namespace obs {
+
+namespace {
+
+// Append one ph:"X" complete event. ts/dur in microseconds with
+// fractional nanoseconds (Chrome/Perfetto accept doubles).
+void AppendCompleteEvent(uint64_t begin_ns, uint64_t end_ns, uint64_t t0_ns,
+                         int pid, uint32_t tid, const std::string& name,
+                         const std::string& args_json, std::string* out) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"X\",\"pid\":%d,\"tid\":%u,\"ts\":%.3f,"
+                "\"dur\":%.3f,\"name\":\"",
+                pid, tid, (begin_ns - t0_ns) / 1000.0,
+                (end_ns - begin_ns) / 1000.0);
+  *out += buf;
+  *out += name;
+  *out += "\"";
+  if (!args_json.empty()) {
+    *out += ",\"args\":";
+    *out += args_json;
+  }
+  *out += "},\n";
+}
+
+void AppendMetadataEvent(int pid, int tid, const char* what,
+                         const std::string& name, std::string* out) {
+  *out += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  if (tid >= 0) *out += ",\"tid\":" + std::to_string(tid);
+  *out += ",\"name\":\"";
+  *out += what;
+  *out += "\",\"args\":{\"name\":\"" + name + "\"}},\n";
+}
+
+// Exact nearest-rank percentile over a sorted vector.
+uint64_t Percentile(const std::vector<uint64_t>& sorted, int pct) {
+  if (sorted.empty()) return 0;
+  size_t rank = (sorted.size() * static_cast<size_t>(pct) + 99) / 100;
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+StageBreakdownRow SummarizeSamples(const std::string& name,
+                                   std::vector<uint64_t>* samples) {
+  StageBreakdownRow row;
+  row.name = name;
+  row.windows = samples->size();
+  if (samples->empty()) return row;
+  std::sort(samples->begin(), samples->end());
+  for (uint64_t v : *samples) row.total_ns += v;
+  row.p50_ns = Percentile(*samples, 50);
+  row.p99_ns = Percentile(*samples, 99);
+  row.max_ns = samples->back();
+  row.mean_ns = row.total_ns / samples->size();
+  return row;
+}
+
+std::string Ms(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string TraceToChromeJson(const std::vector<WindowTrace>& windows,
+                              const std::string& label) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  // Track metadata: pid 1 = pipeline stages, pid 2 = queries,
+  // pid 3 = shards. Emit thread names only for tracks that have events.
+  const std::string suffix = label.empty() ? "" : " (" + label + ")";
+  AppendMetadataEvent(1, -1, "process_name", "pipeline" + suffix, &out);
+  AppendMetadataEvent(2, -1, "process_name", "queries" + suffix, &out);
+  AppendMetadataEvent(3, -1, "process_name", "shards" + suffix, &out);
+  bool stage_seen[kTraceStageCount] = {};
+  std::vector<bool> query_seen, shard_seen;
+  uint64_t t0 = 0;
+  for (const WindowTrace& w : windows) {
+    const uint64_t b = w.BeginNs();
+    if (b != 0 && (t0 == 0 || b < t0)) t0 = b;
+    for (const TraceSpan& s : w.spans) {
+      if (s.begin_ns != 0 && (t0 == 0 || s.begin_ns < t0)) t0 = s.begin_ns;
+    }
+  }
+  std::string events;
+  for (const WindowTrace& w : windows) {
+    const std::string wtag = "w" + std::to_string(w.seq);
+    for (size_t s = 0; s < kTraceStageCount; ++s) {
+      const TraceStage stage = static_cast<TraceStage>(s);
+      if (w.stage_end_ns[s] <= w.stage_begin_ns[s]) continue;
+      stage_seen[s] = true;
+      std::string args = "{\"seq\":" + std::to_string(w.seq) +
+                         ",\"events\":" + std::to_string(w.events);
+      if (stage == kTraceWalAppend) {
+        args += ",\"bytes\":" + std::to_string(w.bytes_logged);
+        args += w.wal_synced ? ",\"synced\":true" : ",\"synced\":false";
+      }
+      if (!w.complete) args += ",\"complete\":false";
+      args += "}";
+      AppendCompleteEvent(w.stage_begin_ns[s], w.stage_end_ns[s], t0, 1,
+                          static_cast<uint32_t>(s),
+                          std::string(TraceStageName(stage)) + " " + wtag,
+                          args, &events);
+    }
+    for (const TraceSpan& span : w.spans) {
+      if (span.end_ns <= span.begin_ns) continue;
+      const bool shard_track = span.kind == kSpanShardApply;
+      const int pid = shard_track ? 3 : 2;
+      const uint32_t tid = shard_track ? span.shard : span.query;
+      std::vector<bool>& seen = shard_track ? shard_seen : query_seen;
+      if (tid >= seen.size()) seen.resize(tid + 1, false);
+      seen[tid] = true;
+      const std::string args = "{\"seq\":" + std::to_string(w.seq) +
+                               ",\"mode\":" + std::to_string(span.mode) +
+                               "}";
+      AppendCompleteEvent(span.begin_ns, span.end_ns, t0, pid, tid,
+                          std::string(TraceSpanKindName(span.kind)) + " " +
+                              wtag,
+                          args, &events);
+    }
+  }
+  for (size_t s = 0; s < kTraceStageCount; ++s) {
+    if (stage_seen[s]) {
+      AppendMetadataEvent(1, static_cast<int>(s), "thread_name",
+                          TraceStageName(static_cast<TraceStage>(s)), &out);
+    }
+  }
+  for (size_t q = 0; q < query_seen.size(); ++q) {
+    if (query_seen[q]) {
+      AppendMetadataEvent(2, static_cast<int>(q), "thread_name",
+                          "query " + std::to_string(q), &out);
+    }
+  }
+  for (size_t sh = 0; sh < shard_seen.size(); ++sh) {
+    if (shard_seen[sh]) {
+      AppendMetadataEvent(3, static_cast<int>(sh), "thread_name",
+                          "shard " + std::to_string(sh), &out);
+    }
+  }
+  out += events;
+  // Strip the trailing ",\n" so the array is valid JSON.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "]}\n";
+  return out;
+}
+
+TraceBreakdown ComputeTraceBreakdown(
+    const std::vector<WindowTrace>& windows) {
+  TraceBreakdown breakdown;
+  std::vector<uint64_t> stage_samples[kTraceStageCount];
+  uint64_t stage_dominated[kTraceStageCount] = {};
+  std::vector<uint64_t> span_samples[kSpanKindCount];
+  std::vector<uint64_t> e2e_samples;
+  uint64_t sum_e2e = 0;
+  uint64_t sum_gap = 0;
+  for (const WindowTrace& w : windows) {
+    if (!w.complete) continue;
+    const uint64_t e2e = w.ElapsedNs();
+    if (e2e == 0) continue;
+    e2e_samples.push_back(e2e);
+    sum_e2e += e2e;
+    uint64_t stage_sum = 0;
+    size_t dominant = kTraceStageCount;
+    uint64_t dominant_ns = 0;
+    for (size_t s = 0; s < kTraceStageCount; ++s) {
+      const uint64_t ns = w.StageNs(static_cast<TraceStage>(s));
+      if (ns == 0) continue;
+      stage_samples[s].push_back(ns);
+      stage_sum += ns;
+      if (ns > dominant_ns) {
+        dominant_ns = ns;
+        dominant = s;
+      }
+    }
+    if (dominant < kTraceStageCount) ++stage_dominated[dominant];
+    // Stages are disjoint sequential intervals of the window, so the
+    // unaccounted gap is e2e − Σstages (never negative in theory;
+    // clamp against clock jitter).
+    sum_gap += e2e > stage_sum ? e2e - stage_sum : 0;
+    for (const TraceSpan& span : w.spans) {
+      if (span.kind < kSpanKindCount && span.end_ns > span.begin_ns) {
+        span_samples[span.kind].push_back(span.end_ns - span.begin_ns);
+      }
+    }
+  }
+  breakdown.windows = e2e_samples.size();
+  std::sort(e2e_samples.begin(), e2e_samples.end());
+  breakdown.e2e_p50_ns = Percentile(e2e_samples, 50);
+  breakdown.e2e_p99_ns = Percentile(e2e_samples, 99);
+  breakdown.e2e_max_ns = e2e_samples.empty() ? 0 : e2e_samples.back();
+  breakdown.reconcile_error_pct =
+      sum_e2e == 0 ? 0.0 : 100.0 * static_cast<double>(sum_gap) /
+                               static_cast<double>(sum_e2e);
+  for (size_t s = 0; s < kTraceStageCount; ++s) {
+    if (stage_samples[s].empty()) continue;
+    StageBreakdownRow row = SummarizeSamples(
+        TraceStageName(static_cast<TraceStage>(s)), &stage_samples[s]);
+    row.dominated = stage_dominated[s];
+    breakdown.stages.push_back(std::move(row));
+  }
+  for (size_t k = 0; k < kSpanKindCount; ++k) {
+    if (span_samples[k].empty()) continue;
+    breakdown.spans.push_back(SummarizeSamples(
+        TraceSpanKindName(static_cast<TraceSpanKind>(k)),
+        &span_samples[k]));
+  }
+  return breakdown;
+}
+
+std::string TraceBreakdownText(const TraceBreakdown& breakdown) {
+  TablePrinter table({"stage", "windows", "p50 ms", "p99 ms", "max ms",
+                      "mean ms", "dominated"});
+  for (const StageBreakdownRow& row : breakdown.stages) {
+    table.AddRow({row.name, std::to_string(row.windows), Ms(row.p50_ns),
+                  Ms(row.p99_ns), Ms(row.max_ns), Ms(row.mean_ns),
+                  std::to_string(row.dominated)});
+  }
+  for (const StageBreakdownRow& row : breakdown.spans) {
+    table.AddRow({"  " + row.name, std::to_string(row.windows),
+                  Ms(row.p50_ns), Ms(row.p99_ns), Ms(row.max_ns),
+                  Ms(row.mean_ns), ""});
+  }
+  std::string out = table.Render();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "windows: %llu  e2e p50/p99/max ms: %s/%s/%s  "
+                "unattributed: %.1f%%\n",
+                static_cast<unsigned long long>(breakdown.windows),
+                Ms(breakdown.e2e_p50_ns).c_str(),
+                Ms(breakdown.e2e_p99_ns).c_str(),
+                Ms(breakdown.e2e_max_ns).c_str(),
+                breakdown.reconcile_error_pct);
+  out += buf;
+  return out;
+}
+
+namespace {
+void AppendRowJson(const StageBreakdownRow& row, const std::string& pad,
+                   std::string* out) {
+  *out += pad + "\"" + row.name +
+          "\": {\"windows\": " + std::to_string(row.windows) +
+          ", \"p50_ns\": " + std::to_string(row.p50_ns) +
+          ", \"p99_ns\": " + std::to_string(row.p99_ns) +
+          ", \"max_ns\": " + std::to_string(row.max_ns) +
+          ", \"mean_ns\": " + std::to_string(row.mean_ns) +
+          ", \"total_ns\": " + std::to_string(row.total_ns) +
+          ", \"dominated\": " + std::to_string(row.dominated) + "}";
+}
+}  // namespace
+
+void AppendTraceBreakdownJson(const TraceBreakdown& breakdown, int indent,
+                              std::string* out) {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", breakdown.reconcile_error_pct);
+  *out += "{\n";
+  *out += pad + "  \"windows\": " + std::to_string(breakdown.windows) +
+          ",\n";
+  *out +=
+      pad + "  \"e2e_p50_ns\": " + std::to_string(breakdown.e2e_p50_ns) +
+      ",\n";
+  *out +=
+      pad + "  \"e2e_p99_ns\": " + std::to_string(breakdown.e2e_p99_ns) +
+      ",\n";
+  *out +=
+      pad + "  \"e2e_max_ns\": " + std::to_string(breakdown.e2e_max_ns) +
+      ",\n";
+  *out += pad + "  \"reconcile_error_pct\": " + buf + ",\n";
+  *out += pad + "  \"stages\": {";
+  for (size_t i = 0; i < breakdown.stages.size(); ++i) {
+    *out += i == 0 ? "\n" : ",\n";
+    AppendRowJson(breakdown.stages[i], pad + "    ", out);
+  }
+  *out += breakdown.stages.empty() ? "},\n" : "\n" + pad + "  },\n";
+  *out += pad + "  \"spans\": {";
+  for (size_t i = 0; i < breakdown.spans.size(); ++i) {
+    *out += i == 0 ? "\n" : ",\n";
+    AppendRowJson(breakdown.spans[i], pad + "    ", out);
+  }
+  *out += breakdown.spans.empty() ? "}\n" : "\n" + pad + "  }\n";
+  *out += pad + "}";
+}
+
+}  // namespace obs
+}  // namespace ringdb

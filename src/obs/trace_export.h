@@ -1,0 +1,70 @@
+// Exporters over TraceRecorder::Export() output: Chrome trace-event
+// JSON (chrome://tracing / Perfetto loadable) and a per-stage latency
+// breakdown with critical-path attribution. Pure functions over the
+// merged WindowTrace vector — no recorder internals, no locking.
+
+#ifndef RINGDB_OBS_TRACE_EXPORT_H_
+#define RINGDB_OBS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ringdb {
+namespace obs {
+
+// Chrome trace-event JSON. Track layout: pid 1 = pipeline (one tid per
+// stage), pid 2 = queries (one tid per query index, apply + publish
+// sub-spans), pid 3 = shards (one tid per shard index). Timestamps are
+// normalized so the earliest window starts at t=0; ph:"X" complete
+// events with ts/dur in microseconds (fractional — nanosecond detail
+// survives). `label` becomes the process_name suffix.
+std::string TraceToChromeJson(const std::vector<WindowTrace>& windows,
+                              const std::string& label);
+
+// One stage's (or sub-span kind's) latency distribution across the
+// retained windows — exact order statistics, not bucket estimates (the
+// flight recorder holds at most a few hundred windows).
+struct StageBreakdownRow {
+  std::string name;
+  uint64_t windows = 0;   // windows in which the stage ran
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+  uint64_t max_ns = 0;
+  uint64_t mean_ns = 0;
+  uint64_t total_ns = 0;
+  // Critical-path attribution: windows where this stage was the
+  // largest single contributor to end-to-end latency.
+  uint64_t dominated = 0;
+};
+
+struct TraceBreakdown {
+  uint64_t windows = 0;           // complete windows summarized
+  uint64_t e2e_p50_ns = 0;        // end-to-end window latency
+  uint64_t e2e_p99_ns = 0;
+  uint64_t e2e_max_ns = 0;
+  // Reconciliation: 100 * (Σ e2e − Σ stage sums) / Σ e2e over complete
+  // windows — the fraction of end-to-end time the stage spans fail to
+  // account for (CI gates this at 5%).
+  double reconcile_error_pct = 0.0;
+  std::vector<StageBreakdownRow> stages;  // pipeline stages that ran
+  std::vector<StageBreakdownRow> spans;   // query/shard sub-span kinds
+};
+
+TraceBreakdown ComputeTraceBreakdown(
+    const std::vector<WindowTrace>& windows);
+
+// Aligned text table of the breakdown (for StatsText-style dumps).
+std::string TraceBreakdownText(const TraceBreakdown& breakdown);
+
+// Appends the breakdown as one JSON object (for embedding in bench
+// rows / StatsJson). `indent` spaces prefix every line.
+void AppendTraceBreakdownJson(const TraceBreakdown& breakdown, int indent,
+                              std::string* out);
+
+}  // namespace obs
+}  // namespace ringdb
+
+#endif  // RINGDB_OBS_TRACE_EXPORT_H_

@@ -128,6 +128,24 @@ void CompiledExecutor::CollectDispatch(std::vector<StmtDispatch>* out) const {
   }
 }
 
+uint32_t CompiledExecutor::window_dispatch_mode() const {
+  bool native = false;
+  bool profiling = false;
+  for (const auto& [sp, f] : fns_) {
+    if (f.col_plain != nullptr) {
+      native = native || f.plain_win_profile.mode == 1;
+      profiling = profiling || f.plain_win_profile.mode == 2;
+    }
+    if (f.col_grouped != nullptr) {
+      native = native || f.grouped_win_profile.mode == 1;
+      profiling = profiling || f.grouped_win_profile.mode == 2;
+    }
+  }
+  if (native) return 2;
+  if (profiling) return 3;
+  return Executor::window_dispatch_mode();
+}
+
 void CompiledExecutor::RunStatement(const lower::StmtProgram& sp,
                                     const Value* params, Numeric scale,
                                     const lower::RhsProgram& rhs) {

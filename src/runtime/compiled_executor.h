@@ -78,6 +78,11 @@ class CompiledExecutor : public Executor {
   // owns (mirror columns, span buffers, param/entry scratch).
   size_t ApproxBytes() const override;
 
+  // Trace-span mode summary over the window profiles: 2 (native) when
+  // any variant locked a native columnar entry point, 3 while any is
+  // still profiling, else the interpreter's own answer.
+  uint32_t window_dispatch_mode() const override;
+
  protected:
   void RunStatement(const compiler::lower::StmtProgram& sp,
                     const Value* params, Numeric scale,

@@ -1,7 +1,9 @@
 #include "runtime/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "obs/trace_export.h"
 #include "util/check.h"
 #include "util/table_printer.h"
 
@@ -41,6 +43,13 @@ Status Engine::ApplyBatch(const std::vector<ring::Update>& updates) {
   size_t i = 0;
   while (i < updates.size()) {
     size_t end = std::min(updates.size(), i + window);
+    const size_t window_events = end - i;
+    const uint64_t seq = trace_ != nullptr ? ++trace_seq_ : 0;
+    if (seq != 0) {
+      trace_->BeginWindow(seq, window_events);
+      sharded_->SetTraceContext({trace_.get(), seq, 0});
+    }
+    const uint64_t t0 = obs::NowNs();
     for (; i < end; ++i) {
       Status added = builder_->Add(updates[i]);
       if (!added.ok()) {
@@ -51,7 +60,17 @@ Status Engine::ApplyBatch(const std::vector<ring::Update>& updates) {
         return added;
       }
     }
-    RINGDB_RETURN_IF_ERROR(sharded_->ApplyBatch(builder_->Build()));
+    exec::UpdateBatch batch = builder_->Build();
+    const uint64_t t1 = obs::NowNs();
+    Status applied = sharded_->ApplyBatch(batch);
+    if (seq != 0) {
+      const uint64_t t2 = obs::NowNs();
+      trace_->Stage(seq, obs::kTraceCoalesce, t0, t1);
+      trace_->Stage(seq, obs::kTraceApply, t1, t2);
+      trace_->FinishWindow(seq);
+      sharded_->SetTraceContext({});
+    }
+    RINGDB_RETURN_IF_ERROR(std::move(applied));
   }
   return Status::Ok();
 }
@@ -173,7 +192,7 @@ std::string Engine::StatsText() const {
   span("shard_apply", st.shard_apply_ns);
   span("merge_read", st.merge_ns);
   TablePrinter table({"statement", "invocations", "loop_iters", "probes",
-                      "emissions", "native", "interp", "mode"});
+                      "emissions", "native", "interp", "win ms", "mode"});
   for (const StmtStats& row : st.statements) {
     const Executor::StmtCounters& c = row.counters;
     std::string mode = ModeName(row.dispatch.plain_mode);
@@ -191,13 +210,33 @@ std::string Engine::StatsText() const {
       }
     }
     if (!row.dispatch.native_available) mode = "interp-only";
+    char win_ms[32];
+    std::snprintf(win_ms, sizeof(win_ms), "%.1f", c.window_ns / 1e6);
     table.AddRow({row.label, std::to_string(c.invocations),
                   std::to_string(c.loop_iterations),
                   std::to_string(c.probes), std::to_string(c.emissions),
                   std::to_string(c.native_calls),
-                  std::to_string(c.interp_calls), std::move(mode)});
+                  std::to_string(c.interp_calls), win_ms,
+                  std::move(mode)});
   }
   out += table.Render();
+  return out;
+}
+
+void Engine::EnableTracing(size_t windows) {
+  trace_ = std::make_unique<obs::TraceRecorder>(windows);
+}
+
+std::string Engine::TraceJson() const {
+  if (trace_ == nullptr) return "";
+  return obs::TraceToChromeJson(trace_->Export(), "engine");
+}
+
+std::string Engine::TraceBreakdownJson(int indent) const {
+  std::string out;
+  if (trace_ == nullptr) return "null";
+  obs::AppendTraceBreakdownJson(
+      obs::ComputeTraceBreakdown(trace_->Export()), indent, &out);
   return out;
 }
 
@@ -238,6 +277,7 @@ std::string Engine::StatsJson(int indent) const {
            ", \"emissions\": " + std::to_string(c.emissions) +
            ", \"native_calls\": " + std::to_string(c.native_calls) +
            ", \"interp_calls\": " + std::to_string(c.interp_calls) +
+           ", \"window_ns\": " + std::to_string(c.window_ns) +
            ", \"native_available\": " +
            (row.dispatch.native_available ? "true" : "false") +
            ", \"window_available\": " +

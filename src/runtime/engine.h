@@ -44,6 +44,7 @@
 #include "exec/partition.h"
 #include "exec/sharded_executor.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ring/database.h"
 #include "ring/gmr.h"
 #include "runtime/interpreter.h"
@@ -192,6 +193,19 @@ class Engine {
   std::string StatsText() const;
   std::string StatsJson(int indent = 0) const;
 
+  // Standalone window tracing (flight recorder). ApplyBatch records one
+  // WindowTrace per coalesced window — coalesce + apply stages plus
+  // per-shard sub-spans — into a ring of the last `windows` windows.
+  // Engines under serve::QueryService do not need this: the service owns
+  // the pipeline-wide recorder and hands a TraceContext down per window.
+  void EnableTracing(size_t windows = obs::TraceRecorder::kDefaultCapacity);
+  const obs::TraceRecorder* trace_recorder() const { return trace_.get(); }
+  // Chrome trace-event JSON of the retained windows ("" when tracing is
+  // off); loadable in chrome://tracing or Perfetto.
+  std::string TraceJson() const;
+  // Per-stage latency breakdown of the retained windows as JSON.
+  std::string TraceBreakdownJson(int indent = 0) const;
+
  private:
   // Marks an apply in flight for the duration of a scope; the result
   // accessors check the depth so a reader racing the writer fails fast.
@@ -227,6 +241,9 @@ class Engine {
   // unique_ptr keeps Engine movable (atomics are not).
   std::unique_ptr<std::atomic<int>> apply_depth_ =
       std::make_unique<std::atomic<int>>(0);
+  // Standalone flight recorder (EnableTracing); null = tracing off.
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  uint64_t trace_seq_ = 0;  // window numbering for the standalone path
 };
 
 }  // namespace runtime

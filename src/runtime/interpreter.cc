@@ -278,7 +278,12 @@ void Executor::RunLinearTriggerBatchColumnar(size_t trigger_idx,
       const ColWindow win{cols,  win_rows_.data(), win_scales_.data(),
                           n,     arity,            delta.size(),
                           col_epoch_};
+#ifndef RINGDB_NO_METRICS
+      const uint64_t win_t0 = obs::NowNs();
+#endif
       RunStatementWindow(sp, win, sp.rhs);
+      RINGDB_OBS(stmt_counters_[sp.stmt_id].window_ns +=
+                 obs::NowNs() - win_t0);
       continue;
     }
     // Accumulate one coefficient per distinct shape projection:
@@ -352,7 +357,12 @@ void Executor::RunLinearTriggerBatchColumnar(size_t trigger_idx,
                         arity,
                         delta.size(),
                         col_epoch_};
+#ifndef RINGDB_NO_METRICS
+    const uint64_t win_t0 = obs::NowNs();
+#endif
     RunStatementWindow(sp, win, sp.grouped_rhs);
+    RINGDB_OBS(stmt_counters_[sp.stmt_id].window_ns +=
+               obs::NowNs() - win_t0);
   }
 }
 

@@ -77,6 +77,11 @@ class Executor {
     uint64_t emissions = 0;        // nonzero rhs values emitted
     uint64_t native_calls = 0;     // dispatched into the native module
     uint64_t interp_calls = 0;     // run by the bytecode interpreter
+    // Wall ns spent in this statement's whole-window dispatches
+    // (RunStatementWindow). Timing, not a semantic count: it varies by
+    // backend and run, so the backend/representation invariance suites
+    // exclude it. Zero on the per-tuple path, which never runs windows.
+    uint64_t window_ns = 0;
   };
 
   // Per-statement backend dispatch report for stats export; the compiled
@@ -200,6 +205,13 @@ class Executor {
   // backend dispatch state. Base executor: everything interpreted.
   virtual void CollectDispatch(std::vector<StmtDispatch>* out) const {
     out->assign(lowered_->num_statements, StmtDispatch{});
+  }
+  // How this executor dispatches whole columnar windows, for per-shard
+  // trace spans: 0 = row fallback (RINGDB_FORCE_ROW), 1 = interpreted /
+  // gathered windows, 2 = native window entry points, 3 = still
+  // profiling. Base executor never has native windows.
+  virtual uint32_t window_dispatch_mode() const {
+    return force_row_ ? 0u : 1u;
   }
   void ResetStats() {
     stats_ = Stats();

@@ -24,6 +24,7 @@
 #ifndef RINGDB_SERVE_INGEST_QUEUE_H_
 #define RINGDB_SERVE_INGEST_QUEUE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -94,7 +95,9 @@ class IngestQueue {
           [&] { return closed_ || items_.size() < capacity_; });
       RINGDB_OBS(stall_ns_.Record(obs::NowNs() - t0));
       if (!has_space) {
-        RINGDB_OBS(timeouts_.Add());
+        // Not RINGDB_OBS: a timeout is a flow-control outcome the
+        // caller acted on, counted in every build.
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
         return PushResult::kTimedOut;
       }
     }
@@ -107,13 +110,19 @@ class IngestQueue {
 
   // Pops up to max_n events into *out (cleared first), blocking until at
   // least one event is available. Returns false iff the queue is closed
-  // and fully drained.
-  bool PopWindow(size_t max_n, std::vector<ring::Update>* out) {
+  // and fully drained. When `oldest_enqueue_ns` is non-null it receives
+  // the enqueue timestamp of the window's oldest event (0 under
+  // RINGDB_NO_METRICS) — the begin edge of the traced queue-wait stage.
+  bool PopWindow(size_t max_n, std::vector<ring::Update>* out,
+                 uint64_t* oldest_enqueue_ns = nullptr) {
     out->clear();
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
     if (items_.empty()) return false;
     const size_t n = std::min(max_n, items_.size());
+    if (oldest_enqueue_ns != nullptr) {
+      *oldest_enqueue_ns = items_.front().enqueue_ns;
+    }
     out->reserve(n);
     RINGDB_OBS(const uint64_t now = obs::NowNs();
                for (size_t i = 0; i < n; ++i)
@@ -150,7 +159,7 @@ class IngestQueue {
     s.depth = size();
     s.capacity = capacity_;
     s.stalls = stalls_.Value();
-    s.timeouts = timeouts_.Value();
+    s.timeouts = timeouts_.load(std::memory_order_relaxed);
     s.stall_ns = stall_ns_.Snapshot();
     s.wait_ns = wait_ns_.Snapshot();
     s.window_size = window_size_.Snapshot();
@@ -171,7 +180,7 @@ class IngestQueue {
   bool closed_ = false;
 
   obs::Counter stalls_;
-  obs::Counter timeouts_;
+  std::atomic<uint64_t> timeouts_{0};
   obs::Histogram stall_ns_;
   obs::Histogram wait_ns_;
   obs::Histogram window_size_;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <utility>
 
+#include "obs/trace_export.h"
 #include "sql/translate.h"
 #include "util/check.h"
 #include "util/table_printer.h"
@@ -11,11 +14,32 @@
 namespace ringdb {
 namespace serve {
 
+namespace {
+
+// Minimal JSON string escaping for error messages embedded in StatsJson
+// (paths and strerror text can carry quotes and backslashes).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
 QueryService::QueryService(ring::Catalog catalog, ServeOptions options)
     : catalog_(std::move(catalog)),
       options_(options),
       queue_(options.queue_capacity),
-      builder_(catalog_) {}
+      builder_(catalog_),
+      trace_(options.trace_windows) {}
 
 QueryService::~QueryService() { Stop(); }
 
@@ -74,12 +98,37 @@ std::vector<log::DurableLog::EngineSlot> QueryService::EngineSlots() const {
 }
 
 void QueryService::DisableDurability(Status error) {
-  std::lock_guard<std::mutex> lock(dlog_mu_);
-  if (durability_status_.ok()) durability_status_ = std::move(error);
-  if (dlog_ != nullptr) {
-    (void)dlog_->Close();  // best effort; the error is already recorded
-    dlog_.reset();
+  bool first_error = false;
+  {
+    std::lock_guard<std::mutex> lock(dlog_mu_);
+    if (durability_status_.ok()) {
+      durability_status_ = std::move(error);
+      first_error = true;
+    }
+    if (dlog_ != nullptr) {
+      (void)dlog_->Close();  // best effort; the error is already recorded
+      dlog_.reset();
+    }
   }
+#ifndef RINGDB_NO_METRICS
+  // Flight dump on the first fail-stop: the last trace_windows windows
+  // (the failing one still in flight, complete=false) to the durability
+  // directory, outside dlog_mu_ — the dump is pure reads of the trace
+  // ring plus file IO.
+  if (first_error && !options_.durability.dir.empty()) {
+    WriteTraceFile(options_.durability.dir + "/flight.trace.json");
+  }
+#else
+  (void)first_error;
+#endif
+}
+
+void QueryService::WriteTraceFile(const std::string& path) const {
+  const std::string json = TraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;  // best effort: tracing must never fail ingest
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
 }
 
 void QueryService::RecoverDurability() {
@@ -110,6 +159,9 @@ void QueryService::RecoverDurability() {
     }
     RINGDB_OBS(windows_.SetMax(static_cast<int64_t>(recovered_seq_)));
   }
+  // From here every AppendWindow/MaybeCheckpoint attributes its WAL
+  // append, fsync, and checkpoint time to the window's trace slot.
+  dlog->set_trace(&trace_);
   std::lock_guard<std::mutex> lock(dlog_mu_);
   dlog_ = std::move(dlog);
 }
@@ -117,6 +169,13 @@ void QueryService::RecoverDurability() {
 void QueryService::Start() {
   RINGDB_CHECK(!started_ && !stopped_);
   RecoverDurability();  // before any thread exists; engines are quiescent
+#ifndef RINGDB_NO_METRICS
+  if (!options_.trace_dump_path.empty()) {
+    // Opt-in on-demand dump: `kill -USR1 <pid>` flags a request; the
+    // batcher polls between windows and writes trace_dump_path.
+    obs::ArmTraceDumpSignal(SIGUSR1);
+  }
+#endif
   started_ = true;
   for (size_t i = 1; i < queries_.size(); ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -250,15 +309,37 @@ void QueryService::ApplyAndPublish(size_t query_index,
     RINGDB_OBS(query.windows_skipped.Add(1));
     return;
   }
+#ifndef RINGDB_NO_METRICS
   const uint64_t t0 = obs::NowNs();
+  // Hand the window's trace slot down to the engine's shard layer: each
+  // shard records its own apply span tagged with this query. The engine
+  // is exclusively this applier's for the duration of the window, so the
+  // plain write is safe (workers read it after the generation handshake).
+  query.engine->sharded().SetTraceContext(
+      {&trace_, version, static_cast<uint32_t>(query_index)});
+#endif
   Status applied = query.engine->ApplyPrepared(batch);
+#ifndef RINGDB_NO_METRICS
+  query.engine->sharded().SetTraceContext({});
+  const uint64_t t1 = obs::NowNs();
+  query_apply_ns_.Record(t1 - t0);
+#endif
   if (!applied.ok() && query.apply_status.ok()) {
     query.apply_status = std::move(applied);
   }
-  RINGDB_OBS(query_apply_ns_.Record(obs::NowNs() - t0));
   query.snapshot.store(ResultSnapshot::Build(query.info, *query.engine,
                                              version, updates_applied));
-  RINGDB_OBS(publish_age_ns_.Record(obs::NowNs() - window_ns));
+#ifndef RINGDB_NO_METRICS
+  const uint64_t t2 = obs::NowNs();
+  publish_age_ns_.Record(t2 - window_ns);
+  const uint32_t mode = query.engine->executor().window_dispatch_mode();
+  trace_.AddSpan(version, obs::kSpanQueryApply,
+                 static_cast<uint32_t>(query_index), /*shard=*/0, mode, t0,
+                 t1);
+  trace_.AddSpan(version, obs::kSpanQueryPublish,
+                 static_cast<uint32_t>(query_index), /*shard=*/0, mode, t1,
+                 t2);
+#endif
   RINGDB_OBS(query.windows_applied.Add(1));
 }
 
@@ -296,22 +377,37 @@ void QueryService::BatcherLoop() {
   // engines (and the published snapshots) exactly on this epoch.
   uint64_t sequence = recovered_seq_;
   uint64_t cumulative_updates = recovered_updates_;
-  while (queue_.PopWindow(options_.batch_size, &window)) {
+  uint64_t oldest_enqueue_ns = 0;
+  while (queue_.PopWindow(options_.batch_size, &window, &oldest_enqueue_ns)) {
     while (stall_batcher_.load(std::memory_order_acquire)) {
       // Test hook: hold the popped window so producers fill the queue
       // behind it. Stop() clears the flag before closing the queue.
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
     const uint64_t window_ns = obs::NowNs();
+    cumulative_updates += window.size();
+    const uint64_t version = ++sequence;
+#ifndef RINGDB_NO_METRICS
+    // The window's trace slot opens here and closes after checkpoint;
+    // queue-wait is the span the window's oldest event spent enqueued
+    // before the batcher picked the window up.
+    trace_.BeginWindow(version, window.size());
+    if (oldest_enqueue_ns != 0 && oldest_enqueue_ns <= window_ns) {
+      trace_.Stage(version, obs::kTraceQueueWait, oldest_enqueue_ns,
+                   window_ns);
+    }
+#endif
     for (const ring::Update& update : window) {
       // Push validated relation and arity; Add cannot fail.
       RINGDB_CHECK(builder_.Add(update).ok());
     }
     // The window's delta GMRs, built once for all queries.
     exec::UpdateBatch batch = builder_.Build();
-    RINGDB_OBS(coalesce_ns_.Record(obs::NowNs() - window_ns));
-    cumulative_updates += window.size();
-    const uint64_t version = ++sequence;
+#ifndef RINGDB_NO_METRICS
+    const uint64_t coalesce_end = obs::NowNs();
+    coalesce_ns_.Record(coalesce_end - window_ns);
+    trace_.Stage(version, obs::kTraceCoalesce, window_ns, coalesce_end);
+#endif
     // Write-ahead: the window is logged before any engine sees it, so a
     // crash anywhere downstream replays it instead of losing it. Append
     // failure is fail-stop for durability only (record + keep serving).
@@ -328,6 +424,9 @@ void QueryService::BatcherLoop() {
     }
     RINGDB_OBS(windows_.Set(static_cast<int64_t>(version)));
     const size_t num_queries = queries_.size();
+#ifndef RINGDB_NO_METRICS
+    const uint64_t fanout_t0 = obs::NowNs();
+#endif
     if (num_queries > 1) {
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -348,6 +447,14 @@ void QueryService::BatcherLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       done_cv_.wait(lock, [&] { return pending_ == 0; });
     }
+#ifndef RINGDB_NO_METRICS
+    if (num_queries > 0) {
+      // Fan-out barrier: publish through every applier's ApplyPrepared +
+      // snapshot swap, back to all-workers-parked. The per-query and
+      // per-shard spans recorded inside nest under this interval.
+      trace_.Stage(version, obs::kTraceFanout, fanout_t0, obs::NowNs());
+    }
+#endif
     // Every engine has fully applied the window and the workers are
     // parked — the quiescence WriteCheckpoint requires.
     if (dlog_ != nullptr) {
@@ -361,6 +468,13 @@ void QueryService::BatcherLoop() {
       }
       if (!ckpt.ok()) DisableDurability(std::move(ckpt));
     }
+#ifndef RINGDB_NO_METRICS
+    trace_.FinishWindow(version);
+    if (!options_.trace_dump_path.empty() &&
+        obs::ConsumeTraceDumpRequest()) {
+      WriteTraceFile(options_.trace_dump_path);
+    }
+#endif
     {
       std::lock_guard<std::mutex> lock(drain_mu_);
       applied_ += window.size();
@@ -381,7 +495,10 @@ QueryService::ServiceStats QueryService::Stats() const {
   {
     std::lock_guard<std::mutex> lock(dlog_mu_);
     if (dlog_ != nullptr) out.durability = dlog_->GetStats();
+    out.degraded = !durability_status_.ok();
+    if (out.degraded) out.durability_error = durability_status_.message();
   }
+  out.crash_points = log::CrashPointCounts();
   out.coalesce_ns = coalesce_ns_.Snapshot();
   out.query_apply_ns = query_apply_ns_.Snapshot();
   out.publish_age_ns = publish_age_ns_.Snapshot();
@@ -431,6 +548,8 @@ std::string QueryService::StatsText() const {
            " fsyncs=" + std::to_string(st.durability.wal_fsyncs) +
            " unsynced=" + std::to_string(st.durability.unsynced_windows) +
            " checkpoints=" + std::to_string(st.durability.checkpoints) +
+           " windows_since_ckpt=" +
+           std::to_string(st.durability.windows_since_checkpoint) +
            " recovered_seq=" + std::to_string(st.durability.recovered_seq) +
            " recovered_updates=" +
            std::to_string(st.durability.recovered_updates) +
@@ -438,6 +557,17 @@ std::string QueryService::StatsText() const {
            std::to_string(st.durability.truncated_bytes) + "\n";
     span("wal_append", st.durability.append_ns);
     span("checkpoint", st.durability.checkpoint_ns);
+  }
+  if (st.degraded) {
+    out += "durability DEGRADED (fail-stop, serving memory-only): " +
+           st.durability_error + "\n";
+  }
+  if (!st.crash_points.empty()) {
+    out += "crash_points:";
+    for (const log::CrashPointCount& cp : st.crash_points) {
+      out += " " + std::string(cp.name) + "=" + std::to_string(cp.hits);
+    }
+    out += "\n";
   }
   TablePrinter table({"query", "version", "windows_applied",
                       "windows_skipped", "staleness"});
@@ -475,7 +605,11 @@ std::string QueryService::StatsJson(int indent) const {
   out += ",\n" + pad + "  \"publish_age_ns\": ";
   obs::AppendHistogramJson(st.publish_age_ns, &out);
   out += ",\n" + pad + "  \"durability\": {\"enabled\": " +
-         std::string(st.durability.enabled ? "true" : "false");
+         std::string(st.durability.enabled ? "true" : "false") +
+         ", \"degraded\": " + (st.degraded ? "true" : "false");
+  if (st.degraded) {
+    out += ", \"error\": \"" + JsonEscape(st.durability_error) + "\"";
+  }
   if (st.durability.enabled) {
     out += ", \"policy\": \"" + st.durability.policy + "\"" +
            ", \"wal_records\": " + std::to_string(st.durability.wal_records) +
@@ -484,6 +618,8 @@ std::string QueryService::StatsJson(int indent) const {
            ", \"unsynced_windows\": " +
            std::to_string(st.durability.unsynced_windows) +
            ", \"checkpoints\": " + std::to_string(st.durability.checkpoints) +
+           ", \"windows_since_checkpoint\": " +
+           std::to_string(st.durability.windows_since_checkpoint) +
            ", \"recovered_seq\": " +
            std::to_string(st.durability.recovered_seq) +
            ", \"recovered_updates\": " +
@@ -497,6 +633,11 @@ std::string QueryService::StatsJson(int indent) const {
     out += ", \"checkpoint_ns\": ";
     obs::AppendHistogramJson(st.durability.checkpoint_ns, &out);
   }
+  out += "},\n" + pad + "  \"crash_points\": {";
+  for (size_t i = 0; i < st.crash_points.size(); ++i) {
+    out += std::string(i == 0 ? "" : ", ") + "\"" + st.crash_points[i].name +
+           "\": " + std::to_string(st.crash_points[i].hits);
+  }
   out += "},\n" + pad + "  \"queries\": [\n";
   for (size_t i = 0; i < st.queries.size(); ++i) {
     const QueryStats& q = st.queries[i];
@@ -509,6 +650,17 @@ std::string QueryService::StatsJson(int indent) const {
     out += (i + 1 < st.queries.size()) ? ",\n" : "\n";
   }
   out += pad + "  ]\n" + pad + "}";
+  return out;
+}
+
+std::string QueryService::TraceJson() const {
+  return obs::TraceToChromeJson(trace_.Export(), "serve");
+}
+
+std::string QueryService::TraceBreakdownJson(int indent) const {
+  std::string out;
+  obs::AppendTraceBreakdownJson(obs::ComputeTraceBreakdown(trace_.Export()),
+                                indent, &out);
   return out;
 }
 

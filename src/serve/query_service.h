@@ -46,8 +46,10 @@
 
 #include "agca/ast.h"
 #include "exec/batch.h"
+#include "log/crash_point.h"
 #include "log/durable_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ring/database.h"
 #include "runtime/engine.h"
 #include "serve/ingest_queue.h"
@@ -86,6 +88,19 @@ struct ServeOptions {
   // further (load shedding the producer can see). 0 = block forever
   // (the pre-timeout behavior).
   uint64_t push_timeout_ms = 30000;
+  // Flight-recorder depth: the last `trace_windows` applied windows keep
+  // their full per-stage trace (obs/trace.h) in a lock-free ring,
+  // exportable any time via TraceJson() and dumped automatically on a
+  // durability fail-stop. 0 disables window tracing entirely (every
+  // recorder call early-outs); under -DRINGDB_NO_METRICS it is forced
+  // to 0 regardless.
+  size_t trace_windows = obs::TraceRecorder::kDefaultCapacity;
+  // When non-empty, Start() arms SIGUSR1 as an on-demand dump hook: the
+  // batcher polls between windows and writes the Chrome-trace JSON of
+  // the retained windows to this path. Empty = no signal handler is
+  // installed (the default: libraries should not take signals
+  // unprompted).
+  std::string trace_dump_path;
 };
 
 class QueryService {
@@ -152,6 +167,13 @@ class QueryService {
   void TestOnlyStallBatcher(bool stalled) {
     stall_batcher_.store(stalled, std::memory_order_release);
   }
+  // Test hook: inject a durability failure through the same fail-stop
+  // path a real WAL/checkpoint error takes (records the error, stops
+  // logging, writes the flight-recorder dump). Lets tests exercise the
+  // degraded state without filesystem fault injection.
+  void TestOnlyInjectDurabilityError(Status error) {
+    DisableDurability(std::move(error));
+  }
 
   // --- Read path: any thread, any time after registration -------------
   // RCU-style reads: one shared_ptr copy out of the query's publication
@@ -204,11 +226,39 @@ class QueryService {
     obs::HistogramSnapshot query_apply_ns;  // per query per window
     obs::HistogramSnapshot publish_age_ns;  // window pop -> snapshot swap
     log::DurabilityStats durability;        // zeros when durability is off
+    // Fail-stop state: true once the first durability error was recorded
+    // (the service keeps serving memory-only); durability_error is that
+    // first error's message.
+    bool degraded = false;
+    std::string durability_error;
+    // Pass counts of every RINGDB_CRASH_POINT site the durability path
+    // crossed (process-wide; see log/crash_point.h).
+    std::vector<log::CrashPointCount> crash_points;
     std::vector<QueryStats> queries;
   };
   ServiceStats Stats() const;
   std::string StatsText() const;
   std::string StatsJson(int indent = 0) const;
+
+  // --- Window tracing (flight recorder) --------------------------------
+  // The pipeline-wide trace ring: the batcher records queue-wait,
+  // coalesce, WAL append/fsync, fan-out, and checkpoint stages per
+  // window; appliers add per-query apply/publish spans and each engine's
+  // shards add per-shard apply spans. Exports are safe from any thread
+  // at any time (seqlock-validated copies; in-flight windows export as
+  // complete=false).
+  // Chrome trace-event JSON of the retained windows (chrome://tracing /
+  // Perfetto-loadable).
+  std::string TraceJson() const;
+  // Per-stage latency breakdown (p50/p99, critical-path attribution) of
+  // the retained windows as a JSON object.
+  std::string TraceBreakdownJson(int indent = 0) const;
+  // The retained windows themselves (tests assert span invariants on
+  // these; empty when tracing is off).
+  std::vector<obs::WindowTrace> TraceWindows() const {
+    return trace_.Export();
+  }
+  const obs::TraceRecorder& trace_recorder() const { return trace_; }
 
  private:
   struct Query {
@@ -240,7 +290,14 @@ class QueryService {
   // One engine slot per query, in registration order ("q0", "q1", ...).
   std::vector<log::DurableLog::EngineSlot> EngineSlots() const;
   // Records the first durability error and stops logging (fail-stop).
+  // The first call also dumps the flight recorder — the last
+  // trace_windows windows, including the failing in-flight one — to
+  // <durability.dir>/flight.trace.json, so the window timeline leading
+  // into the failure survives for post-mortem.
   void DisableDurability(Status error);
+  // Writes TraceJson() to `path` (best effort; used by the flight dump
+  // and the SIGUSR1 on-demand dump).
+  void WriteTraceFile(const std::string& path) const;
   // Applies the window's batch to one query and publishes its snapshot.
   // `window_ns` is the window's PopWindow timestamp (publish-age span).
   void ApplyAndPublish(size_t query_index, const exec::UpdateBatch& batch,
@@ -294,6 +351,12 @@ class QueryService {
   obs::Histogram coalesce_ns_;        // window -> delta GMRs (batcher)
   obs::Histogram query_apply_ns_;     // ApplyPrepared span per query/window
   obs::Histogram publish_age_ns_;  // pop -> snapshot swap
+
+  // Pipeline-wide flight recorder (capacity options.trace_windows; 0 =
+  // off). Single writer per stage: the batcher owns the stage intervals,
+  // each applier its query's spans, each shard its apply span — the
+  // recorder's seqlock framing makes concurrent Export() safe.
+  obs::TraceRecorder trace_;
 
   // Drain accounting: pushed_ counts accepted Push calls, applied_
   // counts window events whose snapshots are all published.

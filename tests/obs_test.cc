@@ -81,10 +81,11 @@ TEST(GaugeTest, SetMaxIsMonotone) {
   EXPECT_EQ(gauge.Value(), 40);
 }
 
-TEST(HistogramTest, QuantilesAreBucketUpperBounds) {
+TEST(HistogramTest, QuantilesAreBucketUpperBoundsExtremesAreExact) {
   SKIP_WITHOUT_METRICS();
   obs::Histogram hist;
-  // 100 values of 5: bucket 3 covers [4, 8), upper bound 7.
+  // 100 values of 5: bucket 3 covers [4, 8), upper bound 7. Quantiles
+  // are bucket estimates; min/max/sum/mean are exact.
   for (int i = 0; i < 100; ++i) hist.Record(5);
   obs::HistogramSnapshot snap = hist.Snapshot();
   EXPECT_EQ(snap.count, 100u);
@@ -92,18 +93,50 @@ TEST(HistogramTest, QuantilesAreBucketUpperBounds) {
   EXPECT_EQ(snap.mean(), 5u);
   EXPECT_EQ(snap.p50, 7u);
   EXPECT_EQ(snap.p99, 7u);
-  EXPECT_EQ(snap.max, 7u);
-  // One outlier at 1000 (bucket 10, upper bound 1023) moves max and p99
-  // (rank ceil(101*0.99) = 100 of 101 lands past the hundred fives) but
-  // not p50.
+  EXPECT_EQ(snap.min, 5u);
+  EXPECT_EQ(snap.max, 5u);
+  // One outlier at 1000 moves max (exactly) and p99 (rank
+  // ceil(101*0.99) = 100 of 101 lands past the hundred fives) but not
+  // p50 or min.
   hist.Record(1000);
   snap = hist.Snapshot();
   EXPECT_EQ(snap.count, 101u);
   EXPECT_EQ(snap.p50, 7u);
-  EXPECT_EQ(snap.max, 1023u);
+  EXPECT_EQ(snap.min, 5u);
+  EXPECT_EQ(snap.max, 1000u);
+  // A new low updates min exactly too.
+  hist.Record(2);
+  snap = hist.Snapshot();
+  EXPECT_EQ(snap.min, 2u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.mean(), (500u + 1000u + 2u) / 102u);
   hist.Reset();
   EXPECT_EQ(hist.Snapshot().count, 0u);
+  EXPECT_EQ(hist.Snapshot().min, 0u);
   EXPECT_EQ(hist.Snapshot().max, 0u);
+}
+
+TEST(HistogramTest, MinMaxMergeExactlyAcrossThreads) {
+  SKIP_WITHOUT_METRICS();
+  obs::Histogram hist;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      // Each thread records its own band; the extremes are the global
+      // band edges regardless of interleaving (sticky CAS).
+      for (uint64_t v = 10 + static_cast<uint64_t>(t) * 100;
+           v < 100 + static_cast<uint64_t>(t) * 100; ++v) {
+        hist.Record(v);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  obs::HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * 90u);
+  EXPECT_EQ(snap.min, 10u);
+  EXPECT_EQ(snap.max, 100u + (kThreads - 1) * 100u - 1u);
 }
 
 TEST(HistogramTest, ZeroGetsItsOwnBucket) {

@@ -1,0 +1,575 @@
+// Window-level pipeline tracing (src/obs/trace.h + trace_export.h):
+// recorder ring semantics (wraparound, span overflow, in-flight
+// windows), exporter validity (Chrome trace-event schema, breakdown
+// reconciliation), span nesting/ordering invariants through a live
+// QueryService pipeline, the flight-recorder dump on durability
+// fail-stop, and a concurrent writer/exporter hammer (TSan job proves
+// the seqlock framing race-free).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+#include "obs/trace_export.h"
+#include "ring/database.h"
+#include "runtime/engine.h"
+#include "serve/query_service.h"
+#include "sql/translate.h"
+#include "workload/stream.h"
+
+namespace ringdb {
+namespace {
+
+using obs::TraceRecorder;
+using obs::WindowTrace;
+using ring::Catalog;
+using ring::Update;
+using serve::QueryService;
+using serve::ServeOptions;
+
+Symbol S(const char* s) { return Symbol::Intern(s); }
+
+// Under -DRINGDB_NO_METRICS the recorder's capacity is forced to zero
+// and every call early-outs; only the "everything is empty and nothing
+// crashes" shape can be asserted.
+#ifdef RINGDB_NO_METRICS
+#define SKIP_WITHOUT_METRICS() \
+  GTEST_SKIP() << "metrics compiled out (-DRINGDB_NO_METRICS)"
+#else
+#define SKIP_WITHOUT_METRICS() \
+  do {                         \
+  } while (0)
+#endif
+
+constexpr const char* kRevenueSql =
+    "SELECT o.ckey, SUM(l.price * l.qty) FROM orders o, lineitem l "
+    "WHERE o.okey = l.okey GROUP BY o.ckey";
+
+std::vector<Update> MakeUpdates(const Catalog& catalog, int count,
+                                uint64_t seed) {
+  workload::StreamOptions options;
+  options.seed = seed;
+  options.domain_size = 64;
+  options.zipf_s = 1.1;
+  options.delete_fraction = 0.2;
+  std::vector<workload::RelationStream> streams;
+  streams.emplace_back(catalog, S("orders"), options);
+  streams.emplace_back(catalog, S("lineitem"), options);
+  workload::RoundRobinStream stream(std::move(streams));
+  std::vector<Update> updates;
+  updates.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) updates.push_back(stream.Next());
+  return updates;
+}
+
+// ---- Recorder ring semantics ---------------------------------------------
+
+TEST(TraceRecorderTest, RecordsOneWindowEndToEnd) {
+  SKIP_WITHOUT_METRICS();
+  TraceRecorder recorder(8);
+  recorder.BeginWindow(1, 100);
+  recorder.Stage(1, obs::kTraceCoalesce, 1000, 1500);
+  recorder.Stage(1, obs::kTraceApply, 1500, 4000);
+  recorder.SetBytesLogged(1, 4096, true);
+  recorder.AddSpan(1, obs::kSpanShardApply, /*query=*/0, /*shard=*/2,
+                   /*mode=*/1, 1600, 3900);
+  recorder.FinishWindow(1);
+  const std::vector<WindowTrace> windows = recorder.Export();
+  ASSERT_EQ(windows.size(), 1u);
+  const WindowTrace& w = windows[0];
+  EXPECT_EQ(w.seq, 1u);
+  EXPECT_EQ(w.events, 100u);
+  EXPECT_EQ(w.bytes_logged, 4096u);
+  EXPECT_TRUE(w.wal_synced);
+  EXPECT_TRUE(w.complete);
+  EXPECT_EQ(w.StageNs(obs::kTraceCoalesce), 500u);
+  EXPECT_EQ(w.StageNs(obs::kTraceApply), 2500u);
+  EXPECT_EQ(w.StageNs(obs::kTraceWalAppend), 0u);  // never ran
+  EXPECT_EQ(w.BeginNs(), 1000u);
+  EXPECT_EQ(w.EndNs(), 4000u);
+  EXPECT_EQ(w.ElapsedNs(), 3000u);
+  ASSERT_EQ(w.spans.size(), 1u);
+  EXPECT_EQ(w.spans[0].kind, obs::kSpanShardApply);
+  EXPECT_EQ(w.spans[0].shard, 2u);
+  EXPECT_EQ(w.spans[0].mode, 1u);
+  EXPECT_EQ(w.spans[0].begin_ns, 1600u);
+  EXPECT_EQ(w.spans[0].end_ns, 3900u);
+}
+
+TEST(TraceRecorderTest, RingRetainsLastCapacityWindows) {
+  SKIP_WITHOUT_METRICS();
+  TraceRecorder recorder(8);
+  for (uint64_t seq = 1; seq <= 50; ++seq) {
+    recorder.BeginWindow(seq, seq);
+    recorder.Stage(seq, obs::kTraceApply, seq * 10, seq * 10 + 5);
+    recorder.FinishWindow(seq);
+  }
+  const std::vector<WindowTrace> windows = recorder.Export();
+  ASSERT_EQ(windows.size(), 8u);
+  // Oldest-first, exactly seqs 43..50, each with its own payload (the
+  // overwrite cleared the previous occupant's state).
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const uint64_t seq = 43 + i;
+    EXPECT_EQ(windows[i].seq, seq);
+    EXPECT_EQ(windows[i].events, seq);
+    EXPECT_TRUE(windows[i].complete);
+    EXPECT_EQ(windows[i].StageNs(obs::kTraceApply), 5u);
+    EXPECT_TRUE(windows[i].spans.empty());
+  }
+}
+
+TEST(TraceRecorderTest, InFlightWindowExportsIncomplete) {
+  SKIP_WITHOUT_METRICS();
+  TraceRecorder recorder(4);
+  recorder.BeginWindow(1, 10);
+  recorder.Stage(1, obs::kTraceCoalesce, 100, 200);
+  recorder.FinishWindow(1);
+  recorder.BeginWindow(2, 20);  // never finished: the in-flight window
+  recorder.Stage(2, obs::kTraceCoalesce, 300, 400);
+  const std::vector<WindowTrace> windows = recorder.Export();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_TRUE(windows[0].complete);
+  EXPECT_FALSE(windows[1].complete);
+  EXPECT_EQ(windows[1].seq, 2u);
+  EXPECT_EQ(windows[1].StageNs(obs::kTraceCoalesce), 100u);
+}
+
+TEST(TraceRecorderTest, SpanOverflowCountsDropsInsteadOfWriting) {
+  SKIP_WITHOUT_METRICS();
+  TraceRecorder recorder(2);
+  recorder.BeginWindow(1, 1);
+  for (uint32_t i = 0; i < TraceRecorder::kMaxSpans + 7; ++i) {
+    recorder.AddSpan(1, obs::kSpanQueryApply, i, 0, 0, i + 1, i + 2);
+  }
+  recorder.FinishWindow(1);
+  EXPECT_EQ(recorder.dropped_spans(), 7u);
+  const std::vector<WindowTrace> windows = recorder.Export();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].spans.size(), TraceRecorder::kMaxSpans);
+}
+
+TEST(TraceRecorderTest, ZeroCapacityAndZeroSeqAreInertEverywhere) {
+  TraceRecorder recorder(0);
+  recorder.BeginWindow(1, 1);
+  recorder.Stage(1, obs::kTraceApply, 1, 2);
+  recorder.AddSpan(1, obs::kSpanShardApply, 0, 0, 0, 1, 2);
+  recorder.FinishWindow(1);
+  EXPECT_TRUE(recorder.Export().empty());
+
+  TraceRecorder real(4);
+  real.BeginWindow(0, 1);  // seq 0 is the "no window" sentinel
+  real.Stage(0, obs::kTraceApply, 1, 2);
+  real.FinishWindow(0);
+  EXPECT_TRUE(real.Export().empty());
+}
+
+// ---- Concurrent writers vs exporter (the TSan-meaningful test) -----------
+
+TEST(TraceRecorderTest, ConcurrentWritersAndExportersStayConsistent) {
+  SKIP_WITHOUT_METRICS();
+  TraceRecorder recorder(16);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> last_seq{0};
+  // One pipeline writer (stages) plus a racing span writer per window,
+  // mirroring the batcher + shard-worker split.
+  std::thread writer([&] {
+    for (uint64_t seq = 1; seq <= 20000; ++seq) {
+      recorder.BeginWindow(seq, seq);
+      recorder.Stage(seq, obs::kTraceCoalesce, seq * 100, seq * 100 + 10);
+      std::thread shard([&recorder, seq] {
+        recorder.AddSpan(seq, obs::kSpanShardApply, 0, 1, 1, seq * 100 + 12,
+                         seq * 100 + 48);
+      });
+      recorder.Stage(seq, obs::kTraceApply, seq * 100 + 10, seq * 100 + 50);
+      shard.join();
+      recorder.FinishWindow(seq);
+      last_seq.store(seq, std::memory_order_release);
+    }
+    stop.store(true, std::memory_order_release);
+  });
+  std::vector<std::thread> exporters;
+  std::atomic<uint64_t> exported_windows{0};
+  for (int t = 0; t < 2; ++t) {
+    exporters.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const std::vector<WindowTrace> windows = recorder.Export();
+        uint64_t prev_seq = 0;
+        for (const WindowTrace& w : windows) {
+          // Every exported window is internally consistent: monotone
+          // seqs, self-describing payload (events == seq), stage
+          // intervals well-formed — a torn copy would violate one.
+          EXPECT_GT(w.seq, prev_seq);
+          prev_seq = w.seq;
+          EXPECT_EQ(w.events, w.seq);
+          if (w.complete) {
+            EXPECT_EQ(w.StageNs(obs::kTraceCoalesce), 10u);
+            EXPECT_EQ(w.StageNs(obs::kTraceApply), 40u);
+          }
+          for (const obs::TraceSpan& span : w.spans) {
+            EXPECT_EQ(span.kind, obs::kSpanShardApply);
+            EXPECT_EQ(span.end_ns - span.begin_ns, 36u);
+          }
+        }
+        exported_windows.fetch_add(windows.size());
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& t : exporters) t.join();
+  EXPECT_GT(exported_windows.load(), 0u);
+  // Quiescent export sees the full final ring.
+  EXPECT_EQ(recorder.Export().size(), 16u);
+}
+
+// ---- Exporters ------------------------------------------------------------
+
+std::vector<WindowTrace> TwoSyntheticWindows() {
+  TraceRecorder recorder(8);
+  for (uint64_t seq = 1; seq <= 2; ++seq) {
+    const uint64_t t0 = seq * 10000;
+    recorder.BeginWindow(seq, 64);
+    recorder.Stage(seq, obs::kTraceQueueWait, t0, t0 + 300);
+    recorder.Stage(seq, obs::kTraceCoalesce, t0 + 300, t0 + 500);
+    recorder.Stage(seq, obs::kTraceWalAppend, t0 + 500, t0 + 600);
+    recorder.Stage(seq, obs::kTraceWalFsync, t0 + 600, t0 + 900);
+    recorder.Stage(seq, obs::kTraceFanout, t0 + 900, t0 + 2000);
+    recorder.SetBytesLogged(seq, 512, true);
+    recorder.AddSpan(seq, obs::kSpanQueryApply, 0, 0, 1, t0 + 950,
+                     t0 + 1500);
+    recorder.AddSpan(seq, obs::kSpanQueryPublish, 0, 0, 1, t0 + 1500,
+                     t0 + 1900);
+    recorder.AddSpan(seq, obs::kSpanShardApply, 0, 3, 1, t0 + 960,
+                     t0 + 1400);
+    recorder.FinishWindow(seq);
+  }
+  return recorder.Export();
+}
+
+TEST(TraceExportTest, ChromeJsonHasAllThreeTracks) {
+  SKIP_WITHOUT_METRICS();
+  const std::string json =
+      obs::TraceToChromeJson(TwoSyntheticWindows(), "test");
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Process metadata for the three track groups and thread names for
+  // the stages/queries/shards that actually appeared.
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("pipeline"), std::string::npos);
+  EXPECT_NE(json.find("queries"), std::string::npos);
+  EXPECT_NE(json.find("shards"), std::string::npos);
+  EXPECT_NE(json.find("queue_wait"), std::string::npos);
+  EXPECT_NE(json.find("wal_fsync"), std::string::npos);
+  EXPECT_NE(json.find("shard 3"), std::string::npos);
+  // Complete events with window args; WAL events carry byte counts.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\":512"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check without a
+  // JSON parser in the test toolchain).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  // Empty input is still a loadable document.
+  const std::string empty = obs::TraceToChromeJson({}, "empty");
+  EXPECT_NE(empty.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceExportTest, BreakdownReconcilesAndAttributesCriticalPath) {
+  SKIP_WITHOUT_METRICS();
+  const obs::TraceBreakdown breakdown =
+      obs::ComputeTraceBreakdown(TwoSyntheticWindows());
+  EXPECT_EQ(breakdown.windows, 2u);
+  // e2e = 10000..12000 per window.
+  EXPECT_EQ(breakdown.e2e_max_ns, 2000u);
+  // The synthetic stages tile [t0, t0+2000) exactly: zero gap.
+  EXPECT_DOUBLE_EQ(breakdown.reconcile_error_pct, 0.0);
+  // fanout (1100ns) dominates both windows.
+  bool found_fanout = false;
+  for (const obs::StageBreakdownRow& row : breakdown.stages) {
+    if (row.name == "fanout") {
+      found_fanout = true;
+      EXPECT_EQ(row.windows, 2u);
+      EXPECT_EQ(row.dominated, 2u);
+      EXPECT_EQ(row.p50_ns, 1100u);
+    }
+    EXPECT_GT(row.windows, 0u);  // never emit a stage that never ran
+  }
+  EXPECT_TRUE(found_fanout);
+  // Span kinds summarized separately.
+  bool found_shard = false;
+  for (const obs::StageBreakdownRow& row : breakdown.spans) {
+    if (row.name == "shard_apply") {
+      found_shard = true;
+      EXPECT_EQ(row.windows, 2u);
+      EXPECT_EQ(row.mean_ns, 440u);
+    }
+  }
+  EXPECT_TRUE(found_shard);
+  // Both renderings carry the rows.
+  const std::string text = obs::TraceBreakdownText(breakdown);
+  EXPECT_NE(text.find("fanout"), std::string::npos);
+  std::string json;
+  obs::AppendTraceBreakdownJson(breakdown, 0, &json);
+  EXPECT_NE(json.find("\"reconcile_error_pct\""), std::string::npos);
+  EXPECT_NE(json.find("\"fanout\""), std::string::npos);
+}
+
+// ---- Live pipeline invariants --------------------------------------------
+
+TEST(ServeTraceTest, PipelineSpansNestAndOrder) {
+  SKIP_WITHOUT_METRICS();
+  Catalog catalog = workload::OrdersSchema();
+  ServeOptions options;
+  options.batch_size = 64;
+  options.trace_windows = 8;  // deliberately tiny: exercises wraparound
+  QueryService service(catalog, options);
+  auto q0 = service.RegisterSql("revenue", kRevenueSql);
+  ASSERT_TRUE(q0.ok());
+  auto q1 = service.RegisterSql(
+      "orders", "SELECT o.ckey, SUM(1) FROM orders o GROUP BY o.ckey");
+  ASSERT_TRUE(q1.ok());
+  service.Start();
+  for (const Update& update : MakeUpdates(catalog, 2000, 17)) {
+    ASSERT_TRUE(service.Push(update).ok());
+  }
+  service.Drain();
+  const std::vector<WindowTrace> windows = service.TraceWindows();
+  service.Stop();
+  ASSERT_TRUE(service.status().ok()) << service.status().ToString();
+
+  // 2000 updates / batch 64 -> ~32 windows through a ring of 8.
+  ASSERT_EQ(windows.size(), 8u);
+  uint64_t prev_seq = 0;
+  for (const WindowTrace& w : windows) {
+    EXPECT_GT(w.seq, prev_seq);  // monotone, oldest first
+    prev_seq = w.seq;
+    ASSERT_TRUE(w.complete);
+    EXPECT_GT(w.events, 0u);
+    // Stage ordering: queue wait ends where the window was popped,
+    // coalesce starts there, fan-out starts at or after coalesce end.
+    const uint64_t pop = w.stage_end_ns[obs::kTraceQueueWait];
+    EXPECT_GT(w.StageNs(obs::kTraceQueueWait), 0u);
+    EXPECT_EQ(w.stage_begin_ns[obs::kTraceCoalesce], pop);
+    EXPECT_GT(w.StageNs(obs::kTraceCoalesce), 0u);
+    EXPECT_GE(w.stage_begin_ns[obs::kTraceFanout],
+              w.stage_end_ns[obs::kTraceCoalesce]);
+    EXPECT_GT(w.StageNs(obs::kTraceFanout), 0u);
+    // Durability off: no WAL or checkpoint stages.
+    EXPECT_EQ(w.StageNs(obs::kTraceWalAppend), 0u);
+    EXPECT_EQ(w.StageNs(obs::kTraceCheckpoint), 0u);
+    EXPECT_EQ(w.bytes_logged, 0u);
+
+    // Sub-span nesting: every query/shard span lies within the fan-out
+    // barrier; publish follows apply per query; shard spans lie within
+    // some query's apply span window.
+    size_t query_applies = 0;
+    for (const obs::TraceSpan& span : w.spans) {
+      EXPECT_GE(span.begin_ns, w.stage_begin_ns[obs::kTraceFanout]);
+      EXPECT_LE(span.end_ns, w.stage_end_ns[obs::kTraceFanout]);
+      EXPECT_LE(span.begin_ns, span.end_ns);
+      if (span.kind == obs::kSpanQueryApply) ++query_applies;
+      if (span.kind == obs::kSpanQueryPublish) {
+        // Matching apply span for the same query ends where publish
+        // begins.
+        bool found = false;
+        for (const obs::TraceSpan& other : w.spans) {
+          if (other.kind == obs::kSpanQueryApply &&
+              other.query == span.query) {
+            EXPECT_EQ(other.end_ns, span.begin_ns);
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+      if (span.kind == obs::kSpanShardApply) {
+        bool inside_apply = false;
+        for (const obs::TraceSpan& other : w.spans) {
+          if (other.kind == obs::kSpanQueryApply &&
+              other.query == span.query &&
+              span.begin_ns >= other.begin_ns &&
+              span.end_ns <= other.end_ns) {
+            inside_apply = true;
+          }
+        }
+        EXPECT_TRUE(inside_apply);
+      }
+    }
+    // Both queries see orders windows; lineitem-only windows apply to
+    // the revenue query alone — but every traced window ran at least
+    // one query apply.
+    EXPECT_GE(query_applies, 1u);
+    EXPECT_LE(query_applies, 2u);
+  }
+
+  // Reconciliation: the stage intervals tile the window end-to-end up
+  // to the inter-stage gaps (scheduling, accounting); generous bound
+  // here — the bench-level 5% gate runs in CI over real windows.
+  const obs::TraceBreakdown breakdown =
+      obs::ComputeTraceBreakdown(windows);
+  EXPECT_EQ(breakdown.windows, 8u);
+  EXPECT_LE(breakdown.reconcile_error_pct, 20.0);
+}
+
+TEST(ServeTraceTest, FlightRecorderDumpsOnDurabilityFailStop) {
+  SKIP_WITHOUT_METRICS();
+  Catalog catalog = workload::OrdersSchema();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("ringdb-trace-flight-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  ServeOptions options;
+  options.batch_size = 32;
+  options.durability.dir = dir.string();
+  QueryService service(catalog, options);
+  auto id = service.RegisterSql("revenue", kRevenueSql);
+  ASSERT_TRUE(id.ok());
+  service.Start();
+  ASSERT_TRUE(service.durability_status().ok());
+  for (const Update& update : MakeUpdates(catalog, 500, 31)) {
+    ASSERT_TRUE(service.Push(update).ok());
+  }
+  service.Drain();
+  ASSERT_FALSE(service.TraceWindows().empty());
+
+  // Inject the fail-stop: same path a real WAL append error takes.
+  service.TestOnlyInjectDurabilityError(
+      Status::Internal("injected wal failure"));
+  EXPECT_FALSE(service.durability_status().ok());
+
+  // The flight dump landed next to the WAL, and it is a loadable trace
+  // with the retained windows in it.
+  const std::filesystem::path dump = dir / "flight.trace.json";
+  ASSERT_TRUE(std::filesystem::exists(dump));
+  std::ifstream in(dump);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("wal_append"), std::string::npos);
+
+  // Degraded state is visible through every stats surface, and the
+  // service keeps serving memory-only.
+  EXPECT_TRUE(service.Stats().degraded);
+  EXPECT_NE(service.Stats().durability_error.find("injected"),
+            std::string::npos);
+  const std::string stats_json = service.StatsJson();
+  EXPECT_NE(stats_json.find("\"degraded\": true"), std::string::npos);
+  EXPECT_NE(stats_json.find("injected wal failure"), std::string::npos);
+  const std::string stats_text = service.StatsText();
+  EXPECT_NE(stats_text.find("DEGRADED"), std::string::npos);
+  for (const Update& update : MakeUpdates(catalog, 100, 37)) {
+    ASSERT_TRUE(service.Push(update).ok());
+  }
+  service.Drain();
+  service.Stop();
+  ASSERT_TRUE(service.status().ok()) << service.status().ToString();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServeTraceTest, WalAndCheckpointStagesAppearWhenDurable) {
+  SKIP_WITHOUT_METRICS();
+  Catalog catalog = workload::OrdersSchema();
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("ringdb-trace-durable-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  ServeOptions options;
+  options.batch_size = 64;
+  options.durability.dir = dir.string();
+  options.durability.checkpoint_every_windows = 4;
+  QueryService service(catalog, options);
+  auto id = service.RegisterSql("revenue", kRevenueSql);
+  ASSERT_TRUE(id.ok());
+  service.Start();
+  ASSERT_TRUE(service.durability_status().ok())
+      << service.durability_status().ToString();
+  for (const Update& update : MakeUpdates(catalog, 1000, 41)) {
+    ASSERT_TRUE(service.Push(update).ok());
+  }
+  service.Drain();
+  const std::vector<WindowTrace> windows = service.TraceWindows();
+  const std::string stats_json = service.StatsJson();
+  service.Stop();
+  ASSERT_TRUE(service.status().ok());
+
+  ASSERT_FALSE(windows.empty());
+  bool saw_checkpoint = false;
+  for (const WindowTrace& w : windows) {
+    if (!w.complete) continue;
+    // Every durable window logged bytes write-ahead, between coalesce
+    // end and fan-out begin.
+    EXPECT_GT(w.bytes_logged, 0u);
+    EXPECT_GT(w.StageNs(obs::kTraceWalAppend), 0u);
+    EXPECT_GE(w.stage_begin_ns[obs::kTraceWalAppend],
+              w.stage_end_ns[obs::kTraceCoalesce]);
+    EXPECT_LE(w.stage_end_ns[obs::kTraceWalAppend],
+              w.stage_begin_ns[obs::kTraceFanout]);
+    if (w.StageNs(obs::kTraceCheckpoint) > 0) {
+      saw_checkpoint = true;
+      EXPECT_GE(w.stage_begin_ns[obs::kTraceCheckpoint],
+                w.stage_end_ns[obs::kTraceFanout]);
+    }
+  }
+  EXPECT_TRUE(saw_checkpoint);  // every 4th of ~15 windows checkpointed
+  // Satellite surfaces: crash-point pass counts and checkpoint distance
+  // export through StatsJson.
+  EXPECT_NE(stats_json.find("\"crash_points\""), std::string::npos);
+  EXPECT_NE(stats_json.find("\"wal:after_record\""), std::string::npos);
+  EXPECT_NE(stats_json.find("\"durable:after_append\""), std::string::npos);
+  EXPECT_NE(stats_json.find("\"windows_since_checkpoint\""),
+            std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+// ---- Engine standalone tracing -------------------------------------------
+
+TEST(EngineTraceTest, ApplyBatchRecordsCoalesceAndApplyStages) {
+  SKIP_WITHOUT_METRICS();
+  Catalog catalog = workload::OrdersSchema();
+  auto translated = sql::TranslateSql(catalog, kRevenueSql);
+  ASSERT_TRUE(translated.ok());
+  runtime::EngineOptions engine_options;
+  engine_options.batch_size = 128;
+  engine_options.num_shards = 2;
+  auto engine = runtime::Engine::Create(catalog, translated->group_vars,
+                                        translated->body, engine_options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->TraceJson(), "");  // off until enabled
+  engine->EnableTracing(16);
+  ASSERT_TRUE(engine->ApplyBatch(MakeUpdates(catalog, 1200, 43)).ok());
+  const std::vector<WindowTrace> windows =
+      engine->trace_recorder()->Export();
+  // 1200/128 = 10 windows, all retained (ring of 16).
+  ASSERT_EQ(windows.size(), 10u);
+  for (const WindowTrace& w : windows) {
+    ASSERT_TRUE(w.complete);
+    EXPECT_GT(w.events, 0u);
+    EXPECT_GT(w.StageNs(obs::kTraceCoalesce), 0u);
+    EXPECT_GT(w.StageNs(obs::kTraceApply), 0u);
+    EXPECT_EQ(w.stage_begin_ns[obs::kTraceApply],
+              w.stage_end_ns[obs::kTraceCoalesce]);
+    // Shard spans (effective shards may be 1 or 2) nest in the apply.
+    EXPECT_GE(w.spans.size(), 1u);
+    for (const obs::TraceSpan& span : w.spans) {
+      EXPECT_EQ(span.kind, obs::kSpanShardApply);
+      EXPECT_GE(span.begin_ns, w.stage_begin_ns[obs::kTraceApply]);
+      EXPECT_LE(span.end_ns, w.stage_end_ns[obs::kTraceApply]);
+    }
+  }
+  const std::string json = engine->TraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("coalesce"), std::string::npos);
+  const std::string breakdown = engine->TraceBreakdownJson();
+  EXPECT_NE(breakdown.find("\"reconcile_error_pct\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ringdb

@@ -1,0 +1,180 @@
+#!/usr/bin/env python3
+"""Trace-export gate for the CI release job.
+
+Validates a Chrome trace-event JSON file produced by
+`bench_serve --trace` / `bench_tpch_stream --trace` /
+`QueryService::TraceJson()`:
+
+  - the file parses as JSON with a `traceEvents` array;
+  - every event is a complete (`ph: "X"`) or metadata (`ph: "M"`)
+    record with the fields Perfetto / chrome://tracing require
+    (pid, tid, ts; dur + name for X events);
+  - all three track groups are present and named: pid 1 (pipeline
+    stages), pid 2 (queries), pid 3 (shards) — a missing group means
+    an instrumentation site silently stopped recording;
+  - X-event intervals are non-negative and pipeline stage lanes carry
+    the expected stage names.
+
+Optionally (--bench JSON), cross-checks the embedded `stage_breakdown`
+of each bench row: `reconcile_error_pct` — the share of end-to-end
+window time NOT attributed to any stage interval — must stay under
+--max-reconcile-pct (default 5%). The stages are recorded as adjacent
+intervals, so unattributed time is an instrumentation gap, not noise.
+
+Usage:
+  tools/check_trace.py trace.json [--bench BENCH.json]
+      [--max-reconcile-pct 5.0] [--require-queries] [--require-shards]
+
+pid-2/pid-3 tracks only exist when the trace came from a run with
+standing queries / >1 shard; the flags make their absence an error.
+
+Exit code 0: trace well-formed and within budget. 1: otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+PIPELINE_PID = 1
+QUERY_PID = 2
+SHARD_PID = 3
+
+KNOWN_STAGES = {
+    "queue_wait", "coalesce", "wal_append", "wal_fsync",
+    "apply", "fanout", "checkpoint",
+}
+
+
+def fail(msg: str) -> int:
+    print(f"check_trace: FAIL — {msg}", file=sys.stderr)
+    return 1
+
+
+def check_trace(path: str, require_queries: bool,
+                require_shards: bool) -> int:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(f"{path}: no traceEvents array")
+
+    pids_with_x = set()
+    named_pids = set()
+    n_x = n_m = 0
+    stage_names = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            return fail(f"{path}: event #{i} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            n_m += 1
+            if "pid" not in ev:
+                return fail(f"{path}: metadata event #{i} has no pid")
+            if ev.get("name") == "process_name":
+                named_pids.add(ev["pid"])
+            continue
+        if ph != "X":
+            return fail(f"{path}: event #{i} has ph={ph!r}, "
+                        "expected 'X' or 'M'")
+        n_x += 1
+        for field in ("pid", "tid", "ts", "dur", "name"):
+            if field not in ev:
+                return fail(f"{path}: X event #{i} missing {field!r}")
+        if ev["dur"] < 0 or ev["ts"] < 0:
+            return fail(f"{path}: X event #{i} has negative ts/dur")
+        pids_with_x.add(ev["pid"])
+        if ev["pid"] == PIPELINE_PID:
+            # Pipeline lanes are named "<stage> w<seq>".
+            stage_names.add(ev["name"].split(" ")[0])
+
+    if n_x == 0:
+        return fail(f"{path}: no complete (X) events — empty trace")
+
+    required = {PIPELINE_PID}
+    if require_queries:
+        required.add(QUERY_PID)
+    if require_shards:
+        required.add(SHARD_PID)
+    for pid in sorted(required):
+        if pid not in pids_with_x:
+            return fail(f"{path}: no events on pid {pid} "
+                        "(1=pipeline, 2=queries, 3=shards)")
+        if pid not in named_pids:
+            return fail(f"{path}: pid {pid} has no process_name metadata")
+
+    unknown = stage_names - KNOWN_STAGES
+    if unknown:
+        return fail(f"{path}: unknown pipeline stage lanes: "
+                    f"{sorted(unknown)}")
+
+    print(f"check_trace: {path}: {n_x} span events + {n_m} metadata "
+          f"events across pids {sorted(pids_with_x)}; "
+          f"stages: {sorted(stage_names)}")
+    return 0
+
+
+def check_bench(path: str, max_reconcile_pct: float) -> int:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    checked = 0
+    for snapshot in doc.get("snapshots", []):
+        for r in snapshot.get("results", []):
+            sb = r.get("stage_breakdown")
+            if not sb:  # untraced row (single-tuple, or tracing off)
+                continue
+            if "stream" in r:  # bench_tpch_stream sweep row
+                label = (f"{r['stream']} / {r.get('config', '?')} / "
+                         f"{r.get('backend', '?')}")
+            else:  # bench_serve row
+                label = (f"{r.get('queries', '?')}q x "
+                         f"{r.get('readers', '?')}r batch "
+                         f"{r.get('batch_size', '?')}")
+            pct = sb.get("reconcile_error_pct")
+            if pct is None:
+                return fail(f"{path}: row [{label}] stage_breakdown has "
+                            "no reconcile_error_pct")
+            if not sb.get("stages"):
+                return fail(f"{path}: row [{label}] stage_breakdown has "
+                            "no stages")
+            if pct > max_reconcile_pct:
+                return fail(f"{path}: row [{label}] reconcile_error_pct "
+                            f"{pct:.2f}% > {max_reconcile_pct:.2f}% — "
+                            "stage intervals fail to tile the window")
+            print(f"check_trace: {path}: row [{label}] "
+                  f"reconcile_error_pct {pct:.2f}% "
+                  f"(budget {max_reconcile_pct:.2f}%)")
+            checked += 1
+    if checked == 0:
+        return fail(f"{path}: no bench rows carried a stage_breakdown")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace-event JSON to validate")
+    parser.add_argument("--bench", action="append", default=[],
+                        help="bench JSON whose stage_breakdown rows to "
+                             "gate; repeatable")
+    parser.add_argument("--max-reconcile-pct", type=float, default=5.0,
+                        help="max unattributed share of window time "
+                             "(default: 5.0)")
+    parser.add_argument("--require-queries", action="store_true",
+                        help="fail unless pid-2 (query) events exist")
+    parser.add_argument("--require-shards", action="store_true",
+                        help="fail unless pid-3 (shard) events exist")
+    args = parser.parse_args()
+
+    rc = check_trace(args.trace, args.require_queries, args.require_shards)
+    for bench in args.bench:
+        if rc:
+            break
+        rc = check_bench(bench, args.max_reconcile_pct)
+    if rc == 0:
+        print("check_trace: OK")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())
