@@ -63,6 +63,10 @@ struct Options {
   // appended write-ahead (log/durable_log.h) under the given fsync
   // policy, against the memory-only baseline. Empty = section skipped.
   std::string durability;
+  // --assert-scaling: fail (exit 1) unless every 4-shard batch-1024 row
+  // reached >= 2x its 1-shard row — skipped with a note on hosts with
+  // hardware_concurrency < 4, where no scaling claim is possible.
+  bool assert_scaling = false;
   // --trace FILE: enable the per-window flight recorder on every batched
   // sweep engine (Engine::EnableTracing), write the last batch-1024
   // row's Chrome trace-event JSON to FILE, and attach a
@@ -90,6 +94,78 @@ struct SweepResult {
   // Engine::TraceBreakdownJson when the run was traced (empty = "null").
   std::string stage_breakdown;
 };
+
+// One line of the snapshot's `scaling` block: a multi-shard batch-1024
+// row normalized to its same-(stream, backend) 1-shard row. `scaled` is
+// an honesty label, not a measurement: it is refused outright when the
+// host has fewer cores than the row has shards, so 1-core container
+// numbers can never masquerade as scaling data no matter what the
+// speedup ratio happens to be.
+struct ScalingEntry {
+  std::string stream;
+  std::string backend;
+  size_t shards;
+  double upd_per_s;
+  double speedup_vs_1shard;
+  bool scaled;
+};
+
+std::vector<ScalingEntry> ComputeScaling(
+    const std::vector<SweepResult>& results) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<ScalingEntry> out;
+  for (const SweepResult& r : results) {
+    if (r.batch_size != 1024 || r.shards <= 1) continue;
+    const SweepResult* base = nullptr;
+    for (const SweepResult& b : results) {
+      if (b.batch_size == 1024 && b.shards == 1 && b.stream == r.stream &&
+          b.backend == r.backend && b.representation == r.representation &&
+          b.config.rfind("durability=", 0) != 0) {
+        base = &b;
+        break;
+      }
+    }
+    if (base == nullptr || base->upd_per_s <= 0.0) continue;
+    out.push_back(ScalingEntry{
+        r.stream, r.backend, r.shards, r.upd_per_s,
+        r.upd_per_s / base->upd_per_s, hw >= r.shards});
+  }
+  return out;
+}
+
+// --assert-scaling: on hosts with the cores to back it up, the 4-shard
+// batch-1024 rows must actually scale (>= 2x their 1-shard row). On
+// smaller hosts the assertion is skipped with a note — there is nothing
+// to assert, and the emitted rows already carry scaled=false.
+bool AssertScaling(const std::vector<ScalingEntry>& scaling) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw < 4) {
+    std::printf("\n--assert-scaling: skipped, hardware_concurrency=%u < 4 "
+                "(rows are labeled scaled=false)\n", hw);
+    return true;
+  }
+  bool ok = true;
+  bool any = false;
+  for (const ScalingEntry& e : scaling) {
+    if (e.shards != 4 || !e.scaled) continue;
+    any = true;
+    if (e.speedup_vs_1shard < 2.0) {
+      std::fprintf(stderr,
+                   "--assert-scaling FAILED: %s/%s 4 shards is only "
+                   "%.2fx the 1-shard row (need >= 2x)\n",
+                   e.stream.c_str(), e.backend.c_str(),
+                   e.speedup_vs_1shard);
+      ok = false;
+    }
+  }
+  if (!any) {
+    std::fprintf(stderr, "--assert-scaling FAILED: no 4-shard batch-1024 "
+                         "row ran (config filter?)\n");
+    return false;
+  }
+  if (ok) std::printf("\n--assert-scaling: ok (all 4-shard rows >= 2x)\n");
+  return ok;
+}
 
 // The representation the executors will run with, decided by the same
 // environment knob the executors sample at construction.
@@ -135,17 +211,38 @@ void WriteSnapshotJson(const Options& opt,
                  "        {\"stream\": \"%s\", \"config\": \"%s\", "
                  "\"backend\": \"%s\", \"representation\": \"%s\", "
                  "\"batch_size\": %zu, \"shards\": %zu, "
+                 "\"hardware_concurrency\": %u, "
                  "\"upd_per_s\": %.0f, \"approx_bytes\": %zu,\n"
                  "         \"stage_breakdown\": %s,\n"
                  "         \"stats\": %s}%s\n",
                  JsonEscape(r.stream).c_str(), JsonEscape(r.config).c_str(),
                  JsonEscape(r.backend).c_str(),
                  JsonEscape(r.representation).c_str(), r.batch_size,
-                 r.shards, r.upd_per_s, r.approx_bytes,
+                 r.shards, std::thread::hardware_concurrency(),
+                 r.upd_per_s, r.approx_bytes,
                  r.stage_breakdown.empty() ? "null"
                                            : r.stage_breakdown.c_str(),
                  r.stats_json.empty() ? "null" : r.stats_json.c_str(),
                  i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "      ],\n");
+  // Multi-shard throughput normalized to the matching 1-shard row.
+  // `scaled: false` rows are data recorded without the cores to back
+  // them (or genuinely flat scaling on a capable host — the speedup
+  // value disambiguates); downstream gates must never read a speedup
+  // off a scaled=false row as evidence of scaling.
+  const std::vector<ScalingEntry> scaling = ComputeScaling(results);
+  std::fprintf(f, "      \"scaling\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingEntry& e = scaling[i];
+    std::fprintf(f,
+                 "        {\"stream\": \"%s\", \"backend\": \"%s\", "
+                 "\"shards\": %zu, \"upd_per_s\": %.0f, "
+                 "\"speedup_vs_1shard\": %.3f, \"scaled\": %s}%s\n",
+                 JsonEscape(e.stream).c_str(), JsonEscape(e.backend).c_str(),
+                 e.shards, e.upd_per_s, e.speedup_vs_1shard,
+                 e.scaled ? "true" : "false",
+                 i + 1 < scaling.size() ? "," : "");
   }
   std::fprintf(f, "      ]\n    }\n  ]\n}\n");
   std::fclose(f);
@@ -578,6 +675,8 @@ int main(int argc, char** argv) {
       opt.sweep_only = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       opt.stats = true;
+    } else if (std::strcmp(argv[i], "--assert-scaling") == 0) {
+      opt.assert_scaling = true;
     } else if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
       opt.backend = argv[++i];
       if (opt.backend != "interpret" && opt.backend != "compile" &&
@@ -616,7 +715,7 @@ int main(int argc, char** argv) {
                    "[--sweep-only] [--backend interpret|compile|both] "
                    "[--stream uniform|zipf|both] [--config SUBSTR] "
                    "[--durability off|never|window|group|all] [--stats] "
-                   "[--trace FILE]\n",
+                   "[--assert-scaling] [--trace FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -646,5 +745,8 @@ int main(int argc, char** argv) {
     }
   }
   WriteSnapshotJson(opt, results);
+  if (opt.assert_scaling && !AssertScaling(ComputeScaling(results))) {
+    return 1;
+  }
   return 0;
 }

@@ -169,6 +169,10 @@ Status DecodeEngineState(BufReader* in, runtime::Engine* engine) {
       }
     }
   }
+  // The install wrote view tables behind ApplyBatch's back; without this
+  // the executor would keep serving sub-snapshots frozen when the engine
+  // was empty (e.g. the pre-ingest snapshot built at registration).
+  engine->sharded().NoteExternalMutation();
   return Status::Ok();
 }
 

@@ -24,6 +24,8 @@ const char* TraceSpanKindName(TraceSpanKind kind) {
     case kSpanQueryApply: return "query_apply";
     case kSpanQueryPublish: return "query_publish";
     case kSpanShardApply: return "shard_apply";
+    case kSpanShardSteal: return "shard_steal";
+    case kSpanShardPublish: return "shard_publish";
     default: return "?";
   }
 }

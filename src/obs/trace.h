@@ -66,6 +66,8 @@ enum TraceSpanKind : uint32_t {
   kSpanQueryApply = 0,  // one query's ApplyPrepared inside the fan-out
   kSpanQueryPublish,    // that query's snapshot rebuild + store
   kSpanShardApply,      // one shard's ApplyDeltaColumns inside an apply
+  kSpanShardSteal,      // one stolen morsel run on an idle worker
+  kSpanShardPublish,    // one shard freezing its root sub-snapshot
   kSpanKindCount,
 };
 

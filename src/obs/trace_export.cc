@@ -113,7 +113,9 @@ std::string TraceToChromeJson(const std::vector<WindowTrace>& windows,
     }
     for (const TraceSpan& span : w.spans) {
       if (span.end_ns <= span.begin_ns) continue;
-      const bool shard_track = span.kind == kSpanShardApply;
+      const bool shard_track = span.kind == kSpanShardApply ||
+                               span.kind == kSpanShardSteal ||
+                               span.kind == kSpanShardPublish;
       const int pid = shard_track ? 3 : 2;
       const uint32_t tid = shard_track ? span.shard : span.query;
       std::vector<bool>& seen = shard_track ? shard_seen : query_seen;

@@ -142,6 +142,9 @@ Engine::EngineStats Engine::Stats() const {
   out.native_enabled = sharded_->native_enabled();
   out.shard_apply_ns = sharded_->ApplySpanSnapshot();
   out.merge_ns = sharded_->MergeSpanSnapshot();
+  const exec::ShardedExecutor::StealStats steals = sharded_->steal_stats();
+  out.morsels_run = steals.morsels_run;
+  out.morsels_stolen = steals.morsels_stolen;
 
   const std::vector<Executor::StmtCounters> counters =
       sharded_->AggregateStmtCounters();
@@ -181,7 +184,8 @@ std::string Engine::StatsText() const {
          " updates=" + std::to_string(st.totals.updates) +
          " statements_run=" + std::to_string(st.totals.statements_run) +
          " entries_touched=" + std::to_string(st.totals.entries_touched) +
-         "\n";
+         " morsels_run=" + std::to_string(st.morsels_run) +
+         " morsels_stolen=" + std::to_string(st.morsels_stolen) + "\n";
   auto span = [&](const char* name, const obs::HistogramSnapshot& s) {
     out += std::string(name) + ": n=" + std::to_string(s.count) +
            " mean=" + std::to_string(s.mean()) +
@@ -261,6 +265,10 @@ std::string Engine::StatsJson(int indent) const {
          ", \"delta_entries\": " + std::to_string(st.totals.delta_entries) +
          ", \"scaled_firings\": " + std::to_string(st.totals.scaled_firings) +
          "},\n";
+  out += pad + "  \"morsels_run\": " + std::to_string(st.morsels_run) +
+         ",\n";
+  out += pad + "  \"morsels_stolen\": " + std::to_string(st.morsels_stolen) +
+         ",\n";
   out += pad + "  \"shard_apply_ns\": ";
   obs::AppendHistogramJson(st.shard_apply_ns, &out);
   out += ",\n" + pad + "  \"merge_ns\": ";

@@ -1,4 +1,4 @@
-// Bounded MPSC ingest queue with blocking backpressure.
+// Bounded multi-producer ingest front composed of lock-free SPSC rings.
 //
 // Producer threads Push update events; the serving batcher pops windows
 // of up to batch_size events at a time. The bound is the pipeline's flow
@@ -9,10 +9,34 @@
 // still drain, later Push calls fail, and PopWindow returns false once
 // the queue is empty.
 //
-// A mutex + two condvars over a deque is deliberately boring: the queue
-// hands off whole windows (one lock round-trip per batch on the consumer
-// side), so it is nowhere near the contention point of the pipeline —
-// the per-query trigger execution is.
+// Structure (PR 10; the previous mutexed MPSC deque serialized every
+// producer against the batcher on one lock):
+//
+//  - Each producer thread lazily registers one SpscRing (spsc_ring.h)
+//    per queue on its first Push — one writer (the thread), one reader
+//    (the batcher), so the steady-state push is a slot write plus a
+//    release store, with no shared mutable state between producers.
+//  - The *global* capacity bound is a credit counter: Push acquires a
+//    credit (CAS on one atomic) before writing its ring, PopWindow
+//    releases one credit per popped event. Each ring's own capacity is
+//    the queue capacity rounded up to a power of two, so a producer
+//    holding any number of credits always has ring space — TryPush
+//    after a granted credit cannot fail. (The per-producer ring is
+//    sized for the worst case; with the default 64Ki-event bound that
+//    is a few MB per distinct producer thread.)
+//  - The mutex + condvars survive only on the *edges*: a producer that
+//    finds no credits sleeps on not_full_; the batcher, when every ring
+//    is empty, sets consumer_sleeping_ and sleeps on not_empty_.
+//    Producers elide the wake syscall with a Dekker-style seq_cst
+//    fence pair (publish item, fence, read consumer_sleeping_ vs set
+//    consumer_sleeping_, fence, re-scan rings): one side is guaranteed
+//    to see the other, so the consumer never sleeps over a published
+//    item and the producer fast path never touches the mutex.
+//
+// Ordering: FIFO per producer (each ring preserves its thread's push
+// order; WindowingAndClose-style single-threaded use sees strict FIFO).
+// Across producers the interleaving is unspecified, exactly as it
+// already was when racing producers contended on the old deque's lock.
 //
 // The queue is also the pipeline's first traced stage: every event
 // carries its enqueue timestamp so PopWindow can record the
@@ -24,17 +48,21 @@
 #ifndef RINGDB_SERVE_INGEST_QUEUE_H_
 #define RINGDB_SERVE_INGEST_QUEUE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "ring/database.h"
+#include "serve/spsc_ring.h"
+#include "util/check.h"
 
 namespace ringdb {
 namespace serve {
@@ -53,28 +81,51 @@ class IngestQueue {
   };
 
   explicit IngestQueue(size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+      : capacity_(capacity == 0 ? 1 : capacity),
+        id_(next_queue_id_.fetch_add(1, std::memory_order_relaxed)) {}
 
   IngestQueue(const IngestQueue&) = delete;
   IngestQueue& operator=(const IngestQueue&) = delete;
 
+  ~IngestQueue() {
+    // Flag this queue's rings so surviving threads' thread_local
+    // registries prune the dead entries on their next slow-path lookup
+    // (the registry cannot be reached from here — it lives per thread).
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      ring->retired.store(true, std::memory_order_release);
+    }
+  }
+
   // Blocks while the queue is full. Returns false iff the queue was
   // closed (the update is not enqueued).
   bool Push(ring::Update update) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!closed_ && items_.size() >= capacity_) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    ProducerRing& ring = LocalRing();
+    if (!AcquireCredit()) {
       // Backpressure engaged: count the stall and time the block (the
       // producers' view of "maintenance is the bottleneck").
+      std::unique_lock<std::mutex> lock(mu_);
       RINGDB_OBS(stalls_.Add());
       const uint64_t t0 = obs::NowNs();
-      not_full_.wait(lock,
-                     [&] { return closed_ || items_.size() < capacity_; });
+      bool granted = false;
+      ++waiting_producers_;
+      not_full_.wait(lock, [&] {
+        if (closed_.load(std::memory_order_relaxed)) return true;
+        granted = AcquireCredit();
+        return granted;
+      });
+      --waiting_producers_;
       RINGDB_OBS(stall_ns_.Record(obs::NowNs() - t0));
+      if (!granted) return false;  // closed while waiting
+      if (closed_.load(std::memory_order_relaxed)) {
+        // Closed in the same wakeup that granted the credit: give it
+        // back — Close() wins, the update is not enqueued.
+        ReleaseCredits(1);
+        return false;
+      }
     }
-    if (closed_) return false;
-    items_.push_back(Item{std::move(update), obs::NowNs()});
-    lock.unlock();
-    not_empty_.notify_one();
+    Publish(ring, std::move(update));
     return true;
   }
 
@@ -86,25 +137,34 @@ class IngestQueue {
   // queue unchanged — the caller decides whether to retry or shed load.
   PushResult TryPushFor(ring::Update update,
                         std::chrono::milliseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (!closed_ && items_.size() >= capacity_) {
+    if (closed_.load(std::memory_order_acquire)) return PushResult::kClosed;
+    ProducerRing& ring = LocalRing();
+    if (!AcquireCredit()) {
+      std::unique_lock<std::mutex> lock(mu_);
       RINGDB_OBS(stalls_.Add());
       const uint64_t t0 = obs::NowNs();
-      const bool has_space = not_full_.wait_for(
-          lock, timeout,
-          [&] { return closed_ || items_.size() < capacity_; });
+      bool granted = false;
+      ++waiting_producers_;
+      const bool woke = not_full_.wait_for(lock, timeout, [&] {
+        if (closed_.load(std::memory_order_relaxed)) return true;
+        granted = AcquireCredit();
+        return granted;
+      });
+      --waiting_producers_;
       RINGDB_OBS(stall_ns_.Record(obs::NowNs() - t0));
-      if (!has_space) {
+      if (!woke) {
         // Not RINGDB_OBS: a timeout is a flow-control outcome the
         // caller acted on, counted in every build.
         timeouts_.fetch_add(1, std::memory_order_relaxed);
         return PushResult::kTimedOut;
       }
+      if (!granted) return PushResult::kClosed;
+      if (closed_.load(std::memory_order_relaxed)) {
+        ReleaseCredits(1);
+        return PushResult::kClosed;
+      }
     }
-    if (closed_) return PushResult::kClosed;
-    items_.push_back(Item{std::move(update), obs::NowNs()});
-    lock.unlock();
-    not_empty_.notify_one();
+    Publish(ring, std::move(update));
     return PushResult::kAccepted;
   }
 
@@ -116,44 +176,46 @@ class IngestQueue {
   bool PopWindow(size_t max_n, std::vector<ring::Update>* out,
                  uint64_t* oldest_enqueue_ns = nullptr) {
     out->clear();
+    uint64_t oldest = 0;
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;
-    const size_t n = std::min(max_n, items_.size());
-    if (oldest_enqueue_ns != nullptr) {
-      *oldest_enqueue_ns = items_.front().enqueue_ns;
+    for (;;) {
+      if (DrainLocked(max_n, out, &oldest)) break;
+      if (closed_.load(std::memory_order_relaxed)) return false;
+      // Every ring looked empty. Announce the sleep, fence, and scan
+      // once more: a producer publishes (release-store to its ring's
+      // tail), fences, then reads consumer_sleeping_ — the seq_cst
+      // fences on both sides guarantee that either the producer sees
+      // the flag (and notifies) or this re-scan sees the item.
+      consumer_sleeping_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (DrainLocked(max_n, out, &oldest)) {
+        consumer_sleeping_.store(false, std::memory_order_relaxed);
+        break;
+      }
+      not_empty_.wait(lock);
+      consumer_sleeping_.store(false, std::memory_order_relaxed);
     }
-    out->reserve(n);
-    RINGDB_OBS(const uint64_t now = obs::NowNs();
-               for (size_t i = 0; i < n; ++i)
-                   wait_ns_.Record(now - items_[i].enqueue_ns));
-    for (size_t i = 0; i < n; ++i) {
-      out->push_back(std::move(items_.front().update));
-      items_.pop_front();
-    }
-    lock.unlock();
-    RINGDB_OBS(window_size_.Record(n));
-    not_full_.notify_all();
+    if (oldest_enqueue_ns != nullptr) *oldest_enqueue_ns = oldest;
+    RINGDB_OBS(window_size_.Record(out->size()));
     return true;
   }
 
   void Close() {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      closed_ = true;
+      closed_.store(true, std::memory_order_release);
     }
     not_full_.notify_all();
     not_empty_.notify_all();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return items_.size();
-  }
+  // Credits in flight: items published to rings plus pushes between
+  // credit grant and ring publication (momentarily counted, never
+  // above capacity — the depth gauge the stats hammer asserts on).
+  size_t size() const { return size_.load(std::memory_order_acquire); }
   size_t capacity() const { return capacity_; }
 
-  // Concurrent-safe (one mutex acquisition for the depth; everything
-  // else merges atomics).
+  // Concurrent-safe: atomics and histogram merges only.
   Stats GetStats() const {
     Stats s;
     s.depth = size();
@@ -169,15 +231,114 @@ class IngestQueue {
  private:
   struct Item {
     ring::Update update;
-    uint64_t enqueue_ns;  // NowNs at Push (0 under RINGDB_NO_METRICS)
+    uint64_t enqueue_ns = 0;  // NowNs at Push (0 under RINGDB_NO_METRICS)
   };
 
+  // One producer thread's lane. `retired` flips when the owning queue
+  // dies, licensing thread_local registries to drop their reference.
+  struct ProducerRing {
+    explicit ProducerRing(size_t capacity) : ring(capacity) {}
+    SpscRing<Item> ring;
+    std::atomic<bool> retired{false};
+  };
+
+  // The calling thread's ring for this queue, registering it (one mutex
+  // round-trip, once per thread per queue) on first use.
+  ProducerRing& LocalRing() {
+    thread_local std::unordered_map<uint64_t, std::shared_ptr<ProducerRing>>
+        registry;
+    auto it = registry.find(id_);
+    if (it != registry.end()) return *it->second;
+    // Slow path: sweep rings of destroyed queues, then register.
+    for (auto i = registry.begin(); i != registry.end();) {
+      i = i->second->retired.load(std::memory_order_acquire)
+              ? registry.erase(i)
+              : std::next(i);
+    }
+    auto ring = std::make_shared<ProducerRing>(capacity_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      rings_.push_back(ring);
+    }
+    ProducerRing& ref = *ring;
+    registry.emplace(id_, std::move(ring));
+    return ref;
+  }
+
+  bool AcquireCredit() {
+    uint64_t cur = size_.load(std::memory_order_relaxed);
+    while (cur < capacity_) {
+      if (size_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void ReleaseCredits(size_t n) {
+    size_.fetch_sub(n, std::memory_order_acq_rel);
+  }
+
+  // Credit already held: write the ring (cannot fail — ring capacity
+  // covers the full credit bound) and wake the batcher if it sleeps.
+  void Publish(ProducerRing& ring, ring::Update update) {
+    RINGDB_CHECK(ring.ring.TryPush(Item{std::move(update), obs::NowNs()}));
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (consumer_sleeping_.load(std::memory_order_relaxed)) {
+      // Lock-then-notify: taking (and dropping) mu_ guarantees the
+      // consumer is either fully asleep in wait() or has not yet
+      // re-checked under the lock — no wakeup can be lost between its
+      // flag store and its wait.
+      { std::lock_guard<std::mutex> lock(mu_); }
+      not_empty_.notify_one();
+    }
+  }
+
+  // Round-robin drain under mu_: up to max_n items across all rings,
+  // rotating the start ring per window so a hot producer cannot starve
+  // the others. Returns false when every ring was empty.
+  bool DrainLocked(size_t max_n, std::vector<ring::Update>* out,
+                   uint64_t* oldest_enqueue_ns) {
+    const size_t num_rings = rings_.size();
+    if (num_rings == 0) return false;
+    uint64_t oldest = UINT64_MAX;
+    size_t popped = 0;
+    const uint64_t now = obs::NowNs();  // 0 under RINGDB_NO_METRICS
+    Item item;
+    for (size_t k = 0; k < num_rings && out->size() < max_n; ++k) {
+      ProducerRing& ring = *rings_[(rr_next_ + k) % num_rings];
+      while (out->size() < max_n && ring.ring.TryPop(&item)) {
+        oldest = std::min(oldest, item.enqueue_ns);
+        RINGDB_OBS(wait_ns_.Record(now - item.enqueue_ns));
+        out->push_back(std::move(item.update));
+        ++popped;
+      }
+    }
+    rr_next_ = (rr_next_ + 1) % num_rings;
+    if (popped == 0) return false;
+    *oldest_enqueue_ns = oldest;
+    ReleaseCredits(popped);
+    if (waiting_producers_ > 0) not_full_.notify_all();
+    return true;
+  }
+
+  static inline std::atomic<uint64_t> next_queue_id_{1};
+
   const size_t capacity_;
+  const uint64_t id_;  // keys thread_local ring registries
+
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
-  std::deque<Item> items_;
-  bool closed_ = false;
+  std::vector<std::shared_ptr<ProducerRing>> rings_;  // guarded by mu_
+  size_t rr_next_ = 0;            // batcher-only (under mu_)
+  size_t waiting_producers_ = 0;  // guarded by mu_
+  std::atomic<bool> closed_{false};  // written under mu_; read anywhere
+
+  std::atomic<uint64_t> size_{0};  // credits in flight (global bound)
+  std::atomic<bool> consumer_sleeping_{false};
 
   obs::Counter stalls_;
   std::atomic<uint64_t> timeouts_{0};

@@ -169,6 +169,14 @@ void QueryService::RecoverDurability() {
 void QueryService::Start() {
   RINGDB_CHECK(!started_ && !stopped_);
   RecoverDurability();  // before any thread exists; engines are quiescent
+  // Shard-owned publication from here on: each shard freezes its root
+  // sub-snapshot at window end (under its token), so snapshot builds
+  // compose pointers instead of scanning. Enabled only now — recovery
+  // replay above paid no per-window freezes, and its republish seeded
+  // the per-shard epochs lazily through RootSubSnapshots.
+  for (auto& query : queries_) {
+    query->engine->sharded().EnablePublish(true);
+  }
 #ifndef RINGDB_NO_METRICS
   if (!options_.trace_dump_path.empty()) {
     // Opt-in on-demand dump: `kill -USR1 <pid>` flags a request; the

@@ -1,5 +1,8 @@
 #include "serve/snapshot.h"
 
+#include <unordered_map>
+
+#include "log/crash_point.h"
 #include "ring/tuple.h"
 #include "runtime/engine.h"
 #include "util/check.h"
@@ -8,8 +11,6 @@ namespace ringdb {
 namespace serve {
 
 namespace {
-
-constexpr uint32_t kEmptySlot = UINT32_MAX;
 
 // Group keys up to this arity are permuted on the stack in Get (larger
 // arities fall back to a heap key; grouping columns are few in practice).
@@ -25,52 +26,52 @@ std::shared_ptr<const ResultSnapshot> ResultSnapshot::Build(
   snap->version_ = version;
   snap->updates_applied_ = updates_applied;
   snap->arity_ = snap->info_->group_vars.size();
-  // Upper bound on the merged cardinality: sum of per-shard root sizes
-  // (exact for one shard), so the dense arrays fill without growing.
-  size_t estimate = 0;
-  for (size_t i = 0; i < engine.num_shards(); ++i) {
-    estimate += engine.sharded().shard(i).root().size();
-  }
-  snap->keys_.reserve(estimate * snap->arity_);
-  snap->values_.reserve(estimate);
+  // Collect the per-shard FrozenViews. In the serving steady state each
+  // shard froze its part when it finished its window (under the shard
+  // token), so this is pointer collection plus an O(shards) ring sum of
+  // precomputed totals; stale shards (recovery, publication gaps) are
+  // frozen here on the calling thread.
+  snap->parts_ = engine.sharded().RootSubSnapshots();
+  RINGDB_CRASH_POINT("snapshot_compose");
   Numeric total = kZero;
-  engine.sharded().ForEachRootMerged([&](runtime::KeyView key, Numeric m) {
-    for (size_t i = 0; i < key.size(); ++i) snap->keys_.push_back(key[i]);
-    snap->values_.push_back(m);
-    total += m;
-  });
+  for (const runtime::FrozenViewPtr& part : snap->parts_) {
+    total += part->total();
+  }
   snap->scalar_ = total;
-  snap->BuildSlots();
   return snap;
 }
 
-void ResultSnapshot::BuildSlots() {
-  size_t want = 16;
-  while (want < values_.size() * 2) want <<= 1;
-  slots_.assign(want, kEmptySlot);
-  slot_mask_ = want - 1;
-  for (size_t id = 0; id < values_.size(); ++id) {
-    const uint64_t h =
-        runtime::HashValues(keys_.data() + id * arity_, arity_);
-    size_t slot = h & slot_mask_;
-    while (slots_[slot] != kEmptySlot) slot = (slot + 1) & slot_mask_;
-    slots_[slot] = static_cast<uint32_t>(id);
-  }
+void ResultSnapshot::EnsureMerged() const {
+  std::call_once(merged_once_, [this] {
+    std::unordered_map<runtime::Key, Numeric, runtime::KeyHash> merge;
+    size_t estimate = 0;
+    for (const runtime::FrozenViewPtr& part : parts_) {
+      estimate += part->size();
+    }
+    merge.reserve(estimate);
+    for (const runtime::FrozenViewPtr& part : parts_) {
+      part->ForEach([&](runtime::KeyView key, Numeric m) {
+        auto [it, inserted] = merge.try_emplace(key.ToKey(), m);
+        if (!inserted) it->second += m;
+      });
+    }
+    merged_keys_.reserve(merge.size() * arity_);
+    merged_values_.reserve(merge.size());
+    for (const auto& [key, m] : merge) {
+      if (m.IsZero()) continue;  // shard contributions cancelled
+      for (const Value& v : key) merged_keys_.push_back(v);
+      merged_values_.push_back(m);
+    }
+  });
 }
 
 Numeric ResultSnapshot::AtRootKey(const Value* key, size_t n) const {
   RINGDB_CHECK_EQ(n, arity_);
-  if (values_.empty()) return kZero;
-  size_t slot = runtime::HashValues(key, n) & slot_mask_;
-  while (slots_[slot] != kEmptySlot) {
-    const uint32_t id = slots_[slot];
-    const Value* entry_key = keys_.data() + static_cast<size_t>(id) * arity_;
-    bool match = true;
-    for (size_t i = 0; i < n && match; ++i) match = entry_key[i] == key[i];
-    if (match) return values_[id];
-    slot = (slot + 1) & slot_mask_;
+  Numeric sum = kZero;
+  for (const runtime::FrozenViewPtr& part : parts_) {
+    sum += part->At(key, n);
   }
-  return kZero;
+  return sum;
 }
 
 Numeric ResultSnapshot::Get(const std::vector<Value>& group_values) const {
@@ -91,7 +92,7 @@ ring::Gmr ResultSnapshot::ToGmr() const {
   ring::Gmr out;
   const std::vector<Symbol>& group_vars = info_->group_vars;
   const std::vector<size_t>& order = info_->key_order;
-  out.Reserve(values_.size());
+  out.Reserve(size());
   ForEach([&](runtime::KeyView key, Numeric m) {
     std::vector<ring::Tuple::Field> fields;
     fields.reserve(group_vars.size());

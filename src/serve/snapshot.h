@@ -2,22 +2,32 @@
 //
 // A ResultSnapshot freezes one query's maintained result as of a batch
 // boundary: an epoch (version = number of applied ingest windows, plus
-// the count of input tuple-units those windows carried) and the full
-// grouped result in a frozen flat open-addressing table, built in one
-// pass from the engine's root view(s) merged over shards. serve::
-// QueryService publishes a fresh snapshot per query after every applied
-// window by swapping a shared_ptr cell (SnapshotCell below) — RCU-style:
-// readers copy the pointer and the refcount keeps their snapshot alive
-// for as long as they hold it, the writer never waits for readers, and
-// a reader's only shared-state touch is the pointer copy itself. Any
-// number of threads get consistent point lookups, scalar reads, and
-// full scans while ingestion keeps running; no reader ever observes a
-// half-applied batch.
+// the count of input tuple-units those windows carried) and the query's
+// grouped result *composed* from per-shard immutable sub-snapshots
+// (runtime::FrozenView, published by the shard that applied the window —
+// see ShardedExecutor::RootSubSnapshots). Composition replaces the old
+// merge-on-read barrier: building a snapshot collects one shared_ptr per
+// shard plus an O(shards) ring sum of precomputed totals — no global
+// scan, no quiesce beyond the batch boundary the caller already owns.
 //
-// The table mirrors runtime::ViewTable's read path (power-of-two slot
-// array, linear probing over a dense key/value store) but is build-once:
-// one pass fills the dense arrays, a second pass seeds the slots — no
-// rehashing, no deletion machinery, and reads touch two cache lines.
+// Reads against the composition:
+//  - scalar(): precomputed at build (sum of per-part totals).
+//  - Get()/AtRootKey(): probe every part's frozen table and sum in the
+//    ring — O(shards) probes, each two cache lines.
+//  - ForEach()/ToGmr()/size(): need the cross-shard merge; a multi-part
+//    snapshot materializes the merged dense arrays lazily, once, behind
+//    a std::once_flag (keys whose shard contributions cancel to zero are
+//    skipped, as the ring semantics require). Single-part snapshots
+//    iterate their one part directly and never merge.
+//
+// serve::QueryService publishes a fresh snapshot per query after every
+// applied window by swapping a shared_ptr cell (SnapshotCell below) —
+// RCU-style: readers copy the pointer and the refcount keeps their
+// snapshot (and its FrozenView parts) alive for as long as they hold
+// it, the writer never waits for readers. Any number of threads get
+// consistent point lookups, scalar reads, and full scans while
+// ingestion keeps running; no reader ever observes a half-applied
+// batch.
 
 #ifndef RINGDB_SERVE_SNAPSHOT_H_
 #define RINGDB_SERVE_SNAPSHOT_H_
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "ring/gmr.h"
+#include "runtime/frozen_view.h"
 #include "runtime/view_table.h"
 #include "util/numeric.h"
 #include "util/symbol.h"
@@ -55,9 +66,10 @@ struct QueryInfo {
 
 class ResultSnapshot {
  public:
-  // Freezes `engine`'s current root result (merged over shards). Must
-  // not race an apply on the same engine; QueryService builds snapshots
-  // on the thread that just applied the batch.
+  // Composes `engine`'s current per-shard sub-snapshots. Must not race
+  // an apply on the same engine; QueryService builds snapshots on the
+  // thread that just applied the batch (shards already froze their
+  // parts at window end, so composition is pointer collection).
   static std::shared_ptr<const ResultSnapshot> Build(
       std::shared_ptr<const QueryInfo> info, const runtime::Engine& engine,
       uint64_t version, uint64_t updates_applied);
@@ -72,26 +84,44 @@ class ResultSnapshot {
   const QueryInfo& info() const { return *info_; }
   size_t arity() const { return arity_; }
   bool scalar_query() const { return arity_ == 0; }
-  // Number of groups in the result.
-  size_t size() const { return values_.size(); }
+  // Number of groups in the result (multi-part: forces the merge).
+  size_t size() const {
+    if (parts_.size() == 1) return parts_[0]->size();
+    EnsureMerged();
+    return merged_values_.size();
+  }
+
+  // Number of per-shard parts composed into this snapshot.
+  size_t num_parts() const { return parts_.size(); }
 
   // Scalar fast path: the root value for scalar queries; the Sum(.)
-  // collapse (total over all groups) otherwise.
+  // collapse (total over all groups) otherwise. Precomputed from the
+  // per-part totals.
   Numeric scalar() const { return scalar_; }
 
   // Point lookup, values given in group_vars order; 0 outside the
   // result (the gmr default).
   Numeric Get(const std::vector<Value>& group_values) const;
 
-  // Raw probe with the key already in root-view key order.
+  // Raw probe with the key already in root-view key order: ring sum of
+  // every part's probe.
   Numeric AtRootKey(const Value* key, size_t n) const;
 
   // Full scan: fn(KeyView, Numeric) per group, keys in root order
-  // (permute through info().key_order for group_vars order).
+  // (permute through info().key_order for group_vars order). One group
+  // key appears exactly once; zero-sum groups are skipped on the merged
+  // multi-part path (single-part scans mirror the part's own iteration,
+  // zero entries of keep_zeros views included).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (size_t i = 0; i < values_.size(); ++i) {
-      fn(runtime::KeyView(keys_.data() + i * arity_, arity_), values_[i]);
+    if (parts_.size() == 1) {
+      parts_[0]->ForEach(fn);
+      return;
+    }
+    EnsureMerged();
+    for (size_t i = 0; i < merged_values_.size(); ++i) {
+      fn(runtime::KeyView(merged_keys_.data() + i * arity_, arity_),
+         merged_values_[i]);
     }
   }
 
@@ -100,17 +130,21 @@ class ResultSnapshot {
 
  private:
   ResultSnapshot() = default;
-  void BuildSlots();
+  // Builds the cross-shard merged dense arrays (multi-part scans); safe
+  // to race from any number of readers via the once flag.
+  void EnsureMerged() const;
 
   std::shared_ptr<const QueryInfo> info_;
   uint64_t version_ = 0;
   uint64_t updates_applied_ = 0;
   size_t arity_ = 0;
   Numeric scalar_ = kZero;
-  std::vector<Value> keys_;  // arity_-strided, root key order
-  std::vector<Numeric> values_;
-  std::vector<uint32_t> slots_;  // power-of-two, linear probing
-  size_t slot_mask_ = 0;
+  std::vector<runtime::FrozenViewPtr> parts_;  // one per shard
+  // Lazily merged scan arrays (multi-part only), built under
+  // merged_once_: logically const, hence mutable.
+  mutable std::once_flag merged_once_;
+  mutable std::vector<Value> merged_keys_;  // arity_-strided, root order
+  mutable std::vector<Numeric> merged_values_;
 };
 
 using SnapshotPtr = std::shared_ptr<const ResultSnapshot>;

@@ -1,0 +1,123 @@
+// Bounded lock-free single-producer / single-consumer ring.
+//
+// The ingest pipeline's per-producer lane (see ingest_queue.h): each
+// producer thread owns the write side of exactly one ring, the batcher
+// owns the read side of all of them, and neither side ever takes a lock
+// on the fast path. The design is the classic cached-index SPSC queue:
+//
+//  - capacity is rounded up to a power of two; head_ (consumer) and
+//    tail_ (producer) are free-running uint64 indexes, slot = index &
+//    mask, so full/empty tests are plain subtraction and wraparound
+//    needs no modulo or sentinel slot.
+//  - publication is acquire/release on the indexes only: the producer
+//    writes the slot, then store-releases tail_; the consumer
+//    load-acquires tail_ before reading the slot (and symmetrically for
+//    head_ on recycle). The slot payloads themselves are plain memory —
+//    the index edges carry the happens-before.
+//  - each side keeps a *cached* copy of the opposite index and only
+//    re-reads the shared atomic when the cached value says the ring is
+//    full (producer) or empty (consumer). In steady state a push is one
+//    relaxed load, one plain slot write, and one release store — no
+//    shared-line ping-pong on every operation.
+//
+// TryPush/TryPop never block; the coordination that turns "full" into
+// backpressure (credits, condvars, Close) lives in IngestQueue, which
+// composes rings — this class stays a pure data structure so the TSan
+// hammer in tests/spsc_ring_test.cc can pound on it in isolation.
+
+#ifndef RINGDB_SERVE_SPSC_RING_H_
+#define RINGDB_SERVE_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ringdb {
+namespace serve {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t min_capacity)
+      : capacity_(RoundUpPow2(min_capacity == 0 ? 1 : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  // Producer side. Returns false when the ring is full (the value is
+  // untouched — the caller keeps it).
+  bool TryPush(T&& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ >= capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side: the oldest element without popping it, or nullptr
+  // when empty. Valid until the consumer's next TryPop.
+  const T* Front() {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+
+  // Approximate from any thread (exact from either endpoint when the
+  // other is quiescent).
+  size_t size() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::vector<T> slots_;
+
+  // Consumer cache line: head_ is written by the consumer only;
+  // cached_tail_ is the consumer's private copy of tail_.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  uint64_t cached_tail_ = 0;
+
+  // Producer cache line: tail_ is written by the producer only;
+  // cached_head_ is the producer's private copy of head_.
+  alignas(64) std::atomic<uint64_t> tail_{0};
+  uint64_t cached_head_ = 0;
+};
+
+}  // namespace serve
+}  // namespace ringdb
+
+#endif  // RINGDB_SERVE_SPSC_RING_H_

@@ -143,6 +143,40 @@ TEST_F(CheckpointTest, RoundTripRestoresStateAndIndexes) {
   }
 }
 
+TEST_F(CheckpointTest, LoadInvalidatesPublishedSubSnapshots) {
+  // Checkpoint install writes the view tables directly, bypassing
+  // ApplyBatch's mutation-epoch bump. If the load fails to note the
+  // mutation, sub-snapshots frozen before it (here: of the empty
+  // engine, like the pre-ingest snapshot QueryService builds at
+  // registration) would still be considered current and recovery would
+  // serve empty results — the exact bug the kill-anywhere publish
+  // campaign first caught.
+  Catalog catalog = workload::OrdersSchema();
+  Engine engine = MakeEngine(catalog, 2);
+  Feed(&engine, catalog, 500, 7);
+  log::CheckpointMeta meta;
+  meta.seq = 1;
+  meta.updates_applied = 500;
+  ASSERT_TRUE(log::WriteCheckpoint(dir_.string(), "q0", meta, engine).ok());
+
+  Engine restored = MakeEngine(catalog, 2);
+  const auto stale = restored.sharded().RootSubSnapshots();  // empty parts
+  log::CheckpointMeta out;
+  auto loaded =
+      log::LoadLatestCheckpoint(dir_.string(), "q0", &restored, &out);
+  ASSERT_TRUE(loaded.ok() && *loaded);
+
+  const auto fresh = restored.sharded().RootSubSnapshots();
+  ASSERT_EQ(fresh.size(), stale.size());
+  size_t restored_entries = 0;
+  for (size_t s = 0; s < fresh.size(); ++s) {
+    EXPECT_NE(fresh[s], stale[s]) << "shard " << s
+                                  << " still serves the pre-load freeze";
+    restored_entries += fresh[s]->size();
+  }
+  EXPECT_GT(restored_entries, 0u);
+}
+
 TEST_F(CheckpointTest, NoCheckpointLoadsNothing) {
   Catalog catalog = workload::OrdersSchema();
   Engine engine = MakeEngine(catalog);

@@ -1,7 +1,9 @@
 // Kill-anywhere crash recovery: a QueryService with durability enabled
 // is killed (fault-injected `_exit` at a random crash point: mid WAL
 // record, between payload halves, before/after fsync, mid checkpoint
-// write, before/after the checkpoint rename, during GC) and restarted;
+// write, before/after the checkpoint rename, during GC, inside a
+// per-shard FrozenView publish, during sub-snapshot composition) and
+// restarted;
 // the restarted service must recover to exactly the epoch its snapshots
 // advertise, with the result equal to an AGCA oracle
 // (baseline::NaiveReevaluator) replaying the first `updates_applied`
@@ -211,6 +213,11 @@ struct ChildConfig {
   const char* backend = "interpret";
   int shards = 1;
   const char* policy = "window";
+  // RINGDB_STEAL for the child ("forced"/"disabled"; "" = auto). Forced
+  // stealing makes thieves cross shard publication boundaries, so the
+  // publish-path campaign kills land in windows where a non-owner ran
+  // morsels.
+  const char* steal = "";
   size_t events = 1000;
   size_t batch = 64;
   uint64_t seed = 1;
@@ -225,6 +232,11 @@ int RunChildProcess(const ChildConfig& cfg) {
     ::setenv("RINGDB_CRASH_BACKEND", cfg.backend, 1);
     ::setenv("RINGDB_CRASH_SHARDS", std::to_string(cfg.shards).c_str(), 1);
     ::setenv("RINGDB_CRASH_POLICY", cfg.policy, 1);
+    if (cfg.steal[0] != '\0') {
+      ::setenv("RINGDB_STEAL", cfg.steal, 1);
+    } else {
+      ::unsetenv("RINGDB_STEAL");
+    }
     ::setenv("RINGDB_CRASH_EVENTS", std::to_string(cfg.events).c_str(), 1);
     ::setenv("RINGDB_CRASH_BATCH", std::to_string(cfg.batch).c_str(), 1);
     ::setenv("RINGDB_CRASH_SEED", std::to_string(cfg.seed).c_str(), 1);
@@ -249,12 +261,20 @@ std::string LastCrashPoint(const std::string& dir) {
   return line;
 }
 
+// The point name from a "<hit> <name>" report line ("" when unparsable).
+std::string CrashPointName(const std::string& report_line) {
+  const size_t space = report_line.find(' ');
+  return space == std::string::npos ? std::string()
+                                    : report_line.substr(space + 1);
+}
+
 // Runs kill-restart rounds until `min_kills` kills landed: each killed
 // run is followed by another child whose recovery is verified against
 // the oracle; a run the crash target overshoots completes the stream
 // and verifies all of it, then the directory resets for a fresh round.
 void RunCampaign(const std::string& label, ChildConfig cfg, int min_kills,
-                 uint64_t max_crash_at) {
+                 uint64_t max_crash_at,
+                 std::vector<std::string>* kill_points = nullptr) {
   const fs::path dir =
       fs::temp_directory_path() /
       ("ringdb-crash-" + label + "-" + std::to_string(::getpid()));
@@ -273,6 +293,9 @@ void RunCampaign(const std::string& label, ChildConfig cfg, int min_kills,
     const int code = RunChildProcess(cfg);
     if (code == 137) {
       ++kills;
+      if (kill_points != nullptr) {
+        kill_points->push_back(CrashPointName(LastCrashPoint(cfg.dir)));
+      }
       continue;
     }
     if (code == 0) {
@@ -343,6 +366,40 @@ TEST(CrashRecoveryTest, KillUnderGroupCommitAndNeverPolicies) {
                 /*max_crash_at=*/120);
     if (::testing::Test::HasFatalFailure()) return;
   }
+}
+
+TEST(CrashRecoveryTest, KillInsideShardPublishAndSnapshotCompose) {
+  // The shard-owned publish path: every applied window freezes one
+  // FrozenView per shard per engine ("shard_publish", on whichever
+  // worker holds the shard token — with RINGDB_STEAL=forced that is
+  // usually a thief) and every publication composes them
+  // ("snapshot_compose"). Killing at those points must recover to
+  // exactly the advertised epoch like any WAL-point kill: publication
+  // is read-side only, so a half-published window is simply a window
+  // the WAL replays. The campaign records where each kill landed and
+  // requires both publish-path points to be hit at least once.
+  ChildConfig cfg;
+  cfg.backend = "interpret";
+  cfg.shards = 2;
+  cfg.steal = "forced";
+  cfg.policy = "window";
+  cfg.events = 1800;
+  cfg.batch = 64;
+  cfg.seed = 20260809;
+  std::vector<std::string> kill_points;
+  RunCampaign("publish", cfg, /*min_kills=*/24, /*max_crash_at=*/250,
+              &kill_points);
+  if (::testing::Test::HasFatalFailure()) return;
+  int publish_kills = 0;
+  int compose_kills = 0;
+  for (const std::string& point : kill_points) {
+    if (point == "shard_publish") ++publish_kills;
+    if (point == "snapshot_compose") ++compose_kills;
+  }
+  EXPECT_GT(publish_kills, 0)
+      << "no kill landed inside a per-shard publish";
+  EXPECT_GT(compose_kills, 0)
+      << "no kill landed inside sub-snapshot composition";
 }
 
 }  // namespace crashtest

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Scaling-honesty and perf-trajectory gate over the committed bench file.
+
+Validates the newest snapshot in BENCH_tpch_stream.json (the per-PR
+throughput trajectory, recorded on the maintainer's fixed box so
+adjacent snapshots are comparable — unlike CI runners, whose absolute
+numbers are meaningless across machines):
+
+1. The snapshot carries a `scaling` block (bench_tpch_stream emits it
+   per multi-shard batch-1024 row, normalized to the 1-shard row).
+2. Honesty: no scaling entry is labeled `scaled: true` unless the
+   recording host had hardware_concurrency >= shards. A 1-core container
+   must never ship rows that masquerade as scaling data.
+3. When the recording host did have >= 4 cores, every 4-shard entry
+   labeled scaled must show >= --min-4shard-speedup (default 2.0).
+4. No regression: the headline row (zipf, batch 1024, 1 shard, compiled)
+   must be within --max-regression-pct below the newest preceding
+   snapshot that has a matching row. Being faster is always fine.
+
+Usage:
+  tools/check_scaling.py BENCH_tpch_stream.json [--max-regression-pct 5.0]
+
+Exit code 0: all checks pass. 1: a check failed or inputs unusable.
+"""
+
+import argparse
+import json
+import sys
+
+HEADLINE_CONFIG = "batch 1024"
+HEADLINE_BACKEND = "compile"
+
+
+def headline_row(snapshot):
+    """The zipf / batch-1024 / 1-shard / compiled row, or None."""
+    for r in snapshot.get("results", []):
+        if (r.get("config") == HEADLINE_CONFIG
+                and r.get("backend") == HEADLINE_BACKEND
+                and r.get("shards") == 1
+                and "zipf" in r.get("stream", "")):
+            return r
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="committed BENCH_tpch_stream.json")
+    parser.add_argument("--max-regression-pct", type=float, default=5.0)
+    parser.add_argument("--min-4shard-speedup", type=float, default=2.0)
+    args = parser.parse_args()
+
+    with open(args.bench_json, encoding="utf-8") as f:
+        doc = json.load(f)
+    snapshots = doc.get("snapshots", [])
+    if not snapshots:
+        print("no snapshots in", args.bench_json)
+        return 1
+    latest = snapshots[-1]
+    label = latest.get("label", "<unlabeled>")
+    hw = int(latest.get("hardware_concurrency", 0))
+    failures = []
+
+    scaling = latest.get("scaling")
+    if not isinstance(scaling, list) or not scaling:
+        failures.append(f"latest snapshot '{label}' has no scaling block")
+        scaling = []
+    for e in scaling:
+        shards = int(e.get("shards", 0))
+        speedup = float(e.get("speedup_vs_1shard", 0.0))
+        scaled = bool(e.get("scaled", False))
+        where = f"{e.get('stream')}/{e.get('backend')}/{shards} shards"
+        if scaled and hw < shards:
+            failures.append(
+                f"{where}: labeled scaled=true but hardware_concurrency="
+                f"{hw} < shards={shards}")
+        if scaled and shards == 4 and speedup < args.min_4shard_speedup:
+            failures.append(
+                f"{where}: {speedup:.2f}x < required "
+                f"{args.min_4shard_speedup:.1f}x at 4 shards")
+        print(f"  scaling {where}: {speedup:.2f}x"
+              f" ({'scaled' if scaled else 'not scaled: insufficient cores'})")
+
+    new_row = headline_row(latest)
+    if new_row is None:
+        failures.append(f"latest snapshot '{label}' lacks the headline row "
+                        f"(zipf / {HEADLINE_CONFIG} / {HEADLINE_BACKEND})")
+    else:
+        base = None
+        for prev in reversed(snapshots[:-1]):
+            base = headline_row(prev)
+            if base is not None:
+                base_label = prev.get("label", "<unlabeled>")
+                break
+        if base is None:
+            print("  no preceding snapshot with a headline row; "
+                  "regression check skipped")
+        else:
+            new_tput = float(new_row["upd_per_s"])
+            old_tput = float(base["upd_per_s"])
+            change_pct = 100.0 * (new_tput - old_tput) / old_tput
+            print(f"  headline: {new_tput:.0f} upd/s vs {old_tput:.0f} "
+                  f"('{base_label}'), {change_pct:+.1f}%")
+            if change_pct < -args.max_regression_pct:
+                failures.append(
+                    f"headline row regressed {change_pct:+.1f}% vs "
+                    f"'{base_label}' (budget -{args.max_regression_pct:.1f}%)")
+
+    if failures:
+        for f_ in failures:
+            print("FAIL:", f_, file=sys.stderr)
+        return 1
+    print(f"ok: '{label}' scaling block honest, headline within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
